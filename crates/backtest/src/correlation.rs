@@ -1,0 +1,152 @@
+//! Portfolio-return correlations — the paper's weak-correlation machinery.
+//!
+//! Hedge funds want a *set* of alphas whose portfolio returns correlate
+//! below 15% (paper footnote 3, citing Kakushadze's "101 Formulaic
+//! Alphas"). During mining, AlphaEvolve discards candidates whose
+//! validation portfolio returns correlate with any already-accepted alpha
+//! above the cutoff. The paper's tables keep alphas with strongly
+//! *negative* correlations (e.g. −0.30), so the cutoff is one-sided.
+
+use crate::metrics::pearson;
+
+/// The paper's weak-correlation standard.
+pub const PAPER_CUTOFF: f64 = 0.15;
+
+/// Sample Pearson correlation between two portfolio-return series.
+pub fn return_correlation(a: &[f64], b: &[f64]) -> f64 {
+    pearson(a, b)
+}
+
+/// Symmetric correlation matrix over a family of return series.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let c = pearson(&series[i], &series[j]);
+            m[i][j] = c;
+            m[j][i] = c;
+        }
+    }
+    m
+}
+
+/// A set of accepted alphas' validation return series, with the cutoff test
+/// applied to candidates.
+#[derive(Debug, Clone)]
+pub struct CorrelationGate {
+    cutoff: f64,
+    accepted: Vec<Vec<f64>>,
+}
+
+impl CorrelationGate {
+    /// Gate with the paper's 15% cutoff.
+    pub fn paper() -> Self {
+        Self::new(PAPER_CUTOFF)
+    }
+
+    /// Gate with a custom cutoff.
+    pub fn new(cutoff: f64) -> Self {
+        CorrelationGate { cutoff, accepted: Vec::new() }
+    }
+
+    /// The cutoff in force.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Number of accepted return series.
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// True when no series has been accepted yet (every candidate passes).
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// Maximum correlation of `candidate` against the accepted set
+    /// (−∞ when the set is empty).
+    pub fn max_correlation(&self, candidate: &[f64]) -> f64 {
+        self.accepted
+            .iter()
+            .map(|a| return_correlation(a, candidate))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// One-sided test: a candidate passes unless its correlation with some
+    /// accepted series *exceeds* the cutoff. (Strongly negative
+    /// correlations pass — they diversify.)
+    pub fn passes(&self, candidate: &[f64]) -> bool {
+        self.accepted.iter().all(|a| return_correlation(a, candidate) <= self.cutoff)
+    }
+
+    /// Adds a return series to the accepted set.
+    pub fn accept(&mut self, series: Vec<f64>) {
+        self.accepted.push(series);
+    }
+
+    /// The accepted return series.
+    pub fn accepted(&self) -> &[Vec<f64>] {
+        &self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gate_accepts_anything() {
+        let gate = CorrelationGate::paper();
+        assert!(gate.passes(&[0.1, -0.2, 0.3]));
+        assert_eq!(gate.max_correlation(&[1.0, 2.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rejects_positively_correlated() {
+        let mut gate = CorrelationGate::paper();
+        let base = vec![0.01, -0.02, 0.03, -0.01, 0.02, 0.0, 0.01];
+        gate.accept(base.clone());
+        assert!(!gate.passes(&base), "identical series must fail");
+        let scaled: Vec<f64> = base.iter().map(|x| x * 3.0).collect();
+        assert!(!gate.passes(&scaled), "scaled copy is perfectly correlated");
+    }
+
+    #[test]
+    fn accepts_negatively_correlated() {
+        let mut gate = CorrelationGate::paper();
+        let base = vec![0.01, -0.02, 0.03, -0.01, 0.02, 0.0, 0.01];
+        gate.accept(base.clone());
+        let inverse: Vec<f64> = base.iter().map(|x| -x).collect();
+        assert!(gate.passes(&inverse), "paper keeps strongly negative correlations");
+    }
+
+    #[test]
+    fn accepts_orthogonal() {
+        let mut gate = CorrelationGate::new(0.15);
+        gate.accept(vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        // Orthogonal square wave at half frequency.
+        let cand = vec![1.0, 1.0, -1.0, -1.0, 1.0, 1.0];
+        assert!(gate.max_correlation(&cand).abs() < 0.5);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn correlation_matrix_is_symmetric_with_unit_diagonal() {
+        let series = vec![
+            vec![0.1, 0.2, -0.1, 0.05],
+            vec![-0.1, 0.0, 0.2, 0.1],
+            vec![0.05, 0.05, 0.05, 0.1],
+        ];
+        let m = correlation_matrix(&series);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+                assert!(m[i][j].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! NAV curves and equity statistics.
+//!
+//! The paper defines `NAV_t = V_l + V_s − C_t` and
+//! `R_p = (NAV_t − NAV_{t−1}) / NAV_{t−1}`; compounding the daily
+//! portfolio returns reproduces the NAV path up to the initial scale.
+
+use crate::metrics::{annualized_return, annualized_vol, sharpe_ratio};
+
+/// NAV curve from daily returns, starting at 1.0. `nav[0]` is the initial
+/// NAV; `nav[t]` reflects the return of day `t-1`.
+pub fn nav_curve(returns: &[f64]) -> Vec<f64> {
+    let mut nav = Vec::with_capacity(returns.len() + 1);
+    let mut x = 1.0;
+    nav.push(x);
+    for r in returns {
+        x *= 1.0 + r;
+        nav.push(x);
+    }
+    nav
+}
+
+/// Per-day drawdown (fraction below the running peak, ≥ 0).
+pub fn drawdown_series(nav: &[f64]) -> Vec<f64> {
+    let mut peak = f64::NEG_INFINITY;
+    nav.iter()
+        .map(|&x| {
+            peak = peak.max(x);
+            if peak > 0.0 {
+                (peak - x) / peak
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Maximum drawdown of a NAV curve.
+pub fn max_drawdown(nav: &[f64]) -> f64 {
+    drawdown_series(nav).into_iter().fold(0.0, f64::max)
+}
+
+/// Summary statistics of a daily portfolio-return series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquityStats {
+    /// Total compounded return over the period.
+    pub total_return: f64,
+    /// Annualized arithmetic mean return.
+    pub annualized_return: f64,
+    /// Annualized volatility.
+    pub annualized_vol: f64,
+    /// Annualized Sharpe ratio (Rf = 0).
+    pub sharpe: f64,
+    /// Maximum drawdown of the NAV curve.
+    pub max_drawdown: f64,
+    /// Number of days.
+    pub days: usize,
+}
+
+impl EquityStats {
+    /// Computes all statistics from a daily return series.
+    pub fn from_returns(returns: &[f64]) -> EquityStats {
+        let nav = nav_curve(returns);
+        EquityStats {
+            total_return: nav.last().copied().unwrap_or(1.0) - 1.0,
+            annualized_return: annualized_return(returns),
+            annualized_vol: annualized_vol(returns),
+            sharpe: sharpe_ratio(returns),
+            max_drawdown: max_drawdown(&nav),
+            days: returns.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nav_compounds() {
+        let nav = nav_curve(&[0.1, -0.5, 1.0]);
+        assert_eq!(nav.len(), 4);
+        assert!((nav[1] - 1.1).abs() < 1e-12);
+        assert!((nav[2] - 0.55).abs() < 1e-12);
+        assert!((nav[3] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drawdown_of_monotone_curve_is_zero() {
+        let nav = nav_curve(&[0.01; 20]);
+        assert_eq!(max_drawdown(&nav), 0.0);
+    }
+
+    #[test]
+    fn drawdown_catches_crash() {
+        let nav = vec![1.0, 2.0, 1.0, 3.0];
+        assert!((max_drawdown(&nav) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_wire_through() {
+        let rets = [0.01, -0.02, 0.03, 0.0, 0.01];
+        let s = EquityStats::from_returns(&rets);
+        assert_eq!(s.days, 5);
+        assert!((s.sharpe - sharpe_ratio(&rets)).abs() < 1e-12);
+        let nav = nav_curve(&rets);
+        assert!((s.total_return - (nav[5] - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_returns() {
+        let s = EquityStats::from_returns(&[]);
+        assert_eq!(s.total_return, 0.0);
+        assert_eq!(s.days, 0);
+        assert_eq!(s.sharpe, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Long-short portfolio backtesting and evaluation metrics for AlphaEvolve.
+//!
+//! Implements §5.3 of the paper:
+//!
+//! * the **long-short trading strategy** — long the stocks with the top-k
+//!   predicted returns, short the bottom-k, balanced against a cash
+//!   position ([`portfolio`]);
+//! * the **Sharpe ratio** of the resulting portfolio-return series,
+//!   annualized over 252 trading days with a zero risk-free rate
+//!   ([`metrics::sharpe_ratio`]);
+//! * the **Information Coefficient** (Eq. 1) — the mean over days of the
+//!   cross-sectional Pearson correlation between predictions and realized
+//!   returns ([`metrics::information_coefficient`]);
+//! * the **portfolio-return correlation** used for the 15% weak-correlation
+//!   cutoff between alphas ([`correlation`]).
+//!
+//! The crate is deliberately free of any dependency on the alpha DSL: it
+//! consumes plain prediction/return matrices so the GP and neural baselines
+//! are scored by exactly the same code path.
+//!
+//! ```
+//! use alphaevolve_backtest::{portfolio::{LongShortConfig, long_short_returns}, metrics};
+//!
+//! // Two days, four stocks. Predictions rank stock 3 highest, stock 0 lowest.
+//! let preds = vec![vec![-0.9, 0.1, 0.2, 0.8], vec![-0.5, 0.0, 0.1, 0.6]];
+//! let rets  = vec![vec![-0.02, 0.00, 0.01, 0.03], vec![-0.01, 0.00, 0.00, 0.02]];
+//! let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+//! let rp = long_short_returns(&preds, &rets, &cfg);
+//! assert!(rp.iter().all(|r| *r > 0.0)); // long winners, short losers
+//! let ic = metrics::information_coefficient(&preds, &rets);
+//! assert!(ic > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod equity;
+pub mod metrics;
+pub mod portfolio;
+pub mod report;
+
+pub use correlation::return_correlation;
+pub use equity::EquityStats;
+pub use metrics::{information_coefficient, sharpe_ratio};
+pub use portfolio::{long_short_returns, LongShortConfig};

@@ -1,0 +1,229 @@
+//! Statistical metrics: Pearson/Spearman correlation, IC, Sharpe ratio.
+
+/// Trading days per year used for annualization (paper §5.3).
+pub const TRADING_DAYS_PER_YEAR: f64 = 252.0;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (ddof = 1); 0 when fewer than two points.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Sample Pearson correlation. Returns 0 when either side has zero
+/// variance, is empty, or lengths mismatch — degenerate cross-sections
+/// contribute nothing to the IC rather than poisoning it with NaN.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.is_empty() {
+        return 0.0;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 || !(vx.is_finite() && vy.is_finite()) {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Fractional ranks in `[0, n-1]` with ties sharing their average rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on fractional ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Daily cross-sectional Pearson correlations between predictions and
+/// realized returns — the per-day terms of the paper's Eq. 1.
+///
+/// `preds[d]` and `rets[d]` are the cross-sections on day `d`. Days where a
+/// prediction is non-finite for some stock are scored with those stocks
+/// excluded.
+pub fn daily_ic_series(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> Vec<f64> {
+    preds
+        .iter()
+        .zip(rets.iter())
+        .map(|(p, r)| {
+            if p.iter().all(|x| x.is_finite()) {
+                pearson(p, r)
+            } else {
+                let (fp, fr): (Vec<f64>, Vec<f64>) = p
+                    .iter()
+                    .zip(r.iter())
+                    .filter(|(x, _)| x.is_finite())
+                    .map(|(&x, &y)| (x, y))
+                    .unzip();
+                pearson(&fp, &fr)
+            }
+        })
+        .collect()
+}
+
+/// Information Coefficient (paper Eq. 1): the mean of
+/// [`daily_ic_series`].
+pub fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+    mean(&daily_ic_series(preds, rets))
+}
+
+/// Rank IC: mean daily Spearman correlation.
+pub fn rank_information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+    let daily: Vec<f64> = preds.iter().zip(rets.iter()).map(|(p, r)| spearman(p, r)).collect();
+    mean(&daily)
+}
+
+/// IC information ratio: mean(daily IC) / std(daily IC). A stability
+/// measure often reported alongside IC.
+pub fn icir(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+    let daily = daily_ic_series(preds, rets);
+    let s = sample_std(&daily);
+    if s == 0.0 {
+        0.0
+    } else {
+        mean(&daily) / s
+    }
+}
+
+/// Annualized Sharpe ratio with zero risk-free rate (paper §5.3):
+/// `mean(Rp)/std(Rp) · sqrt(252)`. Returns 0 for constant or empty series.
+pub fn sharpe_ratio(portfolio_returns: &[f64]) -> f64 {
+    let m = mean(portfolio_returns);
+    let s = sample_std(portfolio_returns);
+    // Relative epsilon: a numerically-constant series has no real risk or
+    // edge, so its Sharpe is reported as 0 rather than an fp artifact.
+    if s <= 1e-12 * m.abs().max(1.0) {
+        return 0.0;
+    }
+    m / s * TRADING_DAYS_PER_YEAR.sqrt()
+}
+
+/// Annualized mean return (arithmetic).
+pub fn annualized_return(portfolio_returns: &[f64]) -> f64 {
+    mean(portfolio_returns) * TRADING_DAYS_PER_YEAR
+}
+
+/// Annualized volatility.
+pub fn annualized_vol(portfolio_returns: &[f64]) -> f64 {
+    sample_std(portfolio_returns) * TRADING_DAYS_PER_YEAR.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let x = [1.0, 5.0, 2.0, 9.0];
+        let y = [10.0, 500.0, 20.0, 900.0]; // same ordering, nonlinear
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_mixes_days() {
+        let preds = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        let rets = vec![vec![0.1, 0.2, 0.3], vec![0.1, 0.2, 0.3]];
+        // Day 0 corr = +1, day 1 corr = -1 -> IC = 0.
+        assert!(information_coefficient(&preds, &rets).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_skips_non_finite_predictions() {
+        let preds = vec![vec![1.0, f64::NAN, 3.0, 4.0]];
+        let rets = vec![vec![0.1, 9.0, 0.3, 0.4]];
+        let ic = information_coefficient(&preds, &rets);
+        assert!((ic - 1.0).abs() < 1e-9, "finite subset is perfectly correlated, got {ic}");
+    }
+
+    #[test]
+    fn sharpe_scales_with_sqrt_252() {
+        let rets = [0.01, 0.02, 0.00, 0.015, 0.005];
+        let daily = mean(&rets) / sample_std(&rets);
+        assert!((sharpe_ratio(&rets) - daily * 252f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharpe_invariant_to_scaling() {
+        let rets = [0.01, -0.02, 0.03, 0.01, -0.005];
+        let scaled: Vec<f64> = rets.iter().map(|r| r * 7.0).collect();
+        assert!((sharpe_ratio(&rets) - sharpe_ratio(&scaled)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharpe_of_constant_series_is_zero() {
+        assert_eq!(sharpe_ratio(&[0.01; 10]), 0.0);
+        assert_eq!(sharpe_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn icir_positive_for_stable_signal() {
+        let preds = vec![vec![1.0, 2.0, 3.0]; 5];
+        let rets: Vec<Vec<f64>> =
+            (0..5).map(|d| vec![0.01 * d as f64, 0.02 + 0.01 * d as f64, 0.03 + 0.01 * d as f64]).collect();
+        assert!(icir(&preds, &rets) > 0.0 || sample_std(&daily_ic_series(&preds, &rets)) == 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's long-short trading strategy (§5.3).
+//!
+//! At each day `t` the strategy ranks all stocks by predicted return, buys
+//! the top `k_long` (long position `V_l`), borrows and sells the bottom
+//! `k_short` (short position `V_s`), and balances both books against a cash
+//! position so the ratio between the books stays fixed ("we want to stick
+//! to a fixed investment plan"). Books are equal-weighted within.
+//!
+//! With equal books rebalanced daily, the daily portfolio return is
+//!
+//! ```text
+//! R_p[t] = (mean return of longs − mean return of shorts) / 2
+//! ```
+//!
+//! i.e. each side commits half the capital. `NAV_t = V_l + V_s − C_t`
+//! compounds these returns (see [`crate::equity`]).
+
+/// Long/short book sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongShortConfig {
+    /// Number of stocks bought (top of the prediction ranking).
+    pub k_long: usize,
+    /// Number of stocks shorted (bottom of the ranking).
+    pub k_short: usize,
+}
+
+impl LongShortConfig {
+    /// The paper's 50/50 books.
+    pub fn paper() -> Self {
+        LongShortConfig { k_long: 50, k_short: 50 }
+    }
+
+    /// Books scaled to a universe of `n` stocks: `max(1, n/10)` per side,
+    /// capped at the paper's 50. Matches the paper proportionally when the
+    /// synthetic universe is smaller than NASDAQ's 1026 names.
+    pub fn scaled(n: usize) -> Self {
+        let k = (n / 10).clamp(1, 50);
+        LongShortConfig { k_long: k, k_short: k }
+    }
+}
+
+/// Stock indices sorted by prediction, best first. Non-finite predictions
+/// are excluded (those stocks are untradeable that day). Ties break by
+/// stock index for determinism.
+fn ranking(preds: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..preds.len()).filter(|&i| preds[i].is_finite()).collect();
+    idx.sort_by(|&a, &b| {
+        preds[b].partial_cmp(&preds[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Portfolio return realized on one day given that day's predictions and
+/// realized stock returns.
+pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> f64 {
+    assert_eq!(preds.len(), rets.len(), "prediction/return cross-sections must align");
+    let order = ranking(preds);
+    if order.is_empty() {
+        return 0.0;
+    }
+    let kl = cfg.k_long.min(order.len());
+    let ks = cfg.k_short.min(order.len());
+    if kl == 0 && ks == 0 {
+        return 0.0;
+    }
+    let long: f64 = order[..kl].iter().map(|&i| rets[i]).sum::<f64>() / kl.max(1) as f64;
+    let short: f64 =
+        order[order.len() - ks..].iter().map(|&i| rets[i]).sum::<f64>() / ks.max(1) as f64;
+    (long - short) / 2.0
+}
+
+/// Daily portfolio-return series over a panel of prediction/return
+/// cross-sections (`preds[d][stock]`, `rets[d][stock]`).
+pub fn long_short_returns(preds: &[Vec<f64>], rets: &[Vec<f64>], cfg: &LongShortConfig) -> Vec<f64> {
+    assert_eq!(preds.len(), rets.len(), "panel day counts must align");
+    preds.iter().zip(rets.iter()).map(|(p, r)| single_day_return(p, r, cfg)).collect()
+}
+
+/// The stocks held long and short on one day (for inspection/examples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Positions {
+    /// Indices of long holdings, best-ranked first.
+    pub long: Vec<usize>,
+    /// Indices of short holdings, worst-ranked first.
+    pub short: Vec<usize>,
+}
+
+/// Computes the books for one day without scoring them.
+pub fn positions(preds: &[f64], cfg: &LongShortConfig) -> Positions {
+    let order = ranking(preds);
+    let kl = cfg.k_long.min(order.len());
+    let ks = cfg.k_short.min(order.len());
+    let long = order[..kl].to_vec();
+    let mut short = order[order.len() - ks..].to_vec();
+    short.reverse();
+    Positions { long, short }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_foresight_earns_spread() {
+        let rets = vec![-0.04, -0.01, 0.0, 0.01, 0.05];
+        let preds = rets.clone(); // oracle
+        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        let r = single_day_return(&preds, &rets, &cfg);
+        assert!((r - (0.05 - (-0.04)) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_predictions_lose() {
+        let rets = vec![-0.04, -0.01, 0.0, 0.01, 0.05];
+        let preds: Vec<f64> = rets.iter().map(|r| -r).collect();
+        let cfg = LongShortConfig { k_long: 2, k_short: 2 };
+        assert!(single_day_return(&preds, &rets, &cfg) < 0.0);
+    }
+
+    #[test]
+    fn equal_books_make_market_neutral() {
+        // Add a constant to every stock return: a dollar-neutral portfolio
+        // must be unaffected.
+        let preds = vec![0.4, -0.2, 0.1, 0.3, -0.5, 0.0];
+        let rets = vec![0.01, -0.02, 0.005, 0.02, -0.03, 0.0];
+        let shifted: Vec<f64> = rets.iter().map(|r| r + 0.05).collect();
+        let cfg = LongShortConfig { k_long: 2, k_short: 2 };
+        let a = single_day_return(&preds, &rets, &cfg);
+        let b = single_day_return(&preds, &shifted, &cfg);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_predictions_are_untradeable() {
+        let preds = vec![f64::NAN, 1.0, -1.0, f64::INFINITY];
+        let rets = vec![100.0, 0.01, -0.01, 100.0];
+        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        // INFINITY is non-finite -> excluded; NAN excluded. Books: long 1, short 2.
+        let r = single_day_return(&preds, &rets, &cfg);
+        assert!((r - (0.01 - (-0.01)) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_universe_clamps_books() {
+        let preds = vec![1.0, -1.0];
+        let rets = vec![0.02, -0.02];
+        let cfg = LongShortConfig { k_long: 50, k_short: 50 };
+        // Both books take the whole universe: long and short overlap fully,
+        // return = (mean - mean)/2 = 0.
+        let r = single_day_return(&preds, &rets, &cfg);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn positions_ordering() {
+        let preds = vec![0.3, -0.7, 0.9, 0.0];
+        let p = positions(&preds, &LongShortConfig { k_long: 2, k_short: 1 });
+        assert_eq!(p.long, vec![2, 0]);
+        assert_eq!(p.short, vec![1]);
+    }
+
+    #[test]
+    fn scaled_config() {
+        assert_eq!(LongShortConfig::scaled(1026), LongShortConfig { k_long: 50, k_short: 50 });
+        assert_eq!(LongShortConfig::scaled(100), LongShortConfig { k_long: 10, k_short: 10 });
+        assert_eq!(LongShortConfig::scaled(5), LongShortConfig { k_long: 1, k_short: 1 });
+    }
+
+    #[test]
+    fn series_length_matches_days() {
+        let preds = vec![vec![1.0, -1.0, 0.0]; 7];
+        let rets = vec![vec![0.01, -0.01, 0.0]; 7];
+        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        assert_eq!(long_short_returns(&preds, &rets, &cfg).len(), 7);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let preds = vec![0.5, 0.5, 0.5, 0.5];
+        let a = positions(&preds, &LongShortConfig { k_long: 2, k_short: 2 });
+        let b = positions(&preds, &LongShortConfig { k_long: 2, k_short: 2 });
+        assert_eq!(a, b);
+        assert_eq!(a.long, vec![0, 1]);
+    }
+}

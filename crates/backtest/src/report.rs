@@ -1,0 +1,160 @@
+//! Fixed-width table formatting for experiment output.
+//!
+//! The experiment harness prints tables in the visual style of the paper
+//! (six-decimal metrics, `NA` for absent entries). Kept here so every crate
+//! reports through one code path.
+
+/// A cell value: text, a six-decimal metric, or `NA`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Verbatim text.
+    Text(String),
+    /// A metric formatted to six decimals, as in the paper's tables.
+    Num(f64),
+    /// A `mean ± std` pair.
+    NumStd(f64, f64),
+    /// Not applicable (paper prints "NA").
+    Na,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(x) => format!("{x:.6}"),
+            Cell::NumStd(m, s) => format!("{m:.6}+/-{s:.6}"),
+            Cell::Na => "NA".to_string(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Num(x)
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(x: Option<f64>) -> Self {
+        x.map_or(Cell::Na, Cell::Num)
+    }
+}
+
+/// A simple fixed-width table with a title, headers and rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the header count.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut cols: Vec<Vec<String>> = vec![Vec::new(); self.headers.len()];
+        for (c, h) in self.headers.iter().enumerate() {
+            cols[c].push(h.clone());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                cols[c].push(cell.render());
+            }
+        }
+        let widths: Vec<usize> =
+            cols.iter().map(|c| c.iter().map(String::len).max().unwrap_or(0)).collect();
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for r in 0..=self.rows.len() {
+            let line: Vec<String> =
+                (0..self.headers.len()).map(|c| format!("{:<w$}", cols[c][r], w = widths[c])).collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if r == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["Alpha", "Sharpe", "IC"]);
+        t.row(vec!["alpha_AE_D_0".into(), 21.323797.into(), 0.067358.into()]);
+        t.row(vec!["alpha_G_0".into(), Cell::Na, Cell::Num(0.048853)]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("21.323797"));
+        assert!(s.contains("NA"));
+        // Columns aligned: all lines equal width up to trailing trim.
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec![Cell::NumStd(5.385036, 1.608296), Cell::Num(1.0)]);
+        let csv = t.to_csv();
+        assert!(csv.contains("5.385036+/-1.608296"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec![Cell::Na]);
+    }
+}

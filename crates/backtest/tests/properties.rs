@@ -1,0 +1,122 @@
+//! Property-based tests of the metric and portfolio invariants.
+
+use proptest::prelude::*;
+
+use alphaevolve_backtest::correlation::{correlation_matrix, CorrelationGate};
+use alphaevolve_backtest::equity::{max_drawdown, nav_curve};
+use alphaevolve_backtest::metrics::{pearson, ranks, sharpe_ratio, spearman};
+use alphaevolve_backtest::portfolio::{positions, single_day_return, LongShortConfig};
+
+fn vecs(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-0.2f64..0.2, len)
+}
+
+proptest! {
+    /// Pearson correlation is bounded, symmetric, and scale-invariant.
+    #[test]
+    fn pearson_properties(x in vecs(2..40), scale in 0.1f64..10.0) {
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        let r = pearson(&x, &y);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        prop_assert!((r - pearson(&y, &x)).abs() < 1e-12, "symmetry");
+        let xs: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        prop_assert!((pearson(&xs, &y) - r).abs() < 1e-9, "scale invariance");
+    }
+
+    /// Spearman only depends on ranks: any strictly monotone transform of
+    /// the inputs leaves it unchanged.
+    #[test]
+    fn spearman_monotone_invariance(x in vecs(3..30)) {
+        let y: Vec<f64> = x.iter().map(|v| v + 0.01).collect();
+        let a = spearman(&x, &y);
+        let fx: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        let b = spearman(&fx, &y);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Fractional ranks are a permutation-equivariant map into [0, n-1].
+    #[test]
+    fn ranks_bounds_and_sum(x in vecs(1..30)) {
+        let r = ranks(&x);
+        let n = x.len() as f64;
+        for &v in &r {
+            prop_assert!((0.0..=n - 1.0).contains(&v));
+        }
+        // Ranks (with average ties) always sum to n(n-1)/2.
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n - 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    /// Sharpe is invariant under positive scaling of the return series.
+    #[test]
+    fn sharpe_scale_invariance(x in vecs(3..50), scale in 0.01f64..100.0) {
+        let scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let a = sharpe_ratio(&x);
+        let b = sharpe_ratio(&scaled);
+        prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+    }
+
+    /// A dollar-neutral equal-book portfolio is immune to market-wide
+    /// shifts in returns.
+    #[test]
+    fn long_short_market_neutrality(
+        preds in vecs(6..30),
+        rets_seed in vecs(6..30),
+        shift in -0.1f64..0.1,
+        k in 1usize..4,
+    ) {
+        let n = preds.len().min(rets_seed.len());
+        let preds = &preds[..n];
+        let rets = &rets_seed[..n];
+        let cfg = LongShortConfig { k_long: k, k_short: k };
+        let base = single_day_return(preds, rets, &cfg);
+        let shifted: Vec<f64> = rets.iter().map(|r| r + shift).collect();
+        let moved = single_day_return(preds, &shifted, &cfg);
+        prop_assert!((base - moved).abs() < 1e-12);
+    }
+
+    /// Books never overlap in size beyond the universe and never contain
+    /// non-finite-prediction stocks.
+    #[test]
+    fn positions_well_formed(preds in vecs(1..40), k in 1usize..60) {
+        let cfg = LongShortConfig { k_long: k, k_short: k };
+        let p = positions(&preds, &cfg);
+        prop_assert!(p.long.len() <= preds.len());
+        prop_assert!(p.short.len() <= preds.len());
+        for &i in p.long.iter().chain(&p.short) {
+            prop_assert!(preds[i].is_finite());
+        }
+    }
+
+    /// NAV compounding: nav[t+1]/nav[t] - 1 recovers the return series.
+    #[test]
+    fn nav_recovers_returns(rets in vecs(1..50)) {
+        let nav = nav_curve(&rets);
+        for (t, &r) in rets.iter().enumerate() {
+            prop_assert!((nav[t + 1] / nav[t] - 1.0 - r).abs() < 1e-9);
+        }
+        prop_assert!(max_drawdown(&nav) >= 0.0);
+    }
+
+    /// Correlation matrices are symmetric with a unit diagonal, and the
+    /// gate accepts exactly the series whose max correlation is below the
+    /// cutoff.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gate_consistent_with_matrix(series in prop::collection::vec(vecs(8..9), 2..5)) {
+        let m = correlation_matrix(&series);
+        for i in 0..m.len() {
+            prop_assert!((m[i][i] - 1.0).abs() < 1e-9);
+            for j in 0..m.len() {
+                prop_assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        let mut gate = CorrelationGate::new(0.15);
+        for s in &series[..series.len() - 1] {
+            gate.accept(s.clone());
+        }
+        let candidate = &series[series.len() - 1];
+        let max_corr = gate.max_correlation(candidate);
+        prop_assert_eq!(gate.passes(candidate), max_corr <= 0.15);
+    }
+}

@@ -1,0 +1,54 @@
+//! Backtesting and metric throughput: long-short portfolio construction,
+//! IC computation, and the correlation gate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
+use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
+
+fn panel(rng: &mut SmallRng, days: usize, stocks: usize) -> Vec<Vec<f64>> {
+    (0..days).map(|_| (0..stocks).map(|_| rng.gen_range(-0.05..0.05)).collect()).collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(6);
+    // Paper-scale cross-section: 1026 stocks, 116 validation days.
+    let preds = panel(&mut rng, 116, 1026);
+    let rets = panel(&mut rng, 116, 1026);
+    let cfg = LongShortConfig::paper();
+
+    c.bench_function("backtest/long_short_116d_1026stocks", |b| {
+        b.iter(|| long_short_returns(std::hint::black_box(&preds), &rets, &cfg))
+    });
+    c.bench_function("backtest/ic_116d_1026stocks", |b| {
+        b.iter(|| information_coefficient(std::hint::black_box(&preds), &rets))
+    });
+
+    let returns = long_short_returns(&preds, &rets, &cfg);
+    c.bench_function("backtest/sharpe_116d", |b| {
+        b.iter(|| sharpe_ratio(std::hint::black_box(&returns)))
+    });
+
+    let mut gate = CorrelationGate::paper();
+    for _ in 0..10 {
+        gate.accept((0..116).map(|_| rng.gen_range(-0.02..0.02)).collect());
+    }
+    c.bench_function("backtest/gate_check_vs_10_alphas", |b| {
+        b.iter(|| gate.passes(std::hint::black_box(&returns)))
+    });
+}
+
+criterion_group! {
+    name = backtest;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1000));
+    targets = benches
+}
+criterion_main!(backtest);

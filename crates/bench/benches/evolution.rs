@@ -1,0 +1,49 @@
+//! Evolution-loop throughput: mutation cost and end-to-end candidates per
+//! second, with and without the §4.2 pruning pipeline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_bench::tiny_dataset;
+use alphaevolve_core::{
+    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig, MutationConfig,
+    Mutator,
+};
+
+fn benches(c: &mut Criterion) {
+    let cfg = AlphaConfig::default();
+    let mutator = Mutator::new(cfg, MutationConfig::default());
+    let parent = init::two_layer_nn(&cfg);
+    c.bench_function("evolution/mutate_nn_parent", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| mutator.mutate(&mut rng, std::hint::black_box(&parent)))
+    });
+
+    let evaluator = Evaluator::new(cfg, EvalOptions::default(), tiny_dataset());
+    let econfig = EvolutionConfig {
+        population_size: 20,
+        tournament_size: 5,
+        budget: Budget::Searched(150),
+        seed: 1,
+        ..Default::default()
+    };
+    c.bench_function("evolution/150_candidates_with_pruning", |b| {
+        b.iter(|| Evolution::new(&evaluator, econfig.clone()).run(&parent))
+    });
+    c.bench_function("evolution/150_candidates_no_pruning", |b| {
+        b.iter(|| Evolution::new(&evaluator, econfig.clone()).without_pruning().run(&parent))
+    });
+}
+
+criterion_group! {
+    name = evolution;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    targets = benches
+}
+criterion_main!(evolution);

@@ -1,0 +1,48 @@
+//! Genetic-algorithm baseline throughput: tree evaluation and full
+//! generations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_bench::tiny_dataset;
+use alphaevolve_gp::{ExprSampler, GeneticOps, GpBudget, GpConfig, GpEngine, GpProbabilities};
+
+fn benches(c: &mut Criterion) {
+    let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.15 };
+    let mut rng = SmallRng::seed_from_u64(2);
+    let tree = sampler.tree(&mut rng, 6, false);
+    c.bench_function("gp/eval_tree_once", |b| {
+        b.iter(|| tree.eval(&|row, lag| std::hint::black_box((row + lag) as f64 * 0.01)))
+    });
+
+    let ops = GeneticOps {
+        sampler,
+        probs: GpProbabilities::default(),
+        max_size: 64,
+        new_subtree_depth: 4,
+    };
+    let other = sampler.tree(&mut rng, 6, true);
+    c.bench_function("gp/crossover", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| ops.crossover(&mut rng, std::hint::black_box(&tree), &other))
+    });
+
+    let dataset = tiny_dataset();
+    let config = GpConfig { population_size: 30, budget: GpBudget::Generations(3), ..Default::default() };
+    c.bench_function("gp/3_generations_pop30", |b| {
+        b.iter(|| GpEngine::new(&dataset, config.clone()).run())
+    });
+}
+
+criterion_group! {
+    name = gp;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(gp);

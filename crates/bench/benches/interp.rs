@@ -1,0 +1,51 @@
+//! Interpreter and evaluator throughput: full candidate evaluations and
+//! single lockstep days, for formulaic (stateless) vs parameterized
+//! (stateful) alphas — quantifying the stateless-skip optimization called
+//! out in `DESIGN.md` §5.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alphaevolve_bench::{bench_dataset, bench_evaluator};
+use alphaevolve_core::{init, GroupIndex, Interpreter};
+
+fn benches(c: &mut Criterion) {
+    let evaluator = bench_evaluator();
+    let cfg = *evaluator.config();
+    let expert = init::domain_expert(&cfg);
+    let nn = init::two_layer_nn(&cfg);
+
+    c.bench_function("interp/evaluate_formulaic_alpha", |b| {
+        b.iter(|| evaluator.evaluate(std::hint::black_box(&expert)))
+    });
+    c.bench_function("interp/evaluate_formulaic_no_skip", |b| {
+        b.iter(|| evaluator.evaluate_opt(std::hint::black_box(&expert), false))
+    });
+    c.bench_function("interp/evaluate_nn_alpha_with_training", |b| {
+        b.iter(|| evaluator.evaluate(std::hint::black_box(&nn)))
+    });
+    c.bench_function("interp/full_backtest_nn", |b| {
+        b.iter(|| evaluator.backtest(std::hint::black_box(&nn)))
+    });
+
+    let dataset = bench_dataset();
+    let groups = GroupIndex::from_universe(dataset.universe());
+    let day = dataset.valid_days().start;
+    c.bench_function("interp/predict_one_day_lockstep", |b| {
+        let mut interp = Interpreter::new(&cfg, &dataset, &groups, 0);
+        interp.run_setup(&nn);
+        let mut out = vec![0.0; dataset.n_stocks()];
+        b.iter(|| interp.predict_day(std::hint::black_box(&nn), day, &mut out))
+    });
+}
+
+criterion_group! {
+    name = interp;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(interp);

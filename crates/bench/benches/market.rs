@@ -1,0 +1,41 @@
+//! Market-substrate throughput: synthetic generation, feature pipeline,
+//! dataset construction, window extraction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alphaevolve_market::{
+    features::FeatureSet, generator::MarketConfig, Dataset, FeaturePanel, SplitSpec,
+};
+
+fn benches(c: &mut Criterion) {
+    let cfg = MarketConfig { n_stocks: 100, n_days: 560, seed: 1, ..Default::default() };
+    c.bench_function("market/generate_100x560", |b| b.iter(|| cfg.generate()));
+
+    let market = cfg.generate();
+    let features = FeatureSet::paper();
+    c.bench_function("market/features_13x100x560", |b| {
+        b.iter(|| FeaturePanel::build(std::hint::black_box(&market), &features))
+    });
+    c.bench_function("market/dataset_build", |b| {
+        b.iter(|| Dataset::build(std::hint::black_box(&market), &features, SplitSpec::paper_ratios()))
+    });
+
+    let dataset = Dataset::build(&market, &features, SplitSpec::paper_ratios()).unwrap();
+    let mut x = vec![0.0; dataset.n_features() * dataset.window()];
+    let day = dataset.valid_days().start;
+    c.bench_function("market/fill_window_13x13", |b| {
+        b.iter(|| dataset.fill_window(std::hint::black_box(50), day, &mut x))
+    });
+}
+
+criterion_group! {
+    name = market;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(market);

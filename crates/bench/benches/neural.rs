@@ -1,0 +1,60 @@
+//! Neural-baseline throughput: LSTM forward/BPTT micro-costs and one
+//! Rank_LSTM / RSR training epoch at toy scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_bench::tiny_dataset;
+use alphaevolve_neural::graph::RelationLevel;
+use alphaevolve_neural::lstm::{Lstm, LstmCache, LstmDims};
+use alphaevolve_neural::tensor::ParamStore;
+use alphaevolve_neural::{RankLstm, RankLstmConfig, Rsr, RsrConfig};
+
+fn benches(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 4, hidden: 32 });
+    let xs: Vec<Vec<f64>> = (0..8).map(|t| vec![0.1 * t as f64; 4]).collect();
+    c.bench_function("neural/lstm_forward_seq8_h32", |b| {
+        let mut cache = LstmCache::default();
+        b.iter(|| lstm.forward(&store, std::hint::black_box(&xs), &mut cache))
+    });
+    c.bench_function("neural/lstm_bptt_seq8_h32", |b| {
+        let mut cache = LstmCache::default();
+        lstm.forward(&store, &xs, &mut cache);
+        let dh = vec![1.0; 32];
+        b.iter(|| {
+            store.zero_grads();
+            lstm.backward(&mut store, &cache, std::hint::black_box(&dh));
+        })
+    });
+
+    let dataset = tiny_dataset();
+    let rl_cfg = RankLstmConfig { hidden: 8, seq_len: 4, epochs: 1, ..Default::default() };
+    c.bench_function("neural/rank_lstm_one_epoch_tiny", |b| {
+        b.iter(|| {
+            let mut model = RankLstm::new(rl_cfg.clone());
+            model.train(&dataset)
+        })
+    });
+    let rsr_cfg = RsrConfig { base: rl_cfg.clone(), level: RelationLevel::Industry };
+    c.bench_function("neural/rsr_one_epoch_tiny", |b| {
+        b.iter(|| {
+            let mut model = Rsr::new(rsr_cfg.clone(), &dataset);
+            model.train(&dataset)
+        })
+    });
+}
+
+criterion_group! {
+    name = neural;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = benches
+}
+criterion_main!(neural);

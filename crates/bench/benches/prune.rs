@@ -1,0 +1,44 @@
+//! Pruning and fingerprinting cost — the §4.2 machinery must be orders of
+//! magnitude cheaper than one evaluation for Table 6's economics to work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_core::fingerprint::{fingerprint, fingerprint_raw};
+use alphaevolve_core::{canonicalize, init, prune, AlphaConfig};
+
+fn benches(c: &mut Criterion) {
+    let cfg = AlphaConfig::default();
+    let nn = init::two_layer_nn(&cfg);
+    let mut rng = SmallRng::seed_from_u64(5);
+    // A max-size random program: worst case for the liveness fixpoint.
+    let big = init::random_alpha(&cfg, &mut rng, 21, 21, 45);
+
+    c.bench_function("prune/nn_alpha", |b| b.iter(|| prune(std::hint::black_box(&nn))));
+    c.bench_function("prune/max_size_random", |b| b.iter(|| prune(std::hint::black_box(&big))));
+    c.bench_function("prune/canonicalize_nn", |b| {
+        b.iter(|| canonicalize(std::hint::black_box(&nn), &cfg))
+    });
+    c.bench_function("fingerprint/full_pipeline_nn", |b| {
+        b.iter(|| fingerprint(std::hint::black_box(&nn), &cfg))
+    });
+    c.bench_function("fingerprint/full_pipeline_max_size", |b| {
+        b.iter(|| fingerprint(std::hint::black_box(&big), &cfg))
+    });
+    c.bench_function("fingerprint/raw_only_max_size", |b| {
+        b.iter(|| fingerprint_raw(std::hint::black_box(&big)))
+    });
+}
+
+criterion_group! {
+    name = prune_benches;
+    config = Criterion::default()
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+criterion_main!(prune_benches);

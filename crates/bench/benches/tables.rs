@@ -1,0 +1,121 @@
+//! Reduced-scale benches mapped to each paper table/figure, exercising the
+//! same code paths the `experiments` binary drives at full scale. One
+//! bench per experiment, as indexed in `DESIGN.md` §4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_bench::tiny_dataset;
+use alphaevolve_core::{
+    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve_gp::{GpBudget, GpConfig, GpEngine};
+use alphaevolve_neural::{RankLstm, RankLstmConfig};
+
+fn mini_evolution(evaluator: &Evaluator, budget: Budget, gate: &CorrelationGate) -> alphaevolve_core::EvolutionOutcome {
+    let econfig = EvolutionConfig {
+        population_size: 20,
+        tournament_size: 5,
+        budget,
+        seed: 1,
+        ..Default::default()
+    };
+    Evolution::new(evaluator, econfig).with_gate(gate).run(&init::domain_expert(evaluator.config()))
+}
+
+fn benches(c: &mut Criterion) {
+    let dataset = tiny_dataset();
+    let evaluator = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), dataset.clone());
+
+    // Table 1: one gated AE round + one gated GP round vs the expert alpha.
+    c.bench_function("table1/gated_round_pair", |b| {
+        b.iter(|| {
+            let expert = init::domain_expert(evaluator.config());
+            let seed_eval = evaluator.evaluate(&expert);
+            let mut gate = CorrelationGate::paper();
+            gate.accept(seed_eval.val_returns);
+            let ae = mini_evolution(&evaluator, Budget::Searched(100), &gate);
+            let gp = GpEngine::new(
+                &dataset,
+                GpConfig { population_size: 20, budget: GpBudget::Generations(2), ..Default::default() },
+            )
+            .with_gate(&gate)
+            .run();
+            (ae.stats.searched, gp.stats.evaluated)
+        })
+    });
+
+    // Tables 2/3 + Figure 6: two accumulating-cutoff rounds (the rounds
+    // driver's inner shape: mine, accept, re-mine under the gate).
+    c.bench_function("table2_3_fig6/two_gated_rounds", |b| {
+        b.iter(|| {
+            let mut gate = CorrelationGate::paper();
+            let r0 = mini_evolution(&evaluator, Budget::Searched(80), &gate);
+            if let Some(best) = &r0.best {
+                gate.accept(best.val_returns.clone());
+            }
+            let r1 = mini_evolution(&evaluator, Budget::Searched(80), &gate);
+            (r0.trajectory.len(), r1.trajectory.len())
+        })
+    });
+
+    // Table 4: parameter-updating-function ablation (same alpha scored
+    // with and without Update()).
+    let nn = init::two_layer_nn(evaluator.config());
+    let ablated = evaluator.with_options(EvalOptions { run_update: false, ..Default::default() });
+    c.bench_function("table4/update_ablation_pair", |b| {
+        b.iter(|| {
+            let with = evaluator.evaluate(std::hint::black_box(&nn));
+            let without = ablated.evaluate(std::hint::black_box(&nn));
+            (with.ic, without.ic)
+        })
+    });
+
+    // Table 5: one Rank_LSTM training + test sweep (the neural row).
+    c.bench_function("table5/rank_lstm_train_and_score", |b| {
+        b.iter(|| {
+            let mut model = RankLstm::new(RankLstmConfig {
+                hidden: 8,
+                seq_len: 4,
+                epochs: 1,
+                ..Default::default()
+            });
+            model.train(&dataset);
+            model.predictions(&dataset, dataset.test_days())
+        })
+    });
+
+    // Table 6: equal-budget searched-candidate counts with and without the
+    // §4.2 pruning pipeline.
+    let gate = CorrelationGate::paper();
+    c.bench_function("table6/pruned_vs_unpruned_search", |b| {
+        b.iter(|| {
+            let econfig = EvolutionConfig {
+                population_size: 20,
+                tournament_size: 5,
+                budget: Budget::Searched(80),
+                seed: 2,
+                ..Default::default()
+            };
+            let seed_prog = init::domain_expert(evaluator.config());
+            let with = Evolution::new(&evaluator, econfig.clone()).with_gate(&gate).run(&seed_prog);
+            let without = Evolution::new(&evaluator, econfig)
+                .with_gate(&gate)
+                .without_pruning()
+                .run(&seed_prog);
+            (with.stats.evaluated, without.stats.evaluated)
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(3000));
+    targets = benches
+}
+criterion_main!(tables);

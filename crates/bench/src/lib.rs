@@ -1,0 +1,34 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Every bench target uses these helpers so sizes stay consistent and
+//! fast: benches measure *relative* costs (op dispatch, pruning overhead,
+//! evaluation throughput), not paper-scale absolute numbers — those come
+//! from the `experiments` binary.
+
+use std::sync::Arc;
+
+use alphaevolve_core::{AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+
+/// A small but realistic dataset: 24 stocks, 160 days, paper features.
+pub fn bench_dataset() -> Arc<Dataset> {
+    let market = MarketConfig { n_stocks: 24, n_days: 160, seed: 99, ..Default::default() }.generate();
+    Arc::new(
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
+            .expect("bench dataset builds"),
+    )
+}
+
+/// An evaluator over [`bench_dataset`] with default paper configuration.
+pub fn bench_evaluator() -> Evaluator {
+    Evaluator::new(AlphaConfig::default(), EvalOptions::default(), bench_dataset())
+}
+
+/// A tiny dataset for end-to-end loops (12 stocks, 120 days).
+pub fn tiny_dataset() -> Arc<Dataset> {
+    let market = MarketConfig { n_stocks: 12, n_days: 120, seed: 7, ..Default::default() }.generate();
+    Arc::new(
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
+            .expect("tiny dataset builds"),
+    )
+}

@@ -1,0 +1,271 @@
+//! Structural analysis of evolved alphas (paper §5.4.2).
+//!
+//! The paper studies each mined alpha by decomposing its equations into
+//! three parts: **M** (the prediction computation used in both training and
+//! inference), **P** (predict-side recursions that keep running at
+//! inference), and **U** (the parameter-updating function that only runs in
+//! training, whose written registers become the *parameters* passed to
+//! inference). This module computes that decomposition plus the summary
+//! facts the paper reads off it:
+//!
+//! * which registers are **parameters** (written by live `Update()` code
+//!   and demanded by `Predict()` across days);
+//! * whether the alpha is **formulaic** (no parameters, no recursions — the
+//!   "special case of the new alpha with no parameters");
+//! * how much **relational domain knowledge** evolution chose to keep
+//!   (RelationOp counts — the paper's "selective injection");
+//! * which of the input matrix's features the alpha actually reads
+//!   (ExtractionOp addressing), e.g. "trades on the trend of high prices".
+
+use std::collections::BTreeSet;
+
+use crate::op::{Kind, Op};
+use crate::program::{AlphaProgram, FunctionId};
+use crate::prune::{prune, PruneResult};
+
+/// A register named for humans, e.g. `s3` or `m1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RegName(pub Kind, pub u8);
+
+impl std::fmt::Display for RegName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.0.prefix(), self.1)
+    }
+}
+
+/// Summary of one alpha's structure.
+#[derive(Debug, Clone)]
+pub struct AlphaAnalysis {
+    /// Live (effective) instruction counts per function after pruning.
+    pub live_ops: [usize; 3],
+    /// Instructions pruned as redundant.
+    pub pruned_ops: usize,
+    /// Registers written by live `Update()` instructions and read by
+    /// `Predict()` across day boundaries — the paper's *parameters*.
+    pub parameters: Vec<RegName>,
+    /// Registers carried across days by `Predict()` itself (the paper's
+    /// `S3_{t-1}`-style recursions, its **P** part).
+    pub recurrences: Vec<RegName>,
+    /// True when the alpha has neither parameters nor recursions: a pure
+    /// formulaic alpha.
+    pub is_formulaic: bool,
+    /// Count of live RelationOps by group (all / sector / industry).
+    pub relation_ops: (usize, usize, usize),
+    /// Count of live ExtractionOps.
+    pub extraction_ops: usize,
+    /// Feature rows of `m0` read by scalar extraction (`m_get`), i.e. which
+    /// of the paper's 13 features the alpha consumes directly.
+    pub features_read: Vec<u8>,
+}
+
+impl AlphaAnalysis {
+    /// Renders a short human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "live ops: setup {} / predict {} / update {} ({} pruned)\n",
+            self.live_ops[0], self.live_ops[1], self.live_ops[2], self.pruned_ops
+        ));
+        let fmt_regs = |regs: &[RegName]| {
+            if regs.is_empty() {
+                "none".to_string()
+            } else {
+                regs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+            }
+        };
+        out.push_str(&format!("parameters (U -> inference): {}\n", fmt_regs(&self.parameters)));
+        out.push_str(&format!("predict recursions (P): {}\n", fmt_regs(&self.recurrences)));
+        out.push_str(&format!(
+            "class: {}\n",
+            if self.is_formulaic { "formulaic (no parameters)" } else { "parameterized" }
+        ));
+        let (a, s, i) = self.relation_ops;
+        out.push_str(&format!(
+            "relation ops kept: {a} cross-market, {s} sector, {i} industry\n"
+        ));
+        out.push_str(&format!("extraction ops: {}\n", self.extraction_ops));
+        if !self.features_read.is_empty() {
+            let rows: Vec<String> = self.features_read.iter().map(|r| feature_name(*r)).collect();
+            out.push_str(&format!("input features read: {}\n", rows.join(", ")));
+        }
+        out
+    }
+}
+
+/// Name of a paper feature row (13-feature layout).
+pub fn feature_name(row: u8) -> String {
+    match row {
+        0 => "ma5".into(),
+        1 => "ma10".into(),
+        2 => "ma20".into(),
+        3 => "ma30".into(),
+        4 => "vol5".into(),
+        5 => "vol10".into(),
+        6 => "vol20".into(),
+        7 => "vol30".into(),
+        8 => "open".into(),
+        9 => "high".into(),
+        10 => "low".into(),
+        11 => "close".into(),
+        12 => "volume".into(),
+        other => format!("x{other}"),
+    }
+}
+
+/// Analyzes a program (pruning it first).
+pub fn analyze(prog: &AlphaProgram) -> AlphaAnalysis {
+    let pruned: PruneResult = prune(prog);
+    let p = &pruned.program;
+
+    let count_live = |f: FunctionId| {
+        p.function(f).iter().filter(|i| i.op != Op::NoOp).count()
+    };
+    let live_ops = [
+        count_live(FunctionId::Setup),
+        count_live(FunctionId::Predict),
+        count_live(FunctionId::Update),
+    ];
+
+    // Registers read by predict before being written within the same pass:
+    // the cross-day live-ins.
+    let mut written: BTreeSet<RegName> = BTreeSet::new();
+    let mut live_in: BTreeSet<RegName> = BTreeSet::new();
+    for instr in &p.predict {
+        let kinds = instr.op.input_kinds();
+        let ins: Vec<RegName> = match kinds.len() {
+            0 => vec![],
+            1 => vec![RegName(kinds[0], instr.in1)],
+            _ => vec![RegName(kinds[0], instr.in1), RegName(kinds[1], instr.in2)],
+        };
+        for r in ins {
+            if !written.contains(&r) {
+                live_in.insert(r);
+            }
+        }
+        if instr.op != Op::NoOp {
+            written.insert(RegName(instr.op.output_kind(), instr.out));
+        }
+    }
+    // m0 is framework-fed each day; it is not state.
+    live_in.remove(&RegName(Kind::M, 0));
+
+    let update_writes: BTreeSet<RegName> = p
+        .update
+        .iter()
+        .filter(|i| i.op != Op::NoOp)
+        .map(|i| RegName(i.op.output_kind(), i.out))
+        .collect();
+    let predict_writes: BTreeSet<RegName> = written;
+
+    let parameters: Vec<RegName> =
+        live_in.iter().copied().filter(|r| update_writes.contains(r)).collect();
+    let recurrences: Vec<RegName> = live_in
+        .iter()
+        .copied()
+        .filter(|r| predict_writes.contains(r) && !update_writes.contains(r))
+        .collect();
+
+    let mut relation_ops = (0usize, 0usize, 0usize);
+    let mut extraction_ops = 0usize;
+    let mut features_read: BTreeSet<u8> = BTreeSet::new();
+    for f in FunctionId::ALL {
+        for instr in p.function(f) {
+            match instr.op.relation_group() {
+                Some(crate::op::RelGroup::All) => relation_ops.0 += 1,
+                Some(crate::op::RelGroup::Sector) => relation_ops.1 += 1,
+                Some(crate::op::RelGroup::Industry) => relation_ops.2 += 1,
+                None => {}
+            }
+            if instr.op.is_extraction() {
+                extraction_ops += 1;
+                // Scalar/row extraction addresses a feature row when it
+                // reads the input matrix m0.
+                if instr.in1 == 0 && matches!(instr.op, Op::MGet | Op::MGetRow) {
+                    features_read.insert(instr.ix[0]);
+                }
+            }
+        }
+    }
+
+    AlphaAnalysis {
+        live_ops,
+        pruned_ops: pruned.n_pruned,
+        is_formulaic: !pruned.stateful,
+        parameters,
+        recurrences,
+        relation_ops,
+        extraction_ops,
+        features_read: features_read.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::instruction::Instruction;
+    use crate::AlphaConfig;
+
+    #[test]
+    fn domain_expert_is_formulaic() {
+        let cfg = AlphaConfig::default();
+        let a = analyze(&init::domain_expert(&cfg));
+        assert!(a.is_formulaic);
+        assert!(a.parameters.is_empty());
+        assert!(a.recurrences.is_empty());
+        assert_eq!(a.extraction_ops, 4);
+        // Reads open/high/low/close.
+        assert_eq!(a.features_read, vec![8, 9, 10, 11]);
+        assert_eq!(a.relation_ops, (0, 0, 0));
+        let report = a.report();
+        assert!(report.contains("formulaic"));
+        assert!(report.contains("open, high, low, close"));
+    }
+
+    #[test]
+    fn nn_alpha_has_parameters() {
+        let cfg = AlphaConfig::default();
+        let a = analyze(&init::two_layer_nn(&cfg));
+        assert!(!a.is_formulaic);
+        // W1 (m1) and w2 (v1) are the trained parameters.
+        assert!(a.parameters.contains(&RegName(Kind::M, 1)), "params: {:?}", a.parameters);
+        assert!(a.parameters.contains(&RegName(Kind::V, 1)));
+        assert_eq!(a.live_ops[2], 8, "all update ops live");
+        assert!(a.report().contains("parameterized"));
+    }
+
+    #[test]
+    fn predict_recursion_detected() {
+        let cfg = AlphaConfig::default();
+        let mut prog = init::domain_expert(&cfg);
+        // s2 accumulates across days inside predict (read before its only
+        // predict-side write) and feeds s1 — a P-part recursion.
+        prog.predict.push(Instruction::new(Op::SAdd, 2, 1, 2, [0.0; 2], [0; 2]));
+        prog.predict.push(Instruction::new(Op::SAdd, 1, 2, 1, [0.0; 2], [0; 2]));
+        let a = analyze(&prog);
+        assert!(a.recurrences.contains(&RegName(Kind::S, 2)), "recs: {:?}", a.recurrences);
+        assert!(!a.is_formulaic);
+        assert!(a.parameters.is_empty());
+    }
+
+    #[test]
+    fn relation_ops_counted_by_group() {
+        let cfg = AlphaConfig::default();
+        let mut prog = init::domain_expert(&cfg);
+        prog.predict.push(Instruction::new(Op::RelRank, 1, 0, 1, [0.0; 2], [0; 2]));
+        prog.predict.push(Instruction::new(Op::RelDemeanIndustry, 1, 0, 1, [0.0; 2], [0; 2]));
+        let a = analyze(&prog);
+        assert_eq!(a.relation_ops, (1, 0, 1));
+    }
+
+    #[test]
+    fn dead_relation_ops_not_counted() {
+        // A relation op whose output never reaches s1 is pruned away and
+        // must not show up as "kept relational knowledge".
+        let cfg = AlphaConfig::default();
+        let mut prog = init::domain_expert(&cfg);
+        prog.predict.insert(0, Instruction::new(Op::RelRank, 8, 0, 8, [0.0; 2], [0; 2]));
+        let a = analyze(&prog);
+        assert_eq!(a.relation_ops, (0, 0, 0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Configuration of the alpha search space (paper §5.2).
+//!
+//! *"We choose the size of the maximum allowed scalar, vector, and matrix
+//! operands to be 10, 16, and 4, respectively. The minimum number of the
+//! operations in each function is set to 1 and the maximum number to 21,
+//! 21, and 45."*
+
+/// Static shape of the search space: register-bank sizes, the input
+/// dimension, and per-function instruction limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaConfig {
+    /// Number of scalar registers (`s0` = label, `s1` = prediction).
+    pub n_scalars: usize,
+    /// Number of vector registers, each of length [`AlphaConfig::dim`].
+    pub n_vectors: usize,
+    /// Number of matrix registers, each `dim × dim` (`m0` = input features).
+    pub n_matrices: usize,
+    /// Input dimension: the paper uses a square feature matrix `f = w = 13`,
+    /// and vectors share the same length.
+    pub dim: usize,
+    /// Minimum instructions per function.
+    pub min_ops: usize,
+    /// Maximum instructions in `Setup()`.
+    pub max_setup_ops: usize,
+    /// Maximum instructions in `Predict()`.
+    pub max_predict_ops: usize,
+    /// Maximum instructions in `Update()`.
+    pub max_update_ops: usize,
+}
+
+impl Default for AlphaConfig {
+    fn default() -> Self {
+        AlphaConfig {
+            n_scalars: 10,
+            n_vectors: 16,
+            n_matrices: 4,
+            dim: 13,
+            min_ops: 1,
+            max_setup_ops: 21,
+            max_predict_ops: 21,
+            max_update_ops: 45,
+        }
+    }
+}
+
+impl AlphaConfig {
+    /// Register-bank size for operands of the given kind.
+    pub fn bank_size(&self, kind: crate::op::Kind) -> usize {
+        match kind {
+            crate::op::Kind::S => self.n_scalars,
+            crate::op::Kind::V => self.n_vectors,
+            crate::op::Kind::M => self.n_matrices,
+        }
+    }
+
+    /// Panics if the configuration cannot host the special registers.
+    pub fn validate(&self) {
+        assert!(self.n_scalars >= 2, "need s0 (label) and s1 (prediction)");
+        assert!(self.n_matrices >= 1, "need m0 (input features)");
+        assert!(self.n_vectors >= 1, "need at least one vector register");
+        assert!(self.dim >= 2, "dim must be at least 2");
+        assert!(self.min_ops >= 1, "functions must have at least one op");
+        assert!(
+            self.max_setup_ops >= self.min_ops
+                && self.max_predict_ops >= self.min_ops
+                && self.max_update_ops >= self.min_ops,
+            "max ops must be >= min ops"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AlphaConfig::default();
+        assert_eq!((c.n_scalars, c.n_vectors, c.n_matrices), (10, 16, 4));
+        assert_eq!(c.dim, 13);
+        assert_eq!((c.max_setup_ops, c.max_predict_ops, c.max_update_ops), (21, 21, 45));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need s0")]
+    fn rejects_tiny_scalar_bank() {
+        AlphaConfig { n_scalars: 1, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,513 @@
+//! Regularized evolution (paper §3).
+//!
+//! 1. Initialize a population by mutating the starting parent alpha.
+//! 2. Evaluate each candidate on the task set; fitness = validation IC.
+//! 3. Select the best alpha of a random tournament as the new parent.
+//! 4. Add the mutated parent, evict the oldest member (aging evolution).
+//! 5. On budget exhaustion return the best alpha found.
+//!
+//! Every candidate flows through the paper's §4.2 pipeline before any
+//! evaluation: **prune → redundant-alpha rejection → canonical fingerprint
+//! → cache lookup**. Only cache misses touch the interpreter. Candidates
+//! whose validation portfolio returns correlate above the cutoff with an
+//! accepted alpha set ([`CorrelationGate`]) are discarded (fitness −∞),
+//! which is how weakly correlated alpha *sets* are mined round by round.
+//!
+//! With `workers > 1` the same loop runs from several threads against a
+//! shared population/cache (AutoML-Zero's parallelism model). Multi-worker
+//! runs are not bit-reproducible; single-worker runs are.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+
+use crate::eval::Evaluator;
+use crate::fingerprint::fingerprint;
+use crate::hashutil::FxHashMap;
+use crate::mutation::{MutationConfig, Mutator};
+use crate::program::AlphaProgram;
+
+/// Search budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Stop after this many candidates have been *searched*
+    /// (pruned-away, cache-hit and evaluated candidates all count —
+    /// the paper's "number of searched alphas", Table 6).
+    Searched(usize),
+    /// Stop after a wall-clock deadline (the paper's 60-hour rounds).
+    WallTime(Duration),
+}
+
+/// Evolution parameters (§5.2 defaults).
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Population size (paper: 100).
+    pub population_size: usize,
+    /// Tournament size (paper: 10).
+    pub tournament_size: usize,
+    /// Mutation policy (paper: mutation probability 0.9).
+    pub mutation: MutationConfig,
+    /// Search budget.
+    pub budget: Budget,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads sharing the population.
+    pub workers: usize,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population_size: 100,
+            tournament_size: 10,
+            mutation: MutationConfig::default(),
+            budget: Budget::Searched(5_000),
+            seed: 0,
+            workers: 1,
+        }
+    }
+}
+
+/// A population member.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The (unpruned) genome; redundant operations stay as genetic
+    /// material for later mutations.
+    pub program: AlphaProgram,
+    /// Fitness: validation IC, or `None` for rejected/invalid candidates.
+    pub fitness: Option<f64>,
+}
+
+impl Individual {
+    fn score(&self) -> f64 {
+        self.fitness.unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// The best alpha found by a run.
+#[derive(Debug, Clone)]
+pub struct BestAlpha {
+    /// The genome as it appeared in the population.
+    pub program: AlphaProgram,
+    /// Its pruned, canonical-register effective program.
+    pub pruned: AlphaProgram,
+    /// Validation IC (the fitness).
+    pub ic: f64,
+    /// Validation long-short portfolio returns (for correlation gating of
+    /// future rounds).
+    pub val_returns: Vec<f64>,
+}
+
+/// Counters over one evolution run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates searched (pruned + cache hits + evaluated).
+    pub searched: usize,
+    /// Candidates fully evaluated on the task set.
+    pub evaluated: usize,
+    /// Candidates rejected as redundant alphas before evaluation.
+    pub redundant: usize,
+    /// Fingerprint-cache hits (fitness reused without evaluation).
+    pub cache_hits: usize,
+    /// Evaluated candidates with non-finite predictions.
+    pub invalid: usize,
+    /// Evaluated candidates rejected by the correlation gate.
+    pub gate_rejected: usize,
+}
+
+/// One point of the Figure-6 style search trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Total candidates searched when the record was taken.
+    pub searched: usize,
+    /// Best validation IC so far.
+    pub best_ic: f64,
+}
+
+/// Result of one evolution run.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// Best valid, gate-passing alpha (None if every candidate died).
+    pub best: Option<BestAlpha>,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// Best-IC-so-far trajectory, recorded at every improvement.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    fitness: Option<f64>,
+}
+
+struct Shared<'a> {
+    evaluator: &'a Evaluator,
+    mutator: Mutator,
+    gate: Option<&'a CorrelationGate>,
+    econfig: EvolutionConfig,
+    population: Mutex<VecDeque<Individual>>,
+    cache: Mutex<FxHashMap<u64, CacheEntry>>,
+    best: Mutex<Option<BestAlpha>>,
+    trajectory: Mutex<Vec<TrajectoryPoint>>,
+    searched: AtomicUsize,
+    evaluated: AtomicUsize,
+    redundant: AtomicUsize,
+    cache_hits: AtomicUsize,
+    invalid: AtomicUsize,
+    gate_rejected: AtomicUsize,
+    stop: AtomicBool,
+    start: Instant,
+    /// Disables the §4.2 pipeline for the Table-6 `_N` ablation: no
+    /// pruning-based rejection, fingerprint = raw program text, and the
+    /// *unpruned* program is evaluated.
+    use_pruning: bool,
+}
+
+impl<'a> Shared<'a> {
+    fn budget_exhausted(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        let done = match self.econfig.budget {
+            Budget::Searched(n) => self.searched.load(Ordering::Relaxed) >= n,
+            Budget::WallTime(d) => self.start.elapsed() >= d,
+        };
+        if done {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        done
+    }
+
+    /// The §4.2 candidate pipeline. Returns the individual to insert.
+    fn process(&self, program: AlphaProgram) -> Individual {
+        let searched_now = self.searched.fetch_add(1, Ordering::Relaxed) + 1;
+
+        let (fp, to_evaluate) = if self.use_pruning {
+            let (fp, pruned) = fingerprint(&program, self.evaluator.config());
+            if !pruned.uses_input {
+                self.redundant.fetch_add(1, Ordering::Relaxed);
+                return Individual { program, fitness: None };
+            }
+            (fp, pruned.program)
+        } else {
+            (crate::fingerprint::fingerprint_raw(&program), program.clone())
+        };
+
+        if let Some(entry) = self.cache.lock().get(&fp) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Individual { program, fitness: entry.fitness };
+        }
+
+        let eval = self.evaluator.evaluate_opt(&to_evaluate, self.use_pruning);
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+
+        let fitness = match eval.fitness {
+            None => {
+                self.invalid.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(ic) => {
+                let passes = self.gate.is_none_or(|g| g.passes(&eval.val_returns));
+                if !passes {
+                    self.gate_rejected.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(ic)
+                }
+            }
+        };
+
+        self.cache.lock().insert(fp, CacheEntry { fitness });
+
+        if let Some(ic) = fitness {
+            let mut best = self.best.lock();
+            if best.as_ref().is_none_or(|b| ic > b.ic) {
+                *best = Some(BestAlpha {
+                    program: program.clone(),
+                    pruned: to_evaluate,
+                    ic,
+                    val_returns: eval.val_returns,
+                });
+                self.trajectory.lock().push(TrajectoryPoint { searched: searched_now, best_ic: ic });
+            }
+        }
+
+        Individual { program, fitness }
+    }
+
+    fn worker_loop(&self, worker_id: u64) {
+        let mut rng = SmallRng::seed_from_u64(
+            self.econfig.seed ^ worker_id.wrapping_mul(0xA076_1D64_78BD_642F),
+        );
+        while !self.budget_exhausted() {
+            // Tournament selection under the population lock; evaluation
+            // outside it.
+            let parent = {
+                let pop = self.population.lock();
+                if pop.is_empty() {
+                    return;
+                }
+                let t = self.econfig.tournament_size.min(pop.len()).max(1);
+                let mut best_idx = rng.gen_range(0..pop.len());
+                for _ in 1..t {
+                    let idx = rng.gen_range(0..pop.len());
+                    if pop[idx].score() > pop[best_idx].score() {
+                        best_idx = idx;
+                    }
+                }
+                pop[best_idx].program.clone()
+            };
+            let child = self.mutator.mutate(&mut rng, &parent);
+            let individual = self.process(child);
+            let mut pop = self.population.lock();
+            pop.push_back(individual);
+            if pop.len() > self.econfig.population_size {
+                pop.pop_front();
+            }
+        }
+    }
+
+    fn snapshot_stats(&self) -> SearchStats {
+        SearchStats {
+            searched: self.searched.load(Ordering::Relaxed),
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            redundant: self.redundant.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            gate_rejected: self.gate_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The evolutionary search driver.
+pub struct Evolution<'a> {
+    evaluator: &'a Evaluator,
+    econfig: EvolutionConfig,
+    gate: Option<&'a CorrelationGate>,
+    use_pruning: bool,
+}
+
+impl<'a> Evolution<'a> {
+    /// New driver over an evaluator.
+    pub fn new(evaluator: &'a Evaluator, econfig: EvolutionConfig) -> Evolution<'a> {
+        Evolution { evaluator, econfig, gate: None, use_pruning: true }
+    }
+
+    /// Attach a weak-correlation gate (candidates failing it die).
+    pub fn with_gate(mut self, gate: &'a CorrelationGate) -> Evolution<'a> {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Disable the pruning/fingerprint optimization (Table 6 `_N`
+    /// ablation): candidates are fingerprinted raw and evaluated unpruned.
+    pub fn without_pruning(mut self) -> Evolution<'a> {
+        self.use_pruning = false;
+        self
+    }
+
+    /// Runs the search from a seed program.
+    pub fn run(&self, seed_program: &AlphaProgram) -> EvolutionOutcome {
+        let shared = Shared {
+            evaluator: self.evaluator,
+            mutator: Mutator::new(*self.evaluator.config(), self.econfig.mutation),
+            gate: self.gate,
+            econfig: self.econfig.clone(),
+            population: Mutex::new(VecDeque::with_capacity(self.econfig.population_size + 1)),
+            cache: Mutex::new(FxHashMap::default()),
+            best: Mutex::new(None),
+            trajectory: Mutex::new(Vec::new()),
+            searched: AtomicUsize::new(0),
+            evaluated: AtomicUsize::new(0),
+            redundant: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            invalid: AtomicUsize::new(0),
+            gate_rejected: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            start: Instant::now(),
+            use_pruning: self.use_pruning,
+        };
+
+        // Initial population: the seed itself plus mutants of it (paper
+        // §3 step 1). Processed under the same budget accounting.
+        {
+            let mut rng = SmallRng::seed_from_u64(self.econfig.seed ^ 0x5EED);
+            let mut initial = Vec::with_capacity(self.econfig.population_size);
+            initial.push(seed_program.clone());
+            for _ in 1..self.econfig.population_size {
+                initial.push(shared.mutator.mutate(&mut rng, seed_program));
+            }
+            for candidate in initial {
+                if shared.budget_exhausted() {
+                    break;
+                }
+                let ind = shared.process(candidate);
+                shared.population.lock().push_back(ind);
+            }
+        }
+
+        let workers = self.econfig.workers.max(1);
+        if workers == 1 {
+            shared.worker_loop(1);
+        } else {
+            crossbeam::scope(|scope| {
+                for w in 0..workers {
+                    let shared_ref = &shared;
+                    scope.spawn(move |_| shared_ref.worker_loop(w as u64 + 1));
+                }
+            })
+            .expect("worker thread panicked");
+        }
+
+        let stats = shared.snapshot_stats();
+        let mut trajectory = shared.trajectory.into_inner();
+        // Close the trajectory at the final searched count.
+        if let Some(last) = trajectory.last().copied() {
+            if last.searched < stats.searched {
+                trajectory.push(TrajectoryPoint { searched: stats.searched, best_ic: last.best_ic });
+            }
+        }
+        EvolutionOutcome {
+            best: shared.best.into_inner(),
+            stats,
+            trajectory,
+            elapsed: shared.start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlphaConfig;
+    use crate::eval::{EvalOptions, Evaluator};
+    use crate::init;
+    use alphaevolve_backtest::portfolio::LongShortConfig;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+    use std::sync::Arc;
+
+    fn small_evaluator(seed: u64) -> Evaluator {
+        let md = MarketConfig { n_stocks: 16, n_days: 140, seed, ..Default::default() }.generate();
+        let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+        Evaluator::new(
+            AlphaConfig::default(),
+            EvalOptions { long_short: LongShortConfig::scaled(16), ..Default::default() },
+            Arc::new(ds),
+        )
+    }
+
+    fn small_config(budget: usize) -> EvolutionConfig {
+        EvolutionConfig {
+            population_size: 20,
+            tournament_size: 5,
+            budget: Budget::Searched(budget),
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn evolves_at_least_as_good_as_seed() {
+        let ev = small_evaluator(21);
+        let seed_prog = init::domain_expert(ev.config());
+        let seed_ic = ev.evaluate(&crate::prune::prune(&seed_prog).program).ic;
+        let outcome = Evolution::new(&ev, small_config(300)).run(&seed_prog);
+        let best = outcome.best.expect("search must find something valid");
+        assert!(best.ic >= seed_ic - 1e-12, "best {} < seed {}", best.ic, seed_ic);
+        assert!(outcome.stats.searched >= 300);
+        assert!(outcome.stats.evaluated > 0);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let ev = small_evaluator(22);
+        let outcome = Evolution::new(&ev, small_config(250)).run(&init::noop(ev.config()));
+        let s = outcome.stats;
+        assert_eq!(
+            s.searched,
+            s.evaluated + s.redundant + s.cache_hits,
+            "every searched candidate is pruned, cached, or evaluated: {s:?}"
+        );
+        assert!(s.redundant > 0, "noop-seeded search must hit redundant alphas");
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let ev = small_evaluator(23);
+        let outcome = Evolution::new(&ev, small_config(300)).run(&init::domain_expert(ev.config()));
+        let t = &outcome.trajectory;
+        assert!(!t.is_empty());
+        for w in t.windows(2) {
+            assert!(w[1].best_ic >= w[0].best_ic);
+            assert!(w[1].searched >= w[0].searched);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_are_reproducible() {
+        let ev = small_evaluator(24);
+        let seed_prog = init::domain_expert(ev.config());
+        let a = Evolution::new(&ev, small_config(200)).run(&seed_prog);
+        let b = Evolution::new(&ev, small_config(200)).run(&seed_prog);
+        assert_eq!(a.best.as_ref().map(|x| x.ic), b.best.as_ref().map(|x| x.ic));
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn gate_rejects_correlated_candidates() {
+        let ev = small_evaluator(25);
+        let seed_prog = init::domain_expert(ev.config());
+        // First round: mine unconstrained, accept its returns into the gate.
+        let first = Evolution::new(&ev, small_config(200)).run(&seed_prog);
+        let best = first.best.unwrap();
+        let mut gate = CorrelationGate::paper();
+        gate.accept(best.val_returns.clone());
+        // Second round seeded with the same alpha: the seed itself is now
+        // gate-rejected, so gate_rejected must fire.
+        let second = Evolution::new(&ev, small_config(200)).with_gate(&gate).run(&seed_prog);
+        assert!(second.stats.gate_rejected > 0, "stats: {:?}", second.stats);
+        if let Some(b) = &second.best {
+            let corr = alphaevolve_backtest::return_correlation(&b.val_returns, &best.val_returns);
+            assert!(corr <= gate.cutoff() + 1e-9, "best alpha violates the gate: {corr}");
+        }
+    }
+
+    #[test]
+    fn no_pruning_mode_still_works() {
+        let ev = small_evaluator(26);
+        let outcome = Evolution::new(&ev, small_config(150))
+            .without_pruning()
+            .run(&init::domain_expert(ev.config()));
+        assert_eq!(outcome.stats.redundant, 0, "no-pruning mode rejects nothing structurally");
+        assert!(outcome.best.is_some());
+    }
+
+    #[test]
+    fn parallel_workers_complete() {
+        let ev = small_evaluator(27);
+        let cfg = EvolutionConfig { workers: 4, ..small_config(400) };
+        let outcome = Evolution::new(&ev, cfg).run(&init::domain_expert(ev.config()));
+        assert!(outcome.stats.searched >= 400);
+        assert!(outcome.best.is_some());
+    }
+
+    #[test]
+    fn walltime_budget_terminates() {
+        let ev = small_evaluator(28);
+        let cfg = EvolutionConfig {
+            budget: Budget::WallTime(Duration::from_millis(300)),
+            ..small_config(0)
+        };
+        let start = Instant::now();
+        let _ = Evolution::new(&ev, cfg).run(&init::domain_expert(ev.config()));
+        assert!(start.elapsed() < Duration::from_secs(30), "must stop soon after the deadline");
+    }
+}

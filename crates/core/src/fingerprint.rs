@@ -1,0 +1,137 @@
+//! Program fingerprints (paper §4.2).
+//!
+//! AutoML-Zero fingerprints a candidate by its *predictions on a probe set*,
+//! which requires evaluating it. The paper's optimization fingerprints
+//! **without evaluation**: prune redundant operations, then transform "the
+//! strings of the alpha's remaining operations into numbers" and hash them.
+//! Two candidates with the same effective computation hit the same cache
+//! slot and reuse the stored fitness.
+//!
+//! On top of the paper we canonicalize register names first
+//! ([`crate::prune::canonicalize`]), so alpha-renamed duplicates — which
+//! mutation produces constantly — also collapse to one fingerprint.
+
+use crate::config::AlphaConfig;
+use crate::hashutil::Fingerprinter;
+use crate::program::{AlphaProgram, FunctionId};
+use crate::prune::{canonicalize, prune, PruneResult};
+
+/// 64-bit structural fingerprint of a program, as-is (no pruning or
+/// canonicalization). Bit-exact on literals.
+pub fn fingerprint_raw(prog: &AlphaProgram) -> u64 {
+    let mut fp = Fingerprinter::new();
+    for f in FunctionId::ALL {
+        fp.word(0xF00D ^ f as u64);
+        for instr in prog.function(f) {
+            fp.word(instr.op as u64);
+            fp.word(instr.in1 as u64);
+            fp.word(instr.in2 as u64);
+            fp.word(instr.out as u64);
+            fp.word(instr.ix[0] as u64);
+            fp.word(instr.ix[1] as u64);
+            fp.f64(instr.lit[0]);
+            fp.f64(instr.lit[1]);
+        }
+    }
+    fp.digest()
+}
+
+/// The paper's cache key: prune, canonicalize, hash. Also returns the
+/// prune result so the caller can evaluate the effective program (and
+/// reject redundant alphas) without re-analyzing.
+pub fn fingerprint(prog: &AlphaProgram, cfg: &AlphaConfig) -> (u64, PruneResult) {
+    let pruned = prune(prog);
+    let canonical = canonicalize(&pruned.program, cfg);
+    (fingerprint_raw(&canonical), pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction;
+    use crate::op::Op;
+
+    fn base_program() -> AlphaProgram {
+        AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [1, 2]),
+                Instruction::new(Op::SAbs, 2, 0, 1, [0.0; 2], [0; 2]),
+            ],
+            update: vec![Instruction::nop()],
+        }
+    }
+
+    #[test]
+    fn identical_programs_same_fingerprint() {
+        let cfg = AlphaConfig::default();
+        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&base_program(), &cfg).0);
+    }
+
+    #[test]
+    fn dead_code_does_not_change_fingerprint() {
+        let cfg = AlphaConfig::default();
+        let mut with_dead = base_program();
+        with_dead.predict.insert(1, Instruction::new(Op::SSin, 3, 0, 8, [0.0; 2], [0; 2]));
+        with_dead.update.push(Instruction::new(Op::SConst, 0, 0, 9, [0.7, 0.0], [0; 2]));
+        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&with_dead, &cfg).0);
+    }
+
+    #[test]
+    fn register_renaming_does_not_change_fingerprint() {
+        let cfg = AlphaConfig::default();
+        let mut renamed = base_program();
+        renamed.predict[0].out = 7;
+        renamed.predict[1].in1 = 7;
+        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&renamed, &cfg).0);
+    }
+
+    #[test]
+    fn different_ops_different_fingerprint() {
+        let cfg = AlphaConfig::default();
+        let mut other = base_program();
+        other.predict[1].op = Op::SSin;
+        assert_ne!(fingerprint(&base_program(), &cfg).0, fingerprint(&other, &cfg).0);
+    }
+
+    #[test]
+    fn different_literals_different_fingerprint() {
+        let cfg = AlphaConfig::default();
+        let mk = |c: f64| AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [c, 0.0], [0; 2])],
+            predict: vec![
+                Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [0, 0]),
+                Instruction::new(Op::SMul, 3, 2, 1, [0.0; 2], [0; 2]),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        assert_ne!(fingerprint(&mk(0.5), &cfg).0, fingerprint(&mk(0.25), &cfg).0);
+    }
+
+    #[test]
+    fn different_extraction_indices_different_fingerprint() {
+        let cfg = AlphaConfig::default();
+        let mut other = base_program();
+        other.predict[0].ix = [3, 4];
+        assert_ne!(fingerprint(&base_program(), &cfg).0, fingerprint(&other, &cfg).0);
+    }
+
+    #[test]
+    fn function_placement_matters() {
+        // The same instruction in predict vs update is a different program.
+        let cfg = AlphaConfig::default();
+        let a = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [0, 0]),
+                Instruction::new(Op::SAdd, 2, 3, 1, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SAbs, 2, 0, 3, [0.0; 2], [0; 2]),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let mut b = a.clone();
+        let moved = b.predict.pop().unwrap();
+        b.update = vec![moved];
+        assert_ne!(fingerprint(&a, &cfg).0, fingerprint(&b, &cfg).0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A small Fx-style hasher for fingerprint caches.
+//!
+//! The fingerprint cache is hit once per candidate alpha, with `u64` keys
+//! that are already well mixed; SipHash's HashDoS resistance buys nothing
+//! here. This is the FxHash multiplication-fold (as used in rustc), kept
+//! local to avoid a dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style 64-bit hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Streaming fingerprint accumulator used by
+/// [`fingerprint`](crate::fingerprint).
+#[derive(Default, Clone)]
+pub struct Fingerprinter {
+    inner: FxHasher,
+}
+
+impl Fingerprinter {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mixes in one word.
+    #[inline]
+    pub fn word(&mut self, w: u64) {
+        self.inner.write_u64(w);
+    }
+
+    /// Mixes in a float by bit pattern (NaN payloads included — two
+    /// different NaN constants are different programs).
+    #[inline]
+    pub fn f64(&mut self, x: f64) {
+        self.inner.write_u64(x.to_bits());
+    }
+
+    /// Final 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        let mut a = Fingerprinter::new();
+        a.word(1);
+        a.word(2);
+        let mut b = Fingerprinter::new();
+        b.word(2);
+        b.word(1);
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+    }
+
+    #[test]
+    fn floats_hash_by_bits() {
+        let mut a = Fingerprinter::new();
+        a.f64(0.0);
+        let mut b = Fingerprinter::new();
+        b.f64(-0.0);
+        assert_ne!(a.digest(), b.digest(), "-0.0 and 0.0 differ bitwise");
+    }
+
+    #[test]
+    fn deterministic() {
+        let digest = |vals: &[u64]| {
+            let mut f = Fingerprinter::new();
+            for &v in vals {
+                f.word(v);
+            }
+            f.digest()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn fxmap_works() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(42, "x");
+        assert_eq!(m.get(&42), Some(&"x"));
+    }
+}

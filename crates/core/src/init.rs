@@ -1,0 +1,260 @@
+//! The paper's four starting alphas (§5.2).
+//!
+//! * [`domain_expert`] — `alpha_AE_D`'s seed: a hand-designed formulaic
+//!   alpha. We use Kakushadze's Alpha#101,
+//!   `(close − open) / ((high − low) + 0.001)`, expressed through
+//!   ExtractionOps on the most recent window column — the same style of
+//!   "alpha before evolving" as the paper's Figure 2.
+//! * [`noop`] — `alpha_AE_NOOP`'s seed: no initialization, every function a
+//!   bare no-op. Evolution must build everything from mutations.
+//! * [`random_alpha`] — `alpha_AE_R`'s seed: random instructions.
+//! * [`two_layer_nn`] — `alpha_AE_NN`'s seed: a two-layer neural network
+//!   with SGD in `Update()`, the hand-crafted AutoML-Zero network adapted
+//!   to the matrix input (feature vector = newest window column).
+
+use rand::rngs::SmallRng;
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::op::Op;
+use crate::program::{AlphaProgram, FunctionId};
+
+/// Feature-row indices of the paper's 13-feature layout.
+pub mod feature_rows {
+    /// Moving average of close over 5 days.
+    pub const MA5: u8 = 0;
+    /// Moving average of close over 30 days.
+    pub const MA30: u8 = 3;
+    /// Open price.
+    pub const OPEN: u8 = 8;
+    /// High price.
+    pub const HIGH: u8 = 9;
+    /// Low price.
+    pub const LOW: u8 = 10;
+    /// Close price.
+    pub const CLOSE: u8 = 11;
+    /// Volume.
+    pub const VOLUME: u8 = 12;
+}
+
+fn ins(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
+    Instruction::new(op, in1, in2, out, [0.0; 2], [0; 2])
+}
+
+fn get(row: u8, col: u8, out: u8) -> Instruction {
+    Instruction::new(Op::MGet, 0, 0, out, [0.0; 2], [row, col])
+}
+
+/// The domain-expert formulaic alpha (Alpha#101):
+/// `s1 = (close − open) / ((high − low) + 0.001)` on the most recent day.
+///
+/// # Panics
+/// If `cfg.dim < 13` (the paper layout needs 13 feature rows).
+pub fn domain_expert(cfg: &AlphaConfig) -> AlphaProgram {
+    assert!(cfg.dim >= 13, "domain-expert alpha needs the 13-feature paper layout");
+    let newest = (cfg.dim - 1) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [0.001, 0.0], [0; 2])],
+        predict: vec![
+            get(feature_rows::CLOSE, newest, 3),
+            get(feature_rows::OPEN, newest, 4),
+            get(feature_rows::HIGH, newest, 5),
+            get(feature_rows::LOW, newest, 6),
+            ins(Op::SSub, 3, 4, 7), // close - open
+            ins(Op::SSub, 5, 6, 8), // high - low
+            ins(Op::SAdd, 8, 2, 9), // + 0.001
+            ins(Op::SDiv, 7, 9, 1),
+        ],
+        update: vec![Instruction::nop()],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// The empty seed: every function is a single no-op.
+pub fn noop(cfg: &AlphaConfig) -> AlphaProgram {
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![Instruction::nop()],
+        update: vec![Instruction::nop()],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// A random seed with the given per-function instruction counts.
+pub fn random_alpha(
+    cfg: &AlphaConfig,
+    rng: &mut SmallRng,
+    n_setup: usize,
+    n_predict: usize,
+    n_update: usize,
+) -> AlphaProgram {
+    let setup_pool: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_relation()).collect();
+    let full_pool: Vec<Op> = Op::ALL.to_vec();
+    let mut prog = AlphaProgram::new();
+    for (f, n) in [
+        (FunctionId::Setup, n_setup),
+        (FunctionId::Predict, n_predict),
+        (FunctionId::Update, n_update),
+    ] {
+        let pool = if f == FunctionId::Setup { &setup_pool } else { &full_pool };
+        let n = n.clamp(cfg.min_ops, AlphaProgram::max_ops(cfg, f));
+        for _ in 0..n {
+            prog.function_mut(f).push(Instruction::random(rng, pool, cfg));
+        }
+    }
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// Classic 5-vs-30-day moving-average momentum:
+/// `s1 = (ma5 − ma30) / (ma30 + 0.001)` on the most recent day. A second
+/// well-known expert seed, useful for mining sets from diverse starting
+/// points.
+pub fn momentum(cfg: &AlphaConfig) -> AlphaProgram {
+    assert!(cfg.dim >= 13, "momentum alpha needs the 13-feature paper layout");
+    let newest = (cfg.dim - 1) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [0.001, 0.0], [0; 2])],
+        predict: vec![
+            get(feature_rows::MA5, newest, 3),
+            get(feature_rows::MA30, newest, 4),
+            ins(Op::SSub, 3, 4, 5),
+            ins(Op::SAdd, 4, 2, 6),
+            ins(Op::SDiv, 5, 6, 1),
+        ],
+        update: vec![Instruction::nop()],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// Industry-relative reversal: the negated industry-demeaned close price,
+/// i.e. short the names that ran ahead of their industry. Demonstrates the
+/// RelationOps as an expert would use them.
+pub fn industry_reversal(cfg: &AlphaConfig) -> AlphaProgram {
+    assert!(cfg.dim >= 13, "reversal alpha needs the 13-feature paper layout");
+    let newest = (cfg.dim - 1) as u8;
+    let back = (cfg.dim - 6) as u8; // five days earlier within the window
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![
+            get(feature_rows::CLOSE, newest, 3),
+            get(feature_rows::CLOSE, back, 4),
+            ins(Op::SSub, 3, 4, 5),                                          // 5-day price change
+            Instruction::new(Op::RelDemeanIndustry, 5, 0, 6, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SConst, 0, 0, 7, [-1.0, 0.0], [0; 2]),
+            ins(Op::SMul, 6, 7, 1),                                          // fade the leaders
+        ],
+        update: vec![Instruction::nop()],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// A two-layer neural network alpha with SGD learning in `Update()`.
+///
+/// The feature vector is the newest column of `m0`; the hidden layer is a
+/// full `dim × dim` weight matrix with a ReLU (built from heaviside masks,
+/// which the backward pass reuses), and the output layer a weight vector.
+pub fn two_layer_nn(cfg: &AlphaConfig) -> AlphaProgram {
+    let newest = (cfg.dim - 1) as u8;
+    let prog = AlphaProgram {
+        setup: vec![
+            Instruction::new(Op::MGauss, 0, 0, 1, [0.0, 0.1], [0; 2]), // m1 = W1
+            Instruction::new(Op::VGauss, 0, 0, 1, [0.0, 0.1], [0; 2]), // v1 = w2
+            Instruction::new(Op::SConst, 0, 0, 2, [0.01, 0.0], [0; 2]), // s2 = lr
+        ],
+        predict: vec![
+            Instruction::new(Op::MGetCol, 0, 0, 2, [0.0; 2], [newest, 0]), // v2 = x
+            ins(Op::MatVec, 1, 2, 3),                                      // v3 = W1·x
+            ins(Op::VHeaviside, 3, 0, 4),                                  // v4 = relu mask
+            ins(Op::VMul, 4, 3, 5),                                        // v5 = relu(v3)
+            ins(Op::VDot, 1, 5, 1),                                        // s1 = w2·v5
+        ],
+        update: vec![
+            ins(Op::SSub, 0, 1, 3),     // s3 = label - prediction
+            ins(Op::SMul, 3, 2, 4),     // s4 = lr * error
+            ins(Op::SVScale, 4, 5, 6),  // v6 = s4 * hidden      (∂L/∂w2)
+            ins(Op::SVScale, 4, 1, 7),  // v7 = s4 * w2          (before w2 update)
+            ins(Op::VAdd, 1, 6, 1),     // w2 += v6
+            ins(Op::VMul, 7, 4, 8),     // v8 = v7 ⊙ relu mask   (∂L/∂v3)
+            ins(Op::VOuter, 8, 2, 2),   // m2 = v8 ⊗ x           (∂L/∂W1)
+            ins(Op::MAdd, 1, 2, 1),     // W1 += m2
+        ],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::prune;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_seeds_validate() {
+        let cfg = AlphaConfig::default();
+        domain_expert(&cfg).validate(&cfg).unwrap();
+        noop(&cfg).validate(&cfg).unwrap();
+        two_layer_nn(&cfg).validate(&cfg).unwrap();
+        momentum(&cfg).validate(&cfg).unwrap();
+        industry_reversal(&cfg).validate(&cfg).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        random_alpha(&cfg, &mut rng, 4, 8, 6).validate(&cfg).unwrap();
+    }
+
+    #[test]
+    fn expert_seeds_are_fully_live_and_input_connected() {
+        let cfg = AlphaConfig::default();
+        for prog in [momentum(&cfg), industry_reversal(&cfg)] {
+            let r = prune(&prog);
+            assert!(r.uses_input);
+            assert!(!r.stateful, "expert formulas carry no parameters");
+        }
+    }
+
+    #[test]
+    fn industry_reversal_keeps_its_relation_op() {
+        let cfg = AlphaConfig::default();
+        let r = prune(&industry_reversal(&cfg));
+        assert_eq!(r.program.count_ops(|o| o.is_relation()), 1);
+    }
+
+    #[test]
+    fn domain_expert_survives_pruning_intact() {
+        let cfg = AlphaConfig::default();
+        let prog = domain_expert(&cfg);
+        let r = prune(&prog);
+        assert!(r.uses_input);
+        // Only the update noop is redundant.
+        assert_eq!(r.program.predict.len(), 8);
+        assert_eq!(r.program.setup.len(), 1);
+    }
+
+    #[test]
+    fn nn_alpha_fully_live() {
+        let cfg = AlphaConfig::default();
+        let r = prune(&two_layer_nn(&cfg));
+        assert!(r.uses_input);
+        assert_eq!(r.n_pruned, 0, "every NN instruction should be live");
+    }
+
+    #[test]
+    fn noop_seed_is_redundant() {
+        let cfg = AlphaConfig::default();
+        assert!(!prune(&noop(&cfg)).uses_input);
+    }
+
+    #[test]
+    fn random_seed_counts_clamped() {
+        let cfg = AlphaConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = random_alpha(&cfg, &mut rng, 100, 100, 100);
+        assert_eq!(p.setup.len(), cfg.max_setup_ops);
+        assert_eq!(p.predict.len(), cfg.max_predict_ops);
+        assert_eq!(p.update.len(), cfg.max_update_ops);
+    }
+}

@@ -1,0 +1,324 @@
+//! One operation: an operator, input operand(s), and an output operand
+//! (paper §2), plus literal/index slots for constants and ExtractionOps.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::config::AlphaConfig;
+use crate::op::{IxUse, Kind, LitUse, Op};
+
+/// A single straight-line operation.
+///
+/// Unused slots are kept at zero (enforced by the constructors and the
+/// mutator) so that structurally identical instructions are bit-identical —
+/// a prerequisite for the fingerprint cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operator.
+    pub op: Op,
+    /// First input register (meaning depends on `op.input_kinds()[0]`).
+    pub in1: u8,
+    /// Second input register, when the op is binary.
+    pub in2: u8,
+    /// Output register.
+    pub out: u8,
+    /// Literal slots (constants / distribution parameters).
+    pub lit: [f64; 2],
+    /// Small-integer slots (element indices or axis selector).
+    pub ix: [u8; 2],
+}
+
+impl Instruction {
+    /// The no-op.
+    pub fn nop() -> Instruction {
+        Instruction { op: Op::NoOp, in1: 0, in2: 0, out: 0, lit: [0.0; 2], ix: [0; 2] }
+    }
+
+    /// Builds an instruction and zeroes unused slots.
+    pub fn new(op: Op, in1: u8, in2: u8, out: u8, lit: [f64; 2], ix: [u8; 2]) -> Instruction {
+        let mut i = Instruction { op, in1, in2, out, lit, ix };
+        i.normalize();
+        i
+    }
+
+    /// Zeroes every slot the op does not use.
+    pub fn normalize(&mut self) {
+        let arity = self.op.input_kinds().len();
+        if arity < 1 {
+            self.in1 = 0;
+        }
+        if arity < 2 {
+            self.in2 = 0;
+        }
+        if self.op == Op::NoOp {
+            self.out = 0;
+        }
+        let nlit = self.op.lit_use().count();
+        if nlit < 1 {
+            self.lit[0] = 0.0;
+        }
+        if nlit < 2 {
+            self.lit[1] = 0.0;
+        }
+        let nix = self.op.ix_use().count();
+        if nix < 1 {
+            self.ix[0] = 0;
+        }
+        if nix < 2 {
+            self.ix[1] = 0;
+        }
+    }
+
+    /// Samples a fully random instruction with the given op.
+    pub fn random_with_op(rng: &mut SmallRng, op: Op, cfg: &AlphaConfig) -> Instruction {
+        let mut instr = Instruction::nop();
+        instr.op = op;
+        let kinds = op.input_kinds();
+        if !kinds.is_empty() {
+            instr.in1 = rng.gen_range(0..cfg.bank_size(kinds[0])) as u8;
+        }
+        if kinds.len() > 1 {
+            instr.in2 = rng.gen_range(0..cfg.bank_size(kinds[1])) as u8;
+        }
+        if op != Op::NoOp {
+            instr.out = rng.gen_range(0..cfg.bank_size(op.output_kind())) as u8;
+        }
+        sample_literals(rng, op.lit_use(), &mut instr.lit);
+        let ix_use = op.ix_use();
+        for slot in 0..ix_use.count() {
+            instr.ix[slot] = rng.gen_range(0..ix_use.domain(slot, cfg.dim)) as u8;
+        }
+        instr.normalize();
+        instr
+    }
+
+    /// Samples a random instruction with an op drawn from `pool`.
+    pub fn random(rng: &mut SmallRng, pool: &[Op], cfg: &AlphaConfig) -> Instruction {
+        let op = pool[rng.gen_range(0..pool.len())];
+        Instruction::random_with_op(rng, op, cfg)
+    }
+
+    /// All mutable "slots" of this instruction that a point mutation can
+    /// target: inputs, output, literals, indices. Returns the slot count.
+    pub fn n_mutable_slots(&self) -> usize {
+        let arity = self.op.input_kinds().len();
+        let out = usize::from(self.op != Op::NoOp);
+        arity + out + self.op.lit_use().count() + self.op.ix_use().count()
+    }
+
+    /// Re-randomizes one slot (selected by `slot < n_mutable_slots()`).
+    pub fn randomize_slot(&mut self, rng: &mut SmallRng, slot: usize, cfg: &AlphaConfig) {
+        let kinds = self.op.input_kinds();
+        let arity = kinds.len();
+        let has_out = usize::from(self.op != Op::NoOp);
+        if slot < arity {
+            let k = kinds[slot];
+            let reg = rng.gen_range(0..cfg.bank_size(k)) as u8;
+            if slot == 0 {
+                self.in1 = reg;
+            } else {
+                self.in2 = reg;
+            }
+            return;
+        }
+        let slot = slot - arity;
+        if slot < has_out {
+            self.out = rng.gen_range(0..cfg.bank_size(self.op.output_kind())) as u8;
+            return;
+        }
+        let slot = slot - has_out;
+        let nlit = self.op.lit_use().count();
+        if slot < nlit {
+            // Perturb rather than resample: multiply by U(0.5, 2.0) and
+            // occasionally flip the sign, so constants can be fine-tuned.
+            let x = self.lit[slot];
+            let scaled = x * rng.gen_range(0.5..2.0);
+            self.lit[slot] = if rng.gen::<f64>() < 0.1 {
+                -scaled
+            } else if x == 0.0 {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                scaled
+            };
+            return;
+        }
+        let slot = slot - nlit;
+        let ix_use = self.op.ix_use();
+        if slot < ix_use.count() {
+            self.ix[slot] = rng.gen_range(0..ix_use.domain(slot, cfg.dim)) as u8;
+        }
+    }
+
+    /// Checks register/index bounds against a configuration.
+    pub fn validate(&self, cfg: &AlphaConfig) -> Result<(), String> {
+        let kinds = self.op.input_kinds();
+        if !kinds.is_empty() && (self.in1 as usize) >= cfg.bank_size(kinds[0]) {
+            return Err(format!("{}: in1 out of range", self.op.name()));
+        }
+        if kinds.len() > 1 && (self.in2 as usize) >= cfg.bank_size(kinds[1]) {
+            return Err(format!("{}: in2 out of range", self.op.name()));
+        }
+        if self.op != Op::NoOp && (self.out as usize) >= cfg.bank_size(self.op.output_kind()) {
+            return Err(format!("{}: out out of range", self.op.name()));
+        }
+        let ix_use = self.op.ix_use();
+        for slot in 0..ix_use.count() {
+            if (self.ix[slot] as usize) >= ix_use.domain(slot, cfg.dim) {
+                return Err(format!("{}: index {slot} out of range", self.op.name()));
+            }
+        }
+        for slot in 0..self.op.lit_use().count() {
+            if !self.lit[slot].is_finite() {
+                return Err(format!("{}: non-finite literal", self.op.name()));
+            }
+        }
+        Ok(())
+    }
+
+    fn reg_name(kind: Kind, idx: u8) -> String {
+        format!("{}{}", kind.prefix(), idx)
+    }
+}
+
+/// Samples literal values appropriate for the op's [`LitUse`].
+pub fn sample_literals(rng: &mut SmallRng, lit_use: LitUse, out: &mut [f64; 2]) {
+    match lit_use {
+        LitUse::None => {
+            out[0] = 0.0;
+            out[1] = 0.0;
+        }
+        LitUse::Const => {
+            out[0] = rng.gen_range(-1.0..1.0);
+            out[1] = 0.0;
+        }
+        LitUse::Range => {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            out[0] = a.min(b);
+            out[1] = a.max(b);
+        }
+        LitUse::MeanStd => {
+            out[0] = rng.gen_range(-1.0..1.0);
+            out[1] = rng.gen_range(0.0..1.0);
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Renders as `out = op(args)`, e.g. `s3 = m_get(m0, 11, 12)` or
+    /// `v1 = m_mean_axis(m2, axis=0)`. Literals print with round-trip
+    /// precision. The bare no-op renders as `noop`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.op == Op::NoOp {
+            return write!(f, "noop");
+        }
+        let mut args: Vec<String> = Vec::new();
+        let kinds = self.op.input_kinds();
+        if !kinds.is_empty() {
+            args.push(Instruction::reg_name(kinds[0], self.in1));
+        }
+        if kinds.len() > 1 {
+            args.push(Instruction::reg_name(kinds[1], self.in2));
+        }
+        match self.op.ix_use() {
+            IxUse::None => {}
+            IxUse::Axis => args.push(format!("axis={}", self.ix[0])),
+            IxUse::RowCol => {
+                args.push(self.ix[0].to_string());
+                args.push(self.ix[1].to_string());
+            }
+            _ => args.push(self.ix[0].to_string()),
+        }
+        for slot in 0..self.op.lit_use().count() {
+            args.push(format!("{:?}", self.lit[slot]));
+        }
+        write!(
+            f,
+            "{} = {}({})",
+            Instruction::reg_name(self.op.output_kind(), self.out),
+            self.op.name(),
+            args.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]);
+        assert_eq!(i.to_string(), "s4 = s_add(s2, s3)");
+        let c = Instruction::new(Op::SConst, 0, 0, 2, [0.001, 0.0], [0; 2]);
+        assert_eq!(c.to_string(), "s2 = s_const(0.001)");
+        let g = Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [11, 12]);
+        assert_eq!(g.to_string(), "s3 = m_get(m0, 11, 12)");
+        let a = Instruction::new(Op::MMeanAxis, 1, 0, 2, [0.0; 2], [1, 0]);
+        assert_eq!(a.to_string(), "v2 = m_mean_axis(m1, axis=1)");
+        assert_eq!(Instruction::nop().to_string(), "noop");
+    }
+
+    #[test]
+    fn normalize_zeroes_unused_slots() {
+        let i = Instruction::new(Op::SAbs, 3, 9, 4, [7.0, 8.0], [5, 6]);
+        assert_eq!(i.in2, 0);
+        assert_eq!(i.lit, [0.0, 0.0]);
+        assert_eq!(i.ix, [0, 0]);
+        assert_eq!(i.in1, 3);
+    }
+
+    #[test]
+    fn random_instructions_validate() {
+        let cfg = AlphaConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let i = Instruction::random(&mut rng, Op::ALL, &cfg);
+            i.validate(&cfg).expect("random instruction must validate");
+        }
+    }
+
+    #[test]
+    fn randomize_slot_stays_valid() {
+        let cfg = AlphaConfig::default();
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let mut i = Instruction::random(&mut rng, Op::ALL, &cfg);
+            let n = i.n_mutable_slots();
+            if n == 0 {
+                continue;
+            }
+            let slot = rng.gen_range(0..n);
+            i.randomize_slot(&mut rng, slot, &cfg);
+            i.validate(&cfg).expect("mutated instruction must validate");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let cfg = AlphaConfig::default();
+        let mut i = Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]);
+        i.out = 99;
+        assert!(i.validate(&cfg).is_err());
+        let mut g = Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [2, 2]);
+        g.ix[0] = 13;
+        assert!(g.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn literal_display_round_trips() {
+        let c = Instruction::new(Op::SConst, 0, 0, 2, [0.1 + 0.2, 0.0], [0; 2]);
+        let s = c.to_string();
+        let lit: f64 = s
+            .trim_end_matches(')')
+            .rsplit('(')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("literal parses");
+        assert_eq!(lit, 0.1 + 0.2);
+    }
+}

@@ -1,0 +1,331 @@
+//! The lockstep cross-sectional interpreter.
+//!
+//! RelationOps make an alpha's computation for one stock depend on the
+//! *same instruction's* intermediate value on every other stock at the same
+//! timestep (paper Figure 4). The interpreter therefore executes
+//! instruction-by-instruction across all stocks ("lockstep"): non-relation
+//! instructions run per-stock against that stock's [`MemoryBank`];
+//! RelationOps gather the input scalar from every bank, apply the group
+//! kernel ([`crate::relation`]), and scatter the results back.
+//!
+//! Execution schedule over a dataset (paper §2/§3):
+//!
+//! ```text
+//! Setup()                          once per stock (banks zeroed first)
+//! per training day t:
+//!     m0 <- X[stock, t];  Predict();  s0 <- y[stock, t];  Update()
+//! per validation/test day t:
+//!     m0 <- X[stock, t];  Predict();  collect s1
+//! ```
+//!
+//! Registers persist across days, which is what gives evolved alphas their
+//! `S3_{t-1}`-style recurrences and lets `Update()`-written registers act
+//! as trained parameters during inference.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_market::Dataset;
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::memory::{MemoryBank, INPUT, LABEL, PREDICTION};
+use crate::op::execute_local;
+use crate::program::AlphaProgram;
+use crate::relation::{demean_within, rank_within, GroupIndex};
+
+/// Executes alpha programs over every stock of a dataset in lockstep.
+pub struct Interpreter<'a> {
+    dataset: &'a Dataset,
+    groups: &'a GroupIndex,
+    mems: Vec<MemoryBank>,
+    rngs: Vec<SmallRng>,
+    scratch_v: Vec<f64>,
+    scratch_m: Vec<f64>,
+    gather: Vec<f64>,
+    scatter: Vec<f64>,
+    rank_scratch: Vec<u32>,
+    base_seed: u64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter with zeroed banks.
+    ///
+    /// # Panics
+    /// If the dataset's feature count or window disagrees with `cfg.dim`,
+    /// or the group index covers a different stock count.
+    pub fn new(
+        cfg: &AlphaConfig,
+        dataset: &'a Dataset,
+        groups: &'a GroupIndex,
+        seed: u64,
+    ) -> Interpreter<'a> {
+        assert_eq!(dataset.n_features(), cfg.dim, "dataset features must equal cfg.dim");
+        assert_eq!(dataset.window(), cfg.dim, "dataset window must equal cfg.dim");
+        assert_eq!(groups.n_stocks(), dataset.n_stocks(), "group index / dataset mismatch");
+        let k = dataset.n_stocks();
+        let mems = (0..k)
+            .map(|_| MemoryBank::new(cfg.n_scalars, cfg.n_vectors, cfg.n_matrices, cfg.dim))
+            .collect();
+        let rngs = (0..k).map(|i| stock_rng(seed, i)).collect();
+        Interpreter {
+            dataset,
+            groups,
+            mems,
+            rngs,
+            scratch_v: vec![0.0; cfg.dim],
+            scratch_m: vec![0.0; cfg.dim * cfg.dim],
+            gather: vec![0.0; k],
+            scatter: vec![0.0; k],
+            rank_scratch: Vec::with_capacity(k),
+            base_seed: seed,
+        }
+    }
+
+    /// Zeroes all banks and reseeds the per-stock RNG streams, returning
+    /// the interpreter to its freshly-constructed state.
+    pub fn reset(&mut self) {
+        for (i, mem) in self.mems.iter_mut().enumerate() {
+            mem.reset();
+            self.rngs[i] = stock_rng(self.base_seed, i);
+        }
+    }
+
+    /// Number of stocks executed in lockstep.
+    pub fn n_stocks(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// Read access to one stock's bank (tests / diagnostics).
+    pub fn bank(&self, stock: usize) -> &MemoryBank {
+        &self.mems[stock]
+    }
+
+    fn load_input(&mut self, day: usize) {
+        for (i, mem) in self.mems.iter_mut().enumerate() {
+            self.dataset.fill_window(i, day, mem.mat_mut(INPUT));
+        }
+    }
+
+    fn load_labels(&mut self, day: usize) {
+        for (i, mem) in self.mems.iter_mut().enumerate() {
+            mem.s[LABEL] = self.dataset.label(i, day);
+        }
+    }
+
+    /// Runs one function body in lockstep across all stocks.
+    pub fn run_function(&mut self, instrs: &[Instruction]) {
+        for instr in instrs {
+            if let Some(rel) = instr.op.relation_group() {
+                let in_reg = instr.in1 as usize;
+                let out_reg = instr.out as usize;
+                for (k, mem) in self.mems.iter().enumerate() {
+                    self.gather[k] = mem.s[in_reg];
+                }
+                let is_rank = instr.op.is_rank();
+                for members in self.groups.groups(rel).iter() {
+                    if is_rank {
+                        rank_within(members, &self.gather, &mut self.scatter, &mut self.rank_scratch);
+                    } else {
+                        demean_within(members, &self.gather, &mut self.scatter);
+                    }
+                }
+                for (k, mem) in self.mems.iter_mut().enumerate() {
+                    mem.s[out_reg] = self.scatter[k];
+                }
+            } else {
+                for (k, mem) in self.mems.iter_mut().enumerate() {
+                    execute_local(instr, mem, &mut self.rngs[k], &mut self.scratch_v, &mut self.scratch_m);
+                }
+            }
+        }
+    }
+
+    /// Runs `Setup()` once for every stock.
+    pub fn run_setup(&mut self, prog: &AlphaProgram) {
+        self.run_function(&prog.setup);
+    }
+
+    /// One training step: load inputs, predict, load labels, update.
+    /// `run_update = false` skips the parameter update (the paper's `_P`
+    /// ablation of Table 4).
+    pub fn train_day(&mut self, prog: &AlphaProgram, day: usize, run_update: bool) {
+        self.load_input(day);
+        self.run_function(&prog.predict);
+        if run_update {
+            self.load_labels(day);
+            self.run_function(&prog.update);
+        }
+    }
+
+    /// One inference step: load inputs, predict, and write each stock's
+    /// `s1` into `out` (must have length `n_stocks`).
+    pub fn predict_day(&mut self, prog: &AlphaProgram, day: usize, out: &mut [f64]) {
+        self.load_input(day);
+        self.run_function(&prog.predict);
+        for (k, mem) in self.mems.iter().enumerate() {
+            out[k] = mem.s[PREDICTION];
+        }
+    }
+}
+
+fn stock_rng(seed: u64, stock: usize) -> SmallRng {
+    // Distinct, deterministic stream per stock (golden-ratio stride).
+    SmallRng::seed_from_u64(seed ^ (stock as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
+
+    fn tiny_dataset() -> Dataset {
+        let md = MarketConfig { n_stocks: 12, n_days: 120, seed: 11, n_sectors: 3, ..Default::default() }
+            .generate();
+        Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
+    }
+
+    fn cfg() -> AlphaConfig {
+        AlphaConfig::default()
+    }
+
+    fn instr(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
+        Instruction::new(op, in1, in2, out, [0.0; 2], [0; 2])
+    }
+
+    #[test]
+    fn mean_alpha_predicts_finite_values() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![instr(Op::MMean, 0, 0, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
+        interp.run_setup(&prog);
+        let mut out = vec![0.0; ds.n_stocks()];
+        let day = ds.valid_days().start;
+        interp.predict_day(&prog, day, &mut out);
+        assert!(out.iter().all(|x| x.is_finite()));
+        // Predictions differ across stocks (different feature windows).
+        assert!(out.iter().any(|&x| (x - out[0]).abs() > 1e-12));
+    }
+
+    #[test]
+    fn relation_rank_outputs_are_normalized_ranks() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![instr(Op::MMean, 0, 0, 2), instr(Op::RelRank, 2, 0, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
+        interp.run_setup(&prog);
+        let mut out = vec![0.0; ds.n_stocks()];
+        interp.predict_day(&prog, ds.valid_days().start, &mut out);
+        assert!(out.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mut sorted = out.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Without ties ranks are the full ladder 0, 1/(K-1), ..., 1.
+        let k = ds.n_stocks();
+        for (i, &r) in sorted.iter().enumerate() {
+            assert!((r - i as f64 / (k - 1) as f64).abs() < 1e-9, "rank ladder broken at {i}: {r}");
+        }
+    }
+
+    #[test]
+    fn sector_demean_sums_to_zero_within_sector() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![instr(Op::MMean, 0, 0, 2), instr(Op::RelDemeanSector, 2, 0, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
+        interp.run_setup(&prog);
+        let mut out = vec![0.0; ds.n_stocks()];
+        interp.predict_day(&prog, ds.valid_days().start, &mut out);
+        for s in 0..ds.universe().n_sectors() {
+            let members = ds.universe().sector_members(alphaevolve_market::SectorId(s as u16));
+            let sum: f64 = members.iter().map(|&m| out[m as usize]).sum();
+            assert!(sum.abs() < 1e-9, "sector {s} demeaned sum {sum}");
+        }
+    }
+
+    #[test]
+    fn state_persists_across_days() {
+        // Counter alpha: s1 = s1 + 1 each predict — after n days s1 = n.
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [1.0, 0.0], [0; 2])],
+            predict: vec![instr(Op::SAdd, 1, 2, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
+        interp.run_setup(&prog);
+        let mut out = vec![0.0; ds.n_stocks()];
+        let start = ds.train_days().start;
+        for (n, day) in (start..start + 5).enumerate() {
+            interp.predict_day(&prog, day, &mut out);
+            assert_eq!(out[0], (n + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SGauss, 0, 0, 2, [0.0, 1.0], [0; 2])],
+            predict: vec![instr(Op::MMean, 0, 0, 3), instr(Op::SMul, 3, 2, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let mut interp = Interpreter::new(&cfg, &ds, &groups, 42);
+        let day = ds.train_days().start;
+        let mut a = vec![0.0; ds.n_stocks()];
+        interp.run_setup(&prog);
+        interp.predict_day(&prog, day, &mut a);
+        interp.reset();
+        let mut b = vec![0.0; ds.n_stocks()];
+        interp.run_setup(&prog);
+        interp.predict_day(&prog, day, &mut b);
+        assert_eq!(a, b, "reset + rerun must reproduce the stochastic stream");
+    }
+
+    #[test]
+    fn update_changes_inference_via_parameters() {
+        // Update accumulates labels into s3; predict uses it. With updates
+        // the prediction drifts; without (ablation) it stays fixed.
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![instr(Op::MMean, 0, 0, 2), instr(Op::SAdd, 2, 3, 1)],
+            update: vec![instr(Op::SAdd, 3, 0, 3)], // s3 += label
+        };
+        let run = |run_update: bool| {
+            let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
+            interp.run_setup(&prog);
+            for day in ds.train_days() {
+                interp.train_day(&prog, day, run_update);
+            }
+            let mut out = vec![0.0; ds.n_stocks()];
+            interp.predict_day(&prog, ds.valid_days().start, &mut out);
+            out
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_ne!(with, without, "parameters must influence inference");
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-stock register banks.
+//!
+//! Each task (stock) owns one [`MemoryBank`] holding the scalar, vector and
+//! matrix operands of an alpha. Banks persist across timesteps within an
+//! evaluation — that persistence is what lets evolved alphas carry state
+//! like the paper's `S3_{t-1}` recursions and what makes `Update()`-written
+//! registers act as learned parameters at inference time.
+//!
+//! Special registers (paper §2): `s0` = label, `s1` = prediction,
+//! `m0` = input feature matrix.
+
+/// Scalar register holding the training label.
+pub const LABEL: usize = 0;
+/// Scalar register holding the prediction.
+pub const PREDICTION: usize = 1;
+/// Matrix register holding the input feature matrix `X ∈ R^{f×w}`.
+pub const INPUT: usize = 0;
+
+/// One stock's registers: `s` scalars, `v` vectors (length `dim`,
+/// contiguous), `m` matrices (`dim × dim`, row-major, contiguous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryBank {
+    /// Scalar registers.
+    pub s: Vec<f64>,
+    /// Vector registers, flattened `[reg][element]`.
+    pub v: Vec<f64>,
+    /// Matrix registers, flattened `[reg][row][col]`.
+    pub m: Vec<f64>,
+    dim: usize,
+}
+
+impl MemoryBank {
+    /// All-zero bank for the given configuration.
+    pub fn new(n_scalars: usize, n_vectors: usize, n_matrices: usize, dim: usize) -> MemoryBank {
+        MemoryBank {
+            s: vec![0.0; n_scalars],
+            v: vec![0.0; n_vectors * dim],
+            m: vec![0.0; n_matrices * dim * dim],
+            dim,
+        }
+    }
+
+    /// Vector/matrix element count per register.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Zeroes every register.
+    pub fn reset(&mut self) {
+        self.s.fill(0.0);
+        self.v.fill(0.0);
+        self.m.fill(0.0);
+    }
+
+    /// Read-only view of vector register `i`.
+    #[inline]
+    pub fn vec(&self, i: usize) -> &[f64] {
+        &self.v[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable view of vector register `i`.
+    #[inline]
+    pub fn vec_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.v[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Read-only view of matrix register `i` (row-major).
+    #[inline]
+    pub fn mat(&self, i: usize) -> &[f64] {
+        let n = self.dim * self.dim;
+        &self.m[i * n..(i + 1) * n]
+    }
+
+    /// Mutable view of matrix register `i`.
+    #[inline]
+    pub fn mat_mut(&mut self, i: usize) -> &mut [f64] {
+        let n = self.dim * self.dim;
+        &mut self.m[i * n..(i + 1) * n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_start_zeroed() {
+        let b = MemoryBank::new(10, 16, 4, 13);
+        assert_eq!(b.s.len(), 10);
+        assert_eq!(b.v.len(), 16 * 13);
+        assert_eq!(b.m.len(), 4 * 13 * 13);
+        assert!(b.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn register_views_are_disjoint_slices() {
+        let mut b = MemoryBank::new(2, 3, 2, 4);
+        b.vec_mut(1).fill(7.0);
+        assert!(b.vec(0).iter().all(|&x| x == 0.0));
+        assert!(b.vec(1).iter().all(|&x| x == 7.0));
+        assert!(b.vec(2).iter().all(|&x| x == 0.0));
+        b.mat_mut(0)[5] = 3.0;
+        assert_eq!(b.mat(0)[5], 3.0);
+        assert_eq!(b.mat(1)[5], 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = MemoryBank::new(2, 2, 1, 3);
+        b.s[1] = 1.0;
+        b.vec_mut(0)[2] = 2.0;
+        b.mat_mut(0)[8] = 3.0;
+        b.reset();
+        assert!(b.s.iter().chain(b.v.iter()).chain(b.m.iter()).all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Mutations (paper §3, step 1).
+//!
+//! *"Two types of mutations are performed on the parent alpha to generate a
+//! child alpha: (1) randomizing operands or OP(s) in all operations;
+//! (2) inserting a random operation or removing an operation at a random
+//! location of the alpha."* With probability `1 − mutation_prob` the child
+//! is an unmutated copy (`mutation_prob = 0.9` in §5.2).
+//!
+//! Type (1) is implemented at three granularities, following AutoML-Zero:
+//! re-randomize one whole instruction, re-randomize a single operand slot
+//! (with constants perturbed multiplicatively rather than resampled), or
+//! re-randomize an entire component function.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::op::Op;
+use crate::program::{AlphaProgram, FunctionId};
+
+/// Relative weights of the five mutation actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationWeights {
+    /// Re-sample one instruction wholesale.
+    pub randomize_instruction: f64,
+    /// Re-sample a single operand/literal/index slot.
+    pub randomize_slot: f64,
+    /// Re-sample every instruction of one function.
+    pub randomize_function: f64,
+    /// Insert a random instruction at a random location.
+    pub insert: f64,
+    /// Remove the instruction at a random location.
+    pub remove: f64,
+}
+
+impl Default for MutationWeights {
+    fn default() -> Self {
+        MutationWeights {
+            randomize_instruction: 0.25,
+            randomize_slot: 0.25,
+            randomize_function: 0.05,
+            insert: 0.225,
+            remove: 0.225,
+        }
+    }
+}
+
+/// Mutation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationConfig {
+    /// Probability that any mutation happens at all (paper: 0.9).
+    pub prob: f64,
+    /// Action mix once a mutation happens.
+    pub weights: MutationWeights,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig { prob: 0.9, weights: MutationWeights::default() }
+    }
+}
+
+/// Stateless mutator with per-function op pools (RelationOps are excluded
+/// from `Setup()`, where no cross-section exists yet).
+pub struct Mutator {
+    cfg: AlphaConfig,
+    mcfg: MutationConfig,
+    setup_pool: Vec<Op>,
+    full_pool: Vec<Op>,
+}
+
+impl Mutator {
+    /// Builds a mutator for the given search space.
+    pub fn new(cfg: AlphaConfig, mcfg: MutationConfig) -> Mutator {
+        let full_pool: Vec<Op> = Op::ALL.to_vec();
+        let setup_pool: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_relation()).collect();
+        Mutator { cfg, mcfg, setup_pool, full_pool }
+    }
+
+    /// The op pool legal in function `f`.
+    pub fn pool(&self, f: FunctionId) -> &[Op] {
+        match f {
+            FunctionId::Setup => &self.setup_pool,
+            _ => &self.full_pool,
+        }
+    }
+
+    fn pick_function(&self, rng: &mut SmallRng) -> FunctionId {
+        FunctionId::ALL[rng.gen_range(0..3)]
+    }
+
+    /// Produces a child program. The parent is never modified.
+    pub fn mutate(&self, rng: &mut SmallRng, parent: &AlphaProgram) -> AlphaProgram {
+        let mut child = parent.clone();
+        if rng.gen::<f64>() >= self.mcfg.prob {
+            return child;
+        }
+        let w = self.mcfg.weights;
+        let table = [
+            (w.randomize_instruction, Action::RandomizeInstruction),
+            (w.randomize_slot, Action::RandomizeSlot),
+            (w.randomize_function, Action::RandomizeFunction),
+            (w.insert, Action::Insert),
+            (w.remove, Action::Remove),
+        ];
+        let total: f64 = table.iter().map(|(p, _)| p).sum();
+        // A handful of retries lets an inapplicable action (e.g. remove at
+        // the minimum size) fall through to another draw.
+        for _ in 0..16 {
+            let mut x = rng.gen::<f64>() * total;
+            let mut action = Action::Remove;
+            for (prob, candidate) in table {
+                if x < prob {
+                    action = candidate;
+                    break;
+                }
+                x -= prob;
+            }
+            if self.apply(rng, &mut child, action) {
+                break;
+            }
+        }
+        child
+    }
+
+    fn apply(&self, rng: &mut SmallRng, prog: &mut AlphaProgram, action: Action) -> bool {
+        let f = self.pick_function(rng);
+        let pool: &[Op] = self.pool(f);
+        let cfg = &self.cfg;
+        match action {
+            Action::RandomizeInstruction => {
+                let instrs = prog.function_mut(f);
+                if instrs.is_empty() {
+                    return false;
+                }
+                let i = rng.gen_range(0..instrs.len());
+                instrs[i] = Instruction::random(rng, pool, cfg);
+                true
+            }
+            Action::RandomizeSlot => {
+                let instrs = prog.function_mut(f);
+                if instrs.is_empty() {
+                    return false;
+                }
+                let i = rng.gen_range(0..instrs.len());
+                let n = instrs[i].n_mutable_slots();
+                if n == 0 {
+                    return false; // a bare noop has nothing to tweak
+                }
+                let slot = rng.gen_range(0..n);
+                instrs[i].randomize_slot(rng, slot, cfg);
+                true
+            }
+            Action::RandomizeFunction => {
+                let instrs = prog.function_mut(f);
+                if instrs.is_empty() {
+                    return false;
+                }
+                for instr in instrs.iter_mut() {
+                    *instr = Instruction::random(rng, pool, cfg);
+                }
+                true
+            }
+            Action::Insert => {
+                let max = AlphaProgram::max_ops(cfg, f);
+                let instrs = prog.function_mut(f);
+                if instrs.len() >= max {
+                    return false;
+                }
+                let at = rng.gen_range(0..=instrs.len());
+                instrs.insert(at, Instruction::random(rng, pool, cfg));
+                true
+            }
+            Action::Remove => {
+                let instrs = prog.function_mut(f);
+                if instrs.len() <= cfg.min_ops {
+                    return false;
+                }
+                let at = rng.gen_range(0..instrs.len());
+                instrs.remove(at);
+                true
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    RandomizeInstruction,
+    RandomizeSlot,
+    RandomizeFunction,
+    Insert,
+    Remove,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+
+    fn mutator() -> Mutator {
+        Mutator::new(AlphaConfig::default(), MutationConfig::default())
+    }
+
+    #[test]
+    fn children_always_validate() {
+        let m = mutator();
+        let cfg = AlphaConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut prog = init::domain_expert(&cfg);
+        for _ in 0..3000 {
+            prog = m.mutate(&mut rng, &prog);
+            prog.validate(&cfg).expect("mutated program must stay valid");
+        }
+    }
+
+    #[test]
+    fn respects_size_limits_under_insert_pressure() {
+        let cfg = AlphaConfig::default();
+        let mcfg = MutationConfig {
+            prob: 1.0,
+            weights: MutationWeights {
+                randomize_instruction: 0.0,
+                randomize_slot: 0.0,
+                randomize_function: 0.0,
+                insert: 1.0,
+                remove: 0.0,
+            },
+        };
+        let m = Mutator::new(cfg, mcfg);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut prog = init::noop(&cfg);
+        for _ in 0..500 {
+            prog = m.mutate(&mut rng, &prog);
+        }
+        assert!(prog.setup.len() <= cfg.max_setup_ops);
+        assert!(prog.predict.len() <= cfg.max_predict_ops);
+        assert!(prog.update.len() <= cfg.max_update_ops);
+        // Insert pressure should actually fill the functions up.
+        assert_eq!(prog.n_ops(), cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops);
+    }
+
+    #[test]
+    fn respects_min_size_under_remove_pressure() {
+        let cfg = AlphaConfig::default();
+        let mcfg = MutationConfig {
+            prob: 1.0,
+            weights: MutationWeights {
+                randomize_instruction: 0.0,
+                randomize_slot: 0.0,
+                randomize_function: 0.0,
+                insert: 0.0,
+                remove: 1.0,
+            },
+        };
+        let m = Mutator::new(cfg, mcfg);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut prog = init::domain_expert(&cfg);
+        for _ in 0..200 {
+            prog = m.mutate(&mut rng, &prog);
+        }
+        assert_eq!(prog.setup.len(), 1);
+        assert_eq!(prog.predict.len(), 1);
+        assert_eq!(prog.update.len(), 1);
+    }
+
+    #[test]
+    fn zero_probability_yields_clones() {
+        let cfg = AlphaConfig::default();
+        let m = Mutator::new(cfg, MutationConfig { prob: 0.0, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let prog = init::domain_expert(&cfg);
+        for _ in 0..50 {
+            assert_eq!(m.mutate(&mut rng, &prog), prog);
+        }
+    }
+
+    #[test]
+    fn setup_never_gains_relation_ops() {
+        let cfg = AlphaConfig::default();
+        let m = mutator();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut prog = init::noop(&cfg);
+        for _ in 0..5000 {
+            prog = m.mutate(&mut rng, &prog);
+        }
+        assert!(
+            prog.setup.iter().all(|i| !i.op.is_relation()),
+            "relation op leaked into setup"
+        );
+        prog.validate(&cfg).unwrap();
+    }
+
+    #[test]
+    fn mutations_eventually_change_the_program() {
+        let cfg = AlphaConfig::default();
+        let m = mutator();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let prog = init::domain_expert(&cfg);
+        let changed = (0..20).any(|_| m.mutate(&mut rng, &prog) != prog);
+        assert!(changed);
+    }
+}

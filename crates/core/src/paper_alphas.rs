@@ -1,0 +1,247 @@
+//! Reconstructions of the paper's published evolved alphas (§5.4.2).
+//!
+//! The paper prints its five round winners as compacted equation systems
+//! (Eqs. 2–22). This module rebuilds three of them as straight-line DSL
+//! programs, demonstrating that every construct those alphas use — trig
+//! chains, heaviside bounds, norm-of-norm reductions, broadcast-of-
+//! broadcast, matmul recursions on parameter matrices, relation ranks —
+//! is expressible in this implementation's operator set.
+//!
+//! These are *reconstructions*, not bit-exact transcripts: the paper's
+//! `t−k` subscripts arise from register staleness across days (an operand
+//! written later in the program is read one day stale at the top), and the
+//! compacted equations do not pin down the original instruction order.
+//! Each function documents which equation every instruction implements.
+//! Expect these alphas to be mediocre on a synthetic market — they were
+//! evolved against 2013–2017 NASDAQ — the point is expressibility and
+//! that the analysis module classifies them the way §5.4.2 describes.
+
+use crate::config::AlphaConfig;
+use crate::init::feature_rows::HIGH;
+use crate::instruction::Instruction;
+use crate::op::Op;
+use crate::program::AlphaProgram;
+
+fn ins(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
+    Instruction::new(op, in1, in2, out, [0.0; 2], [0; 2])
+}
+
+fn get(row: u8, col: u8, out: u8) -> Instruction {
+    Instruction::new(Op::MGet, 0, 0, out, [0.0; 2], [row, col])
+}
+
+/// `alpha_AE_D_0` (Eqs. 2–9): trades the trend of high prices, bounded by
+/// a historically updated `arcsin` bound; the parameters `S4`, `S2` are
+/// maintained by `Update()` through a heaviside of the stale prediction
+/// and an `arccos(norm(norm(M2, axis=0)))` of a matmul-recursed matrix.
+///
+/// Register map: `s6` = paper `S4`, `s8` = paper `S2`, `m1` = paper `M1`,
+/// `m2` = paper `M2`.
+pub fn alpha_ae_d_0(cfg: &AlphaConfig) -> AlphaProgram {
+    let newest = (cfg.dim - 1) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![
+            // Eq. 3 inner term: S4_{t-2} − arcsin(high_{t-1}).
+            get(HIGH, newest, 3),      // s3 = high_{t-1}
+            ins(Op::SArcSin, 3, 0, 4), // s4 = arcsin(high)
+            ins(Op::SSub, 6, 4, 5),    // s5 = S4 − arcsin(high)
+            // Eq. 3: S3 = min(s5, arcsin(S2)).
+            ins(Op::SArcSin, 8, 0, 7), // s7 = arcsin(S2)
+            ins(Op::SMin, 5, 7, 9),    // s9 = S3
+            // Eq. 2: S1 = tan(S3) / cos(s5).
+            ins(Op::STan, 9, 0, 2),
+            ins(Op::SCos, 5, 0, 3),
+            ins(Op::SDiv, 2, 3, 1),
+        ],
+        update: vec![
+            // Eq. 6: S4 = tan(heaviside(S1)) — S1 read stale (S1_{t-2} in
+            // the paper's compacted subscripts).
+            ins(Op::SHeaviside, 1, 0, 6),
+            ins(Op::STan, 6, 0, 6),
+            // Eq. 9: M1 = matmul(M2, M1) (reads the previous day's values).
+            ins(Op::MatMul, 2, 1, 1),
+            // Eq. 8: M2 = min(abs(abs(M1)), broadcast(broadcast(S0), axis=1)).
+            ins(Op::MAbs, 1, 0, 3),
+            ins(Op::MAbs, 3, 0, 3),
+            ins(Op::VBroadcast, 0, 0, 1), // v1 = broadcast(S0)
+            Instruction::new(Op::MBroadcast, 1, 0, 2, [0.0; 2], [1, 0]),
+            ins(Op::MMin, 3, 2, 2),
+            // Eq. 7: S2 = arccos(norm(norm(M2, axis=0))).
+            Instruction::new(Op::MNormAxis, 2, 0, 2, [0.0; 2], [0, 0]), // v2 = col norms
+            ins(Op::VNorm, 2, 0, 8),
+            ins(Op::SArcCos, 8, 0, 8),
+        ],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// `alpha_AE_NN_1` (Eq. 10): a deep unary chain over high prices with a
+/// `relation_rank` and a `ts_rank` — the alpha the paper highlights as
+/// using selectively injected relational knowledge.
+///
+/// The paper's `tsrank` ranks a scalar against its own history; the DSL
+/// equivalent used here is `ts_rank` over the high-price row of the input
+/// window (the newest element ranked within its own trailing window).
+pub fn alpha_ae_nn_1(cfg: &AlphaConfig) -> AlphaProgram {
+    let newest = (cfg.dim - 1) as u8;
+    let prev = (cfg.dim - 2) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![
+            // Branch A: tsrank(abs(relation_rank(arctan(sin(sin(exp(high_{t-2})))))))
+            get(HIGH, prev, 2),
+            ins(Op::SExp, 2, 0, 2),
+            ins(Op::SSin, 2, 0, 2),
+            ins(Op::SSin, 2, 0, 2),
+            ins(Op::SArcTan, 2, 0, 2),
+            ins(Op::RelRankIndustry, 2, 0, 2),
+            ins(Op::SAbs, 2, 0, 2),
+            // ts_rank over the high-price history window.
+            Instruction::new(Op::MGetRow, 0, 0, 1, [0.0; 2], [HIGH, 0]),
+            ins(Op::TsRank, 1, 0, 3),
+            ins(Op::SMul, 3, 2, 3), // combine the scalar chain with the rank
+            // Branch B: log(sin(arctan(sin(sin(exp(high_{t-1}))))))
+            get(HIGH, newest, 4),
+            ins(Op::SExp, 4, 0, 4),
+            ins(Op::SSin, 4, 0, 4),
+            ins(Op::SSin, 4, 0, 4),
+            ins(Op::SArcTan, 4, 0, 4),
+            ins(Op::SSin, 4, 0, 4),
+            ins(Op::SLn, 4, 0, 4),
+            // S1 = log(cos(arcsin(min(A, B)))).
+            ins(Op::SMin, 3, 4, 5),
+            ins(Op::SArcSin, 5, 0, 5),
+            ins(Op::SCos, 5, 0, 5),
+            ins(Op::SLn, 5, 0, 1),
+        ],
+        update: vec![Instruction::nop()],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+/// `alpha_AE_R_2` (Eqs. 11–16): trades the volatility of a recursively
+/// updated feature matrix `M2` times a bounded high-price trend feature.
+///
+/// Register map: `s5` = paper `S2`, `s6` = paper `S3`, `m2` = paper `M2`,
+/// `m1` = paper `M1`.
+pub fn alpha_ae_r_2(cfg: &AlphaConfig) -> AlphaProgram {
+    let d4 = (cfg.dim - 4) as u8;
+    let d5 = (cfg.dim - 5) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![
+            // Eq. 13: S3 = max(S3, max(sin(S3), high_{t-5})).
+            get(HIGH, d5, 2),
+            ins(Op::SSin, 6, 0, 3),
+            ins(Op::SMax, 3, 2, 3),
+            ins(Op::SMax, 6, 3, 6),
+            // Eq. 12: S2 = max(sin(S3), high_{t-4}).
+            get(HIGH, d4, 4),
+            ins(Op::SSin, 6, 0, 5),
+            ins(Op::SMax, 5, 4, 5),
+            // Eq. 11: S1 = std(M2) · (arctan(S0) − S2) · S2.
+            ins(Op::MStd, 2, 0, 7),
+            ins(Op::SArcTan, 0, 0, 8), // stale label as "recent return"
+            ins(Op::SSub, 8, 5, 8),
+            ins(Op::SMul, 7, 8, 9),
+            ins(Op::SMul, 9, 5, 1),
+        ],
+        update: vec![
+            // Eq. 15: M1 = M2 + heaviside(min(M2, min(M2+M1, M2))) + M0.
+            ins(Op::MAdd, 2, 1, 3),
+            ins(Op::MMin, 3, 2, 3),
+            ins(Op::MMin, 2, 3, 3),
+            ins(Op::MHeaviside, 3, 0, 3),
+            ins(Op::MAdd, 2, 3, 1),
+            ins(Op::MAdd, 1, 0, 1),
+            // Eq. 14: M2 = abs(M1).
+            ins(Op::MAbs, 1, 0, 2),
+        ],
+    };
+    debug_assert!(prog.validate(cfg).is_ok());
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::eval::{EvalOptions, Evaluator};
+    use crate::prune::prune;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+    use std::sync::Arc;
+
+    fn all(cfg: &AlphaConfig) -> Vec<(&'static str, AlphaProgram)> {
+        vec![
+            ("alpha_AE_D_0", alpha_ae_d_0(cfg)),
+            ("alpha_AE_NN_1", alpha_ae_nn_1(cfg)),
+            ("alpha_AE_R_2", alpha_ae_r_2(cfg)),
+        ]
+    }
+
+    #[test]
+    fn reconstructions_validate_and_use_input() {
+        let cfg = AlphaConfig::default();
+        for (name, prog) in all(&cfg) {
+            prog.validate(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = prune(&prog);
+            assert!(r.uses_input, "{name} must read m0");
+        }
+    }
+
+    #[test]
+    fn d0_and_r2_are_parameterized_nn1_is_formulaic() {
+        let cfg = AlphaConfig::default();
+        assert!(prune(&alpha_ae_d_0(&cfg)).stateful, "D_0 has U-maintained parameters");
+        assert!(prune(&alpha_ae_r_2(&cfg)).stateful, "R_2 recurses on M2");
+        assert!(!prune(&alpha_ae_nn_1(&cfg)).stateful, "NN_1 is a pure formula");
+    }
+
+    #[test]
+    fn nn1_keeps_its_relation_rank() {
+        let cfg = AlphaConfig::default();
+        let a = analyze(&alpha_ae_nn_1(&cfg));
+        assert_eq!(a.relation_ops.2, 1, "the relation_rank survives pruning");
+        assert!(a.is_formulaic);
+    }
+
+    #[test]
+    fn d0_analysis_matches_paper_description() {
+        let cfg = AlphaConfig::default();
+        let a = analyze(&alpha_ae_d_0(&cfg));
+        // S4 (s6), S2 (s8) and the matrices are the trained parameters.
+        assert!(!a.parameters.is_empty(), "D_0 passes parameters to inference");
+        assert!(!a.is_formulaic);
+        assert!(a.features_read.contains(&HIGH), "trades on high prices");
+    }
+
+    #[test]
+    fn reconstructions_execute_to_completion() {
+        // The evaluator must process them without panicking; alphas whose
+        // trig chains leave their domains are killed, not crashed on.
+        let cfg = AlphaConfig::default();
+        let md = MarketConfig { n_stocks: 12, n_days: 130, seed: 3, ..Default::default() }.generate();
+        let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+        let ev = Evaluator::new(cfg, EvalOptions::default(), Arc::new(ds));
+        for (name, prog) in all(&cfg) {
+            let pruned = prune(&prog).program;
+            let e = ev.evaluate(&pruned);
+            if let Some(ic) = e.fitness {
+                assert!(ic.is_finite(), "{name} produced non-finite IC");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructions_round_trip_through_text() {
+        let cfg = AlphaConfig::default();
+        for (name, prog) in all(&cfg) {
+            let text = crate::textio::to_text(&prog);
+            let back = crate::textio::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, prog, "{name}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! An alpha: three component functions of straight-line instructions.
+//!
+//! Paper §2: *"Each alpha consists of three components: a setup function to
+//! initialize operands, a predict function to generate a prediction, and a
+//! parameter-updating function to update parameters."* Registers written in
+//! `Update()` during training persist into inference — they are the alpha's
+//! parameters.
+
+use std::fmt;
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::op::Op;
+
+/// Identifies one of the three component functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionId {
+    /// `def Setup()` — runs once per stock before any sample.
+    Setup,
+    /// `def Predict()` — runs on every sample; its last write to `s1` is
+    /// the prediction.
+    Predict,
+    /// `def Update()` — runs after each *training* sample, with the label
+    /// in `s0`.
+    Update,
+}
+
+impl FunctionId {
+    /// All three functions in execution order.
+    pub const ALL: [FunctionId; 3] = [FunctionId::Setup, FunctionId::Predict, FunctionId::Update];
+
+    /// Lower-case name used in the program text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            FunctionId::Setup => "setup",
+            FunctionId::Predict => "predict",
+            FunctionId::Update => "update",
+        }
+    }
+}
+
+/// A complete alpha program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AlphaProgram {
+    /// Initialization instructions.
+    pub setup: Vec<Instruction>,
+    /// Prediction instructions.
+    pub predict: Vec<Instruction>,
+    /// Parameter-update instructions.
+    pub update: Vec<Instruction>,
+}
+
+impl AlphaProgram {
+    /// An empty program (invalid until functions are populated — see
+    /// [`AlphaProgram::validate`]).
+    pub fn new() -> AlphaProgram {
+        AlphaProgram::default()
+    }
+
+    /// Instructions of `f`.
+    pub fn function(&self, f: FunctionId) -> &Vec<Instruction> {
+        match f {
+            FunctionId::Setup => &self.setup,
+            FunctionId::Predict => &self.predict,
+            FunctionId::Update => &self.update,
+        }
+    }
+
+    /// Mutable instructions of `f`.
+    pub fn function_mut(&mut self, f: FunctionId) -> &mut Vec<Instruction> {
+        match f {
+            FunctionId::Setup => &mut self.setup,
+            FunctionId::Predict => &mut self.predict,
+            FunctionId::Update => &mut self.update,
+        }
+    }
+
+    /// Maximum instruction count allowed for `f` under `cfg`.
+    pub fn max_ops(cfg: &AlphaConfig, f: FunctionId) -> usize {
+        match f {
+            FunctionId::Setup => cfg.max_setup_ops,
+            FunctionId::Predict => cfg.max_predict_ops,
+            FunctionId::Update => cfg.max_update_ops,
+        }
+    }
+
+    /// Total instruction count across the three functions.
+    pub fn n_ops(&self) -> usize {
+        self.setup.len() + self.predict.len() + self.update.len()
+    }
+
+    /// Counts instructions with a given property (e.g. relation ops).
+    pub fn count_ops(&self, pred: impl Fn(Op) -> bool) -> usize {
+        FunctionId::ALL
+            .iter()
+            .map(|&f| self.function(f).iter().filter(|i| pred(i.op)).count())
+            .sum()
+    }
+
+    /// Validates instruction bounds and the paper's per-function size
+    /// limits.
+    pub fn validate(&self, cfg: &AlphaConfig) -> Result<(), String> {
+        for f in FunctionId::ALL {
+            let instrs = self.function(f);
+            if instrs.len() < cfg.min_ops {
+                return Err(format!("{}() has fewer than {} ops", f.name(), cfg.min_ops));
+            }
+            let max = AlphaProgram::max_ops(cfg, f);
+            if instrs.len() > max {
+                return Err(format!("{}() exceeds {} ops", f.name(), max));
+            }
+            for (i, instr) in instrs.iter().enumerate() {
+                instr
+                    .validate(cfg)
+                    .map_err(|e| format!("{}() op {i}: {e}", f.name()))?;
+                if f == FunctionId::Setup && instr.op.is_relation() {
+                    return Err(format!("{}() op {i}: relation op not allowed in setup", f.name()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AlphaProgram {
+    /// The canonical text format parsed by [`crate::textio`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in FunctionId::ALL {
+            writeln!(f, "def {}():", func.name())?;
+            for instr in self.function(func) {
+                writeln!(f, "  {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction;
+    use crate::op::Op;
+
+    fn tiny_program() -> AlphaProgram {
+        AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [0.5, 0.0], [0; 2])],
+            predict: vec![Instruction::new(Op::MGet, 0, 0, 1, [0.0; 2], [1, 2])],
+            update: vec![Instruction::nop()],
+        }
+    }
+
+    #[test]
+    fn validates_paper_limits() {
+        let cfg = AlphaConfig::default();
+        tiny_program().validate(&cfg).unwrap();
+
+        let mut big = tiny_program();
+        big.predict = vec![Instruction::nop(); 22];
+        assert!(big.validate(&cfg).is_err(), "predict over 21 ops must fail");
+
+        let mut empty = tiny_program();
+        empty.update.clear();
+        assert!(empty.validate(&cfg).is_err(), "min 1 op per function");
+    }
+
+    #[test]
+    fn setup_rejects_relation_ops() {
+        let cfg = AlphaConfig::default();
+        let mut p = tiny_program();
+        p.setup.push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
+        assert!(p.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn display_contains_all_functions() {
+        let text = tiny_program().to_string();
+        assert!(text.contains("def setup():"));
+        assert!(text.contains("def predict():"));
+        assert!(text.contains("def update():"));
+        assert!(text.contains("s1 = m_get(m0, 1, 2)"));
+    }
+
+    #[test]
+    fn count_ops_by_kind() {
+        let mut p = tiny_program();
+        p.predict.push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
+        assert_eq!(p.count_ops(|o| o.is_relation()), 1);
+        assert_eq!(p.count_ops(|o| o.is_extraction()), 1);
+        assert_eq!(p.n_ops(), 4);
+    }
+}

@@ -1,0 +1,437 @@
+//! Redundancy pruning (paper §4.2).
+//!
+//! *"The redundancy pruning process prunes the operations that do not
+//! contribute to the calculation between the input feature matrix `m0` and
+//! the prediction `s1`."*
+//!
+//! The paper sketches the analysis as a backward walk over an
+//! operand-dependency graph rooted at `s1`. Implemented faithfully, this is
+//! a backward **liveness fixpoint** over the alpha's execution cycle,
+//! because registers persist across timesteps (that persistence is the
+//! mechanism behind the paper's `S3_{t-1}`-style recursions and the
+//! `Update()`-written parameters):
+//!
+//! ```text
+//! per training day:  [framework writes m0] Predict() [observe s1]
+//!                    [framework writes s0] Update()
+//! per inference day: [framework writes m0] Predict() [observe s1]
+//! ```
+//!
+//! A register demanded at the entry of `Predict()` may be produced by the
+//! previous day's `Update()`, by the previous day's `Predict()`, or by
+//! `Setup()`. Demands on `m0` (and `s0` before `Update()`) are satisfied by
+//! the framework and do not propagate further back. The fixpoint iterates
+//! until the predict-entry live set stabilizes, then one final pass marks
+//! live instructions in each function.
+//!
+//! Two outputs drive the search (paper Figure 5):
+//!
+//! * the **effective program** — only live instructions, which is what gets
+//!   fingerprinted *and evaluated*;
+//! * **`uses_input`** — whether the observed prediction depends on the
+//!   framework-written `m0` at all. If not, the whole alpha is *redundant*
+//!   (Fig. 5b) and is rejected without evaluation.
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::memory::{INPUT, LABEL, PREDICTION};
+use crate::op::{Kind, Op};
+use crate::program::{AlphaProgram, FunctionId};
+
+/// Bit position of a register in the 64-bit live set. Banks are capped at
+/// 16 registers each, which covers the paper's 10/16/4 configuration.
+#[inline]
+fn bit(kind: Kind, reg: usize) -> u64 {
+    let offset = match kind {
+        Kind::S => 0,
+        Kind::V => 16,
+        Kind::M => 32,
+    };
+    debug_assert!(reg < 16, "register index {reg} exceeds the 16-per-bank liveness cap");
+    1u64 << (offset + reg)
+}
+
+const S1_BIT: u64 = 1 << PREDICTION;
+const S0_BIT: u64 = 1 << LABEL;
+const M0_BIT: u64 = 1 << (32 + INPUT);
+
+fn input_bits(instr: &Instruction) -> u64 {
+    let kinds = instr.op.input_kinds();
+    let mut bits = 0;
+    if !kinds.is_empty() {
+        bits |= bit(kinds[0], instr.in1 as usize);
+    }
+    if kinds.len() > 1 {
+        bits |= bit(kinds[1], instr.in2 as usize);
+    }
+    bits
+}
+
+fn output_bit(instr: &Instruction) -> u64 {
+    if instr.op == Op::NoOp {
+        0
+    } else {
+        bit(instr.op.output_kind(), instr.out as usize)
+    }
+}
+
+/// One backward pass over a function body. Marks (into `marks`, when
+/// provided) the instructions whose output is demanded downstream, and
+/// returns the live set at function entry.
+fn backward_pass(instrs: &[Instruction], live_out: u64, mut marks: Option<&mut Vec<bool>>) -> u64 {
+    if let Some(m) = marks.as_deref_mut() {
+        m.clear();
+        m.resize(instrs.len(), false);
+    }
+    let mut live = live_out;
+    for (i, instr) in instrs.iter().enumerate().rev() {
+        let out = output_bit(instr);
+        if out != 0 && live & out != 0 {
+            live &= !out;
+            live |= input_bits(instr);
+            if let Some(m) = marks.as_deref_mut() {
+                m[i] = true;
+            }
+        }
+    }
+    live
+}
+
+/// Result of pruning one alpha.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneResult {
+    /// The effective program: live instructions only, in original order.
+    /// Functions pruned to emptiness keep a single `noop` so the program
+    /// still satisfies the min-1-op constraint.
+    pub program: AlphaProgram,
+    /// Whether the observed prediction depends on the framework-written
+    /// input matrix `m0`. `false` means the alpha is redundant (Fig. 5b).
+    pub uses_input: bool,
+    /// Whether any register demanded at `Predict()` entry is written by a
+    /// live `Predict()`/`Update()` instruction — i.e. the alpha carries
+    /// state across days (trained parameters or recurrences). A stateless
+    /// alpha is "formulaic": its predictions are day-local, so the
+    /// training sweep can be skipped entirely (the paper's "a formulaic
+    /// alpha is a special case of the new alpha with no parameters").
+    pub stateful: bool,
+    /// Number of instructions removed.
+    pub n_pruned: usize,
+}
+
+/// Prunes redundant operations and detects redundant alphas.
+pub fn prune(prog: &AlphaProgram) -> PruneResult {
+    // Fixpoint on the predict-entry live set.
+    let mut live_pred_entry: u64 = 0;
+    loop {
+        // Backward through Update(); its live-out is the next day's
+        // predict-entry demand minus m0 (framework-written before Predict).
+        let live_update_entry = backward_pass(&prog.update, live_pred_entry & !M0_BIT, None);
+        // Crossing the framework's s0 write kills the s0 demand; crossing
+        // the observation point adds the s1 demand; merge the
+        // inference-path demand (predict -> next-day predict directly).
+        let live_pred_exit =
+            (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
+        let next = backward_pass(&prog.predict, live_pred_exit, None) | live_pred_entry;
+        if next == live_pred_entry {
+            break;
+        }
+        live_pred_entry = next;
+    }
+
+    // Final marking passes with the converged sets.
+    let mut predict_marks = Vec::new();
+    let mut update_marks = Vec::new();
+    let mut setup_marks = Vec::new();
+    let live_update_entry =
+        backward_pass(&prog.update, live_pred_entry & !M0_BIT, Some(&mut update_marks));
+    let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
+    let live_entry = backward_pass(&prog.predict, live_pred_exit, Some(&mut predict_marks));
+    debug_assert_eq!(live_entry | live_pred_entry, live_pred_entry, "fixpoint must have converged");
+    // Setup() runs before the first day; m0 is framework-written before the
+    // first Predict(), so demands on it don't reach Setup().
+    backward_pass(&prog.setup, live_pred_entry & !M0_BIT, Some(&mut setup_marks));
+
+    let uses_input = live_pred_entry & M0_BIT != 0;
+
+    // Cross-day state: some register demanded at predict entry (other than
+    // the framework-fed m0) is written by a live predict/update
+    // instruction, so day t's prediction depends on earlier days.
+    let mut live_writes: u64 = 0;
+    for (instr, &m) in prog.predict.iter().zip(&predict_marks) {
+        if m {
+            live_writes |= output_bit(instr);
+        }
+    }
+    for (instr, &m) in prog.update.iter().zip(&update_marks) {
+        if m {
+            live_writes |= output_bit(instr);
+        }
+    }
+    let stateful = (live_pred_entry & !M0_BIT) & live_writes != 0;
+
+    let keep = |instrs: &[Instruction], marks: &[bool]| -> Vec<Instruction> {
+        let kept: Vec<Instruction> = instrs
+            .iter()
+            .zip(marks)
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i.clone())
+            .collect();
+        if kept.is_empty() {
+            vec![Instruction::nop()]
+        } else {
+            kept
+        }
+    };
+
+    let pruned = AlphaProgram {
+        setup: keep(&prog.setup, &setup_marks),
+        predict: keep(&prog.predict, &predict_marks),
+        update: keep(&prog.update, &update_marks),
+    };
+    let n_pruned = prog.n_ops()
+        - (setup_marks.iter().filter(|&&m| m).count()
+            + predict_marks.iter().filter(|&&m| m).count()
+            + update_marks.iter().filter(|&&m| m).count());
+    PruneResult { program: pruned, uses_input, stateful, n_pruned }
+}
+
+/// Canonicalizes register names in a (pruned) program: non-special
+/// registers are renumbered per bank in order of first appearance, so that
+/// alpha-equivalent programs share one fingerprint. `s0`, `s1` and `m0`
+/// keep their reserved indices.
+pub fn canonicalize(prog: &AlphaProgram, cfg: &AlphaConfig) -> AlphaProgram {
+    // rename[kind][old] = new
+    let mut rename: [Vec<Option<u8>>; 3] =
+        [vec![None; cfg.n_scalars], vec![None; cfg.n_vectors], vec![None; cfg.n_matrices]];
+    // Reserved registers map to themselves.
+    rename[0][LABEL] = Some(LABEL as u8);
+    rename[0][PREDICTION] = Some(PREDICTION as u8);
+    rename[2][INPUT] = Some(INPUT as u8);
+    let mut next: [u8; 3] = [2, 0, 1]; // first free index per bank
+
+    let slot = |k: Kind| match k {
+        Kind::S => 0usize,
+        Kind::V => 1,
+        Kind::M => 2,
+    };
+    let assign = |k: Kind, old: u8, rename: &mut [Vec<Option<u8>>; 3], next: &mut [u8; 3]| -> u8 {
+        let s = slot(k);
+        if let Some(new) = rename[s][old as usize] {
+            return new;
+        }
+        let new = next[s];
+        next[s] += 1;
+        rename[s][old as usize] = Some(new);
+        new
+    };
+
+    let mut out = prog.clone();
+    for f in FunctionId::ALL {
+        for instr in out.function_mut(f) {
+            let kinds = instr.op.input_kinds();
+            if !kinds.is_empty() {
+                instr.in1 = assign(kinds[0], instr.in1, &mut rename, &mut next);
+            }
+            if kinds.len() > 1 {
+                instr.in2 = assign(kinds[1], instr.in2, &mut rename, &mut next);
+            }
+            if instr.op != Op::NoOp {
+                instr.out = assign(instr.op.output_kind(), instr.out, &mut rename, &mut next);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction;
+
+    fn i(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
+        Instruction::new(op, in1, in2, out, [0.0; 2], [0; 2])
+    }
+
+    fn get_m0(out: u8) -> Instruction {
+        Instruction::new(Op::MGet, 0, 0, out, [0.0; 2], [1, 2])
+    }
+
+    /// The paper's Figure 5a scenario: an overwritten s1 and a dangling
+    /// operand are both pruned.
+    #[test]
+    fn prunes_overwritten_prediction_and_dangling_ops() {
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                get_m0(2),               // s2 = m0[1,2]           (live)
+                i(Op::SAbs, 2, 0, 1),    // s1 = abs(s2)           (dead: s1 overwritten below)
+                i(Op::SSin, 2, 0, 8),    // s8 = sin(s2)           (dead: never used)
+                i(Op::SCos, 2, 0, 1),    // s1 = cos(s2)           (live, final prediction)
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(r.uses_input);
+        assert!(!r.stateful, "a day-local formula carries no state");
+        assert_eq!(r.program.predict.len(), 2);
+        assert_eq!(r.program.predict[0].op, Op::MGet);
+        assert_eq!(r.program.predict[1].op, Op::SCos);
+        assert_eq!(r.n_pruned, 2 + 2, "two dead predict ops and two noops pruned");
+    }
+
+    /// Figure 5b: prediction not connected to m0 -> redundant alpha.
+    #[test]
+    fn detects_redundant_alpha() {
+        let prog = AlphaProgram {
+            setup: vec![i(Op::SConst, 0, 0, 2)],
+            predict: vec![i(Op::SAbs, 2, 0, 1)], // s1 = abs(s2) — constant
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(!r.uses_input, "prediction is a constant, alpha is redundant");
+        // The computation itself is still live (it feeds s1)...
+        assert_eq!(r.program.predict.len(), 1);
+        assert_eq!(r.program.setup.len(), 1);
+    }
+
+    #[test]
+    fn update_feeding_predict_is_live() {
+        // Update writes s3 from m0; predict divides by it next day. The
+        // update op must survive pruning (it is the "parameter").
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![get_m0(2), i(Op::SDiv, 2, 3, 1)],
+            update: vec![
+                Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [0, 0]), // s3 = m0[0,0]
+                i(Op::SSin, 4, 0, 5),                                  // dead
+            ],
+        };
+        let r = prune(&prog);
+        assert!(r.uses_input);
+        assert!(r.stateful, "update-written parameters are cross-day state");
+        assert_eq!(r.program.update.len(), 1);
+        assert_eq!(r.program.update[0].op, Op::MGet);
+        assert_eq!(r.program.predict.len(), 2);
+    }
+
+    #[test]
+    fn setup_feeding_prediction_is_live() {
+        let prog = AlphaProgram {
+            setup: vec![
+                Instruction::new(Op::SConst, 0, 0, 3, [0.5, 0.0], [0; 2]), // live: read by predict
+                Instruction::new(Op::SConst, 0, 0, 4, [9.0, 0.0], [0; 2]), // dead
+            ],
+            predict: vec![get_m0(2), i(Op::SMul, 2, 3, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert_eq!(r.program.setup.len(), 1);
+        assert_eq!(r.program.setup[0].lit[0], 0.5);
+    }
+
+    #[test]
+    fn predict_self_recurrence_is_live() {
+        // s5 accumulates across days inside predict: s5 = s5 + m0[..];
+        // s1 = sin(s5). The accumulator read crosses day boundaries.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![get_m0(2), i(Op::SAdd, 5, 2, 5), i(Op::SSin, 5, 0, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(r.uses_input);
+        assert!(r.stateful, "a predict-local accumulator is cross-day state");
+        assert_eq!(r.program.predict.len(), 3);
+    }
+
+    #[test]
+    fn setup_constant_does_not_make_alpha_stateful() {
+        // Predict divides by a setup constant: live-in registers exist but
+        // none is written by predict/update, so the alpha is stateless.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [0.5, 0.0], [0; 2])],
+            predict: vec![get_m0(2), i(Op::SDiv, 2, 3, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(r.uses_input);
+        assert!(!r.stateful);
+    }
+
+    #[test]
+    fn label_only_alpha_is_redundant() {
+        // Predicting from the label via update state without ever reading
+        // m0: no connection to the input -> redundant.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![i(Op::SAbs, 3, 0, 1)],
+            update: vec![i(Op::SAdd, 0, 0, 3)], // s3 = s0 + s0
+        };
+        let r = prune(&prog);
+        assert!(!r.uses_input);
+        // The chain s0 -> s3 -> s1 is live (it does feed the prediction).
+        assert_eq!(r.program.update.len(), 1);
+    }
+
+    #[test]
+    fn noop_only_program() {
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![Instruction::nop()],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(!r.uses_input);
+        assert_eq!(r.program.predict, vec![Instruction::nop()]);
+    }
+
+    #[test]
+    fn m0_overwritten_by_predict_blocks_input() {
+        // Predict overwrites m0 with a constant before reading it: the
+        // framework value never reaches the prediction.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                Instruction::new(Op::MConst, 0, 0, 0, [1.0, 0.0], [0; 2]), // m0 = const
+                i(Op::MNorm, 0, 0, 1),                                     // s1 = norm(m0)
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let r = prune(&prog);
+        assert!(!r.uses_input, "framework m0 is dead once predict overwrites it first");
+    }
+
+    #[test]
+    fn canonicalize_renames_consistently() {
+        let cfg = AlphaConfig::default();
+        let a = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 7, [0.5, 0.0], [0; 2])],
+            predict: vec![get_m0(9), i(Op::SMul, 9, 7, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let b = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 4, [0.5, 0.0], [0; 2])],
+            predict: vec![get_m0(3), i(Op::SMul, 3, 4, 1)],
+            update: vec![Instruction::nop()],
+        };
+        assert_eq!(canonicalize(&a, &cfg), canonicalize(&b, &cfg));
+        // Canonical form uses the first free scalar registers (2, 3).
+        let c = canonicalize(&a, &cfg);
+        assert_eq!(c.setup[0].out, 2);
+        assert_eq!(c.predict[0].out, 3);
+    }
+
+    #[test]
+    fn canonicalize_preserves_reserved_registers() {
+        let cfg = AlphaConfig::default();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![get_m0(5), i(Op::SAdd, 5, 0, 1)],
+            update: vec![i(Op::SAbs, 0, 0, 5)],
+        };
+        let c = canonicalize(&prog, &cfg);
+        assert_eq!(c.predict[0].in1, 0, "m0 stays register 0");
+        assert_eq!(c.predict[1].in2, 0, "s0 stays register 0");
+        assert_eq!(c.predict[1].out, 1, "s1 stays register 1");
+    }
+}

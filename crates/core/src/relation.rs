@@ -1,0 +1,198 @@
+//! Cross-sectional kernels for the RelationOps (paper §4.1).
+//!
+//! A RelationOp's output for stock `a` at one timestep depends on the input
+//! operand computed *on other tasks at the same timestep*:
+//!
+//! * `RankOp` — rank among all stocks;
+//! * `RelationRankOp` — rank among stocks of the same sector (industry);
+//! * `RelationDemeanOp` — difference from the sector (industry) mean.
+//!
+//! Ranks are normalized to `[0, 1]` with ties sharing their average rank;
+//! singleton groups rank at `0.5`. Non-finite inputs deterministically sort
+//! last and produce non-finite demeans (which later kill the candidate, as
+//! with any other non-finite computation).
+
+use alphaevolve_market::Universe;
+
+use crate::op::RelGroup;
+
+/// Precomputed group memberships for a universe, consumed by the lockstep
+/// interpreter's RelationOp execution.
+#[derive(Debug, Clone)]
+pub struct GroupIndex {
+    n_stocks: usize,
+    all: Vec<u32>,
+    sectors: Vec<Vec<u32>>,
+    industries: Vec<Vec<u32>>,
+}
+
+impl GroupIndex {
+    /// Builds membership tables from a universe.
+    pub fn from_universe(u: &Universe) -> GroupIndex {
+        let sectors = (0..u.n_sectors())
+            .map(|s| u.sector_members(alphaevolve_market::SectorId(s as u16)).to_vec())
+            .filter(|v| !v.is_empty())
+            .collect();
+        let industries = (0..u.n_industries())
+            .map(|i| u.industry_members(alphaevolve_market::IndustryId(i as u16)).to_vec())
+            .filter(|v| !v.is_empty())
+            .collect();
+        GroupIndex {
+            n_stocks: u.len(),
+            all: (0..u.len() as u32).collect(),
+            sectors,
+            industries,
+        }
+    }
+
+    /// A degenerate index treating every stock as one group (useful for
+    /// tests and for running without relational knowledge).
+    pub fn single_group(n_stocks: usize) -> GroupIndex {
+        let all: Vec<u32> = (0..n_stocks as u32).collect();
+        GroupIndex { n_stocks, all: all.clone(), sectors: vec![all.clone()], industries: vec![all] }
+    }
+
+    /// Number of stocks covered.
+    pub fn n_stocks(&self) -> usize {
+        self.n_stocks
+    }
+
+    /// The groups for a relation kind.
+    pub fn groups(&self, rel: RelGroup) -> GroupSlices<'_> {
+        match rel {
+            RelGroup::All => GroupSlices::Single(&self.all),
+            RelGroup::Sector => GroupSlices::Many(&self.sectors),
+            RelGroup::Industry => GroupSlices::Many(&self.industries),
+        }
+    }
+}
+
+/// Either the single all-stocks group or a partition into groups.
+pub enum GroupSlices<'a> {
+    /// One group covering all stocks.
+    Single(&'a [u32]),
+    /// A partition (sector or industry membership lists).
+    Many(&'a [Vec<u32>]),
+}
+
+impl<'a> GroupSlices<'a> {
+    /// Iterates over the member lists.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &'a [u32]> + 'a> {
+        match self {
+            GroupSlices::Single(g) => Box::new(std::iter::once(*g)),
+            GroupSlices::Many(gs) => Box::new(gs.iter().map(Vec::as_slice)),
+        }
+    }
+}
+
+/// Writes normalized average ranks of `values[member]` into `out[member]`
+/// for each `member` of `group`. `scratch` is an index buffer reused across
+/// calls.
+pub fn rank_within(group: &[u32], values: &[f64], out: &mut [f64], scratch: &mut Vec<u32>) {
+    let n = group.len();
+    if n == 1 {
+        out[group[0] as usize] = 0.5;
+        return;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(group);
+    // Non-finite values sort last, ties broken by index for determinism.
+    scratch.sort_by(|&a, &b| {
+        let (xa, xb) = (values[a as usize], values[b as usize]);
+        xa.partial_cmp(&xb)
+            .unwrap_or_else(|| xa.is_nan().cmp(&xb.is_nan()))
+            .then(a.cmp(&b))
+    });
+    let denom = (n - 1) as f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        let xi = values[scratch[i] as usize];
+        while j + 1 < n && values[scratch[j + 1] as usize] == xi {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 / denom;
+        for k in i..=j {
+            out[scratch[k] as usize] = avg;
+        }
+        i = j + 1;
+    }
+}
+
+/// Writes `values[member] - mean(group values)` into `out[member]`.
+pub fn demean_within(group: &[u32], values: &[f64], out: &mut [f64]) {
+    let mean = group.iter().map(|&i| values[i as usize]).sum::<f64>() / group.len() as f64;
+    for &i in group {
+        out[i as usize] = values[i as usize] - mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_basic() {
+        let group = [0u32, 1, 2, 3];
+        let values = [3.0, 1.0, 4.0, 2.0];
+        let mut out = [0.0; 4];
+        rank_within(&group, &values, &mut out, &mut Vec::new());
+        assert_eq!(out, [2.0 / 3.0, 0.0, 1.0, 1.0 / 3.0]);
+    }
+
+    #[test]
+    fn rank_with_ties_averages() {
+        let group = [0u32, 1, 2];
+        let values = [5.0, 5.0, 1.0];
+        let mut out = [0.0; 3];
+        rank_within(&group, &values, &mut out, &mut Vec::new());
+        assert_eq!(out[2], 0.0);
+        assert!((out[0] - 0.75).abs() < 1e-12);
+        assert!((out[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_singleton_is_half() {
+        let group = [7u32];
+        let values = [0.0; 8];
+        let mut out = [0.0; 8];
+        rank_within(&group, &values, &mut out, &mut Vec::new());
+        assert_eq!(out[7], 0.5);
+    }
+
+    #[test]
+    fn rank_nan_sorts_last_deterministically() {
+        let group = [0u32, 1, 2];
+        let values = [f64::NAN, 1.0, 2.0];
+        let mut out = [0.0; 3];
+        rank_within(&group, &values, &mut out, &mut Vec::new());
+        assert_eq!(out[0], 1.0, "NaN ranks last");
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.5);
+    }
+
+    #[test]
+    fn demean_sums_to_zero() {
+        let group = [0u32, 1, 2, 3];
+        let values = [1.0, 2.0, 3.0, 6.0];
+        let mut out = [0.0; 4];
+        demean_within(&group, &values, &mut out);
+        assert!((out.iter().sum::<f64>()).abs() < 1e-12);
+        assert_eq!(out[3], 3.0);
+    }
+
+    #[test]
+    fn group_index_partitions_cover_universe() {
+        let u = Universe::synthetic(30, 3, 2);
+        let g = GroupIndex::from_universe(&u);
+        let total: usize = g.groups(crate::op::RelGroup::Sector).iter().map(|m| m.len()).sum();
+        assert_eq!(total, 30);
+        let total_ind: usize =
+            g.groups(crate::op::RelGroup::Industry).iter().map(|m| m.len()).sum();
+        assert_eq!(total_ind, 30);
+        match g.groups(crate::op::RelGroup::All) {
+            GroupSlices::Single(all) => assert_eq!(all.len(), 30),
+            _ => panic!("All must be a single group"),
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Human-readable program serialization.
+//!
+//! The format is exactly what [`AlphaProgram`]'s `Display` prints:
+//!
+//! ```text
+//! def setup():
+//!   s2 = s_const(0.001)
+//! def predict():
+//!   s3 = m_get(m0, 11, 12)
+//!   s1 = s_div(s3, s2)
+//! def update():
+//!   noop
+//! ```
+//!
+//! Literals round-trip exactly (shortest-representation printing, bitwise
+//! re-parse). This doubles as the on-disk format for mined alpha sets, in
+//! place of a serde dependency.
+
+use crate::instruction::Instruction;
+use crate::op::{IxUse, Kind, Op};
+use crate::program::{AlphaProgram, FunctionId};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a program (same as `Display`).
+pub fn to_text(prog: &AlphaProgram) -> String {
+    prog.to_string()
+}
+
+/// Serializes a named alpha *set* (e.g. the weakly correlated set `A`
+/// mined across rounds) into one document: blocks introduced by
+/// `## alpha <name>` headers.
+pub fn set_to_text<'a>(alphas: impl IntoIterator<Item = (&'a str, &'a AlphaProgram)>) -> String {
+    let mut out = String::new();
+    for (name, prog) in alphas {
+        out.push_str(&format!("## alpha {name}\n"));
+        out.push_str(&prog.to_string());
+    }
+    out
+}
+
+/// Parses a document written by [`set_to_text`].
+pub fn set_from_text(text: &str) -> Result<Vec<(String, AlphaProgram)>, ParseError> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut block = String::new();
+    let mut block_start = 1usize;
+    let flush = |name: &Option<String>,
+                 block: &str,
+                 start: usize,
+                 out: &mut Vec<(String, AlphaProgram)>|
+     -> Result<(), ParseError> {
+        if let Some(n) = name {
+            let prog = from_text(block).map_err(|e| ParseError {
+                line: if e.line == 0 { start } else { start + e.line },
+                msg: format!("in alpha `{n}`: {}", e.msg),
+            })?;
+            out.push((n.clone(), prog));
+        } else if !block.trim().is_empty() {
+            return Err(ParseError { line: start, msg: "content before any `## alpha` header".into() });
+        }
+        Ok(())
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if let Some(rest) = line.trim().strip_prefix("## alpha ") {
+            flush(&name, &block, block_start, &mut out)?;
+            name = Some(rest.trim().to_string());
+            block.clear();
+            block_start = lineno + 1;
+        } else {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    flush(&name, &block, block_start, &mut out)?;
+    Ok(out)
+}
+
+/// Parses a program from its text form.
+pub fn from_text(text: &str) -> Result<AlphaProgram, ParseError> {
+    let mut prog = AlphaProgram::new();
+    let mut current: Option<FunctionId> = None;
+    let mut seen = [false; 3];
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("def ") {
+            let name = rest.trim_end_matches(':').trim_end_matches("()");
+            let f = match name {
+                "setup" => FunctionId::Setup,
+                "predict" => FunctionId::Predict,
+                "update" => FunctionId::Update,
+                other => {
+                    return Err(ParseError { line: lineno, msg: format!("unknown function `{other}`") })
+                }
+            };
+            let idx = FunctionId::ALL.iter().position(|&x| x == f).unwrap();
+            if seen[idx] {
+                return Err(ParseError { line: lineno, msg: format!("duplicate `def {name}`") });
+            }
+            seen[idx] = true;
+            current = Some(f);
+            continue;
+        }
+        let f = current
+            .ok_or_else(|| ParseError { line: lineno, msg: "instruction before any `def`".into() })?;
+        let instr = parse_instruction(line)
+            .map_err(|msg| ParseError { line: lineno, msg })?;
+        prog.function_mut(f).push(instr);
+    }
+
+    if !seen.iter().all(|&s| s) {
+        return Err(ParseError { line: 0, msg: "missing one of setup/predict/update".into() });
+    }
+    Ok(prog)
+}
+
+fn parse_register(token: &str, expect: Kind) -> Result<u8, String> {
+    let mut chars = token.chars();
+    let prefix = chars.next().ok_or("empty register token")?;
+    if prefix != expect.prefix() {
+        return Err(format!("expected a {}-register, got `{token}`", expect.prefix()));
+    }
+    chars
+        .as_str()
+        .parse::<u8>()
+        .map_err(|_| format!("bad register index in `{token}`"))
+}
+
+fn parse_instruction(line: &str) -> Result<Instruction, String> {
+    if line == "noop" {
+        return Ok(Instruction::nop());
+    }
+    let (lhs, rhs) =
+        line.split_once('=').ok_or_else(|| format!("expected `out = op(...)`, got `{line}`"))?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    let (name, args_str) = rhs
+        .split_once('(')
+        .ok_or_else(|| format!("expected `op(args)`, got `{rhs}`"))?;
+    let args_str = args_str
+        .strip_suffix(')')
+        .ok_or_else(|| format!("missing closing paren in `{rhs}`"))?;
+    let op = Op::from_name(name.trim()).ok_or_else(|| format!("unknown op `{}`", name.trim()))?;
+    let args: Vec<&str> = if args_str.trim().is_empty() {
+        Vec::new()
+    } else {
+        args_str.split(',').map(str::trim).collect()
+    };
+
+    let kinds = op.input_kinds();
+    let expected = kinds.len() + op.ix_use().count() + op.lit_use().count();
+    if args.len() != expected {
+        return Err(format!("`{}` takes {} args, got {}", op.name(), expected, args.len()));
+    }
+
+    let mut instr = Instruction::nop();
+    instr.op = op;
+    instr.out = parse_register(lhs, op.output_kind())?;
+    let mut pos = 0;
+    if !kinds.is_empty() {
+        instr.in1 = parse_register(args[pos], kinds[0])?;
+        pos += 1;
+    }
+    if kinds.len() > 1 {
+        instr.in2 = parse_register(args[pos], kinds[1])?;
+        pos += 1;
+    }
+    for slot in 0..op.ix_use().count() {
+        let tok = args[pos].strip_prefix("axis=").unwrap_or(args[pos]);
+        if op.ix_use() == IxUse::Axis && !args[pos].starts_with("axis=") {
+            return Err(format!("axis argument must be written `axis=N`, got `{}`", args[pos]));
+        }
+        instr.ix[slot] =
+            tok.parse::<u8>().map_err(|_| format!("bad index argument `{}`", args[pos]))?;
+        pos += 1;
+    }
+    for slot in 0..op.lit_use().count() {
+        instr.lit[slot] =
+            args[pos].parse::<f64>().map_err(|_| format!("bad literal `{}`", args[pos]))?;
+        pos += 1;
+    }
+    instr.normalize();
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlphaConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trips_simple_program() {
+        let text = "def setup():\n  s2 = s_const(0.001)\ndef predict():\n  s3 = m_get(m0, 11, 12)\n  s1 = s_div(s3, s2)\ndef update():\n  noop\n";
+        let prog = from_text(text).unwrap();
+        assert_eq!(to_text(&prog), text);
+    }
+
+    #[test]
+    fn round_trips_random_programs() {
+        let cfg = AlphaConfig::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut prog = AlphaProgram::new();
+            for f in FunctionId::ALL {
+                let pool: Vec<_> = crate::op::Op::ALL
+                    .iter()
+                    .copied()
+                    .filter(|o| f != FunctionId::Setup || !o.is_relation())
+                    .collect();
+                for _ in 0..5 {
+                    prog.function_mut(f).push(Instruction::random(&mut rng, &pool, &cfg));
+                }
+            }
+            let text = to_text(&prog);
+            let back = from_text(&text).expect("parse back");
+            assert_eq!(back, prog, "text was:\n{text}");
+        }
+    }
+
+    #[test]
+    fn literals_round_trip_bitwise() {
+        let text = format!(
+            "def setup():\n  s2 = s_const({:?})\ndef predict():\n  noop\ndef update():\n  noop\n",
+            0.1f64 + 0.2f64
+        );
+        let prog = from_text(&text).unwrap();
+        assert_eq!(prog.setup[0].lit[0], 0.1 + 0.2);
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let text = "def setup():\n  s1 = s_frobnicate(s2)\ndef predict():\n  noop\ndef update():\n  noop";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("unknown op"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_wrong_kind() {
+        let text = "def setup():\n  s1 = s_add(v2, s3)\ndef predict():\n  noop\ndef update():\n  noop";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let text = "def setup():\n  s1 = s_add(s2)\ndef predict():\n  noop\ndef update():\n  noop";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("takes"));
+    }
+
+    #[test]
+    fn rejects_missing_function() {
+        let text = "def setup():\n  noop\ndef predict():\n  noop";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_axis_without_keyword() {
+        let text =
+            "def setup():\n  v1 = m_mean_axis(m0, 0)\ndef predict():\n  noop\ndef update():\n  noop";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn alpha_set_round_trips() {
+        let cfg = AlphaConfig::default();
+        let a = crate::init::domain_expert(&cfg);
+        let b = crate::init::two_layer_nn(&cfg);
+        let text = set_to_text([("alpha_AE_D_0", &a), ("alpha_AE_NN_1", &b)]);
+        let set = set_from_text(&text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0].0, "alpha_AE_D_0");
+        assert_eq!(set[0].1, a);
+        assert_eq!(set[1].1, b);
+    }
+
+    #[test]
+    fn alpha_set_rejects_headerless_content() {
+        let err = set_from_text("def setup():\n  noop\n").unwrap_err();
+        assert!(err.msg.contains("before any"));
+    }
+
+    #[test]
+    fn alpha_set_reports_errors_with_name() {
+        let text = "## alpha broken\ndef setup():\n  s1 = s_frobnicate(s2)\ndef predict():\n  noop\ndef update():\n  noop\n";
+        let err = set_from_text(text).unwrap_err();
+        assert!(err.msg.contains("broken"));
+        assert!(err.msg.contains("unknown op"));
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        assert!(set_from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# mined by round 3\n\ndef setup():\n  noop\ndef predict():\n  s1 = m_mean(m0)\n\ndef update():\n  noop\n";
+        let prog = from_text(text).unwrap();
+        assert_eq!(prog.predict.len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests of the core invariants.
+//!
+//! The heavyweight ones drive the full interpreter, so case counts are
+//! tuned per property; the cheap structural ones use proptest defaults.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_core::fingerprint::{fingerprint, fingerprint_raw};
+use alphaevolve_core::{
+    canonicalize, init, prune, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, FunctionId,
+    Instruction, MutationConfig, Mutator, Op,
+};
+use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+
+fn tiny_evaluator() -> Evaluator {
+    let market = MarketConfig { n_stocks: 8, n_days: 110, seed: 1234, ..Default::default() }.generate();
+    let dataset =
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+    Evaluator::new(AlphaConfig::default(), EvalOptions::default(), Arc::new(dataset))
+}
+
+/// A random program from a seed, using the full op set.
+fn random_program(seed: u64, n_setup: usize, n_predict: usize, n_update: usize) -> AlphaProgram {
+    let cfg = AlphaConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    init::random_alpha(&cfg, &mut rng, n_setup.max(1), n_predict.max(1), n_update.max(1))
+}
+
+/// A random *deterministic* program (no stochastic ops), so that pruning
+/// cannot perturb the RNG stream.
+fn random_deterministic_program(seed: u64, len: usize) -> AlphaProgram {
+    let cfg = AlphaConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let full: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_stochastic()).collect();
+    let setup: Vec<Op> =
+        full.iter().copied().filter(|o| !o.is_relation()).collect();
+    let mut prog = AlphaProgram::new();
+    for f in FunctionId::ALL {
+        let pool = if f == FunctionId::Setup { &setup } else { &full };
+        for _ in 0..len.max(1) {
+            prog.function_mut(f).push(Instruction::random(&mut rng, pool, &cfg));
+        }
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The interpreter/evaluator never panics on arbitrary valid programs,
+    /// and always returns a well-formed result (AutoML-Zero robustness:
+    /// bad programs get killed, not crashed on).
+    #[test]
+    fn evaluator_total_on_arbitrary_programs(
+        seed in any::<u64>(),
+        ns in 1usize..6,
+        np in 1usize..10,
+        nu in 1usize..8,
+    ) {
+        let ev = tiny_evaluator();
+        let prog = random_program(seed, ns, np, nu);
+        prog.validate(ev.config()).expect("generated programs validate");
+        let eval = ev.evaluate(&prog);
+        match eval.fitness {
+            Some(ic) => {
+                prop_assert!(ic.is_finite());
+                prop_assert_eq!(eval.val_returns.len(), ev.dataset().valid_days().len());
+            }
+            None => prop_assert!(eval.val_returns.is_empty()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of §4.2 pruning: the effective program computes exactly
+    /// the same predictions as the original (for deterministic programs).
+    #[test]
+    fn pruning_preserves_semantics(seed in any::<u64>(), len in 1usize..8) {
+        let ev = tiny_evaluator();
+        let prog = random_deterministic_program(seed, len);
+        let pruned = prune(&prog);
+        let a = ev.evaluate_opt(&prog, false);
+        let b = ev.evaluate_opt(&pruned.program, false);
+        prop_assert_eq!(a.fitness.is_some(), b.fitness.is_some());
+        if let (Some(x), Some(y)) = (a.fitness, b.fitness) {
+            prop_assert!((x - y).abs() < 1e-12, "pruning changed IC: {} vs {}", x, y);
+            prop_assert_eq!(a.val_returns, b.val_returns);
+        }
+    }
+
+    /// The stateless-skip fast path gives identical results to the full
+    /// sweep for deterministic programs.
+    #[test]
+    fn stateless_skip_is_semantics_preserving(seed in any::<u64>(), len in 1usize..8) {
+        let ev = tiny_evaluator();
+        let prog = prune(&random_deterministic_program(seed, len)).program;
+        let fast = ev.evaluate_opt(&prog, true);
+        let slow = ev.evaluate_opt(&prog, false);
+        prop_assert_eq!(fast.fitness.is_some(), slow.fitness.is_some());
+        if let (Some(x), Some(y)) = (fast.fitness, slow.fitness) {
+            prop_assert!((x - y).abs() < 1e-12, "skip changed IC: {} vs {}", x, y);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pruning is idempotent: pruning an effective program removes nothing.
+    #[test]
+    fn pruning_is_idempotent(seed in any::<u64>(), len in 1usize..10) {
+        let prog = random_program(seed, len, len, len);
+        let once = prune(&prog);
+        let twice = prune(&once.program);
+        prop_assert_eq!(&once.program, &twice.program);
+        prop_assert_eq!(once.uses_input, twice.uses_input);
+    }
+
+    /// Canonicalization is idempotent and fingerprint-stable.
+    #[test]
+    fn canonicalization_is_idempotent(seed in any::<u64>(), len in 1usize..10) {
+        let cfg = AlphaConfig::default();
+        let prog = prune(&random_program(seed, len, len, len)).program;
+        let once = canonicalize(&prog, &cfg);
+        let twice = canonicalize(&once, &cfg);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(fingerprint_raw(&once), fingerprint_raw(&twice));
+    }
+
+    /// Dead code never changes the pipeline fingerprint.
+    #[test]
+    fn dead_code_invisible_to_fingerprint(seed in any::<u64>(), len in 1usize..8, at in 0usize..8) {
+        let cfg = AlphaConfig::default();
+        let prog = random_program(seed, len, len, len);
+        let (fp_before, _) = fingerprint(&prog, &cfg);
+        let mut padded = prog.clone();
+        // A write to a scalar that is immediately dead (s9 never read
+        // afterwards by construction: we append at the very end of update).
+        let dead = Instruction::new(Op::SConst, 0, 0, 9, [0.123, 0.0], [0; 2]);
+        let pos = at.min(padded.update.len());
+        padded.update.insert(pos, dead);
+        // Only keep the padded variant if the insert really was dead code
+        // (it may feed an existing read of s9).
+        let (fp_after, _) = fingerprint(&padded, &cfg);
+        if prune(&padded).n_pruned > prune(&prog).n_pruned {
+            prop_assert_eq!(fp_before, fp_after);
+        }
+    }
+
+    /// Mutation closure: children always satisfy the §5.2 size limits and
+    /// register bounds.
+    #[test]
+    fn mutation_children_always_valid(seed in any::<u64>(), steps in 1usize..60) {
+        let cfg = AlphaConfig::default();
+        let mutator = Mutator::new(cfg, MutationConfig::default());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prog = init::domain_expert(&cfg);
+        for _ in 0..steps {
+            prog = mutator.mutate(&mut rng, &prog);
+        }
+        prop_assert!(prog.validate(&cfg).is_ok());
+    }
+
+    /// Text serialization round-trips arbitrary programs bit-exactly.
+    #[test]
+    fn textio_round_trips(seed in any::<u64>(), len in 1usize..12) {
+        let prog = random_program(seed, len, len, len);
+        let text = alphaevolve_core::textio::to_text(&prog);
+        let back = alphaevolve_core::textio::from_text(&text).expect("parse back");
+        prop_assert_eq!(back, prog);
+    }
+
+    /// Register renaming never changes the canonical fingerprint: apply a
+    /// random consistent permutation of the non-reserved registers.
+    #[test]
+    fn fingerprint_invariant_under_register_renaming(seed in any::<u64>(), len in 1usize..8) {
+        let cfg = AlphaConfig::default();
+        let prog = random_program(seed, len, len, len);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        // Build per-bank permutations fixing the reserved registers.
+        let mut perm_s: Vec<u8> = (0..cfg.n_scalars as u8).collect();
+        let mut perm_v: Vec<u8> = (0..cfg.n_vectors as u8).collect();
+        let mut perm_m: Vec<u8> = (0..cfg.n_matrices as u8).collect();
+        shuffle_tail(&mut perm_s, 2, &mut rng); // keep s0, s1
+        shuffle_tail(&mut perm_v, 0, &mut rng);
+        shuffle_tail(&mut perm_m, 1, &mut rng); // keep m0
+        let renamed = apply_renaming(&prog, &perm_s, &perm_v, &perm_m);
+        prop_assert_eq!(fingerprint(&prog, &cfg).0, fingerprint(&renamed, &cfg).0);
+    }
+}
+
+fn shuffle_tail(perm: &mut [u8], fixed: usize, rng: &mut SmallRng) {
+    use rand::Rng;
+    let n = perm.len();
+    for i in (fixed + 1..n).rev() {
+        let j = rng.gen_range(fixed..=i);
+        perm.swap(i, j);
+    }
+}
+
+fn apply_renaming(prog: &AlphaProgram, s: &[u8], v: &[u8], m: &[u8]) -> AlphaProgram {
+    use alphaevolve_core::Kind;
+    let map = |k: Kind, r: u8| -> u8 {
+        match k {
+            Kind::S => s[r as usize],
+            Kind::V => v[r as usize],
+            Kind::M => m[r as usize],
+        }
+    };
+    let mut out = prog.clone();
+    for f in FunctionId::ALL {
+        for instr in out.function_mut(f) {
+            let kinds = instr.op.input_kinds();
+            if !kinds.is_empty() {
+                instr.in1 = map(kinds[0], instr.in1);
+            }
+            if kinds.len() > 1 {
+                instr.in2 = map(kinds[1], instr.in2);
+            }
+            if instr.op != Op::NoOp {
+                instr.out = map(instr.op.output_kind(), instr.out);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,94 @@
+//! Experiment-scale configuration.
+//!
+//! The paper runs 60-hour rounds over 1026 NASDAQ stocks; this harness
+//! defaults to a few seconds per round over a synthetic market so every
+//! table regenerates in minutes (`DESIGN.md` §3.2/§7). `--full` selects a
+//! larger market and budget; both presets preserve the experiment *shape*
+//! (who wins, the trends over rounds), not absolute magnitudes.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use alphaevolve_backtest::portfolio::LongShortConfig;
+use alphaevolve_core::{Budget, EvolutionConfig};
+use alphaevolve_market::MarketConfig;
+
+/// Scale preset and output location for one harness invocation.
+#[derive(Debug, Clone)]
+pub struct XpConfig {
+    /// Synthetic-market shape.
+    pub market: MarketConfig,
+    /// Mining rounds (paper: 5).
+    pub rounds: usize,
+    /// AE budget per round, in searched candidates.
+    pub ae_searched: usize,
+    /// GP budget per round, in generations.
+    pub gp_generations: usize,
+    /// Equal wall-clock budget for the Table-6 pruning ablation.
+    pub pruning_walltime: Duration,
+    /// Worker threads for AE rounds.
+    pub workers: usize,
+    /// Seeds per neural baseline (paper: 5 runs).
+    pub neural_seeds: usize,
+    /// Neural training epochs.
+    pub neural_epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Where CSV outputs land.
+    pub out_dir: PathBuf,
+}
+
+impl XpConfig {
+    /// Minutes-scale preset.
+    pub fn quick() -> XpConfig {
+        XpConfig {
+            market: MarketConfig { n_stocks: 60, n_days: 400, seed: 2024, ..Default::default() },
+            rounds: 5,
+            ae_searched: 30_000,
+            gp_generations: 12,
+            pruning_walltime: Duration::from_secs(5),
+            workers: default_workers(),
+            neural_seeds: 5,
+            neural_epochs: 2,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Closer-to-paper preset (tens of minutes).
+    pub fn full() -> XpConfig {
+        XpConfig {
+            market: MarketConfig { n_stocks: 100, n_days: 560, seed: 2024, ..Default::default() },
+            rounds: 5,
+            ae_searched: 120_000,
+            gp_generations: 40,
+            pruning_walltime: Duration::from_secs(20),
+            workers: default_workers(),
+            neural_seeds: 5,
+            neural_epochs: 4,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Long-short books scaled to the universe (paper: 50/50 of 1026).
+    pub fn long_short(&self) -> LongShortConfig {
+        LongShortConfig::scaled(self.market.n_stocks)
+    }
+
+    /// Evolution configuration for one AE round.
+    pub fn evolution(&self, seed: u64) -> EvolutionConfig {
+        EvolutionConfig {
+            population_size: 100,
+            tournament_size: 10,
+            budget: Budget::Searched(self.ae_searched),
+            seed,
+            workers: self.workers,
+            ..Default::default()
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}

@@ -1,0 +1,292 @@
+//! Shared round runners: one AE evolution round, one GP round, and the
+//! multi-round weakly-correlated mining driver behind Tables 2/3/4 and
+//! Figure 6.
+
+use std::sync::Arc;
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_backtest::metrics::sharpe_ratio;
+use alphaevolve_core::{
+    init, AlphaConfig, AlphaProgram, BacktestReport, EvalOptions, Evaluator, Evolution,
+    SearchStats, TrajectoryPoint,
+};
+use alphaevolve_gp::{GpBudget, GpConfig, GpEngine};
+use alphaevolve_market::{features::FeatureSet, Dataset, SplitSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::XpConfig;
+
+/// Builds the shared dataset for a config.
+pub fn build_dataset(cfg: &XpConfig) -> Arc<Dataset> {
+    let market = cfg.market.generate();
+    Arc::new(
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
+            .expect("experiment market must build a dataset"),
+    )
+}
+
+/// Builds the evaluator shared by all AE rounds.
+pub fn build_evaluator(cfg: &XpConfig, dataset: Arc<Dataset>) -> Evaluator {
+    Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions { long_short: cfg.long_short(), seed: cfg.seed, ..Default::default() },
+        dataset,
+    )
+}
+
+/// The four §5.2 initializations plus round-4 "B" seeds.
+#[derive(Debug, Clone)]
+pub enum Init {
+    /// Domain-expert alpha (`alpha_AE_D`).
+    Domain,
+    /// No initialization (`alpha_AE_NOOP`).
+    Noop,
+    /// Random program (`alpha_AE_R`).
+    Random,
+    /// Two-layer neural network (`alpha_AE_NN`).
+    Nn,
+    /// A previous round's best alpha (`alpha_AE_B<r>`).
+    Best(Box<AlphaProgram>),
+}
+
+impl Init {
+    /// Paper tag (`D`, `NOOP`, `R`, `NN`, `B<r>`).
+    pub fn tag(&self) -> String {
+        match self {
+            Init::Domain => "D".into(),
+            Init::Noop => "NOOP".into(),
+            Init::Random => "R".into(),
+            Init::Nn => "NN".into(),
+            Init::Best(_) => "B".into(),
+        }
+    }
+
+    /// Materializes the seed program.
+    pub fn program(&self, cfg: &AlphaConfig, seed: u64) -> AlphaProgram {
+        match self {
+            Init::Domain => init::domain_expert(cfg),
+            Init::Noop => init::noop(cfg),
+            Init::Random => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                init::random_alpha(cfg, &mut rng, 4, 8, 6)
+            }
+            Init::Nn => init::two_layer_nn(cfg),
+            Init::Best(p) => (**p).clone(),
+        }
+    }
+}
+
+/// One finished AE round.
+pub struct AeRun {
+    /// Paper-style row name, e.g. `alpha_AE_D_0`.
+    pub name: String,
+    /// Winning program (None when every candidate died, like the paper's
+    /// `alpha_G_4`).
+    pub best: Option<AlphaProgram>,
+    /// Test/validation metrics of the winner.
+    pub report: Option<BacktestReport>,
+    /// Winner's validation portfolio returns (for gating later rounds).
+    pub val_returns: Vec<f64>,
+    /// Signed max-magnitude correlation with the accepted set at mining
+    /// time (None in round 0).
+    pub corr_with_best: Option<f64>,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// Best-IC trajectory (Figure 6 input).
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+/// Runs one AE evolution round.
+pub fn run_ae_round(
+    cfg: &XpConfig,
+    evaluator: &Evaluator,
+    name: String,
+    init: &Init,
+    gate: &CorrelationGate,
+    seed: u64,
+) -> AeRun {
+    let seed_prog = init.program(evaluator.config(), seed);
+    let econfig = cfg.evolution(seed);
+    let driver = Evolution::new(evaluator, econfig).with_gate(gate);
+    let outcome = driver.run(&seed_prog);
+    let (best, report, val_returns, corr) = match outcome.best {
+        Some(b) => {
+            let report = evaluator.backtest(&b.pruned);
+            let corr = max_signed_correlation(gate, &b.val_returns);
+            (Some(b.pruned), Some(report), b.val_returns, corr)
+        }
+        None => (None, None, Vec::new(), None),
+    };
+    AeRun {
+        name,
+        best,
+        report,
+        val_returns,
+        corr_with_best: corr,
+        stats: outcome.stats,
+        trajectory: outcome.trajectory,
+    }
+}
+
+/// One finished GP round.
+pub struct GpRun {
+    /// Paper-style row name, e.g. `alpha_G_0`.
+    pub name: String,
+    /// Winning formula as text.
+    pub formula: Option<String>,
+    /// (validation, test) scores of the winner.
+    pub scores: Option<(alphaevolve_gp::engine::SplitScores, alphaevolve_gp::engine::SplitScores)>,
+    /// Winner's validation returns.
+    pub val_returns: Vec<f64>,
+    /// Signed max-magnitude correlation with the accepted GP set.
+    pub corr_with_best: Option<f64>,
+    /// Trees evaluated.
+    pub evaluated: usize,
+}
+
+/// Runs one GP round.
+pub fn run_gp_round(
+    cfg: &XpConfig,
+    dataset: &Dataset,
+    name: String,
+    gate: &CorrelationGate,
+    seed: u64,
+) -> GpRun {
+    let gconfig = GpConfig {
+        budget: GpBudget::Generations(cfg.gp_generations),
+        seed,
+        long_short: cfg.long_short(),
+        ..Default::default()
+    };
+    let engine = GpEngine::new(dataset, gconfig).with_gate(gate);
+    let outcome = engine.run();
+    match outcome.best {
+        Some(b) => {
+            let scores = engine.backtest(&b.expr);
+            let corr = max_signed_correlation(gate, &b.val_returns);
+            GpRun {
+                name,
+                formula: Some(b.expr.to_string()),
+                scores: Some(scores),
+                val_returns: b.val_returns,
+                corr_with_best: corr,
+                evaluated: outcome.stats.evaluated,
+            }
+        }
+        None => GpRun {
+            name,
+            formula: None,
+            scores: None,
+            val_returns: Vec::new(),
+            corr_with_best: None,
+            evaluated: outcome.stats.evaluated,
+        },
+    }
+}
+
+/// Signed correlation of largest magnitude against the gate's accepted
+/// set (None when the set is empty).
+pub fn max_signed_correlation(gate: &CorrelationGate, returns: &[f64]) -> Option<f64> {
+    if gate.is_empty() || returns.is_empty() {
+        return None;
+    }
+    gate.accepted()
+        .iter()
+        .map(|a| alphaevolve_backtest::return_correlation(a, returns))
+        .max_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap())
+}
+
+/// Everything the multi-round driver produces.
+pub struct RoundsOutput {
+    /// Every AE run, in execution order.
+    pub ae_runs: Vec<AeRun>,
+    /// Every GP run (its own accepted set, as in the paper).
+    pub gp_runs: Vec<GpRun>,
+    /// Names of the per-round winners (set `A`), in round order.
+    pub best_names: Vec<String>,
+    /// Winning programs of set `A`.
+    pub best_programs: Vec<AlphaProgram>,
+    /// Winners' trajectories (Figure 6).
+    pub best_trajectories: Vec<(String, Vec<TrajectoryPoint>)>,
+}
+
+/// The §5.4.1 protocol: five rounds of weakly-correlated mining.
+///
+/// Rounds 0..n−1 run every initialization (D, NOOP, R, NN) plus the GP
+/// baseline; after each round the alpha with the highest *validation*
+/// Sharpe among the AE initializations joins the accepted set `A`, and the
+/// 15% cutoff gate applies to all later rounds. The last round seeds AE
+/// with the members of `A` (the `B<r>` rows). GP maintains its own
+/// accepted set, and — as in the paper — is not run in the final round.
+pub fn run_rounds(cfg: &XpConfig, evaluator: &Evaluator, dataset: &Dataset, with_gp: bool) -> RoundsOutput {
+    let mut ae_runs = Vec::new();
+    let mut gp_runs = Vec::new();
+    let mut gate = CorrelationGate::paper();
+    let mut gp_gate = CorrelationGate::paper();
+    let mut best_names = Vec::new();
+    let mut best_programs: Vec<AlphaProgram> = Vec::new();
+    let mut best_trajectories = Vec::new();
+
+    let inits = [Init::Domain, Init::Noop, Init::Random, Init::Nn];
+    let final_round = cfg.rounds.saturating_sub(1);
+
+    for round in 0..cfg.rounds {
+        let mut round_runs: Vec<AeRun> = Vec::new();
+        if round < final_round {
+            for (v, init) in inits.iter().enumerate() {
+                let name = format!("alpha_AE_{}_{round}", init.tag());
+                let seed = cfg.seed ^ (round as u64 * 31 + v as u64 + 1).wrapping_mul(0x9E37);
+                eprintln!("[rounds] mining {name} ...");
+                let run = run_ae_round(cfg, evaluator, name, init, &gate, seed);
+                eprintln!("[rounds]   {} stats: {:?}", run.name, run.stats);
+                round_runs.push(run);
+            }
+        } else {
+            // Final round: seed with the accepted set (B rows).
+            for (b, prog) in best_programs.iter().enumerate() {
+                let name = format!("alpha_AE_B{b}_{round}");
+                let init = Init::Best(Box::new(prog.clone()));
+                let seed = cfg.seed ^ (round as u64 * 31 + b as u64 + 17).wrapping_mul(0x9E37);
+                eprintln!("[rounds] mining {name} ...");
+                round_runs.push(run_ae_round(cfg, evaluator, name, &init, &gate, seed));
+            }
+        }
+
+        if with_gp && round < final_round {
+            let name = format!("alpha_G_{round}");
+            eprintln!("[rounds] mining {name} ...");
+            let run = run_gp_round(cfg, dataset, name, &gp_gate, cfg.seed ^ (round as u64 + 101));
+            eprintln!("[rounds]   {} evaluated {} trees", run.name, run.evaluated);
+            if run.scores.is_some() {
+                gp_gate.accept(run.val_returns.clone());
+            }
+            gp_runs.push(run);
+        }
+
+        // Select the round winner by validation Sharpe (paper §5.4.1).
+        let winner = round_runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.best.is_some())
+            .max_by(|(_, a), (_, b)| {
+                sharpe_ratio(&a.val_returns)
+                    .partial_cmp(&sharpe_ratio(&b.val_returns))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i);
+        if let Some(w) = winner {
+            let run = &round_runs[w];
+            best_names.push(run.name.clone());
+            best_programs.push(run.best.clone().expect("winner has a program"));
+            best_trajectories.push((run.name.clone(), run.trajectory.clone()));
+            gate.accept(run.val_returns.clone());
+            eprintln!("[rounds] round {round} winner: {}", run.name);
+        } else {
+            eprintln!("[rounds] round {round}: no valid alpha survived the gate");
+        }
+        ae_runs.extend(round_runs);
+    }
+
+    RoundsOutput { ae_runs, gp_runs, best_names, best_programs, best_trajectories }
+}

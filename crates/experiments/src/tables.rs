@@ -1,0 +1,415 @@
+//! Generators for every table and figure of the paper's evaluation.
+//!
+//! All Sharpe/IC columns report the held-out **test** split, as in the
+//! paper; "Correlation" columns report the signed max-magnitude
+//! correlation of **validation** portfolio returns against the accepted
+//! set at mining time (§5.4.1). `EXPERIMENTS.md` records paper-vs-measured
+//! rows for every table.
+
+use std::fs;
+use std::path::Path;
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_backtest::metrics::{
+    information_coefficient, mean, sample_std, sharpe_ratio,
+};
+use alphaevolve_backtest::portfolio::long_short_returns;
+use alphaevolve_backtest::report::{Cell, Table};
+use alphaevolve_core::{Budget, EvalOptions, Evaluator, Evolution, init};
+use alphaevolve_neural::graph::RelationLevel;
+use alphaevolve_neural::{RankLstm, RankLstmConfig, Rsr, RsrConfig};
+
+use crate::config::XpConfig;
+use crate::runners::{
+    build_dataset, build_evaluator, run_ae_round, run_gp_round, run_rounds, AeRun, Init,
+    RoundsOutput,
+};
+
+fn save(cfg: &XpConfig, name: &str, contents: &str) {
+    if fs::create_dir_all(&cfg.out_dir).is_ok() {
+        let path = cfg.out_dir.join(name);
+        if fs::write(&path, contents).is_ok() {
+            eprintln!("[out] wrote {}", path.display());
+        }
+    }
+}
+
+fn emit(cfg: &XpConfig, file: &str, table: &Table) {
+    println!("{}", table.render());
+    save(cfg, file, &table.to_csv());
+}
+
+fn ae_row(run: &AeRun) -> Vec<Cell> {
+    match &run.report {
+        Some(r) => vec![
+            run.name.clone().into(),
+            r.test.sharpe.into(),
+            r.test.ic.into(),
+            run.corr_with_best.into(),
+        ],
+        None => vec![run.name.clone().into(), Cell::Na, Cell::Na, Cell::Na],
+    }
+}
+
+/// Table 1: mining a weakly correlated alpha against an existing
+/// domain-expert-designed alpha.
+pub fn table1(cfg: &XpConfig) {
+    let dataset = build_dataset(cfg);
+    let evaluator = build_evaluator(cfg, dataset.clone());
+
+    // The existing expert alpha, evaluated as-is.
+    let expert = init::domain_expert(evaluator.config());
+    let expert_eval = evaluator.evaluate(&expert);
+    let expert_report = evaluator.backtest(&expert);
+
+    let mut gate = CorrelationGate::paper();
+    gate.accept(expert_eval.val_returns.clone());
+
+    eprintln!("[table1] mining alpha_AE_D_0 (cutoff vs alpha_D_0) ...");
+    let ae = run_ae_round(cfg, &evaluator, "alpha_AE_D_0".into(), &Init::Domain, &gate, cfg.seed);
+    eprintln!("[table1]   stats: {:?}", ae.stats);
+    eprintln!("[table1] mining alpha_G_0 (cutoff vs alpha_D_0) ...");
+    let gp = run_gp_round(cfg, &dataset, "alpha_G_0".into(), &gate, cfg.seed ^ 101);
+
+    let mut t = Table::new(
+        "Table 1: mining weakly correlated alpha with an existing domain-expert-designed alpha",
+        &["Alpha", "Sharpe ratio", "IC", "Correlation with the existing alpha"],
+    );
+    t.row(vec![
+        "alpha_D_0".into(),
+        expert_report.test.sharpe.into(),
+        expert_report.test.ic.into(),
+        Cell::Na,
+    ]);
+    t.row(ae_row(&ae));
+    match &gp.scores {
+        Some((_, test)) => {
+            t.row(vec![
+                gp.name.clone().into(),
+                test.sharpe.into(),
+                test.ic.into(),
+                gp.corr_with_best.into(),
+            ]);
+        }
+        None => {
+            t.row(vec![gp.name.clone().into(), Cell::Na, Cell::Na, Cell::Na]);
+        }
+    }
+    emit(cfg, "table1.csv", &t);
+    if let Some(f) = &gp.formula {
+        println!("alpha_G_0 formula: {f}\n");
+    }
+    if let Some(p) = &ae.best {
+        println!("alpha_AE_D_0 program:\n{p}");
+    }
+}
+
+/// Table 2: five rounds of weakly correlated mining, AE vs the genetic
+/// algorithm.
+pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
+    let mut t = Table::new(
+        "Table 2: performance of weakly correlated alpha mining (AE_D vs GP)",
+        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+    );
+    let final_round = cfg.rounds - 1;
+    for round in 0..cfg.rounds {
+        if round < final_round {
+            let d_name = format!("alpha_AE_D_{round}");
+            if let Some(run) = rounds.ae_runs.iter().find(|r| r.name == d_name) {
+                t.row(ae_row(run));
+            }
+            let g_name = format!("alpha_G_{round}");
+            match rounds.gp_runs.iter().find(|r| r.name == g_name) {
+                Some(run) => match &run.scores {
+                    Some((_, test)) => {
+                        t.row(vec![
+                            run.name.clone().into(),
+                            test.sharpe.into(),
+                            test.ic.into(),
+                            run.corr_with_best.into(),
+                        ]);
+                    }
+                    None => {
+                        t.row(vec![run.name.clone().into(), Cell::Na, Cell::Na, Cell::Na]);
+                    }
+                },
+                None => {
+                    t.row(vec![g_name.into(), Cell::Na, Cell::Na, Cell::Na]);
+                }
+            }
+        } else {
+            // Final round: the selected best-of-B row, then the GP row the
+            // paper stopped (NA).
+            if let Some(winner) = rounds.best_names.last() {
+                if winner.contains("_B") {
+                    if let Some(run) = rounds.ae_runs.iter().find(|r| &r.name == winner) {
+                        t.row(ae_row(run));
+                    }
+                } else if let Some(run) =
+                    rounds.ae_runs.iter().find(|r| r.name.contains("_B") && r.best.is_some())
+                {
+                    t.row(ae_row(run));
+                }
+            }
+            t.row(vec![format!("alpha_G_{round}").into(), Cell::Na, Cell::Na, Cell::Na]);
+        }
+    }
+    emit(cfg, "table2.csv", &t);
+}
+
+/// Table 3: five rounds across the four initializations.
+pub fn table3(cfg: &XpConfig, rounds: &RoundsOutput) {
+    let mut t = Table::new(
+        "Table 3: weakly correlated alpha mining for different initializations",
+        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+    );
+    for run in &rounds.ae_runs {
+        t.row(ae_row(run));
+    }
+    emit(cfg, "table3.csv", &t);
+    println!("Accepted set A (round winners): {}\n", rounds.best_names.join(", "));
+}
+
+/// Table 4: ablation of the parameter-updating function — each accepted
+/// alpha re-evaluated with `Update()` disabled (`_P` rows).
+pub fn table4(cfg: &XpConfig, evaluator: &Evaluator, rounds: &RoundsOutput) {
+    let ablated = evaluator.with_options(EvalOptions {
+        run_update: false,
+        long_short: evaluator.options().long_short,
+        seed: evaluator.options().seed,
+        train_epochs: evaluator.options().train_epochs,
+    });
+    let mut t = Table::new(
+        "Table 4: ablation study of the parameter-updating function",
+        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+    );
+    for (name, prog) in rounds.best_names.iter().zip(&rounds.best_programs) {
+        let with = evaluator.backtest(prog);
+        let without = ablated.backtest(prog);
+        let run = rounds.ae_runs.iter().find(|r| &r.name == name);
+        let corr: Cell = run.and_then(|r| r.corr_with_best).into();
+        t.row(vec![name.clone().into(), with.test.sharpe.into(), with.test.ic.into(), corr]);
+        t.row(vec![
+            format!("{name}_P").into(),
+            without.test.sharpe.into(),
+            without.test.ic.into(),
+            Cell::Na,
+        ]);
+    }
+    emit(cfg, "table4.csv", &t);
+}
+
+/// Table 5: comparison with the complex machine-learning alphas
+/// (Rank_LSTM and RSR), mean ± std over `neural_seeds` runs.
+pub fn table5(cfg: &XpConfig) {
+    let dataset = build_dataset(cfg);
+    let evaluator = build_evaluator(cfg, dataset.clone());
+    let ls = cfg.long_short();
+    let test_labels: Vec<Vec<f64>> = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
+
+    // AE rows: alpha_AE_D_0 unconstrained, alpha_AE_NN_1 gated against it.
+    eprintln!("[table5] mining alpha_AE_D_0 ...");
+    let gate0 = CorrelationGate::paper();
+    let d0 = run_ae_round(cfg, &evaluator, "alpha_AE_D_0".into(), &Init::Domain, &gate0, cfg.seed);
+    let mut gate1 = CorrelationGate::paper();
+    gate1.accept(d0.val_returns.clone());
+    eprintln!("[table5] mining alpha_AE_NN_1 ...");
+    let nn1 =
+        run_ae_round(cfg, &evaluator, "alpha_AE_NN_1".into(), &Init::Nn, &gate1, cfg.seed ^ 33);
+
+    // Grid-search Rank_LSTM on validation IC (scaled-down §5.2 grid).
+    let grid = [(4usize, 16usize), (8, 32)];
+    let mut best_cfg: Option<RankLstmConfig> = None;
+    let mut best_val = f64::NEG_INFINITY;
+    for (seq_len, hidden) in grid {
+        let rl_cfg = RankLstmConfig {
+            hidden,
+            seq_len,
+            epochs: cfg.neural_epochs,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        eprintln!("[table5] grid: Rank_LSTM seq={seq_len} hidden={hidden} ...");
+        let mut model = RankLstm::new(rl_cfg.clone());
+        model.train(&dataset);
+        let preds = model.predictions(&dataset, dataset.valid_days());
+        let val_labels: Vec<Vec<f64>> =
+            dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
+        let ic = information_coefficient(&preds, &val_labels);
+        eprintln!("[table5]   val IC {ic:.6}");
+        if ic > best_val {
+            best_val = ic;
+            best_cfg = Some(rl_cfg);
+        }
+    }
+    let best_cfg = best_cfg.expect("grid is non-empty");
+
+    // 5 seeds of Rank_LSTM and RSR (RSR initialized from the trained
+    // Rank_LSTM, following the original pipeline).
+    let mut rl_sharpes = Vec::new();
+    let mut rl_ics = Vec::new();
+    let mut rsr_sharpes = Vec::new();
+    let mut rsr_ics = Vec::new();
+    for s in 0..cfg.neural_seeds {
+        let seed = cfg.seed + 1000 + s as u64;
+        eprintln!("[table5] seed {seed}: Rank_LSTM ...");
+        let mut rl = RankLstm::new(RankLstmConfig { seed, ..best_cfg.clone() });
+        rl.train(&dataset);
+        let preds = rl.predictions(&dataset, dataset.test_days());
+        rl_ics.push(information_coefficient(&preds, &test_labels));
+        rl_sharpes.push(sharpe_ratio(&long_short_returns(&preds, &test_labels, &ls)));
+
+        eprintln!("[table5] seed {seed}: RSR ...");
+        let mut rsr = Rsr::new(
+            RsrConfig {
+                base: RankLstmConfig { seed, ..best_cfg.clone() },
+                level: RelationLevel::Industry,
+            },
+            &dataset,
+        );
+        rsr.init_from(&rl);
+        rsr.train(&dataset);
+        let preds = rsr.predictions(&dataset, dataset.test_days());
+        rsr_ics.push(information_coefficient(&preds, &test_labels));
+        rsr_sharpes.push(sharpe_ratio(&long_short_returns(&preds, &test_labels, &ls)));
+    }
+
+    let mut t = Table::new(
+        "Table 5: performance comparisons with the complex machine learning alphas",
+        &["Alpha", "Sharpe ratio", "IC"],
+    );
+    for run in [&d0, &nn1] {
+        match &run.report {
+            Some(r) => {
+                t.row(vec![run.name.clone().into(), r.test.sharpe.into(), r.test.ic.into()]);
+            }
+            None => {
+                t.row(vec![run.name.clone().into(), Cell::Na, Cell::Na]);
+            }
+        }
+    }
+    t.row(vec![
+        "Rank_LSTM".into(),
+        Cell::NumStd(mean(&rl_sharpes), sample_std(&rl_sharpes)),
+        Cell::NumStd(mean(&rl_ics), sample_std(&rl_ics)),
+    ]);
+    t.row(vec![
+        "RSR".into(),
+        Cell::NumStd(mean(&rsr_sharpes), sample_std(&rsr_sharpes)),
+        Cell::NumStd(mean(&rsr_ics), sample_std(&rsr_ics)),
+    ]);
+    emit(cfg, "table5.csv", &t);
+}
+
+/// Table 6: efficiency of the pruning technique — same wall-clock budget
+/// with the §4.2 pipeline vs the AutoML-Zero-style prediction fingerprint
+/// (`_N` rows); the metric is the number of searched alphas.
+pub fn table6(cfg: &XpConfig) {
+    let dataset = build_dataset(cfg);
+    let evaluator = build_evaluator(cfg, dataset);
+    let gate = CorrelationGate::paper();
+    let mut t = Table::new(
+        "Table 6: efficiency of the pruning technique",
+        &["Alpha", "Sharpe ratio", "IC", "Correlation", "Number of searched alphas"],
+    );
+    let variants: [(&str, Init); 3] =
+        [("D_0", Init::Domain), ("NN_1", Init::Nn), ("R_2", Init::Random)];
+    for (tag, init) in variants {
+        for (suffix, pruning) in [("", true), ("_N", false)] {
+            let name = format!("alpha_AE_{tag}{suffix}");
+            eprintln!("[table6] {name} ({}s wall budget) ...", cfg.pruning_walltime.as_secs());
+            let seed_prog = init.program(evaluator.config(), cfg.seed ^ 77);
+            let econfig = alphaevolve_core::EvolutionConfig {
+                budget: Budget::WallTime(cfg.pruning_walltime),
+                seed: cfg.seed ^ 77,
+                workers: cfg.workers,
+                ..cfg.evolution(cfg.seed ^ 77)
+            };
+            let driver = Evolution::new(&evaluator, econfig).with_gate(&gate);
+            let driver = if pruning { driver } else { driver.without_pruning() };
+            let outcome = driver.run(&seed_prog);
+            match outcome.best {
+                Some(b) => {
+                    let report = evaluator.backtest(&b.pruned);
+                    t.row(vec![
+                        name.into(),
+                        report.test.sharpe.into(),
+                        report.test.ic.into(),
+                        Cell::Na,
+                        Cell::Text(outcome.stats.searched.to_string()),
+                    ]);
+                }
+                None => {
+                    t.row(vec![
+                        name.into(),
+                        Cell::Na,
+                        Cell::Na,
+                        Cell::Na,
+                        Cell::Text(outcome.stats.searched.to_string()),
+                    ]);
+                }
+            }
+        }
+    }
+    emit(cfg, "table6.csv", &t);
+}
+
+/// Figure 6: evolutionary trajectories (best validation IC vs searched
+/// candidates) of every round winner. Emits one CSV per winner.
+pub fn fig6(cfg: &XpConfig, rounds: &RoundsOutput) {
+    println!("== Figure 6: evolutionary trajectories of the best alphas in all rounds ==");
+    for (name, traj) in &rounds.best_trajectories {
+        let mut csv = String::from("searched,best_ic\n");
+        for p in traj {
+            csv.push_str(&format!("{},{}\n", p.searched, p.best_ic));
+        }
+        save(cfg, &format!("fig6_{name}.csv"), &csv);
+        let first = traj.first().map(|p| p.best_ic).unwrap_or(f64::NAN);
+        let last = traj.last().map(|p| p.best_ic).unwrap_or(f64::NAN);
+        println!(
+            "{name}: {} improvements, IC {first:.6} -> {last:.6} over {} searched",
+            traj.len(),
+            traj.last().map(|p| p.searched).unwrap_or(0),
+        );
+    }
+    println!();
+}
+
+/// Runs the shared 5-round driver and every table/figure that depends on
+/// it, then the standalone tables.
+pub fn all(cfg: &XpConfig) {
+    let dataset = build_dataset(cfg);
+    let evaluator = build_evaluator(cfg, dataset.clone());
+    eprintln!("[all] running the 5-round mining driver ...");
+    let rounds = run_rounds(cfg, &evaluator, &dataset, true);
+    table2(cfg, &rounds);
+    table3(cfg, &rounds);
+    table4(cfg, &evaluator, &rounds);
+    fig6(cfg, &rounds);
+    table1(cfg);
+    table5(cfg);
+    table6(cfg);
+}
+
+/// Standalone drivers for the rounds-dependent tables.
+pub fn rounds_tables(cfg: &XpConfig, which: &str) {
+    let dataset = build_dataset(cfg);
+    let evaluator = build_evaluator(cfg, dataset.clone());
+    let with_gp = which == "table2";
+    let rounds = run_rounds(cfg, &evaluator, &dataset, with_gp);
+    match which {
+        "table2" => table2(cfg, &rounds),
+        "table3" => table3(cfg, &rounds),
+        "table4" => table4(cfg, &evaluator, &rounds),
+        "fig6" => fig6(cfg, &rounds),
+        _ => unreachable!("unknown rounds table"),
+    }
+}
+
+/// Ensures the output directory exists up front (so failures surface
+/// early, not after minutes of mining).
+pub fn prepare_out_dir(dir: &Path) {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create output dir {}: {e}", dir.display());
+    }
+}

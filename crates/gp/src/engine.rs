@@ -1,0 +1,387 @@
+//! Generational GP engine with tournament selection and IC fitness.
+//!
+//! The engine mirrors the AlphaEvolve driver's interface so experiments can
+//! swap methods: same dataset, same validation-IC fitness, same long-short
+//! portfolio returns feeding the same weak-correlation gate, and the same
+//! kind of trajectory/stats output.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
+use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
+use alphaevolve_market::Dataset;
+
+use crate::expr::{Expr, ExprSampler};
+use crate::genetic::{GeneticOps, GpMethod, GpProbabilities};
+
+/// GP search budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpBudget {
+    /// Stop after this many generations.
+    Generations(usize),
+    /// Stop at a wall-clock deadline (checked between generations).
+    WallTime(Duration),
+}
+
+/// Engine configuration. Defaults follow the paper: population 100,
+/// tournament 10, gplearn probabilities.
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Population size.
+    pub population_size: usize,
+    /// Tournament size.
+    pub tournament_size: usize,
+    /// Genetic-operator probabilities.
+    pub probs: GpProbabilities,
+    /// Node-count cap per tree.
+    pub max_size: usize,
+    /// Initial tree depth range (ramped half-and-half).
+    pub init_depth: (usize, usize),
+    /// Probability a terminal is a constant.
+    pub const_prob: f64,
+    /// Budget.
+    pub budget: GpBudget,
+    /// RNG seed.
+    pub seed: u64,
+    /// Long-short books for gate/backtest returns.
+    pub long_short: LongShortConfig,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            population_size: 100,
+            tournament_size: 10,
+            probs: GpProbabilities::default(),
+            max_size: 64,
+            init_depth: (2, 6),
+            const_prob: 0.15,
+            budget: GpBudget::Generations(20),
+            seed: 0,
+            long_short: LongShortConfig { k_long: 10, k_short: 10 },
+        }
+    }
+}
+
+/// Counters over one GP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpStats {
+    /// Trees evaluated (every offspring of every generation).
+    pub evaluated: usize,
+    /// Generations completed.
+    pub generations: usize,
+    /// Offspring rejected by the correlation gate.
+    pub gate_rejected: usize,
+    /// Offspring by method: [crossover, subtree, hoist, point, reproduction].
+    pub by_method: [usize; 5],
+}
+
+/// Result of one GP run.
+#[derive(Debug, Clone)]
+pub struct GpOutcome {
+    /// Best gate-passing formula (None if everything died).
+    pub best: Option<BestFormula>,
+    /// Counters.
+    pub stats: GpStats,
+    /// Best-IC-so-far per generation.
+    pub trajectory: Vec<f64>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+/// The best formula found.
+#[derive(Debug, Clone)]
+pub struct BestFormula {
+    /// The expression tree.
+    pub expr: Expr,
+    /// Validation IC.
+    pub ic: f64,
+    /// Validation long-short returns (for gating future rounds).
+    pub val_returns: Vec<f64>,
+}
+
+struct ScoredTree {
+    expr: Expr,
+    fitness: f64, // NEG_INFINITY for gate-rejected/degenerate trees
+}
+
+/// The GP engine, bound to one dataset.
+pub struct GpEngine<'a> {
+    dataset: &'a Dataset,
+    config: GpConfig,
+    gate: Option<&'a CorrelationGate>,
+    val_labels: Vec<Vec<f64>>,
+    test_labels: Vec<Vec<f64>>,
+}
+
+impl<'a> GpEngine<'a> {
+    /// Binds an engine to a dataset.
+    pub fn new(dataset: &'a Dataset, config: GpConfig) -> GpEngine<'a> {
+        let val_labels = dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
+        let test_labels = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
+        GpEngine { dataset, config, gate: None, val_labels, test_labels }
+    }
+
+    /// Attaches a weak-correlation gate.
+    pub fn with_gate(mut self, gate: &'a CorrelationGate) -> GpEngine<'a> {
+        self.gate = Some(gate);
+        self
+    }
+
+    fn sampler(&self) -> ExprSampler {
+        ExprSampler {
+            n_features: self.dataset.n_features(),
+            n_lags: self.dataset.window(),
+            const_prob: self.config.const_prob,
+        }
+    }
+
+    /// Cross-sections of predictions over `days` for one tree.
+    fn predictions(&self, expr: &Expr, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
+        let k = self.dataset.n_stocks();
+        let w = self.dataset.window();
+        let panel = self.dataset.panel();
+        days.map(|day| {
+            (0..k)
+                .map(|stock| {
+                    expr.eval(&|row, lag| panel.feature(stock, row)[day - 1 - lag.min(w - 1)])
+                })
+                .collect()
+        })
+        .collect()
+    }
+
+    /// Scores one tree: validation IC and portfolio returns; applies the
+    /// gate. Constant trees (no feature reads) score −∞.
+    fn score(&self, expr: &Expr, stats: &mut GpStats) -> ScoredTree {
+        stats.evaluated += 1;
+        if !expr.uses_features() {
+            return ScoredTree { expr: expr.clone(), fitness: f64::NEG_INFINITY };
+        }
+        let preds = self.predictions(expr, self.dataset.valid_days());
+        let ic = information_coefficient(&preds, &self.val_labels);
+        if let Some(gate) = self.gate {
+            let returns = long_short_returns(&preds, &self.val_labels, &self.config.long_short);
+            if !gate.passes(&returns) {
+                stats.gate_rejected += 1;
+                return ScoredTree { expr: expr.clone(), fitness: f64::NEG_INFINITY };
+            }
+        }
+        ScoredTree { expr: expr.clone(), fitness: ic }
+    }
+
+    fn tournament<'p>(&self, rng: &mut SmallRng, pop: &'p [ScoredTree]) -> &'p ScoredTree {
+        let t = self.config.tournament_size.min(pop.len()).max(1);
+        let mut best = &pop[rng.gen_range(0..pop.len())];
+        for _ in 1..t {
+            let c = &pop[rng.gen_range(0..pop.len())];
+            if c.fitness > best.fitness {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Runs the generational loop.
+    pub fn run(&self) -> GpOutcome {
+        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut stats = GpStats::default();
+        let sampler = self.sampler();
+        let ops = GeneticOps {
+            sampler,
+            probs: self.config.probs,
+            max_size: self.config.max_size,
+            new_subtree_depth: 4,
+        };
+
+        // Ramped half-and-half initialization.
+        let (dmin, dmax) = self.config.init_depth;
+        let mut population: Vec<ScoredTree> = (0..self.config.population_size)
+            .map(|i| {
+                let depth = dmin + i % (dmax - dmin + 1);
+                let grow = i % 2 == 0;
+                let tree = sampler.tree(&mut rng, depth, grow);
+                self.score(&tree, &mut stats)
+            })
+            .collect();
+
+        let mut best: Option<BestFormula> = None;
+        let mut trajectory = Vec::new();
+        let update_best = |pop: &[ScoredTree], this: &GpEngine<'_>, best: &mut Option<BestFormula>| {
+            if let Some(top) = pop
+                .iter()
+                .filter(|t| t.fitness.is_finite())
+                .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap())
+            {
+                if best.as_ref().is_none_or(|b| top.fitness > b.ic) {
+                    let preds = this.predictions(&top.expr, this.dataset.valid_days());
+                    let returns =
+                        long_short_returns(&preds, &this.val_labels, &this.config.long_short);
+                    *best = Some(BestFormula {
+                        expr: top.expr.clone(),
+                        ic: top.fitness,
+                        val_returns: returns,
+                    });
+                }
+            }
+        };
+        update_best(&population, self, &mut best);
+        trajectory.push(best.as_ref().map_or(f64::NEG_INFINITY, |b| b.ic));
+
+        let done = |stats: &GpStats, start: &Instant| match self.config.budget {
+            GpBudget::Generations(g) => stats.generations >= g,
+            GpBudget::WallTime(d) => start.elapsed() >= d,
+        };
+
+        while !done(&stats, &start) {
+            let mut next = Vec::with_capacity(self.config.population_size);
+            for _ in 0..self.config.population_size {
+                let parent = self.tournament(&mut rng, &population);
+                let method = ops.pick_method(&mut rng);
+                stats.by_method[match method {
+                    GpMethod::Crossover => 0,
+                    GpMethod::Subtree => 1,
+                    GpMethod::Hoist => 2,
+                    GpMethod::Point => 3,
+                    GpMethod::Reproduction => 4,
+                }] += 1;
+                let child = match method {
+                    GpMethod::Crossover => {
+                        let donor = self.tournament(&mut rng, &population);
+                        ops.crossover(&mut rng, &parent.expr, &donor.expr)
+                    }
+                    GpMethod::Subtree => ops.subtree_mutation(&mut rng, &parent.expr),
+                    GpMethod::Hoist => ops.hoist_mutation(&mut rng, &parent.expr),
+                    GpMethod::Point => ops.point_mutation(&mut rng, &parent.expr),
+                    GpMethod::Reproduction => parent.expr.clone(),
+                };
+                next.push(self.score(&child, &mut stats));
+            }
+            population = next;
+            stats.generations += 1;
+            update_best(&population, self, &mut best);
+            trajectory.push(best.as_ref().map_or(f64::NEG_INFINITY, |b| b.ic));
+        }
+
+        GpOutcome { best, stats, trajectory, elapsed: start.elapsed() }
+    }
+
+    /// Backtests a formula on validation and test splits (IC, Sharpe,
+    /// returns) — the GP counterpart of the core evaluator's `backtest`.
+    pub fn backtest(&self, expr: &Expr) -> (SplitScores, SplitScores) {
+        let score = |days: std::ops::Range<usize>, labels: &[Vec<f64>]| {
+            let preds = self.predictions(expr, days);
+            let returns = long_short_returns(&preds, labels, &self.config.long_short);
+            SplitScores {
+                ic: information_coefficient(&preds, labels),
+                sharpe: sharpe_ratio(&returns),
+                returns,
+            }
+        };
+        (
+            score(self.dataset.valid_days(), &self.val_labels),
+            score(self.dataset.test_days(), &self.test_labels),
+        )
+    }
+}
+
+/// IC/Sharpe/returns of one split.
+#[derive(Debug, Clone)]
+pub struct SplitScores {
+    /// Mean daily cross-sectional IC.
+    pub ic: f64,
+    /// Annualized Sharpe ratio.
+    pub sharpe: f64,
+    /// Daily long-short returns.
+    pub returns: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
+
+    fn dataset(seed: u64) -> Dataset {
+        let md = MarketConfig { n_stocks: 20, n_days: 160, seed, ..Default::default() }.generate();
+        Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
+    }
+
+    fn config(generations: usize) -> GpConfig {
+        GpConfig {
+            population_size: 40,
+            budget: GpBudget::Generations(generations),
+            seed: 3,
+            long_short: LongShortConfig::scaled(20),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_formula_with_positive_fitness_trend() {
+        let ds = dataset(31);
+        let engine = GpEngine::new(&ds, config(8));
+        let out = engine.run();
+        let best = out.best.expect("GP must find a scoring formula");
+        assert!(best.ic.is_finite());
+        assert_eq!(out.stats.generations, 8);
+        assert_eq!(out.trajectory.len(), 9);
+        // Best-so-far trajectory is monotone.
+        for w in out.trajectory.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Evaluations = init population + generations * population.
+        assert_eq!(out.stats.evaluated, 40 + 8 * 40);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(32);
+        let a = GpEngine::new(&ds, config(4)).run();
+        let b = GpEngine::new(&ds, config(4)).run();
+        assert_eq!(a.best.as_ref().map(|x| x.ic), b.best.as_ref().map(|x| x.ic));
+        assert_eq!(a.stats.evaluated, b.stats.evaluated);
+    }
+
+    #[test]
+    fn gate_rejection_fires_for_correlated_formulas() {
+        let ds = dataset(33);
+        let first = GpEngine::new(&ds, config(4)).run();
+        let best = first.best.unwrap();
+        let mut gate = CorrelationGate::paper();
+        gate.accept(best.val_returns.clone());
+        let second = GpEngine::new(&ds, config(4)).with_gate(&gate).run();
+        assert!(second.stats.gate_rejected > 0);
+        if let Some(b) = &second.best {
+            let corr = alphaevolve_backtest::return_correlation(&b.val_returns, &best.val_returns);
+            assert!(corr <= gate.cutoff() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn backtest_shapes() {
+        let ds = dataset(34);
+        let engine = GpEngine::new(&ds, config(2));
+        let out = engine.run();
+        let (val, test) = engine.backtest(&out.best.unwrap().expr);
+        assert_eq!(val.returns.len(), ds.valid_days().len());
+        assert_eq!(test.returns.len(), ds.test_days().len());
+        assert!(val.ic.is_finite() && test.sharpe.is_finite());
+    }
+
+    #[test]
+    fn walltime_budget_stops() {
+        let ds = dataset(35);
+        let cfg = GpConfig {
+            budget: GpBudget::WallTime(Duration::from_millis(200)),
+            ..config(0)
+        };
+        let start = Instant::now();
+        let _ = GpEngine::new(&ds, cfg).run();
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+}

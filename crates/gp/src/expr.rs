@@ -1,0 +1,394 @@
+//! Expression trees for formulaic alphas.
+//!
+//! A formulaic alpha is an algebraic expression over scalar features. A
+//! terminal `Feature { row, lag }` reads the input feature matrix cell
+//! `X[row][w−1−lag]` — lag 0 is the most recent day of the window, exactly
+//! the matrix AlphaEvolve sees. Functions use gplearn's *protected*
+//! variants so every tree evaluates to a finite number (the genetic
+//! algorithm's classic trick for closure; contrast with AlphaEvolve's
+//! kill-on-NaN policy, which is exactly what the paper changes).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Unary functions (gplearn function set, protected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnFunc {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Protected square root: `sqrt(|x|)`.
+    Sqrt,
+    /// Protected natural log: `ln(|x|)`, 0 when `|x| < 1e-3`.
+    Log,
+    /// Protected inverse: `1/x`, 0 when `|x| < 1e-3`.
+    Inv,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+}
+
+impl UnFunc {
+    /// Every unary function.
+    pub const ALL: [UnFunc; 7] =
+        [UnFunc::Neg, UnFunc::Abs, UnFunc::Sqrt, UnFunc::Log, UnFunc::Inv, UnFunc::Sin, UnFunc::Cos];
+
+    /// Function name for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnFunc::Neg => "neg",
+            UnFunc::Abs => "abs",
+            UnFunc::Sqrt => "sqrt",
+            UnFunc::Log => "log",
+            UnFunc::Inv => "inv",
+            UnFunc::Sin => "sin",
+            UnFunc::Cos => "cos",
+        }
+    }
+
+    /// Applies the (protected) function.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnFunc::Neg => -x,
+            UnFunc::Abs => x.abs(),
+            UnFunc::Sqrt => x.abs().sqrt(),
+            UnFunc::Log => {
+                if x.abs() < 1e-3 {
+                    0.0
+                } else {
+                    x.abs().ln()
+                }
+            }
+            UnFunc::Inv => {
+                if x.abs() < 1e-3 {
+                    0.0
+                } else {
+                    1.0 / x
+                }
+            }
+            UnFunc::Sin => x.sin(),
+            UnFunc::Cos => x.cos(),
+        }
+    }
+}
+
+/// Binary functions (gplearn function set, protected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinFunc {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Protected division: `x/y`, 1 when `|y| < 1e-3`.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinFunc {
+    /// Every binary function.
+    pub const ALL: [BinFunc; 6] =
+        [BinFunc::Add, BinFunc::Sub, BinFunc::Mul, BinFunc::Div, BinFunc::Min, BinFunc::Max];
+
+    /// Function name for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinFunc::Add => "add",
+            BinFunc::Sub => "sub",
+            BinFunc::Mul => "mul",
+            BinFunc::Div => "div",
+            BinFunc::Min => "min",
+            BinFunc::Max => "max",
+        }
+    }
+
+    /// Applies the (protected) function.
+    pub fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            BinFunc::Add => x + y,
+            BinFunc::Sub => x - y,
+            BinFunc::Mul => x * y,
+            BinFunc::Div => {
+                if y.abs() < 1e-3 {
+                    1.0
+                } else {
+                    x / y
+                }
+            }
+            BinFunc::Min => x.min(y),
+            BinFunc::Max => x.max(y),
+        }
+    }
+}
+
+/// An expression-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Read `X[row][w-1-lag]`.
+    Feature {
+        /// Feature row index.
+        row: u16,
+        /// Days back from the newest window column.
+        lag: u16,
+    },
+    /// An ephemeral constant.
+    Const(f64),
+    /// Unary application.
+    Unary(UnFunc, Box<Expr>),
+    /// Binary application.
+    Binary(BinFunc, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Feature { .. } | Expr::Const(_) => 1,
+            Expr::Unary(_, a) => 1 + a.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Tree depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Feature { .. } | Expr::Const(_) => 1,
+            Expr::Unary(_, a) => 1 + a.depth(),
+            Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Evaluates against one sample's feature window accessor:
+    /// `read(row, lag)` must return `X[row][w−1−lag]`.
+    pub fn eval(&self, read: &impl Fn(usize, usize) -> f64) -> f64 {
+        match self {
+            Expr::Feature { row, lag } => read(*row as usize, *lag as usize),
+            Expr::Const(c) => *c,
+            Expr::Unary(f, a) => f.apply(a.eval(read)),
+            Expr::Binary(f, a, b) => f.apply(a.eval(read), b.eval(read)),
+        }
+    }
+
+    /// True when some terminal reads the feature matrix (a constant-only
+    /// tree can never rank stocks).
+    pub fn uses_features(&self) -> bool {
+        match self {
+            Expr::Feature { .. } => true,
+            Expr::Const(_) => false,
+            Expr::Unary(_, a) => a.uses_features(),
+            Expr::Binary(_, a, b) => a.uses_features() || b.uses_features(),
+        }
+    }
+
+    /// Immutable reference to the node at `index` (pre-order).
+    pub fn node(&self, index: usize) -> Option<&Expr> {
+        fn walk<'a>(e: &'a Expr, target: usize, counter: &mut usize) -> Option<&'a Expr> {
+            if *counter == target {
+                return Some(e);
+            }
+            *counter += 1;
+            match e {
+                Expr::Unary(_, a) => walk(a, target, counter),
+                Expr::Binary(_, a, b) => walk(a, target, counter).or_else(|| walk(b, target, counter)),
+                _ => None,
+            }
+        }
+        walk(self, index, &mut 0)
+    }
+
+    /// Mutable reference to the node at `index` (pre-order).
+    pub fn node_mut(&mut self, index: usize) -> Option<&mut Expr> {
+        fn walk<'a>(e: &'a mut Expr, target: usize, counter: &mut usize) -> Option<&'a mut Expr> {
+            if *counter == target {
+                return Some(e);
+            }
+            *counter += 1;
+            match e {
+                Expr::Unary(_, a) => walk(a, target, counter),
+                Expr::Binary(_, a, b) => {
+                    if let r @ Some(_) = walk(a, target, counter) {
+                        return r;
+                    }
+                    walk(b, target, counter)
+                }
+                _ => None,
+            }
+        }
+        walk(self, index, &mut 0)
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// S-expression style, e.g. `div(sub(x11[0], x8[0]), add(x9[0], 0.001))`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Feature { row, lag } => write!(f, "x{row}[{lag}]"),
+            Expr::Const(c) => write!(f, "{c:?}"),
+            Expr::Unary(func, a) => write!(f, "{}({a})", func.name()),
+            Expr::Binary(func, a, b) => write!(f, "{}({a}, {b})", func.name()),
+        }
+    }
+}
+
+/// Terminal/interior sampling used by generation and mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct ExprSampler {
+    /// Feature rows available.
+    pub n_features: usize,
+    /// Lags available (`0..n_lags`).
+    pub n_lags: usize,
+    /// Probability a sampled terminal is a constant.
+    pub const_prob: f64,
+}
+
+impl ExprSampler {
+    /// Samples a terminal node.
+    pub fn terminal(&self, rng: &mut SmallRng) -> Expr {
+        if rng.gen::<f64>() < self.const_prob {
+            Expr::Const(rng.gen_range(-1.0..1.0))
+        } else {
+            Expr::Feature {
+                row: rng.gen_range(0..self.n_features) as u16,
+                lag: rng.gen_range(0..self.n_lags) as u16,
+            }
+        }
+    }
+
+    /// Grows a random tree: `grow = true` mixes terminals in early
+    /// (gplearn's "grow"), otherwise every branch reaches `depth`
+    /// ("full").
+    pub fn tree(&self, rng: &mut SmallRng, depth: usize, grow: bool) -> Expr {
+        if depth <= 1 || (grow && rng.gen::<f64>() < 0.3) {
+            return self.terminal(rng);
+        }
+        if rng.gen::<f64>() < 0.25 {
+            let f = UnFunc::ALL[rng.gen_range(0..UnFunc::ALL.len())];
+            Expr::Unary(f, Box::new(self.tree(rng, depth - 1, grow)))
+        } else {
+            let f = BinFunc::ALL[rng.gen_range(0..BinFunc::ALL.len())];
+            Expr::Binary(
+                f,
+                Box::new(self.tree(rng, depth - 1, grow)),
+                Box::new(self.tree(rng, depth - 1, grow)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn alpha101() -> Expr {
+        // (close - open) / ((high - low) + 0.001) with paper rows.
+        Expr::Binary(
+            BinFunc::Div,
+            Box::new(Expr::Binary(
+                BinFunc::Sub,
+                Box::new(Expr::Feature { row: 11, lag: 0 }),
+                Box::new(Expr::Feature { row: 8, lag: 0 }),
+            )),
+            Box::new(Expr::Binary(
+                BinFunc::Add,
+                Box::new(Expr::Binary(
+                    BinFunc::Sub,
+                    Box::new(Expr::Feature { row: 9, lag: 0 }),
+                    Box::new(Expr::Feature { row: 10, lag: 0 }),
+                )),
+                Box::new(Expr::Const(0.001)),
+            )),
+        )
+    }
+
+    #[test]
+    fn eval_alpha101() {
+        let e = alpha101();
+        // close=1.0, open=0.9, high=1.1, low=0.85
+        let read = |row: usize, _lag: usize| match row {
+            11 => 1.0,
+            8 => 0.9,
+            9 => 1.1,
+            10 => 0.85,
+            _ => 0.0,
+        };
+        let v = e.eval(&read);
+        assert!((v - (1.0 - 0.9) / (1.1 - 0.85 + 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = alpha101();
+        assert_eq!(e.size(), 9);
+        assert_eq!(e.depth(), 4);
+    }
+
+    #[test]
+    fn protected_ops_never_nan() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.2 };
+        for _ in 0..300 {
+            let e = sampler.tree(&mut rng, 6, true);
+            // Evaluate on adversarial inputs including zeros and huge values.
+            for &x in &[0.0, 1e-9, -1e12, 7.3] {
+                let v = e.eval(&|_, _| x);
+                assert!(!v.is_nan(), "{e} -> NaN on input {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn protected_div_and_log() {
+        assert_eq!(BinFunc::Div.apply(5.0, 0.0), 1.0);
+        assert_eq!(UnFunc::Log.apply(0.0), 0.0);
+        assert_eq!(UnFunc::Inv.apply(0.0), 0.0);
+        assert_eq!(UnFunc::Sqrt.apply(-4.0), 2.0);
+    }
+
+    #[test]
+    fn node_indexing_is_preorder() {
+        let e = alpha101();
+        assert!(matches!(e.node(0), Some(Expr::Binary(BinFunc::Div, _, _))));
+        assert!(matches!(e.node(1), Some(Expr::Binary(BinFunc::Sub, _, _))));
+        assert!(matches!(e.node(2), Some(Expr::Feature { row: 11, .. })));
+        assert!(matches!(e.node(8), Some(Expr::Const(_))));
+        assert!(e.node(9).is_none());
+    }
+
+    #[test]
+    fn node_mut_can_replace_subtree() {
+        let mut e = alpha101();
+        *e.node_mut(2).unwrap() = Expr::Const(42.0);
+        assert!(matches!(e.node(2), Some(Expr::Const(c)) if *c == 42.0));
+        assert_eq!(e.size(), 9);
+    }
+
+    #[test]
+    fn uses_features_detects_constant_trees() {
+        assert!(alpha101().uses_features());
+        let c = Expr::Unary(UnFunc::Sin, Box::new(Expr::Const(1.0)));
+        assert!(!c.uses_features());
+    }
+
+    #[test]
+    fn full_trees_reach_requested_depth() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.1 };
+        for _ in 0..50 {
+            let e = sampler.tree(&mut rng, 4, false);
+            assert_eq!(e.depth(), 4);
+        }
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let s = alpha101().to_string();
+        assert_eq!(s, "div(sub(x11[0], x8[0]), add(sub(x9[0], x10[0]), 0.001))");
+    }
+}

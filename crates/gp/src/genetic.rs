@@ -1,0 +1,239 @@
+//! Genetic operators with the paper's §5.2 probabilities.
+//!
+//! gplearn's operator suite: subtree **crossover**, **subtree mutation**
+//! (replace a subtree with a random one), **hoist mutation** (replace the
+//! tree by one of its own subtrees — probability 0 in the paper, but
+//! implemented and tested), **point mutation** (walk the tree and replace
+//! individual nodes in place with same-arity substitutes at the *point
+//! replace* rate), and reproduction for the remaining probability mass.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::expr::{BinFunc, Expr, ExprSampler, UnFunc};
+
+/// Method probabilities (paper §5.2). The remainder up to 1.0 reproduces
+/// the tournament winner unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpProbabilities {
+    /// Subtree crossover with a second tournament winner.
+    pub crossover: f64,
+    /// Replace a random subtree with a freshly grown one.
+    pub subtree_mutation: f64,
+    /// Replace the tree with one of its own subtrees.
+    pub hoist_mutation: f64,
+    /// Per-offspring probability of running a point-mutation pass.
+    pub point_mutation: f64,
+    /// Per-node replacement rate inside a point-mutation pass.
+    pub point_replace: f64,
+}
+
+impl Default for GpProbabilities {
+    /// The paper's values: 0.4 / 0.01 / 0 / 0.01 / 0.4.
+    fn default() -> Self {
+        GpProbabilities {
+            crossover: 0.4,
+            subtree_mutation: 0.01,
+            hoist_mutation: 0.0,
+            point_mutation: 0.01,
+            point_replace: 0.4,
+        }
+    }
+}
+
+/// Which method produced an offspring (for stats/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpMethod {
+    /// Subtree crossover.
+    Crossover,
+    /// Subtree mutation.
+    Subtree,
+    /// Hoist mutation.
+    Hoist,
+    /// Point mutation.
+    Point,
+    /// Unchanged copy.
+    Reproduction,
+}
+
+/// Stateless genetic-operator toolbox.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticOps {
+    /// Terminal/interior sampling space.
+    pub sampler: ExprSampler,
+    /// Method probabilities.
+    pub probs: GpProbabilities,
+    /// Node-count cap; offspring exceeding it fall back to reproduction.
+    pub max_size: usize,
+    /// Depth of freshly grown subtrees.
+    pub new_subtree_depth: usize,
+}
+
+impl GeneticOps {
+    /// Picks a method according to the configured probabilities.
+    pub fn pick_method(&self, rng: &mut SmallRng) -> GpMethod {
+        let p = self.probs;
+        let mut x = rng.gen::<f64>();
+        for (prob, method) in [
+            (p.crossover, GpMethod::Crossover),
+            (p.subtree_mutation, GpMethod::Subtree),
+            (p.hoist_mutation, GpMethod::Hoist),
+            (p.point_mutation, GpMethod::Point),
+        ] {
+            if x < prob {
+                return method;
+            }
+            x -= prob;
+        }
+        GpMethod::Reproduction
+    }
+
+    /// Subtree crossover: a random subtree of `a` is replaced by a random
+    /// subtree of `b`. Falls back to a clone of `a` when the child would
+    /// exceed `max_size`.
+    pub fn crossover(&self, rng: &mut SmallRng, a: &Expr, b: &Expr) -> Expr {
+        let mut child = a.clone();
+        let at = rng.gen_range(0..child.size());
+        let donor_at = rng.gen_range(0..b.size());
+        let donor = b.node(donor_at).expect("donor index in range").clone();
+        *child.node_mut(at).expect("target index in range") = donor;
+        if child.size() > self.max_size {
+            a.clone()
+        } else {
+            child
+        }
+    }
+
+    /// Subtree mutation: crossover with a freshly grown random donor.
+    pub fn subtree_mutation(&self, rng: &mut SmallRng, a: &Expr) -> Expr {
+        let donor = self.sampler.tree(rng, self.new_subtree_depth, true);
+        let mut child = a.clone();
+        let at = rng.gen_range(0..child.size());
+        *child.node_mut(at).expect("target index in range") = donor;
+        if child.size() > self.max_size {
+            a.clone()
+        } else {
+            child
+        }
+    }
+
+    /// Hoist mutation: the tree becomes one of its own subtrees (a
+    /// bloat-control operator).
+    pub fn hoist_mutation(&self, rng: &mut SmallRng, a: &Expr) -> Expr {
+        let at = rng.gen_range(0..a.size());
+        a.node(at).expect("index in range").clone()
+    }
+
+    /// Point mutation: every node is replaced with probability
+    /// `point_replace` by a same-arity substitute (terminals by terminals,
+    /// unary by unary, binary by binary), preserving children.
+    pub fn point_mutation(&self, rng: &mut SmallRng, a: &Expr) -> Expr {
+        let mut child = a.clone();
+        let n = child.size();
+        for i in 0..n {
+            if rng.gen::<f64>() >= self.probs.point_replace {
+                continue;
+            }
+            let node = child.node_mut(i).expect("index in range");
+            match node {
+                Expr::Feature { .. } | Expr::Const(_) => {
+                    *node = self.sampler.terminal(rng);
+                }
+                Expr::Unary(f, _) => {
+                    *f = UnFunc::ALL[rng.gen_range(0..UnFunc::ALL.len())];
+                }
+                Expr::Binary(f, _, _) => {
+                    *f = BinFunc::ALL[rng.gen_range(0..BinFunc::ALL.len())];
+                }
+            }
+        }
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ops() -> GeneticOps {
+        GeneticOps {
+            sampler: ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.15 },
+            probs: GpProbabilities::default(),
+            max_size: 48,
+            new_subtree_depth: 4,
+        }
+    }
+
+    fn random_tree(rng: &mut SmallRng) -> Expr {
+        ops().sampler.tree(rng, 5, true)
+    }
+
+    #[test]
+    fn crossover_respects_size_cap() {
+        let o = ops();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let a = random_tree(&mut rng);
+            let b = random_tree(&mut rng);
+            let c = o.crossover(&mut rng, &a, &b);
+            assert!(c.size() <= o.max_size);
+        }
+    }
+
+    #[test]
+    fn point_mutation_preserves_shape() {
+        let o = ops();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let a = random_tree(&mut rng);
+            let c = o.point_mutation(&mut rng, &a);
+            assert_eq!(a.size(), c.size(), "point mutation must not change node count");
+            assert_eq!(a.depth(), c.depth());
+        }
+    }
+
+    #[test]
+    fn hoist_shrinks_or_keeps() {
+        let o = ops();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = random_tree(&mut rng);
+            let c = o.hoist_mutation(&mut rng, &a);
+            assert!(c.size() <= a.size());
+        }
+    }
+
+    #[test]
+    fn method_distribution_matches_probabilities() {
+        let o = ops();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            let m = o.pick_method(&mut rng);
+            counts[match m {
+                GpMethod::Crossover => 0,
+                GpMethod::Subtree => 1,
+                GpMethod::Hoist => 2,
+                GpMethod::Point => 3,
+                GpMethod::Reproduction => 4,
+            }] += 1;
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.4).abs() < 0.01, "crossover {}", frac(counts[0]));
+        assert!((frac(counts[1]) - 0.01).abs() < 0.005);
+        assert_eq!(counts[2], 0, "hoist probability is 0 in the paper");
+        assert!((frac(counts[3]) - 0.01).abs() < 0.005);
+        assert!((frac(counts[4]) - 0.58).abs() < 0.01, "reproduction {}", frac(counts[4]));
+    }
+
+    #[test]
+    fn subtree_mutation_changes_tree_often() {
+        let o = ops();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = random_tree(&mut rng);
+        let changed = (0..20).filter(|_| o.subtree_mutation(&mut rng, &a) != a).count();
+        assert!(changed > 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! Genetic-algorithm baseline: gplearn-style formulaic alpha mining.
+//!
+//! The AlphaEvolve paper's main baseline (`alpha_G`) is "the searched alpha
+//! by the genetic algorithm", following Lin et al.'s gplearn-based alpha
+//! mining [14, 15]. Formulaic alphas are expression *trees* over scalar
+//! terminals; the population evolves through subtree crossover and the
+//! gplearn mutation suite with the paper's §5.2 probabilities:
+//!
+//! | operator          | probability |
+//! |-------------------|-------------|
+//! | crossover         | 0.40        |
+//! | subtree mutation  | 0.01        |
+//! | hoist mutation    | 0.00        |
+//! | point mutation    | 0.01        |
+//! | point replace     | 0.40 (per-node, within point mutation) |
+//!
+//! (the remaining probability mass reproduces the tournament winner
+//! unchanged). "The input and the output are the same as those of
+//! AlphaEvolve" — terminals address any `(feature, lag)` cell of the same
+//! `f × w` input matrix, and fitness is the same validation-set IC, so the
+//! two methods differ *only* in their search space, which is the paper's
+//! point: arithmetic-only formulaic alphas are the smaller space.
+//!
+//! Functions are protected in gplearn style (safe division/log/sqrt/inverse)
+//! so every formula evaluates to a finite value.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod expr;
+pub mod genetic;
+
+pub use engine::{GpBudget, GpConfig, GpEngine, GpOutcome, GpStats};
+pub use expr::{BinFunc, Expr, ExprSampler, UnFunc};
+pub use genetic::{GeneticOps, GpProbabilities};

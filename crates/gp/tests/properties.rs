@@ -1,0 +1,84 @@
+//! Property-based tests of the GP baseline's closure guarantees.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_gp::{BinFunc, Expr, ExprSampler, GeneticOps, GpProbabilities, UnFunc};
+
+fn sampler() -> ExprSampler {
+    ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.2 }
+}
+
+fn ops() -> GeneticOps {
+    GeneticOps {
+        sampler: sampler(),
+        probs: GpProbabilities::default(),
+        max_size: 48,
+        new_subtree_depth: 4,
+    }
+}
+
+proptest! {
+    /// Closure: protected functions keep every tree total on finite inputs
+    /// — no NaN, ever (gplearn's core guarantee).
+    #[test]
+    fn trees_never_nan_on_finite_inputs(seed in any::<u64>(), depth in 1usize..7, x in -1e6f64..1e6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = sampler().tree(&mut rng, depth, true);
+        let v = tree.eval(&|_, _| x);
+        prop_assert!(!v.is_nan(), "{} -> NaN on {}", tree, x);
+    }
+
+    /// Unary/binary protections are themselves total.
+    #[test]
+    fn protected_functions_total(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+        for f in UnFunc::ALL {
+            prop_assert!(!f.apply(x).is_nan(), "{:?}({})", f, x);
+        }
+        for f in BinFunc::ALL {
+            prop_assert!(!f.apply(x, y).is_nan(), "{:?}({}, {})", f, x, y);
+        }
+    }
+
+    /// Genetic operators respect the size cap and produce structurally
+    /// valid trees (every node reachable, sizes consistent).
+    #[test]
+    fn operators_respect_size_cap(seed in any::<u64>(), depth_a in 2usize..7, depth_b in 2usize..7) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let o = ops();
+        let a = sampler().tree(&mut rng, depth_a, true);
+        let b = sampler().tree(&mut rng, depth_b, false);
+        for child in [
+            o.crossover(&mut rng, &a, &b),
+            o.subtree_mutation(&mut rng, &a),
+            o.hoist_mutation(&mut rng, &a),
+            o.point_mutation(&mut rng, &a),
+        ] {
+            prop_assert!(child.size() <= o.max_size);
+            // Pre-order indexing covers exactly `size` nodes.
+            prop_assert!(child.node(child.size() - 1).is_some());
+            prop_assert!(child.node(child.size()).is_none());
+        }
+    }
+
+    /// Point mutation never changes tree shape, only node contents.
+    #[test]
+    fn point_mutation_shape_preserving(seed in any::<u64>(), depth in 2usize..7) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let o = ops();
+        let a = sampler().tree(&mut rng, depth, true);
+        let c = o.point_mutation(&mut rng, &a);
+        prop_assert_eq!(a.size(), c.size());
+        prop_assert_eq!(a.depth(), c.depth());
+    }
+
+    /// Display is injective enough to distinguish structurally different
+    /// trees (no accidental collisions from formatting).
+    #[test]
+    fn distinct_feature_terminals_display_differently(r1 in 0u16..13, l1 in 0u16..13, r2 in 0u16..13, l2 in 0u16..13) {
+        let a = Expr::Feature { row: r1, lag: l1 };
+        let b = Expr::Feature { row: r2, lag: l2 };
+        prop_assert_eq!(a == b, a.to_string() == b.to_string());
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-CSV import/export of OHLCV panels.
+//!
+//! Lets users swap the synthetic substrate for real market data (e.g. the
+//! NASDAQ panel used in the paper) without touching any other crate. The
+//! format is one row per (stock, day):
+//!
+//! ```csv
+//! symbol,sector,industry,day,open,high,low,close,volume
+//! AAPL,3,7,0,72.1,73.0,71.8,72.9,104521900
+//! ```
+//!
+//! Days must be dense `0..n_days` and identical across stocks; rows may be
+//! in any order. Sector/industry are small integer ids (map your own
+//! GICS-style labels to dense ids when exporting).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::ohlcv::{MarketData, OhlcvSeries};
+use crate::universe::{IndustryId, SectorId, StockMeta, Universe};
+use crate::MarketError;
+
+/// Writes a panel in the documented CSV format.
+pub fn write_csv<W: Write>(market: &MarketData, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "symbol,sector,industry,day,open,high,low,close,volume")?;
+    for (i, s) in market.series.iter().enumerate() {
+        let meta = market.universe.stock(i);
+        for t in 0..s.len() {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                meta.symbol,
+                meta.sector.0,
+                meta.industry.0,
+                t,
+                s.open[t],
+                s.high[t],
+                s.low[t],
+                s.close[t],
+                s.volume[t]
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a panel written by [`write_csv`] (or produced externally in the
+/// same format).
+pub fn read_csv<R: BufRead>(input: R) -> Result<MarketData, MarketError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut metas: HashMap<String, (u16, u16)> = HashMap::new();
+    // symbol -> Vec<(day, o, h, l, c, v)>
+    let mut rows: HashMap<String, Vec<(usize, [f64; 5])>> = HashMap::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| MarketError::Csv { line: lineno + 1, msg: e.to_string() })?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let err = |msg: &str| MarketError::Csv { line: lineno + 1, msg: msg.to_string() };
+        let parts: Vec<&str> = line.trim().split(',').collect();
+        if parts.len() != 9 {
+            return Err(err(&format!("expected 9 fields, got {}", parts.len())));
+        }
+        let symbol = parts[0].to_string();
+        let sector: u16 = parts[1].parse().map_err(|_| err("bad sector id"))?;
+        let industry: u16 = parts[2].parse().map_err(|_| err("bad industry id"))?;
+        let day: usize = parts[3].parse().map_err(|_| err("bad day"))?;
+        let mut vals = [0.0; 5];
+        for (k, v) in vals.iter_mut().enumerate() {
+            *v = parts[4 + k].parse().map_err(|_| err("bad numeric field"))?;
+        }
+        if !metas.contains_key(&symbol) {
+            order.push(symbol.clone());
+        }
+        let prev = metas.insert(symbol.clone(), (sector, industry));
+        if let Some(p) = prev {
+            if p != (sector, industry) {
+                return Err(err("inconsistent sector/industry for symbol"));
+            }
+        }
+        rows.entry(symbol).or_default().push((day, vals));
+    }
+
+    if order.is_empty() {
+        return Err(MarketError::EmptyUniverse);
+    }
+
+    let mut stocks = Vec::with_capacity(order.len());
+    let mut series = Vec::with_capacity(order.len());
+    let mut n_days: Option<usize> = None;
+    for symbol in &order {
+        let (sector, industry) = metas[symbol];
+        stocks.push(StockMeta {
+            symbol: symbol.clone(),
+            sector: SectorId(sector),
+            industry: IndustryId(industry),
+        });
+        let mut days = rows.remove(symbol).unwrap();
+        days.sort_by_key(|(d, _)| *d);
+        let len = days.len();
+        match n_days {
+            None => n_days = Some(len),
+            Some(n) if n != len => {
+                return Err(MarketError::Csv {
+                    line: 0,
+                    msg: format!("symbol {symbol} has {len} days, expected {n}"),
+                })
+            }
+            _ => {}
+        }
+        let mut s = OhlcvSeries::zeros(len);
+        for (expected, (day, v)) in days.into_iter().enumerate() {
+            if day != expected {
+                return Err(MarketError::Csv {
+                    line: 0,
+                    msg: format!("symbol {symbol} is missing day {expected}"),
+                });
+            }
+            s.open[expected] = v[0];
+            s.high[expected] = v[1];
+            s.low[expected] = v[2];
+            s.close[expected] = v[3];
+            s.volume[expected] = v[4];
+        }
+        series.push(s);
+    }
+
+    Ok(MarketData { universe: Universe::new(stocks), series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MarketConfig;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip() {
+        let md = MarketConfig { n_stocks: 5, n_days: 12, seed: 4, ..Default::default() }.generate();
+        let mut buf = Vec::new();
+        write_csv(&md, &mut buf).unwrap();
+        let back = read_csv(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.n_stocks(), md.n_stocks());
+        assert_eq!(back.n_days(), md.n_days());
+        for i in 0..md.n_stocks() {
+            assert_eq!(back.universe.stock(i), md.universe.stock(i));
+            for t in 0..md.n_days() {
+                assert!((back.series[i].close[t] - md.series[i].close[t]).abs() < 1e-9);
+                assert!((back.series[i].volume[t] - md.series[i].volume[t]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_missing_day() {
+        let csv = "symbol,sector,industry,day,open,high,low,close,volume\n\
+                   A,0,0,0,1,2,0.5,1.5,10\n\
+                   A,0,0,2,1,2,0.5,1.5,10\n";
+        let err = read_csv(BufReader::new(csv.as_bytes()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_symbols() {
+        let csv = "symbol,sector,industry,day,open,high,low,close,volume\n\
+                   A,0,0,0,1,2,0.5,1.5,10\n\
+                   A,0,0,1,1,2,0.5,1.5,10\n\
+                   B,0,0,0,1,2,0.5,1.5,10\n";
+        let err = read_csv(BufReader::new(csv.as_bytes()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_field_count() {
+        let csv = "symbol,sector,industry,day,open,high,low,close,volume\nA,0,0,0,1,2\n";
+        assert!(matches!(
+            read_csv(BufReader::new(csv.as_bytes())),
+            Err(MarketError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let csv = "symbol,sector,industry,day,open,high,low,close,volume\n";
+        assert!(matches!(read_csv(BufReader::new(csv.as_bytes())), Err(MarketError::EmptyUniverse)));
+    }
+
+    #[test]
+    fn rejects_inconsistent_sector() {
+        let csv = "symbol,sector,industry,day,open,high,low,close,volume\n\
+                   A,0,0,0,1,2,0.5,1.5,10\n\
+                   A,1,0,1,1,2,0.5,1.5,10\n";
+        assert!(read_csv(BufReader::new(csv.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Windowed samples with train/validation/test splits.
+//!
+//! §2 of the paper: all samples `S` are split chronologically into a
+//! training set `S_tr`, a validation set `S_v`, and a test set `S_te`.
+//! §5.1 uses 988/116/116 days out of 1220 (≈ 81% / 9.5% / 9.5%).
+
+use std::ops::Range;
+
+use crate::features::FeatureSet;
+use crate::ohlcv::MarketData;
+use crate::panel::FeaturePanel;
+use crate::universe::Universe;
+use crate::MarketError;
+
+/// Chronological split specification as fractions of usable label days.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Fraction of usable days assigned to training.
+    pub train_frac: f64,
+    /// Fraction assigned to validation (test gets the remainder).
+    pub valid_frac: f64,
+}
+
+impl SplitSpec {
+    /// The paper's 988/116/116 ratios.
+    pub fn paper_ratios() -> SplitSpec {
+        SplitSpec { train_frac: 988.0 / 1220.0, valid_frac: 116.0 / 1220.0 }
+    }
+
+    /// Explicit day counts (useful for exact-paper setups).
+    pub fn from_counts(train: usize, valid: usize, total: usize) -> SplitSpec {
+        SplitSpec { train_frac: train as f64 / total as f64, valid_frac: valid as f64 / total as f64 }
+    }
+}
+
+/// A ready-to-evaluate dataset: normalized feature panel, universe with
+/// sector/industry groups, window length and chronological splits.
+///
+/// "Day" throughout means a *label* day `t`: the model sees the window
+/// `[t-w, t-1]` and predicts the return realized on `t`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    panel: FeaturePanel,
+    universe: Universe,
+    window: usize,
+    train: Range<usize>,
+    valid: Range<usize>,
+    test: Range<usize>,
+}
+
+impl Dataset {
+    /// Builds the panel from `market` and splits the usable label days
+    /// chronologically. The window length equals the feature count so the
+    /// input matrix is square (`f = w`), as in the paper.
+    pub fn build(
+        market: &MarketData,
+        features: &FeatureSet,
+        split: SplitSpec,
+    ) -> Result<Dataset, MarketError> {
+        Self::build_with_window(market, features, features.len(), split)
+    }
+
+    /// Like [`Dataset::build`] with an explicit window length.
+    pub fn build_with_window(
+        market: &MarketData,
+        features: &FeatureSet,
+        window: usize,
+        split: SplitSpec,
+    ) -> Result<Dataset, MarketError> {
+        if market.n_stocks() == 0 {
+            return Err(MarketError::EmptyUniverse);
+        }
+        let panel = FeaturePanel::build(market, features);
+        let first = panel.first_usable_day(window);
+        let n_days = panel.n_days();
+        if first + 3 > n_days {
+            return Err(MarketError::TooFewDays { days: n_days, required: first + 3 });
+        }
+        let usable = n_days - first;
+        let n_train = ((usable as f64) * split.train_frac).floor() as usize;
+        let n_valid = ((usable as f64) * split.valid_frac).floor() as usize;
+        if n_train == 0 || n_valid == 0 || n_train + n_valid >= usable {
+            return Err(MarketError::BadSplit("each of train/valid/test needs at least one day"));
+        }
+        let train = first..first + n_train;
+        let valid = train.end..train.end + n_valid;
+        let test = valid.end..n_days;
+        Ok(Dataset { panel, universe: market.universe.clone(), window, train, valid, test })
+    }
+
+    /// Number of stocks (tasks `K`).
+    pub fn n_stocks(&self) -> usize {
+        self.panel.n_stocks()
+    }
+
+    /// Number of feature rows `f`.
+    pub fn n_features(&self) -> usize {
+        self.panel.n_features()
+    }
+
+    /// Window length `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The underlying feature panel.
+    pub fn panel(&self) -> &FeaturePanel {
+        &self.panel
+    }
+
+    /// The universe with sector/industry groupings.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Training label days (global day indices).
+    pub fn train_days(&self) -> Range<usize> {
+        self.train.clone()
+    }
+
+    /// Validation label days.
+    pub fn valid_days(&self) -> Range<usize> {
+        self.valid.clone()
+    }
+
+    /// Test label days.
+    pub fn test_days(&self) -> Range<usize> {
+        self.test.clone()
+    }
+
+    /// Copies the input matrix `X ∈ R^{f×w}` for (`stock`, label `day`) into
+    /// `out` (row-major, oldest column first).
+    pub fn fill_window(&self, stock: usize, day: usize, out: &mut [f64]) {
+        self.panel.fill_window(stock, day, self.window, out);
+    }
+
+    /// Label: the simple return realized on `day`.
+    pub fn label(&self, stock: usize, day: usize) -> f64 {
+        self.panel.ret(stock, day)
+    }
+
+    /// Cross-section of labels on `day`, one per stock.
+    pub fn labels_at(&self, day: usize) -> Vec<f64> {
+        (0..self.n_stocks()).map(|i| self.label(i, day)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use crate::generator::MarketConfig;
+
+    fn dataset(n_days: usize) -> Dataset {
+        let md = MarketConfig { n_stocks: 10, n_days, seed: 2, ..Default::default() }.generate();
+        Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
+    }
+
+    #[test]
+    fn splits_are_chronological_and_disjoint() {
+        let d = dataset(300);
+        assert_eq!(d.train_days().end, d.valid_days().start);
+        assert_eq!(d.valid_days().end, d.test_days().start);
+        assert_eq!(d.test_days().end, 300);
+        assert!(d.train_days().start >= 43); // warm-up (30) + window (13)
+        assert!(!d.train_days().is_empty());
+        assert!(!d.valid_days().is_empty());
+        assert!(!d.test_days().is_empty());
+    }
+
+    #[test]
+    fn paper_ratios_close_to_988_116_116() {
+        let d = dataset(1263); // 1263 - 43 warmup = 1220 usable days
+        let usable = 1263 - d.train_days().start;
+        let tr = d.train_days().len() as f64 / usable as f64;
+        let va = d.valid_days().len() as f64 / usable as f64;
+        assert!((tr - 988.0 / 1220.0).abs() < 0.01, "train frac {tr}");
+        assert!((va - 116.0 / 1220.0).abs() < 0.01, "valid frac {va}");
+    }
+
+    #[test]
+    fn too_few_days_is_an_error() {
+        let md = MarketConfig { n_stocks: 3, n_days: 45, seed: 2, ..Default::default() }.generate();
+        let err = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn window_and_label_alignment() {
+        let d = dataset(200);
+        let day = d.valid_days().start;
+        let mut x = vec![0.0; d.n_features() * d.window()];
+        d.fill_window(0, day, &mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        let labels = d.labels_at(day);
+        assert_eq!(labels.len(), d.n_stocks());
+        assert_eq!(labels[0], d.label(0, day));
+    }
+
+    #[test]
+    fn labels_differ_across_days() {
+        let d = dataset(200);
+        let a = d.labels_at(d.train_days().start);
+        let b = d.labels_at(d.train_days().start + 1);
+        assert_ne!(a, b);
+    }
+}

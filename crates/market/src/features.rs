@@ -1,0 +1,308 @@
+//! The paper's feature pipeline.
+//!
+//! §5.2: *"The dimensions f and w for the input feature matrix X are 13. The
+//! first four features are the moving averages of the close prices over 5,
+//! 10, 20, and 30 days; the next four are the close prices' volatilities
+//! over 5, 10, 20, and 30 days; the last five are the open price, the high
+//! price, the low price, the close price, and the volume."*
+//!
+//! §5.1: *"Each type of the features is normalized by its maximum value
+//! across all time steps for each stock."*
+//!
+//! "Volatility of the close prices over n days" is interpreted as the
+//! rolling standard deviation of daily close-to-close simple returns over an
+//! n-day window (the standard construction; the paper does not spell it
+//! out). Normalization divides by the maximum *absolute* value so that
+//! sign-carrying features stay in `[-1, 1]`; for the paper's 13 (all
+//! non-negative) features this coincides with plain max-normalization.
+
+use crate::ohlcv::OhlcvSeries;
+
+/// One feature type computable from an OHLCV series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Rolling mean of close over `n` days (including the current day).
+    MovingAverage(usize),
+    /// Rolling standard deviation of daily close returns over `n` days.
+    Volatility(usize),
+    /// Raw open price.
+    Open,
+    /// Raw high price.
+    High,
+    /// Raw low price.
+    Low,
+    /// Raw close price.
+    Close,
+    /// Raw share volume.
+    Volume,
+}
+
+impl FeatureKind {
+    /// Days of history needed before the feature is defined.
+    pub fn lookback(self) -> usize {
+        match self {
+            FeatureKind::MovingAverage(n) => n.saturating_sub(1),
+            // Returns need one extra day of history.
+            FeatureKind::Volatility(n) => n,
+            _ => 0,
+        }
+    }
+
+    /// Short name used in printouts and CSV headers.
+    pub fn name(self) -> String {
+        match self {
+            FeatureKind::MovingAverage(n) => format!("ma{n}"),
+            FeatureKind::Volatility(n) => format!("vol{n}"),
+            FeatureKind::Open => "open".into(),
+            FeatureKind::High => "high".into(),
+            FeatureKind::Low => "low".into(),
+            FeatureKind::Close => "close".into(),
+            FeatureKind::Volume => "volume".into(),
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // index loops are the clearest form for these kernels
+    /// Computes the raw (un-normalized) feature series for one stock.
+    /// Entries before [`FeatureKind::lookback`] are backfilled with the first
+    /// defined value so downstream code never sees NaN.
+    pub fn compute(self, s: &OhlcvSeries) -> Vec<f64> {
+        let days = s.len();
+        let mut out = vec![0.0; days];
+        match self {
+            FeatureKind::Open => out.copy_from_slice(&s.open),
+            FeatureKind::High => out.copy_from_slice(&s.high),
+            FeatureKind::Low => out.copy_from_slice(&s.low),
+            FeatureKind::Close => out.copy_from_slice(&s.close),
+            FeatureKind::Volume => out.copy_from_slice(&s.volume),
+            FeatureKind::MovingAverage(n) => {
+                let n = n.max(1);
+                let mut sum = 0.0;
+                for t in 0..days {
+                    sum += s.close[t];
+                    if t >= n {
+                        sum -= s.close[t - n];
+                    }
+                    let width = (t + 1).min(n);
+                    out[t] = sum / width as f64;
+                }
+            }
+            FeatureKind::Volatility(n) => {
+                let n = n.max(2);
+                let rets = s.simple_returns();
+                for t in 0..days {
+                    let lo = t.saturating_sub(n - 1).max(1);
+                    if t < 1 {
+                        out[t] = 0.0;
+                        continue;
+                    }
+                    let w = &rets[lo..=t];
+                    out[t] = std_dev(w);
+                }
+                // Backfill the undefined head with the first defined value.
+                if days > 1 {
+                    out[0] = out[1];
+                }
+            }
+        }
+        out
+    }
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+/// How raw features are scaled before entering the alpha.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// Divide by the max absolute value over *all* days (paper §5.1; note
+    /// this peeks at future data — we replicate the paper's choice).
+    MaxAbsAllDays,
+    /// Divide by the max absolute value over days `< cutoff` only
+    /// (leak-free alternative).
+    MaxAbsUpTo(usize),
+    /// Leave features raw.
+    None,
+}
+
+/// An ordered list of features; its length is `f` and (for the paper's
+/// square input) also the window `w`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSet {
+    kinds: Vec<FeatureKind>,
+    /// Normalization mode applied per stock per feature.
+    pub normalization: Normalization,
+}
+
+impl FeatureSet {
+    /// The paper's 13 features in paper order.
+    pub fn paper() -> FeatureSet {
+        use FeatureKind::*;
+        FeatureSet {
+            kinds: vec![
+                MovingAverage(5),
+                MovingAverage(10),
+                MovingAverage(20),
+                MovingAverage(30),
+                Volatility(5),
+                Volatility(10),
+                Volatility(20),
+                Volatility(30),
+                Open,
+                High,
+                Low,
+                Close,
+                Volume,
+            ],
+            normalization: Normalization::MaxAbsAllDays,
+        }
+    }
+
+    /// A custom feature list with the paper's normalization.
+    pub fn custom(kinds: Vec<FeatureKind>) -> FeatureSet {
+        FeatureSet { kinds, normalization: Normalization::MaxAbsAllDays }
+    }
+
+    /// Number of features `f`.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when no features are present.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The feature kinds in order.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Maximum lookback over all features — the warm-up period.
+    pub fn max_lookback(&self) -> usize {
+        self.kinds.iter().map(|k| k.lookback()).max().unwrap_or(0)
+    }
+
+    /// Index of the paper feature row, by name (`"close"`, `"ma5"`, ...).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.kinds.iter().position(|k| k.name() == name)
+    }
+}
+
+/// Applies `normalization` in place to one feature series of one stock.
+pub fn normalize_series(xs: &mut [f64], normalization: Normalization) {
+    let max_abs = |w: &[f64]| w.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    let denom = match normalization {
+        Normalization::None => return,
+        Normalization::MaxAbsAllDays => max_abs(xs),
+        Normalization::MaxAbsUpTo(cutoff) => max_abs(&xs[..cutoff.min(xs.len())]),
+    };
+    if denom > 0.0 && denom.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= denom;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_series(days: usize) -> OhlcvSeries {
+        let close: Vec<f64> = (0..days).map(|t| 10.0 + t as f64).collect();
+        OhlcvSeries {
+            open: close.clone(),
+            high: close.iter().map(|c| c * 1.01).collect(),
+            low: close.iter().map(|c| c * 0.99).collect(),
+            close,
+            volume: vec![100.0; days],
+        }
+    }
+
+    #[test]
+    fn paper_feature_set_has_13() {
+        let fs = FeatureSet::paper();
+        assert_eq!(fs.len(), 13);
+        assert_eq!(fs.max_lookback(), 30);
+        assert_eq!(fs.index_of("close"), Some(11));
+        assert_eq!(fs.index_of("ma30"), Some(3));
+        assert_eq!(fs.index_of("nope"), None);
+    }
+
+    #[test]
+    fn moving_average_of_ramp() {
+        let s = ramp_series(40);
+        let ma5 = FeatureKind::MovingAverage(5).compute(&s);
+        // At t=10 closes are 16..=20 -> mean 18.
+        assert!((ma5[10] - 18.0).abs() < 1e-12);
+        // Warm-up: at t=2 the window is the first 3 closes (10, 11, 12).
+        assert!((ma5[2] - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volatility_zero_for_constant_returns() {
+        // Exponential ramp = constant returns = zero volatility.
+        let days = 40;
+        let close: Vec<f64> = (0..days).map(|t| 10.0 * 1.01f64.powi(t as i32)).collect();
+        let s = OhlcvSeries {
+            open: close.clone(),
+            high: close.iter().map(|c| c * 1.02).collect(),
+            low: close.iter().map(|c| c * 0.98).collect(),
+            close,
+            volume: vec![1.0; days],
+        };
+        let vol = FeatureKind::Volatility(5).compute(&s);
+        assert!(vol[30].abs() < 1e-12, "vol {}", vol[30]);
+    }
+
+    #[test]
+    fn volatility_positive_for_alternating_returns() {
+        let days = 30;
+        let close: Vec<f64> = (0..days).map(|t| if t % 2 == 0 { 10.0 } else { 11.0 }).collect();
+        let s = OhlcvSeries {
+            open: close.clone(),
+            high: close.iter().map(|c| c + 1.0).collect(),
+            low: close.iter().map(|c| c - 1.0).collect(),
+            close,
+            volume: vec![1.0; days],
+        };
+        let vol = FeatureKind::Volatility(10).compute(&s);
+        assert!(vol[20] > 0.01);
+    }
+
+    #[test]
+    fn features_are_finite_everywhere() {
+        let s = ramp_series(50);
+        for k in FeatureSet::paper().kinds() {
+            let xs = k.compute(&s);
+            assert!(xs.iter().all(|x| x.is_finite()), "{:?} produced non-finite values", k);
+        }
+    }
+
+    #[test]
+    fn max_abs_normalization_bounds() {
+        let mut xs = vec![-4.0, 2.0, 8.0];
+        normalize_series(&mut xs, Normalization::MaxAbsAllDays);
+        assert_eq!(xs, vec![-0.5, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn normalization_up_to_cutoff_only_uses_past() {
+        let mut xs = vec![1.0, 2.0, 100.0];
+        normalize_series(&mut xs, Normalization::MaxAbsUpTo(2));
+        assert_eq!(xs, vec![0.5, 1.0, 50.0]);
+    }
+
+    #[test]
+    fn zero_series_untouched_by_normalization() {
+        let mut xs = vec![0.0; 5];
+        normalize_series(&mut xs, Normalization::MaxAbsAllDays);
+        assert!(xs.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! The paper's preprocessing filters (§5.1).
+//!
+//! *"Two types of stocks are filtered out in the data preprocessing stage:
+//! (1) the stocks without sufficient samples and (2) the stocks reaching too
+//! low prices during the selected period."* Thinly traded stocks only add
+//! noise; penny stocks are too risky.
+
+use crate::ohlcv::MarketData;
+
+/// Configuration of the preprocessing filters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Drop a stock if its close ever falls below this price.
+    pub min_price: f64,
+    /// Drop a stock if its median daily volume is below this.
+    pub min_median_volume: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig { min_price: 1.0, min_median_volume: 1000.0 }
+    }
+}
+
+/// Outcome of filtering: the surviving panel and which original indices
+/// were kept (for traceability).
+#[derive(Debug, Clone)]
+pub struct FilterOutcome {
+    /// Panel restricted to surviving stocks.
+    pub market: MarketData,
+    /// Original indices of the survivors, ascending.
+    pub kept: Vec<usize>,
+    /// Original indices dropped for low price.
+    pub dropped_penny: Vec<usize>,
+    /// Original indices dropped for low volume.
+    pub dropped_thin: Vec<usize>,
+}
+
+/// Applies the paper's preprocessing to a market panel.
+pub fn apply(market: &MarketData, cfg: FilterConfig) -> FilterOutcome {
+    let mut kept = Vec::new();
+    let mut dropped_penny = Vec::new();
+    let mut dropped_thin = Vec::new();
+    for (i, s) in market.series.iter().enumerate() {
+        let min_close = s.close.iter().cloned().fold(f64::INFINITY, f64::min);
+        if min_close < cfg.min_price {
+            dropped_penny.push(i);
+            continue;
+        }
+        if median(&s.volume) < cfg.min_median_volume {
+            dropped_thin.push(i);
+            continue;
+        }
+        kept.push(i);
+    }
+    FilterOutcome { market: market.subset(&kept), kept, dropped_penny, dropped_thin }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MarketConfig;
+
+    #[test]
+    fn filters_remove_penny_and_thin_stocks() {
+        let md = MarketConfig {
+            n_stocks: 100,
+            n_days: 60,
+            seed: 8,
+            penny_fraction: 0.15,
+            thin_fraction: 0.15,
+            ..Default::default()
+        }
+        .generate();
+        let out = apply(&md, FilterConfig::default());
+        assert!(!out.dropped_penny.is_empty(), "expected penny drops");
+        assert!(!out.dropped_thin.is_empty(), "expected thin drops");
+        assert_eq!(out.kept.len() + out.dropped_penny.len() + out.dropped_thin.len(), 100);
+        assert_eq!(out.market.n_stocks(), out.kept.len());
+        // Survivors satisfy both constraints.
+        for s in &out.market.series {
+            assert!(s.close.iter().all(|&c| c >= 1.0));
+        }
+    }
+
+    #[test]
+    fn clean_market_is_untouched() {
+        let md = MarketConfig { n_stocks: 30, n_days: 60, seed: 3, ..Default::default() }.generate();
+        let out = apply(&md, FilterConfig::default());
+        assert_eq!(out.kept.len(), 30);
+        assert_eq!(out.market, md);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Seeded factor-model market generator.
+//!
+//! Substitute for the paper's NASDAQ 2013–2017 panel (see `DESIGN.md` §3).
+//! Daily log-returns follow a classic multi-factor structure
+//!
+//! ```text
+//! r[i,t] = drift + β_m[i]·f_m[t] + β_s[i]·f_sec(i)[t] + β_g[i]·f_ind(i)[t]
+//!          + signal[i,t] + ε[i,t]
+//! ```
+//!
+//! with a two-state Markov volatility regime scaling `f_m` and `ε`
+//! (vol clustering), fat-tailed idiosyncratic shocks, and a *planted*
+//! cross-sectional signal
+//!
+//! ```text
+//! signal[i,t] = c_rev · ret5[i,t-1] + c_mom · ret20[i,t-1]
+//! ```
+//!
+//! (short-horizon reversal, medium-horizon momentum — two of the most robust
+//! effects in the equity literature). The signal is weak by default so the
+//! achievable Information Coefficient stays in the few-percent range the
+//! paper reports; setting both coefficients to zero yields a pure-noise
+//! market, which the test-suite uses to verify that the mining stack does
+//! not hallucinate alpha.
+//!
+//! OHLC bars and volume are derived from the close path: opens gap from the
+//! previous close, the intraday range widens with realized volatility, and
+//! volume responds to absolute returns. A small fraction of stocks is
+//! generated as penny/thin stocks so the paper's preprocessing filters have
+//! something to do.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::ohlcv::{MarketData, OhlcvSeries};
+use crate::rngutil::{fat_tailed, normal};
+use crate::universe::Universe;
+
+/// Two-state (calm/volatile) Markov regime for volatility clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeConfig {
+    /// Daily probability of switching calm → volatile.
+    pub p_calm_to_volatile: f64,
+    /// Daily probability of switching volatile → calm.
+    pub p_volatile_to_calm: f64,
+    /// Volatility multiplier applied in the volatile state.
+    pub volatile_multiplier: f64,
+}
+
+impl Default for RegimeConfig {
+    fn default() -> Self {
+        RegimeConfig { p_calm_to_volatile: 0.02, p_volatile_to_calm: 0.10, volatile_multiplier: 2.5 }
+    }
+}
+
+/// Planted cross-sectional predictability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalConfig {
+    /// Coefficient on the trailing 5-day return (negative = reversal).
+    pub reversal: f64,
+    /// Coefficient on the trailing 20-day return (positive = momentum).
+    pub momentum: f64,
+    /// Coefficient on the trailing 5-day return *relative to the
+    /// industry mean* (negative = industry-relative reversal). This effect
+    /// is inherently cross-sectional: a model that sees one stock at a
+    /// time — like a formulaic alpha over per-stock terminals — cannot
+    /// express it, while AlphaEvolve's RelationOps can. It is the
+    /// synthetic stand-in for the relational structure of real markets
+    /// (`DESIGN.md` §3).
+    pub industry_reversal: f64,
+}
+
+impl SignalConfig {
+    /// No planted signal: the market is pure noise and the best achievable
+    /// IC is ~0. Used to test that mining does not fabricate alpha.
+    pub fn none() -> Self {
+        SignalConfig { reversal: 0.0, momentum: 0.0, industry_reversal: 0.0 }
+    }
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        SignalConfig { reversal: -0.05, momentum: 0.02, industry_reversal: -0.08 }
+    }
+}
+
+/// Full synthetic-market configuration. All fields have sensible defaults;
+/// most callers only set `n_stocks`, `n_days` and `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfig {
+    /// Number of stocks in the universe.
+    pub n_stocks: usize,
+    /// Number of trading days to simulate.
+    pub n_days: usize,
+    /// Number of sectors stocks are spread over.
+    pub n_sectors: usize,
+    /// Industries per sector.
+    pub industries_per_sector: usize,
+    /// RNG seed; the same config generates identical data.
+    pub seed: u64,
+    /// Daily log-drift (e.g. `0.0002` ≈ 5%/year).
+    pub drift: f64,
+    /// Daily volatility of the market factor.
+    pub market_vol: f64,
+    /// Daily volatility of each sector factor.
+    pub sector_vol: f64,
+    /// Daily volatility of each industry factor.
+    pub industry_vol: f64,
+    /// Daily idiosyncratic volatility.
+    pub idio_vol: f64,
+    /// Probability that an idiosyncratic shock is tail-inflated.
+    pub tail_prob: f64,
+    /// Scale applied to tail shocks.
+    pub tail_scale: f64,
+    /// Volatility regime process.
+    pub regime: RegimeConfig,
+    /// Planted predictability.
+    pub signal: SignalConfig,
+    /// Range of initial prices (uniform).
+    pub start_price: (f64, f64),
+    /// Std-dev of the overnight log gap (open vs previous close).
+    pub gap_vol: f64,
+    /// Scale of the intraday high/low extension.
+    pub range_vol: f64,
+    /// Median daily share volume.
+    pub base_volume: f64,
+    /// Sensitivity of volume to absolute returns.
+    pub volume_elasticity: f64,
+    /// Fraction of stocks generated as penny stocks (start price ~ $0.5).
+    pub penny_fraction: f64,
+    /// Fraction of stocks generated with near-zero volume (thinly traded).
+    pub thin_fraction: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            n_stocks: 100,
+            n_days: 560,
+            n_sectors: 8,
+            industries_per_sector: 3,
+            seed: 0,
+            drift: 0.0002,
+            market_vol: 0.008,
+            sector_vol: 0.005,
+            industry_vol: 0.004,
+            idio_vol: 0.015,
+            tail_prob: 0.03,
+            tail_scale: 3.0,
+            regime: RegimeConfig::default(),
+            signal: SignalConfig::default(),
+            start_price: (8.0, 220.0),
+            gap_vol: 0.004,
+            range_vol: 0.006,
+            base_volume: 1.0e6,
+            volume_elasticity: 8.0,
+            penny_fraction: 0.0,
+            thin_fraction: 0.0,
+        }
+    }
+}
+
+/// Per-stock loadings drawn once at generation time.
+#[derive(Debug, Clone)]
+struct Loadings {
+    market_beta: f64,
+    sector_beta: f64,
+    industry_beta: f64,
+    start_price: f64,
+    base_volume: f64,
+}
+
+impl MarketConfig {
+    /// Generates the full OHLCV panel. Deterministic in `self` (including
+    /// the seed).
+    pub fn generate(&self) -> MarketData {
+        assert!(self.n_stocks > 0, "need at least one stock");
+        assert!(self.n_days >= 2, "need at least two days");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let universe = Universe::synthetic(self.n_stocks, self.n_sectors, self.industries_per_sector);
+
+        let loadings: Vec<Loadings> = (0..self.n_stocks)
+            .map(|_| {
+                let penny = rng.gen::<f64>() < self.penny_fraction;
+                let thin = rng.gen::<f64>() < self.thin_fraction;
+                Loadings {
+                    market_beta: rng.gen_range(0.5..1.5),
+                    sector_beta: rng.gen_range(0.3..1.2),
+                    industry_beta: rng.gen_range(0.2..1.0),
+                    start_price: if penny {
+                        rng.gen_range(0.2..1.0)
+                    } else {
+                        rng.gen_range(self.start_price.0..self.start_price.1)
+                    },
+                    base_volume: if thin {
+                        rng.gen_range(10.0..500.0)
+                    } else {
+                        self.base_volume * rng.gen_range(0.2..5.0)
+                    },
+                }
+            })
+            .collect();
+
+        // Regime path shared by all stocks.
+        let regime_mult = self.regime_path(&mut rng);
+
+        // Factor paths.
+        let market_f: Vec<f64> =
+            (0..self.n_days).map(|t| normal(&mut rng, 0.0, self.market_vol) * regime_mult[t]).collect();
+        let sector_f: Vec<Vec<f64>> = (0..universe.n_sectors())
+            .map(|_| (0..self.n_days).map(|_| normal(&mut rng, 0.0, self.sector_vol)).collect())
+            .collect();
+        let industry_f: Vec<Vec<f64>> = (0..universe.n_industries())
+            .map(|_| (0..self.n_days).map(|_| normal(&mut rng, 0.0, self.industry_vol)).collect())
+            .collect();
+
+        // Day-major log-return simulation: the industry-relative signal
+        // needs the whole cross-section of trailing returns at each step.
+        let k = self.n_stocks;
+        let mut log_price = vec![vec![0.0; self.n_days]; k];
+        let mut log_ret = vec![vec![0.0; self.n_days]; k];
+        for (i, load) in loadings.iter().enumerate() {
+            log_price[i][0] = load.start_price.ln();
+        }
+        // Trailing k-day log return of stock i as of day t-1.
+        let ret_over = |lp: &[f64], t: usize, n: usize| -> f64 {
+            if t > n {
+                lp[t - 1] - lp[t - 1 - n]
+            } else {
+                0.0
+            }
+        };
+        let mut r5 = vec![0.0; k];
+        for t in 1..self.n_days {
+            for i in 0..k {
+                r5[i] = ret_over(&log_price[i], t, 5);
+            }
+            // Industry means of the trailing 5-day return.
+            let mut ind_mean = vec![0.0; universe.n_industries()];
+            for (g, mean) in ind_mean.iter_mut().enumerate() {
+                let members = universe.industry_members(crate::universe::IndustryId(g as u16));
+                if !members.is_empty() {
+                    *mean =
+                        members.iter().map(|&m| r5[m as usize]).sum::<f64>() / members.len() as f64;
+                }
+            }
+            for i in 0..k {
+                let meta = universe.stock(i);
+                let load = &loadings[i];
+                let eps = fat_tailed(&mut rng, self.tail_prob, self.tail_scale)
+                    * self.idio_vol
+                    * regime_mult[t];
+                let r20 = ret_over(&log_price[i], t, 20);
+                let raw_sig = self.signal.reversal * r5[i]
+                    + self.signal.momentum * r20
+                    + self.signal.industry_reversal * (r5[i] - ind_mean[meta.industry.0 as usize]);
+                // Keep the signal bounded so a trending stock cannot run away.
+                let sig = raw_sig.clamp(-3.0 * self.idio_vol, 3.0 * self.idio_vol);
+                let r = self.drift
+                    + load.market_beta * market_f[t]
+                    + load.sector_beta * sector_f[meta.sector.0 as usize][t]
+                    + load.industry_beta * industry_f[meta.industry.0 as usize][t]
+                    + sig
+                    + eps;
+                log_ret[i][t] = r;
+                log_price[i][t] = log_price[i][t - 1] + r;
+            }
+        }
+
+        let series = (0..k)
+            .map(|i| self.bars_from_path(&mut rng, &log_price[i], &log_ret[i], &loadings[i]))
+            .collect();
+
+        let md = MarketData { universe, series };
+        debug_assert!(md.validate().is_ok());
+        md
+    }
+
+    fn regime_path<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let mut mult = Vec::with_capacity(self.n_days);
+        let mut volatile = false;
+        for _ in 0..self.n_days {
+            let p = if volatile { self.regime.p_volatile_to_calm } else { self.regime.p_calm_to_volatile };
+            if rng.gen::<f64>() < p {
+                volatile = !volatile;
+            }
+            mult.push(if volatile { self.regime.volatile_multiplier } else { 1.0 });
+        }
+        mult
+    }
+
+    fn bars_from_path<R: Rng>(
+        &self,
+        rng: &mut R,
+        log_price: &[f64],
+        log_ret: &[f64],
+        load: &Loadings,
+    ) -> OhlcvSeries {
+        let days = log_price.len();
+        let mut s = OhlcvSeries::zeros(days);
+        for t in 0..days {
+            let close = log_price[t].exp();
+            let open = if t == 0 {
+                close * normal(rng, 0.0, self.gap_vol).exp()
+            } else {
+                log_price[t - 1].exp() * normal(rng, 0.0, self.gap_vol).exp()
+            };
+            let body_hi = open.max(close);
+            let body_lo = open.min(close);
+            let ext_hi = normal(rng, 0.0, self.range_vol).abs();
+            let ext_lo = normal(rng, 0.0, self.range_vol).abs();
+            let high = body_hi * (1.0 + ext_hi);
+            let low = (body_lo * (1.0 - ext_lo)).max(body_lo * 0.5).max(1e-9);
+            let vol_noise = normal(rng, 0.0, 0.4).exp();
+            let activity = 1.0 + self.volume_elasticity * log_ret[t].abs();
+            let volume = (load.base_volume * vol_noise * activity).round();
+            s.open[t] = open;
+            s.high[t] = high;
+            s.low[t] = low;
+            s.close[t] = close;
+            s.volume[t] = volume;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MarketConfig {
+        MarketConfig { n_stocks: 20, n_days: 120, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_valid_panel() {
+        let md = small().generate();
+        assert_eq!(md.n_stocks(), 20);
+        assert_eq!(md.n_days(), 120);
+        md.validate().expect("panel must validate");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+        let c = MarketConfig { seed: 4, ..small() }.generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn returns_have_realistic_scale() {
+        let md = MarketConfig { n_stocks: 30, n_days: 500, seed: 1, ..Default::default() }.generate();
+        let mut all = Vec::new();
+        for s in &md.series {
+            all.extend(s.simple_returns().into_iter().skip(1));
+        }
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let std = (all.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / all.len() as f64).sqrt();
+        // Daily vol should land between 1% and 6% given the default factors.
+        assert!(std > 0.01 && std < 0.06, "daily std {std}");
+        assert!(mean.abs() < 0.005, "daily mean {mean}");
+    }
+
+    #[test]
+    fn planted_reversal_is_detectable() {
+        // Cross-sectional correlation between trailing 5d return and next-day
+        // return should be clearly negative with the default signal and ~0
+        // without it.
+        let corr_for = |signal: SignalConfig| -> f64 {
+            let md = MarketConfig {
+                n_stocks: 120,
+                n_days: 400,
+                seed: 9,
+                signal,
+                ..Default::default()
+            }
+            .generate();
+            let rets: Vec<Vec<f64>> = md.series.iter().map(|s| s.simple_returns()).collect();
+            let closes: Vec<&Vec<f64>> = md.series.iter().map(|s| &s.close).collect();
+            let mut daily = Vec::new();
+            for t in 30..md.n_days() {
+                let xs: Vec<f64> =
+                    (0..md.n_stocks()).map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0).collect();
+                let ys: Vec<f64> = (0..md.n_stocks()).map(|i| rets[i][t]).collect();
+                daily.push(pearson(&xs, &ys));
+            }
+            daily.iter().sum::<f64>() / daily.len() as f64
+        };
+        let with_signal = corr_for(SignalConfig::default());
+        let without = corr_for(SignalConfig::none());
+        assert!(with_signal < -0.02, "reversal IC {with_signal}");
+        assert!(without.abs() < 0.02, "noise IC {without}");
+    }
+
+    #[test]
+    fn industry_relative_reversal_is_detectable() {
+        // With only the industry-relative term planted, the
+        // industry-demeaned trailing return must predict next-day returns
+        // (negatively) better than the raw trailing return does.
+        let md = MarketConfig {
+            n_stocks: 120,
+            n_days: 400,
+            seed: 13,
+            signal: SignalConfig { reversal: 0.0, momentum: 0.0, industry_reversal: -0.08 },
+            ..Default::default()
+        }
+        .generate();
+        let rets: Vec<Vec<f64>> = md.series.iter().map(|s| s.simple_returns()).collect();
+        let closes: Vec<&Vec<f64>> = md.series.iter().map(|s| &s.close).collect();
+        let u = &md.universe;
+        let mut raw_ics = Vec::new();
+        let mut demeaned_ics = Vec::new();
+        for t in 30..md.n_days() {
+            let r5: Vec<f64> =
+                (0..md.n_stocks()).map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0).collect();
+            let mut demeaned = r5.clone();
+            for g in 0..u.n_industries() {
+                let members = u.industry_members(crate::universe::IndustryId(g as u16));
+                if members.is_empty() {
+                    continue;
+                }
+                let mean = members.iter().map(|&m| r5[m as usize]).sum::<f64>() / members.len() as f64;
+                for &m in members {
+                    demeaned[m as usize] -= mean;
+                }
+            }
+            let ys: Vec<f64> = (0..md.n_stocks()).map(|i| rets[i][t]).collect();
+            raw_ics.push(pearson(&r5, &ys));
+            demeaned_ics.push(pearson(&demeaned, &ys));
+        }
+        let raw = raw_ics.iter().sum::<f64>() / raw_ics.len() as f64;
+        let demeaned = demeaned_ics.iter().sum::<f64>() / demeaned_ics.len() as f64;
+        assert!(demeaned < -0.03, "industry-demeaned reversal IC {demeaned}");
+        assert!(
+            demeaned.abs() > raw.abs() + 0.01,
+            "demeaned predictor ({demeaned}) must beat raw ({raw})"
+        );
+    }
+
+    #[test]
+    fn regime_multiplier_hits_both_states() {
+        let cfg = small();
+        let mut rng = StdRng::seed_from_u64(2);
+        let path = cfg.regime_path(&mut rng);
+        assert!(path.contains(&1.0));
+        assert!(path.iter().any(|&m| m > 1.0));
+    }
+
+    #[test]
+    fn penny_and_thin_fractions() {
+        let md = MarketConfig {
+            n_stocks: 200,
+            n_days: 30,
+            seed: 5,
+            penny_fraction: 0.2,
+            thin_fraction: 0.2,
+            ..Default::default()
+        }
+        .generate();
+        let pennies = md.series.iter().filter(|s| s.close[0] < 1.5).count();
+        let thins = md
+            .series
+            .iter()
+            .filter(|s| s.volume.iter().sum::<f64>() / (s.volume.len() as f64) < 1000.0)
+            .count();
+        assert!(pennies > 10, "expected some penny stocks, got {pennies}");
+        assert!(thins > 10, "expected some thin stocks, got {thins}");
+    }
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for i in 0..x.len() {
+            let dx = x[i] - mx;
+            let dy = y[i] - my;
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+        if vx <= 0.0 || vy <= 0.0 {
+            0.0
+        } else {
+            cov / (vx.sqrt() * vy.sqrt())
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Market-data substrate for the AlphaEvolve reproduction.
+//!
+//! The AlphaEvolve paper (Cui et al., SIGMOD 2021) evaluates on 5 years of
+//! NASDAQ price data (1026 stocks after filtering, 1220 trading days split
+//! 988/116/116). That dataset is not redistributable, so this crate provides
+//! the closest synthetic equivalent plus everything needed to plug real data
+//! back in:
+//!
+//! * [`Universe`] — a stock universe partitioned into sectors and industries
+//!   (the relational domain knowledge consumed by the paper's RelationOps).
+//! * [`MarketData`] — daily OHLCV panels for the whole universe.
+//! * [`generator`] — a seeded factor-model market generator with regime
+//!   switching and *planted cross-sectional predictability* (short-horizon
+//!   reversal + medium-horizon momentum) so alpha mining has real but weak
+//!   signal to discover, mirroring the few-percent ICs of the paper.
+//! * [`features`] — the paper's 13 features (moving averages over
+//!   5/10/20/30 days, close-price volatilities over the same horizons, and
+//!   raw OHLCV), max-normalized per stock.
+//! * [`Dataset`] — windowed samples `X ∈ R^{f×w}` with next-day-return
+//!   labels and train/validation/test day splits in the paper's ratios.
+//! * [`csvio`] — plain-text import/export so real NASDAQ data can be used
+//!   unchanged.
+//! * [`filter`] — the paper's preprocessing (drop thin and penny stocks).
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Quick example
+//!
+//! ```
+//! use alphaevolve_market::{generator::MarketConfig, features::FeatureSet, Dataset, SplitSpec};
+//!
+//! let cfg = MarketConfig { n_stocks: 30, n_days: 260, seed: 7, ..Default::default() };
+//! let market = cfg.generate();
+//! let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+//! assert_eq!(dataset.n_features(), 13);
+//! assert!(dataset.train_days().len() > dataset.valid_days().len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csvio;
+pub mod dataset;
+pub mod features;
+pub mod filter;
+pub mod generator;
+pub mod ohlcv;
+pub mod panel;
+pub mod rngutil;
+pub mod universe;
+
+pub use dataset::{Dataset, SplitSpec};
+pub use features::{FeatureKind, FeatureSet};
+pub use generator::MarketConfig;
+pub use ohlcv::MarketData;
+pub use panel::FeaturePanel;
+pub use universe::{IndustryId, SectorId, StockMeta, Universe};
+
+/// Errors produced while building market substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarketError {
+    /// Not enough days to cover feature warm-up plus the sample window.
+    TooFewDays {
+        /// Days actually available.
+        days: usize,
+        /// Days required by warm-up + window.
+        required: usize,
+    },
+    /// The universe is empty or inconsistent with the data panel.
+    EmptyUniverse,
+    /// A CSV row failed to parse.
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Split ratios do not leave room for every set.
+    BadSplit(&'static str),
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::TooFewDays { days, required } => {
+                write!(f, "{days} days of data but {required} required for warm-up + window")
+            }
+            MarketError::EmptyUniverse => write!(f, "universe has no stocks"),
+            MarketError::Csv { line, msg } => write!(f, "csv parse error at line {line}: {msg}"),
+            MarketError::BadSplit(msg) => write!(f, "bad split: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}

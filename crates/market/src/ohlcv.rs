@@ -1,0 +1,189 @@
+//! Daily OHLCV panels for a stock universe.
+
+use crate::universe::Universe;
+
+/// One stock's daily bars, stored column-major (one contiguous array per
+/// field) for cache-friendly feature computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OhlcvSeries {
+    /// Opening prices per day.
+    pub open: Vec<f64>,
+    /// Intraday highs per day.
+    pub high: Vec<f64>,
+    /// Intraday lows per day.
+    pub low: Vec<f64>,
+    /// Closing prices per day.
+    pub close: Vec<f64>,
+    /// Share volume per day.
+    pub volume: Vec<f64>,
+}
+
+impl OhlcvSeries {
+    /// An all-zero series of `days` bars.
+    pub fn zeros(days: usize) -> Self {
+        OhlcvSeries {
+            open: vec![0.0; days],
+            high: vec![0.0; days],
+            low: vec![0.0; days],
+            close: vec![0.0; days],
+            volume: vec![0.0; days],
+        }
+    }
+
+    /// Number of days covered.
+    pub fn len(&self) -> usize {
+        self.close.len()
+    }
+
+    /// True if the series has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.close.is_empty()
+    }
+
+    /// Checks the basic bar invariants: `low <= min(open, close)`,
+    /// `high >= max(open, close)`, positive prices, non-negative volume.
+    pub fn is_well_formed(&self) -> bool {
+        (0..self.len()).all(|t| {
+            let (o, h, l, c, v) = (self.open[t], self.high[t], self.low[t], self.close[t], self.volume[t]);
+            o > 0.0
+                && c > 0.0
+                && l > 0.0
+                && h >= o.max(c) - 1e-12
+                && l <= o.min(c) + 1e-12
+                && v >= 0.0
+                && [o, h, l, c, v].iter().all(|x| x.is_finite())
+        })
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    /// Simple daily returns `close[t]/close[t-1] - 1`; element 0 is 0.
+    pub fn simple_returns(&self) -> Vec<f64> {
+        let mut r = vec![0.0; self.len()];
+        for t in 1..self.len() {
+            r[t] = self.close[t] / self.close[t - 1] - 1.0;
+        }
+        r
+    }
+}
+
+/// OHLCV panels for an entire universe, one [`OhlcvSeries`] per stock, all
+/// aligned to the same trading calendar `0..n_days`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketData {
+    /// The universe the panel covers; `series[i]` belongs to
+    /// `universe.stock(i)`.
+    pub universe: Universe,
+    /// Per-stock bar series, all of identical length.
+    pub series: Vec<OhlcvSeries>,
+}
+
+impl MarketData {
+    /// Number of stocks.
+    pub fn n_stocks(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of trading days (0 if there are no stocks).
+    pub fn n_days(&self) -> usize {
+        self.series.first().map_or(0, OhlcvSeries::len)
+    }
+
+    /// Checks panel-level invariants: aligned lengths, well-formed bars and
+    /// a universe consistent with the panel.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.universe.len() != self.series.len() {
+            return Err(format!(
+                "universe has {} stocks but panel has {} series",
+                self.universe.len(),
+                self.series.len()
+            ));
+        }
+        let days = self.n_days();
+        for (i, s) in self.series.iter().enumerate() {
+            if s.len() != days {
+                return Err(format!("stock {i} has {} days, expected {days}", s.len()));
+            }
+            if !s.is_well_formed() {
+                return Err(format!("stock {i} has malformed bars"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Keeps only the stocks at `keep` (sorted indices), preserving order.
+    pub fn subset(&self, keep: &[usize]) -> MarketData {
+        MarketData {
+            universe: self.universe.subset(keep),
+            series: keep.iter().map(|&i| self.series[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_series(days: usize, price: f64) -> OhlcvSeries {
+        OhlcvSeries {
+            open: vec![price; days],
+            high: vec![price * 1.01; days],
+            low: vec![price * 0.99; days],
+            close: vec![price; days],
+            volume: vec![1000.0; days],
+        }
+    }
+
+    #[test]
+    fn well_formed_flat_series() {
+        assert!(flat_series(10, 50.0).is_well_formed());
+    }
+
+    #[test]
+    fn detects_bad_high() {
+        let mut s = flat_series(5, 50.0);
+        s.high[2] = 10.0; // below open/close
+        assert!(!s.is_well_formed());
+    }
+
+    #[test]
+    fn detects_non_finite() {
+        let mut s = flat_series(5, 50.0);
+        s.close[3] = f64::NAN;
+        assert!(!s.is_well_formed());
+    }
+
+    #[test]
+    fn simple_returns_flat_is_zero() {
+        let r = flat_series(6, 30.0).simple_returns();
+        assert!(r.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn simple_returns_doubling() {
+        let mut s = flat_series(3, 10.0);
+        s.close = vec![10.0, 20.0, 10.0];
+        let r = s.simple_returns();
+        assert!((r[1] - 1.0).abs() < 1e-12);
+        assert!((r[2] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_misaligned_panel() {
+        let u = Universe::synthetic(2, 1, 1);
+        let md = MarketData { universe: u, series: vec![flat_series(5, 10.0), flat_series(6, 10.0)] };
+        assert!(md.validate().is_err());
+    }
+
+    #[test]
+    fn subset_keeps_alignment() {
+        let u = Universe::synthetic(3, 1, 1);
+        let md = MarketData {
+            universe: u,
+            series: vec![flat_series(5, 10.0), flat_series(5, 20.0), flat_series(5, 30.0)],
+        };
+        let sub = md.subset(&[0, 2]);
+        assert_eq!(sub.n_stocks(), 2);
+        assert!((sub.series[1].close[0] - 30.0).abs() < 1e-12);
+        assert!(sub.validate().is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Dense feature panel: `stocks × features × days` plus return labels.
+//!
+//! The panel is the bridge between raw [`MarketData`](crate::MarketData) and
+//! the evaluator's samples. Data is stored in one contiguous buffer indexed
+//! `[stock][feature][day]` so that window extraction (`X ∈ R^{f×w}`) is a
+//! strided copy and feature access is sequential.
+
+use crate::features::{normalize_series, FeatureSet};
+use crate::ohlcv::MarketData;
+
+/// Dense, normalized feature panel with aligned next-day-return labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturePanel {
+    n_stocks: usize,
+    n_features: usize,
+    n_days: usize,
+    /// Warm-up: feature values are fully defined for `day >= first_valid_day`.
+    first_valid_day: usize,
+    /// `[stock][feature][day]` contiguous.
+    data: Vec<f64>,
+    /// `[stock][day]` simple close-to-close returns (label source).
+    returns: Vec<f64>,
+}
+
+impl FeaturePanel {
+    /// Computes all features for all stocks and applies the feature set's
+    /// normalization per stock per feature.
+    pub fn build(market: &MarketData, features: &FeatureSet) -> FeaturePanel {
+        let n_stocks = market.n_stocks();
+        let n_days = market.n_days();
+        let n_features = features.len();
+        let mut data = vec![0.0; n_stocks * n_features * n_days];
+        let mut returns = vec![0.0; n_stocks * n_days];
+        for (i, series) in market.series.iter().enumerate() {
+            for (j, kind) in features.kinds().iter().enumerate() {
+                let mut xs = kind.compute(series);
+                normalize_series(&mut xs, features.normalization);
+                let off = (i * n_features + j) * n_days;
+                data[off..off + n_days].copy_from_slice(&xs);
+            }
+            let r = series.simple_returns();
+            returns[i * n_days..(i + 1) * n_days].copy_from_slice(&r);
+        }
+        FeaturePanel {
+            n_stocks,
+            n_features,
+            n_days,
+            first_valid_day: features.max_lookback(),
+            data,
+            returns,
+        }
+    }
+
+    /// Number of stocks.
+    pub fn n_stocks(&self) -> usize {
+        self.n_stocks
+    }
+
+    /// Number of feature rows `f`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of days.
+    pub fn n_days(&self) -> usize {
+        self.n_days
+    }
+
+    /// First day with fully defined features (post warm-up).
+    pub fn first_valid_day(&self) -> usize {
+        self.first_valid_day
+    }
+
+    /// The full day-series of feature `feature` for `stock`.
+    pub fn feature(&self, stock: usize, feature: usize) -> &[f64] {
+        let off = (stock * self.n_features + feature) * self.n_days;
+        &self.data[off..off + self.n_days]
+    }
+
+    /// Simple return of `stock` on `day` (the label when predicting `day`).
+    pub fn ret(&self, stock: usize, day: usize) -> f64 {
+        self.returns[stock * self.n_days + day]
+    }
+
+    /// Copies the input matrix `X ∈ R^{f×w}` for predicting `day` into
+    /// `out` (row-major: `out[f*w .. f*w + w]` is feature `f` over the
+    /// window). The window covers days `[day-w, day-1]`, oldest first, so
+    /// column `w-1` is the most recent observation and no entry peeks at
+    /// `day` itself.
+    ///
+    /// # Panics
+    /// If `day < w + first_valid_day` would underflow the buffer
+    /// (callers must respect [`FeaturePanel::first_usable_day`]).
+    pub fn fill_window(&self, stock: usize, day: usize, w: usize, out: &mut [f64]) {
+        assert!(day >= w, "window would start before day 0");
+        assert_eq!(out.len(), self.n_features * w, "output buffer size mismatch");
+        for f in 0..self.n_features {
+            let series = self.feature(stock, f);
+            out[f * w..(f + 1) * w].copy_from_slice(&series[day - w..day]);
+        }
+    }
+
+    /// First day usable as a *label* for window length `w`: all `w` window
+    /// days must be past the feature warm-up.
+    pub fn first_usable_day(&self, w: usize) -> usize {
+        self.first_valid_day + w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureKind, FeatureSet, Normalization};
+    use crate::generator::MarketConfig;
+
+    fn tiny_market() -> MarketData {
+        MarketConfig { n_stocks: 4, n_days: 80, seed: 1, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn panel_dimensions() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        assert_eq!(p.n_stocks(), 4);
+        assert_eq!(p.n_features(), 13);
+        assert_eq!(p.n_days(), 80);
+        assert_eq!(p.first_valid_day(), 30);
+        assert_eq!(p.first_usable_day(13), 43);
+    }
+
+    #[test]
+    fn normalized_features_bounded() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        for i in 0..p.n_stocks() {
+            for f in 0..p.n_features() {
+                for &x in p.feature(i, f) {
+                    assert!(x.abs() <= 1.0 + 1e-12, "feature {f} out of range: {x}");
+                    assert!(x.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_extraction_matches_series() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let w = 13;
+        let day = 50;
+        let mut x = vec![0.0; p.n_features() * w];
+        p.fill_window(2, day, w, &mut x);
+        // Row 11 is the close feature; its last column must equal the close
+        // feature at day-1.
+        let close_series = p.feature(2, 11);
+        assert_eq!(x[11 * w + w - 1], close_series[day - 1]);
+        assert_eq!(x[11 * w], close_series[day - w]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn labels_are_next_day_returns() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let expect = md.series[1].simple_returns();
+        for t in 0..p.n_days() {
+            assert_eq!(p.ret(1, t), expect[t]);
+        }
+    }
+
+    #[test]
+    fn no_lookahead_in_window() {
+        // Changing day `t`'s close must not change the window used to
+        // predict day `t`.
+        let mut md = tiny_market();
+        let mut fs = FeatureSet::custom(vec![FeatureKind::Close]);
+        fs.normalization = Normalization::None;
+        let day = 60;
+        let before = {
+            let p = FeaturePanel::build(&md, &fs);
+            let mut x = vec![0.0; 13];
+            p.fill_window(0, day, 13, &mut x);
+            x
+        };
+        md.series[0].close[day] *= 2.0;
+        md.series[0].high[day] *= 2.0;
+        let after = {
+            let p = FeaturePanel::build(&md, &fs);
+            let mut x = vec![0.0; 13];
+            p.fill_window(0, day, 13, &mut x);
+            x
+        };
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,87 @@
+//! Small sampling helpers on top of `rand`.
+//!
+//! The dependency budget deliberately excludes `rand_distr`, so the normal
+//! sampler is a local Box–Muller implementation. Everything takes `&mut impl
+//! Rng` so callers stay in control of seeding and determinism.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A fat-tailed sample: standard normal most of the time, inflated by
+/// `tail_scale` with probability `tail_prob`. A cheap stand-in for the
+/// Student-t daily-return tails of real equity data.
+pub fn fat_tailed<R: Rng + ?Sized>(rng: &mut R, tail_prob: f64, tail_scale: f64) -> f64 {
+    let z = standard_normal(rng);
+    if rng.gen::<f64>() < tail_prob {
+        z * tail_scale
+    } else {
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.01);
+        assert!((var.sqrt() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fat_tails_increase_kurtosis() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let kurt = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / xs.len() as f64 / (v * v)
+        };
+        let normal_samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let fat: Vec<f64> = (0..n).map(|_| fat_tailed(&mut rng, 0.05, 4.0)).collect();
+        assert!(kurt(&fat) > kurt(&normal_samples) + 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

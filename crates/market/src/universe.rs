@@ -1,0 +1,186 @@
+//! Stock universe with sector/industry structure.
+//!
+//! The AlphaEvolve paper models relational domain knowledge through the
+//! sector and industry classification of each stock: `RelationRankOp` ranks a
+//! scalar among stocks of the same sector (industry), `RelationDemeanOp`
+//! subtracts the sector (industry) mean. This module owns that structure and
+//! precomputes the membership lists those operators need in their inner loop.
+
+/// Identifier of a sector (e.g. "Technology"). Dense, `0..n_sectors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SectorId(pub u16);
+
+/// Identifier of an industry within a sector. Dense across the whole
+/// universe, `0..n_industries` (an industry belongs to exactly one sector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndustryId(pub u16);
+
+/// Static description of one stock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StockMeta {
+    /// Ticker-like symbol, unique within a universe.
+    pub symbol: String,
+    /// Sector the stock belongs to.
+    pub sector: SectorId,
+    /// Industry (sub-sector) the stock belongs to.
+    pub industry: IndustryId,
+}
+
+/// A fixed set of stocks with sector/industry groupings.
+///
+/// Stocks are addressed by their dense index `0..len()`; the index is the
+/// task id used throughout the evaluator ("each task is a regression task
+/// for a stock", paper §2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Universe {
+    stocks: Vec<StockMeta>,
+    n_sectors: usize,
+    n_industries: usize,
+    sector_members: Vec<Vec<u32>>,
+    industry_members: Vec<Vec<u32>>,
+}
+
+impl Universe {
+    /// Builds a universe from per-stock metadata.
+    ///
+    /// Sector/industry ids may be sparse; membership tables are sized to the
+    /// largest id + 1.
+    pub fn new(stocks: Vec<StockMeta>) -> Self {
+        let n_sectors = stocks.iter().map(|s| s.sector.0 as usize + 1).max().unwrap_or(0);
+        let n_industries = stocks.iter().map(|s| s.industry.0 as usize + 1).max().unwrap_or(0);
+        let mut sector_members = vec![Vec::new(); n_sectors];
+        let mut industry_members = vec![Vec::new(); n_industries];
+        for (i, s) in stocks.iter().enumerate() {
+            sector_members[s.sector.0 as usize].push(i as u32);
+            industry_members[s.industry.0 as usize].push(i as u32);
+        }
+        Universe { stocks, n_sectors, n_industries, sector_members, industry_members }
+    }
+
+    /// Number of stocks.
+    pub fn len(&self) -> usize {
+        self.stocks.len()
+    }
+
+    /// True when the universe has no stocks.
+    pub fn is_empty(&self) -> bool {
+        self.stocks.is_empty()
+    }
+
+    /// Metadata for stock `i`.
+    pub fn stock(&self, i: usize) -> &StockMeta {
+        &self.stocks[i]
+    }
+
+    /// All stock metadata in index order.
+    pub fn stocks(&self) -> &[StockMeta] {
+        &self.stocks
+    }
+
+    /// Number of distinct sector ids (max id + 1).
+    pub fn n_sectors(&self) -> usize {
+        self.n_sectors
+    }
+
+    /// Number of distinct industry ids (max id + 1).
+    pub fn n_industries(&self) -> usize {
+        self.n_industries
+    }
+
+    /// Stock indices belonging to `sector`.
+    pub fn sector_members(&self, sector: SectorId) -> &[u32] {
+        &self.sector_members[sector.0 as usize]
+    }
+
+    /// Stock indices belonging to `industry`.
+    pub fn industry_members(&self, industry: IndustryId) -> &[u32] {
+        &self.industry_members[industry.0 as usize]
+    }
+
+    /// Keeps only the stocks at the given (sorted, deduplicated) indices,
+    /// preserving sector/industry ids. Used by the preprocessing filters.
+    pub fn subset(&self, keep: &[usize]) -> Universe {
+        Universe::new(keep.iter().map(|&i| self.stocks[i].clone()).collect())
+    }
+
+    /// A synthetic universe of `n` stocks spread over `n_sectors` sectors
+    /// with `industries_per_sector` industries each, assigned round-robin so
+    /// group sizes are balanced. Symbols are `S0000`, `S0001`, ...
+    pub fn synthetic(n: usize, n_sectors: usize, industries_per_sector: usize) -> Universe {
+        assert!(n_sectors > 0 && industries_per_sector > 0, "need at least one group");
+        let stocks = (0..n)
+            .map(|i| {
+                let sector = i % n_sectors;
+                // Rotate industries within the sector so industry sizes stay balanced.
+                let local_ind = (i / n_sectors) % industries_per_sector;
+                let industry = sector * industries_per_sector + local_ind;
+                StockMeta {
+                    symbol: format!("S{i:04}"),
+                    sector: SectorId(sector as u16),
+                    industry: IndustryId(industry as u16),
+                }
+            })
+            .collect();
+        Universe::new(stocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_universe_covers_all_groups() {
+        let u = Universe::synthetic(30, 3, 2);
+        assert_eq!(u.len(), 30);
+        assert_eq!(u.n_sectors(), 3);
+        assert_eq!(u.n_industries(), 6);
+        let total: usize = (0..3).map(|s| u.sector_members(SectorId(s)).len()).sum();
+        assert_eq!(total, 30);
+        let total_ind: usize = (0..6).map(|i| u.industry_members(IndustryId(i)).len()).sum();
+        assert_eq!(total_ind, 30);
+    }
+
+    #[test]
+    fn industry_nested_in_sector() {
+        let u = Universe::synthetic(40, 4, 3);
+        for ind in 0..u.n_industries() {
+            let members = u.industry_members(IndustryId(ind as u16));
+            if members.is_empty() {
+                continue;
+            }
+            let sector = u.stock(members[0] as usize).sector;
+            for &m in members {
+                assert_eq!(u.stock(m as usize).sector, sector, "industry spans sectors");
+            }
+        }
+    }
+
+    #[test]
+    fn group_sizes_balanced() {
+        let u = Universe::synthetic(100, 5, 2);
+        for s in 0..5 {
+            assert_eq!(u.sector_members(SectorId(s)).len(), 20);
+        }
+        for i in 0..10 {
+            assert_eq!(u.industry_members(IndustryId(i)).len(), 10);
+        }
+    }
+
+    #[test]
+    fn subset_preserves_metadata() {
+        let u = Universe::synthetic(10, 2, 2);
+        let sub = u.subset(&[1, 3, 5]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.stock(0).symbol, "S0001");
+        assert_eq!(sub.stock(2).symbol, "S0005");
+        assert_eq!(sub.stock(1).sector, u.stock(3).sector);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let u = Universe::new(vec![]);
+        assert!(u.is_empty());
+        assert_eq!(u.n_sectors(), 0);
+    }
+}

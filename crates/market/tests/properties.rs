@@ -1,0 +1,87 @@
+//! Property-based tests of the market substrate.
+
+use proptest::prelude::*;
+
+use alphaevolve_market::features::{normalize_series, FeatureSet, Normalization};
+use alphaevolve_market::{generator::MarketConfig, Dataset, FeaturePanel, SplitSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary (small) generator configs always produce well-formed
+    /// panels and buildable datasets with disjoint chronological splits.
+    #[test]
+    fn generator_total_over_config_space(
+        seed in any::<u64>(),
+        n_stocks in 3usize..25,
+        n_days in 100usize..220,
+        n_sectors in 1usize..6,
+        industries in 1usize..4,
+    ) {
+        let cfg = MarketConfig {
+            n_stocks,
+            n_days,
+            seed,
+            n_sectors,
+            industries_per_sector: industries,
+            ..Default::default()
+        };
+        let md = cfg.generate();
+        prop_assert!(md.validate().is_ok());
+        let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios());
+        let ds = ds.expect("dataset builds for any config in this range");
+        prop_assert!(ds.train_days().end == ds.valid_days().start);
+        prop_assert!(ds.valid_days().end == ds.test_days().start);
+        prop_assert_eq!(ds.test_days().end, n_days);
+    }
+
+    /// Features are finite everywhere and bounded after normalization.
+    #[test]
+    fn features_finite_and_bounded(seed in any::<u64>()) {
+        let md = MarketConfig { n_stocks: 5, n_days: 120, seed, ..Default::default() }.generate();
+        let panel = FeaturePanel::build(&md, &FeatureSet::paper());
+        for s in 0..panel.n_stocks() {
+            for f in 0..panel.n_features() {
+                for &x in panel.feature(s, f) {
+                    prop_assert!(x.is_finite());
+                    prop_assert!(x.abs() <= 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Max-abs normalization: output within [-1, 1], zero vectors fixed,
+    /// idempotent.
+    #[test]
+    fn normalization_properties(mut xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        normalize_series(&mut xs, Normalization::MaxAbsAllDays);
+        for &x in &xs {
+            prop_assert!(x.abs() <= 1.0 + 1e-12);
+        }
+        let once = xs.clone();
+        normalize_series(&mut xs, Normalization::MaxAbsAllDays);
+        // Idempotent up to fp error: the max-abs after one pass is 1 (or all zeros).
+        for (a, b) in once.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Windows never read at-or-after the label day (no lookahead), for
+    /// arbitrary valid (stock, day) pairs.
+    #[test]
+    fn window_no_lookahead(seed in any::<u64>(), stock in 0usize..5, day_off in 0usize..20) {
+        let md = MarketConfig { n_stocks: 5, n_days: 140, seed, ..Default::default() }.generate();
+        let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+        let day = ds.train_days().start + day_off;
+        let w = ds.window();
+        let mut x = vec![0.0; ds.n_features() * w];
+        ds.fill_window(stock, day, &mut x);
+        // Column w-1 equals the feature value at day-1 for every row.
+        for f in 0..ds.n_features() {
+            let series = ds.panel().feature(stock, f);
+            prop_assert_eq!(x[f * w + w - 1], series[day - 1]);
+        }
+    }
+}

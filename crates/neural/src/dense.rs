@@ -1,0 +1,123 @@
+//! Fully-connected layer with manual backprop.
+
+use rand::rngs::SmallRng;
+
+use crate::tensor::{matvec, matvec_t_acc, outer_acc, ParamId, ParamStore};
+
+/// `y = W x + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dense {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Weight block (`out_dim × in_dim`, row-major).
+    pub w: ParamId,
+    /// Bias block (`out_dim`).
+    pub b: ParamId,
+}
+
+impl Dense {
+    /// Allocates a Xavier-initialized layer in `store`.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, in_dim: usize, out_dim: usize) -> Dense {
+        let w = store.alloc_xavier(out_dim * in_dim, in_dim, out_dim, rng);
+        let b = store.alloc(out_dim);
+        Dense { in_dim, out_dim, w, b }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, store: &ParamStore, x: &[f64], y: &mut [f64]) {
+        matvec(store.value(self.w), x, y, self.out_dim, self.in_dim);
+        for (yi, bi) in y.iter_mut().zip(store.value(self.b)) {
+            *yi += bi;
+        }
+    }
+
+    /// Backward pass: accumulates `dW`, `db` into the store and `dx` into
+    /// the caller's buffer (which must be zeroed or pre-accumulated by the
+    /// caller's design).
+    pub fn backward(&self, store: &mut ParamStore, x: &[f64], dy: &[f64], dx: &mut [f64]) {
+        outer_acc(store.grad_mut(self.w), dy, x);
+        for (g, d) in store.grad_mut(self.b).iter_mut().zip(dy) {
+            *g += d;
+        }
+        matvec_t_acc(store.value(self.w), dy, dx, self.out_dim, self.in_dim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Finite-difference check of dW, db, dx for a scalar loss L = sum(y).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, &mut rng, 4, 3);
+        let x = vec![0.3, -0.7, 1.2, 0.05];
+        let loss = |store: &ParamStore, x: &[f64]| -> f64 {
+            let mut y = vec![0.0; 3];
+            layer.forward(store, x, &mut y);
+            // Weighted sum keeps gradients distinct per output.
+            y[0] + 2.0 * y[1] - 0.5 * y[2]
+        };
+        let dy = vec![1.0, 2.0, -0.5];
+        store.zero_grads();
+        let mut dx = vec![0.0; 4];
+        layer.backward(&mut store, &x, &dy, &mut dx);
+
+        let eps = 1e-6;
+        // Check dW.
+        for k in 0..layer.w.len() {
+            let orig = store.value(layer.w)[k];
+            store.value_mut(layer.w)[k] = orig + eps;
+            let up = loss(&store, &x);
+            store.value_mut(layer.w)[k] = orig - eps;
+            let down = loss(&store, &x);
+            store.value_mut(layer.w)[k] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((store.grad(layer.w)[k] - fd).abs() < 1e-6, "dW[{k}]");
+        }
+        // Check db.
+        for k in 0..3 {
+            let orig = store.value(layer.b)[k];
+            store.value_mut(layer.b)[k] = orig + eps;
+            let up = loss(&store, &x);
+            store.value_mut(layer.b)[k] = orig - eps;
+            let down = loss(&store, &x);
+            store.value_mut(layer.b)[k] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((store.grad(layer.b)[k] - fd).abs() < 1e-6, "db[{k}]");
+        }
+        // Check dx.
+        for k in 0..4 {
+            let mut xp = x.clone();
+            xp[k] += eps;
+            let up = loss(&store, &xp);
+            xp[k] -= 2.0 * eps;
+            let down = loss(&store, &xp);
+            let fd = (up - down) / (2.0 * eps);
+            assert!((dx[k] - fd).abs() < 1e-6, "dx[{k}]");
+        }
+    }
+
+    #[test]
+    fn forward_is_affine() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, &mut rng, 2, 2);
+        let mut y0 = vec![0.0; 2];
+        layer.forward(&store, &[0.0, 0.0], &mut y0);
+        assert_eq!(y0, store.value(layer.b).to_vec());
+        let mut y1 = vec![0.0; 2];
+        let mut y2 = vec![0.0; 2];
+        layer.forward(&store, &[1.0, 2.0], &mut y1);
+        layer.forward(&store, &[2.0, 4.0], &mut y2);
+        // Affinity: y(2x) - b = 2 (y(x) - b)
+        for k in 0..2 {
+            assert!(((y2[k] - y0[k]) - 2.0 * (y1[k] - y0[k])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The sector/industry relation graph used by RSR.
+//!
+//! Feng et al. connect stocks that share an industry (their NASDAQ
+//! experiments use Wiki/industry relations); the AlphaEvolve paper
+//! describes RSR as "designed with the injection of relational domain
+//! knowledge by connecting stocks in the same sector (industry)". We build
+//! the graph from the universe's classification and aggregate neighbor
+//! embeddings with uniform weights — the static-relation RSR variant, with
+//! exact gradients (`DESIGN.md` §3).
+
+use alphaevolve_market::Universe;
+
+/// Neighbor lists (including self) per stock.
+#[derive(Debug, Clone)]
+pub struct StockGraph {
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// Which classification level defines the edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationLevel {
+    /// Same sector.
+    Sector,
+    /// Same industry (finer).
+    Industry,
+}
+
+impl StockGraph {
+    /// Builds the relation graph from a universe.
+    pub fn from_universe(u: &Universe, level: RelationLevel) -> StockGraph {
+        let neighbors = (0..u.len())
+            .map(|i| {
+                let meta = u.stock(i);
+                match level {
+                    RelationLevel::Sector => u.sector_members(meta.sector).to_vec(),
+                    RelationLevel::Industry => u.industry_members(meta.industry).to_vec(),
+                }
+            })
+            .collect();
+        StockGraph { neighbors }
+    }
+
+    /// Number of stocks.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Neighbors of stock `i` (self included).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[i]
+    }
+
+    /// Uniform neighbor aggregation: `r_i = mean_{j ∈ N(i)} e_j`.
+    /// `emb` is `K × dim` flattened; writes into `out` (same shape).
+    pub fn aggregate(&self, emb: &[f64], dim: usize, out: &mut [f64]) {
+        let k = self.len();
+        debug_assert_eq!(emb.len(), k * dim);
+        debug_assert_eq!(out.len(), k * dim);
+        for i in 0..k {
+            let ns = &self.neighbors[i];
+            let scale = 1.0 / ns.len() as f64;
+            let ri = &mut out[i * dim..(i + 1) * dim];
+            ri.fill(0.0);
+            for &j in ns {
+                let ej = &emb[j as usize * dim..(j as usize + 1) * dim];
+                for (r, e) in ri.iter_mut().zip(ej) {
+                    *r += e * scale;
+                }
+            }
+        }
+    }
+
+    /// Backward of [`StockGraph::aggregate`]: given `d_out = ∂L/∂r`,
+    /// accumulates `∂L/∂e` into `d_emb`.
+    pub fn aggregate_backward(&self, d_out: &[f64], dim: usize, d_emb: &mut [f64]) {
+        for i in 0..self.len() {
+            let ns = &self.neighbors[i];
+            let scale = 1.0 / ns.len() as f64;
+            let dri = &d_out[i * dim..(i + 1) * dim];
+            for &j in ns {
+                let dej = &mut d_emb[j as usize * dim..(j as usize + 1) * dim];
+                for (de, dr) in dej.iter_mut().zip(dri) {
+                    *de += dr * scale;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> StockGraph {
+        // 6 stocks, 2 sectors of 3, industries of size <= 2.
+        let u = Universe::synthetic(6, 2, 2);
+        StockGraph::from_universe(&u, RelationLevel::Sector)
+    }
+
+    #[test]
+    fn neighbors_include_self() {
+        let g = graph();
+        for i in 0..g.len() {
+            assert!(g.neighbors(i).contains(&(i as u32)), "stock {i} missing from its own group");
+        }
+    }
+
+    #[test]
+    fn aggregate_of_constant_embeddings_is_identity() {
+        let g = graph();
+        let dim = 3;
+        let emb: Vec<f64> = (0..g.len()).flat_map(|_| vec![1.0, 2.0, 3.0]).collect();
+        let mut out = vec![0.0; emb.len()];
+        g.aggregate(&emb, dim, &mut out);
+        for i in 0..g.len() {
+            assert_eq!(&out[i * dim..(i + 1) * dim], &[1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn aggregate_is_group_mean() {
+        let u = Universe::synthetic(4, 2, 1); // sectors {0,2} and {1,3}
+        let g = StockGraph::from_universe(&u, RelationLevel::Sector);
+        let dim = 1;
+        let emb = vec![1.0, 10.0, 3.0, 20.0];
+        let mut out = vec![0.0; 4];
+        g.aggregate(&emb, dim, &mut out);
+        assert_eq!(out, vec![2.0, 15.0, 2.0, 15.0]);
+    }
+
+    #[test]
+    fn backward_is_adjoint_of_forward() {
+        // <aggregate(e), d> == <e, aggregate_backward(d)>
+        let g = graph();
+        let dim = 2;
+        let k = g.len();
+        let emb: Vec<f64> = (0..k * dim).map(|i| (i as f64 * 0.37).sin()).collect();
+        let d: Vec<f64> = (0..k * dim).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut fwd = vec![0.0; k * dim];
+        g.aggregate(&emb, dim, &mut fwd);
+        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| a * b).sum();
+        let mut bwd = vec![0.0; k * dim];
+        g.aggregate_backward(&d, dim, &mut bwd);
+        let rhs: f64 = bwd.iter().zip(&emb).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn industry_graph_is_finer_than_sector() {
+        let u = Universe::synthetic(12, 2, 3);
+        let sec = StockGraph::from_universe(&u, RelationLevel::Sector);
+        let ind = StockGraph::from_universe(&u, RelationLevel::Industry);
+        for i in 0..12 {
+            assert!(ind.neighbors(i).len() <= sec.neighbors(i).len());
+        }
+    }
+}

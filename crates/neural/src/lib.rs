@@ -1,0 +1,34 @@
+//! From-scratch neural baselines for the AlphaEvolve paper.
+//!
+//! Table 5 compares evolved alphas against two "complex machine learning
+//! alphas" from Feng et al.'s *Temporal Relational Ranking for Stock
+//! Prediction* (TOIS 2019):
+//!
+//! * **Rank_LSTM** — an LSTM over a sequence of moving-average features,
+//!   with a fully-connected output head and a combined point-wise
+//!   regression + pair-wise ranking loss ([`rank_lstm`]).
+//! * **RSR** — Rank_LSTM plus a relational layer that aggregates the LSTM
+//!   embeddings of stocks related through the sector/industry graph
+//!   ([`rsr`], [`graph`]). We implement the static, uniformly-weighted
+//!   relation variant with exact gradients (see `DESIGN.md` §3 for why
+//!   this preserves the paper's directional claim).
+//!
+//! Everything is built on a tiny manual-backprop substrate: a flat
+//! parameter store ([`tensor`]), a dense layer ([`dense`]), an LSTM cell
+//! with truncated-at-sequence BPTT ([`lstm`]), the combined loss
+//! ([`loss`]), and Adam ([`optim`]). Gradients are verified against finite
+//! differences in the test suite.
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod graph;
+pub mod loss;
+pub mod lstm;
+pub mod optim;
+pub mod rank_lstm;
+pub mod rsr;
+pub mod tensor;
+
+pub use rank_lstm::{RankLstm, RankLstmConfig};
+pub use rsr::{Rsr, RsrConfig};

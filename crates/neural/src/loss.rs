@@ -1,0 +1,119 @@
+//! The combined point-wise + pair-wise ranking loss of Feng et al.
+//!
+//! For one day's cross-section of predictions `ŷ` and ground truth `y`:
+//!
+//! ```text
+//! L = (1/K) Σ_i (ŷ_i − y_i)²
+//!   + (α/K²) Σ_{i,j} max(0, −(ŷ_i − ŷ_j)(y_i − y_j))
+//! ```
+//!
+//! The second term penalizes *mis-ordered pairs* proportionally to how
+//! badly they are mis-ordered — the "Rank" in Rank_LSTM. `α` is the
+//! balance hyper-parameter the paper grid-searches over
+//! `[0.01, 0.1, 1, 10]`.
+
+/// Loss value and gradient w.r.t. the predictions for one day.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Total loss.
+    pub loss: f64,
+    /// `∂L/∂ŷ_i` for every stock.
+    pub grad: Vec<f64>,
+}
+
+/// Computes the combined loss and its gradient.
+pub fn rank_mse_loss(preds: &[f64], labels: &[f64], alpha: f64) -> LossOutput {
+    assert_eq!(preds.len(), labels.len());
+    let k = preds.len();
+    let kf = k as f64;
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; k];
+
+    // Point-wise MSE.
+    for i in 0..k {
+        let e = preds[i] - labels[i];
+        loss += e * e / kf;
+        grad[i] += 2.0 * e / kf;
+    }
+
+    // Pair-wise hinge on ordering.
+    if alpha != 0.0 {
+        let k2 = kf * kf;
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let margin = -(preds[i] - preds[j]) * (labels[i] - labels[j]);
+                if margin > 0.0 {
+                    loss += alpha * margin / k2;
+                    // d margin / d preds[i] = -(labels[i]-labels[j])
+                    grad[i] += alpha * -(labels[i] - labels[j]) / k2;
+                    grad[j] += alpha * (labels[i] - labels[j]) / k2;
+                }
+            }
+        }
+    }
+    LossOutput { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ordering_has_no_rank_loss() {
+        let labels = vec![-0.02, 0.0, 0.01, 0.05];
+        let preds = vec![-0.5, 0.0, 0.2, 0.9]; // same order, wrong scale
+        let with_rank = rank_mse_loss(&preds, &labels, 10.0);
+        let without = rank_mse_loss(&preds, &labels, 0.0);
+        assert!((with_rank.loss - without.loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ordering_is_penalized() {
+        let labels = vec![-0.02, 0.0, 0.01, 0.05];
+        let preds: Vec<f64> = labels.iter().map(|x| -x).collect();
+        let l0 = rank_mse_loss(&preds, &labels, 0.0).loss;
+        let l1 = rank_mse_loss(&preds, &labels, 1.0).loss;
+        assert!(l1 > l0);
+    }
+
+    #[test]
+    fn zero_loss_at_exact_predictions() {
+        let labels = vec![0.01, -0.02, 0.03];
+        let out = rank_mse_loss(&labels, &labels, 5.0);
+        assert!(out.loss < 1e-15);
+        assert!(out.grad.iter().all(|g| g.abs() < 1e-12));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let labels = vec![0.01, -0.02, 0.03, 0.0, -0.01];
+        let preds = vec![0.5, 0.1, -0.3, 0.2, 0.05];
+        let alpha = 0.7;
+        let out = rank_mse_loss(&preds, &labels, alpha);
+        let eps = 1e-7;
+        for i in 0..preds.len() {
+            let mut p = preds.clone();
+            p[i] += eps;
+            let up = rank_mse_loss(&p, &labels, alpha).loss;
+            p[i] -= 2.0 * eps;
+            let down = rank_mse_loss(&p, &labels, alpha).loss;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((out.grad[i] - fd).abs() < 1e-5, "grad[{i}]: {} vs {fd}", out.grad[i]);
+        }
+    }
+
+    #[test]
+    fn mse_scale_invariance_of_shape() {
+        // Doubling K with duplicated entries keeps the mean loss equal.
+        let labels = vec![0.01, -0.02];
+        let preds = vec![0.03, 0.01];
+        let l1 = rank_mse_loss(&preds, &labels, 0.0).loss;
+        let labels2 = vec![0.01, -0.02, 0.01, -0.02];
+        let preds2 = vec![0.03, 0.01, 0.03, 0.01];
+        let l2 = rank_mse_loss(&preds2, &labels2, 0.0).loss;
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Single-layer LSTM with manual backpropagation through time.
+//!
+//! Gate layout follows the classic formulation: with `u = [x_t ; h_{t-1}]`,
+//!
+//! ```text
+//! z = W u + b          (z split into 4 chunks of H)
+//! i = σ(z_i)   f = σ(z_f)   g = tanh(z_g)   o = σ(z_o)
+//! c_t = f ⊙ c_{t-1} + i ⊙ g
+//! h_t = o ⊙ tanh(c_t)
+//! ```
+//!
+//! Only the final hidden state is consumed by the models (it is the stock's
+//! "sequential embedding" in Feng et al.), so [`Lstm::backward`] takes the
+//! gradient w.r.t. the final `h` and runs full BPTT down the sequence.
+
+use rand::rngs::SmallRng;
+
+use crate::tensor::{matvec, matvec_t_acc, outer_acc, sigmoid, ParamId, ParamStore};
+
+/// LSTM layer dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmDims {
+    /// Input width per step.
+    pub input: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+/// The LSTM layer (parameters only; activations live in [`LstmCache`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Lstm {
+    /// Dimensions.
+    pub dims: LstmDims,
+    /// Gate weights: `4H × (I+H)`, row-major, gate order `[i, f, g, o]`.
+    pub w: ParamId,
+    /// Gate biases: `4H`. The forget-gate block is initialized to 1.
+    pub b: ParamId,
+}
+
+/// Per-step activations saved for BPTT.
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    u: Vec<f64>, // [x ; h_prev]
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// Forward activations of one sequence.
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+    hidden: usize,
+    input: usize,
+    /// Final hidden state (the embedding).
+    pub h_final: Vec<f64>,
+}
+
+impl Lstm {
+    /// Allocates a Xavier-initialized LSTM with forget-gate bias 1.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, dims: LstmDims) -> Lstm {
+        let (i, h) = (dims.input, dims.hidden);
+        let w = store.alloc_xavier(4 * h * (i + h), i + h, h, rng);
+        let b = store.alloc(4 * h);
+        // Forget-gate bias at 1.0 — the standard trick to let gradients flow
+        // early in training.
+        for x in &mut store.value_mut(b)[h..2 * h] {
+            *x = 1.0;
+        }
+        Lstm { dims, w, b }
+    }
+
+    /// Runs the sequence forward; `xs[t]` is the step-`t` input. Returns
+    /// the final hidden state via `cache.h_final`.
+    pub fn forward(&self, store: &ParamStore, xs: &[Vec<f64>], cache: &mut LstmCache) {
+        let h = self.dims.hidden;
+        let iw = self.dims.input;
+        cache.steps.clear();
+        cache.hidden = h;
+        cache.input = iw;
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        let wv = store.value(self.w);
+        let bv = store.value(self.b);
+        let mut z = vec![0.0; 4 * h];
+        for x in xs {
+            debug_assert_eq!(x.len(), iw);
+            let mut step = StepCache {
+                u: Vec::with_capacity(iw + h),
+                c_prev: c_prev.clone(),
+                i: vec![0.0; h],
+                f: vec![0.0; h],
+                g: vec![0.0; h],
+                o: vec![0.0; h],
+                c: vec![0.0; h],
+                tanh_c: vec![0.0; h],
+            };
+            step.u.extend_from_slice(x);
+            step.u.extend_from_slice(&h_prev);
+            matvec(wv, &step.u, &mut z, 4 * h, iw + h);
+            for k in 0..h {
+                step.i[k] = sigmoid(z[k] + bv[k]);
+                step.f[k] = sigmoid(z[h + k] + bv[h + k]);
+                step.g[k] = (z[2 * h + k] + bv[2 * h + k]).tanh();
+                step.o[k] = sigmoid(z[3 * h + k] + bv[3 * h + k]);
+                step.c[k] = step.f[k] * c_prev[k] + step.i[k] * step.g[k];
+                step.tanh_c[k] = step.c[k].tanh();
+                h_prev[k] = step.o[k] * step.tanh_c[k];
+            }
+            c_prev.copy_from_slice(&step.c);
+            cache.steps.push(step);
+        }
+        cache.h_final = h_prev;
+    }
+
+    /// BPTT from the gradient w.r.t. the final hidden state. Accumulates
+    /// parameter gradients into the store.
+    pub fn backward(&self, store: &mut ParamStore, cache: &LstmCache, dh_final: &[f64]) {
+        let h = self.dims.hidden;
+        let iw = self.dims.input;
+        let cols = iw + h;
+        let mut dh = dh_final.to_vec();
+        let mut dc = vec![0.0; h];
+        let mut dz = vec![0.0; 4 * h];
+        for step in cache.steps.iter().rev() {
+            for k in 0..h {
+                // h = o * tanh(c)
+                let do_ = dh[k] * step.tanh_c[k];
+                let dct = dh[k] * step.o[k] * (1.0 - step.tanh_c[k] * step.tanh_c[k]) + dc[k];
+                let di = dct * step.g[k];
+                let df = dct * step.c_prev[k];
+                let dg = dct * step.i[k];
+                dz[k] = di * step.i[k] * (1.0 - step.i[k]);
+                dz[h + k] = df * step.f[k] * (1.0 - step.f[k]);
+                dz[2 * h + k] = dg * (1.0 - step.g[k] * step.g[k]);
+                dz[3 * h + k] = do_ * step.o[k] * (1.0 - step.o[k]);
+                dc[k] = dct * step.f[k];
+            }
+            outer_acc(store.grad_mut(self.w), &dz, &step.u);
+            for (gb, d) in store.grad_mut(self.b).iter_mut().zip(&dz) {
+                *gb += d;
+            }
+            let mut du = vec![0.0; cols];
+            matvec_t_acc(store.value(self.w), &dz, &mut du, 4 * h, cols);
+            // dh for the previous step comes from the recurrent half of u.
+            dh.copy_from_slice(&du[iw..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn loss_of(store: &ParamStore, lstm: &Lstm, xs: &[Vec<f64>], weights: &[f64]) -> f64 {
+        let mut cache = LstmCache::default();
+        lstm.forward(store, xs, &mut cache);
+        cache.h_final.iter().zip(weights).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 3, hidden: 4 });
+        let xs: Vec<Vec<f64>> = vec![
+            vec![0.1, -0.2, 0.5],
+            vec![0.4, 0.0, -0.3],
+            vec![-0.1, 0.2, 0.2],
+            vec![0.3, -0.4, 0.1],
+        ];
+        let weights = [1.0, -2.0, 0.5, 1.5];
+
+        let mut cache = LstmCache::default();
+        lstm.forward(&store, &xs, &mut cache);
+        store.zero_grads();
+        lstm.backward(&mut store, &cache, &weights);
+
+        let eps = 1e-6;
+        let n = store.n_params();
+        for k in (0..n).step_by(7) {
+            // sample every 7th parameter to keep the test quick
+            let id_all = if k < lstm.w.len() { lstm.w } else { lstm.b };
+            let local = if k < lstm.w.len() { k } else { k - lstm.w.len() };
+            let orig = store.value(id_all)[local];
+            store.value_mut(id_all)[local] = orig + eps;
+            let up = loss_of(&store, &lstm, &xs, &weights);
+            store.value_mut(id_all)[local] = orig - eps;
+            let down = loss_of(&store, &lstm, &xs, &weights);
+            store.value_mut(id_all)[local] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = store.grad(id_all)[local];
+            assert!(
+                (an - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "param {k}: analytic {an} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 2, hidden: 8 });
+        let xs = vec![vec![100.0, -100.0]; 10]; // extreme inputs
+        let mut c1 = LstmCache::default();
+        let mut c2 = LstmCache::default();
+        lstm.forward(&store, &xs, &mut c1);
+        lstm.forward(&store, &xs, &mut c2);
+        assert_eq!(c1.h_final, c2.h_final);
+        // h = o * tanh(c): |h| <= 1 per element after one step is not
+        // guaranteed in general, but o and tanh keep it within (-1, 1).
+        assert!(c1.h_final.iter().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 2, hidden: 3 });
+        let b = store.value(lstm.b);
+        assert_eq!(&b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn longer_history_changes_embedding() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 1, hidden: 4 });
+        let short = vec![vec![0.5]; 2];
+        let long = vec![vec![0.5]; 9];
+        let mut a = LstmCache::default();
+        let mut b = LstmCache::default();
+        lstm.forward(&store, &short, &mut a);
+        lstm.forward(&store, &long, &mut b);
+        assert_ne!(a.h_final, b.h_final, "the LSTM must integrate over time");
+    }
+}

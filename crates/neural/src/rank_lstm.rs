@@ -1,0 +1,249 @@
+//! Rank_LSTM (Feng et al. 2019), the paper's Table-5 baseline.
+//!
+//! *"Each model's input is a vector of the close prices' moving averages
+//! over 5, 10, 20, and 30 days for each of the input stocks, while the
+//! output is the predicted return"* (§5.2). The LSTM consumes a `seq_len`
+//! window of those 4-vectors; its final hidden state maps through a dense
+//! head to a scalar predicted return, trained with the combined MSE +
+//! pair-wise ranking loss and Adam (learning rate 0.001), one mini-batch
+//! per trading day (the whole cross-section).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_market::Dataset;
+
+use crate::dense::Dense;
+use crate::loss::rank_mse_loss;
+use crate::lstm::{Lstm, LstmCache, LstmDims};
+use crate::optim::Adam;
+use crate::tensor::ParamStore;
+
+/// Hyper-parameters (§5.2 grid: seq_len ∈ [4,8,16,32], hidden ∈
+/// [32,64,128,256], α ∈ [0.01,0.1,1,10], lr = 0.001).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankLstmConfig {
+    /// LSTM hidden units.
+    pub hidden: usize,
+    /// Input sequence length in days.
+    pub seq_len: usize,
+    /// Ranking-loss weight α.
+    pub alpha: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs over the training days.
+    pub epochs: usize,
+    /// Parameter-init / shuffling seed.
+    pub seed: u64,
+    /// Panel feature rows fed per day (default: the four moving averages).
+    pub feature_rows: Vec<usize>,
+}
+
+impl Default for RankLstmConfig {
+    fn default() -> Self {
+        RankLstmConfig {
+            hidden: 32,
+            seq_len: 8,
+            alpha: 1.0,
+            lr: 0.001,
+            epochs: 3,
+            seed: 0,
+            feature_rows: vec![0, 1, 2, 3],
+        }
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone)]
+pub struct TrainLog {
+    /// Mean per-day training loss for each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+/// The trained (or in-training) model.
+pub struct RankLstm {
+    /// All parameters.
+    pub store: ParamStore,
+    /// Sequential encoder.
+    pub lstm: Lstm,
+    /// Output head `hidden → 1`.
+    pub head: Dense,
+    cfg: RankLstmConfig,
+}
+
+impl RankLstm {
+    /// Fresh model with Xavier-initialized parameters.
+    pub fn new(cfg: RankLstmConfig) -> RankLstm {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims { input: cfg.feature_rows.len(), hidden: cfg.hidden },
+        );
+        let head = Dense::new(&mut store, &mut rng, cfg.hidden, 1);
+        RankLstm { store, lstm, head, cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RankLstmConfig {
+        &self.cfg
+    }
+
+    /// Builds the input sequence for (`stock`, label `day`): the selected
+    /// feature rows over days `[day-seq_len, day-1]`, oldest first.
+    pub fn sequence(&self, dataset: &Dataset, stock: usize, day: usize) -> Vec<Vec<f64>> {
+        let panel = dataset.panel();
+        (day - self.cfg.seq_len..day)
+            .map(|t| self.cfg.feature_rows.iter().map(|&r| panel.feature(stock, r)[t]).collect())
+            .collect()
+    }
+
+    /// Forward pass for one stock-day; returns (prediction, cache).
+    fn forward_one(&self, dataset: &Dataset, stock: usize, day: usize) -> (f64, LstmCache) {
+        let xs = self.sequence(dataset, stock, day);
+        let mut cache = LstmCache::default();
+        self.lstm.forward(&self.store, &xs, &mut cache);
+        let mut y = [0.0];
+        self.head.forward(&self.store, &cache.h_final, &mut y);
+        (y[0], cache)
+    }
+
+    /// Trains on the dataset's training days (one mini-batch per day).
+    pub fn train(&mut self, dataset: &Dataset) -> TrainLog {
+        let k = dataset.n_stocks();
+        let mut adam = Adam::new(self.store.n_params(), self.cfg.lr);
+        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let mut total = 0.0;
+            let mut days = 0usize;
+            for day in dataset.train_days() {
+                let mut preds = vec![0.0; k];
+                let mut caches = Vec::with_capacity(k);
+                for (stock, pred) in preds.iter_mut().enumerate() {
+                    let (p, cache) = self.forward_one(dataset, stock, day);
+                    *pred = p;
+                    caches.push(cache);
+                }
+                let labels = dataset.labels_at(day);
+                let out = rank_mse_loss(&preds, &labels, self.cfg.alpha);
+                total += out.loss;
+                days += 1;
+                self.store.zero_grads();
+                for (cache, grad) in caches.iter().zip(&out.grad) {
+                    let mut dh = vec![0.0; self.cfg.hidden];
+                    self.head.backward(&mut self.store, &cache.h_final, &[*grad], &mut dh);
+                    self.lstm.backward(&mut self.store, cache, &dh);
+                }
+                adam.step(&mut self.store);
+            }
+            epoch_losses.push(if days > 0 { total / days as f64 } else { 0.0 });
+        }
+        TrainLog { epoch_losses }
+    }
+
+    /// Predictions for every stock on one day.
+    pub fn predict_day(&self, dataset: &Dataset, day: usize) -> Vec<f64> {
+        (0..dataset.n_stocks()).map(|s| self.forward_one(dataset, s, day).0).collect()
+    }
+
+    /// Prediction cross-sections over a day range.
+    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
+        days.map(|d| self.predict_day(dataset, d)).collect()
+    }
+
+    /// The LSTM embeddings (final hidden states) for every stock on one
+    /// day — the "sequential embeddings" RSR builds on.
+    pub fn embeddings_day(&self, dataset: &Dataset, day: usize) -> Vec<Vec<f64>> {
+        (0..dataset.n_stocks()).map(|s| self.forward_one(dataset, s, day).1.h_final).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let md = MarketConfig { n_stocks: 8, n_days: 110, seed, ..Default::default() }.generate();
+        Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
+    }
+
+    fn tiny_config() -> RankLstmConfig {
+        RankLstmConfig { hidden: 8, seq_len: 4, epochs: 3, seed: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_dataset(41);
+        let mut model = RankLstm::new(tiny_config());
+        let log = model.train(&ds);
+        assert_eq!(log.epoch_losses.len(), 3);
+        assert!(
+            log.epoch_losses[2] < log.epoch_losses[0],
+            "loss should fall: {:?}",
+            log.epoch_losses
+        );
+        assert!(log.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn predictions_are_finite_and_vary() {
+        let ds = tiny_dataset(42);
+        let mut model = RankLstm::new(tiny_config());
+        model.train(&ds);
+        let preds = model.predictions(&ds, ds.valid_days());
+        assert_eq!(preds.len(), ds.valid_days().len());
+        for row in &preds {
+            assert_eq!(row.len(), ds.n_stocks());
+            assert!(row.iter().all(|x| x.is_finite()));
+        }
+        let first = &preds[0];
+        assert!(first.iter().any(|&x| (x - first[0]).abs() > 1e-12), "predictions must differ");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = tiny_dataset(43);
+        let mut a = RankLstm::new(tiny_config());
+        let mut b = RankLstm::new(tiny_config());
+        a.train(&ds);
+        b.train(&ds);
+        let day = ds.valid_days().start;
+        assert_eq!(a.predict_day(&ds, day), b.predict_day(&ds, day));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = tiny_dataset(44);
+        let mut a = RankLstm::new(tiny_config());
+        let mut b = RankLstm::new(RankLstmConfig { seed: 9, ..tiny_config() });
+        a.train(&ds);
+        b.train(&ds);
+        let day = ds.valid_days().start;
+        assert_ne!(a.predict_day(&ds, day), b.predict_day(&ds, day));
+    }
+
+    #[test]
+    fn sequence_shape_and_content() {
+        let ds = tiny_dataset(45);
+        let model = RankLstm::new(tiny_config());
+        let day = ds.train_days().start;
+        let xs = model.sequence(&ds, 0, day);
+        assert_eq!(xs.len(), 4);
+        assert_eq!(xs[0].len(), 4);
+        // Newest step is the MA features at day-1.
+        let panel = ds.panel();
+        assert_eq!(xs[3][0], panel.feature(0, 0)[day - 1]);
+        assert_eq!(xs[0][3], panel.feature(0, 3)[day - 4]);
+    }
+
+    #[test]
+    fn embeddings_have_hidden_width() {
+        let ds = tiny_dataset(46);
+        let model = RankLstm::new(tiny_config());
+        let embs = model.embeddings_day(&ds, ds.valid_days().start);
+        assert_eq!(embs.len(), ds.n_stocks());
+        assert!(embs.iter().all(|e| e.len() == 8));
+    }
+}

@@ -1,0 +1,252 @@
+//! RSR: Relational Stock Ranking (Feng et al. 2019), the paper's second
+//! Table-5 baseline.
+//!
+//! RSR augments Rank_LSTM with a **relational layer**: each stock's LSTM
+//! embedding is combined with an aggregate of the embeddings of related
+//! stocks (same sector/industry), and the prediction head reads the
+//! concatenation `[e_i ; r_i]`. The AlphaEvolve paper's point (§5.4.3) is
+//! that *imposing* this static relational structure hurts on a noisy
+//! market — which is exactly what Table 5 shows and what this
+//! implementation reproduces directionally.
+//!
+//! Following the original pipeline, the LSTM can be initialized from a
+//! pre-trained Rank_LSTM ("getting the pre-trained embeddings for RSR
+//! following the original implementation", §5.2) via [`Rsr::init_from`].
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_market::Dataset;
+
+use crate::dense::Dense;
+use crate::graph::{RelationLevel, StockGraph};
+use crate::loss::rank_mse_loss;
+use crate::lstm::{Lstm, LstmCache, LstmDims};
+use crate::optim::Adam;
+use crate::rank_lstm::{RankLstm, RankLstmConfig, TrainLog};
+use crate::tensor::ParamStore;
+
+/// RSR hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsrConfig {
+    /// The underlying sequential-model configuration.
+    pub base: RankLstmConfig,
+    /// Which classification level defines relations.
+    pub level: RelationLevel,
+}
+
+impl Default for RsrConfig {
+    fn default() -> Self {
+        RsrConfig { base: RankLstmConfig::default(), level: RelationLevel::Industry }
+    }
+}
+
+/// The RSR model.
+pub struct Rsr {
+    /// All parameters.
+    pub store: ParamStore,
+    /// Sequential encoder (shared across stocks).
+    pub lstm: Lstm,
+    /// Prediction head over `[e_i ; r_i]` (`2·hidden → 1`).
+    pub head: Dense,
+    graph: StockGraph,
+    cfg: RsrConfig,
+}
+
+impl Rsr {
+    /// Fresh model over the dataset's universe.
+    pub fn new(cfg: RsrConfig, dataset: &Dataset) -> Rsr {
+        let mut rng = SmallRng::seed_from_u64(cfg.base.seed);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims { input: cfg.base.feature_rows.len(), hidden: cfg.base.hidden },
+        );
+        let head = Dense::new(&mut store, &mut rng, 2 * cfg.base.hidden, 1);
+        let graph = StockGraph::from_universe(dataset.universe(), cfg.level);
+        Rsr { store, lstm, head, graph, cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RsrConfig {
+        &self.cfg
+    }
+
+    /// Copies a pre-trained Rank_LSTM's encoder weights into this model
+    /// (shapes must match).
+    pub fn init_from(&mut self, pretrained: &RankLstm) {
+        assert_eq!(self.lstm.dims, pretrained.lstm.dims, "encoder shapes must match");
+        self.store.copy_values_from(&pretrained.store, self.lstm.w, pretrained.lstm.w);
+        self.store.copy_values_from(&pretrained.store, self.lstm.b, pretrained.lstm.b);
+    }
+
+    fn sequence(&self, dataset: &Dataset, stock: usize, day: usize) -> Vec<Vec<f64>> {
+        let panel = dataset.panel();
+        (day - self.cfg.base.seq_len..day)
+            .map(|t| self.cfg.base.feature_rows.iter().map(|&r| panel.feature(stock, r)[t]).collect())
+            .collect()
+    }
+
+    /// One day's full forward pass. Returns (predictions, per-stock caches,
+    /// flattened embeddings, flattened concat inputs).
+    fn forward_day(
+        &self,
+        dataset: &Dataset,
+        day: usize,
+    ) -> (Vec<f64>, Vec<LstmCache>, Vec<f64>, Vec<f64>) {
+        let k = dataset.n_stocks();
+        let h = self.cfg.base.hidden;
+        let mut caches = Vec::with_capacity(k);
+        let mut emb = vec![0.0; k * h];
+        for stock in 0..k {
+            let xs = self.sequence(dataset, stock, day);
+            let mut cache = LstmCache::default();
+            self.lstm.forward(&self.store, &xs, &mut cache);
+            emb[stock * h..(stock + 1) * h].copy_from_slice(&cache.h_final);
+            caches.push(cache);
+        }
+        let mut rel = vec![0.0; k * h];
+        self.graph.aggregate(&emb, h, &mut rel);
+        let mut preds = vec![0.0; k];
+        let mut cat = vec![0.0; k * 2 * h];
+        for stock in 0..k {
+            let c = &mut cat[stock * 2 * h..(stock + 1) * 2 * h];
+            c[..h].copy_from_slice(&emb[stock * h..(stock + 1) * h]);
+            c[h..].copy_from_slice(&rel[stock * h..(stock + 1) * h]);
+            let mut y = [0.0];
+            self.head.forward(&self.store, c, &mut y);
+            preds[stock] = y[0];
+        }
+        (preds, caches, emb, cat)
+    }
+
+    /// Trains end-to-end (one mini-batch per training day).
+    pub fn train(&mut self, dataset: &Dataset) -> TrainLog {
+        let k = dataset.n_stocks();
+        let h = self.cfg.base.hidden;
+        let mut adam = Adam::new(self.store.n_params(), self.cfg.base.lr);
+        let mut epoch_losses = Vec::with_capacity(self.cfg.base.epochs);
+        for _ in 0..self.cfg.base.epochs {
+            let mut total = 0.0;
+            let mut days = 0usize;
+            for day in dataset.train_days() {
+                let (preds, caches, _emb, cat) = self.forward_day(dataset, day);
+                let labels = dataset.labels_at(day);
+                let out = rank_mse_loss(&preds, &labels, self.cfg.base.alpha);
+                total += out.loss;
+                days += 1;
+                self.store.zero_grads();
+                // Head backward per stock; split dcat into direct + relational.
+                let mut d_emb = vec![0.0; k * h];
+                let mut d_rel = vec![0.0; k * h];
+                for stock in 0..k {
+                    let c = &cat[stock * 2 * h..(stock + 1) * 2 * h];
+                    let mut dcat = vec![0.0; 2 * h];
+                    self.head.backward(&mut self.store, c, &[out.grad[stock]], &mut dcat);
+                    d_emb[stock * h..(stock + 1) * h].copy_from_slice(&dcat[..h]);
+                    d_rel[stock * h..(stock + 1) * h].copy_from_slice(&dcat[h..]);
+                }
+                // Relational layer backward adds into the embedding grads.
+                self.graph.aggregate_backward(&d_rel, h, &mut d_emb);
+                for stock in 0..k {
+                    self.lstm.backward(
+                        &mut self.store,
+                        &caches[stock],
+                        &d_emb[stock * h..(stock + 1) * h],
+                    );
+                }
+                adam.step(&mut self.store);
+            }
+            epoch_losses.push(if days > 0 { total / days as f64 } else { 0.0 });
+        }
+        TrainLog { epoch_losses }
+    }
+
+    /// Predictions for every stock on one day.
+    pub fn predict_day(&self, dataset: &Dataset, day: usize) -> Vec<f64> {
+        self.forward_day(dataset, day).0
+    }
+
+    /// Prediction cross-sections over a day range.
+    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
+        days.map(|d| self.predict_day(dataset, d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let md = MarketConfig { n_stocks: 8, n_days: 110, seed, n_sectors: 2, ..Default::default() }
+            .generate();
+        Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
+    }
+
+    fn tiny_config() -> RsrConfig {
+        RsrConfig {
+            base: RankLstmConfig { hidden: 8, seq_len: 4, epochs: 3, seed: 1, ..Default::default() },
+            level: RelationLevel::Sector,
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_dataset(51);
+        let mut model = Rsr::new(tiny_config(), &ds);
+        let log = model.train(&ds);
+        assert!(
+            log.epoch_losses.last().unwrap() < &log.epoch_losses[0],
+            "loss should fall: {:?}",
+            log.epoch_losses
+        );
+    }
+
+    #[test]
+    fn predictions_finite() {
+        let ds = tiny_dataset(52);
+        let mut model = Rsr::new(tiny_config(), &ds);
+        model.train(&ds);
+        let preds = model.predictions(&ds, ds.valid_days());
+        for row in &preds {
+            assert!(row.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn pretrained_init_copies_encoder() {
+        let ds = tiny_dataset(53);
+        let mut base = RankLstm::new(tiny_config().base);
+        base.train(&ds);
+        let mut rsr = Rsr::new(tiny_config(), &ds);
+        rsr.init_from(&base);
+        assert_eq!(rsr.store.value(rsr.lstm.w), base.store.value(base.lstm.w));
+        assert_eq!(rsr.store.value(rsr.lstm.b), base.store.value(base.lstm.b));
+    }
+
+    #[test]
+    fn relational_structure_changes_predictions() {
+        // RSR with untrained head already mixes neighbor embeddings, so its
+        // predictions differ from a Rank_LSTM with the same encoder.
+        let ds = tiny_dataset(54);
+        let mut base = RankLstm::new(tiny_config().base);
+        base.train(&ds);
+        let mut rsr = Rsr::new(tiny_config(), &ds);
+        rsr.init_from(&base);
+        let day = ds.valid_days().start;
+        assert_ne!(base.predict_day(&ds, day), rsr.predict_day(&ds, day));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = tiny_dataset(55);
+        let mut a = Rsr::new(tiny_config(), &ds);
+        let mut b = Rsr::new(tiny_config(), &ds);
+        a.train(&ds);
+        b.train(&ds);
+        let day = ds.valid_days().start;
+        assert_eq!(a.predict_day(&ds, day), b.predict_day(&ds, day));
+    }
+}

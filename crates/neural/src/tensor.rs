@@ -1,0 +1,205 @@
+//! Flat parameter store and small dense-math helpers.
+//!
+//! All trainable parameters of a model live in one contiguous `values`
+//! buffer with a parallel `grads` buffer; layers hold [`ParamId`] handles
+//! (offset + length). This keeps the optimizer a single loop over two
+//! slices and sidesteps borrow-checker gymnastics between layers.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Handle to one parameter block inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId {
+    offset: usize,
+    len: usize,
+}
+
+impl ParamId {
+    /// Number of scalars in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty block.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Contiguous value/gradient storage for all parameters of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<f64>,
+    grads: Vec<f64>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Allocates a zero-initialized block.
+    pub fn alloc(&mut self, len: usize) -> ParamId {
+        let offset = self.values.len();
+        self.values.resize(offset + len, 0.0);
+        self.grads.resize(offset + len, 0.0);
+        ParamId { offset, len }
+    }
+
+    /// Allocates a block with Xavier/Glorot-uniform init for a layer with
+    /// the given fan-in/fan-out.
+    pub fn alloc_xavier(&mut self, len: usize, fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> ParamId {
+        let id = self.alloc(len);
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        for x in self.value_mut(id) {
+            *x = rng.gen_range(-bound..bound);
+        }
+        id
+    }
+
+    /// Total number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read a block's values.
+    pub fn value(&self, id: ParamId) -> &[f64] {
+        &self.values[id.offset..id.offset + id.len]
+    }
+
+    /// Mutate a block's values.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut [f64] {
+        &mut self.values[id.offset..id.offset + id.len]
+    }
+
+    /// Read a block's gradients.
+    pub fn grad(&self, id: ParamId) -> &[f64] {
+        &self.grads[id.offset..id.offset + id.len]
+    }
+
+    /// Mutate a block's gradients (accumulate with `+=`).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut [f64] {
+        &mut self.grads[id.offset..id.offset + id.len]
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grads(&mut self) {
+        self.grads.fill(0.0);
+    }
+
+    /// Raw (values, grads) view for the optimizer.
+    pub fn raw_mut(&mut self) -> (&mut [f64], &[f64]) {
+        (&mut self.values, &self.grads)
+    }
+
+    /// Copies every value from another store (same allocation layout
+    /// required) — used to seed RSR with pre-trained Rank_LSTM weights.
+    pub fn copy_values_from(&mut self, other: &ParamStore, dst: ParamId, src: ParamId) {
+        assert_eq!(dst.len, src.len, "parameter blocks must match");
+        let from = &other.values[src.offset..src.offset + src.len];
+        self.values[dst.offset..dst.offset + dst.len].copy_from_slice(from);
+    }
+}
+
+/// `y = W x` for a row-major `rows × cols` matrix.
+pub fn matvec(w: &[f64], x: &[f64], y: &mut [f64], rows: usize, cols: usize) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+    }
+}
+
+/// `dx += Wᵀ dy` for a row-major `rows × cols` matrix.
+pub fn matvec_t_acc(w: &[f64], dy: &[f64], dx: &mut [f64], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let d = dy[r];
+        for c in 0..cols {
+            dx[c] += row[c] * d;
+        }
+    }
+}
+
+/// `dW += dy ⊗ x` (outer product accumulate).
+pub fn outer_acc(dw: &mut [f64], dy: &[f64], x: &[f64]) {
+    let cols = x.len();
+    for (r, &d) in dy.iter().enumerate() {
+        let row = &mut dw[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            row[c] += d * x[c];
+        }
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alloc_and_views() {
+        let mut s = ParamStore::new();
+        let a = s.alloc(3);
+        let b = s.alloc(2);
+        s.value_mut(a).copy_from_slice(&[1.0, 2.0, 3.0]);
+        s.value_mut(b).copy_from_slice(&[4.0, 5.0]);
+        assert_eq!(s.value(a), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.value(b), &[4.0, 5.0]);
+        assert_eq!(s.n_params(), 5);
+        s.grad_mut(b)[1] = 9.0;
+        assert_eq!(s.grad(b), &[0.0, 9.0]);
+        s.zero_grads();
+        assert_eq!(s.grad(b), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut s = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let id = s.alloc_xavier(1000, 10, 10, &mut rng);
+        let bound = (6.0 / 20.0f64).sqrt();
+        assert!(s.value(id).iter().all(|x| x.abs() <= bound));
+        assert!(s.value(id).iter().any(|x| x.abs() > bound * 0.5), "values should spread");
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        // <W x, y> == <x, Wᵀ y> (adjoint identity).
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let x = [0.5, -1.0, 2.0];
+        let y = [3.0, -2.0];
+        let mut wx = [0.0; 2];
+        matvec(&w, &x, &mut wx, 2, 3);
+        let lhs: f64 = wx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut wty = [0.0; 3];
+        matvec_t_acc(&w, &y, &mut wty, 2, 3);
+        let rhs: f64 = wty.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_accumulates() {
+        let mut dw = vec![0.0; 6];
+        outer_acc(&mut dw, &[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        outer_acc(&mut dw, &[1.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(dw, vec![4.0, 5.0, 6.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+}

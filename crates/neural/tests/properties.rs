@@ -1,0 +1,140 @@
+//! Property-based tests of the neural substrate: gradient correctness on
+//! random shapes/seeds and structural invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_neural::dense::Dense;
+use alphaevolve_neural::graph::{RelationLevel, StockGraph};
+use alphaevolve_neural::loss::rank_mse_loss;
+use alphaevolve_neural::lstm::{Lstm, LstmCache, LstmDims};
+use alphaevolve_neural::tensor::ParamStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// LSTM BPTT matches finite differences for random dims/seeds — a
+    /// sampled parameter per case keeps it fast.
+    #[test]
+    fn lstm_gradient_correct_for_random_shapes(
+        seed in any::<u64>(),
+        input in 1usize..4,
+        hidden in 1usize..5,
+        steps in 1usize..5,
+        param_pick in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input, hidden });
+        let xs: Vec<Vec<f64>> = (0..steps)
+            .map(|t| (0..input).map(|i| ((t * 7 + i) as f64 * 0.37).sin() * 0.5).collect())
+            .collect();
+        let weights: Vec<f64> = (0..hidden).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let loss = |store: &ParamStore| -> f64 {
+            let mut cache = LstmCache::default();
+            lstm.forward(store, &xs, &mut cache);
+            cache.h_final.iter().zip(&weights).map(|(a, b)| a * b).sum()
+        };
+        let mut cache = LstmCache::default();
+        lstm.forward(&store, &xs, &mut cache);
+        store.zero_grads();
+        lstm.backward(&mut store, &cache, &weights);
+
+        let k = (param_pick % store.n_params() as u64) as usize;
+        let (id, local) = if k < lstm.w.len() { (lstm.w, k) } else { (lstm.b, k - lstm.w.len()) };
+        let eps = 1e-6;
+        let orig = store.value(id)[local];
+        store.value_mut(id)[local] = orig + eps;
+        let up = loss(&store);
+        store.value_mut(id)[local] = orig - eps;
+        let down = loss(&store);
+        store.value_mut(id)[local] = orig;
+        let fd = (up - down) / (2.0 * eps);
+        let an = store.grad(id)[local];
+        prop_assert!((an - fd).abs() < 1e-5 * (1.0 + fd.abs()), "param {}: {} vs {}", k, an, fd);
+    }
+
+    /// Dense backward matches finite differences on a random input entry.
+    #[test]
+    fn dense_input_gradient_correct(
+        seed in any::<u64>(),
+        in_dim in 1usize..6,
+        out_dim in 1usize..5,
+        pick in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, &mut rng, in_dim, out_dim);
+        let x: Vec<f64> = (0..in_dim).map(|i| (i as f64 * 0.61).cos()).collect();
+        let dy: Vec<f64> = (0..out_dim).map(|i| 1.0 - i as f64 * 0.3).collect();
+        store.zero_grads();
+        let mut dx = vec![0.0; in_dim];
+        layer.backward(&mut store, &x, &dy, &mut dx);
+
+        let loss = |x: &[f64]| -> f64 {
+            let mut y = vec![0.0; out_dim];
+            layer.forward(&store, x, &mut y);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let k = (pick % in_dim as u64) as usize;
+        let eps = 1e-6;
+        let mut xp = x.clone();
+        xp[k] += eps;
+        let up = loss(&xp);
+        xp[k] -= 2.0 * eps;
+        let down = loss(&xp);
+        let fd = (up - down) / (2.0 * eps);
+        prop_assert!((dx[k] - fd).abs() < 1e-6, "dx[{}]: {} vs {}", k, dx[k], fd);
+    }
+}
+
+proptest! {
+    /// The combined loss gradient matches finite differences for arbitrary
+    /// cross-sections and alpha weights.
+    #[test]
+    fn loss_gradient_correct(
+        preds in prop::collection::vec(-0.5f64..0.5, 2..8),
+        alpha in 0.0f64..5.0,
+        pick in any::<u64>(),
+    ) {
+        let labels: Vec<f64> = preds.iter().map(|p| p * 0.3 - 0.01).collect();
+        let out = rank_mse_loss(&preds, &labels, alpha);
+        let i = (pick % preds.len() as u64) as usize;
+        let eps = 1e-7;
+        let mut p = preds.clone();
+        p[i] += eps;
+        let up = rank_mse_loss(&p, &labels, alpha).loss;
+        p[i] -= 2.0 * eps;
+        let down = rank_mse_loss(&p, &labels, alpha).loss;
+        let fd = (up - down) / (2.0 * eps);
+        prop_assert!((out.grad[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "{} vs {}", out.grad[i], fd);
+    }
+
+    /// Loss is non-negative and zero exactly at perfect predictions.
+    #[test]
+    fn loss_nonnegative(preds in prop::collection::vec(-0.5f64..0.5, 2..10), alpha in 0.0f64..5.0) {
+        let labels: Vec<f64> = preds.iter().rev().cloned().collect();
+        prop_assert!(rank_mse_loss(&preds, &labels, alpha).loss >= 0.0);
+        prop_assert!(rank_mse_loss(&preds, &preds, alpha).loss < 1e-18);
+    }
+
+    /// Graph aggregation: adjoint identity holds for arbitrary universes.
+    #[test]
+    fn graph_aggregate_adjoint(n in 2usize..20, sectors in 1usize..4, dim in 1usize..5, seed in any::<u64>()) {
+        use alphaevolve_market::Universe;
+        let u = Universe::synthetic(n, sectors, 2);
+        let g = StockGraph::from_universe(&u, RelationLevel::Sector);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let emb: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut fwd = vec![0.0; n * dim];
+        g.aggregate(&emb, dim, &mut fwd);
+        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| a * b).sum();
+        let mut bwd = vec![0.0; n * dim];
+        g.aggregate_backward(&d, dim, &mut bwd);
+        let rhs: f64 = bwd.iter().zip(&emb).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the AlphaEvolve reproduction (Cui et al., SIGMOD 2021).
+//!
+//! Re-exports every subsystem so examples and downstream users can depend on
+//! a single crate:
+//!
+//! * [`market`] — synthetic market substrate, features, datasets.
+//! * [`backtest`] — long-short portfolio simulation and metrics.
+//! * [`core`] — the alpha DSL, interpreter, pruning and evolutionary search.
+//! * [`gp`] — the genetic-algorithm baseline (`alpha_G`).
+//! * [`neural`] — the Rank_LSTM and RSR machine-learning baselines.
+//!
+//! See `examples/quickstart.rs` for the end-to-end happy path.
+
+pub use alphaevolve_backtest as backtest;
+pub use alphaevolve_core as core;
+pub use alphaevolve_gp as gp;
+pub use alphaevolve_market as market;
+pub use alphaevolve_neural as neural;

@@ -1,0 +1,133 @@
+//! Integration tests of the weak-correlation mining protocol (§5.4.1).
+
+use std::sync::Arc;
+
+use alphaevolve::backtest::correlation::{correlation_matrix, CorrelationGate};
+use alphaevolve::backtest::portfolio::LongShortConfig;
+use alphaevolve::core::{
+    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve::gp::{GpBudget, GpConfig, GpEngine};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+
+fn dataset(seed: u64) -> Arc<Dataset> {
+    let market = MarketConfig { n_stocks: 18, n_days: 150, seed, ..Default::default() }.generate();
+    Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap())
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn multi_round_mining_produces_weakly_correlated_set() {
+    let ds = dataset(61);
+    let ev = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        ds,
+    );
+    let mut gate = CorrelationGate::paper();
+    let mut accepted = Vec::new();
+    for round in 0..3 {
+        let config = EvolutionConfig {
+            population_size: 25,
+            tournament_size: 5,
+            budget: Budget::Searched(350),
+            seed: round as u64 * 7 + 1,
+            ..Default::default()
+        };
+        let outcome =
+            Evolution::new(&ev, config).with_gate(&gate).run(&init::domain_expert(ev.config()));
+        if let Some(best) = outcome.best {
+            gate.accept(best.val_returns.clone());
+            accepted.push(best.val_returns);
+        }
+    }
+    assert!(accepted.len() >= 2, "at least two rounds must succeed");
+    let m = correlation_matrix(&accepted);
+    for i in 0..m.len() {
+        for j in 0..m.len() {
+            if i != j {
+                assert!(
+                    m[i][j] <= 0.15 + 1e-9,
+                    "pair ({i},{j}) correlates above the cutoff: {}",
+                    m[i][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ae_and_gp_score_through_identical_metrics() {
+    // The two methods must be comparable: same dataset, same labels, same
+    // portfolio code. A GP formula and an AE program implementing the SAME
+    // function must produce identical ICs.
+    use alphaevolve::backtest::metrics::information_coefficient;
+    use alphaevolve::gp::{BinFunc, Expr};
+
+    let ds = dataset(62);
+    let ev = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        ds.clone(),
+    );
+
+    // f = close[t-1] - open[t-1], as a GP tree (rows 11 and 8, lag 0).
+    let tree = Expr::Binary(
+        BinFunc::Sub,
+        Box::new(Expr::Feature { row: 11, lag: 0 }),
+        Box::new(Expr::Feature { row: 8, lag: 0 }),
+    );
+    let panel = ds.panel();
+    let gp_preds: Vec<Vec<f64>> = ds
+        .valid_days()
+        .map(|day| {
+            (0..ds.n_stocks())
+                .map(|s| tree.eval(&|row, lag| panel.feature(s, row)[day - 1 - lag]))
+                .collect()
+        })
+        .collect();
+    let labels: Vec<Vec<f64>> = ds.valid_days().map(|d| ds.labels_at(d)).collect();
+    let gp_ic = information_coefficient(&gp_preds, &labels);
+
+    // The same function as an AE program.
+    use alphaevolve::core::{AlphaProgram, Instruction, Op};
+    let newest = (ev.config().dim - 1) as u8;
+    let prog = AlphaProgram {
+        setup: vec![Instruction::nop()],
+        predict: vec![
+            Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [11, newest]),
+            Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [8, newest]),
+            Instruction::new(Op::SSub, 2, 3, 1, [0.0; 2], [0; 2]),
+        ],
+        update: vec![Instruction::nop()],
+    };
+    let ae_ic = ev.evaluate(&prog).ic;
+    assert!((gp_ic - ae_ic).abs() < 1e-12, "GP {gp_ic} vs AE {ae_ic}");
+}
+
+#[test]
+fn gp_engine_respects_gate_from_ae_alpha() {
+    // Cross-method gating: an alpha mined by AE gates the GP search, as in
+    // Table 1 where both are cut against the expert alpha.
+    let ds = dataset(63);
+    let ev = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        ds.clone(),
+    );
+    let seed_eval = ev.evaluate(&init::domain_expert(ev.config()));
+    let mut gate = CorrelationGate::paper();
+    gate.accept(seed_eval.val_returns);
+
+    let config = GpConfig {
+        population_size: 30,
+        budget: GpBudget::Generations(4),
+        seed: 5,
+        long_short: LongShortConfig::scaled(18),
+        ..Default::default()
+    };
+    let outcome = GpEngine::new(&ds, config).with_gate(&gate).run();
+    if let Some(best) = outcome.best {
+        assert!(gate.passes(&best.val_returns), "GP winner must satisfy the AE-sourced gate");
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-crate determinism: the whole pipeline is a pure function of its
+//! seeds (single-worker), which is what makes experiments reproducible.
+
+use std::sync::Arc;
+
+use alphaevolve::core::{
+    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve::gp::{GpBudget, GpConfig, GpEngine};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::neural::{RankLstm, RankLstmConfig};
+
+fn pipeline_fingerprint(seed: u64) -> (f64, f64, f64) {
+    let market = MarketConfig { n_stocks: 14, n_days: 130, seed, ..Default::default() }.generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+
+    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds.clone());
+    let outcome = Evolution::new(
+        &ev,
+        EvolutionConfig {
+            population_size: 15,
+            tournament_size: 4,
+            budget: Budget::Searched(150),
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .run(&init::domain_expert(ev.config()));
+    let ae_ic = outcome.best.map(|b| b.ic).unwrap_or(f64::NAN);
+
+    let gp = GpEngine::new(
+        &ds,
+        GpConfig { population_size: 20, budget: GpBudget::Generations(2), seed: 5, ..Default::default() },
+    )
+    .run();
+    let gp_ic = gp.best.map(|b| b.ic).unwrap_or(f64::NAN);
+
+    let mut rl = RankLstm::new(RankLstmConfig {
+        hidden: 4,
+        seq_len: 4,
+        epochs: 1,
+        seed: 5,
+        ..Default::default()
+    });
+    let log = rl.train(&ds);
+    (ae_ic, gp_ic, log.epoch_losses[0])
+}
+
+#[test]
+fn whole_pipeline_is_seed_deterministic() {
+    let a = pipeline_fingerprint(9);
+    let b = pipeline_fingerprint(9);
+    assert_eq!(a, b, "same seeds must give bit-identical results");
+}
+
+#[test]
+fn different_market_seeds_give_different_results() {
+    let a = pipeline_fingerprint(9);
+    let b = pipeline_fingerprint(10);
+    assert_ne!(a, b);
+}

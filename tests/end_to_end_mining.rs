@@ -1,0 +1,153 @@
+//! End-to-end integration: market generation → dataset → evolution →
+//! backtest → serialization, across all crates.
+
+use std::sync::Arc;
+
+use alphaevolve::backtest::portfolio::LongShortConfig;
+use alphaevolve::core::{
+    init, prune, textio, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+
+fn evaluator(seed: u64, n_stocks: usize, n_days: usize) -> Evaluator {
+    let market = MarketConfig { n_stocks, n_days, seed, ..Default::default() }.generate();
+    let dataset =
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+    Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions { long_short: LongShortConfig::scaled(n_stocks), ..Default::default() },
+        Arc::new(dataset),
+    )
+}
+
+#[test]
+fn mining_improves_on_seed_and_round_trips() {
+    let ev = evaluator(1, 16, 140);
+    let seed_prog = init::domain_expert(ev.config());
+    let seed_ic = ev.evaluate(&prune(&seed_prog).program).ic;
+
+    let config = EvolutionConfig {
+        population_size: 25,
+        tournament_size: 5,
+        budget: Budget::Searched(400),
+        seed: 9,
+        ..Default::default()
+    };
+    let outcome = Evolution::new(&ev, config).run(&seed_prog);
+    let best = outcome.best.expect("must find a valid alpha");
+    assert!(best.ic >= seed_ic, "mining went backwards: {} < {seed_ic}", best.ic);
+
+    // The mined alpha round-trips through the text format and re-evaluates
+    // to exactly the same fitness.
+    let text = textio::to_text(&best.pruned);
+    let reloaded = textio::from_text(&text).expect("mined alpha parses back");
+    assert_eq!(reloaded, best.pruned);
+    let re_eval = ev.evaluate(&reloaded);
+    assert_eq!(re_eval.ic, best.ic, "deserialized alpha must score identically");
+}
+
+#[test]
+fn mined_alpha_backtests_consistently_with_manual_portfolio() {
+    // The evaluator's backtest must equal composing the crates by hand:
+    // interpreter predictions -> portfolio::long_short_returns -> sharpe.
+    use alphaevolve::backtest::metrics::{information_coefficient, sharpe_ratio};
+    use alphaevolve::backtest::portfolio::long_short_returns;
+    use alphaevolve::core::{GroupIndex, Interpreter};
+
+    let ev = evaluator(2, 14, 140);
+    let prog = prune(&init::two_layer_nn(ev.config())).program;
+    let report = ev.backtest(&prog);
+
+    let ds = ev.dataset();
+    let groups = GroupIndex::from_universe(ds.universe());
+    let mut interp = Interpreter::new(ev.config(), ds, &groups, ev.options().seed);
+    interp.run_setup(&prog);
+    for day in ds.train_days() {
+        interp.train_day(&prog, day, true);
+    }
+    let mut val_preds = Vec::new();
+    for day in ds.valid_days() {
+        let mut row = vec![0.0; ds.n_stocks()];
+        interp.predict_day(&prog, day, &mut row);
+        val_preds.push(row);
+    }
+    let mut test_preds = Vec::new();
+    for day in ds.test_days() {
+        let mut row = vec![0.0; ds.n_stocks()];
+        interp.predict_day(&prog, day, &mut row);
+        test_preds.push(row);
+    }
+    let test_labels: Vec<Vec<f64>> = ds.test_days().map(|d| ds.labels_at(d)).collect();
+    let manual_ic = information_coefficient(&test_preds, &test_labels);
+    let manual_returns = long_short_returns(&test_preds, &test_labels, &ev.options().long_short);
+    assert!((report.test.ic - manual_ic).abs() < 1e-12);
+    assert!((report.test.sharpe - sharpe_ratio(&manual_returns)).abs() < 1e-9);
+}
+
+#[test]
+fn pruned_program_scores_identically_to_original() {
+    // Pruning must not change observable behavior: evaluating the original
+    // (with dead code) and the pruned program gives the same predictions —
+    // for deterministic programs.
+    let ev = evaluator(3, 12, 130);
+    let mut prog = init::domain_expert(ev.config());
+    // Inject dead code around the live computation.
+    prog.predict.insert(
+        0,
+        alphaevolve::core::Instruction::new(alphaevolve::core::Op::MatMul, 1, 2, 3, [0.0; 2], [0; 2]),
+    );
+    prog.update.push(alphaevolve::core::Instruction::new(
+        alphaevolve::core::Op::SConst,
+        0,
+        0,
+        9,
+        [0.42, 0.0],
+        [0; 2],
+    ));
+    let pruned = prune(&prog);
+    assert!(pruned.n_pruned >= 2);
+    let a = ev.evaluate_opt(&prog, false);
+    let b = ev.evaluate_opt(&pruned.program, false);
+    assert_eq!(a.ic, b.ic, "pruning changed program semantics");
+    assert_eq!(a.val_returns, b.val_returns);
+}
+
+#[test]
+fn filters_compose_with_dataset_pipeline() {
+    use alphaevolve::market::filter::{apply, FilterConfig};
+    let market = MarketConfig {
+        n_stocks: 40,
+        n_days: 140,
+        seed: 4,
+        penny_fraction: 0.2,
+        thin_fraction: 0.1,
+        ..Default::default()
+    }
+    .generate();
+    let out = apply(&market, FilterConfig::default());
+    assert!(out.market.n_stocks() < 40, "filters should drop something");
+    assert!(out.market.n_stocks() >= 10, "filters should keep most of the market");
+    let dataset =
+        Dataset::build(&out.market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), Arc::new(dataset));
+    let e = ev.evaluate(&init::domain_expert(ev.config()));
+    assert!(e.fitness.is_some());
+}
+
+#[test]
+fn csv_round_trip_preserves_mining_results() {
+    use std::io::BufReader;
+    let market = MarketConfig { n_stocks: 12, n_days: 130, seed: 5, ..Default::default() }.generate();
+    let mut buf = Vec::new();
+    alphaevolve::market::csvio::write_csv(&market, &mut buf).unwrap();
+    let reloaded = alphaevolve::market::csvio::read_csv(BufReader::new(&buf[..])).unwrap();
+
+    let build = |md: &alphaevolve::market::MarketData| {
+        let ds = Dataset::build(md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+        let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), Arc::new(ds));
+        ev.evaluate(&init::domain_expert(ev.config())).ic
+    };
+    let a = build(&market);
+    let b = build(&reloaded);
+    assert!((a - b).abs() < 1e-9, "CSV round trip changed evaluation: {a} vs {b}");
+}
