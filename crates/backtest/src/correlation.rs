@@ -48,7 +48,10 @@ impl CorrelationGate {
 
     /// Gate with a custom cutoff.
     pub fn new(cutoff: f64) -> Self {
-        CorrelationGate { cutoff, accepted: Vec::new() }
+        CorrelationGate {
+            cutoff,
+            accepted: Vec::new(),
+        }
     }
 
     /// The cutoff in force.
@@ -79,7 +82,9 @@ impl CorrelationGate {
     /// accepted series *exceeds* the cutoff. (Strongly negative
     /// correlations pass — they diversify.)
     pub fn passes(&self, candidate: &[f64]) -> bool {
-        self.accepted.iter().all(|a| return_correlation(a, candidate) <= self.cutoff)
+        self.accepted
+            .iter()
+            .all(|a| return_correlation(a, candidate) <= self.cutoff)
     }
 
     /// Adds a return series to the accepted set.
@@ -120,7 +125,10 @@ mod tests {
         let base = vec![0.01, -0.02, 0.03, -0.01, 0.02, 0.0, 0.01];
         gate.accept(base.clone());
         let inverse: Vec<f64> = base.iter().map(|x| -x).collect();
-        assert!(gate.passes(&inverse), "paper keeps strongly negative correlations");
+        assert!(
+            gate.passes(&inverse),
+            "paper keeps strongly negative correlations"
+        );
     }
 
     #[test]

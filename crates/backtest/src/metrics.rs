@@ -52,7 +52,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -111,7 +115,11 @@ pub fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
 
 /// Rank IC: mean daily Spearman correlation.
 pub fn rank_information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
-    let daily: Vec<f64> = preds.iter().zip(rets.iter()).map(|(p, r)| spearman(p, r)).collect();
+    let daily: Vec<f64> = preds
+        .iter()
+        .zip(rets.iter())
+        .map(|(p, r)| spearman(p, r))
+        .collect();
     mean(&daily)
 }
 
@@ -196,7 +204,10 @@ mod tests {
         let preds = vec![vec![1.0, f64::NAN, 3.0, 4.0]];
         let rets = vec![vec![0.1, 9.0, 0.3, 0.4]];
         let ic = information_coefficient(&preds, &rets);
-        assert!((ic - 1.0).abs() < 1e-9, "finite subset is perfectly correlated, got {ic}");
+        assert!(
+            (ic - 1.0).abs() < 1e-9,
+            "finite subset is perfectly correlated, got {ic}"
+        );
     }
 
     #[test]
@@ -222,8 +233,15 @@ mod tests {
     #[test]
     fn icir_positive_for_stable_signal() {
         let preds = vec![vec![1.0, 2.0, 3.0]; 5];
-        let rets: Vec<Vec<f64>> =
-            (0..5).map(|d| vec![0.01 * d as f64, 0.02 + 0.01 * d as f64, 0.03 + 0.01 * d as f64]).collect();
+        let rets: Vec<Vec<f64>> = (0..5)
+            .map(|d| {
+                vec![
+                    0.01 * d as f64,
+                    0.02 + 0.01 * d as f64,
+                    0.03 + 0.01 * d as f64,
+                ]
+            })
+            .collect();
         assert!(icir(&preds, &rets) > 0.0 || sample_std(&daily_ic_series(&preds, &rets)) == 0.0);
     }
 }

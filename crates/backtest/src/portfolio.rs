@@ -27,7 +27,10 @@ pub struct LongShortConfig {
 impl LongShortConfig {
     /// The paper's 50/50 books.
     pub fn paper() -> Self {
-        LongShortConfig { k_long: 50, k_short: 50 }
+        LongShortConfig {
+            k_long: 50,
+            k_short: 50,
+        }
     }
 
     /// Books scaled to a universe of `n` stocks: `max(1, n/10)` per side,
@@ -35,7 +38,10 @@ impl LongShortConfig {
     /// synthetic universe is smaller than NASDAQ's 1026 names.
     pub fn scaled(n: usize) -> Self {
         let k = (n / 10).clamp(1, 50);
-        LongShortConfig { k_long: k, k_short: k }
+        LongShortConfig {
+            k_long: k,
+            k_short: k,
+        }
     }
 }
 
@@ -45,7 +51,10 @@ impl LongShortConfig {
 fn ranking(preds: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..preds.len()).filter(|&i| preds[i].is_finite()).collect();
     idx.sort_by(|&a, &b| {
-        preds[b].partial_cmp(&preds[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        preds[b]
+            .partial_cmp(&preds[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx
 }
@@ -53,7 +62,11 @@ fn ranking(preds: &[f64]) -> Vec<usize> {
 /// Portfolio return realized on one day given that day's predictions and
 /// realized stock returns.
 pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> f64 {
-    assert_eq!(preds.len(), rets.len(), "prediction/return cross-sections must align");
+    assert_eq!(
+        preds.len(),
+        rets.len(),
+        "prediction/return cross-sections must align"
+    );
     let order = ranking(preds);
     if order.is_empty() {
         return 0.0;
@@ -64,16 +77,27 @@ pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> 
         return 0.0;
     }
     let long: f64 = order[..kl].iter().map(|&i| rets[i]).sum::<f64>() / kl.max(1) as f64;
-    let short: f64 =
-        order[order.len() - ks..].iter().map(|&i| rets[i]).sum::<f64>() / ks.max(1) as f64;
+    let short: f64 = order[order.len() - ks..]
+        .iter()
+        .map(|&i| rets[i])
+        .sum::<f64>()
+        / ks.max(1) as f64;
     (long - short) / 2.0
 }
 
 /// Daily portfolio-return series over a panel of prediction/return
 /// cross-sections (`preds[d][stock]`, `rets[d][stock]`).
-pub fn long_short_returns(preds: &[Vec<f64>], rets: &[Vec<f64>], cfg: &LongShortConfig) -> Vec<f64> {
+pub fn long_short_returns(
+    preds: &[Vec<f64>],
+    rets: &[Vec<f64>],
+    cfg: &LongShortConfig,
+) -> Vec<f64> {
     assert_eq!(preds.len(), rets.len(), "panel day counts must align");
-    preds.iter().zip(rets.iter()).map(|(p, r)| single_day_return(p, r, cfg)).collect()
+    preds
+        .iter()
+        .zip(rets.iter())
+        .map(|(p, r)| single_day_return(p, r, cfg))
+        .collect()
 }
 
 /// The stocks held long and short on one day (for inspection/examples).
@@ -104,7 +128,10 @@ mod tests {
     fn perfect_foresight_earns_spread() {
         let rets = vec![-0.04, -0.01, 0.0, 0.01, 0.05];
         let preds = rets.clone(); // oracle
-        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        let cfg = LongShortConfig {
+            k_long: 1,
+            k_short: 1,
+        };
         let r = single_day_return(&preds, &rets, &cfg);
         assert!((r - (0.05 - (-0.04)) / 2.0).abs() < 1e-12);
     }
@@ -113,7 +140,10 @@ mod tests {
     fn inverted_predictions_lose() {
         let rets = vec![-0.04, -0.01, 0.0, 0.01, 0.05];
         let preds: Vec<f64> = rets.iter().map(|r| -r).collect();
-        let cfg = LongShortConfig { k_long: 2, k_short: 2 };
+        let cfg = LongShortConfig {
+            k_long: 2,
+            k_short: 2,
+        };
         assert!(single_day_return(&preds, &rets, &cfg) < 0.0);
     }
 
@@ -124,7 +154,10 @@ mod tests {
         let preds = vec![0.4, -0.2, 0.1, 0.3, -0.5, 0.0];
         let rets = vec![0.01, -0.02, 0.005, 0.02, -0.03, 0.0];
         let shifted: Vec<f64> = rets.iter().map(|r| r + 0.05).collect();
-        let cfg = LongShortConfig { k_long: 2, k_short: 2 };
+        let cfg = LongShortConfig {
+            k_long: 2,
+            k_short: 2,
+        };
         let a = single_day_return(&preds, &rets, &cfg);
         let b = single_day_return(&preds, &shifted, &cfg);
         assert!((a - b).abs() < 1e-12);
@@ -134,7 +167,10 @@ mod tests {
     fn non_finite_predictions_are_untradeable() {
         let preds = vec![f64::NAN, 1.0, -1.0, f64::INFINITY];
         let rets = vec![100.0, 0.01, -0.01, 100.0];
-        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        let cfg = LongShortConfig {
+            k_long: 1,
+            k_short: 1,
+        };
         // INFINITY is non-finite -> excluded; NAN excluded. Books: long 1, short 2.
         let r = single_day_return(&preds, &rets, &cfg);
         assert!((r - (0.01 - (-0.01)) / 2.0).abs() < 1e-12);
@@ -144,7 +180,10 @@ mod tests {
     fn small_universe_clamps_books() {
         let preds = vec![1.0, -1.0];
         let rets = vec![0.02, -0.02];
-        let cfg = LongShortConfig { k_long: 50, k_short: 50 };
+        let cfg = LongShortConfig {
+            k_long: 50,
+            k_short: 50,
+        };
         // Both books take the whole universe: long and short overlap fully,
         // return = (mean - mean)/2 = 0.
         let r = single_day_return(&preds, &rets, &cfg);
@@ -154,31 +193,70 @@ mod tests {
     #[test]
     fn positions_ordering() {
         let preds = vec![0.3, -0.7, 0.9, 0.0];
-        let p = positions(&preds, &LongShortConfig { k_long: 2, k_short: 1 });
+        let p = positions(
+            &preds,
+            &LongShortConfig {
+                k_long: 2,
+                k_short: 1,
+            },
+        );
         assert_eq!(p.long, vec![2, 0]);
         assert_eq!(p.short, vec![1]);
     }
 
     #[test]
     fn scaled_config() {
-        assert_eq!(LongShortConfig::scaled(1026), LongShortConfig { k_long: 50, k_short: 50 });
-        assert_eq!(LongShortConfig::scaled(100), LongShortConfig { k_long: 10, k_short: 10 });
-        assert_eq!(LongShortConfig::scaled(5), LongShortConfig { k_long: 1, k_short: 1 });
+        assert_eq!(
+            LongShortConfig::scaled(1026),
+            LongShortConfig {
+                k_long: 50,
+                k_short: 50
+            }
+        );
+        assert_eq!(
+            LongShortConfig::scaled(100),
+            LongShortConfig {
+                k_long: 10,
+                k_short: 10
+            }
+        );
+        assert_eq!(
+            LongShortConfig::scaled(5),
+            LongShortConfig {
+                k_long: 1,
+                k_short: 1
+            }
+        );
     }
 
     #[test]
     fn series_length_matches_days() {
         let preds = vec![vec![1.0, -1.0, 0.0]; 7];
         let rets = vec![vec![0.01, -0.01, 0.0]; 7];
-        let cfg = LongShortConfig { k_long: 1, k_short: 1 };
+        let cfg = LongShortConfig {
+            k_long: 1,
+            k_short: 1,
+        };
         assert_eq!(long_short_returns(&preds, &rets, &cfg).len(), 7);
     }
 
     #[test]
     fn ties_break_deterministically() {
         let preds = vec![0.5, 0.5, 0.5, 0.5];
-        let a = positions(&preds, &LongShortConfig { k_long: 2, k_short: 2 });
-        let b = positions(&preds, &LongShortConfig { k_long: 2, k_short: 2 });
+        let a = positions(
+            &preds,
+            &LongShortConfig {
+                k_long: 2,
+                k_short: 2,
+            },
+        );
+        let b = positions(
+            &preds,
+            &LongShortConfig {
+                k_long: 2,
+                k_short: 2,
+            },
+        );
         assert_eq!(a, b);
         assert_eq!(a.long, vec![0, 1]);
     }

@@ -94,13 +94,16 @@ impl Table {
                 cols[c].push(cell.render());
             }
         }
-        let widths: Vec<usize> =
-            cols.iter().map(|c| c.iter().map(String::len).max().unwrap_or(0)).collect();
+        let widths: Vec<usize> = cols
+            .iter()
+            .map(|c| c.iter().map(String::len).max().unwrap_or(0))
+            .collect();
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         for r in 0..=self.rows.len() {
-            let line: Vec<String> =
-                (0..self.headers.len()).map(|c| format!("{:<w$}", cols[c][r], w = widths[c])).collect();
+            let line: Vec<String> = (0..self.headers.len())
+                .map(|c| format!("{:<w$}", cols[c][r], w = widths[c]))
+                .collect();
             out.push_str(line.join("  ").trim_end());
             out.push('\n');
             if r == 0 {
@@ -133,7 +136,11 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut t = Table::new("Demo", &["Alpha", "Sharpe", "IC"]);
-        t.row(vec!["alpha_AE_D_0".into(), 21.323797.into(), 0.067358.into()]);
+        t.row(vec![
+            "alpha_AE_D_0".into(),
+            21.323797.into(),
+            0.067358.into(),
+        ]);
         t.row(vec!["alpha_G_0".into(), Cell::Na, Cell::Num(0.048853)]);
         let s = t.render();
         assert!(s.contains("== Demo =="));

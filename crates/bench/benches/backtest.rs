@@ -12,7 +12,9 @@ use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
 use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
 
 fn panel(rng: &mut SmallRng, days: usize, stocks: usize) -> Vec<Vec<f64>> {
-    (0..days).map(|_| (0..stocks).map(|_| rng.gen_range(-0.05..0.05)).collect()).collect()
+    (0..days)
+        .map(|_| (0..stocks).map(|_| rng.gen_range(-0.05..0.05)).collect())
+        .collect()
 }
 
 fn benches(c: &mut Criterion) {

@@ -34,7 +34,11 @@ fn benches(c: &mut Criterion) {
         b.iter(|| Evolution::new(&evaluator, econfig.clone()).run(&parent))
     });
     c.bench_function("evolution/150_candidates_no_pruning", |b| {
-        b.iter(|| Evolution::new(&evaluator, econfig.clone()).without_pruning().run(&parent))
+        b.iter(|| {
+            Evolution::new(&evaluator, econfig.clone())
+                .without_pruning()
+                .run(&parent)
+        })
     });
 }
 

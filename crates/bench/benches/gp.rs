@@ -11,7 +11,11 @@ use alphaevolve_bench::tiny_dataset;
 use alphaevolve_gp::{ExprSampler, GeneticOps, GpBudget, GpConfig, GpEngine, GpProbabilities};
 
 fn benches(c: &mut Criterion) {
-    let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.15 };
+    let sampler = ExprSampler {
+        n_features: 13,
+        n_lags: 13,
+        const_prob: 0.15,
+    };
     let mut rng = SmallRng::seed_from_u64(2);
     let tree = sampler.tree(&mut rng, 6, false);
     c.bench_function("gp/eval_tree_once", |b| {
@@ -31,7 +35,11 @@ fn benches(c: &mut Criterion) {
     });
 
     let dataset = tiny_dataset();
-    let config = GpConfig { population_size: 30, budget: GpBudget::Generations(3), ..Default::default() };
+    let config = GpConfig {
+        population_size: 30,
+        budget: GpBudget::Generations(3),
+        ..Default::default()
+    };
     c.bench_function("gp/3_generations_pop30", |b| {
         b.iter(|| GpEngine::new(&dataset, config.clone()).run())
     });

@@ -10,16 +10,30 @@ use alphaevolve_market::{
 };
 
 fn benches(c: &mut Criterion) {
-    let cfg = MarketConfig { n_stocks: 100, n_days: 560, seed: 1, ..Default::default() };
+    let cfg = MarketConfig {
+        n_stocks: 100,
+        n_days: 560,
+        seed: 1,
+        ..Default::default()
+    };
     c.bench_function("market/generate_100x560", |b| b.iter(|| cfg.generate()));
 
     let market = cfg.generate();
     let features = FeatureSet::paper();
+    // A bare panel build has no split, so it needs a concrete
+    // normalization (the default MaxAbsTrain requires a training cutoff).
+    let strict_features = FeatureSet::paper_strict();
     c.bench_function("market/features_13x100x560", |b| {
-        b.iter(|| FeaturePanel::build(std::hint::black_box(&market), &features))
+        b.iter(|| FeaturePanel::build(std::hint::black_box(&market), &strict_features))
     });
     c.bench_function("market/dataset_build", |b| {
-        b.iter(|| Dataset::build(std::hint::black_box(&market), &features, SplitSpec::paper_ratios()))
+        b.iter(|| {
+            Dataset::build(
+                std::hint::black_box(&market),
+                &features,
+                SplitSpec::paper_ratios(),
+            )
+        })
     });
 
     let dataset = Dataset::build(&market, &features, SplitSpec::paper_ratios()).unwrap();

@@ -16,7 +16,14 @@ use alphaevolve_neural::{RankLstm, RankLstmConfig, Rsr, RsrConfig};
 fn benches(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(4);
     let mut store = ParamStore::new();
-    let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 4, hidden: 32 });
+    let lstm = Lstm::new(
+        &mut store,
+        &mut rng,
+        LstmDims {
+            input: 4,
+            hidden: 32,
+        },
+    );
     let xs: Vec<Vec<f64>> = (0..8).map(|t| vec![0.1 * t as f64; 4]).collect();
     c.bench_function("neural/lstm_forward_seq8_h32", |b| {
         let mut cache = LstmCache::default();
@@ -33,14 +40,22 @@ fn benches(c: &mut Criterion) {
     });
 
     let dataset = tiny_dataset();
-    let rl_cfg = RankLstmConfig { hidden: 8, seq_len: 4, epochs: 1, ..Default::default() };
+    let rl_cfg = RankLstmConfig {
+        hidden: 8,
+        seq_len: 4,
+        epochs: 1,
+        ..Default::default()
+    };
     c.bench_function("neural/rank_lstm_one_epoch_tiny", |b| {
         b.iter(|| {
             let mut model = RankLstm::new(rl_cfg.clone());
             model.train(&dataset)
         })
     });
-    let rsr_cfg = RsrConfig { base: rl_cfg.clone(), level: RelationLevel::Industry };
+    let rsr_cfg = RsrConfig {
+        base: rl_cfg.clone(),
+        level: RelationLevel::Industry,
+    };
     c.bench_function("neural/rsr_one_epoch_tiny", |b| {
         b.iter(|| {
             let mut model = Rsr::new(rsr_cfg.clone(), &dataset);

@@ -19,25 +19,72 @@ fn bench_op(c: &mut Criterion, name: &str, instr: Instruction) {
     for (i, x) in mem.v.iter_mut().enumerate() {
         *x = (i as f64 * 0.031).cos();
     }
-    mem.s.iter_mut().enumerate().for_each(|(i, x)| *x = i as f64 * 0.1);
+    mem.s
+        .iter_mut()
+        .enumerate()
+        .for_each(|(i, x)| *x = i as f64 * 0.1);
     let mut rng = SmallRng::seed_from_u64(1);
     let mut sv = vec![0.0; dim];
     let mut sm = vec![0.0; dim * dim];
     c.bench_function(name, |b| {
-        b.iter(|| execute_local(std::hint::black_box(&instr), &mut mem, &mut rng, &mut sv, &mut sm))
+        b.iter(|| {
+            execute_local(
+                std::hint::black_box(&instr),
+                &mut mem,
+                &mut rng,
+                &mut sv,
+                &mut sm,
+            )
+        })
     });
 }
 
 fn benches(c: &mut Criterion) {
-    bench_op(c, "op/s_add", Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]));
-    bench_op(c, "op/s_tan", Instruction::new(Op::STan, 2, 0, 4, [0.0; 2], [0; 2]));
-    bench_op(c, "op/v_mul", Instruction::new(Op::VMul, 1, 2, 3, [0.0; 2], [0; 2]));
-    bench_op(c, "op/v_dot", Instruction::new(Op::VDot, 1, 2, 3, [0.0; 2], [0; 2]));
-    bench_op(c, "op/m_mul_hadamard", Instruction::new(Op::MMul, 1, 2, 3, [0.0; 2], [0; 2]));
-    bench_op(c, "op/mat_mul_13x13", Instruction::new(Op::MatMul, 1, 2, 3, [0.0; 2], [0; 2]));
-    bench_op(c, "op/m_get_extraction", Instruction::new(Op::MGet, 0, 0, 4, [0.0; 2], [5, 7]));
-    bench_op(c, "op/m_std_reduction", Instruction::new(Op::MStd, 1, 0, 4, [0.0; 2], [0; 2]));
-    bench_op(c, "op/s_gauss_stochastic", Instruction::new(Op::SGauss, 0, 0, 4, [0.0, 1.0], [0; 2]));
+    bench_op(
+        c,
+        "op/s_add",
+        Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/s_tan",
+        Instruction::new(Op::STan, 2, 0, 4, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/v_mul",
+        Instruction::new(Op::VMul, 1, 2, 3, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/v_dot",
+        Instruction::new(Op::VDot, 1, 2, 3, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/m_mul_hadamard",
+        Instruction::new(Op::MMul, 1, 2, 3, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/mat_mul_13x13",
+        Instruction::new(Op::MatMul, 1, 2, 3, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/m_get_extraction",
+        Instruction::new(Op::MGet, 0, 0, 4, [0.0; 2], [5, 7]),
+    );
+    bench_op(
+        c,
+        "op/m_std_reduction",
+        Instruction::new(Op::MStd, 1, 0, 4, [0.0; 2], [0; 2]),
+    );
+    bench_op(
+        c,
+        "op/s_gauss_stochastic",
+        Instruction::new(Op::SGauss, 0, 0, 4, [0.0, 1.0], [0; 2]),
+    );
 }
 
 criterion_group! {

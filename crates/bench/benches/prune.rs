@@ -17,8 +17,12 @@ fn benches(c: &mut Criterion) {
     // A max-size random program: worst case for the liveness fixpoint.
     let big = init::random_alpha(&cfg, &mut rng, 21, 21, 45);
 
-    c.bench_function("prune/nn_alpha", |b| b.iter(|| prune(std::hint::black_box(&nn))));
-    c.bench_function("prune/max_size_random", |b| b.iter(|| prune(std::hint::black_box(&big))));
+    c.bench_function("prune/nn_alpha", |b| {
+        b.iter(|| prune(std::hint::black_box(&nn)))
+    });
+    c.bench_function("prune/max_size_random", |b| {
+        b.iter(|| prune(std::hint::black_box(&big)))
+    });
     c.bench_function("prune/canonicalize_nn", |b| {
         b.iter(|| canonicalize(std::hint::black_box(&nn), &cfg))
     });

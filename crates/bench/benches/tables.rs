@@ -14,7 +14,11 @@ use alphaevolve_core::{
 use alphaevolve_gp::{GpBudget, GpConfig, GpEngine};
 use alphaevolve_neural::{RankLstm, RankLstmConfig};
 
-fn mini_evolution(evaluator: &Evaluator, budget: Budget, gate: &CorrelationGate) -> alphaevolve_core::EvolutionOutcome {
+fn mini_evolution(
+    evaluator: &Evaluator,
+    budget: Budget,
+    gate: &CorrelationGate,
+) -> alphaevolve_core::EvolutionOutcome {
     let econfig = EvolutionConfig {
         population_size: 20,
         tournament_size: 5,
@@ -22,12 +26,18 @@ fn mini_evolution(evaluator: &Evaluator, budget: Budget, gate: &CorrelationGate)
         seed: 1,
         ..Default::default()
     };
-    Evolution::new(evaluator, econfig).with_gate(gate).run(&init::domain_expert(evaluator.config()))
+    Evolution::new(evaluator, econfig)
+        .with_gate(gate)
+        .run(&init::domain_expert(evaluator.config()))
 }
 
 fn benches(c: &mut Criterion) {
     let dataset = tiny_dataset();
-    let evaluator = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), dataset.clone());
+    let evaluator = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        dataset.clone(),
+    );
 
     // Table 1: one gated AE round + one gated GP round vs the expert alpha.
     c.bench_function("table1/gated_round_pair", |b| {
@@ -39,7 +49,11 @@ fn benches(c: &mut Criterion) {
             let ae = mini_evolution(&evaluator, Budget::Searched(100), &gate);
             let gp = GpEngine::new(
                 &dataset,
-                GpConfig { population_size: 20, budget: GpBudget::Generations(2), ..Default::default() },
+                GpConfig {
+                    population_size: 20,
+                    budget: GpBudget::Generations(2),
+                    ..Default::default()
+                },
             )
             .with_gate(&gate)
             .run();
@@ -64,7 +78,10 @@ fn benches(c: &mut Criterion) {
     // Table 4: parameter-updating-function ablation (same alpha scored
     // with and without Update()).
     let nn = init::two_layer_nn(evaluator.config());
-    let ablated = evaluator.with_options(EvalOptions { run_update: false, ..Default::default() });
+    let ablated = evaluator.with_options(EvalOptions {
+        run_update: false,
+        ..Default::default()
+    });
     c.bench_function("table4/update_ablation_pair", |b| {
         b.iter(|| {
             let with = evaluator.evaluate(std::hint::black_box(&nn));
@@ -100,7 +117,9 @@ fn benches(c: &mut Criterion) {
                 ..Default::default()
             };
             let seed_prog = init::domain_expert(evaluator.config());
-            let with = Evolution::new(&evaluator, econfig.clone()).with_gate(&gate).run(&seed_prog);
+            let with = Evolution::new(&evaluator, econfig.clone())
+                .with_gate(&gate)
+                .run(&seed_prog);
             let without = Evolution::new(&evaluator, econfig)
                 .with_gate(&gate)
                 .without_pruning()

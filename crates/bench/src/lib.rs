@@ -12,7 +12,13 @@ use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset,
 
 /// A small but realistic dataset: 24 stocks, 160 days, paper features.
 pub fn bench_dataset() -> Arc<Dataset> {
-    let market = MarketConfig { n_stocks: 24, n_days: 160, seed: 99, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 24,
+        n_days: 160,
+        seed: 99,
+        ..Default::default()
+    }
+    .generate();
     Arc::new(
         Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
             .expect("bench dataset builds"),
@@ -21,12 +27,22 @@ pub fn bench_dataset() -> Arc<Dataset> {
 
 /// An evaluator over [`bench_dataset`] with default paper configuration.
 pub fn bench_evaluator() -> Evaluator {
-    Evaluator::new(AlphaConfig::default(), EvalOptions::default(), bench_dataset())
+    Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        bench_dataset(),
+    )
 }
 
 /// A tiny dataset for end-to-end loops (12 stocks, 120 days).
 pub fn tiny_dataset() -> Arc<Dataset> {
-    let market = MarketConfig { n_stocks: 12, n_days: 120, seed: 7, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 12,
+        n_days: 120,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
     Arc::new(
         Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
             .expect("tiny dataset builds"),

@@ -70,14 +70,27 @@ impl AlphaAnalysis {
             if regs.is_empty() {
                 "none".to_string()
             } else {
-                regs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+                regs.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             }
         };
-        out.push_str(&format!("parameters (U -> inference): {}\n", fmt_regs(&self.parameters)));
-        out.push_str(&format!("predict recursions (P): {}\n", fmt_regs(&self.recurrences)));
+        out.push_str(&format!(
+            "parameters (U -> inference): {}\n",
+            fmt_regs(&self.parameters)
+        ));
+        out.push_str(&format!(
+            "predict recursions (P): {}\n",
+            fmt_regs(&self.recurrences)
+        ));
         out.push_str(&format!(
             "class: {}\n",
-            if self.is_formulaic { "formulaic (no parameters)" } else { "parameterized" }
+            if self.is_formulaic {
+                "formulaic (no parameters)"
+            } else {
+                "parameterized"
+            }
         ));
         let (a, s, i) = self.relation_ops;
         out.push_str(&format!(
@@ -85,7 +98,11 @@ impl AlphaAnalysis {
         ));
         out.push_str(&format!("extraction ops: {}\n", self.extraction_ops));
         if !self.features_read.is_empty() {
-            let rows: Vec<String> = self.features_read.iter().map(|r| feature_name(*r)).collect();
+            let rows: Vec<String> = self
+                .features_read
+                .iter()
+                .map(|r| feature_name(*r))
+                .collect();
             out.push_str(&format!("input features read: {}\n", rows.join(", ")));
         }
         out
@@ -117,9 +134,7 @@ pub fn analyze(prog: &AlphaProgram) -> AlphaAnalysis {
     let pruned: PruneResult = prune(prog);
     let p = &pruned.program;
 
-    let count_live = |f: FunctionId| {
-        p.function(f).iter().filter(|i| i.op != Op::NoOp).count()
-    };
+    let count_live = |f: FunctionId| p.function(f).iter().filter(|i| i.op != Op::NoOp).count();
     let live_ops = [
         count_live(FunctionId::Setup),
         count_live(FunctionId::Predict),
@@ -157,8 +172,11 @@ pub fn analyze(prog: &AlphaProgram) -> AlphaAnalysis {
         .collect();
     let predict_writes: BTreeSet<RegName> = written;
 
-    let parameters: Vec<RegName> =
-        live_in.iter().copied().filter(|r| update_writes.contains(r)).collect();
+    let parameters: Vec<RegName> = live_in
+        .iter()
+        .copied()
+        .filter(|r| update_writes.contains(r))
+        .collect();
     let recurrences: Vec<RegName> = live_in
         .iter()
         .copied()
@@ -228,7 +246,11 @@ mod tests {
         let a = analyze(&init::two_layer_nn(&cfg));
         assert!(!a.is_formulaic);
         // W1 (m1) and w2 (v1) are the trained parameters.
-        assert!(a.parameters.contains(&RegName(Kind::M, 1)), "params: {:?}", a.parameters);
+        assert!(
+            a.parameters.contains(&RegName(Kind::M, 1)),
+            "params: {:?}",
+            a.parameters
+        );
         assert!(a.parameters.contains(&RegName(Kind::V, 1)));
         assert_eq!(a.live_ops[2], 8, "all update ops live");
         assert!(a.report().contains("parameterized"));
@@ -240,10 +262,16 @@ mod tests {
         let mut prog = init::domain_expert(&cfg);
         // s2 accumulates across days inside predict (read before its only
         // predict-side write) and feeds s1 — a P-part recursion.
-        prog.predict.push(Instruction::new(Op::SAdd, 2, 1, 2, [0.0; 2], [0; 2]));
-        prog.predict.push(Instruction::new(Op::SAdd, 1, 2, 1, [0.0; 2], [0; 2]));
+        prog.predict
+            .push(Instruction::new(Op::SAdd, 2, 1, 2, [0.0; 2], [0; 2]));
+        prog.predict
+            .push(Instruction::new(Op::SAdd, 1, 2, 1, [0.0; 2], [0; 2]));
         let a = analyze(&prog);
-        assert!(a.recurrences.contains(&RegName(Kind::S, 2)), "recs: {:?}", a.recurrences);
+        assert!(
+            a.recurrences.contains(&RegName(Kind::S, 2)),
+            "recs: {:?}",
+            a.recurrences
+        );
         assert!(!a.is_formulaic);
         assert!(a.parameters.is_empty());
     }
@@ -252,8 +280,16 @@ mod tests {
     fn relation_ops_counted_by_group() {
         let cfg = AlphaConfig::default();
         let mut prog = init::domain_expert(&cfg);
-        prog.predict.push(Instruction::new(Op::RelRank, 1, 0, 1, [0.0; 2], [0; 2]));
-        prog.predict.push(Instruction::new(Op::RelDemeanIndustry, 1, 0, 1, [0.0; 2], [0; 2]));
+        prog.predict
+            .push(Instruction::new(Op::RelRank, 1, 0, 1, [0.0; 2], [0; 2]));
+        prog.predict.push(Instruction::new(
+            Op::RelDemeanIndustry,
+            1,
+            0,
+            1,
+            [0.0; 2],
+            [0; 2],
+        ));
         let a = analyze(&prog);
         assert_eq!(a.relation_ops, (1, 0, 1));
     }
@@ -264,7 +300,8 @@ mod tests {
         // must not show up as "kept relational knowledge".
         let cfg = AlphaConfig::default();
         let mut prog = init::domain_expert(&cfg);
-        prog.predict.insert(0, Instruction::new(Op::RelRank, 8, 0, 8, [0.0; 2], [0; 2]));
+        prog.predict
+            .insert(0, Instruction::new(Op::RelRank, 8, 0, 8, [0.0; 2], [0; 2]));
         let a = analyze(&prog);
         assert_eq!(a.relation_ops, (0, 0, 0));
     }

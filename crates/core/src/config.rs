@@ -78,13 +78,20 @@ mod tests {
         let c = AlphaConfig::default();
         assert_eq!((c.n_scalars, c.n_vectors, c.n_matrices), (10, 16, 4));
         assert_eq!(c.dim, 13);
-        assert_eq!((c.max_setup_ops, c.max_predict_ops, c.max_update_ops), (21, 21, 45));
+        assert_eq!(
+            (c.max_setup_ops, c.max_predict_ops, c.max_update_ops),
+            (21, 21, 45)
+        );
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "need s0")]
     fn rejects_tiny_scalar_bank() {
-        AlphaConfig { n_scalars: 1, ..Default::default() }.validate();
+        AlphaConfig {
+            n_scalars: 1,
+            ..Default::default()
+        }
+        .validate();
     }
 }

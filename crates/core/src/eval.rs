@@ -38,7 +38,10 @@ impl Default for EvalOptions {
         EvalOptions {
             train_epochs: 1,
             run_update: true,
-            long_short: LongShortConfig { k_long: 10, k_short: 10 },
+            long_short: LongShortConfig {
+                k_long: 10,
+                k_short: 10,
+            },
             seed: 0,
         }
     }
@@ -94,7 +97,14 @@ impl Evaluator {
         let groups = GroupIndex::from_universe(dataset.universe());
         let val_labels = dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
         let test_labels = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
-        Evaluator { cfg, opts, dataset, groups, val_labels, test_labels }
+        Evaluator {
+            cfg,
+            opts,
+            dataset,
+            groups,
+            val_labels,
+            test_labels,
+        }
     }
 
     /// The search-space configuration in force.
@@ -181,11 +191,19 @@ impl Evaluator {
         self.train(&mut interp, prog, allow_stateless_skip);
         let (preds, valid) = self.sweep(&mut interp, prog, self.dataset.valid_days(), true);
         if !valid {
-            return Evaluation { fitness: None, ic: 0.0, val_returns: Vec::new() };
+            return Evaluation {
+                fitness: None,
+                ic: 0.0,
+                val_returns: Vec::new(),
+            };
         }
         let ic = information_coefficient(&preds, &self.val_labels);
         let val_returns = long_short_returns(&preds, &self.val_labels, &self.opts.long_short);
-        Evaluation { fitness: Some(ic), ic, val_returns }
+        Evaluation {
+            fitness: Some(ic),
+            ic,
+            val_returns,
+        }
     }
 
     /// Full backtest of a finished alpha: train, then predict-only through
@@ -222,11 +240,20 @@ mod tests {
     use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
 
     fn evaluator(seed: u64) -> Evaluator {
-        let md = MarketConfig { n_stocks: 24, n_days: 200, seed, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 24,
+            n_days: 200,
+            seed,
+            ..Default::default()
+        }
+        .generate();
         let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
         Evaluator::new(
             AlphaConfig::default(),
-            EvalOptions { long_short: LongShortConfig::scaled(24), ..Default::default() },
+            EvalOptions {
+                long_short: LongShortConfig::scaled(24),
+                ..Default::default()
+            },
             Arc::new(ds),
         )
     }
@@ -288,11 +315,20 @@ mod tests {
         // RelationOp-based expert seed is built to harvest exactly that,
         // so its IC must be clearly positive — this is the end-to-end
         // proof that RelationOps expose cross-sectional structure.
-        let md = MarketConfig { n_stocks: 60, n_days: 300, seed: 77, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 60,
+            n_days: 300,
+            seed: 77,
+            ..Default::default()
+        }
+        .generate();
         let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
         let ev = Evaluator::new(
             AlphaConfig::default(),
-            EvalOptions { long_short: LongShortConfig::scaled(60), ..Default::default() },
+            EvalOptions {
+                long_short: LongShortConfig::scaled(60),
+                ..Default::default()
+            },
             Arc::new(ds),
         );
         let e = ev.evaluate(&init::industry_reversal(ev.config()));

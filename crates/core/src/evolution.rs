@@ -194,16 +194,25 @@ impl<'a> Shared<'a> {
             let (fp, pruned) = fingerprint(&program, self.evaluator.config());
             if !pruned.uses_input {
                 self.redundant.fetch_add(1, Ordering::Relaxed);
-                return Individual { program, fitness: None };
+                return Individual {
+                    program,
+                    fitness: None,
+                };
             }
             (fp, pruned.program)
         } else {
-            (crate::fingerprint::fingerprint_raw(&program), program.clone())
+            (
+                crate::fingerprint::fingerprint_raw(&program),
+                program.clone(),
+            )
         };
 
         if let Some(entry) = self.cache.lock().get(&fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Individual { program, fitness: entry.fitness };
+            return Individual {
+                program,
+                fitness: entry.fitness,
+            };
         }
 
         let eval = self.evaluator.evaluate_opt(&to_evaluate, self.use_pruning);
@@ -236,7 +245,10 @@ impl<'a> Shared<'a> {
                     ic,
                     val_returns: eval.val_returns,
                 });
-                self.trajectory.lock().push(TrajectoryPoint { searched: searched_now, best_ic: ic });
+                self.trajectory.lock().push(TrajectoryPoint {
+                    searched: searched_now,
+                    best_ic: ic,
+                });
             }
         }
 
@@ -298,7 +310,12 @@ pub struct Evolution<'a> {
 impl<'a> Evolution<'a> {
     /// New driver over an evaluator.
     pub fn new(evaluator: &'a Evaluator, econfig: EvolutionConfig) -> Evolution<'a> {
-        Evolution { evaluator, econfig, gate: None, use_pruning: true }
+        Evolution {
+            evaluator,
+            econfig,
+            gate: None,
+            use_pruning: true,
+        }
     }
 
     /// Attach a weak-correlation gate (candidates failing it die).
@@ -358,13 +375,12 @@ impl<'a> Evolution<'a> {
         if workers == 1 {
             shared.worker_loop(1);
         } else {
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for w in 0..workers {
                     let shared_ref = &shared;
-                    scope.spawn(move |_| shared_ref.worker_loop(w as u64 + 1));
+                    scope.spawn(move || shared_ref.worker_loop(w as u64 + 1));
                 }
-            })
-            .expect("worker thread panicked");
+            });
         }
 
         let stats = shared.snapshot_stats();
@@ -372,7 +388,10 @@ impl<'a> Evolution<'a> {
         // Close the trajectory at the final searched count.
         if let Some(last) = trajectory.last().copied() {
             if last.searched < stats.searched {
-                trajectory.push(TrajectoryPoint { searched: stats.searched, best_ic: last.best_ic });
+                trajectory.push(TrajectoryPoint {
+                    searched: stats.searched,
+                    best_ic: last.best_ic,
+                });
             }
         }
         EvolutionOutcome {
@@ -395,11 +414,20 @@ mod tests {
     use std::sync::Arc;
 
     fn small_evaluator(seed: u64) -> Evaluator {
-        let md = MarketConfig { n_stocks: 16, n_days: 140, seed, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 16,
+            n_days: 140,
+            seed,
+            ..Default::default()
+        }
+        .generate();
         let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
         Evaluator::new(
             AlphaConfig::default(),
-            EvalOptions { long_short: LongShortConfig::scaled(16), ..Default::default() },
+            EvalOptions {
+                long_short: LongShortConfig::scaled(16),
+                ..Default::default()
+            },
             Arc::new(ds),
         )
     }
@@ -421,7 +449,12 @@ mod tests {
         let seed_ic = ev.evaluate(&crate::prune::prune(&seed_prog).program).ic;
         let outcome = Evolution::new(&ev, small_config(300)).run(&seed_prog);
         let best = outcome.best.expect("search must find something valid");
-        assert!(best.ic >= seed_ic - 1e-12, "best {} < seed {}", best.ic, seed_ic);
+        assert!(
+            best.ic >= seed_ic - 1e-12,
+            "best {} < seed {}",
+            best.ic,
+            seed_ic
+        );
         assert!(outcome.stats.searched >= 300);
         assert!(outcome.stats.evaluated > 0);
     }
@@ -436,7 +469,10 @@ mod tests {
             s.evaluated + s.redundant + s.cache_hits,
             "every searched candidate is pruned, cached, or evaluated: {s:?}"
         );
-        assert!(s.redundant > 0, "noop-seeded search must hit redundant alphas");
+        assert!(
+            s.redundant > 0,
+            "noop-seeded search must hit redundant alphas"
+        );
     }
 
     #[test]
@@ -472,11 +508,16 @@ mod tests {
         gate.accept(best.val_returns.clone());
         // Second round seeded with the same alpha: the seed itself is now
         // gate-rejected, so gate_rejected must fire.
-        let second = Evolution::new(&ev, small_config(200)).with_gate(&gate).run(&seed_prog);
+        let second = Evolution::new(&ev, small_config(200))
+            .with_gate(&gate)
+            .run(&seed_prog);
         assert!(second.stats.gate_rejected > 0, "stats: {:?}", second.stats);
         if let Some(b) = &second.best {
             let corr = alphaevolve_backtest::return_correlation(&b.val_returns, &best.val_returns);
-            assert!(corr <= gate.cutoff() + 1e-9, "best alpha violates the gate: {corr}");
+            assert!(
+                corr <= gate.cutoff() + 1e-9,
+                "best alpha violates the gate: {corr}"
+            );
         }
     }
 
@@ -486,14 +527,20 @@ mod tests {
         let outcome = Evolution::new(&ev, small_config(150))
             .without_pruning()
             .run(&init::domain_expert(ev.config()));
-        assert_eq!(outcome.stats.redundant, 0, "no-pruning mode rejects nothing structurally");
+        assert_eq!(
+            outcome.stats.redundant, 0,
+            "no-pruning mode rejects nothing structurally"
+        );
         assert!(outcome.best.is_some());
     }
 
     #[test]
     fn parallel_workers_complete() {
         let ev = small_evaluator(27);
-        let cfg = EvolutionConfig { workers: 4, ..small_config(400) };
+        let cfg = EvolutionConfig {
+            workers: 4,
+            ..small_config(400)
+        };
         let outcome = Evolution::new(&ev, cfg).run(&init::domain_expert(ev.config()));
         assert!(outcome.stats.searched >= 400);
         assert!(outcome.best.is_some());
@@ -508,6 +555,9 @@ mod tests {
         };
         let start = Instant::now();
         let _ = Evolution::new(&ev, cfg).run(&init::domain_expert(ev.config()));
-        assert!(start.elapsed() < Duration::from_secs(30), "must stop soon after the deadline");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "must stop soon after the deadline"
+        );
     }
 }

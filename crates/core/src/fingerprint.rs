@@ -65,16 +65,26 @@ mod tests {
     #[test]
     fn identical_programs_same_fingerprint() {
         let cfg = AlphaConfig::default();
-        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&base_program(), &cfg).0);
+        assert_eq!(
+            fingerprint(&base_program(), &cfg).0,
+            fingerprint(&base_program(), &cfg).0
+        );
     }
 
     #[test]
     fn dead_code_does_not_change_fingerprint() {
         let cfg = AlphaConfig::default();
         let mut with_dead = base_program();
-        with_dead.predict.insert(1, Instruction::new(Op::SSin, 3, 0, 8, [0.0; 2], [0; 2]));
-        with_dead.update.push(Instruction::new(Op::SConst, 0, 0, 9, [0.7, 0.0], [0; 2]));
-        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&with_dead, &cfg).0);
+        with_dead
+            .predict
+            .insert(1, Instruction::new(Op::SSin, 3, 0, 8, [0.0; 2], [0; 2]));
+        with_dead
+            .update
+            .push(Instruction::new(Op::SConst, 0, 0, 9, [0.7, 0.0], [0; 2]));
+        assert_eq!(
+            fingerprint(&base_program(), &cfg).0,
+            fingerprint(&with_dead, &cfg).0
+        );
     }
 
     #[test]
@@ -83,7 +93,10 @@ mod tests {
         let mut renamed = base_program();
         renamed.predict[0].out = 7;
         renamed.predict[1].in1 = 7;
-        assert_eq!(fingerprint(&base_program(), &cfg).0, fingerprint(&renamed, &cfg).0);
+        assert_eq!(
+            fingerprint(&base_program(), &cfg).0,
+            fingerprint(&renamed, &cfg).0
+        );
     }
 
     #[test]
@@ -91,7 +104,10 @@ mod tests {
         let cfg = AlphaConfig::default();
         let mut other = base_program();
         other.predict[1].op = Op::SSin;
-        assert_ne!(fingerprint(&base_program(), &cfg).0, fingerprint(&other, &cfg).0);
+        assert_ne!(
+            fingerprint(&base_program(), &cfg).0,
+            fingerprint(&other, &cfg).0
+        );
     }
 
     #[test]
@@ -105,7 +121,10 @@ mod tests {
             ],
             update: vec![Instruction::nop()],
         };
-        assert_ne!(fingerprint(&mk(0.5), &cfg).0, fingerprint(&mk(0.25), &cfg).0);
+        assert_ne!(
+            fingerprint(&mk(0.5), &cfg).0,
+            fingerprint(&mk(0.25), &cfg).0
+        );
     }
 
     #[test]
@@ -113,7 +132,10 @@ mod tests {
         let cfg = AlphaConfig::default();
         let mut other = base_program();
         other.predict[0].ix = [3, 4];
-        assert_ne!(fingerprint(&base_program(), &cfg).0, fingerprint(&other, &cfg).0);
+        assert_ne!(
+            fingerprint(&base_program(), &cfg).0,
+            fingerprint(&other, &cfg).0
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ fn get(row: u8, col: u8, out: u8) -> Instruction {
 /// # Panics
 /// If `cfg.dim < 13` (the paper layout needs 13 feature rows).
 pub fn domain_expert(cfg: &AlphaConfig) -> AlphaProgram {
-    assert!(cfg.dim >= 13, "domain-expert alpha needs the 13-feature paper layout");
+    assert!(
+        cfg.dim >= 13,
+        "domain-expert alpha needs the 13-feature paper layout"
+    );
     let newest = (cfg.dim - 1) as u8;
     let prog = AlphaProgram {
         setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [0.001, 0.0], [0; 2])],
@@ -90,7 +93,11 @@ pub fn random_alpha(
     n_predict: usize,
     n_update: usize,
 ) -> AlphaProgram {
-    let setup_pool: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_relation()).collect();
+    let setup_pool: Vec<Op> = Op::ALL
+        .iter()
+        .copied()
+        .filter(|o| !o.is_relation())
+        .collect();
     let full_pool: Vec<Op> = Op::ALL.to_vec();
     let mut prog = AlphaProgram::new();
     for (f, n) in [
@@ -98,10 +105,15 @@ pub fn random_alpha(
         (FunctionId::Predict, n_predict),
         (FunctionId::Update, n_update),
     ] {
-        let pool = if f == FunctionId::Setup { &setup_pool } else { &full_pool };
+        let pool = if f == FunctionId::Setup {
+            &setup_pool
+        } else {
+            &full_pool
+        };
         let n = n.clamp(cfg.min_ops, AlphaProgram::max_ops(cfg, f));
         for _ in 0..n {
-            prog.function_mut(f).push(Instruction::random(rng, pool, cfg));
+            prog.function_mut(f)
+                .push(Instruction::random(rng, pool, cfg));
         }
     }
     debug_assert!(prog.validate(cfg).is_ok());
@@ -113,7 +125,10 @@ pub fn random_alpha(
 /// well-known expert seed, useful for mining sets from diverse starting
 /// points.
 pub fn momentum(cfg: &AlphaConfig) -> AlphaProgram {
-    assert!(cfg.dim >= 13, "momentum alpha needs the 13-feature paper layout");
+    assert!(
+        cfg.dim >= 13,
+        "momentum alpha needs the 13-feature paper layout"
+    );
     let newest = (cfg.dim - 1) as u8;
     let prog = AlphaProgram {
         setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [0.001, 0.0], [0; 2])],
@@ -134,7 +149,10 @@ pub fn momentum(cfg: &AlphaConfig) -> AlphaProgram {
 /// i.e. short the names that ran ahead of their industry. Demonstrates the
 /// RelationOps as an expert would use them.
 pub fn industry_reversal(cfg: &AlphaConfig) -> AlphaProgram {
-    assert!(cfg.dim >= 13, "reversal alpha needs the 13-feature paper layout");
+    assert!(
+        cfg.dim >= 13,
+        "reversal alpha needs the 13-feature paper layout"
+    );
     let newest = (cfg.dim - 1) as u8;
     let back = (cfg.dim - 6) as u8; // five days earlier within the window
     let prog = AlphaProgram {
@@ -142,10 +160,10 @@ pub fn industry_reversal(cfg: &AlphaConfig) -> AlphaProgram {
         predict: vec![
             get(feature_rows::CLOSE, newest, 3),
             get(feature_rows::CLOSE, back, 4),
-            ins(Op::SSub, 3, 4, 5),                                          // 5-day price change
+            ins(Op::SSub, 3, 4, 5), // 5-day price change
             Instruction::new(Op::RelDemeanIndustry, 5, 0, 6, [0.0; 2], [0; 2]),
             Instruction::new(Op::SConst, 0, 0, 7, [-1.0, 0.0], [0; 2]),
-            ins(Op::SMul, 6, 7, 1),                                          // fade the leaders
+            ins(Op::SMul, 6, 7, 1), // fade the leaders
         ],
         update: vec![Instruction::nop()],
     };
@@ -174,14 +192,14 @@ pub fn two_layer_nn(cfg: &AlphaConfig) -> AlphaProgram {
             ins(Op::VDot, 1, 5, 1),                                        // s1 = w2·v5
         ],
         update: vec![
-            ins(Op::SSub, 0, 1, 3),     // s3 = label - prediction
-            ins(Op::SMul, 3, 2, 4),     // s4 = lr * error
-            ins(Op::SVScale, 4, 5, 6),  // v6 = s4 * hidden      (∂L/∂w2)
-            ins(Op::SVScale, 4, 1, 7),  // v7 = s4 * w2          (before w2 update)
-            ins(Op::VAdd, 1, 6, 1),     // w2 += v6
-            ins(Op::VMul, 7, 4, 8),     // v8 = v7 ⊙ relu mask   (∂L/∂v3)
-            ins(Op::VOuter, 8, 2, 2),   // m2 = v8 ⊗ x           (∂L/∂W1)
-            ins(Op::MAdd, 1, 2, 1),     // W1 += m2
+            ins(Op::SSub, 0, 1, 3),    // s3 = label - prediction
+            ins(Op::SMul, 3, 2, 4),    // s4 = lr * error
+            ins(Op::SVScale, 4, 5, 6), // v6 = s4 * hidden      (∂L/∂w2)
+            ins(Op::SVScale, 4, 1, 7), // v7 = s4 * w2          (before w2 update)
+            ins(Op::VAdd, 1, 6, 1),    // w2 += v6
+            ins(Op::VMul, 7, 4, 8),    // v8 = v7 ⊙ relu mask   (∂L/∂v3)
+            ins(Op::VOuter, 8, 2, 2),  // m2 = v8 ⊗ x           (∂L/∂W1)
+            ins(Op::MAdd, 1, 2, 1),    // W1 += m2
         ],
     };
     debug_assert!(prog.validate(cfg).is_ok());
@@ -203,7 +221,9 @@ mod tests {
         momentum(&cfg).validate(&cfg).unwrap();
         industry_reversal(&cfg).validate(&cfg).unwrap();
         let mut rng = SmallRng::seed_from_u64(0);
-        random_alpha(&cfg, &mut rng, 4, 8, 6).validate(&cfg).unwrap();
+        random_alpha(&cfg, &mut rng, 4, 8, 6)
+            .validate(&cfg)
+            .unwrap();
     }
 
     #[test]

@@ -33,12 +33,26 @@ pub struct Instruction {
 impl Instruction {
     /// The no-op.
     pub fn nop() -> Instruction {
-        Instruction { op: Op::NoOp, in1: 0, in2: 0, out: 0, lit: [0.0; 2], ix: [0; 2] }
+        Instruction {
+            op: Op::NoOp,
+            in1: 0,
+            in2: 0,
+            out: 0,
+            lit: [0.0; 2],
+            ix: [0; 2],
+        }
     }
 
     /// Builds an instruction and zeroes unused slots.
     pub fn new(op: Op, in1: u8, in2: u8, out: u8, lit: [f64; 2], ix: [u8; 2]) -> Instruction {
-        let mut i = Instruction { op, in1, in2, out, lit, ix };
+        let mut i = Instruction {
+            op,
+            in1,
+            in2,
+            out,
+            lit,
+            ix,
+        };
         i.normalize();
         i
     }

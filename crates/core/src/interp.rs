@@ -60,9 +60,21 @@ impl<'a> Interpreter<'a> {
         groups: &'a GroupIndex,
         seed: u64,
     ) -> Interpreter<'a> {
-        assert_eq!(dataset.n_features(), cfg.dim, "dataset features must equal cfg.dim");
-        assert_eq!(dataset.window(), cfg.dim, "dataset window must equal cfg.dim");
-        assert_eq!(groups.n_stocks(), dataset.n_stocks(), "group index / dataset mismatch");
+        assert_eq!(
+            dataset.n_features(),
+            cfg.dim,
+            "dataset features must equal cfg.dim"
+        );
+        assert_eq!(
+            dataset.window(),
+            cfg.dim,
+            "dataset window must equal cfg.dim"
+        );
+        assert_eq!(
+            groups.n_stocks(),
+            dataset.n_stocks(),
+            "group index / dataset mismatch"
+        );
         let k = dataset.n_stocks();
         let mems = (0..k)
             .map(|_| MemoryBank::new(cfg.n_scalars, cfg.n_vectors, cfg.n_matrices, cfg.dim))
@@ -125,7 +137,12 @@ impl<'a> Interpreter<'a> {
                 let is_rank = instr.op.is_rank();
                 for members in self.groups.groups(rel).iter() {
                     if is_rank {
-                        rank_within(members, &self.gather, &mut self.scatter, &mut self.rank_scratch);
+                        rank_within(
+                            members,
+                            &self.gather,
+                            &mut self.scatter,
+                            &mut self.rank_scratch,
+                        );
                     } else {
                         demean_within(members, &self.gather, &mut self.scatter);
                     }
@@ -135,7 +152,13 @@ impl<'a> Interpreter<'a> {
                 }
             } else {
                 for (k, mem) in self.mems.iter_mut().enumerate() {
-                    execute_local(instr, mem, &mut self.rngs[k], &mut self.scratch_v, &mut self.scratch_m);
+                    execute_local(
+                        instr,
+                        mem,
+                        &mut self.rngs[k],
+                        &mut self.scratch_v,
+                        &mut self.scratch_m,
+                    );
                 }
             }
         }
@@ -181,8 +204,14 @@ mod tests {
     use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
 
     fn tiny_dataset() -> Dataset {
-        let md = MarketConfig { n_stocks: 12, n_days: 120, seed: 11, n_sectors: 3, ..Default::default() }
-            .generate();
+        let md = MarketConfig {
+            n_stocks: 12,
+            n_days: 120,
+            seed: 11,
+            n_sectors: 3,
+            ..Default::default()
+        }
+        .generate();
         Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
     }
 
@@ -234,7 +263,10 @@ mod tests {
         // Without ties ranks are the full ladder 0, 1/(K-1), ..., 1.
         let k = ds.n_stocks();
         for (i, &r) in sorted.iter().enumerate() {
-            assert!((r - i as f64 / (k - 1) as f64).abs() < 1e-9, "rank ladder broken at {i}: {r}");
+            assert!(
+                (r - i as f64 / (k - 1) as f64).abs() < 1e-9,
+                "rank ladder broken at {i}: {r}"
+            );
         }
     }
 
@@ -245,7 +277,10 @@ mod tests {
         let cfg = cfg();
         let prog = AlphaProgram {
             setup: vec![Instruction::nop()],
-            predict: vec![instr(Op::MMean, 0, 0, 2), instr(Op::RelDemeanSector, 2, 0, 1)],
+            predict: vec![
+                instr(Op::MMean, 0, 0, 2),
+                instr(Op::RelDemeanSector, 2, 0, 1),
+            ],
             update: vec![Instruction::nop()],
         };
         let mut interp = Interpreter::new(&cfg, &ds, &groups, 0);
@@ -253,7 +288,9 @@ mod tests {
         let mut out = vec![0.0; ds.n_stocks()];
         interp.predict_day(&prog, ds.valid_days().start, &mut out);
         for s in 0..ds.universe().n_sectors() {
-            let members = ds.universe().sector_members(alphaevolve_market::SectorId(s as u16));
+            let members = ds
+                .universe()
+                .sector_members(alphaevolve_market::SectorId(s as u16));
             let sum: f64 = members.iter().map(|&m| out[m as usize]).sum();
             assert!(sum.abs() < 1e-9, "sector {s} demeaned sum {sum}");
         }

@@ -111,6 +111,11 @@ mod tests {
         b.vec_mut(0)[2] = 2.0;
         b.mat_mut(0)[8] = 3.0;
         b.reset();
-        assert!(b.s.iter().chain(b.v.iter()).chain(b.m.iter()).all(|&x| x == 0.0));
+        assert!(b
+            .s
+            .iter()
+            .chain(b.v.iter())
+            .chain(b.m.iter())
+            .all(|&x| x == 0.0));
     }
 }

@@ -57,7 +57,10 @@ pub struct MutationConfig {
 
 impl Default for MutationConfig {
     fn default() -> Self {
-        MutationConfig { prob: 0.9, weights: MutationWeights::default() }
+        MutationConfig {
+            prob: 0.9,
+            weights: MutationWeights::default(),
+        }
     }
 }
 
@@ -74,8 +77,17 @@ impl Mutator {
     /// Builds a mutator for the given search space.
     pub fn new(cfg: AlphaConfig, mcfg: MutationConfig) -> Mutator {
         let full_pool: Vec<Op> = Op::ALL.to_vec();
-        let setup_pool: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_relation()).collect();
-        Mutator { cfg, mcfg, setup_pool, full_pool }
+        let setup_pool: Vec<Op> = Op::ALL
+            .iter()
+            .copied()
+            .filter(|o| !o.is_relation())
+            .collect();
+        Mutator {
+            cfg,
+            mcfg,
+            setup_pool,
+            full_pool,
+        }
     }
 
     /// The op pool legal in function `f`.
@@ -212,7 +224,8 @@ mod tests {
         let mut prog = init::domain_expert(&cfg);
         for _ in 0..3000 {
             prog = m.mutate(&mut rng, &prog);
-            prog.validate(&cfg).expect("mutated program must stay valid");
+            prog.validate(&cfg)
+                .expect("mutated program must stay valid");
         }
     }
 
@@ -239,7 +252,10 @@ mod tests {
         assert!(prog.predict.len() <= cfg.max_predict_ops);
         assert!(prog.update.len() <= cfg.max_update_ops);
         // Insert pressure should actually fill the functions up.
-        assert_eq!(prog.n_ops(), cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops);
+        assert_eq!(
+            prog.n_ops(),
+            cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops
+        );
     }
 
     #[test]
@@ -269,7 +285,13 @@ mod tests {
     #[test]
     fn zero_probability_yields_clones() {
         let cfg = AlphaConfig::default();
-        let m = Mutator::new(cfg, MutationConfig { prob: 0.0, ..Default::default() });
+        let m = Mutator::new(
+            cfg,
+            MutationConfig {
+                prob: 0.0,
+                ..Default::default()
+            },
+        );
         let mut rng = SmallRng::seed_from_u64(4);
         let prog = init::domain_expert(&cfg);
         for _ in 0..50 {

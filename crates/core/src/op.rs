@@ -349,7 +349,10 @@ pub fn execute_local(
     scratch_v: &mut [f64],
     scratch_m: &mut [f64],
 ) {
-    debug_assert!(!instr.op.is_relation(), "relation ops need cross-sectional execution");
+    debug_assert!(
+        !instr.op.is_relation(),
+        "relation ops need cross-sectional execution"
+    );
     let dim = mem.dim();
     let n2 = dim * dim;
     let a = instr.in1 as usize;
@@ -460,7 +463,12 @@ pub fn execute_local(
             mem.s[o] = below / (dim - 1) as f64;
         }
         Op::VDot => {
-            mem.s[o] = mem.vec(a).iter().zip(mem.vec(b)).map(|(x, y)| x * y).sum::<f64>();
+            mem.s[o] = mem
+                .vec(a)
+                .iter()
+                .zip(mem.vec(b))
+                .map(|(x, y)| x * y)
+                .sum::<f64>();
         }
         Op::VGet => mem.s[o] = mem.vec(a)[ix0],
         Op::VOuter => {
@@ -594,13 +602,23 @@ pub fn execute_local(
                     // axis 0 reduces over rows (output indexed by column),
                     // axis 1 reduces over columns (output indexed by row) —
                     // NumPy convention.
-                    let gather = |k: usize| if ix0 == 0 { ma[k * dim + i] } else { ma[i * dim + k] };
+                    let gather = |k: usize| {
+                        if ix0 == 0 {
+                            ma[k * dim + i]
+                        } else {
+                            ma[i * dim + k]
+                        }
+                    };
                     s[i] = match instr.op {
-                        Op::MNormAxis => (0..dim).map(|k| gather(k) * gather(k)).sum::<f64>().sqrt(),
+                        Op::MNormAxis => {
+                            (0..dim).map(|k| gather(k) * gather(k)).sum::<f64>().sqrt()
+                        }
                         Op::MMeanAxis => (0..dim).map(gather).sum::<f64>() / dim as f64,
                         _ => {
                             let mean = (0..dim).map(gather).sum::<f64>() / dim as f64;
-                            ((0..dim).map(|k| (gather(k) - mean) * (gather(k) - mean)).sum::<f64>()
+                            ((0..dim)
+                                .map(|k| (gather(k) - mean) * (gather(k) - mean))
+                                .sum::<f64>()
                                 / dim as f64)
                                 .sqrt()
                         }
@@ -645,7 +663,12 @@ mod tests {
 
     fn setup() -> (MemoryBank, SmallRng, Vec<f64>, Vec<f64>) {
         let dim = 4;
-        (MemoryBank::new(10, 16, 4, dim), SmallRng::seed_from_u64(0), vec![0.0; dim], vec![0.0; dim * dim])
+        (
+            MemoryBank::new(10, 16, 4, dim),
+            SmallRng::seed_from_u64(0),
+            vec![0.0; dim],
+            vec![0.0; dim * dim],
+        )
     }
 
     fn run(instr: Instruction, mem: &mut MemoryBank) {
@@ -656,7 +679,14 @@ mod tests {
     }
 
     fn instr(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
-        Instruction { op, in1, in2, out, lit: [0.0; 2], ix: [0; 2] }
+        Instruction {
+            op,
+            in1,
+            in2,
+            out,
+            lit: [0.0; 2],
+            ix: [0; 2],
+        }
     }
 
     #[test]
@@ -841,7 +871,10 @@ mod tests {
         assert!((mem.s[2] - 2.0 / 3.0).abs() < 1e-12);
         mem.vec_mut(1).copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
         run(instr(Op::TsRank, 1, 0, 2), &mut mem);
-        assert!((mem.s[2] - 0.5).abs() < 1e-12, "all ties rank at the middle");
+        assert!(
+            (mem.s[2] - 0.5).abs() < 1e-12,
+            "all ties rank at the middle"
+        );
     }
 
     #[test]

@@ -186,7 +186,8 @@ mod tests {
     fn reconstructions_validate_and_use_input() {
         let cfg = AlphaConfig::default();
         for (name, prog) in all(&cfg) {
-            prog.validate(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            prog.validate(&cfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             let r = prune(&prog);
             assert!(r.uses_input, "{name} must read m0");
         }
@@ -195,9 +196,15 @@ mod tests {
     #[test]
     fn d0_and_r2_are_parameterized_nn1_is_formulaic() {
         let cfg = AlphaConfig::default();
-        assert!(prune(&alpha_ae_d_0(&cfg)).stateful, "D_0 has U-maintained parameters");
+        assert!(
+            prune(&alpha_ae_d_0(&cfg)).stateful,
+            "D_0 has U-maintained parameters"
+        );
         assert!(prune(&alpha_ae_r_2(&cfg)).stateful, "R_2 recurses on M2");
-        assert!(!prune(&alpha_ae_nn_1(&cfg)).stateful, "NN_1 is a pure formula");
+        assert!(
+            !prune(&alpha_ae_nn_1(&cfg)).stateful,
+            "NN_1 is a pure formula"
+        );
     }
 
     #[test]
@@ -213,7 +220,10 @@ mod tests {
         let cfg = AlphaConfig::default();
         let a = analyze(&alpha_ae_d_0(&cfg));
         // S4 (s6), S2 (s8) and the matrices are the trained parameters.
-        assert!(!a.parameters.is_empty(), "D_0 passes parameters to inference");
+        assert!(
+            !a.parameters.is_empty(),
+            "D_0 passes parameters to inference"
+        );
         assert!(!a.is_formulaic);
         assert!(a.features_read.contains(&HIGH), "trades on high prices");
     }
@@ -223,7 +233,13 @@ mod tests {
         // The evaluator must process them without panicking; alphas whose
         // trig chains leave their domains are killed, not crashed on.
         let cfg = AlphaConfig::default();
-        let md = MarketConfig { n_stocks: 12, n_days: 130, seed: 3, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 12,
+            n_days: 130,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
         let ds = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
         let ev = Evaluator::new(cfg, EvalOptions::default(), Arc::new(ds));
         for (name, prog) in all(&cfg) {

@@ -114,7 +114,10 @@ impl AlphaProgram {
                     .validate(cfg)
                     .map_err(|e| format!("{}() op {i}: {e}", f.name()))?;
                 if f == FunctionId::Setup && instr.op.is_relation() {
-                    return Err(format!("{}() op {i}: relation op not allowed in setup", f.name()));
+                    return Err(format!(
+                        "{}() op {i}: relation op not allowed in setup",
+                        f.name()
+                    ));
                 }
             }
         }
@@ -167,7 +170,8 @@ mod tests {
     fn setup_rejects_relation_ops() {
         let cfg = AlphaConfig::default();
         let mut p = tiny_program();
-        p.setup.push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
+        p.setup
+            .push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
         assert!(p.validate(&cfg).is_err());
     }
 
@@ -183,7 +187,8 @@ mod tests {
     #[test]
     fn count_ops_by_kind() {
         let mut p = tiny_program();
-        p.predict.push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
+        p.predict
+            .push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
         assert_eq!(p.count_ops(|o| o.is_relation()), 1);
         assert_eq!(p.count_ops(|o| o.is_extraction()), 1);
         assert_eq!(p.n_ops(), 4);

@@ -47,7 +47,10 @@ fn bit(kind: Kind, reg: usize) -> u64 {
         Kind::V => 16,
         Kind::M => 32,
     };
-    debug_assert!(reg < 16, "register index {reg} exceeds the 16-per-bank liveness cap");
+    debug_assert!(
+        reg < 16,
+        "register index {reg} exceeds the 16-per-bank liveness cap"
+    );
     1u64 << (offset + reg)
 }
 
@@ -129,8 +132,7 @@ pub fn prune(prog: &AlphaProgram) -> PruneResult {
         // Crossing the framework's s0 write kills the s0 demand; crossing
         // the observation point adds the s1 demand; merge the
         // inference-path demand (predict -> next-day predict directly).
-        let live_pred_exit =
-            (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
+        let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
         let next = backward_pass(&prog.predict, live_pred_exit, None) | live_pred_entry;
         if next == live_pred_entry {
             break;
@@ -142,14 +144,25 @@ pub fn prune(prog: &AlphaProgram) -> PruneResult {
     let mut predict_marks = Vec::new();
     let mut update_marks = Vec::new();
     let mut setup_marks = Vec::new();
-    let live_update_entry =
-        backward_pass(&prog.update, live_pred_entry & !M0_BIT, Some(&mut update_marks));
+    let live_update_entry = backward_pass(
+        &prog.update,
+        live_pred_entry & !M0_BIT,
+        Some(&mut update_marks),
+    );
     let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
     let live_entry = backward_pass(&prog.predict, live_pred_exit, Some(&mut predict_marks));
-    debug_assert_eq!(live_entry | live_pred_entry, live_pred_entry, "fixpoint must have converged");
+    debug_assert_eq!(
+        live_entry | live_pred_entry,
+        live_pred_entry,
+        "fixpoint must have converged"
+    );
     // Setup() runs before the first day; m0 is framework-written before the
     // first Predict(), so demands on it don't reach Setup().
-    backward_pass(&prog.setup, live_pred_entry & !M0_BIT, Some(&mut setup_marks));
+    backward_pass(
+        &prog.setup,
+        live_pred_entry & !M0_BIT,
+        Some(&mut setup_marks),
+    );
 
     let uses_input = live_pred_entry & M0_BIT != 0;
 
@@ -192,7 +205,12 @@ pub fn prune(prog: &AlphaProgram) -> PruneResult {
         - (setup_marks.iter().filter(|&&m| m).count()
             + predict_marks.iter().filter(|&&m| m).count()
             + update_marks.iter().filter(|&&m| m).count());
-    PruneResult { program: pruned, uses_input, stateful, n_pruned }
+    PruneResult {
+        program: pruned,
+        uses_input,
+        stateful,
+        n_pruned,
+    }
 }
 
 /// Canonicalizes register names in a (pruned) program: non-special
@@ -201,8 +219,11 @@ pub fn prune(prog: &AlphaProgram) -> PruneResult {
 /// keep their reserved indices.
 pub fn canonicalize(prog: &AlphaProgram, cfg: &AlphaConfig) -> AlphaProgram {
     // rename[kind][old] = new
-    let mut rename: [Vec<Option<u8>>; 3] =
-        [vec![None; cfg.n_scalars], vec![None; cfg.n_vectors], vec![None; cfg.n_matrices]];
+    let mut rename: [Vec<Option<u8>>; 3] = [
+        vec![None; cfg.n_scalars],
+        vec![None; cfg.n_vectors],
+        vec![None; cfg.n_matrices],
+    ];
     // Reserved registers map to themselves.
     rename[0][LABEL] = Some(LABEL as u8);
     rename[0][PREDICTION] = Some(PREDICTION as u8);
@@ -263,10 +284,10 @@ mod tests {
         let prog = AlphaProgram {
             setup: vec![Instruction::nop()],
             predict: vec![
-                get_m0(2),               // s2 = m0[1,2]           (live)
-                i(Op::SAbs, 2, 0, 1),    // s1 = abs(s2)           (dead: s1 overwritten below)
-                i(Op::SSin, 2, 0, 8),    // s8 = sin(s2)           (dead: never used)
-                i(Op::SCos, 2, 0, 1),    // s1 = cos(s2)           (live, final prediction)
+                get_m0(2),            // s2 = m0[1,2]           (live)
+                i(Op::SAbs, 2, 0, 1), // s1 = abs(s2)           (dead: s1 overwritten below)
+                i(Op::SSin, 2, 0, 8), // s8 = sin(s2)           (dead: never used)
+                i(Op::SCos, 2, 0, 1), // s1 = cos(s2)           (live, final prediction)
             ],
             update: vec![Instruction::nop()],
         };
@@ -276,7 +297,11 @@ mod tests {
         assert_eq!(r.program.predict.len(), 2);
         assert_eq!(r.program.predict[0].op, Op::MGet);
         assert_eq!(r.program.predict[1].op, Op::SCos);
-        assert_eq!(r.n_pruned, 2 + 2, "two dead predict ops and two noops pruned");
+        assert_eq!(
+            r.n_pruned,
+            2 + 2,
+            "two dead predict ops and two noops pruned"
+        );
     }
 
     /// Figure 5b: prediction not connected to m0 -> redundant alpha.
@@ -288,7 +313,10 @@ mod tests {
             update: vec![Instruction::nop()],
         };
         let r = prune(&prog);
-        assert!(!r.uses_input, "prediction is a constant, alpha is redundant");
+        assert!(
+            !r.uses_input,
+            "prediction is a constant, alpha is redundant"
+        );
         // The computation itself is still live (it feeds s1)...
         assert_eq!(r.program.predict.len(), 1);
         assert_eq!(r.program.setup.len(), 1);
@@ -398,7 +426,10 @@ mod tests {
             update: vec![Instruction::nop()],
         };
         let r = prune(&prog);
-        assert!(!r.uses_input, "framework m0 is dead once predict overwrites it first");
+        assert!(
+            !r.uses_input,
+            "framework m0 is dead once predict overwrites it first"
+        );
     }
 
     #[test]

@@ -30,11 +30,17 @@ impl GroupIndex {
     /// Builds membership tables from a universe.
     pub fn from_universe(u: &Universe) -> GroupIndex {
         let sectors = (0..u.n_sectors())
-            .map(|s| u.sector_members(alphaevolve_market::SectorId(s as u16)).to_vec())
+            .map(|s| {
+                u.sector_members(alphaevolve_market::SectorId(s as u16))
+                    .to_vec()
+            })
             .filter(|v| !v.is_empty())
             .collect();
         let industries = (0..u.n_industries())
-            .map(|i| u.industry_members(alphaevolve_market::IndustryId(i as u16)).to_vec())
+            .map(|i| {
+                u.industry_members(alphaevolve_market::IndustryId(i as u16))
+                    .to_vec()
+            })
             .filter(|v| !v.is_empty())
             .collect();
         GroupIndex {
@@ -49,7 +55,12 @@ impl GroupIndex {
     /// tests and for running without relational knowledge).
     pub fn single_group(n_stocks: usize) -> GroupIndex {
         let all: Vec<u32> = (0..n_stocks as u32).collect();
-        GroupIndex { n_stocks, all: all.clone(), sectors: vec![all.clone()], industries: vec![all] }
+        GroupIndex {
+            n_stocks,
+            all: all.clone(),
+            sectors: vec![all.clone()],
+            industries: vec![all],
+        }
     }
 
     /// Number of stocks covered.
@@ -185,10 +196,17 @@ mod tests {
     fn group_index_partitions_cover_universe() {
         let u = Universe::synthetic(30, 3, 2);
         let g = GroupIndex::from_universe(&u);
-        let total: usize = g.groups(crate::op::RelGroup::Sector).iter().map(|m| m.len()).sum();
+        let total: usize = g
+            .groups(crate::op::RelGroup::Sector)
+            .iter()
+            .map(|m| m.len())
+            .sum();
         assert_eq!(total, 30);
-        let total_ind: usize =
-            g.groups(crate::op::RelGroup::Industry).iter().map(|m| m.len()).sum();
+        let total_ind: usize = g
+            .groups(crate::op::RelGroup::Industry)
+            .iter()
+            .map(|m| m.len())
+            .sum();
         assert_eq!(total_ind, 30);
         match g.groups(crate::op::RelGroup::All) {
             GroupSlices::Single(all) => assert_eq!(all.len(), 30),

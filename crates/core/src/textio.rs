@@ -72,7 +72,10 @@ pub fn set_from_text(text: &str) -> Result<Vec<(String, AlphaProgram)>, ParseErr
             })?;
             out.push((n.clone(), prog));
         } else if !block.trim().is_empty() {
-            return Err(ParseError { line: start, msg: "content before any `## alpha` header".into() });
+            return Err(ParseError {
+                line: start,
+                msg: "content before any `## alpha` header".into(),
+            });
         }
         Ok(())
     };
@@ -110,26 +113,36 @@ pub fn from_text(text: &str) -> Result<AlphaProgram, ParseError> {
                 "predict" => FunctionId::Predict,
                 "update" => FunctionId::Update,
                 other => {
-                    return Err(ParseError { line: lineno, msg: format!("unknown function `{other}`") })
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: format!("unknown function `{other}`"),
+                    })
                 }
             };
             let idx = FunctionId::ALL.iter().position(|&x| x == f).unwrap();
             if seen[idx] {
-                return Err(ParseError { line: lineno, msg: format!("duplicate `def {name}`") });
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("duplicate `def {name}`"),
+                });
             }
             seen[idx] = true;
             current = Some(f);
             continue;
         }
-        let f = current
-            .ok_or_else(|| ParseError { line: lineno, msg: "instruction before any `def`".into() })?;
-        let instr = parse_instruction(line)
-            .map_err(|msg| ParseError { line: lineno, msg })?;
+        let f = current.ok_or_else(|| ParseError {
+            line: lineno,
+            msg: "instruction before any `def`".into(),
+        })?;
+        let instr = parse_instruction(line).map_err(|msg| ParseError { line: lineno, msg })?;
         prog.function_mut(f).push(instr);
     }
 
     if !seen.iter().all(|&s| s) {
-        return Err(ParseError { line: 0, msg: "missing one of setup/predict/update".into() });
+        return Err(ParseError {
+            line: 0,
+            msg: "missing one of setup/predict/update".into(),
+        });
     }
     Ok(prog)
 }
@@ -138,7 +151,10 @@ fn parse_register(token: &str, expect: Kind) -> Result<u8, String> {
     let mut chars = token.chars();
     let prefix = chars.next().ok_or("empty register token")?;
     if prefix != expect.prefix() {
-        return Err(format!("expected a {}-register, got `{token}`", expect.prefix()));
+        return Err(format!(
+            "expected a {}-register, got `{token}`",
+            expect.prefix()
+        ));
     }
     chars
         .as_str()
@@ -150,8 +166,9 @@ fn parse_instruction(line: &str) -> Result<Instruction, String> {
     if line == "noop" {
         return Ok(Instruction::nop());
     }
-    let (lhs, rhs) =
-        line.split_once('=').ok_or_else(|| format!("expected `out = op(...)`, got `{line}`"))?;
+    let (lhs, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| format!("expected `out = op(...)`, got `{line}`"))?;
     let lhs = lhs.trim();
     let rhs = rhs.trim();
     let (name, args_str) = rhs
@@ -170,7 +187,12 @@ fn parse_instruction(line: &str) -> Result<Instruction, String> {
     let kinds = op.input_kinds();
     let expected = kinds.len() + op.ix_use().count() + op.lit_use().count();
     if args.len() != expected {
-        return Err(format!("`{}` takes {} args, got {}", op.name(), expected, args.len()));
+        return Err(format!(
+            "`{}` takes {} args, got {}",
+            op.name(),
+            expected,
+            args.len()
+        ));
     }
 
     let mut instr = Instruction::nop();
@@ -188,15 +210,20 @@ fn parse_instruction(line: &str) -> Result<Instruction, String> {
     for slot in 0..op.ix_use().count() {
         let tok = args[pos].strip_prefix("axis=").unwrap_or(args[pos]);
         if op.ix_use() == IxUse::Axis && !args[pos].starts_with("axis=") {
-            return Err(format!("axis argument must be written `axis=N`, got `{}`", args[pos]));
+            return Err(format!(
+                "axis argument must be written `axis=N`, got `{}`",
+                args[pos]
+            ));
         }
-        instr.ix[slot] =
-            tok.parse::<u8>().map_err(|_| format!("bad index argument `{}`", args[pos]))?;
+        instr.ix[slot] = tok
+            .parse::<u8>()
+            .map_err(|_| format!("bad index argument `{}`", args[pos]))?;
         pos += 1;
     }
     for slot in 0..op.lit_use().count() {
-        instr.lit[slot] =
-            args[pos].parse::<f64>().map_err(|_| format!("bad literal `{}`", args[pos]))?;
+        instr.lit[slot] = args[pos]
+            .parse::<f64>()
+            .map_err(|_| format!("bad literal `{}`", args[pos]))?;
         pos += 1;
     }
     instr.normalize();
@@ -230,7 +257,8 @@ mod tests {
                     .filter(|o| f != FunctionId::Setup || !o.is_relation())
                     .collect();
                 for _ in 0..5 {
-                    prog.function_mut(f).push(Instruction::random(&mut rng, &pool, &cfg));
+                    prog.function_mut(f)
+                        .push(Instruction::random(&mut rng, &pool, &cfg));
                 }
             }
             let text = to_text(&prog);
@@ -251,7 +279,8 @@ mod tests {
 
     #[test]
     fn rejects_unknown_op() {
-        let text = "def setup():\n  s1 = s_frobnicate(s2)\ndef predict():\n  noop\ndef update():\n  noop";
+        let text =
+            "def setup():\n  s1 = s_frobnicate(s2)\ndef predict():\n  noop\ndef update():\n  noop";
         let err = from_text(text).unwrap_err();
         assert!(err.msg.contains("unknown op"));
         assert_eq!(err.line, 2);
@@ -259,7 +288,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_kind() {
-        let text = "def setup():\n  s1 = s_add(v2, s3)\ndef predict():\n  noop\ndef update():\n  noop";
+        let text =
+            "def setup():\n  s1 = s_add(v2, s3)\ndef predict():\n  noop\ndef update():\n  noop";
         assert!(from_text(text).is_err());
     }
 

@@ -42,7 +42,12 @@ impl XpConfig {
     /// Minutes-scale preset.
     pub fn quick() -> XpConfig {
         XpConfig {
-            market: MarketConfig { n_stocks: 60, n_days: 400, seed: 2024, ..Default::default() },
+            market: MarketConfig {
+                n_stocks: 60,
+                n_days: 400,
+                seed: 2024,
+                ..Default::default()
+            },
             rounds: 5,
             ae_searched: 30_000,
             gp_generations: 12,
@@ -58,7 +63,12 @@ impl XpConfig {
     /// Closer-to-paper preset (tens of minutes).
     pub fn full() -> XpConfig {
         XpConfig {
-            market: MarketConfig { n_stocks: 100, n_days: 560, seed: 2024, ..Default::default() },
+            market: MarketConfig {
+                n_stocks: 100,
+                n_days: 560,
+                seed: 2024,
+                ..Default::default()
+            },
             rounds: 5,
             ae_searched: 120_000,
             gp_generations: 40,
@@ -90,5 +100,7 @@ impl XpConfig {
 }
 
 fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
 }

@@ -115,8 +115,11 @@ mod tests {
         assert!(!rounds.gp_runs.is_empty());
         assert_eq!(rounds.best_names.len(), rounds.best_programs.len());
         // Round 0 has the four initializations.
-        let round0: Vec<_> =
-            rounds.ae_runs.iter().filter(|r| r.name.ends_with("_0")).collect();
+        let round0: Vec<_> = rounds
+            .ae_runs
+            .iter()
+            .filter(|r| r.name.ends_with("_0"))
+            .collect();
         assert_eq!(round0.len(), 4);
     }
 }

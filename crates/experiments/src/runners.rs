@@ -30,7 +30,11 @@ pub fn build_dataset(cfg: &XpConfig) -> Arc<Dataset> {
 pub fn build_evaluator(cfg: &XpConfig, dataset: Arc<Dataset>) -> Evaluator {
     Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: cfg.long_short(), seed: cfg.seed, ..Default::default() },
+        EvalOptions {
+            long_short: cfg.long_short(),
+            seed: cfg.seed,
+            ..Default::default()
+        },
         dataset,
     )
 }
@@ -136,7 +140,10 @@ pub struct GpRun {
     /// Winning formula as text.
     pub formula: Option<String>,
     /// (validation, test) scores of the winner.
-    pub scores: Option<(alphaevolve_gp::engine::SplitScores, alphaevolve_gp::engine::SplitScores)>,
+    pub scores: Option<(
+        alphaevolve_gp::engine::SplitScores,
+        alphaevolve_gp::engine::SplitScores,
+    )>,
     /// Winner's validation returns.
     pub val_returns: Vec<f64>,
     /// Signed max-magnitude correlation with the accepted GP set.
@@ -219,7 +226,12 @@ pub struct RoundsOutput {
 /// 15% cutoff gate applies to all later rounds. The last round seeds AE
 /// with the members of `A` (the `B<r>` rows). GP maintains its own
 /// accepted set, and — as in the paper — is not run in the final round.
-pub fn run_rounds(cfg: &XpConfig, evaluator: &Evaluator, dataset: &Dataset, with_gp: bool) -> RoundsOutput {
+pub fn run_rounds(
+    cfg: &XpConfig,
+    evaluator: &Evaluator,
+    dataset: &Dataset,
+    with_gp: bool,
+) -> RoundsOutput {
     let mut ae_runs = Vec::new();
     let mut gp_runs = Vec::new();
     let mut gate = CorrelationGate::paper();
@@ -256,7 +268,13 @@ pub fn run_rounds(cfg: &XpConfig, evaluator: &Evaluator, dataset: &Dataset, with
         if with_gp && round < final_round {
             let name = format!("alpha_G_{round}");
             eprintln!("[rounds] mining {name} ...");
-            let run = run_gp_round(cfg, dataset, name, &gp_gate, cfg.seed ^ (round as u64 + 101));
+            let run = run_gp_round(
+                cfg,
+                dataset,
+                name,
+                &gp_gate,
+                cfg.seed ^ (round as u64 + 101),
+            );
             eprintln!("[rounds]   {} evaluated {} trees", run.name, run.evaluated);
             if run.scores.is_some() {
                 gp_gate.accept(run.val_returns.clone());
@@ -288,5 +306,11 @@ pub fn run_rounds(cfg: &XpConfig, evaluator: &Evaluator, dataset: &Dataset, with
         ae_runs.extend(round_runs);
     }
 
-    RoundsOutput { ae_runs, gp_runs, best_names, best_programs, best_trajectories }
+    RoundsOutput {
+        ae_runs,
+        gp_runs,
+        best_names,
+        best_programs,
+        best_trajectories,
+    }
 }

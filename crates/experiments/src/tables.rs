@@ -10,12 +10,10 @@ use std::fs;
 use std::path::Path;
 
 use alphaevolve_backtest::correlation::CorrelationGate;
-use alphaevolve_backtest::metrics::{
-    information_coefficient, mean, sample_std, sharpe_ratio,
-};
+use alphaevolve_backtest::metrics::{information_coefficient, mean, sample_std, sharpe_ratio};
 use alphaevolve_backtest::portfolio::long_short_returns;
 use alphaevolve_backtest::report::{Cell, Table};
-use alphaevolve_core::{Budget, EvalOptions, Evaluator, Evolution, init};
+use alphaevolve_core::{init, Budget, EvalOptions, Evaluator, Evolution};
 use alphaevolve_neural::graph::RelationLevel;
 use alphaevolve_neural::{RankLstm, RankLstmConfig, Rsr, RsrConfig};
 
@@ -66,14 +64,26 @@ pub fn table1(cfg: &XpConfig) {
     gate.accept(expert_eval.val_returns.clone());
 
     eprintln!("[table1] mining alpha_AE_D_0 (cutoff vs alpha_D_0) ...");
-    let ae = run_ae_round(cfg, &evaluator, "alpha_AE_D_0".into(), &Init::Domain, &gate, cfg.seed);
+    let ae = run_ae_round(
+        cfg,
+        &evaluator,
+        "alpha_AE_D_0".into(),
+        &Init::Domain,
+        &gate,
+        cfg.seed,
+    );
     eprintln!("[table1]   stats: {:?}", ae.stats);
     eprintln!("[table1] mining alpha_G_0 (cutoff vs alpha_D_0) ...");
     let gp = run_gp_round(cfg, &dataset, "alpha_G_0".into(), &gate, cfg.seed ^ 101);
 
     let mut t = Table::new(
         "Table 1: mining weakly correlated alpha with an existing domain-expert-designed alpha",
-        &["Alpha", "Sharpe ratio", "IC", "Correlation with the existing alpha"],
+        &[
+            "Alpha",
+            "Sharpe ratio",
+            "IC",
+            "Correlation with the existing alpha",
+        ],
     );
     t.row(vec![
         "alpha_D_0".into(),
@@ -109,7 +119,12 @@ pub fn table1(cfg: &XpConfig) {
 pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
     let mut t = Table::new(
         "Table 2: performance of weakly correlated alpha mining (AE_D vs GP)",
-        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+        &[
+            "Alpha",
+            "Sharpe ratio",
+            "IC",
+            "Correlation with the best alphas",
+        ],
     );
     let final_round = cfg.rounds - 1;
     for round in 0..cfg.rounds {
@@ -145,13 +160,20 @@ pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
                     if let Some(run) = rounds.ae_runs.iter().find(|r| &r.name == winner) {
                         t.row(ae_row(run));
                     }
-                } else if let Some(run) =
-                    rounds.ae_runs.iter().find(|r| r.name.contains("_B") && r.best.is_some())
+                } else if let Some(run) = rounds
+                    .ae_runs
+                    .iter()
+                    .find(|r| r.name.contains("_B") && r.best.is_some())
                 {
                     t.row(ae_row(run));
                 }
             }
-            t.row(vec![format!("alpha_G_{round}").into(), Cell::Na, Cell::Na, Cell::Na]);
+            t.row(vec![
+                format!("alpha_G_{round}").into(),
+                Cell::Na,
+                Cell::Na,
+                Cell::Na,
+            ]);
         }
     }
     emit(cfg, "table2.csv", &t);
@@ -161,13 +183,21 @@ pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
 pub fn table3(cfg: &XpConfig, rounds: &RoundsOutput) {
     let mut t = Table::new(
         "Table 3: weakly correlated alpha mining for different initializations",
-        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+        &[
+            "Alpha",
+            "Sharpe ratio",
+            "IC",
+            "Correlation with the best alphas",
+        ],
     );
     for run in &rounds.ae_runs {
         t.row(ae_row(run));
     }
     emit(cfg, "table3.csv", &t);
-    println!("Accepted set A (round winners): {}\n", rounds.best_names.join(", "));
+    println!(
+        "Accepted set A (round winners): {}\n",
+        rounds.best_names.join(", ")
+    );
 }
 
 /// Table 4: ablation of the parameter-updating function — each accepted
@@ -181,14 +211,24 @@ pub fn table4(cfg: &XpConfig, evaluator: &Evaluator, rounds: &RoundsOutput) {
     });
     let mut t = Table::new(
         "Table 4: ablation study of the parameter-updating function",
-        &["Alpha", "Sharpe ratio", "IC", "Correlation with the best alphas"],
+        &[
+            "Alpha",
+            "Sharpe ratio",
+            "IC",
+            "Correlation with the best alphas",
+        ],
     );
     for (name, prog) in rounds.best_names.iter().zip(&rounds.best_programs) {
         let with = evaluator.backtest(prog);
         let without = ablated.backtest(prog);
         let run = rounds.ae_runs.iter().find(|r| &r.name == name);
         let corr: Cell = run.and_then(|r| r.corr_with_best).into();
-        t.row(vec![name.clone().into(), with.test.sharpe.into(), with.test.ic.into(), corr]);
+        t.row(vec![
+            name.clone().into(),
+            with.test.sharpe.into(),
+            with.test.ic.into(),
+            corr,
+        ]);
         t.row(vec![
             format!("{name}_P").into(),
             without.test.sharpe.into(),
@@ -210,12 +250,25 @@ pub fn table5(cfg: &XpConfig) {
     // AE rows: alpha_AE_D_0 unconstrained, alpha_AE_NN_1 gated against it.
     eprintln!("[table5] mining alpha_AE_D_0 ...");
     let gate0 = CorrelationGate::paper();
-    let d0 = run_ae_round(cfg, &evaluator, "alpha_AE_D_0".into(), &Init::Domain, &gate0, cfg.seed);
+    let d0 = run_ae_round(
+        cfg,
+        &evaluator,
+        "alpha_AE_D_0".into(),
+        &Init::Domain,
+        &gate0,
+        cfg.seed,
+    );
     let mut gate1 = CorrelationGate::paper();
     gate1.accept(d0.val_returns.clone());
     eprintln!("[table5] mining alpha_AE_NN_1 ...");
-    let nn1 =
-        run_ae_round(cfg, &evaluator, "alpha_AE_NN_1".into(), &Init::Nn, &gate1, cfg.seed ^ 33);
+    let nn1 = run_ae_round(
+        cfg,
+        &evaluator,
+        "alpha_AE_NN_1".into(),
+        &Init::Nn,
+        &gate1,
+        cfg.seed ^ 33,
+    );
 
     // Grid-search Rank_LSTM on validation IC (scaled-down §5.2 grid).
     let grid = [(4usize, 16usize), (8, 32)];
@@ -253,7 +306,10 @@ pub fn table5(cfg: &XpConfig) {
     for s in 0..cfg.neural_seeds {
         let seed = cfg.seed + 1000 + s as u64;
         eprintln!("[table5] seed {seed}: Rank_LSTM ...");
-        let mut rl = RankLstm::new(RankLstmConfig { seed, ..best_cfg.clone() });
+        let mut rl = RankLstm::new(RankLstmConfig {
+            seed,
+            ..best_cfg.clone()
+        });
         rl.train(&dataset);
         let preds = rl.predictions(&dataset, dataset.test_days());
         rl_ics.push(information_coefficient(&preds, &test_labels));
@@ -262,7 +318,10 @@ pub fn table5(cfg: &XpConfig) {
         eprintln!("[table5] seed {seed}: RSR ...");
         let mut rsr = Rsr::new(
             RsrConfig {
-                base: RankLstmConfig { seed, ..best_cfg.clone() },
+                base: RankLstmConfig {
+                    seed,
+                    ..best_cfg.clone()
+                },
                 level: RelationLevel::Industry,
             },
             &dataset,
@@ -281,7 +340,11 @@ pub fn table5(cfg: &XpConfig) {
     for run in [&d0, &nn1] {
         match &run.report {
             Some(r) => {
-                t.row(vec![run.name.clone().into(), r.test.sharpe.into(), r.test.ic.into()]);
+                t.row(vec![
+                    run.name.clone().into(),
+                    r.test.sharpe.into(),
+                    r.test.ic.into(),
+                ]);
             }
             None => {
                 t.row(vec![run.name.clone().into(), Cell::Na, Cell::Na]);
@@ -310,14 +373,26 @@ pub fn table6(cfg: &XpConfig) {
     let gate = CorrelationGate::paper();
     let mut t = Table::new(
         "Table 6: efficiency of the pruning technique",
-        &["Alpha", "Sharpe ratio", "IC", "Correlation", "Number of searched alphas"],
+        &[
+            "Alpha",
+            "Sharpe ratio",
+            "IC",
+            "Correlation",
+            "Number of searched alphas",
+        ],
     );
-    let variants: [(&str, Init); 3] =
-        [("D_0", Init::Domain), ("NN_1", Init::Nn), ("R_2", Init::Random)];
+    let variants: [(&str, Init); 3] = [
+        ("D_0", Init::Domain),
+        ("NN_1", Init::Nn),
+        ("R_2", Init::Random),
+    ];
     for (tag, init) in variants {
         for (suffix, pruning) in [("", true), ("_N", false)] {
             let name = format!("alpha_AE_{tag}{suffix}");
-            eprintln!("[table6] {name} ({}s wall budget) ...", cfg.pruning_walltime.as_secs());
+            eprintln!(
+                "[table6] {name} ({}s wall budget) ...",
+                cfg.pruning_walltime.as_secs()
+            );
             let seed_prog = init.program(evaluator.config(), cfg.seed ^ 77);
             let econfig = alphaevolve_core::EvolutionConfig {
                 budget: Budget::WallTime(cfg.pruning_walltime),
@@ -326,7 +401,11 @@ pub fn table6(cfg: &XpConfig) {
                 ..cfg.evolution(cfg.seed ^ 77)
             };
             let driver = Evolution::new(&evaluator, econfig).with_gate(&gate);
-            let driver = if pruning { driver } else { driver.without_pruning() };
+            let driver = if pruning {
+                driver
+            } else {
+                driver.without_pruning()
+            };
             let outcome = driver.run(&seed_prog);
             match outcome.best {
                 Some(b) => {

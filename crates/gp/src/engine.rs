@@ -62,7 +62,10 @@ impl Default for GpConfig {
             const_prob: 0.15,
             budget: GpBudget::Generations(20),
             seed: 0,
-            long_short: LongShortConfig { k_long: 10, k_short: 10 },
+            long_short: LongShortConfig {
+                k_long: 10,
+                k_short: 10,
+            },
         }
     }
 }
@@ -123,7 +126,13 @@ impl<'a> GpEngine<'a> {
     pub fn new(dataset: &'a Dataset, config: GpConfig) -> GpEngine<'a> {
         let val_labels = dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
         let test_labels = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
-        GpEngine { dataset, config, gate: None, val_labels, test_labels }
+        GpEngine {
+            dataset,
+            config,
+            gate: None,
+            val_labels,
+            test_labels,
+        }
     }
 
     /// Attaches a weak-correlation gate.
@@ -160,7 +169,10 @@ impl<'a> GpEngine<'a> {
     fn score(&self, expr: &Expr, stats: &mut GpStats) -> ScoredTree {
         stats.evaluated += 1;
         if !expr.uses_features() {
-            return ScoredTree { expr: expr.clone(), fitness: f64::NEG_INFINITY };
+            return ScoredTree {
+                expr: expr.clone(),
+                fitness: f64::NEG_INFINITY,
+            };
         }
         let preds = self.predictions(expr, self.dataset.valid_days());
         let ic = information_coefficient(&preds, &self.val_labels);
@@ -168,10 +180,16 @@ impl<'a> GpEngine<'a> {
             let returns = long_short_returns(&preds, &self.val_labels, &self.config.long_short);
             if !gate.passes(&returns) {
                 stats.gate_rejected += 1;
-                return ScoredTree { expr: expr.clone(), fitness: f64::NEG_INFINITY };
+                return ScoredTree {
+                    expr: expr.clone(),
+                    fitness: f64::NEG_INFINITY,
+                };
             }
         }
-        ScoredTree { expr: expr.clone(), fitness: ic }
+        ScoredTree {
+            expr: expr.clone(),
+            fitness: ic,
+        }
     }
 
     fn tournament<'p>(&self, rng: &mut SmallRng, pop: &'p [ScoredTree]) -> &'p ScoredTree {
@@ -212,24 +230,25 @@ impl<'a> GpEngine<'a> {
 
         let mut best: Option<BestFormula> = None;
         let mut trajectory = Vec::new();
-        let update_best = |pop: &[ScoredTree], this: &GpEngine<'_>, best: &mut Option<BestFormula>| {
-            if let Some(top) = pop
-                .iter()
-                .filter(|t| t.fitness.is_finite())
-                .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap())
-            {
-                if best.as_ref().is_none_or(|b| top.fitness > b.ic) {
-                    let preds = this.predictions(&top.expr, this.dataset.valid_days());
-                    let returns =
-                        long_short_returns(&preds, &this.val_labels, &this.config.long_short);
-                    *best = Some(BestFormula {
-                        expr: top.expr.clone(),
-                        ic: top.fitness,
-                        val_returns: returns,
-                    });
+        let update_best =
+            |pop: &[ScoredTree], this: &GpEngine<'_>, best: &mut Option<BestFormula>| {
+                if let Some(top) = pop
+                    .iter()
+                    .filter(|t| t.fitness.is_finite())
+                    .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap())
+                {
+                    if best.as_ref().is_none_or(|b| top.fitness > b.ic) {
+                        let preds = this.predictions(&top.expr, this.dataset.valid_days());
+                        let returns =
+                            long_short_returns(&preds, &this.val_labels, &this.config.long_short);
+                        *best = Some(BestFormula {
+                            expr: top.expr.clone(),
+                            ic: top.fitness,
+                            val_returns: returns,
+                        });
+                    }
                 }
-            }
-        };
+            };
         update_best(&population, self, &mut best);
         trajectory.push(best.as_ref().map_or(f64::NEG_INFINITY, |b| b.ic));
 
@@ -268,7 +287,12 @@ impl<'a> GpEngine<'a> {
             trajectory.push(best.as_ref().map_or(f64::NEG_INFINITY, |b| b.ic));
         }
 
-        GpOutcome { best, stats, trajectory, elapsed: start.elapsed() }
+        GpOutcome {
+            best,
+            stats,
+            trajectory,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Backtests a formula on validation and test splits (IC, Sharpe,
@@ -307,7 +331,13 @@ mod tests {
     use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
 
     fn dataset(seed: u64) -> Dataset {
-        let md = MarketConfig { n_stocks: 20, n_days: 160, seed, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 20,
+            n_days: 160,
+            seed,
+            ..Default::default()
+        }
+        .generate();
         Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
     }
 

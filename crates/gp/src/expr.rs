@@ -32,8 +32,15 @@ pub enum UnFunc {
 
 impl UnFunc {
     /// Every unary function.
-    pub const ALL: [UnFunc; 7] =
-        [UnFunc::Neg, UnFunc::Abs, UnFunc::Sqrt, UnFunc::Log, UnFunc::Inv, UnFunc::Sin, UnFunc::Cos];
+    pub const ALL: [UnFunc; 7] = [
+        UnFunc::Neg,
+        UnFunc::Abs,
+        UnFunc::Sqrt,
+        UnFunc::Log,
+        UnFunc::Inv,
+        UnFunc::Sin,
+        UnFunc::Cos,
+    ];
 
     /// Function name for display.
     pub fn name(self) -> &'static str {
@@ -93,8 +100,14 @@ pub enum BinFunc {
 
 impl BinFunc {
     /// Every binary function.
-    pub const ALL: [BinFunc; 6] =
-        [BinFunc::Add, BinFunc::Sub, BinFunc::Mul, BinFunc::Div, BinFunc::Min, BinFunc::Max];
+    pub const ALL: [BinFunc; 6] = [
+        BinFunc::Add,
+        BinFunc::Sub,
+        BinFunc::Mul,
+        BinFunc::Div,
+        BinFunc::Min,
+        BinFunc::Max,
+    ];
 
     /// Function name for display.
     pub fn name(self) -> &'static str {
@@ -195,7 +208,9 @@ impl Expr {
             *counter += 1;
             match e {
                 Expr::Unary(_, a) => walk(a, target, counter),
-                Expr::Binary(_, a, b) => walk(a, target, counter).or_else(|| walk(b, target, counter)),
+                Expr::Binary(_, a, b) => {
+                    walk(a, target, counter).or_else(|| walk(b, target, counter))
+                }
                 _ => None,
             }
         }
@@ -332,7 +347,11 @@ mod tests {
     #[test]
     fn protected_ops_never_nan() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.2 };
+        let sampler = ExprSampler {
+            n_features: 13,
+            n_lags: 13,
+            const_prob: 0.2,
+        };
         for _ in 0..300 {
             let e = sampler.tree(&mut rng, 6, true);
             // Evaluate on adversarial inputs including zeros and huge values.
@@ -379,7 +398,11 @@ mod tests {
     #[test]
     fn full_trees_reach_requested_depth() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let sampler = ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.1 };
+        let sampler = ExprSampler {
+            n_features: 13,
+            n_lags: 13,
+            const_prob: 0.1,
+        };
         for _ in 0..50 {
             let e = sampler.tree(&mut rng, 4, false);
             assert_eq!(e.depth(), 4);

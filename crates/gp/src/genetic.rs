@@ -158,7 +158,11 @@ mod tests {
 
     fn ops() -> GeneticOps {
         GeneticOps {
-            sampler: ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.15 },
+            sampler: ExprSampler {
+                n_features: 13,
+                n_lags: 13,
+                const_prob: 0.15,
+            },
             probs: GpProbabilities::default(),
             max_size: 48,
             new_subtree_depth: 4,
@@ -188,7 +192,11 @@ mod tests {
         for _ in 0..200 {
             let a = random_tree(&mut rng);
             let c = o.point_mutation(&mut rng, &a);
-            assert_eq!(a.size(), c.size(), "point mutation must not change node count");
+            assert_eq!(
+                a.size(),
+                c.size(),
+                "point mutation must not change node count"
+            );
             assert_eq!(a.depth(), c.depth());
         }
     }
@@ -221,11 +229,19 @@ mod tests {
             }] += 1;
         }
         let frac = |c: usize| c as f64 / n as f64;
-        assert!((frac(counts[0]) - 0.4).abs() < 0.01, "crossover {}", frac(counts[0]));
+        assert!(
+            (frac(counts[0]) - 0.4).abs() < 0.01,
+            "crossover {}",
+            frac(counts[0])
+        );
         assert!((frac(counts[1]) - 0.01).abs() < 0.005);
         assert_eq!(counts[2], 0, "hoist probability is 0 in the paper");
         assert!((frac(counts[3]) - 0.01).abs() < 0.005);
-        assert!((frac(counts[4]) - 0.58).abs() < 0.01, "reproduction {}", frac(counts[4]));
+        assert!(
+            (frac(counts[4]) - 0.58).abs() < 0.01,
+            "reproduction {}",
+            frac(counts[4])
+        );
     }
 
     #[test]
@@ -233,7 +249,9 @@ mod tests {
         let o = ops();
         let mut rng = SmallRng::seed_from_u64(5);
         let a = random_tree(&mut rng);
-        let changed = (0..20).filter(|_| o.subtree_mutation(&mut rng, &a) != a).count();
+        let changed = (0..20)
+            .filter(|_| o.subtree_mutation(&mut rng, &a) != a)
+            .count();
         assert!(changed > 10);
     }
 }

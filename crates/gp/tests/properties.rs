@@ -7,7 +7,11 @@ use rand::SeedableRng;
 use alphaevolve_gp::{BinFunc, Expr, ExprSampler, GeneticOps, GpProbabilities, UnFunc};
 
 fn sampler() -> ExprSampler {
-    ExprSampler { n_features: 13, n_lags: 13, const_prob: 0.2 }
+    ExprSampler {
+        n_features: 13,
+        n_lags: 13,
+        const_prob: 0.2,
+    }
 }
 
 fn ops() -> GeneticOps {

@@ -53,11 +53,17 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<MarketData, MarketError> {
     let mut rows: HashMap<String, Vec<(usize, [f64; 5])>> = HashMap::new();
 
     for (lineno, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| MarketError::Csv { line: lineno + 1, msg: e.to_string() })?;
+        let line = line.map_err(|e| MarketError::Csv {
+            line: lineno + 1,
+            msg: e.to_string(),
+        })?;
         if lineno == 0 || line.trim().is_empty() {
             continue; // header / blank
         }
-        let err = |msg: &str| MarketError::Csv { line: lineno + 1, msg: msg.to_string() };
+        let err = |msg: &str| MarketError::Csv {
+            line: lineno + 1,
+            msg: msg.to_string(),
+        };
         let parts: Vec<&str> = line.trim().split(',').collect();
         if parts.len() != 9 {
             return Err(err(&format!("expected 9 fields, got {}", parts.len())));
@@ -126,7 +132,10 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<MarketData, MarketError> {
         series.push(s);
     }
 
-    Ok(MarketData { universe: Universe::new(stocks), series })
+    Ok(MarketData {
+        universe: Universe::new(stocks),
+        series,
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +146,13 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let md = MarketConfig { n_stocks: 5, n_days: 12, seed: 4, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 5,
+            n_days: 12,
+            seed: 4,
+            ..Default::default()
+        }
+        .generate();
         let mut buf = Vec::new();
         write_csv(&md, &mut buf).unwrap();
         let back = read_csv(BufReader::new(&buf[..])).unwrap();
@@ -183,7 +198,10 @@ mod tests {
     #[test]
     fn rejects_empty_input() {
         let csv = "symbol,sector,industry,day,open,high,low,close,volume\n";
-        assert!(matches!(read_csv(BufReader::new(csv.as_bytes())), Err(MarketError::EmptyUniverse)));
+        assert!(matches!(
+            read_csv(BufReader::new(csv.as_bytes())),
+            Err(MarketError::EmptyUniverse)
+        ));
     }
 
     #[test]

@@ -24,12 +24,18 @@ pub struct SplitSpec {
 impl SplitSpec {
     /// The paper's 988/116/116 ratios.
     pub fn paper_ratios() -> SplitSpec {
-        SplitSpec { train_frac: 988.0 / 1220.0, valid_frac: 116.0 / 1220.0 }
+        SplitSpec {
+            train_frac: 988.0 / 1220.0,
+            valid_frac: 116.0 / 1220.0,
+        }
     }
 
     /// Explicit day counts (useful for exact-paper setups).
     pub fn from_counts(train: usize, valid: usize, total: usize) -> SplitSpec {
-        SplitSpec { train_frac: train as f64 / total as f64, valid_frac: valid as f64 / total as f64 }
+        SplitSpec {
+            train_frac: train as f64 / total as f64,
+            valid_frac: valid as f64 / total as f64,
+        }
     }
 }
 
@@ -70,22 +76,38 @@ impl Dataset {
         if market.n_stocks() == 0 {
             return Err(MarketError::EmptyUniverse);
         }
-        let panel = FeaturePanel::build(market, features);
-        let first = panel.first_usable_day(window);
-        let n_days = panel.n_days();
+        // Split boundaries depend only on day counts, never on the data, so
+        // they can be fixed *before* the panel is built — which lets the
+        // feature normalization use training days only (no look-ahead).
+        let first = features.max_lookback() + window;
+        let n_days = market.n_days();
         if first + 3 > n_days {
-            return Err(MarketError::TooFewDays { days: n_days, required: first + 3 });
+            return Err(MarketError::TooFewDays {
+                days: n_days,
+                required: first + 3,
+            });
         }
         let usable = n_days - first;
         let n_train = ((usable as f64) * split.train_frac).floor() as usize;
         let n_valid = ((usable as f64) * split.valid_frac).floor() as usize;
         if n_train == 0 || n_valid == 0 || n_train + n_valid >= usable {
-            return Err(MarketError::BadSplit("each of train/valid/test needs at least one day"));
+            return Err(MarketError::BadSplit(
+                "each of train/valid/test needs at least one day",
+            ));
         }
         let train = first..first + n_train;
         let valid = train.end..train.end + n_valid;
         let test = valid.end..n_days;
-        Ok(Dataset { panel, universe: market.universe.clone(), window, train, valid, test })
+        let panel = FeaturePanel::build_with_train_cutoff(market, features, train.end);
+        debug_assert_eq!(panel.first_usable_day(window), first);
+        Ok(Dataset {
+            panel,
+            universe: market.universe.clone(),
+            window,
+            train,
+            valid,
+            test,
+        })
     }
 
     /// Number of stocks (tasks `K`).
@@ -152,7 +174,13 @@ mod tests {
     use crate::generator::MarketConfig;
 
     fn dataset(n_days: usize) -> Dataset {
-        let md = MarketConfig { n_stocks: 10, n_days, seed: 2, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 10,
+            n_days,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
     }
 
@@ -180,7 +208,13 @@ mod tests {
 
     #[test]
     fn too_few_days_is_an_error() {
-        let md = MarketConfig { n_stocks: 3, n_days: 45, seed: 2, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 3,
+            n_days: 45,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         let err = Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios());
         assert!(err.is_err());
     }

@@ -121,11 +121,23 @@ fn std_dev(xs: &[f64]) -> f64 {
 /// How raw features are scaled before entering the alpha.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Normalization {
-    /// Divide by the max absolute value over *all* days (paper §5.1; note
-    /// this peeks at future data — we replicate the paper's choice).
+    /// Divide by the max absolute value over the *training* days only.
+    ///
+    /// This is the leak-free reading of the paper's per-stock max
+    /// normalization: the scale is fixed at the end of the training split,
+    /// so validation/test features carry no information about future
+    /// prices (values there may exceed 1 in magnitude). It is resolved to
+    /// [`Normalization::MaxAbsUpTo`] by
+    /// [`Dataset::build`](crate::Dataset::build), which knows the split;
+    /// a bare [`FeaturePanel::build`](crate::panel::FeaturePanel::build)
+    /// has no split and rejects it (panics) rather than silently degrade
+    /// to the leaky all-days scaling.
+    MaxAbsTrain,
+    /// Divide by the max absolute value over *all* days (paper §5.1
+    /// verbatim; note this peeks at future data — `tests/no_signal_no_alpha.rs`
+    /// demonstrates the look-ahead it introduces is learnable).
     MaxAbsAllDays,
-    /// Divide by the max absolute value over days `< cutoff` only
-    /// (leak-free alternative).
+    /// Divide by the max absolute value over days `< cutoff` only.
     MaxAbsUpTo(usize),
     /// Leave features raw.
     None,
@@ -141,32 +153,52 @@ pub struct FeatureSet {
 }
 
 impl FeatureSet {
-    /// The paper's 13 features in paper order.
+    /// The paper's 13 features in paper order, normalized per stock by the
+    /// max absolute value over the *training* days (leak-free; see
+    /// [`Normalization::MaxAbsTrain`]).
     pub fn paper() -> FeatureSet {
-        use FeatureKind::*;
         FeatureSet {
-            kinds: vec![
-                MovingAverage(5),
-                MovingAverage(10),
-                MovingAverage(20),
-                MovingAverage(30),
-                Volatility(5),
-                Volatility(10),
-                Volatility(20),
-                Volatility(30),
-                Open,
-                High,
-                Low,
-                Close,
-                Volume,
-            ],
+            kinds: Self::paper_kinds(),
+            normalization: Normalization::MaxAbsTrain,
+        }
+    }
+
+    /// The paper's 13 features with §5.1's normalization taken verbatim:
+    /// max over *all* time steps, which peeks at future data. Only for
+    /// strict-replication experiments — the look-ahead is strong enough
+    /// that models trained on a pure-noise market appear to find alpha.
+    pub fn paper_strict() -> FeatureSet {
+        FeatureSet {
+            kinds: Self::paper_kinds(),
             normalization: Normalization::MaxAbsAllDays,
         }
     }
 
-    /// A custom feature list with the paper's normalization.
+    fn paper_kinds() -> Vec<FeatureKind> {
+        use FeatureKind::*;
+        vec![
+            MovingAverage(5),
+            MovingAverage(10),
+            MovingAverage(20),
+            MovingAverage(30),
+            Volatility(5),
+            Volatility(10),
+            Volatility(20),
+            Volatility(30),
+            Open,
+            High,
+            Low,
+            Close,
+            Volume,
+        ]
+    }
+
+    /// A custom feature list with the leak-free training-max normalization.
     pub fn custom(kinds: Vec<FeatureKind>) -> FeatureSet {
-        FeatureSet { kinds, normalization: Normalization::MaxAbsAllDays }
+        FeatureSet {
+            kinds,
+            normalization: Normalization::MaxAbsTrain,
+        }
     }
 
     /// Number of features `f`.
@@ -196,10 +228,23 @@ impl FeatureSet {
 }
 
 /// Applies `normalization` in place to one feature series of one stock.
+///
+/// # Panics
+///
+/// On [`Normalization::MaxAbsTrain`]: it is a *request* for leak-free
+/// scaling, not a concrete rule — only [`Dataset::build`](crate::Dataset::build)
+/// knows the split and can resolve it to `MaxAbsUpTo(train_end)`. Falling
+/// back silently would reintroduce the look-ahead leak.
 pub fn normalize_series(xs: &mut [f64], normalization: Normalization) {
     let max_abs = |w: &[f64]| w.iter().fold(0.0f64, |m, x| m.max(x.abs()));
     let denom = match normalization {
         Normalization::None => return,
+        Normalization::MaxAbsTrain => {
+            panic!(
+                "Normalization::MaxAbsTrain must be resolved to MaxAbsUpTo(train_end) first \
+                 (go through Dataset::build or FeaturePanel::build_with_train_cutoff)"
+            )
+        }
         Normalization::MaxAbsAllDays => max_abs(xs),
         Normalization::MaxAbsUpTo(cutoff) => max_abs(&xs[..cutoff.min(xs.len())]),
     };
@@ -264,7 +309,9 @@ mod tests {
     #[test]
     fn volatility_positive_for_alternating_returns() {
         let days = 30;
-        let close: Vec<f64> = (0..days).map(|t| if t % 2 == 0 { 10.0 } else { 11.0 }).collect();
+        let close: Vec<f64> = (0..days)
+            .map(|t| if t % 2 == 0 { 10.0 } else { 11.0 })
+            .collect();
         let s = OhlcvSeries {
             open: close.clone(),
             high: close.iter().map(|c| c + 1.0).collect(),
@@ -281,7 +328,11 @@ mod tests {
         let s = ramp_series(50);
         for k in FeatureSet::paper().kinds() {
             let xs = k.compute(&s);
-            assert!(xs.iter().all(|x| x.is_finite()), "{:?} produced non-finite values", k);
+            assert!(
+                xs.iter().all(|x| x.is_finite()),
+                "{:?} produced non-finite values",
+                k
+            );
         }
     }
 

@@ -18,7 +18,10 @@ pub struct FilterConfig {
 
 impl Default for FilterConfig {
     fn default() -> Self {
-        FilterConfig { min_price: 1.0, min_median_volume: 1000.0 }
+        FilterConfig {
+            min_price: 1.0,
+            min_median_volume: 1000.0,
+        }
     }
 }
 
@@ -53,7 +56,12 @@ pub fn apply(market: &MarketData, cfg: FilterConfig) -> FilterOutcome {
         }
         kept.push(i);
     }
-    FilterOutcome { market: market.subset(&kept), kept, dropped_penny, dropped_thin }
+    FilterOutcome {
+        market: market.subset(&kept),
+        kept,
+        dropped_penny,
+        dropped_thin,
+    }
 }
 
 fn median(xs: &[f64]) -> f64 {
@@ -89,7 +97,10 @@ mod tests {
         let out = apply(&md, FilterConfig::default());
         assert!(!out.dropped_penny.is_empty(), "expected penny drops");
         assert!(!out.dropped_thin.is_empty(), "expected thin drops");
-        assert_eq!(out.kept.len() + out.dropped_penny.len() + out.dropped_thin.len(), 100);
+        assert_eq!(
+            out.kept.len() + out.dropped_penny.len() + out.dropped_thin.len(),
+            100
+        );
         assert_eq!(out.market.n_stocks(), out.kept.len());
         // Survivors satisfy both constraints.
         for s in &out.market.series {
@@ -99,7 +110,13 @@ mod tests {
 
     #[test]
     fn clean_market_is_untouched() {
-        let md = MarketConfig { n_stocks: 30, n_days: 60, seed: 3, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 30,
+            n_days: 60,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
         let out = apply(&md, FilterConfig::default());
         assert_eq!(out.kept.len(), 30);
         assert_eq!(out.market, md);

@@ -48,7 +48,11 @@ pub struct RegimeConfig {
 
 impl Default for RegimeConfig {
     fn default() -> Self {
-        RegimeConfig { p_calm_to_volatile: 0.02, p_volatile_to_calm: 0.10, volatile_multiplier: 2.5 }
+        RegimeConfig {
+            p_calm_to_volatile: 0.02,
+            p_volatile_to_calm: 0.10,
+            volatile_multiplier: 2.5,
+        }
     }
 }
 
@@ -73,13 +77,21 @@ impl SignalConfig {
     /// No planted signal: the market is pure noise and the best achievable
     /// IC is ~0. Used to test that mining does not fabricate alpha.
     pub fn none() -> Self {
-        SignalConfig { reversal: 0.0, momentum: 0.0, industry_reversal: 0.0 }
+        SignalConfig {
+            reversal: 0.0,
+            momentum: 0.0,
+            industry_reversal: 0.0,
+        }
     }
 }
 
 impl Default for SignalConfig {
     fn default() -> Self {
-        SignalConfig { reversal: -0.05, momentum: 0.02, industry_reversal: -0.08 }
+        SignalConfig {
+            reversal: -0.05,
+            momentum: 0.02,
+            industry_reversal: -0.08,
+        }
     }
 }
 
@@ -176,7 +188,8 @@ impl MarketConfig {
         assert!(self.n_stocks > 0, "need at least one stock");
         assert!(self.n_days >= 2, "need at least two days");
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let universe = Universe::synthetic(self.n_stocks, self.n_sectors, self.industries_per_sector);
+        let universe =
+            Universe::synthetic(self.n_stocks, self.n_sectors, self.industries_per_sector);
 
         let loadings: Vec<Loadings> = (0..self.n_stocks)
             .map(|_| {
@@ -204,13 +217,22 @@ impl MarketConfig {
         let regime_mult = self.regime_path(&mut rng);
 
         // Factor paths.
-        let market_f: Vec<f64> =
-            (0..self.n_days).map(|t| normal(&mut rng, 0.0, self.market_vol) * regime_mult[t]).collect();
+        let market_f: Vec<f64> = (0..self.n_days)
+            .map(|t| normal(&mut rng, 0.0, self.market_vol) * regime_mult[t])
+            .collect();
         let sector_f: Vec<Vec<f64>> = (0..universe.n_sectors())
-            .map(|_| (0..self.n_days).map(|_| normal(&mut rng, 0.0, self.sector_vol)).collect())
+            .map(|_| {
+                (0..self.n_days)
+                    .map(|_| normal(&mut rng, 0.0, self.sector_vol))
+                    .collect()
+            })
             .collect();
         let industry_f: Vec<Vec<f64>> = (0..universe.n_industries())
-            .map(|_| (0..self.n_days).map(|_| normal(&mut rng, 0.0, self.industry_vol)).collect())
+            .map(|_| {
+                (0..self.n_days)
+                    .map(|_| normal(&mut rng, 0.0, self.industry_vol))
+                    .collect()
+            })
             .collect();
 
         // Day-major log-return simulation: the industry-relative signal
@@ -279,11 +301,19 @@ impl MarketConfig {
         let mut mult = Vec::with_capacity(self.n_days);
         let mut volatile = false;
         for _ in 0..self.n_days {
-            let p = if volatile { self.regime.p_volatile_to_calm } else { self.regime.p_calm_to_volatile };
+            let p = if volatile {
+                self.regime.p_volatile_to_calm
+            } else {
+                self.regime.p_calm_to_volatile
+            };
             if rng.gen::<f64>() < p {
                 volatile = !volatile;
             }
-            mult.push(if volatile { self.regime.volatile_multiplier } else { 1.0 });
+            mult.push(if volatile {
+                self.regime.volatile_multiplier
+            } else {
+                1.0
+            });
         }
         mult
     }
@@ -328,7 +358,12 @@ mod tests {
     use super::*;
 
     fn small() -> MarketConfig {
-        MarketConfig { n_stocks: 20, n_days: 120, seed: 3, ..Default::default() }
+        MarketConfig {
+            n_stocks: 20,
+            n_days: 120,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -350,13 +385,20 @@ mod tests {
 
     #[test]
     fn returns_have_realistic_scale() {
-        let md = MarketConfig { n_stocks: 30, n_days: 500, seed: 1, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 30,
+            n_days: 500,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
         let mut all = Vec::new();
         for s in &md.series {
             all.extend(s.simple_returns().into_iter().skip(1));
         }
         let mean = all.iter().sum::<f64>() / all.len() as f64;
-        let std = (all.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / all.len() as f64).sqrt();
+        let std =
+            (all.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / all.len() as f64).sqrt();
         // Daily vol should land between 1% and 6% given the default factors.
         assert!(std > 0.01 && std < 0.06, "daily std {std}");
         assert!(mean.abs() < 0.005, "daily mean {mean}");
@@ -380,8 +422,9 @@ mod tests {
             let closes: Vec<&Vec<f64>> = md.series.iter().map(|s| &s.close).collect();
             let mut daily = Vec::new();
             for t in 30..md.n_days() {
-                let xs: Vec<f64> =
-                    (0..md.n_stocks()).map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0).collect();
+                let xs: Vec<f64> = (0..md.n_stocks())
+                    .map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0)
+                    .collect();
                 let ys: Vec<f64> = (0..md.n_stocks()).map(|i| rets[i][t]).collect();
                 daily.push(pearson(&xs, &ys));
             }
@@ -402,7 +445,11 @@ mod tests {
             n_stocks: 120,
             n_days: 400,
             seed: 13,
-            signal: SignalConfig { reversal: 0.0, momentum: 0.0, industry_reversal: -0.08 },
+            signal: SignalConfig {
+                reversal: 0.0,
+                momentum: 0.0,
+                industry_reversal: -0.08,
+            },
             ..Default::default()
         }
         .generate();
@@ -412,15 +459,17 @@ mod tests {
         let mut raw_ics = Vec::new();
         let mut demeaned_ics = Vec::new();
         for t in 30..md.n_days() {
-            let r5: Vec<f64> =
-                (0..md.n_stocks()).map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0).collect();
+            let r5: Vec<f64> = (0..md.n_stocks())
+                .map(|i| closes[i][t - 1] / closes[i][t - 6] - 1.0)
+                .collect();
             let mut demeaned = r5.clone();
             for g in 0..u.n_industries() {
                 let members = u.industry_members(crate::universe::IndustryId(g as u16));
                 if members.is_empty() {
                     continue;
                 }
-                let mean = members.iter().map(|&m| r5[m as usize]).sum::<f64>() / members.len() as f64;
+                let mean =
+                    members.iter().map(|&m| r5[m as usize]).sum::<f64>() / members.len() as f64;
                 for &m in members {
                     demeaned[m as usize] -= mean;
                 }

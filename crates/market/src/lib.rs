@@ -82,7 +82,10 @@ impl std::fmt::Display for MarketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MarketError::TooFewDays { days, required } => {
-                write!(f, "{days} days of data but {required} required for warm-up + window")
+                write!(
+                    f,
+                    "{days} days of data but {required} required for warm-up + window"
+                )
             }
             MarketError::EmptyUniverse => write!(f, "universe has no stocks"),
             MarketError::Csv { line, msg } => write!(f, "csv parse error at line {line}: {msg}"),

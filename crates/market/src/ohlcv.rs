@@ -44,7 +44,13 @@ impl OhlcvSeries {
     /// `high >= max(open, close)`, positive prices, non-negative volume.
     pub fn is_well_formed(&self) -> bool {
         (0..self.len()).all(|t| {
-            let (o, h, l, c, v) = (self.open[t], self.high[t], self.low[t], self.close[t], self.volume[t]);
+            let (o, h, l, c, v) = (
+                self.open[t],
+                self.high[t],
+                self.low[t],
+                self.close[t],
+                self.volume[t],
+            );
             o > 0.0
                 && c > 0.0
                 && l > 0.0
@@ -170,7 +176,10 @@ mod tests {
     #[test]
     fn validate_catches_misaligned_panel() {
         let u = Universe::synthetic(2, 1, 1);
-        let md = MarketData { universe: u, series: vec![flat_series(5, 10.0), flat_series(6, 10.0)] };
+        let md = MarketData {
+            universe: u,
+            series: vec![flat_series(5, 10.0), flat_series(6, 10.0)],
+        };
         assert!(md.validate().is_err());
     }
 
@@ -179,7 +188,11 @@ mod tests {
         let u = Universe::synthetic(3, 1, 1);
         let md = MarketData {
             universe: u,
-            series: vec![flat_series(5, 10.0), flat_series(5, 20.0), flat_series(5, 30.0)],
+            series: vec![
+                flat_series(5, 10.0),
+                flat_series(5, 20.0),
+                flat_series(5, 30.0),
+            ],
         };
         let sub = md.subset(&[0, 2]);
         assert_eq!(sub.n_stocks(), 2);

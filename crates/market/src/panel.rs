@@ -25,7 +25,54 @@ pub struct FeaturePanel {
 impl FeaturePanel {
     /// Computes all features for all stocks and applies the feature set's
     /// normalization per stock per feature.
+    ///
+    /// # Panics
+    ///
+    /// If the feature set asks for [`Normalization::MaxAbsTrain`]: without
+    /// split information there is no training cutoff, and silently scaling
+    /// over all days would reintroduce the look-ahead leak that variant
+    /// exists to prevent. Either go through
+    /// [`Dataset::build`](crate::Dataset::build) /
+    /// [`FeaturePanel::build_with_train_cutoff`], or opt into whole-series
+    /// scaling explicitly with
+    /// [`FeatureSet::paper_strict`](crate::features::FeatureSet::paper_strict)
+    /// or `Normalization::MaxAbsAllDays`.
+    ///
+    /// [`Normalization::MaxAbsTrain`]: crate::features::Normalization::MaxAbsTrain
     pub fn build(market: &MarketData, features: &FeatureSet) -> FeaturePanel {
+        use crate::features::Normalization;
+        assert!(
+            features.normalization != Normalization::MaxAbsTrain,
+            "Normalization::MaxAbsTrain needs a training cutoff: build the panel through \
+             Dataset::build or FeaturePanel::build_with_train_cutoff, or request \
+             MaxAbsAllDays / FeatureSet::paper_strict() to scale over all days on purpose"
+        );
+        Self::build_inner(market, features, features.normalization)
+    }
+
+    /// Like [`FeaturePanel::build`], but resolves
+    /// [`Normalization::MaxAbsTrain`] to a concrete `MaxAbsUpTo(train_end)`
+    /// so the per-stock scale is fixed using training days only.
+    ///
+    /// [`Normalization::MaxAbsTrain`]: crate::features::Normalization::MaxAbsTrain
+    pub fn build_with_train_cutoff(
+        market: &MarketData,
+        features: &FeatureSet,
+        train_end: usize,
+    ) -> FeaturePanel {
+        use crate::features::Normalization;
+        let normalization = match features.normalization {
+            Normalization::MaxAbsTrain => Normalization::MaxAbsUpTo(train_end),
+            other => other,
+        };
+        Self::build_inner(market, features, normalization)
+    }
+
+    fn build_inner(
+        market: &MarketData,
+        features: &FeatureSet,
+        normalization: crate::features::Normalization,
+    ) -> FeaturePanel {
         let n_stocks = market.n_stocks();
         let n_days = market.n_days();
         let n_features = features.len();
@@ -34,7 +81,7 @@ impl FeaturePanel {
         for (i, series) in market.series.iter().enumerate() {
             for (j, kind) in features.kinds().iter().enumerate() {
                 let mut xs = kind.compute(series);
-                normalize_series(&mut xs, features.normalization);
+                normalize_series(&mut xs, normalization);
                 let off = (i * n_features + j) * n_days;
                 data[off..off + n_days].copy_from_slice(&xs);
             }
@@ -93,7 +140,11 @@ impl FeaturePanel {
     /// (callers must respect [`FeaturePanel::first_usable_day`]).
     pub fn fill_window(&self, stock: usize, day: usize, w: usize, out: &mut [f64]) {
         assert!(day >= w, "window would start before day 0");
-        assert_eq!(out.len(), self.n_features * w, "output buffer size mismatch");
+        assert_eq!(
+            out.len(),
+            self.n_features * w,
+            "output buffer size mismatch"
+        );
         for f in 0..self.n_features {
             let series = self.feature(stock, f);
             out[f * w..(f + 1) * w].copy_from_slice(&series[day - w..day]);
@@ -114,13 +165,19 @@ mod tests {
     use crate::generator::MarketConfig;
 
     fn tiny_market() -> MarketData {
-        MarketConfig { n_stocks: 4, n_days: 80, seed: 1, ..Default::default() }.generate()
+        MarketConfig {
+            n_stocks: 4,
+            n_days: 80,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
     fn panel_dimensions() {
         let md = tiny_market();
-        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
         assert_eq!(p.n_stocks(), 4);
         assert_eq!(p.n_features(), 13);
         assert_eq!(p.n_days(), 80);
@@ -131,7 +188,7 @@ mod tests {
     #[test]
     fn normalized_features_bounded() {
         let md = tiny_market();
-        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
         for i in 0..p.n_stocks() {
             for f in 0..p.n_features() {
                 for &x in p.feature(i, f) {
@@ -145,7 +202,7 @@ mod tests {
     #[test]
     fn window_extraction_matches_series() {
         let md = tiny_market();
-        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
         let w = 13;
         let day = 50;
         let mut x = vec![0.0; p.n_features() * w];
@@ -161,7 +218,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)]
     fn labels_are_next_day_returns() {
         let md = tiny_market();
-        let p = FeaturePanel::build(&md, &FeatureSet::paper());
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
         let expect = md.series[1].simple_returns();
         for t in 0..p.n_days() {
             assert_eq!(p.ret(1, t), expect[t]);
@@ -191,5 +248,50 @@ mod tests {
             x
         };
         assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "MaxAbsTrain")]
+    fn bare_build_rejects_train_normalization() {
+        // FeatureSet::paper() asks for training-days-only scaling; a bare
+        // panel build has no split, and silently degrading to all-days
+        // scaling would reintroduce the look-ahead leak — so it must panic.
+        let md = tiny_market();
+        let _ = FeaturePanel::build(&md, &FeatureSet::paper());
+    }
+
+    #[test]
+    fn train_cutoff_scale_is_fixed_before_the_holdout() {
+        use crate::ohlcv::OhlcvSeries;
+        use crate::universe::Universe;
+        // One stock whose price doubles after the cutoff: the pre-cutoff
+        // days must be scaled to max 1, and post-cutoff values must be
+        // allowed to exceed 1 (the scale may not adapt to future data).
+        let days = 60;
+        let cutoff = 40;
+        let close: Vec<f64> = (0..days)
+            .map(|t| if t < cutoff { 10.0 } else { 20.0 })
+            .collect();
+        let series = OhlcvSeries {
+            open: close.clone(),
+            high: close.iter().map(|c| c * 1.01).collect(),
+            low: close.iter().map(|c| c * 0.99).collect(),
+            close,
+            volume: vec![100.0; days],
+        };
+        let md = MarketData {
+            universe: Universe::synthetic(1, 1, 1),
+            series: vec![series],
+        };
+        let fs = FeatureSet::custom(vec![FeatureKind::Close]);
+        let p = FeaturePanel::build_with_train_cutoff(&md, &fs, cutoff);
+        let xs = p.feature(0, 0);
+        let pre_max = xs[..cutoff].iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!((pre_max - 1.0).abs() < 1e-12, "pre-cutoff max {pre_max}");
+        assert!(
+            xs[cutoff] > 1.5,
+            "post-cutoff value {} must exceed the training scale",
+            xs[cutoff]
+        );
     }
 }

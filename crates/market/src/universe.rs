@@ -46,15 +46,29 @@ impl Universe {
     /// Sector/industry ids may be sparse; membership tables are sized to the
     /// largest id + 1.
     pub fn new(stocks: Vec<StockMeta>) -> Self {
-        let n_sectors = stocks.iter().map(|s| s.sector.0 as usize + 1).max().unwrap_or(0);
-        let n_industries = stocks.iter().map(|s| s.industry.0 as usize + 1).max().unwrap_or(0);
+        let n_sectors = stocks
+            .iter()
+            .map(|s| s.sector.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n_industries = stocks
+            .iter()
+            .map(|s| s.industry.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut sector_members = vec![Vec::new(); n_sectors];
         let mut industry_members = vec![Vec::new(); n_industries];
         for (i, s) in stocks.iter().enumerate() {
             sector_members[s.sector.0 as usize].push(i as u32);
             industry_members[s.industry.0 as usize].push(i as u32);
         }
-        Universe { stocks, n_sectors, n_industries, sector_members, industry_members }
+        Universe {
+            stocks,
+            n_sectors,
+            n_industries,
+            sector_members,
+            industry_members,
+        }
     }
 
     /// Number of stocks.
@@ -107,7 +121,10 @@ impl Universe {
     /// with `industries_per_sector` industries each, assigned round-robin so
     /// group sizes are balanced. Symbols are `S0000`, `S0001`, ...
     pub fn synthetic(n: usize, n_sectors: usize, industries_per_sector: usize) -> Universe {
-        assert!(n_sectors > 0 && industries_per_sector > 0, "need at least one group");
+        assert!(
+            n_sectors > 0 && industries_per_sector > 0,
+            "need at least one group"
+        );
         let stocks = (0..n)
             .map(|i| {
                 let sector = i % n_sectors;
@@ -137,7 +154,9 @@ mod tests {
         assert_eq!(u.n_industries(), 6);
         let total: usize = (0..3).map(|s| u.sector_members(SectorId(s)).len()).sum();
         assert_eq!(total, 30);
-        let total_ind: usize = (0..6).map(|i| u.industry_members(IndustryId(i)).len()).sum();
+        let total_ind: usize = (0..6)
+            .map(|i| u.industry_members(IndustryId(i)).len())
+            .sum();
         assert_eq!(total_ind, 30);
     }
 

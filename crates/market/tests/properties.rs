@@ -39,7 +39,7 @@ proptest! {
     #[test]
     fn features_finite_and_bounded(seed in any::<u64>()) {
         let md = MarketConfig { n_stocks: 5, n_days: 120, seed, ..Default::default() }.generate();
-        let panel = FeaturePanel::build(&md, &FeatureSet::paper());
+        let panel = FeaturePanel::build(&md, &FeatureSet::paper_strict());
         for s in 0..panel.n_stocks() {
             for f in 0..panel.n_features() {
                 for &x in panel.feature(s, f) {

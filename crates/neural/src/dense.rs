@@ -22,7 +22,12 @@ impl Dense {
     pub fn new(store: &mut ParamStore, rng: &mut SmallRng, in_dim: usize, out_dim: usize) -> Dense {
         let w = store.alloc_xavier(out_dim * in_dim, in_dim, out_dim, rng);
         let b = store.alloc(out_dim);
-        Dense { in_dim, out_dim, w, b }
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b,
+        }
     }
 
     /// Forward pass.

@@ -106,7 +106,10 @@ mod tests {
     fn neighbors_include_self() {
         let g = graph();
         for i in 0..g.len() {
-            assert!(g.neighbors(i).contains(&(i as u32)), "stock {i} missing from its own group");
+            assert!(
+                g.neighbors(i).contains(&(i as u32)),
+                "stock {i} missing from its own group"
+            );
         }
     }
 

@@ -101,7 +101,11 @@ mod tests {
             p[i] -= 2.0 * eps;
             let down = rank_mse_loss(&p, &labels, alpha).loss;
             let fd = (up - down) / (2.0 * eps);
-            assert!((out.grad[i] - fd).abs() < 1e-5, "grad[{i}]: {} vs {fd}", out.grad[i]);
+            assert!(
+                (out.grad[i] - fd).abs() < 1e-5,
+                "grad[{i}]: {} vs {fd}",
+                out.grad[i]
+            );
         }
     }
 

@@ -167,7 +167,14 @@ mod tests {
     fn bptt_matches_finite_differences() {
         let mut rng = SmallRng::seed_from_u64(11);
         let mut store = ParamStore::new();
-        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 3, hidden: 4 });
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims {
+                input: 3,
+                hidden: 4,
+            },
+        );
         let xs: Vec<Vec<f64>> = vec![
             vec![0.1, -0.2, 0.5],
             vec![0.4, 0.0, -0.3],
@@ -186,7 +193,11 @@ mod tests {
         for k in (0..n).step_by(7) {
             // sample every 7th parameter to keep the test quick
             let id_all = if k < lstm.w.len() { lstm.w } else { lstm.b };
-            let local = if k < lstm.w.len() { k } else { k - lstm.w.len() };
+            let local = if k < lstm.w.len() {
+                k
+            } else {
+                k - lstm.w.len()
+            };
             let orig = store.value(id_all)[local];
             store.value_mut(id_all)[local] = orig + eps;
             let up = loss_of(&store, &lstm, &xs, &weights);
@@ -206,7 +217,14 @@ mod tests {
     fn forward_is_deterministic_and_bounded() {
         let mut rng = SmallRng::seed_from_u64(12);
         let mut store = ParamStore::new();
-        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 2, hidden: 8 });
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims {
+                input: 2,
+                hidden: 8,
+            },
+        );
         let xs = vec![vec![100.0, -100.0]; 10]; // extreme inputs
         let mut c1 = LstmCache::default();
         let mut c2 = LstmCache::default();
@@ -222,7 +240,14 @@ mod tests {
     fn forget_bias_initialized_to_one() {
         let mut rng = SmallRng::seed_from_u64(13);
         let mut store = ParamStore::new();
-        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 2, hidden: 3 });
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims {
+                input: 2,
+                hidden: 3,
+            },
+        );
         let b = store.value(lstm.b);
         assert_eq!(&b[3..6], &[1.0, 1.0, 1.0]);
         assert_eq!(&b[0..3], &[0.0, 0.0, 0.0]);
@@ -232,7 +257,14 @@ mod tests {
     fn longer_history_changes_embedding() {
         let mut rng = SmallRng::seed_from_u64(14);
         let mut store = ParamStore::new();
-        let lstm = Lstm::new(&mut store, &mut rng, LstmDims { input: 1, hidden: 4 });
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            LstmDims {
+                input: 1,
+                hidden: 4,
+            },
+        );
         let short = vec![vec![0.5]; 2];
         let long = vec![vec![0.5]; 9];
         let mut a = LstmCache::default();

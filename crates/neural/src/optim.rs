@@ -21,7 +21,15 @@ pub struct Adam {
 impl Adam {
     /// New optimizer for a store with `n_params` parameters.
     pub fn new(n_params: usize, lr: f64) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n_params], v: vec![0.0; n_params], t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
     }
 
     /// One update step from the store's accumulated gradients. Does not
@@ -30,7 +38,11 @@ impl Adam {
     pub fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
         let (values, grads) = store.raw_mut();
-        assert_eq!(values.len(), self.m.len(), "optimizer sized for a different store");
+        assert_eq!(
+            values.len(),
+            self.m.len(),
+            "optimizer sized for a different store"
+        );
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for k in 0..values.len() {

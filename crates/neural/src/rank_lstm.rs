@@ -79,10 +79,18 @@ impl RankLstm {
         let lstm = Lstm::new(
             &mut store,
             &mut rng,
-            LstmDims { input: cfg.feature_rows.len(), hidden: cfg.hidden },
+            LstmDims {
+                input: cfg.feature_rows.len(),
+                hidden: cfg.hidden,
+            },
         );
         let head = Dense::new(&mut store, &mut rng, cfg.hidden, 1);
-        RankLstm { store, lstm, head, cfg }
+        RankLstm {
+            store,
+            lstm,
+            head,
+            cfg,
+        }
     }
 
     /// The configuration in force.
@@ -95,7 +103,13 @@ impl RankLstm {
     pub fn sequence(&self, dataset: &Dataset, stock: usize, day: usize) -> Vec<Vec<f64>> {
         let panel = dataset.panel();
         (day - self.cfg.seq_len..day)
-            .map(|t| self.cfg.feature_rows.iter().map(|&r| panel.feature(stock, r)[t]).collect())
+            .map(|t| {
+                self.cfg
+                    .feature_rows
+                    .iter()
+                    .map(|&r| panel.feature(stock, r)[t])
+                    .collect()
+            })
             .collect()
     }
 
@@ -132,7 +146,8 @@ impl RankLstm {
                 self.store.zero_grads();
                 for (cache, grad) in caches.iter().zip(&out.grad) {
                     let mut dh = vec![0.0; self.cfg.hidden];
-                    self.head.backward(&mut self.store, &cache.h_final, &[*grad], &mut dh);
+                    self.head
+                        .backward(&mut self.store, &cache.h_final, &[*grad], &mut dh);
                     self.lstm.backward(&mut self.store, cache, &dh);
                 }
                 adam.step(&mut self.store);
@@ -144,7 +159,9 @@ impl RankLstm {
 
     /// Predictions for every stock on one day.
     pub fn predict_day(&self, dataset: &Dataset, day: usize) -> Vec<f64> {
-        (0..dataset.n_stocks()).map(|s| self.forward_one(dataset, s, day).0).collect()
+        (0..dataset.n_stocks())
+            .map(|s| self.forward_one(dataset, s, day).0)
+            .collect()
     }
 
     /// Prediction cross-sections over a day range.
@@ -155,7 +172,9 @@ impl RankLstm {
     /// The LSTM embeddings (final hidden states) for every stock on one
     /// day — the "sequential embeddings" RSR builds on.
     pub fn embeddings_day(&self, dataset: &Dataset, day: usize) -> Vec<Vec<f64>> {
-        (0..dataset.n_stocks()).map(|s| self.forward_one(dataset, s, day).1.h_final).collect()
+        (0..dataset.n_stocks())
+            .map(|s| self.forward_one(dataset, s, day).1.h_final)
+            .collect()
     }
 }
 
@@ -165,12 +184,24 @@ mod tests {
     use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
 
     fn tiny_dataset(seed: u64) -> Dataset {
-        let md = MarketConfig { n_stocks: 8, n_days: 110, seed, ..Default::default() }.generate();
+        let md = MarketConfig {
+            n_stocks: 8,
+            n_days: 110,
+            seed,
+            ..Default::default()
+        }
+        .generate();
         Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
     }
 
     fn tiny_config() -> RankLstmConfig {
-        RankLstmConfig { hidden: 8, seq_len: 4, epochs: 3, seed: 1, ..Default::default() }
+        RankLstmConfig {
+            hidden: 8,
+            seq_len: 4,
+            epochs: 3,
+            seed: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -199,7 +230,10 @@ mod tests {
             assert!(row.iter().all(|x| x.is_finite()));
         }
         let first = &preds[0];
-        assert!(first.iter().any(|&x| (x - first[0]).abs() > 1e-12), "predictions must differ");
+        assert!(
+            first.iter().any(|&x| (x - first[0]).abs() > 1e-12),
+            "predictions must differ"
+        );
     }
 
     #[test]
@@ -217,7 +251,10 @@ mod tests {
     fn different_seeds_differ() {
         let ds = tiny_dataset(44);
         let mut a = RankLstm::new(tiny_config());
-        let mut b = RankLstm::new(RankLstmConfig { seed: 9, ..tiny_config() });
+        let mut b = RankLstm::new(RankLstmConfig {
+            seed: 9,
+            ..tiny_config()
+        });
         a.train(&ds);
         b.train(&ds);
         let day = ds.valid_days().start;

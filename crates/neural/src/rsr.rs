@@ -37,7 +37,10 @@ pub struct RsrConfig {
 
 impl Default for RsrConfig {
     fn default() -> Self {
-        RsrConfig { base: RankLstmConfig::default(), level: RelationLevel::Industry }
+        RsrConfig {
+            base: RankLstmConfig::default(),
+            level: RelationLevel::Industry,
+        }
     }
 }
 
@@ -61,11 +64,20 @@ impl Rsr {
         let lstm = Lstm::new(
             &mut store,
             &mut rng,
-            LstmDims { input: cfg.base.feature_rows.len(), hidden: cfg.base.hidden },
+            LstmDims {
+                input: cfg.base.feature_rows.len(),
+                hidden: cfg.base.hidden,
+            },
         );
         let head = Dense::new(&mut store, &mut rng, 2 * cfg.base.hidden, 1);
         let graph = StockGraph::from_universe(dataset.universe(), cfg.level);
-        Rsr { store, lstm, head, graph, cfg }
+        Rsr {
+            store,
+            lstm,
+            head,
+            graph,
+            cfg,
+        }
     }
 
     /// The configuration in force.
@@ -76,15 +88,27 @@ impl Rsr {
     /// Copies a pre-trained Rank_LSTM's encoder weights into this model
     /// (shapes must match).
     pub fn init_from(&mut self, pretrained: &RankLstm) {
-        assert_eq!(self.lstm.dims, pretrained.lstm.dims, "encoder shapes must match");
-        self.store.copy_values_from(&pretrained.store, self.lstm.w, pretrained.lstm.w);
-        self.store.copy_values_from(&pretrained.store, self.lstm.b, pretrained.lstm.b);
+        assert_eq!(
+            self.lstm.dims, pretrained.lstm.dims,
+            "encoder shapes must match"
+        );
+        self.store
+            .copy_values_from(&pretrained.store, self.lstm.w, pretrained.lstm.w);
+        self.store
+            .copy_values_from(&pretrained.store, self.lstm.b, pretrained.lstm.b);
     }
 
     fn sequence(&self, dataset: &Dataset, stock: usize, day: usize) -> Vec<Vec<f64>> {
         let panel = dataset.panel();
         (day - self.cfg.base.seq_len..day)
-            .map(|t| self.cfg.base.feature_rows.iter().map(|&r| panel.feature(stock, r)[t]).collect())
+            .map(|t| {
+                self.cfg
+                    .base
+                    .feature_rows
+                    .iter()
+                    .map(|&r| panel.feature(stock, r)[t])
+                    .collect()
+            })
             .collect()
     }
 
@@ -143,7 +167,8 @@ impl Rsr {
                 for stock in 0..k {
                     let c = &cat[stock * 2 * h..(stock + 1) * 2 * h];
                     let mut dcat = vec![0.0; 2 * h];
-                    self.head.backward(&mut self.store, c, &[out.grad[stock]], &mut dcat);
+                    self.head
+                        .backward(&mut self.store, c, &[out.grad[stock]], &mut dcat);
                     d_emb[stock * h..(stock + 1) * h].copy_from_slice(&dcat[..h]);
                     d_rel[stock * h..(stock + 1) * h].copy_from_slice(&dcat[h..]);
                 }
@@ -180,14 +205,26 @@ mod tests {
     use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, SplitSpec};
 
     fn tiny_dataset(seed: u64) -> Dataset {
-        let md = MarketConfig { n_stocks: 8, n_days: 110, seed, n_sectors: 2, ..Default::default() }
-            .generate();
+        let md = MarketConfig {
+            n_stocks: 8,
+            n_days: 110,
+            seed,
+            n_sectors: 2,
+            ..Default::default()
+        }
+        .generate();
         Dataset::build(&md, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap()
     }
 
     fn tiny_config() -> RsrConfig {
         RsrConfig {
-            base: RankLstmConfig { hidden: 8, seq_len: 4, epochs: 3, seed: 1, ..Default::default() },
+            base: RankLstmConfig {
+                hidden: 8,
+                seq_len: 4,
+                epochs: 3,
+                seed: 1,
+                ..Default::default()
+            },
             level: RelationLevel::Sector,
         }
     }

@@ -50,7 +50,13 @@ impl ParamStore {
 
     /// Allocates a block with Xavier/Glorot-uniform init for a layer with
     /// the given fan-in/fan-out.
-    pub fn alloc_xavier(&mut self, len: usize, fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> ParamId {
+    pub fn alloc_xavier(
+        &mut self,
+        len: usize,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SmallRng,
+    ) -> ParamId {
         let id = self.alloc(len);
         let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
         for x in self.value_mut(id) {
@@ -170,7 +176,10 @@ mod tests {
         let id = s.alloc_xavier(1000, 10, 10, &mut rng);
         let bound = (6.0 / 20.0f64).sqrt();
         assert!(s.value(id).iter().all(|x| x.abs() <= bound));
-        assert!(s.value(id).iter().any(|x| x.abs() > bound * 0.5), "values should spread");
+        assert!(
+            s.value(id).iter().any(|x| x.abs() > bound * 0.5),
+            "values should spread"
+        );
     }
 
     #[test]

@@ -18,12 +18,21 @@ use alphaevolve::core::{
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 fn main() {
-    let market = MarketConfig { n_stocks: 40, n_days: 300, seed: 11, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 40,
+        n_days: 300,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
     let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
         .expect("dataset builds");
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(40), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(40),
+            ..Default::default()
+        },
         Arc::new(dataset),
     );
 
@@ -36,10 +45,15 @@ fn main() {
         tournament_size: 10,
         budget: Budget::Searched(5_000),
         seed: 3,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         ..Default::default()
     };
-    println!("mining with {} workers, budget {:?} ...", config.workers, config.budget);
+    println!(
+        "mining with {} workers, budget {:?} ...",
+        config.workers, config.budget
+    );
     let outcome = Evolution::new(&evaluator, config).run(&seed_alpha);
 
     println!(
@@ -53,11 +67,17 @@ fn main() {
     );
 
     let best = outcome.best.expect("search found a valid alpha");
-    println!("\nbest alpha (effective program after pruning):\n{}", best.pruned);
+    println!(
+        "\nbest alpha (effective program after pruning):\n{}",
+        best.pruned
+    );
     println!("validation IC: {:.6} (seed was {seed_ic:.6})", best.ic);
 
     // Structural study, in the style of the paper's §5.4.2.
-    println!("\nstructure:\n{}", alphaevolve::core::analyze(&best.pruned).report());
+    println!(
+        "\nstructure:\n{}",
+        alphaevolve::core::analyze(&best.pruned).report()
+    );
 
     let report = evaluator.backtest(&best.pruned);
     println!("test IC:     {:.6}", report.test.ic);

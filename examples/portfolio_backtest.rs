@@ -16,18 +16,30 @@ use alphaevolve::core::{init, AlphaConfig, EvalOptions, Evaluator};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 fn main() {
-    let market = MarketConfig { n_stocks: 50, n_days: 380, seed: 5, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 50,
+        n_days: 380,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
     let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
         .expect("dataset builds");
     let ls = LongShortConfig::scaled(50);
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: ls, ..Default::default() },
+        EvalOptions {
+            long_short: ls,
+            ..Default::default()
+        },
         Arc::new(dataset.clone()),
     );
 
     for (name, alpha) in [
-        ("domain-expert alpha (Alpha#101)", init::domain_expert(evaluator.config())),
+        (
+            "domain-expert alpha (Alpha#101)",
+            init::domain_expert(evaluator.config()),
+        ),
         ("two-layer NN alpha", init::two_layer_nn(evaluator.config())),
     ] {
         let report = evaluator.backtest(&alpha);
@@ -39,21 +51,27 @@ fn main() {
         println!("  total return:       {:+.3}%", stats.total_return * 100.0);
         println!("  annualized vol:     {:.3}%", stats.annualized_vol * 100.0);
         println!("  max drawdown:       {:.3}%", max_drawdown(&nav) * 100.0);
-        println!("  final NAV:          {:.4} over {} days", nav.last().unwrap(), stats.days);
+        println!(
+            "  final NAV:          {:.4} over {} days",
+            nav.last().unwrap(),
+            stats.days
+        );
     }
 
     // Show one day's books for the expert alpha.
     let alpha = init::domain_expert(evaluator.config());
     let groups = alphaevolve::core::GroupIndex::from_universe(dataset.universe());
-    let mut interp =
-        alphaevolve::core::Interpreter::new(evaluator.config(), &dataset, &groups, 0);
+    let mut interp = alphaevolve::core::Interpreter::new(evaluator.config(), &dataset, &groups, 0);
     interp.run_setup(&alpha);
     let day = dataset.test_days().end - 1;
     let mut preds = vec![0.0; dataset.n_stocks()];
     interp.predict_day(&alpha, day, &mut preds);
     let books = positions(&preds, &ls);
     let syms = |ix: &[usize]| {
-        ix.iter().map(|&i| dataset.universe().stock(i).symbol.clone()).collect::<Vec<_>>().join(" ")
+        ix.iter()
+            .map(|&i| dataset.universe().stock(i).symbol.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     println!("\nbooks on the last test day (k={}):", ls.k_long);
     println!("  long:  {}", syms(&books.long));

@@ -14,7 +14,13 @@ use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset
 fn main() {
     // 1. A synthetic market: 50 stocks over ~1.5 trading years, with the
     //    generator's default planted predictability.
-    let market = MarketConfig { n_stocks: 50, n_days: 380, seed: 42, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 50,
+        n_days: 380,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
     println!(
         "market: {} stocks x {} days, {} sectors",
         market.n_stocks(),
@@ -43,7 +49,10 @@ fn main() {
     // 4. Score it: validation IC as fitness, then a full backtest.
     let evaluator = Evaluator::new(
         cfg,
-        EvalOptions { long_short: LongShortConfig::scaled(50), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(50),
+            ..Default::default()
+        },
         Arc::new(dataset),
     );
     let eval = evaluator.evaluate(&alpha);

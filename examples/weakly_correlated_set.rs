@@ -21,12 +21,21 @@ use alphaevolve::core::{
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 fn main() {
-    let market = MarketConfig { n_stocks: 40, n_days: 300, seed: 21, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 40,
+        n_days: 300,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
     let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
         .expect("dataset builds");
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(40), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(40),
+            ..Default::default()
+        },
         Arc::new(dataset),
     );
 
@@ -38,11 +47,14 @@ fn main() {
         let config = EvolutionConfig {
             budget: Budget::Searched(3_000),
             seed: 100 + round as u64,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             ..Default::default()
         };
-        let outcome =
-            Evolution::new(&evaluator, config).with_gate(&gate).run(&init::domain_expert(evaluator.config()));
+        let outcome = Evolution::new(&evaluator, config)
+            .with_gate(&gate)
+            .run(&init::domain_expert(evaluator.config()));
         match outcome.best {
             Some(best) => {
                 let corr = gate.max_correlation(&best.val_returns);
@@ -50,7 +62,11 @@ fn main() {
                     "round {round}: IC {:.6}, val Sharpe {:.4}, max corr with set {}",
                     best.ic,
                     sharpe_ratio(&best.val_returns),
-                    if corr.is_finite() { format!("{corr:.4}") } else { "n/a".into() },
+                    if corr.is_finite() {
+                        format!("{corr:.4}")
+                    } else {
+                        "n/a".into()
+                    },
                 );
                 gate.accept(best.val_returns.clone());
                 set_returns.push(best.val_returns);
@@ -60,7 +76,10 @@ fn main() {
         }
     }
 
-    println!("\ncorrelation matrix of the mined set (cutoff {}):", gate.cutoff());
+    println!(
+        "\ncorrelation matrix of the mined set (cutoff {}):",
+        gate.cutoff()
+    );
     let m = correlation_matrix(&set_returns);
     print!("{:>10}", "");
     for n in &names {

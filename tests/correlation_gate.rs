@@ -11,7 +11,13 @@ use alphaevolve::gp::{GpBudget, GpConfig, GpEngine};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 fn dataset(seed: u64) -> Arc<Dataset> {
-    let market = MarketConfig { n_stocks: 18, n_days: 150, seed, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 18,
+        n_days: 150,
+        seed,
+        ..Default::default()
+    }
+    .generate();
     Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap())
 }
 
@@ -21,7 +27,10 @@ fn multi_round_mining_produces_weakly_correlated_set() {
     let ds = dataset(61);
     let ev = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(18),
+            ..Default::default()
+        },
         ds,
     );
     let mut gate = CorrelationGate::paper();
@@ -34,8 +43,9 @@ fn multi_round_mining_produces_weakly_correlated_set() {
             seed: round as u64 * 7 + 1,
             ..Default::default()
         };
-        let outcome =
-            Evolution::new(&ev, config).with_gate(&gate).run(&init::domain_expert(ev.config()));
+        let outcome = Evolution::new(&ev, config)
+            .with_gate(&gate)
+            .run(&init::domain_expert(ev.config()));
         if let Some(best) = outcome.best {
             gate.accept(best.val_returns.clone());
             accepted.push(best.val_returns);
@@ -67,7 +77,10 @@ fn ae_and_gp_score_through_identical_metrics() {
     let ds = dataset(62);
     let ev = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(18),
+            ..Default::default()
+        },
         ds.clone(),
     );
 
@@ -112,7 +125,10 @@ fn gp_engine_respects_gate_from_ae_alpha() {
     let ds = dataset(63);
     let ev = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(18), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(18),
+            ..Default::default()
+        },
         ds.clone(),
     );
     let seed_eval = ev.evaluate(&init::domain_expert(ev.config()));
@@ -128,6 +144,9 @@ fn gp_engine_respects_gate_from_ae_alpha() {
     };
     let outcome = GpEngine::new(&ds, config).with_gate(&gate).run();
     if let Some(best) = outcome.best {
-        assert!(gate.passes(&best.val_returns), "GP winner must satisfy the AE-sourced gate");
+        assert!(
+            gate.passes(&best.val_returns),
+            "GP winner must satisfy the AE-sourced gate"
+        );
     }
 }

@@ -11,7 +11,13 @@ use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset
 use alphaevolve::neural::{RankLstm, RankLstmConfig};
 
 fn pipeline_fingerprint(seed: u64) -> (f64, f64, f64) {
-    let market = MarketConfig { n_stocks: 14, n_days: 130, seed, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 14,
+        n_days: 130,
+        seed,
+        ..Default::default()
+    }
+    .generate();
     let ds =
         Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
 
@@ -31,7 +37,12 @@ fn pipeline_fingerprint(seed: u64) -> (f64, f64, f64) {
 
     let gp = GpEngine::new(
         &ds,
-        GpConfig { population_size: 20, budget: GpBudget::Generations(2), seed: 5, ..Default::default() },
+        GpConfig {
+            population_size: 20,
+            budget: GpBudget::Generations(2),
+            seed: 5,
+            ..Default::default()
+        },
     )
     .run();
     let gp_ic = gp.best.map(|b| b.ic).unwrap_or(f64::NAN);

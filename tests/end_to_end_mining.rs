@@ -10,12 +10,20 @@ use alphaevolve::core::{
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 fn evaluator(seed: u64, n_stocks: usize, n_days: usize) -> Evaluator {
-    let market = MarketConfig { n_stocks, n_days, seed, ..Default::default() }.generate();
-    let dataset =
-        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+    let market = MarketConfig {
+        n_stocks,
+        n_days,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
     Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(n_stocks), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(n_stocks),
+            ..Default::default()
+        },
         Arc::new(dataset),
     )
 }
@@ -35,7 +43,11 @@ fn mining_improves_on_seed_and_round_trips() {
     };
     let outcome = Evolution::new(&ev, config).run(&seed_prog);
     let best = outcome.best.expect("must find a valid alpha");
-    assert!(best.ic >= seed_ic, "mining went backwards: {} < {seed_ic}", best.ic);
+    assert!(
+        best.ic >= seed_ic,
+        "mining went backwards: {} < {seed_ic}",
+        best.ic
+    );
 
     // The mined alpha round-trips through the text format and re-evaluates
     // to exactly the same fitness.
@@ -43,7 +55,10 @@ fn mining_improves_on_seed_and_round_trips() {
     let reloaded = textio::from_text(&text).expect("mined alpha parses back");
     assert_eq!(reloaded, best.pruned);
     let re_eval = ev.evaluate(&reloaded);
-    assert_eq!(re_eval.ic, best.ic, "deserialized alpha must score identically");
+    assert_eq!(
+        re_eval.ic, best.ic,
+        "deserialized alpha must score identically"
+    );
 }
 
 #[test]
@@ -94,7 +109,14 @@ fn pruned_program_scores_identically_to_original() {
     // Inject dead code around the live computation.
     prog.predict.insert(
         0,
-        alphaevolve::core::Instruction::new(alphaevolve::core::Op::MatMul, 1, 2, 3, [0.0; 2], [0; 2]),
+        alphaevolve::core::Instruction::new(
+            alphaevolve::core::Op::MatMul,
+            1,
+            2,
+            3,
+            [0.0; 2],
+            [0; 2],
+        ),
     );
     prog.update.push(alphaevolve::core::Instruction::new(
         alphaevolve::core::Op::SConst,
@@ -126,10 +148,17 @@ fn filters_compose_with_dataset_pipeline() {
     .generate();
     let out = apply(&market, FilterConfig::default());
     assert!(out.market.n_stocks() < 40, "filters should drop something");
-    assert!(out.market.n_stocks() >= 10, "filters should keep most of the market");
+    assert!(
+        out.market.n_stocks() >= 10,
+        "filters should keep most of the market"
+    );
     let dataset =
         Dataset::build(&out.market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
-    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), Arc::new(dataset));
+    let ev = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        Arc::new(dataset),
+    );
     let e = ev.evaluate(&init::domain_expert(ev.config()));
     assert!(e.fitness.is_some());
 }
@@ -137,7 +166,13 @@ fn filters_compose_with_dataset_pipeline() {
 #[test]
 fn csv_round_trip_preserves_mining_results() {
     use std::io::BufReader;
-    let market = MarketConfig { n_stocks: 12, n_days: 130, seed: 5, ..Default::default() }.generate();
+    let market = MarketConfig {
+        n_stocks: 12,
+        n_days: 130,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
     let mut buf = Vec::new();
     alphaevolve::market::csvio::write_csv(&market, &mut buf).unwrap();
     let reloaded = alphaevolve::market::csvio::read_csv(BufReader::new(&buf[..])).unwrap();
@@ -149,5 +184,8 @@ fn csv_round_trip_preserves_mining_results() {
     };
     let a = build(&market);
     let b = build(&reloaded);
-    assert!((a - b).abs() < 1e-9, "CSV round trip changed evaluation: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-9,
+        "CSV round trip changed evaluation: {a} vs {b}"
+    );
 }

@@ -1,0 +1,35 @@
+//! Smoke test against example drift: all four examples (`quickstart`,
+//! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`) must keep
+//! compiling against the current API. Examples are not built by a plain
+//! `cargo test`, so without this check they rot silently.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_build() {
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(
+        status.success(),
+        "`cargo build --examples` failed: {status}"
+    );
+}
+
+#[test]
+fn all_four_examples_exist() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    for name in [
+        "quickstart",
+        "mine_alphas",
+        "portfolio_backtest",
+        "weakly_correlated_set",
+    ] {
+        assert!(
+            dir.join(format!("{name}.rs")).is_file(),
+            "examples/{name}.rs is missing"
+        );
+    }
+}

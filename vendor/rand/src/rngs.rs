@@ -1,0 +1,91 @@
+//! The concrete generators: [`SmallRng`] and [`StdRng`].
+//!
+//! Both are xoshiro256++ cores seeded with SplitMix64. They exist as
+//! distinct types to mirror real `rand`'s API surface; `StdRng` perturbs
+//! the seed stream so the two types never share a sequence for equal
+//! seeds.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step — the standard seed expander for xoshiro generators.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ state, the shared core of both generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // The all-zero state is a fixed point; SplitMix64 cannot emit four
+        // consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A small, fast, deterministic generator (stands in for `rand`'s
+/// `SmallRng`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng(Xoshiro256);
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(Xoshiro256::from_u64(state))
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+/// The "standard" generator (stands in for `rand`'s ChaCha12-based
+/// `StdRng`; here a domain-separated xoshiro256++ stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Domain-separate from SmallRng so the two types never produce the
+        // same stream for the same seed.
+        StdRng(Xoshiro256::from_u64(state ^ 0x51D5_7A92_E9D3_1A6B))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
