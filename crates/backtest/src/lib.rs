@@ -15,15 +15,25 @@
 //!   cutoff between alphas ([`correlation`]).
 //!
 //! The crate is deliberately free of any dependency on the alpha DSL: it
-//! consumes plain prediction/return matrices so the GP and neural baselines
-//! are scored by exactly the same code path.
+//! consumes plain prediction/return panels ([`CrossSections`] — flat
+//! day-major matrices with a per-day validity mask) so the GP and neural
+//! baselines are scored by exactly the same code path, and the evaluation
+//! hot path runs allocation-free against reusable buffers.
 //!
 //! ```
-//! use alphaevolve_backtest::{portfolio::{LongShortConfig, long_short_returns}, metrics};
+//! use alphaevolve_backtest::{
+//!     portfolio::{LongShortConfig, long_short_returns}, metrics, CrossSections,
+//! };
 //!
 //! // Two days, four stocks. Predictions rank stock 3 highest, stock 0 lowest.
-//! let preds = vec![vec![-0.9, 0.1, 0.2, 0.8], vec![-0.5, 0.0, 0.1, 0.6]];
-//! let rets  = vec![vec![-0.02, 0.00, 0.01, 0.03], vec![-0.01, 0.00, 0.00, 0.02]];
+//! let preds = CrossSections::from_rows(&[
+//!     vec![-0.9, 0.1, 0.2, 0.8],
+//!     vec![-0.5, 0.0, 0.1, 0.6],
+//! ]);
+//! let rets = CrossSections::from_rows(&[
+//!     vec![-0.02, 0.00, 0.01, 0.03],
+//!     vec![-0.01, 0.00, 0.00, 0.02],
+//! ]);
 //! let cfg = LongShortConfig { k_long: 1, k_short: 1 };
 //! let rp = long_short_returns(&preds, &rets, &cfg);
 //! assert!(rp.iter().all(|r| *r > 0.0)); // long winners, short losers
@@ -34,12 +44,14 @@
 #![warn(missing_docs)]
 
 pub mod correlation;
+pub mod cross_sections;
 pub mod equity;
 pub mod metrics;
 pub mod portfolio;
 pub mod report;
 
 pub use correlation::return_correlation;
+pub use cross_sections::CrossSections;
 pub use equity::EquityStats;
 pub use metrics::{information_coefficient, sharpe_ratio};
-pub use portfolio::{long_short_returns, LongShortConfig};
+pub use portfolio::{long_short_returns, long_short_returns_into, LongShortConfig};

@@ -1,4 +1,11 @@
 //! Statistical metrics: Pearson/Spearman correlation, IC, Sharpe ratio.
+//!
+//! The panel metrics (IC family) consume flat [`CrossSections`] panels and
+//! are allocation-free on the hot path: [`information_coefficient`] streams
+//! the per-day correlations instead of collecting them, and the non-finite
+//! masking runs in place rather than building filtered copies.
+
+use crate::cross_sections::{joint_valid_days, CrossSections};
 
 /// Trading days per year used for annualization (paper §5.3).
 pub const TRADING_DAYS_PER_YEAR: f64 = 252.0;
@@ -48,6 +55,46 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     cov / (vx.sqrt() * vy.sqrt())
 }
 
+/// Pearson correlation of the entries where `x` is finite, computed in
+/// place (no filtered copies). Equals [`pearson`] exactly — same
+/// accumulation order — when every `x` entry is finite.
+pub fn pearson_finite_masked(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.is_empty() {
+        return 0.0;
+    }
+    let mut n = 0usize;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for i in 0..x.len() {
+        if x[i].is_finite() {
+            n += 1;
+            sx += x[i];
+            sy += y[i];
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..x.len() {
+        if x[i].is_finite() {
+            let dx = x[i] - mx;
+            let dy = y[i] - my;
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+    }
+    if vx <= 0.0 || vy <= 0.0 || !(vx.is_finite() && vy.is_finite()) {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
 /// Fractional ranks in `[0, n-1]` with ties sharing their average rank.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
@@ -84,48 +131,50 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 /// Daily cross-sectional Pearson correlations between predictions and
 /// realized returns — the per-day terms of the paper's Eq. 1.
 ///
-/// `preds[d]` and `rets[d]` are the cross-sections on day `d`. Days where a
+/// One entry per day valid in *both* panels, in day order. Days where a
 /// prediction is non-finite for some stock are scored with those stocks
 /// excluded.
-pub fn daily_ic_series(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> Vec<f64> {
-    preds
-        .iter()
-        .zip(rets.iter())
-        .map(|(p, r)| {
-            if p.iter().all(|x| x.is_finite()) {
-                pearson(p, r)
-            } else {
-                let (fp, fr): (Vec<f64>, Vec<f64>) = p
-                    .iter()
-                    .zip(r.iter())
-                    .filter(|(x, _)| x.is_finite())
-                    .map(|(&x, &y)| (x, y))
-                    .unzip();
-                pearson(&fp, &fr)
-            }
-        })
+pub fn daily_ic_series(preds: &CrossSections, rets: &CrossSections) -> Vec<f64> {
+    joint_valid_days(preds, rets)
+        .map(|d| pearson_finite_masked(preds.row(d), rets.row(d)))
         .collect()
 }
 
-/// Information Coefficient (paper Eq. 1): the mean of
-/// [`daily_ic_series`].
-pub fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
-    mean(&daily_ic_series(preds, rets))
+/// Information Coefficient (paper Eq. 1): the mean over valid days of the
+/// daily cross-sectional correlation. Streams the per-day terms —
+/// allocation-free.
+pub fn information_coefficient(preds: &CrossSections, rets: &CrossSections) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for d in joint_valid_days(preds, rets) {
+        sum += pearson_finite_masked(preds.row(d), rets.row(d));
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
-/// Rank IC: mean daily Spearman correlation.
-pub fn rank_information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
-    let daily: Vec<f64> = preds
-        .iter()
-        .zip(rets.iter())
-        .map(|(p, r)| spearman(p, r))
-        .collect();
-    mean(&daily)
+/// Rank IC: mean daily Spearman correlation over valid days.
+pub fn rank_information_coefficient(preds: &CrossSections, rets: &CrossSections) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for d in joint_valid_days(preds, rets) {
+        sum += spearman(preds.row(d), rets.row(d));
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 /// IC information ratio: mean(daily IC) / std(daily IC). A stability
 /// measure often reported alongside IC.
-pub fn icir(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+pub fn icir(preds: &CrossSections, rets: &CrossSections) -> f64 {
     let daily = daily_ic_series(preds, rets);
     let s = sample_std(&daily);
     if s == 0.0 {
@@ -193,21 +242,37 @@ mod tests {
 
     #[test]
     fn ic_mixes_days() {
-        let preds = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
-        let rets = vec![vec![0.1, 0.2, 0.3], vec![0.1, 0.2, 0.3]];
+        let preds = CrossSections::from_rows(&[vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]]);
+        let rets = CrossSections::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.1, 0.2, 0.3]]);
         // Day 0 corr = +1, day 1 corr = -1 -> IC = 0.
         assert!(information_coefficient(&preds, &rets).abs() < 1e-12);
     }
 
     #[test]
     fn ic_skips_non_finite_predictions() {
-        let preds = vec![vec![1.0, f64::NAN, 3.0, 4.0]];
-        let rets = vec![vec![0.1, 9.0, 0.3, 0.4]];
+        let preds = CrossSections::from_rows(&[vec![1.0, f64::NAN, 3.0, 4.0]]);
+        let rets = CrossSections::from_rows(&[vec![0.1, 9.0, 0.3, 0.4]]);
         let ic = information_coefficient(&preds, &rets);
         assert!(
             (ic - 1.0).abs() < 1e-9,
             "finite subset is perfectly correlated, got {ic}"
         );
+    }
+
+    #[test]
+    fn ic_skips_invalid_days() {
+        let mut preds = CrossSections::from_rows(&[vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]]);
+        let rets = CrossSections::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.1, 0.2, 0.3]]);
+        preds.invalidate_day(1); // drop the anti-correlated day
+        assert!((information_coefficient(&preds, &rets) - 1.0).abs() < 1e-12);
+        assert_eq!(daily_ic_series(&preds, &rets).len(), 1);
+    }
+
+    #[test]
+    fn masked_pearson_matches_plain_when_finite() {
+        let x = [0.3, -0.1, 0.7, 0.2, -0.5];
+        let y = [0.1, 0.0, 0.4, 0.2, -0.2];
+        assert_eq!(pearson(&x, &y), pearson_finite_masked(&x, &y));
     }
 
     #[test]
@@ -232,16 +297,8 @@ mod tests {
 
     #[test]
     fn icir_positive_for_stable_signal() {
-        let preds = vec![vec![1.0, 2.0, 3.0]; 5];
-        let rets: Vec<Vec<f64>> = (0..5)
-            .map(|d| {
-                vec![
-                    0.01 * d as f64,
-                    0.02 + 0.01 * d as f64,
-                    0.03 + 0.01 * d as f64,
-                ]
-            })
-            .collect();
+        let preds = CrossSections::from_rows(&vec![vec![1.0, 2.0, 3.0]; 5]);
+        let rets = CrossSections::from_fn(5, 3, |d, s| 0.01 * (s + 1) as f64 + 0.01 * d as f64);
         assert!(icir(&preds, &rets) > 0.0 || sample_std(&daily_ic_series(&preds, &rets)) == 0.0);
     }
 }

@@ -14,6 +14,12 @@
 //!
 //! i.e. each side commits half the capital. `NAV_t = V_l + V_s − C_t`
 //! compounds these returns (see [`crate::equity`]).
+//!
+//! Panel inputs are flat [`CrossSections`]; the `_with`/`_into` variants
+//! take caller-owned scratch so the evaluation hot path performs no
+//! per-candidate allocations.
+
+use crate::cross_sections::CrossSections;
 
 /// Long/short book sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,29 +51,37 @@ impl LongShortConfig {
     }
 }
 
-/// Stock indices sorted by prediction, best first. Non-finite predictions
-/// are excluded (those stocks are untradeable that day). Ties break by
-/// stock index for determinism.
-fn ranking(preds: &[f64]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..preds.len()).filter(|&i| preds[i].is_finite()).collect();
-    idx.sort_by(|&a, &b| {
+/// Fills `order` with the stock indices sorted by prediction, best first.
+/// Non-finite predictions are excluded (those stocks are untradeable that
+/// day). Ties break by stock index for determinism. Reuses `order`'s
+/// allocation.
+fn ranking_into(preds: &[f64], order: &mut Vec<usize>) {
+    order.clear();
+    order.extend((0..preds.len()).filter(|&i| preds[i].is_finite()));
+    // Ties break by index — a total order, so the unstable sort is
+    // deterministic and, unlike the stable sort, never allocates.
+    order.sort_unstable_by(|&a, &b| {
         preds[b]
             .partial_cmp(&preds[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    idx
 }
 
-/// Portfolio return realized on one day given that day's predictions and
-/// realized stock returns.
-pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> f64 {
+/// [`single_day_return`] with a caller-provided ranking scratch buffer —
+/// allocation-free once the scratch has grown to the universe size.
+pub fn single_day_return_with(
+    preds: &[f64],
+    rets: &[f64],
+    cfg: &LongShortConfig,
+    order: &mut Vec<usize>,
+) -> f64 {
     assert_eq!(
         preds.len(),
         rets.len(),
         "prediction/return cross-sections must align"
     );
-    let order = ranking(preds);
+    ranking_into(preds, order);
     if order.is_empty() {
         return 0.0;
     }
@@ -85,19 +99,46 @@ pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> 
     (long - short) / 2.0
 }
 
-/// Daily portfolio-return series over a panel of prediction/return
-/// cross-sections (`preds[d][stock]`, `rets[d][stock]`).
+/// Portfolio return realized on one day given that day's predictions and
+/// realized stock returns.
+pub fn single_day_return(preds: &[f64], rets: &[f64], cfg: &LongShortConfig) -> f64 {
+    let mut order = Vec::new();
+    single_day_return_with(preds, rets, cfg, &mut order)
+}
+
+/// Daily portfolio-return series over aligned prediction/return panels:
+/// one entry per day valid in both, in day order.
 pub fn long_short_returns(
-    preds: &[Vec<f64>],
-    rets: &[Vec<f64>],
+    preds: &CrossSections,
+    rets: &CrossSections,
     cfg: &LongShortConfig,
 ) -> Vec<f64> {
-    assert_eq!(preds.len(), rets.len(), "panel day counts must align");
-    preds
-        .iter()
-        .zip(rets.iter())
-        .map(|(p, r)| single_day_return(p, r, cfg))
-        .collect()
+    let mut out = Vec::new();
+    let mut order = Vec::new();
+    long_short_returns_into(preds, rets, cfg, &mut order, &mut out);
+    out
+}
+
+/// [`long_short_returns`] writing into caller-owned buffers: `out` is
+/// cleared and refilled, `order` is the ranking scratch. Allocation-free
+/// once both buffers reach their high-water mark — this is the evaluation
+/// hot path.
+pub fn long_short_returns_into(
+    preds: &CrossSections,
+    rets: &CrossSections,
+    cfg: &LongShortConfig,
+    order: &mut Vec<usize>,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    for d in crate::cross_sections::joint_valid_days(preds, rets) {
+        out.push(single_day_return_with(
+            preds.row(d),
+            rets.row(d),
+            cfg,
+            order,
+        ));
+    }
 }
 
 /// The stocks held long and short on one day (for inspection/examples).
@@ -111,7 +152,8 @@ pub struct Positions {
 
 /// Computes the books for one day without scoring them.
 pub fn positions(preds: &[f64], cfg: &LongShortConfig) -> Positions {
-    let order = ranking(preds);
+    let mut order = Vec::new();
+    ranking_into(preds, &mut order);
     let kl = cfg.k_long.min(order.len());
     let ks = cfg.k_short.min(order.len());
     let long = order[..kl].to_vec();
@@ -231,13 +273,27 @@ mod tests {
 
     #[test]
     fn series_length_matches_days() {
-        let preds = vec![vec![1.0, -1.0, 0.0]; 7];
-        let rets = vec![vec![0.01, -0.01, 0.0]; 7];
+        let preds = CrossSections::from_rows(&vec![vec![1.0, -1.0, 0.0]; 7]);
+        let rets = CrossSections::from_rows(&vec![vec![0.01, -0.01, 0.0]; 7]);
         let cfg = LongShortConfig {
             k_long: 1,
             k_short: 1,
         };
         assert_eq!(long_short_returns(&preds, &rets, &cfg).len(), 7);
+    }
+
+    #[test]
+    fn invalid_days_are_skipped() {
+        let mut preds = CrossSections::from_rows(&vec![vec![1.0, -1.0]; 4]);
+        let rets = CrossSections::from_rows(&vec![vec![0.02, -0.02]; 4]);
+        preds.invalidate_day(2);
+        let cfg = LongShortConfig {
+            k_long: 1,
+            k_short: 1,
+        };
+        let series = long_short_returns(&preds, &rets, &cfg);
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|&r| (r - 0.02).abs() < 1e-12));
     }
 
     #[test]

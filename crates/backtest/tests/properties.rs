@@ -120,3 +120,128 @@ proptest! {
         prop_assert_eq!(gate.passes(candidate), max_corr <= 0.15);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Flat CrossSections vs the nested-Vec reference implementations.
+//
+// The library's panel metrics run on flat `CrossSections`; these reference
+// functions are the original nested-`Vec<Vec<f64>>` implementations, kept
+// here to pin the refactor: on any input (including non-finite predictions)
+// the flat and nested paths must agree bitwise.
+
+mod nested_reference {
+    use alphaevolve_backtest::metrics::{mean, pearson};
+    use alphaevolve_backtest::portfolio::{single_day_return, LongShortConfig};
+
+    pub fn daily_ic_series(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> Vec<f64> {
+        preds
+            .iter()
+            .zip(rets.iter())
+            .map(|(p, r)| {
+                if p.iter().all(|x| x.is_finite()) {
+                    pearson(p, r)
+                } else {
+                    let (fp, fr): (Vec<f64>, Vec<f64>) = p
+                        .iter()
+                        .zip(r.iter())
+                        .filter(|(x, _)| x.is_finite())
+                        .map(|(&x, &y)| (x, y))
+                        .unzip();
+                    pearson(&fp, &fr)
+                }
+            })
+            .collect()
+    }
+
+    pub fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+        mean(&daily_ic_series(preds, rets))
+    }
+
+    pub fn long_short_returns(
+        preds: &[Vec<f64>],
+        rets: &[Vec<f64>],
+        cfg: &LongShortConfig,
+    ) -> Vec<f64> {
+        preds
+            .iter()
+            .zip(rets.iter())
+            .map(|(p, r)| single_day_return(p, r, cfg))
+            .collect()
+    }
+}
+
+/// Chops flat generated data into a `days × stocks` nested panel,
+/// replacing entries with NaN where `nan_mask` says so (the shim has no
+/// union strategies, so non-finite injection is mask-driven).
+fn nested_panel(data: &[f64], nan_mask: &[u8], days: usize, stocks: usize) -> Vec<Vec<f64>> {
+    (0..days)
+        .map(|d| {
+            (0..stocks)
+                .map(|s| {
+                    let i = d * stocks + s;
+                    if nan_mask[i] == 0 {
+                        f64::NAN
+                    } else {
+                        data[i]
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Flat IC / daily IC series / long-short returns all equal the nested
+    /// reference bitwise, even with NaN predictions sprinkled in.
+    #[test]
+    fn flat_panel_metrics_match_nested_reference(
+        days in 1usize..8,
+        stocks in 2usize..12,
+        pred_data in prop::collection::vec(-0.5f64..0.5, 96),
+        ret_data in prop::collection::vec(-0.1f64..0.1, 96),
+        nan_mask in prop::collection::vec(0u8..10, 96),
+        k in 1usize..6,
+    ) {
+        use alphaevolve_backtest::{
+            long_short_returns, long_short_returns_into, metrics, CrossSections,
+        };
+        let preds = nested_panel(&pred_data, &nan_mask, days, stocks);
+        let rets = nested_panel(&ret_data, &[1; 96], days, stocks);
+        let fp = CrossSections::from_rows(&preds);
+        let fr = CrossSections::from_rows(&rets);
+
+        let flat_ic = metrics::information_coefficient(&fp, &fr);
+        let nested_ic = nested_reference::information_coefficient(&preds, &rets);
+        prop_assert_eq!(flat_ic, nested_ic, "IC diverged from the nested reference");
+        prop_assert_eq!(
+            metrics::daily_ic_series(&fp, &fr),
+            nested_reference::daily_ic_series(&preds, &rets)
+        );
+
+        let cfg = LongShortConfig { k_long: k, k_short: k };
+        let flat_ls = long_short_returns(&fp, &fr, &cfg);
+        let nested_ls = nested_reference::long_short_returns(&preds, &rets, &cfg);
+        prop_assert_eq!(&flat_ls, &nested_ls);
+        // The into-variant with reused scratch gives the same series.
+        let mut order = Vec::new();
+        let mut out = vec![99.0; 3]; // stale contents must be cleared
+        long_short_returns_into(&fp, &fr, &cfg, &mut order, &mut out);
+        prop_assert_eq!(&out, &nested_ls);
+    }
+
+    /// Return-series correlation (the gate's metric) is unchanged whether
+    /// the series are read out of a flat panel's rows or nested Vecs.
+    #[test]
+    fn flat_correlation_matches_nested_reference(
+        a in vecs(6..7),
+        b in vecs(6..7),
+    ) {
+        use alphaevolve_backtest::{return_correlation, CrossSections};
+        let flat = CrossSections::from_rows(&[a.clone(), b.clone()]);
+        prop_assert_eq!(
+            return_correlation(flat.row(0), flat.row(1)),
+            return_correlation(&a, &b)
+        );
+        prop_assert_eq!(return_correlation(flat.row(0), flat.row(0)), return_correlation(&a, &a));
+    }
+}

@@ -9,12 +9,13 @@ use rand::{Rng, SeedableRng};
 
 use alphaevolve_backtest::correlation::CorrelationGate;
 use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
-use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
+use alphaevolve_backtest::portfolio::{
+    long_short_returns, long_short_returns_into, LongShortConfig,
+};
+use alphaevolve_backtest::CrossSections;
 
-fn panel(rng: &mut SmallRng, days: usize, stocks: usize) -> Vec<Vec<f64>> {
-    (0..days)
-        .map(|_| (0..stocks).map(|_| rng.gen_range(-0.05..0.05)).collect())
-        .collect()
+fn panel(rng: &mut SmallRng, days: usize, stocks: usize) -> CrossSections {
+    CrossSections::from_fn(days, stocks, |_, _| rng.gen_range(-0.05..0.05))
 }
 
 fn benches(c: &mut Criterion) {
@@ -26,6 +27,19 @@ fn benches(c: &mut Criterion) {
 
     c.bench_function("backtest/long_short_116d_1026stocks", |b| {
         b.iter(|| long_short_returns(std::hint::black_box(&preds), &rets, &cfg))
+    });
+    c.bench_function("backtest/long_short_into_116d_1026stocks", |b| {
+        let mut order = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            long_short_returns_into(
+                std::hint::black_box(&preds),
+                &rets,
+                &cfg,
+                &mut order,
+                &mut out,
+            )
+        })
     });
     c.bench_function("backtest/ic_116d_1026stocks", |b| {
         b.iter(|| information_coefficient(std::hint::black_box(&preds), &rets))

@@ -40,6 +40,22 @@ fn benches(c: &mut Criterion) {
                 .run(&parent)
         })
     });
+
+    // End-to-end search throughput vs worker count: one fixed 600-candidate
+    // budget per run; candidates/sec = 600 / (reported time per iteration).
+    // Workers share the population and the sharded fingerprint cache but
+    // own their evaluation arenas.
+    for workers in [1usize, 4, 8] {
+        let wconfig = EvolutionConfig {
+            workers,
+            budget: Budget::Searched(600),
+            ..econfig.clone()
+        };
+        c.bench_function(
+            &format!("evolution/600_candidates_{workers}_workers"),
+            |b| b.iter(|| Evolution::new(&evaluator, wconfig.clone()).run(&parent)),
+        );
+    }
 }
 
 criterion_group! {

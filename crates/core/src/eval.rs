@@ -5,11 +5,35 @@
 //! any candidate whose validation predictions contain a non-finite value is
 //! killed (fitness `None`) — the evaluator aborts the validation sweep at
 //! the first bad day instead of clamping.
+//!
+//! # The zero-allocation hot path
+//!
+//! Evaluation throughput bounds search quality (§4.2: one-epoch training,
+//! pruning, fingerprint cache), so the hot path is built around reusable
+//! state instead of per-candidate construction:
+//!
+//! * label cross-sections are precomputed once as flat
+//!   [`CrossSections`] panels and shared behind `Arc` (cloning an
+//!   [`Evaluator`] via [`Evaluator::with_options`] shares, not copies);
+//! * each worker owns one [`EvalArena`] — an [`Interpreter`] plus
+//!   prediction/return/ranking scratch — reset via [`Interpreter::reset`]
+//!   between candidates rather than reconstructed;
+//! * [`Evaluator::evaluate_in`] runs one candidate through an arena with
+//!   **zero heap allocations** (asserted by the `hot_path_alloc`
+//!   integration test): predictions land in the arena's flat panel, the IC
+//!   streams without collecting, and portfolio returns fill a reused
+//!   buffer.
+//!
+//! [`Evaluator::evaluate`] remains as a convenience wrapper that builds a
+//! throwaway arena.
 
 use std::sync::Arc;
 
 use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
-use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
+use alphaevolve_backtest::portfolio::{
+    long_short_returns, long_short_returns_into, LongShortConfig,
+};
+use alphaevolve_backtest::CrossSections;
 use alphaevolve_market::Dataset;
 
 use crate::config::AlphaConfig;
@@ -79,15 +103,53 @@ pub struct BacktestReport {
     pub test: SplitMetrics,
 }
 
+/// Flat label cross-sections for a day range of a dataset. The GP baseline
+/// keeps a private twin (`alphaevolve_gp::engine::labels` — gp does not
+/// depend on this crate); keep the two constructions in sync.
+pub fn labels_cross_sections(dataset: &Dataset, days: std::ops::Range<usize>) -> CrossSections {
+    let start = days.start;
+    CrossSections::from_fn(days.len(), dataset.n_stocks(), |d, s| {
+        dataset.label(s, start + d)
+    })
+}
+
+/// Per-worker evaluation state: one interpreter plus prediction, return
+/// and ranking scratch. Create once per worker with [`Evaluator::arena`],
+/// then feed every candidate through [`Evaluator::evaluate_in`] — after
+/// the buffers reach their high-water mark (first candidate), evaluation
+/// performs no heap allocation.
+pub struct EvalArena<'a> {
+    interp: Interpreter<'a>,
+    preds: CrossSections,
+    returns: Vec<f64>,
+    rank_scratch: Vec<usize>,
+}
+
+impl EvalArena<'_> {
+    /// The validation long-short returns of the last candidate evaluated
+    /// (empty when that candidate was invalid). Borrow this for the
+    /// weak-correlation gate instead of cloning.
+    pub fn val_returns(&self) -> &[f64] {
+        &self.returns
+    }
+
+    /// Moves the last candidate's validation returns out (the buffer is
+    /// replaced by an empty one — only do this off the hot path).
+    pub fn take_val_returns(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.returns)
+    }
+}
+
 /// Scores alpha programs against one dataset. Cheap to share across
-/// threads (`&self` evaluation; the dataset lives behind an `Arc`).
+/// threads (`&self` evaluation; the dataset lives behind an `Arc`, label
+/// panels behind `Arc<CrossSections>`).
 pub struct Evaluator {
     cfg: AlphaConfig,
     opts: EvalOptions,
     dataset: Arc<Dataset>,
     groups: GroupIndex,
-    val_labels: Vec<Vec<f64>>,
-    test_labels: Vec<Vec<f64>>,
+    val_labels: Arc<CrossSections>,
+    test_labels: Arc<CrossSections>,
 }
 
 impl Evaluator {
@@ -95,8 +157,8 @@ impl Evaluator {
     pub fn new(cfg: AlphaConfig, opts: EvalOptions, dataset: Arc<Dataset>) -> Evaluator {
         cfg.validate();
         let groups = GroupIndex::from_universe(dataset.universe());
-        let val_labels = dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
-        let test_labels = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
+        let val_labels = Arc::new(labels_cross_sections(&dataset, dataset.valid_days()));
+        let test_labels = Arc::new(labels_cross_sections(&dataset, dataset.test_days()));
         Evaluator {
             cfg,
             opts,
@@ -122,28 +184,45 @@ impl Evaluator {
         &self.dataset
     }
 
-    /// Replaces the evaluation options (used by the `_P` ablation).
+    /// The precomputed validation label panel.
+    pub fn val_labels(&self) -> &CrossSections {
+        &self.val_labels
+    }
+
+    /// Replaces the evaluation options (used by the `_P` ablation). Label
+    /// panels are shared with the parent, not deep-cloned.
     pub fn with_options(&self, opts: EvalOptions) -> Evaluator {
         Evaluator {
             cfg: self.cfg,
             opts,
             dataset: Arc::clone(&self.dataset),
             groups: self.groups.clone(),
-            val_labels: self.val_labels.clone(),
-            test_labels: self.test_labels.clone(),
+            val_labels: Arc::clone(&self.val_labels),
+            test_labels: Arc::clone(&self.test_labels),
         }
     }
 
-    /// Runs `Setup()` and the training epochs. `allow_stateless_skip`
-    /// elides the training sweep for alphas that carry no cross-day state
-    /// (formulaic alphas — "a special case of the new alpha with no
-    /// parameters"), whose predictions are provably identical either way
-    /// up to the RNG stream of stochastic predict ops. The Table-6 `_N`
-    /// ablation disables the skip, since it derives from the §4.2 pruning
-    /// analysis being ablated there.
-    fn train(&self, interp: &mut Interpreter<'_>, prog: &AlphaProgram, allow_stateless_skip: bool) {
+    /// Builds a reusable per-worker evaluation arena. This is the only
+    /// place interpreter state is allocated; candidates then flow through
+    /// [`Evaluator::evaluate_in`] allocation-free.
+    pub fn arena(&self) -> EvalArena<'_> {
+        let val = self.dataset.valid_days().len();
+        let test = self.dataset.test_days().len();
+        let days = val.max(test);
+        let k = self.dataset.n_stocks();
+        EvalArena {
+            interp: Interpreter::new(&self.cfg, &self.dataset, &self.groups, self.opts.seed),
+            preds: CrossSections::new(days, k),
+            returns: Vec::with_capacity(days),
+            rank_scratch: Vec::with_capacity(k),
+        }
+    }
+
+    /// `Setup()` plus the training epochs (skipped entirely when
+    /// `skip_training` — the §4.2 stateless-alpha shortcut).
+    fn train(&self, interp: &mut Interpreter<'_>, prog: &AlphaProgram, skip_training: bool) {
         interp.run_setup(prog);
-        if allow_stateless_skip && !crate::prune::prune(prog).stateful {
+        if skip_training {
             return;
         }
         for _ in 0..self.opts.train_epochs {
@@ -153,27 +232,29 @@ impl Evaluator {
         }
     }
 
-    /// Predict-only sweep over `days`; returns per-day cross-sections and
-    /// whether every prediction stayed finite (aborts early when not).
+    /// Predict-only sweep over `days` into the flat `preds` panel; returns
+    /// whether every prediction stayed finite. When `abort_on_invalid`,
+    /// the first bad day is marked invalid in the panel (nothing is copied
+    /// or truncated) and the sweep stops there.
     fn sweep(
         &self,
         interp: &mut Interpreter<'_>,
         prog: &AlphaProgram,
         days: std::ops::Range<usize>,
         abort_on_invalid: bool,
-    ) -> (Vec<Vec<f64>>, bool) {
+        preds: &mut CrossSections,
+    ) -> bool {
         let k = self.dataset.n_stocks();
-        let mut preds = Vec::with_capacity(days.len());
-        for day in days {
-            let mut row = vec![0.0; k];
-            interp.predict_day(prog, day, &mut row);
-            let finite = row.iter().all(|x| x.is_finite());
-            preds.push(row);
-            if !finite && abort_on_invalid {
-                return (preds, false);
+        preds.reset(days.len(), k);
+        for (i, day) in days.enumerate() {
+            let row = preds.row_mut(i);
+            interp.predict_day(prog, day, row);
+            if abort_on_invalid && !row.iter().all(|x| x.is_finite()) {
+                preds.invalidate_day(i);
+                return false;
             }
         }
-        (preds, true)
+        true
     }
 
     /// Scores a candidate (expected to be the *pruned* program, which is
@@ -187,23 +268,67 @@ impl Evaluator {
     /// explicit (pass `false` from pipelines that must not use any
     /// pruning-derived analysis, such as the Table-6 `_N` baseline).
     pub fn evaluate_opt(&self, prog: &AlphaProgram, allow_stateless_skip: bool) -> Evaluation {
-        let mut interp = Interpreter::new(&self.cfg, &self.dataset, &self.groups, self.opts.seed);
-        self.train(&mut interp, prog, allow_stateless_skip);
-        let (preds, valid) = self.sweep(&mut interp, prog, self.dataset.valid_days(), true);
-        if !valid {
-            return Evaluation {
-                fitness: None,
-                ic: 0.0,
-                val_returns: Vec::new(),
-            };
-        }
-        let ic = information_coefficient(&preds, &self.val_labels);
-        let val_returns = long_short_returns(&preds, &self.val_labels, &self.opts.long_short);
+        let mut arena = self.arena();
+        let fitness = self.evaluate_opt_in(&mut arena, prog, allow_stateless_skip);
         Evaluation {
-            fitness: Some(ic),
-            ic,
-            val_returns,
+            fitness,
+            ic: fitness.unwrap_or(0.0),
+            val_returns: arena.take_val_returns(),
         }
+    }
+
+    /// Scores a candidate in a reusable arena: fitness is `Some(validation
+    /// IC)`, or `None` when predictions went non-finite. The validation
+    /// portfolio returns stay in the arena ([`EvalArena::val_returns`]).
+    /// Allocation-free once the arena is warm.
+    pub fn evaluate_in(&self, arena: &mut EvalArena<'_>, prog: &AlphaProgram) -> Option<f64> {
+        self.evaluate_opt_in(arena, prog, true)
+    }
+
+    /// [`Evaluator::evaluate_in`] with the stateless-skip optimization
+    /// made explicit.
+    pub fn evaluate_opt_in(
+        &self,
+        arena: &mut EvalArena<'_>,
+        prog: &AlphaProgram,
+        allow_stateless_skip: bool,
+    ) -> Option<f64> {
+        let skip = allow_stateless_skip && !crate::prune::liveness(prog).stateful;
+        self.evaluate_prepared_in(arena, prog, skip)
+    }
+
+    /// The lowest-level entry: the caller has already decided whether the
+    /// training sweep may be skipped (e.g. the evolution pipeline knows
+    /// `stateful` from the fingerprint pruning pass and avoids
+    /// re-analyzing). `skip_training` must only be `true` for stateless
+    /// programs, whose predictions are provably identical either way.
+    pub fn evaluate_prepared_in(
+        &self,
+        arena: &mut EvalArena<'_>,
+        prog: &AlphaProgram,
+        skip_training: bool,
+    ) -> Option<f64> {
+        let EvalArena {
+            interp,
+            preds,
+            returns,
+            rank_scratch,
+        } = arena;
+        interp.reset();
+        self.train(interp, prog, skip_training);
+        if !self.sweep(interp, prog, self.dataset.valid_days(), true, preds) {
+            returns.clear();
+            return None;
+        }
+        let ic = information_coefficient(preds, &self.val_labels);
+        long_short_returns_into(
+            preds,
+            &self.val_labels,
+            &self.opts.long_short,
+            rank_scratch,
+            returns,
+        );
+        Some(ic)
     }
 
     /// Full backtest of a finished alpha: train, then predict-only through
@@ -212,11 +337,17 @@ impl Evaluator {
     /// portfolio treats those stocks as untradeable) so even a degenerate
     /// alpha gets a report.
     pub fn backtest(&self, prog: &AlphaProgram) -> BacktestReport {
-        let mut interp = Interpreter::new(&self.cfg, &self.dataset, &self.groups, self.opts.seed);
-        self.train(&mut interp, prog, true);
-        let (val_preds, _) = self.sweep(&mut interp, prog, self.dataset.valid_days(), false);
-        let (test_preds, _) = self.sweep(&mut interp, prog, self.dataset.test_days(), false);
-        let split = |preds: &[Vec<f64>], labels: &[Vec<f64>]| {
+        let mut arena = self.arena();
+        self.backtest_in(&mut arena, prog)
+    }
+
+    /// [`Evaluator::backtest`] against a reusable arena.
+    pub fn backtest_in(&self, arena: &mut EvalArena<'_>, prog: &AlphaProgram) -> BacktestReport {
+        let EvalArena { interp, preds, .. } = arena;
+        interp.reset();
+        let skip = !crate::prune::liveness(prog).stateful;
+        self.train(interp, prog, skip);
+        let split = |preds: &CrossSections, labels: &CrossSections| {
             let returns = long_short_returns(preds, labels, &self.opts.long_short);
             SplitMetrics {
                 ic: information_coefficient(preds, labels),
@@ -224,10 +355,11 @@ impl Evaluator {
                 returns,
             }
         };
-        BacktestReport {
-            val: split(&val_preds, &self.val_labels),
-            test: split(&test_preds, &self.test_labels),
-        }
+        self.sweep(interp, prog, self.dataset.valid_days(), false, preds);
+        let val = split(preds, &self.val_labels);
+        self.sweep(interp, prog, self.dataset.test_days(), false, preds);
+        let test = split(preds, &self.test_labels);
+        BacktestReport { val, test }
     }
 }
 
@@ -296,6 +428,66 @@ mod tests {
         let b = ev.evaluate(&prog);
         assert_eq!(a.ic, b.ic);
         assert_eq!(a.val_returns, b.val_returns);
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_arenas() {
+        // One arena fed a mix of candidates scores each exactly like a
+        // throwaway arena: reset() fully isolates candidates.
+        let ev = evaluator(7);
+        let progs = [
+            init::domain_expert(ev.config()),
+            init::two_layer_nn(ev.config()),
+            init::industry_reversal(ev.config()),
+            init::domain_expert(ev.config()),
+        ];
+        let mut arena = ev.arena();
+        for prog in &progs {
+            let shared = ev.evaluate_in(&mut arena, prog);
+            let shared_returns = arena.val_returns().to_vec();
+            let fresh = ev.evaluate(prog);
+            assert_eq!(shared, fresh.fitness);
+            assert_eq!(shared_returns, fresh.val_returns);
+        }
+    }
+
+    #[test]
+    fn arena_clears_returns_for_invalid_candidates() {
+        let ev = evaluator(8);
+        let good = init::domain_expert(ev.config());
+        let bad = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [-1.0, 0.0], [0; 2])],
+            predict: vec![
+                Instruction::new(Op::MMean, 0, 0, 2, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SAbs, 2, 0, 2, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SMul, 2, 3, 2, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SAdd, 2, 3, 2, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SLn, 2, 0, 1, [0.0; 2], [0; 2]),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let mut arena = ev.arena();
+        assert!(ev.evaluate_in(&mut arena, &good).is_some());
+        assert!(!arena.val_returns().is_empty());
+        assert!(ev.evaluate_in(&mut arena, &bad).is_none());
+        assert!(
+            arena.val_returns().is_empty(),
+            "stale returns must not leak into the gate"
+        );
+    }
+
+    #[test]
+    fn with_options_shares_label_panels() {
+        let ev = evaluator(9);
+        let other = ev.with_options(EvalOptions {
+            run_update: false,
+            long_short: ev.options().long_short,
+            ..Default::default()
+        });
+        assert!(
+            std::ptr::eq(ev.val_labels(), other.val_labels()),
+            "labels must be shared, not deep-cloned"
+        );
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! With `workers > 1` the same loop runs from several threads against a
 //! shared population/cache (AutoML-Zero's parallelism model). Multi-worker
 //! runs are not bit-reproducible; single-worker runs are.
+//!
+//! Scaling: each worker owns one [`EvalArena`] (interpreter + scratch,
+//! allocated once, reset per candidate), and the fingerprint cache is
+//! split into hash-sharded locks so workers don't serialize on a single
+//! mutex — candidates/sec scales with cores (see the `evolution` bench).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,7 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use alphaevolve_backtest::correlation::CorrelationGate;
 
-use crate::eval::Evaluator;
+use crate::eval::{EvalArena, Evaluator};
 use crate::fingerprint::fingerprint;
 use crate::hashutil::FxHashMap;
 use crate::mutation::{MutationConfig, Mutator};
@@ -148,13 +153,47 @@ struct CacheEntry {
     fitness: Option<f64>,
 }
 
+/// The fingerprint→fitness cache, hash-sharded so concurrent workers
+/// rarely contend on the same lock. Shard selection uses the fingerprint's
+/// low bits (fingerprints are already well-mixed 64-bit digests).
+struct ShardedCache {
+    shards: Box<[Mutex<FxHashMap<u64, CacheEntry>>]>,
+}
+
+impl ShardedCache {
+    /// Sizes the shard count to the worker count (4× workers, rounded up
+    /// to a power of two) so even adversarial schedules rarely collide.
+    fn new(workers: usize) -> ShardedCache {
+        let n = (workers.max(1) * 4).next_power_of_two();
+        ShardedCache {
+            shards: (0..n)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, fp: u64) -> &Mutex<FxHashMap<u64, CacheEntry>> {
+        &self.shards[(fp as usize) & (self.shards.len() - 1)]
+    }
+
+    fn get(&self, fp: u64) -> Option<CacheEntry> {
+        self.shard(fp).lock().get(&fp).copied()
+    }
+
+    fn insert(&self, fp: u64, entry: CacheEntry) {
+        self.shard(fp).lock().insert(fp, entry);
+    }
+}
+
 struct Shared<'a> {
     evaluator: &'a Evaluator,
     mutator: Mutator,
     gate: Option<&'a CorrelationGate>,
     econfig: EvolutionConfig,
     population: Mutex<VecDeque<Individual>>,
-    cache: Mutex<FxHashMap<u64, CacheEntry>>,
+    cache: ShardedCache,
     best: Mutex<Option<BestAlpha>>,
     trajectory: Mutex<Vec<TrajectoryPoint>>,
     searched: AtomicUsize,
@@ -187,10 +226,13 @@ impl<'a> Shared<'a> {
     }
 
     /// The §4.2 candidate pipeline. Returns the individual to insert.
-    fn process(&self, program: AlphaProgram) -> Individual {
+    /// Evaluation runs in the caller's arena — the only allocations on a
+    /// cache miss are the genome bookkeeping (pruned program, fingerprint)
+    /// and, on a new best, one clone of the returns series.
+    fn process(&self, arena: &mut EvalArena<'_>, program: AlphaProgram) -> Individual {
         let searched_now = self.searched.fetch_add(1, Ordering::Relaxed) + 1;
 
-        let (fp, to_evaluate) = if self.use_pruning {
+        let (fp, to_evaluate, skip_training) = if self.use_pruning {
             let (fp, pruned) = fingerprint(&program, self.evaluator.config());
             if !pruned.uses_input {
                 self.redundant.fetch_add(1, Ordering::Relaxed);
@@ -199,15 +241,18 @@ impl<'a> Shared<'a> {
                     fitness: None,
                 };
             }
-            (fp, pruned.program)
+            // The pruning pass already computed statefulness; reuse it for
+            // the stateless-skip decision instead of re-analyzing.
+            (fp, pruned.program, !pruned.stateful)
         } else {
             (
                 crate::fingerprint::fingerprint_raw(&program),
                 program.clone(),
+                false,
             )
         };
 
-        if let Some(entry) = self.cache.lock().get(&fp) {
+        if let Some(entry) = self.cache.get(fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Individual {
                 program,
@@ -215,16 +260,18 @@ impl<'a> Shared<'a> {
             };
         }
 
-        let eval = self.evaluator.evaluate_opt(&to_evaluate, self.use_pruning);
+        let score = self
+            .evaluator
+            .evaluate_prepared_in(arena, &to_evaluate, skip_training);
         self.evaluated.fetch_add(1, Ordering::Relaxed);
 
-        let fitness = match eval.fitness {
+        let fitness = match score {
             None => {
                 self.invalid.fetch_add(1, Ordering::Relaxed);
                 None
             }
             Some(ic) => {
-                let passes = self.gate.is_none_or(|g| g.passes(&eval.val_returns));
+                let passes = self.gate.is_none_or(|g| g.passes(arena.val_returns()));
                 if !passes {
                     self.gate_rejected.fetch_add(1, Ordering::Relaxed);
                     None
@@ -234,7 +281,7 @@ impl<'a> Shared<'a> {
             }
         };
 
-        self.cache.lock().insert(fp, CacheEntry { fitness });
+        self.cache.insert(fp, CacheEntry { fitness });
 
         if let Some(ic) = fitness {
             let mut best = self.best.lock();
@@ -243,7 +290,7 @@ impl<'a> Shared<'a> {
                     program: program.clone(),
                     pruned: to_evaluate,
                     ic,
-                    val_returns: eval.val_returns,
+                    val_returns: arena.val_returns().to_vec(),
                 });
                 self.trajectory.lock().push(TrajectoryPoint {
                     searched: searched_now,
@@ -259,6 +306,9 @@ impl<'a> Shared<'a> {
         let mut rng = SmallRng::seed_from_u64(
             self.econfig.seed ^ worker_id.wrapping_mul(0xA076_1D64_78BD_642F),
         );
+        // One arena per worker for the whole run: interpreter state and
+        // scratch are reset between candidates, never reallocated.
+        let mut arena = self.evaluator.arena();
         while !self.budget_exhausted() {
             // Tournament selection under the population lock; evaluation
             // outside it.
@@ -278,7 +328,7 @@ impl<'a> Shared<'a> {
                 pop[best_idx].program.clone()
             };
             let child = self.mutator.mutate(&mut rng, &parent);
-            let individual = self.process(child);
+            let individual = self.process(&mut arena, child);
             let mut pop = self.population.lock();
             pop.push_back(individual);
             if pop.len() > self.econfig.population_size {
@@ -339,7 +389,7 @@ impl<'a> Evolution<'a> {
             gate: self.gate,
             econfig: self.econfig.clone(),
             population: Mutex::new(VecDeque::with_capacity(self.econfig.population_size + 1)),
-            cache: Mutex::new(FxHashMap::default()),
+            cache: ShardedCache::new(self.econfig.workers),
             best: Mutex::new(None),
             trajectory: Mutex::new(Vec::new()),
             searched: AtomicUsize::new(0),
@@ -357,6 +407,7 @@ impl<'a> Evolution<'a> {
         // §3 step 1). Processed under the same budget accounting.
         {
             let mut rng = SmallRng::seed_from_u64(self.econfig.seed ^ 0x5EED);
+            let mut arena = self.evaluator.arena();
             let mut initial = Vec::with_capacity(self.econfig.population_size);
             initial.push(seed_program.clone());
             for _ in 1..self.econfig.population_size {
@@ -366,7 +417,7 @@ impl<'a> Evolution<'a> {
                 if shared.budget_exhausted() {
                     break;
                 }
-                let ind = shared.process(candidate);
+                let ind = shared.process(&mut arena, candidate);
                 shared.population.lock().push_back(ind);
             }
         }

@@ -56,7 +56,10 @@ pub mod textio;
 
 pub use analysis::{analyze, AlphaAnalysis};
 pub use config::AlphaConfig;
-pub use eval::{BacktestReport, EvalOptions, Evaluation, Evaluator, SplitMetrics};
+pub use eval::{
+    labels_cross_sections, BacktestReport, EvalArena, EvalOptions, Evaluation, Evaluator,
+    SplitMetrics,
+};
 pub use evolution::{
     BestAlpha, Budget, Evolution, EvolutionConfig, EvolutionOutcome, Individual, SearchStats,
     TrajectoryPoint,
@@ -68,5 +71,5 @@ pub use memory::MemoryBank;
 pub use mutation::{MutationConfig, Mutator};
 pub use op::{Kind, Op};
 pub use program::{AlphaProgram, FunctionId};
-pub use prune::{canonicalize, prune, PruneResult};
+pub use prune::{canonicalize, liveness, prune, Liveness, PruneResult};
 pub use relation::GroupIndex;

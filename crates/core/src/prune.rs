@@ -121,9 +121,9 @@ pub struct PruneResult {
     pub n_pruned: usize,
 }
 
-/// Prunes redundant operations and detects redundant alphas.
-pub fn prune(prog: &AlphaProgram) -> PruneResult {
-    // Fixpoint on the predict-entry live set.
+/// Converges the predict-entry live set (the fixpoint half of [`prune`]).
+/// Allocation-free.
+fn predict_entry_fixpoint(prog: &AlphaProgram) -> u64 {
     let mut live_pred_entry: u64 = 0;
     loop {
         // Backward through Update(); its live-out is the next day's
@@ -135,10 +135,59 @@ pub fn prune(prog: &AlphaProgram) -> PruneResult {
         let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
         let next = backward_pass(&prog.predict, live_pred_exit, None) | live_pred_entry;
         if next == live_pred_entry {
-            break;
+            return live_pred_entry;
         }
         live_pred_entry = next;
     }
+}
+
+/// Like [`backward_pass`] without marks, but ORs the output bit of every
+/// live instruction into `live_writes`. Allocation-free.
+fn backward_pass_writes(instrs: &[Instruction], live_out: u64, live_writes: &mut u64) -> u64 {
+    let mut live = live_out;
+    for instr in instrs.iter().rev() {
+        let out = output_bit(instr);
+        if out != 0 && live & out != 0 {
+            live &= !out;
+            live |= input_bits(instr);
+            *live_writes |= out;
+        }
+    }
+    live
+}
+
+/// The analysis half of [`prune`]: redundancy and statefulness of an alpha
+/// **without building the pruned program** — entirely allocation-free, so
+/// the evaluation hot path can consult it per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Liveness {
+    /// Whether the observed prediction depends on the framework-written
+    /// input matrix `m0` (see [`PruneResult::uses_input`]).
+    pub uses_input: bool,
+    /// Whether the alpha carries state across days (see
+    /// [`PruneResult::stateful`]).
+    pub stateful: bool,
+}
+
+/// Computes [`Liveness`] for an alpha. Agrees with [`prune`] on both flags
+/// (property-tested) while performing no heap allocation.
+pub fn liveness(prog: &AlphaProgram) -> Liveness {
+    let live_pred_entry = predict_entry_fixpoint(prog);
+    let mut live_writes: u64 = 0;
+    let live_update_entry =
+        backward_pass_writes(&prog.update, live_pred_entry & !M0_BIT, &mut live_writes);
+    let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
+    backward_pass_writes(&prog.predict, live_pred_exit, &mut live_writes);
+    Liveness {
+        uses_input: live_pred_entry & M0_BIT != 0,
+        stateful: (live_pred_entry & !M0_BIT) & live_writes != 0,
+    }
+}
+
+/// Prunes redundant operations and detects redundant alphas.
+pub fn prune(prog: &AlphaProgram) -> PruneResult {
+    // Fixpoint on the predict-entry live set.
+    let live_pred_entry = predict_entry_fixpoint(prog);
 
     // Final marking passes with the converged sets.
     let mut predict_marks = Vec::new();
@@ -430,6 +479,38 @@ mod tests {
             !r.uses_input,
             "framework m0 is dead once predict overwrites it first"
         );
+    }
+
+    #[test]
+    fn liveness_agrees_with_prune_on_fixtures() {
+        let progs = [
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![get_m0(2), i(Op::SCos, 2, 0, 1)],
+                update: vec![Instruction::nop()],
+            },
+            AlphaProgram {
+                setup: vec![i(Op::SConst, 0, 0, 2)],
+                predict: vec![i(Op::SAbs, 2, 0, 1)],
+                update: vec![Instruction::nop()],
+            },
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![get_m0(2), i(Op::SDiv, 2, 3, 1)],
+                update: vec![Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [0, 0])],
+            },
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![get_m0(2), i(Op::SAdd, 5, 2, 5), i(Op::SSin, 5, 0, 1)],
+                update: vec![Instruction::nop()],
+            },
+        ];
+        for prog in &progs {
+            let full = prune(prog);
+            let light = liveness(prog);
+            assert_eq!(light.uses_input, full.uses_input, "{prog:?}");
+            assert_eq!(light.stateful, full.stateful, "{prog:?}");
+        }
     }
 
     #[test]

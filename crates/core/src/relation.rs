@@ -87,11 +87,32 @@ pub enum GroupSlices<'a> {
 }
 
 impl<'a> GroupSlices<'a> {
-    /// Iterates over the member lists.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = &'a [u32]> + 'a> {
+    /// Iterates over the member lists. Returns a stack-allocated iterator
+    /// — this runs once per relation instruction per day on the evaluation
+    /// hot path, so it must not box.
+    pub fn iter(&self) -> GroupSlicesIter<'a> {
         match self {
-            GroupSlices::Single(g) => Box::new(std::iter::once(*g)),
-            GroupSlices::Many(gs) => Box::new(gs.iter().map(Vec::as_slice)),
+            GroupSlices::Single(g) => GroupSlicesIter::Single(std::iter::once(*g)),
+            GroupSlices::Many(gs) => GroupSlicesIter::Many(gs.iter()),
+        }
+    }
+}
+
+/// Iterator over the member lists of a [`GroupSlices`].
+pub enum GroupSlicesIter<'a> {
+    /// The single all-stocks group.
+    Single(std::iter::Once<&'a [u32]>),
+    /// A sector/industry partition.
+    Many(std::slice::Iter<'a, Vec<u32>>),
+}
+
+impl<'a> Iterator for GroupSlicesIter<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        match self {
+            GroupSlicesIter::Single(it) => it.next(),
+            GroupSlicesIter::Many(it) => it.next().map(Vec::as_slice),
         }
     }
 }
@@ -107,8 +128,10 @@ pub fn rank_within(group: &[u32], values: &[f64], out: &mut [f64], scratch: &mut
     }
     scratch.clear();
     scratch.extend_from_slice(group);
-    // Non-finite values sort last, ties broken by index for determinism.
-    scratch.sort_by(|&a, &b| {
+    // Non-finite values sort last, ties broken by index for determinism
+    // (a total order, so the unstable sort is deterministic and, unlike
+    // the stable sort, never allocates).
+    scratch.sort_unstable_by(|&a, &b| {
         let (xa, xb) = (values[a as usize], values[b as usize]);
         xa.partial_cmp(&xb)
             .unwrap_or_else(|| xa.is_nan().cmp(&xb.is_nan()))

@@ -145,6 +145,21 @@ proptest! {
         prop_assert_eq!(once.uses_input, twice.uses_input);
     }
 
+    /// The allocation-free liveness analysis agrees with full pruning on
+    /// both flags, for the original and for the pruned program (the hot
+    /// path consults it on either).
+    #[test]
+    fn liveness_agrees_with_prune(seed in any::<u64>(), len in 1usize..10) {
+        let prog = random_program(seed, len, len, len);
+        let full = prune(&prog);
+        let light = alphaevolve_core::liveness(&prog);
+        prop_assert_eq!(light.uses_input, full.uses_input);
+        prop_assert_eq!(light.stateful, full.stateful);
+        let light_pruned = alphaevolve_core::liveness(&full.program);
+        prop_assert_eq!(light_pruned.uses_input, full.uses_input);
+        prop_assert_eq!(light_pruned.stateful, full.stateful);
+    }
+
     /// Canonicalization is idempotent and fingerprint-stable.
     #[test]
     fn canonicalization_is_idempotent(seed in any::<u64>(), len in 1usize..10) {

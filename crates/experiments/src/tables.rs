@@ -13,7 +13,7 @@ use alphaevolve_backtest::correlation::CorrelationGate;
 use alphaevolve_backtest::metrics::{information_coefficient, mean, sample_std, sharpe_ratio};
 use alphaevolve_backtest::portfolio::long_short_returns;
 use alphaevolve_backtest::report::{Cell, Table};
-use alphaevolve_core::{init, Budget, EvalOptions, Evaluator, Evolution};
+use alphaevolve_core::{init, labels_cross_sections, Budget, EvalOptions, Evaluator, Evolution};
 use alphaevolve_neural::graph::RelationLevel;
 use alphaevolve_neural::{RankLstm, RankLstmConfig, Rsr, RsrConfig};
 
@@ -245,7 +245,8 @@ pub fn table5(cfg: &XpConfig) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset.clone());
     let ls = cfg.long_short();
-    let test_labels: Vec<Vec<f64>> = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
+    let test_labels = labels_cross_sections(&dataset, dataset.test_days());
+    let val_labels = labels_cross_sections(&dataset, dataset.valid_days());
 
     // AE rows: alpha_AE_D_0 unconstrained, alpha_AE_NN_1 gated against it.
     eprintln!("[table5] mining alpha_AE_D_0 ...");
@@ -286,8 +287,6 @@ pub fn table5(cfg: &XpConfig) {
         let mut model = RankLstm::new(rl_cfg.clone());
         model.train(&dataset);
         let preds = model.predictions(&dataset, dataset.valid_days());
-        let val_labels: Vec<Vec<f64>> =
-            dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
         let ic = information_coefficient(&preds, &val_labels);
         eprintln!("[table5]   val IC {ic:.6}");
         if ic > best_val {

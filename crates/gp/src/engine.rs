@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use alphaevolve_backtest::correlation::CorrelationGate;
 use alphaevolve_backtest::metrics::{information_coefficient, sharpe_ratio};
 use alphaevolve_backtest::portfolio::{long_short_returns, LongShortConfig};
+use alphaevolve_backtest::CrossSections;
 use alphaevolve_market::Dataset;
 
 use crate::expr::{Expr, ExprSampler};
@@ -117,15 +118,25 @@ pub struct GpEngine<'a> {
     dataset: &'a Dataset,
     config: GpConfig,
     gate: Option<&'a CorrelationGate>,
-    val_labels: Vec<Vec<f64>>,
-    test_labels: Vec<Vec<f64>>,
+    val_labels: CrossSections,
+    test_labels: CrossSections,
+}
+
+/// Flat label panel over a day range. Twin of
+/// `alphaevolve_core::labels_cross_sections` (this crate deliberately does
+/// not depend on core) — keep the two constructions in sync.
+fn labels(dataset: &Dataset, days: std::ops::Range<usize>) -> CrossSections {
+    let start = days.start;
+    CrossSections::from_fn(days.len(), dataset.n_stocks(), |d, s| {
+        dataset.label(s, start + d)
+    })
 }
 
 impl<'a> GpEngine<'a> {
     /// Binds an engine to a dataset.
     pub fn new(dataset: &'a Dataset, config: GpConfig) -> GpEngine<'a> {
-        let val_labels = dataset.valid_days().map(|d| dataset.labels_at(d)).collect();
-        let test_labels = dataset.test_days().map(|d| dataset.labels_at(d)).collect();
+        let val_labels = labels(dataset, dataset.valid_days());
+        let test_labels = labels(dataset, dataset.test_days());
         GpEngine {
             dataset,
             config,
@@ -149,19 +160,17 @@ impl<'a> GpEngine<'a> {
         }
     }
 
-    /// Cross-sections of predictions over `days` for one tree.
-    fn predictions(&self, expr: &Expr, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
+    /// Cross-sections of predictions over `days` for one tree, as a flat
+    /// day-major panel.
+    fn predictions(&self, expr: &Expr, days: std::ops::Range<usize>) -> CrossSections {
         let k = self.dataset.n_stocks();
         let w = self.dataset.window();
         let panel = self.dataset.panel();
-        days.map(|day| {
-            (0..k)
-                .map(|stock| {
-                    expr.eval(&|row, lag| panel.feature(stock, row)[day - 1 - lag.min(w - 1)])
-                })
-                .collect()
+        let start = days.start;
+        CrossSections::from_fn(days.len(), k, |d, stock| {
+            let day = start + d;
+            expr.eval(&|row, lag| panel.feature(stock, row)[day - 1 - lag.min(w - 1)])
         })
-        .collect()
     }
 
     /// Scores one tree: validation IC and portfolio returns; applies the
@@ -298,7 +307,7 @@ impl<'a> GpEngine<'a> {
     /// Backtests a formula on validation and test splits (IC, Sharpe,
     /// returns) — the GP counterpart of the core evaluator's `backtest`.
     pub fn backtest(&self, expr: &Expr) -> (SplitScores, SplitScores) {
-        let score = |days: std::ops::Range<usize>, labels: &[Vec<f64>]| {
+        let score = |days: std::ops::Range<usize>, labels: &CrossSections| {
             let preds = self.predictions(expr, days);
             let returns = long_short_returns(&preds, labels, &self.config.long_short);
             SplitScores {

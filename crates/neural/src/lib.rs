@@ -32,3 +32,19 @@ pub mod tensor;
 
 pub use rank_lstm::{RankLstm, RankLstmConfig};
 pub use rsr::{Rsr, RsrConfig};
+
+/// Builds a flat `days × n_stocks` prediction panel by letting `fill`
+/// write each day's cross-section directly into the panel row (no per-day
+/// allocation). Shared by both baselines' `predictions` methods.
+pub(crate) fn prediction_panel(
+    days: std::ops::Range<usize>,
+    n_stocks: usize,
+    mut fill: impl FnMut(usize, &mut [f64]),
+) -> alphaevolve_backtest::CrossSections {
+    let start = days.start;
+    let mut cs = alphaevolve_backtest::CrossSections::new(days.len(), n_stocks);
+    for d in 0..cs.n_days() {
+        fill(start + d, cs.row_mut(d));
+    }
+    cs
+}

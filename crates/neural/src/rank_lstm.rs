@@ -11,6 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use alphaevolve_backtest::CrossSections;
 use alphaevolve_market::Dataset;
 
 use crate::dense::Dense;
@@ -164,9 +165,14 @@ impl RankLstm {
             .collect()
     }
 
-    /// Prediction cross-sections over a day range.
-    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
-        days.map(|d| self.predict_day(dataset, d)).collect()
+    /// Prediction cross-sections over a day range, as a flat day-major
+    /// panel scored by the same backtest code path as every other method.
+    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> CrossSections {
+        crate::prediction_panel(days, dataset.n_stocks(), |day, out| {
+            for (stock, pred) in out.iter_mut().enumerate() {
+                *pred = self.forward_one(dataset, stock, day).0;
+            }
+        })
     }
 
     /// The LSTM embeddings (final hidden states) for every stock on one
@@ -224,12 +230,10 @@ mod tests {
         let mut model = RankLstm::new(tiny_config());
         model.train(&ds);
         let preds = model.predictions(&ds, ds.valid_days());
-        assert_eq!(preds.len(), ds.valid_days().len());
-        for row in &preds {
-            assert_eq!(row.len(), ds.n_stocks());
-            assert!(row.iter().all(|x| x.is_finite()));
-        }
-        let first = &preds[0];
+        assert_eq!(preds.n_days(), ds.valid_days().len());
+        assert_eq!(preds.n_stocks(), ds.n_stocks());
+        assert!(preds.as_slice().iter().all(|x| x.is_finite()));
+        let first = preds.row(0);
         assert!(
             first.iter().any(|&x| (x - first[0]).abs() > 1e-12),
             "predictions must differ"

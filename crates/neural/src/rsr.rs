@@ -16,6 +16,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use alphaevolve_backtest::CrossSections;
 use alphaevolve_market::Dataset;
 
 use crate::dense::Dense;
@@ -193,9 +194,12 @@ impl Rsr {
         self.forward_day(dataset, day).0
     }
 
-    /// Prediction cross-sections over a day range.
-    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> Vec<Vec<f64>> {
-        days.map(|d| self.predict_day(dataset, d)).collect()
+    /// Prediction cross-sections over a day range, as a flat day-major
+    /// panel scored by the same backtest code path as every other method.
+    pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> CrossSections {
+        crate::prediction_panel(days, dataset.n_stocks(), |day, out| {
+            out.copy_from_slice(&self.forward_day(dataset, day).0)
+        })
     }
 }
 
@@ -247,9 +251,7 @@ mod tests {
         let mut model = Rsr::new(tiny_config(), &ds);
         model.train(&ds);
         let preds = model.predictions(&ds, ds.valid_days());
-        for row in &preds {
-            assert!(row.iter().all(|x| x.is_finite()));
-        }
+        assert!(preds.as_slice().iter().all(|x| x.is_finite()));
     }
 
     #[test]

@@ -91,15 +91,13 @@ fn ae_and_gp_score_through_identical_metrics() {
         Box::new(Expr::Feature { row: 8, lag: 0 }),
     );
     let panel = ds.panel();
-    let gp_preds: Vec<Vec<f64>> = ds
-        .valid_days()
-        .map(|day| {
-            (0..ds.n_stocks())
-                .map(|s| tree.eval(&|row, lag| panel.feature(s, row)[day - 1 - lag]))
-                .collect()
-        })
-        .collect();
-    let labels: Vec<Vec<f64>> = ds.valid_days().map(|d| ds.labels_at(d)).collect();
+    let start = ds.valid_days().start;
+    let gp_preds = alphaevolve::backtest::CrossSections::from_fn(
+        ds.valid_days().len(),
+        ds.n_stocks(),
+        |d, s| tree.eval(&|row, lag| panel.feature(s, row)[start + d - 1 - lag]),
+    );
+    let labels = alphaevolve::core::labels_cross_sections(&ds, ds.valid_days());
     let gp_ic = information_coefficient(&gp_preds, &labels);
 
     // The same function as an AE program.

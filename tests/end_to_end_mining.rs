@@ -80,19 +80,17 @@ fn mined_alpha_backtests_consistently_with_manual_portfolio() {
     for day in ds.train_days() {
         interp.train_day(&prog, day, true);
     }
-    let mut val_preds = Vec::new();
-    for day in ds.valid_days() {
-        let mut row = vec![0.0; ds.n_stocks()];
-        interp.predict_day(&prog, day, &mut row);
-        val_preds.push(row);
-    }
-    let mut test_preds = Vec::new();
-    for day in ds.test_days() {
-        let mut row = vec![0.0; ds.n_stocks()];
-        interp.predict_day(&prog, day, &mut row);
-        test_preds.push(row);
-    }
-    let test_labels: Vec<Vec<f64>> = ds.test_days().map(|d| ds.labels_at(d)).collect();
+    let sweep = |interp: &mut Interpreter<'_>, days: std::ops::Range<usize>| {
+        let start = days.start;
+        let mut preds = alphaevolve::backtest::CrossSections::new(days.len(), ds.n_stocks());
+        for d in 0..days.len() {
+            interp.predict_day(&prog, start + d, preds.row_mut(d));
+        }
+        preds
+    };
+    let _val_preds = sweep(&mut interp, ds.valid_days());
+    let test_preds = sweep(&mut interp, ds.test_days());
+    let test_labels = alphaevolve::core::labels_cross_sections(ds, ds.test_days());
     let manual_ic = information_coefficient(&test_preds, &test_labels);
     let manual_returns = long_short_returns(&test_preds, &test_labels, &ev.options().long_short);
     assert!((report.test.ic - manual_ic).abs() < 1e-12);

@@ -1,0 +1,144 @@
+//! Proves the zero-allocation evaluation hot path: once a worker's
+//! [`EvalArena`] is warm, `Evaluator::evaluate_in` performs **zero heap
+//! allocations per candidate** — interpreter state is reset in place,
+//! predictions land in the arena's flat `CrossSections` panel, the IC
+//! streams without collecting, and portfolio returns refill reused
+//! buffers.
+//!
+//! Measured with a counting global allocator. The counter is process-wide,
+//! so the tests serialize on a mutex — a concurrently-running sibling test
+//! would otherwise bleed its allocations into the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use alphaevolve::core::{init, AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests in this binary (a panicking holder must not wedge
+/// the other test, hence the poison recovery).
+fn serialize() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn evaluate_in_is_allocation_free_once_warm() {
+    let _guard = serialize();
+    let market = MarketConfig {
+        n_stocks: 16,
+        n_days: 140,
+        seed: 13,
+        ..Default::default()
+    }
+    .generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    let ev = Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        Arc::clone(&ds),
+    );
+
+    // A mix of shapes: stateless expert formula, stateful two-layer NN
+    // (full training sweep), and a relational alpha.
+    let progs = [
+        init::domain_expert(ev.config()),
+        init::two_layer_nn(ev.config()),
+        init::industry_reversal(ev.config()),
+    ];
+
+    let mut arena = ev.arena();
+    // Warm-up: buffers grow to their high-water mark.
+    for prog in &progs {
+        let _ = ev.evaluate_in(&mut arena, prog);
+    }
+
+    let before = allocations();
+    let mut checksum = 0.0;
+    for _ in 0..5 {
+        for prog in &progs {
+            checksum += ev.evaluate_in(&mut arena, prog).unwrap_or(0.0);
+        }
+    }
+    let after = allocations();
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "evaluate_in allocated on the hot path ({} allocations over 15 candidates)",
+        after - before
+    );
+}
+
+#[test]
+fn invalid_candidates_are_also_allocation_free() {
+    use alphaevolve::core::{AlphaProgram, Instruction, Op};
+
+    let _guard = serialize();
+
+    let market = MarketConfig {
+        n_stocks: 12,
+        n_days: 120,
+        seed: 14,
+        ..Default::default()
+    }
+    .generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds);
+
+    // s1 = ln(-|m0 mean| - 1) -> NaN on the first validation day: the
+    // sweep aborts by invalidating the day in the panel, no copies.
+    let bad = AlphaProgram {
+        setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [-1.0, 0.0], [0; 2])],
+        predict: vec![
+            Instruction::new(Op::MMean, 0, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAbs, 2, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SMul, 2, 3, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 3, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SLn, 2, 0, 1, [0.0; 2], [0; 2]),
+        ],
+        update: vec![Instruction::nop()],
+    };
+
+    let mut arena = ev.arena();
+    let _ = ev.evaluate_in(&mut arena, &bad);
+    let _ = ev.evaluate_in(&mut arena, &init::domain_expert(ev.config()));
+
+    let before = allocations();
+    for _ in 0..5 {
+        assert!(ev.evaluate_in(&mut arena, &bad).is_none());
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "killed candidates must not allocate");
+}

@@ -75,7 +75,7 @@ fn neural_baseline_on_noise_does_not_generalize() {
     });
     model.train(&ds);
     let preds = model.predictions(&ds, ds.test_days());
-    let labels: Vec<Vec<f64>> = ds.test_days().map(|d| ds.labels_at(d)).collect();
+    let labels = alphaevolve::core::labels_cross_sections(&ds, ds.test_days());
     let ic = information_coefficient(&preds, &labels);
     assert!(
         ic.abs() < 0.08,
