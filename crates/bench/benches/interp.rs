@@ -1,20 +1,26 @@
-//! Interpreter and evaluator throughput: full candidate evaluations and
-//! single lockstep days, for formulaic (stateless) vs parameterized
-//! (stateful) alphas — quantifying the stateless-skip optimization called
-//! out in `DESIGN.md` §5.
+//! Interpreter and evaluator throughput: full candidate evaluations,
+//! single cross-sectional days for lockstep vs columnar execution (the
+//! per-instruction dispatch-hoisting win), and the per-candidate compile
+//! pass. Paper-scale (1026-stock) comparisons quantify the columnar
+//! speedup where the stock axis dominates.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use alphaevolve_bench::{bench_dataset, bench_evaluator};
-use alphaevolve_core::{init, GroupIndex, Interpreter};
+use alphaevolve_bench::{bench_dataset, bench_evaluator, paper_scale_dataset};
+use alphaevolve_core::{
+    compile, compile_into, init, ColumnarInterpreter, CompileScratch, CompiledProgram, GroupIndex,
+    Interpreter,
+};
+use alphaevolve_market::DayMajorPanel;
 
 fn benches(c: &mut Criterion) {
     let evaluator = bench_evaluator();
     let cfg = *evaluator.config();
     let expert = init::domain_expert(&cfg);
     let nn = init::two_layer_nn(&cfg);
+    let relational = init::industry_reversal(&cfg);
 
     c.bench_function("interp/evaluate_formulaic_alpha", |b| {
         b.iter(|| evaluator.evaluate(std::hint::black_box(&expert)))
@@ -29,8 +35,17 @@ fn benches(c: &mut Criterion) {
         b.iter(|| evaluator.backtest(std::hint::black_box(&nn)))
     });
 
+    c.bench_function("interp/compile_nn_alpha", |b| {
+        let k = evaluator.dataset().n_stocks();
+        let mut out = CompiledProgram::with_capacity(&cfg);
+        let mut scratch = CompileScratch::default();
+        b.iter(|| compile_into(std::hint::black_box(&nn), &cfg, k, &mut scratch, &mut out))
+    });
+
+    // One-day lockstep vs columnar on the small (24-stock) dataset.
     let dataset = bench_dataset();
     let groups = GroupIndex::from_universe(dataset.universe());
+    let panel = DayMajorPanel::from_panel(dataset.panel());
     let day = dataset.valid_days().start;
     c.bench_function("interp/predict_one_day_lockstep", |b| {
         let mut interp = Interpreter::new(&cfg, &dataset, &groups, 0);
@@ -38,6 +53,42 @@ fn benches(c: &mut Criterion) {
         let mut out = vec![0.0; dataset.n_stocks()];
         b.iter(|| interp.predict_day(std::hint::black_box(&nn), day, &mut out))
     });
+    c.bench_function("interp/predict_one_day_columnar", |b| {
+        let compiled = compile(&nn, &cfg, dataset.n_stocks());
+        let mut interp = ColumnarInterpreter::new(&cfg, &dataset, &panel, &groups, 0);
+        interp.run_setup(&compiled);
+        let mut out = vec![0.0; dataset.n_stocks()];
+        b.iter(|| interp.predict_day(std::hint::black_box(&compiled), day, &mut out))
+    });
+
+    // Paper-scale (1026 stocks): the per-(instruction × stock) dispatch and
+    // gather/scatter overheads the columnar engine removes scale with K.
+    let paper = paper_scale_dataset();
+    let paper_groups = GroupIndex::from_universe(paper.universe());
+    let paper_panel = DayMajorPanel::from_panel(paper.panel());
+    let paper_day = paper.valid_days().start;
+    for (name, prog) in [("nn", &nn), ("relational", &relational)] {
+        c.bench_function(
+            &format!("interp/predict_one_day_lockstep_1026_{name}"),
+            |b| {
+                let mut interp = Interpreter::new(&cfg, &paper, &paper_groups, 0);
+                interp.run_setup(prog);
+                let mut out = vec![0.0; paper.n_stocks()];
+                b.iter(|| interp.predict_day(std::hint::black_box(prog), paper_day, &mut out))
+            },
+        );
+        c.bench_function(
+            &format!("interp/predict_one_day_columnar_1026_{name}"),
+            |b| {
+                let compiled = compile(prog, &cfg, paper.n_stocks());
+                let mut interp =
+                    ColumnarInterpreter::new(&cfg, &paper, &paper_panel, &paper_groups, 0);
+                interp.run_setup(&compiled);
+                let mut out = vec![0.0; paper.n_stocks()];
+                b.iter(|| interp.predict_day(std::hint::black_box(&compiled), paper_day, &mut out))
+            },
+        );
+    }
 }
 
 criterion_group! {

@@ -1,4 +1,10 @@
 //! Operator execution throughput: the interpreter's innermost cost.
+//!
+//! Two tiers: single-bank `execute_local` microbenches (the lockstep
+//! engine's per-stock kernel), and paper-scale (1026-stock) one-instruction
+//! cross-sections through both engines' `run_function` — lockstep
+//! re-dispatches the op per stock and gathers/scatters relation operands,
+//! columnar dispatches once and sweeps contiguous planes.
 
 use std::time::Duration;
 
@@ -6,8 +12,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use alphaevolve_bench::paper_scale_dataset;
+use alphaevolve_core::compile::lower_instr;
 use alphaevolve_core::op::execute_local;
-use alphaevolve_core::{Instruction, MemoryBank, Op};
+use alphaevolve_core::{
+    ColumnarInterpreter, CompiledInstr, GroupIndex, Instruction, Interpreter, MemoryBank, Op,
+};
+use alphaevolve_market::DayMajorPanel;
 
 fn bench_op(c: &mut Criterion, name: &str, instr: Instruction) {
     let dim = 13;
@@ -39,7 +50,86 @@ fn bench_op(c: &mut Criterion, name: &str, instr: Instruction) {
     });
 }
 
+/// One-instruction cross-sections at 1026 stocks through both engines.
+/// Single instructions are lowered with `lower_instr` (no dead-code
+/// analysis — `compile()` would strip a lone benched instruction that
+/// doesn't feed `s1`).
+fn bench_cross_section_ops(c: &mut Criterion) {
+    let dataset = paper_scale_dataset();
+    let groups = GroupIndex::from_universe(dataset.universe());
+    let panel = DayMajorPanel::from_panel(dataset.panel());
+    let cfg = alphaevolve_core::AlphaConfig::default();
+    let k = dataset.n_stocks();
+
+    // Fill registers with identical non-trivial values on both engines
+    // (stochastic fills are bitwise-equal across engines by construction).
+    let warm: Vec<Instruction> = vec![
+        Instruction::new(Op::MGauss, 0, 0, 1, [0.0, 1.0], [0; 2]),
+        Instruction::new(Op::MGauss, 0, 0, 2, [0.0, 1.0], [0; 2]),
+        Instruction::new(Op::VGauss, 0, 0, 1, [0.0, 1.0], [0; 2]),
+        Instruction::new(Op::VGauss, 0, 0, 2, [0.0, 1.0], [0; 2]),
+        Instruction::new(Op::SGauss, 0, 0, 2, [0.0, 1.0], [0; 2]),
+        Instruction::new(Op::SGauss, 0, 0, 3, [0.0, 1.0], [0; 2]),
+    ];
+    let mut lockstep = Interpreter::new(&cfg, &dataset, &groups, 7);
+    lockstep.run_function(&warm);
+    let mut columnar = ColumnarInterpreter::new(&cfg, &dataset, &panel, &groups, 7);
+    let warm_lowered: Vec<CompiledInstr> =
+        warm.iter().map(|i| lower_instr(i, cfg.dim, k)).collect();
+    columnar.run_function(&warm_lowered);
+
+    let cases = [
+        (
+            "s_add",
+            Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]),
+        ),
+        (
+            "s_tan",
+            Instruction::new(Op::STan, 2, 0, 4, [0.0; 2], [0; 2]),
+        ),
+        (
+            "v_mul",
+            Instruction::new(Op::VMul, 1, 2, 3, [0.0; 2], [0; 2]),
+        ),
+        (
+            "v_dot",
+            Instruction::new(Op::VDot, 1, 2, 3, [0.0; 2], [0; 2]),
+        ),
+        (
+            "mat_mul",
+            Instruction::new(Op::MatMul, 1, 2, 3, [0.0; 2], [0; 2]),
+        ),
+        (
+            "m_get",
+            Instruction::new(Op::MGet, 1, 0, 4, [0.0; 2], [5, 7]),
+        ),
+        (
+            "m_std",
+            Instruction::new(Op::MStd, 1, 0, 4, [0.0; 2], [0; 2]),
+        ),
+        (
+            "rel_demean",
+            Instruction::new(Op::RelDemean, 2, 0, 4, [0.0; 2], [0; 2]),
+        ),
+        (
+            "rel_rank_sector",
+            Instruction::new(Op::RelRankSector, 2, 0, 4, [0.0; 2], [0; 2]),
+        ),
+    ];
+    for (name, instr) in cases {
+        let single = [instr.clone()];
+        c.bench_function(&format!("op1026/{name}_lockstep"), |b| {
+            b.iter(|| lockstep.run_function(std::hint::black_box(&single)))
+        });
+        let lowered = [lower_instr(&instr, cfg.dim, k)];
+        c.bench_function(&format!("op1026/{name}_columnar"), |b| {
+            b.iter(|| columnar.run_function(std::hint::black_box(&lowered)))
+        });
+    }
+}
+
 fn benches(c: &mut Criterion) {
+    bench_cross_section_ops(c);
     bench_op(
         c,
         "op/s_add",

@@ -34,6 +34,32 @@ pub fn bench_evaluator() -> Evaluator {
     )
 }
 
+/// A paper-scale cross-section: 1026 stocks (§5.1's NASDAQ universe size)
+/// over 160 days — used by the lockstep-vs-columnar interpreter
+/// comparisons, where the stock axis is the dimension that matters.
+pub fn paper_scale_dataset() -> Arc<Dataset> {
+    let market = MarketConfig {
+        n_stocks: 1026,
+        n_days: 160,
+        seed: 2021,
+        ..Default::default()
+    }
+    .generate();
+    Arc::new(
+        Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
+            .expect("paper-scale dataset builds"),
+    )
+}
+
+/// An evaluator over [`paper_scale_dataset`].
+pub fn paper_scale_evaluator() -> Evaluator {
+    Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        paper_scale_dataset(),
+    )
+}
+
 /// A tiny dataset for end-to-end loops (12 stocks, 120 days).
 pub fn tiny_dataset() -> Arc<Dataset> {
     let market = MarketConfig {

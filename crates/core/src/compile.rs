@@ -1,0 +1,306 @@
+//! The compile half of the columnar compile-then-execute pipeline.
+//!
+//! The columnar interpreter ([`crate::interp::ColumnarInterpreter`]) does
+//! not walk raw [`AlphaProgram`]s. Each candidate is first lowered to a
+//! [`CompiledProgram`] whose instructions have their work hoisted out of
+//! the per-(instruction × stock) hot loop:
+//!
+//! * **dead-code stripping** — instructions whose output is never demanded
+//!   (per the same backward-liveness fixpoint as [`crate::prune`]) are
+//!   dropped, as are no-ops. Stochastic dead instructions are *kept*: they
+//!   advance the per-stock RNG streams, and dropping them would perturb
+//!   every later stochastic draw — breaking bitwise equivalence with the
+//!   lockstep reference interpreter on unpruned programs. (The evolution
+//!   pipeline evaluates already-pruned programs, where this keeps exactly
+//!   the pruned instruction sequence.)
+//! * **register-offset resolution** — operand registers (plus extraction
+//!   indices, where the op allows it) are resolved to flat element offsets
+//!   into the [`RegisterFile`](crate::memory::RegisterFile) buffers, so
+//!   kernels index planes directly instead of multiplying out
+//!   `reg × plane_size` per instruction per day.
+//!
+//! Compilation is allocation-free once the caller-owned
+//! [`CompiledProgram`] and [`CompileScratch`] buffers are warm, which is
+//! what lets the evaluation hot path re-compile every candidate without
+//! touching the heap (pinned by `tests/hot_path_alloc.rs`).
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::op::{Kind, Op};
+use crate::program::AlphaProgram;
+
+/// One lowered instruction: the op, pre-resolved flat element offsets of
+/// its operands into the columnar register buffers, and the literal /
+/// index slots it still needs at execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledInstr {
+    /// The operator (dispatched once per instruction, not per stock).
+    pub op: Op,
+    /// Flat element offset of input 1's register in its kind's buffer.
+    pub a: usize,
+    /// Flat element offset of input 2's register in its kind's buffer.
+    pub b: usize,
+    /// Flat element offset of the output register in its kind's buffer.
+    pub o: usize,
+    /// Literal slots (constants / distribution parameters).
+    pub lit: [f64; 2],
+    /// Small-integer slots (element indices or axis selector).
+    pub ix: [u8; 2],
+}
+
+/// A program lowered for columnar execution. Reusable: [`compile_into`]
+/// clears and refills the instruction vectors, preserving capacity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompiledProgram {
+    /// Lowered `Setup()` body.
+    pub setup: Vec<CompiledInstr>,
+    /// Lowered `Predict()` body.
+    pub predict: Vec<CompiledInstr>,
+    /// Lowered `Update()` body.
+    pub update: Vec<CompiledInstr>,
+}
+
+impl CompiledProgram {
+    /// An empty program with capacity for the configuration's maximum
+    /// function sizes, so per-candidate compilation never reallocates.
+    pub fn with_capacity(cfg: &AlphaConfig) -> CompiledProgram {
+        CompiledProgram {
+            setup: Vec::with_capacity(cfg.max_setup_ops),
+            predict: Vec::with_capacity(cfg.max_predict_ops),
+            update: Vec::with_capacity(cfg.max_update_ops),
+        }
+    }
+
+    /// Total lowered instructions.
+    pub fn n_ops(&self) -> usize {
+        self.setup.len() + self.predict.len() + self.update.len()
+    }
+}
+
+/// Reusable liveness-mark buffers for [`compile_into`].
+#[derive(Debug, Default)]
+pub struct CompileScratch {
+    setup_marks: Vec<bool>,
+    predict_marks: Vec<bool>,
+    update_marks: Vec<bool>,
+}
+
+/// Element offset of a register's base within its kind's columnar buffer.
+#[inline]
+fn reg_offset(kind: Kind, reg: usize, dim: usize, n_stocks: usize) -> usize {
+    match kind {
+        Kind::S => reg * n_stocks,
+        Kind::V => reg * dim * n_stocks,
+        Kind::M => reg * dim * dim * n_stocks,
+    }
+}
+
+/// Lowers a single instruction without any dead-code analysis: register
+/// operands become flat element offsets for `n_stocks` stocks. This is the
+/// offset math [`compile_into`] applies to every kept instruction, exposed
+/// for callers (benches, tests) that execute hand-picked instructions
+/// outside a full program.
+pub fn lower_instr(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
+    lower(instr, dim, n_stocks)
+}
+
+fn lower(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
+    let kinds = instr.op.input_kinds();
+    let a = if kinds.is_empty() {
+        0
+    } else {
+        reg_offset(kinds[0], instr.in1 as usize, dim, n_stocks)
+    };
+    let b = if kinds.len() < 2 {
+        0
+    } else {
+        reg_offset(kinds[1], instr.in2 as usize, dim, n_stocks)
+    };
+    let o = if instr.op == Op::NoOp {
+        0
+    } else {
+        reg_offset(instr.op.output_kind(), instr.out as usize, dim, n_stocks)
+    };
+    CompiledInstr {
+        op: instr.op,
+        a,
+        b,
+        o,
+        lit: instr.lit,
+        ix: instr.ix,
+    }
+}
+
+fn lower_function(
+    instrs: &[Instruction],
+    marks: &[bool],
+    dim: usize,
+    n_stocks: usize,
+    out: &mut Vec<CompiledInstr>,
+) {
+    out.clear();
+    for (instr, &live) in instrs.iter().zip(marks) {
+        if instr.op == Op::NoOp {
+            continue;
+        }
+        // Dead deterministic instructions are stripped; dead *stochastic*
+        // ones must still run so every later RNG draw keeps its position
+        // in the per-stock streams.
+        if !live && !instr.op.is_stochastic() {
+            continue;
+        }
+        out.push(lower(instr, dim, n_stocks));
+    }
+}
+
+/// Lowers `prog` for columnar execution over `n_stocks` stocks into `out`
+/// (cleared first). Allocation-free once `scratch` and `out` are warm.
+pub fn compile_into(
+    prog: &AlphaProgram,
+    cfg: &AlphaConfig,
+    n_stocks: usize,
+    scratch: &mut CompileScratch,
+    out: &mut CompiledProgram,
+) {
+    crate::prune::mark_live_into(
+        prog,
+        &mut scratch.setup_marks,
+        &mut scratch.predict_marks,
+        &mut scratch.update_marks,
+    );
+    let d = cfg.dim;
+    lower_function(
+        &prog.setup,
+        &scratch.setup_marks,
+        d,
+        n_stocks,
+        &mut out.setup,
+    );
+    lower_function(
+        &prog.predict,
+        &scratch.predict_marks,
+        d,
+        n_stocks,
+        &mut out.predict,
+    );
+    lower_function(
+        &prog.update,
+        &scratch.update_marks,
+        d,
+        n_stocks,
+        &mut out.update,
+    );
+}
+
+/// Convenience wrapper allocating fresh buffers (tests / one-off use).
+pub fn compile(prog: &AlphaProgram, cfg: &AlphaConfig, n_stocks: usize) -> CompiledProgram {
+    let mut out = CompiledProgram::with_capacity(cfg);
+    compile_into(
+        prog,
+        cfg,
+        n_stocks,
+        &mut CompileScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{INPUT, PREDICTION};
+
+    fn i(op: Op, in1: u8, in2: u8, out: u8) -> Instruction {
+        Instruction::new(op, in1, in2, out, [0.0; 2], [0; 2])
+    }
+
+    #[test]
+    fn strips_dead_deterministic_ops_and_noops() {
+        let cfg = AlphaConfig::default();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                Instruction::new(Op::MGet, INPUT as u8, 0, 2, [0.0; 2], [1, 2]),
+                i(Op::SSin, 2, 0, 8), // dead: s8 never read
+                i(Op::SCos, 2, 0, PREDICTION as u8),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let c = compile(&prog, &cfg, 7);
+        assert!(c.setup.is_empty());
+        assert!(c.update.is_empty());
+        assert_eq!(c.predict.len(), 2);
+        assert_eq!(c.predict[0].op, Op::MGet);
+        assert_eq!(c.predict[1].op, Op::SCos);
+    }
+
+    #[test]
+    fn keeps_dead_stochastic_ops_for_rng_stream_parity() {
+        let cfg = AlphaConfig::default();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SGauss, 0, 0, 9, [0.0, 1.0], [0; 2])],
+            predict: vec![
+                Instruction::new(Op::VUniform, 0, 0, 5, [-1.0, 1.0], [0; 2]), // dead but stochastic
+                Instruction::new(Op::MGet, INPUT as u8, 0, 2, [0.0; 2], [0, 0]),
+                i(Op::SAbs, 2, 0, PREDICTION as u8),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let c = compile(&prog, &cfg, 7);
+        assert_eq!(c.setup.len(), 1, "dead SGauss must survive (RNG draw)");
+        assert_eq!(c.predict.len(), 3, "dead VUniform must survive (RNG draws)");
+        assert_eq!(c.predict[0].op, Op::VUniform);
+    }
+
+    #[test]
+    fn offsets_are_plane_bases() {
+        let cfg = AlphaConfig::default();
+        let k = 11;
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                i(Op::MMean, 0, 0, 2),               // m0 -> s2
+                i(Op::SAdd, 2, 3, PREDICTION as u8), // s1 = s2 + s3
+                i(Op::VAdd, 4, 5, 6),                // dead, stripped
+                i(Op::SVScale, 2, 7, 3),             // dead, stripped
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let c = compile(&prog, &cfg, k);
+        assert_eq!(c.predict.len(), 2);
+        let mean = c.predict[0];
+        assert_eq!(mean.a, 0, "m0 base");
+        assert_eq!(mean.o, 2 * k, "s2 plane");
+        let add = c.predict[1];
+        assert_eq!((add.a, add.b, add.o), (2 * k, 3 * k, k));
+    }
+
+    #[test]
+    fn compiled_program_reuse_preserves_capacity() {
+        let cfg = AlphaConfig::default();
+        let mut out = CompiledProgram::with_capacity(&cfg);
+        let cap = (
+            out.setup.capacity(),
+            out.predict.capacity(),
+            out.update.capacity(),
+        );
+        let mut scratch = CompileScratch::default();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![i(Op::MMean, 0, 0, 2), i(Op::SAbs, 2, 0, PREDICTION as u8)],
+            update: vec![Instruction::nop()],
+        };
+        for _ in 0..3 {
+            compile_into(&prog, &cfg, 5, &mut scratch, &mut out);
+        }
+        assert_eq!(out.predict.len(), 2);
+        assert_eq!(
+            (
+                out.setup.capacity(),
+                out.predict.capacity(),
+                out.update.capacity()
+            ),
+            cap
+        );
+    }
+}

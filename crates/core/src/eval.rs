@@ -13,11 +13,18 @@
 //! state instead of per-candidate construction:
 //!
 //! * label cross-sections are precomputed once as flat
-//!   [`CrossSections`] panels and shared behind `Arc` (cloning an
-//!   [`Evaluator`] via [`Evaluator::with_options`] shares, not copies);
-//! * each worker owns one [`EvalArena`] — an [`Interpreter`] plus
-//!   prediction/return/ranking scratch — reset via [`Interpreter::reset`]
-//!   between candidates rather than reconstructed;
+//!   [`CrossSections`] panels, and the stock-major input panel
+//!   ([`DayMajorPanel`]) is transposed once — both shared behind `Arc`
+//!   (cloning an [`Evaluator`] via [`Evaluator::with_options`] shares,
+//!   not copies);
+//! * each worker owns one [`EvalArena`] — a [`ColumnarInterpreter`] plus
+//!   compile buffers and prediction/return/ranking scratch — reset via
+//!   [`ColumnarInterpreter::reset`] between candidates rather than
+//!   reconstructed;
+//! * each candidate is lowered once per evaluation by
+//!   [`compile_into`](crate::compile::compile_into) (dead code stripped,
+//!   register offsets resolved) and then executed columnar: the `Op`
+//!   dispatch runs once per instruction, not once per instruction × stock;
 //! * [`Evaluator::evaluate_in`] runs one candidate through an arena with
 //!   **zero heap allocations** (asserted by the `hot_path_alloc`
 //!   integration test): predictions land in the arena's flat panel, the IC
@@ -34,10 +41,11 @@ use alphaevolve_backtest::portfolio::{
     long_short_returns, long_short_returns_into, LongShortConfig,
 };
 use alphaevolve_backtest::CrossSections;
-use alphaevolve_market::Dataset;
+use alphaevolve_market::{Dataset, DayMajorPanel};
 
+use crate::compile::{compile_into, CompileScratch, CompiledProgram};
 use crate::config::AlphaConfig;
-use crate::interp::Interpreter;
+use crate::interp::ColumnarInterpreter;
 use crate::program::AlphaProgram;
 use crate::relation::GroupIndex;
 
@@ -119,7 +127,9 @@ pub fn labels_cross_sections(dataset: &Dataset, days: std::ops::Range<usize>) ->
 /// the buffers reach their high-water mark (first candidate), evaluation
 /// performs no heap allocation.
 pub struct EvalArena<'a> {
-    interp: Interpreter<'a>,
+    interp: ColumnarInterpreter<'a>,
+    compiled: CompiledProgram,
+    compile_scratch: CompileScratch,
     preds: CrossSections,
     returns: Vec<f64>,
     rank_scratch: Vec<usize>,
@@ -147,22 +157,26 @@ pub struct Evaluator {
     cfg: AlphaConfig,
     opts: EvalOptions,
     dataset: Arc<Dataset>,
+    day_major: Arc<DayMajorPanel>,
     groups: GroupIndex,
     val_labels: Arc<CrossSections>,
     test_labels: Arc<CrossSections>,
 }
 
 impl Evaluator {
-    /// Builds an evaluator; precomputes label cross-sections.
+    /// Builds an evaluator; precomputes label cross-sections and the
+    /// stock-major input panel consumed by the columnar interpreter.
     pub fn new(cfg: AlphaConfig, opts: EvalOptions, dataset: Arc<Dataset>) -> Evaluator {
         cfg.validate();
         let groups = GroupIndex::from_universe(dataset.universe());
+        let day_major = Arc::new(DayMajorPanel::from_panel(dataset.panel()));
         let val_labels = Arc::new(labels_cross_sections(&dataset, dataset.valid_days()));
         let test_labels = Arc::new(labels_cross_sections(&dataset, dataset.test_days()));
         Evaluator {
             cfg,
             opts,
             dataset,
+            day_major,
             groups,
             val_labels,
             test_labels,
@@ -190,12 +204,13 @@ impl Evaluator {
     }
 
     /// Replaces the evaluation options (used by the `_P` ablation). Label
-    /// panels are shared with the parent, not deep-cloned.
+    /// and input panels are shared with the parent, not deep-cloned.
     pub fn with_options(&self, opts: EvalOptions) -> Evaluator {
         Evaluator {
             cfg: self.cfg,
             opts,
             dataset: Arc::clone(&self.dataset),
+            day_major: Arc::clone(&self.day_major),
             groups: self.groups.clone(),
             val_labels: Arc::clone(&self.val_labels),
             test_labels: Arc::clone(&self.test_labels),
@@ -211,7 +226,15 @@ impl Evaluator {
         let days = val.max(test);
         let k = self.dataset.n_stocks();
         EvalArena {
-            interp: Interpreter::new(&self.cfg, &self.dataset, &self.groups, self.opts.seed),
+            interp: ColumnarInterpreter::new(
+                &self.cfg,
+                &self.dataset,
+                &self.day_major,
+                &self.groups,
+                self.opts.seed,
+            ),
+            compiled: CompiledProgram::with_capacity(&self.cfg),
+            compile_scratch: CompileScratch::default(),
             preds: CrossSections::new(days, k),
             returns: Vec::with_capacity(days),
             rank_scratch: Vec::with_capacity(k),
@@ -220,7 +243,12 @@ impl Evaluator {
 
     /// `Setup()` plus the training epochs (skipped entirely when
     /// `skip_training` — the §4.2 stateless-alpha shortcut).
-    fn train(&self, interp: &mut Interpreter<'_>, prog: &AlphaProgram, skip_training: bool) {
+    fn train(
+        &self,
+        interp: &mut ColumnarInterpreter<'_>,
+        prog: &CompiledProgram,
+        skip_training: bool,
+    ) {
         interp.run_setup(prog);
         if skip_training {
             return;
@@ -238,8 +266,8 @@ impl Evaluator {
     /// or truncated) and the sweep stops there.
     fn sweep(
         &self,
-        interp: &mut Interpreter<'_>,
-        prog: &AlphaProgram,
+        interp: &mut ColumnarInterpreter<'_>,
+        prog: &CompiledProgram,
         days: std::ops::Range<usize>,
         abort_on_invalid: bool,
         preds: &mut CrossSections,
@@ -310,10 +338,20 @@ impl Evaluator {
     ) -> Option<f64> {
         let EvalArena {
             interp,
+            compiled,
+            compile_scratch,
             preds,
             returns,
             rank_scratch,
         } = arena;
+        compile_into(
+            prog,
+            &self.cfg,
+            self.dataset.n_stocks(),
+            compile_scratch,
+            compiled,
+        );
+        let prog = &*compiled;
         interp.reset();
         self.train(interp, prog, skip_training);
         if !self.sweep(interp, prog, self.dataset.valid_days(), true, preds) {
@@ -343,9 +381,23 @@ impl Evaluator {
 
     /// [`Evaluator::backtest`] against a reusable arena.
     pub fn backtest_in(&self, arena: &mut EvalArena<'_>, prog: &AlphaProgram) -> BacktestReport {
-        let EvalArena { interp, preds, .. } = arena;
-        interp.reset();
+        let EvalArena {
+            interp,
+            compiled,
+            compile_scratch,
+            preds,
+            ..
+        } = arena;
+        compile_into(
+            prog,
+            &self.cfg,
+            self.dataset.n_stocks(),
+            compile_scratch,
+            compiled,
+        );
         let skip = !crate::prune::liveness(prog).stateful;
+        let prog = &*compiled;
+        interp.reset();
         self.train(interp, prog, skip);
         let split = |preds: &CrossSections, labels: &CrossSections| {
             let returns = long_short_returns(preds, labels, &self.opts.long_short);

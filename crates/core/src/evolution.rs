@@ -148,16 +148,19 @@ pub struct EvolutionOutcome {
     pub elapsed: Duration,
 }
 
-#[derive(Clone, Copy)]
-struct CacheEntry {
-    fitness: Option<f64>,
-}
+/// One lock-guarded shard: fingerprint → cached fitness (`None` for
+/// candidates that evaluated invalid or were gate-rejected).
+type CacheShard = Mutex<FxHashMap<u64, Option<f64>>>;
 
 /// The fingerprint→fitness cache, hash-sharded so concurrent workers
 /// rarely contend on the same lock. Shard selection uses the fingerprint's
 /// low bits (fingerprints are already well-mixed 64-bit digests).
+///
+/// A hit hands back only the cached score/validity (one `Option<f64>`,
+/// 16 bytes by value) — the cache stores nothing per entry that would
+/// need cloning under the shard lock.
 struct ShardedCache {
-    shards: Box<[Mutex<FxHashMap<u64, CacheEntry>>]>,
+    shards: Box<[CacheShard]>,
 }
 
 impl ShardedCache {
@@ -174,16 +177,18 @@ impl ShardedCache {
     }
 
     #[inline]
-    fn shard(&self, fp: u64) -> &Mutex<FxHashMap<u64, CacheEntry>> {
+    fn shard(&self, fp: u64) -> &CacheShard {
         &self.shards[(fp as usize) & (self.shards.len() - 1)]
     }
 
-    fn get(&self, fp: u64) -> Option<CacheEntry> {
+    /// `Some(fitness)` on a hit (where `fitness` is `None` for candidates
+    /// that were invalid/gate-rejected), `None` on a miss.
+    fn lookup(&self, fp: u64) -> Option<Option<f64>> {
         self.shard(fp).lock().get(&fp).copied()
     }
 
-    fn insert(&self, fp: u64, entry: CacheEntry) {
-        self.shard(fp).lock().insert(fp, entry);
+    fn insert(&self, fp: u64, fitness: Option<f64>) {
+        self.shard(fp).lock().insert(fp, fitness);
     }
 }
 
@@ -252,12 +257,9 @@ impl<'a> Shared<'a> {
             )
         };
 
-        if let Some(entry) = self.cache.get(fp) {
+        if let Some(fitness) = self.cache.lookup(fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Individual {
-                program,
-                fitness: entry.fitness,
-            };
+            return Individual { program, fitness };
         }
 
         let score = self
@@ -281,7 +283,7 @@ impl<'a> Shared<'a> {
             }
         };
 
-        self.cache.insert(fp, CacheEntry { fitness });
+        self.cache.insert(fp, fitness);
 
         if let Some(ic) = fitness {
             let mut best = self.best.lock();

@@ -1,17 +1,35 @@
-//! The lockstep cross-sectional interpreter.
+//! The cross-sectional interpreters: columnar (production) and lockstep
+//! (bitwise reference).
 //!
 //! RelationOps make an alpha's computation for one stock depend on the
 //! *same instruction's* intermediate value on every other stock at the same
-//! timestep (paper Figure 4). The interpreter therefore executes
-//! instruction-by-instruction across all stocks ("lockstep"): non-relation
-//! instructions run per-stock against that stock's [`MemoryBank`];
-//! RelationOps gather the input scalar from every bank, apply the group
-//! kernel ([`crate::relation`]), and scatter the results back.
+//! timestep (paper Figure 4), so execution must proceed
+//! instruction-by-instruction across all stocks. Two engines implement
+//! that contract:
 //!
-//! Execution schedule over a dataset (paper §2/§3):
+//! * [`ColumnarInterpreter`] — the production engine. Registers live in a
+//!   stock-major [`RegisterFile`] (every register element is one
+//!   contiguous `[f64; n_stocks]` plane), and programs are first lowered
+//!   to a [`CompiledProgram`](crate::compile::CompiledProgram): dead code
+//!   stripped, register offsets pre-resolved. The `Op` dispatch then runs
+//!   **once per instruction** — each local op is a tight loop over the
+//!   stock axis (auto-vectorizable), and RelationOps rank/demean the
+//!   contiguous scalar plane directly, with zero gather/scatter. The day's
+//!   input load is a handful of contiguous block copies from the shared
+//!   [`DayMajorPanel`] instead of `n_stocks` strided window gathers.
+//! * [`Interpreter`] — the lockstep reference. Non-relation instructions
+//!   are re-dispatched per stock against that stock's [`MemoryBank`];
+//!   RelationOps gather the input scalar from every bank, apply the group
+//!   kernel ([`crate::relation`]), and scatter the results back. It is
+//!   kept as the semantics oracle: the columnar engine must match it
+//!   **bitwise** (same f64 operations in the same order per stock, same
+//!   per-stock RNG streams) — property-tested across random programs in
+//!   `crates/core/tests/properties.rs`.
+//!
+//! Execution schedule over a dataset (paper §2/§3), identical for both:
 //!
 //! ```text
-//! Setup()                          once per stock (banks zeroed first)
+//! Setup()                          once per stock (registers zeroed first)
 //! per training day t:
 //!     m0 <- X[stock, t];  Predict();  s0 <- y[stock, t];  Update()
 //! per validation/test day t:
@@ -25,14 +43,16 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use alphaevolve_market::Dataset;
+use alphaevolve_market::rngutil::normal;
+use alphaevolve_market::{Dataset, DayMajorPanel};
 
+use crate::compile::{CompiledInstr, CompiledProgram};
 use crate::config::AlphaConfig;
 use crate::instruction::Instruction;
-use crate::memory::{MemoryBank, INPUT, LABEL, PREDICTION};
-use crate::op::execute_local;
+use crate::memory::{MemoryBank, RegisterFile, INPUT, LABEL, PREDICTION};
+use crate::op::{execute_local, uniform_in, Op};
 use crate::program::AlphaProgram;
-use crate::relation::{demean_within, rank_within, GroupIndex};
+use crate::relation::{demean_dense, demean_within, rank_within, GroupIndex, GroupSlices};
 
 /// Executes alpha programs over every stock of a dataset in lockstep.
 pub struct Interpreter<'a> {
@@ -194,7 +214,624 @@ impl<'a> Interpreter<'a> {
 
 fn stock_rng(seed: u64, stock: usize) -> SmallRng {
     // Distinct, deterministic stream per stock (golden-ratio stride).
+    // Shared by both engines: per-stock draws must be identical streams.
     SmallRng::seed_from_u64(seed ^ (stock as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Executes compiled alpha programs over every stock of a dataset with
+/// stock-major (columnar) register planes. See the module docs for how it
+/// relates to the lockstep reference [`Interpreter`].
+pub struct ColumnarInterpreter<'a> {
+    dataset: &'a Dataset,
+    panel: &'a DayMajorPanel,
+    groups: &'a GroupIndex,
+    regs: RegisterFile,
+    rngs: Vec<SmallRng>,
+    /// `dim * n_stocks` temporary for kernels whose vector output may
+    /// alias a vector input read at other element indices (`mat_vec`).
+    scratch_v: Vec<f64>,
+    /// `dim² * n_stocks` temporary for `mat_mul` / `m_transpose`.
+    scratch_m: Vec<f64>,
+    /// `n_stocks` accumulator plane for two-pass reductions (std kernels).
+    lane: Vec<f64>,
+    /// `n_stocks` RelationOp output plane. Persistent across instructions,
+    /// mirroring the lockstep scatter buffer bit-for-bit even for group
+    /// indices that do not cover every stock.
+    rel_lane: Vec<f64>,
+    rank_scratch: Vec<u32>,
+    base_seed: u64,
+}
+
+impl<'a> ColumnarInterpreter<'a> {
+    /// Creates a columnar interpreter with zeroed register planes.
+    ///
+    /// `panel` must be the [`DayMajorPanel`] of `dataset` (the evaluator
+    /// builds it once and shares it across workers).
+    ///
+    /// # Panics
+    /// If the dataset's feature count or window disagrees with `cfg.dim`,
+    /// the group index covers a different stock count, or `panel` does not
+    /// match the dataset's shape.
+    pub fn new(
+        cfg: &AlphaConfig,
+        dataset: &'a Dataset,
+        panel: &'a DayMajorPanel,
+        groups: &'a GroupIndex,
+        seed: u64,
+    ) -> ColumnarInterpreter<'a> {
+        assert_eq!(
+            dataset.n_features(),
+            cfg.dim,
+            "dataset features must equal cfg.dim"
+        );
+        assert_eq!(
+            dataset.window(),
+            cfg.dim,
+            "dataset window must equal cfg.dim"
+        );
+        assert_eq!(
+            groups.n_stocks(),
+            dataset.n_stocks(),
+            "group index / dataset mismatch"
+        );
+        assert!(
+            panel.n_stocks() == dataset.n_stocks()
+                && panel.n_features() == dataset.n_features()
+                && panel.n_days() == dataset.panel().n_days(),
+            "day-major panel / dataset mismatch"
+        );
+        let k = dataset.n_stocks();
+        ColumnarInterpreter {
+            dataset,
+            panel,
+            groups,
+            regs: RegisterFile::new(cfg.n_scalars, cfg.n_vectors, cfg.n_matrices, cfg.dim, k),
+            rngs: (0..k).map(|i| stock_rng(seed, i)).collect(),
+            scratch_v: vec![0.0; cfg.dim * k],
+            scratch_m: vec![0.0; cfg.dim * cfg.dim * k],
+            lane: vec![0.0; k],
+            rel_lane: vec![0.0; k],
+            rank_scratch: Vec::with_capacity(k),
+            base_seed: seed,
+        }
+    }
+
+    /// Zeroes all register planes and reseeds the per-stock RNG streams,
+    /// returning the interpreter to its freshly-constructed state.
+    pub fn reset(&mut self) {
+        self.regs.reset();
+        self.rel_lane.fill(0.0);
+        for (i, rng) in self.rngs.iter_mut().enumerate() {
+            *rng = stock_rng(self.base_seed, i);
+        }
+    }
+
+    /// Number of stocks executed per plane.
+    pub fn n_stocks(&self) -> usize {
+        self.regs.n_stocks()
+    }
+
+    /// Read access to the register planes (tests / diagnostics).
+    pub fn registers(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Loads the day's input feature panel into the `m0` planes: one
+    /// contiguous block copy per feature (the whole window × all stocks),
+    /// instead of the lockstep path's per-stock strided window gather.
+    fn load_input(&mut self, day: usize) {
+        let k = self.regs.n_stocks();
+        let w = self.dataset.window();
+        let m0 = &mut self.regs.m[..self.dataset.n_features() * w * k];
+        for f in 0..self.dataset.n_features() {
+            // m0 element (row f, col c) is feature f at day `day - w + c`,
+            // so elements f*w .. f*w+w map onto one contiguous source block.
+            m0[f * w * k..(f + 1) * w * k].copy_from_slice(self.panel.window_block(f, day, w));
+        }
+        debug_assert_eq!(INPUT, 0, "m0 load assumes the input matrix is m0");
+    }
+
+    /// Loads the day's label cross-section into the `s0` plane: one copy.
+    fn load_labels(&mut self, day: usize) {
+        self.regs
+            .s_plane_mut(LABEL)
+            .copy_from_slice(self.panel.labels_row(day));
+    }
+
+    /// Runs one compiled function body across all stocks, dispatching each
+    /// instruction exactly once.
+    pub fn run_function(&mut self, instrs: &[CompiledInstr]) {
+        let k = self.regs.n_stocks();
+        for instr in instrs {
+            if let Some(rel) = instr.op.relation_group() {
+                // The scalar plane *is* the cross-section: rank/demean it
+                // in place of the lockstep gather/scatter round trip.
+                let is_rank = instr.op.is_rank();
+                {
+                    let values = &self.regs.s[instr.a..instr.a + k];
+                    match self.groups.groups(rel) {
+                        GroupSlices::Single(_) if !is_rank => {
+                            demean_dense(values, &mut self.rel_lane);
+                        }
+                        groups => {
+                            for members in groups.iter() {
+                                if is_rank {
+                                    rank_within(
+                                        members,
+                                        values,
+                                        &mut self.rel_lane,
+                                        &mut self.rank_scratch,
+                                    );
+                                } else {
+                                    demean_within(members, values, &mut self.rel_lane);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.regs.s[instr.o..instr.o + k].copy_from_slice(&self.rel_lane);
+            } else {
+                execute_columnar(
+                    instr,
+                    &mut self.regs,
+                    &mut self.rngs,
+                    &mut self.scratch_v,
+                    &mut self.scratch_m,
+                    &mut self.lane,
+                );
+            }
+        }
+    }
+
+    /// Runs `Setup()` once for every stock.
+    pub fn run_setup(&mut self, prog: &CompiledProgram) {
+        self.run_function(&prog.setup);
+    }
+
+    /// One training step: load inputs, predict, load labels, update.
+    /// `run_update = false` skips the parameter update (the paper's `_P`
+    /// ablation of Table 4).
+    pub fn train_day(&mut self, prog: &CompiledProgram, day: usize, run_update: bool) {
+        self.load_input(day);
+        self.run_function(&prog.predict);
+        if run_update {
+            self.load_labels(day);
+            self.run_function(&prog.update);
+        }
+    }
+
+    /// One inference step: load inputs, predict, and copy the prediction
+    /// plane `s1` into `out` (must have length `n_stocks`).
+    pub fn predict_day(&mut self, prog: &CompiledProgram, day: usize, out: &mut [f64]) {
+        self.load_input(day);
+        self.run_function(&prog.predict);
+        out.copy_from_slice(self.regs.s_plane(PREDICTION));
+    }
+}
+
+/// Element-wise binary kernel within one register buffer: `n` is the whole
+/// register size in elements (`n_stocks` for scalars, `dim · n_stocks` for
+/// vectors, …). Alias-safe: `out[i]` depends only on index `i` of the
+/// inputs, so overlapping registers behave like the lockstep scratch copy.
+#[inline]
+fn ew2(buf: &mut [f64], n: usize, a: usize, b: usize, o: usize, f: impl Fn(f64, f64) -> f64) {
+    assert!(a + n <= buf.len() && b + n <= buf.len() && o + n <= buf.len());
+    for i in 0..n {
+        buf[o + i] = f(buf[a + i], buf[b + i]);
+    }
+}
+
+/// Element-wise unary kernel within one register buffer (see [`ew2`]).
+#[inline]
+fn ew1(buf: &mut [f64], n: usize, a: usize, o: usize, f: impl Fn(f64) -> f64) {
+    assert!(a + n <= buf.len() && o + n <= buf.len());
+    for i in 0..n {
+        buf[o + i] = f(buf[a + i]);
+    }
+}
+
+/// Executes one non-relation compiled instruction against the columnar
+/// register planes: a single dispatch, then tight loops over the stock
+/// axis. Every kernel performs, per stock, exactly the same f64 operations
+/// in the same order as [`execute_local`] on that stock's bank — that
+/// invariant is what keeps the two engines bitwise interchangeable.
+///
+/// `scratch_v`/`scratch_m` must be at least `dim·K` / `dim²·K` long;
+/// `lane` at least `K`.
+fn execute_columnar(
+    instr: &CompiledInstr,
+    regs: &mut RegisterFile,
+    rngs: &mut [SmallRng],
+    scratch_v: &mut [f64],
+    scratch_m: &mut [f64],
+    lane: &mut [f64],
+) {
+    debug_assert!(
+        !instr.op.is_relation(),
+        "relation ops need cross-sectional execution"
+    );
+    let k = regs.n_stocks();
+    let d = regs.dim();
+    let dk = d * k;
+    let d2k = d * d * k;
+    let (a, b, o) = (instr.a, instr.b, instr.o);
+    let [lit0, lit1] = instr.lit;
+    let ix0 = instr.ix[0] as usize;
+    let ix1 = instr.ix[1] as usize;
+    let RegisterFile { s, v, m, .. } = regs;
+    let (s, v, m) = (&mut s[..], &mut v[..], &mut m[..]);
+
+    match instr.op {
+        Op::NoOp => {}
+
+        // -- scalar ----------------------------------------------------
+        Op::SConst => s[o..o + k].fill(lit0),
+        Op::SUniform => {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                s[o + i] = uniform_in(rng, lit0, lit1);
+            }
+        }
+        Op::SGauss => {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                s[o + i] = normal(rng, lit0, lit1.abs());
+            }
+        }
+        Op::SAdd => ew2(s, k, a, b, o, |x, y| x + y),
+        Op::SSub => ew2(s, k, a, b, o, |x, y| x - y),
+        Op::SMul => ew2(s, k, a, b, o, |x, y| x * y),
+        Op::SDiv => ew2(s, k, a, b, o, |x, y| x / y),
+        Op::SMin => ew2(s, k, a, b, o, f64::min),
+        Op::SMax => ew2(s, k, a, b, o, f64::max),
+        Op::SAbs => ew1(s, k, a, o, f64::abs),
+        Op::SInv => ew1(s, k, a, o, |x| 1.0 / x),
+        Op::SSin => ew1(s, k, a, o, f64::sin),
+        Op::SCos => ew1(s, k, a, o, f64::cos),
+        Op::STan => ew1(s, k, a, o, f64::tan),
+        Op::SArcSin => ew1(s, k, a, o, f64::asin),
+        Op::SArcCos => ew1(s, k, a, o, f64::acos),
+        Op::SArcTan => ew1(s, k, a, o, f64::atan),
+        Op::SExp => ew1(s, k, a, o, f64::exp),
+        Op::SLn => ew1(s, k, a, o, f64::ln),
+        Op::SHeaviside => ew1(s, k, a, o, |x| if x > 0.0 { 1.0 } else { 0.0 }),
+
+        // -- vector ----------------------------------------------------
+        Op::VConst => v[o..o + dk].fill(lit0),
+        Op::VUniform => {
+            // Stock-outer so each stock draws its `dim` values in element
+            // order, exactly like the lockstep fill of that stock's bank.
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                for e in 0..d {
+                    v[o + e * k + i] = uniform_in(rng, lit0, lit1);
+                }
+            }
+        }
+        Op::VGauss => {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                for e in 0..d {
+                    v[o + e * k + i] = normal(rng, lit0, lit1.abs());
+                }
+            }
+        }
+        Op::VAdd => ew2(v, dk, a, b, o, |x, y| x + y),
+        Op::VSub => ew2(v, dk, a, b, o, |x, y| x - y),
+        Op::VMul => ew2(v, dk, a, b, o, |x, y| x * y),
+        Op::VDiv => ew2(v, dk, a, b, o, |x, y| x / y),
+        Op::VMin => ew2(v, dk, a, b, o, f64::min),
+        Op::VMax => ew2(v, dk, a, b, o, f64::max),
+        Op::VAbs => ew1(v, dk, a, o, f64::abs),
+        Op::VHeaviside => ew1(v, dk, a, o, |x| if x > 0.0 { 1.0 } else { 0.0 }),
+        Op::SVScale => {
+            for e in 0..d {
+                let (vo, vb) = (o + e * k, b + e * k);
+                for i in 0..k {
+                    v[vo + i] = s[a + i] * v[vb + i];
+                }
+            }
+        }
+        Op::VBroadcast => {
+            for e in 0..d {
+                v[o + e * k..o + (e + 1) * k].copy_from_slice(&s[a..a + k]);
+            }
+        }
+        Op::VNorm => {
+            s[o..o + k].fill(0.0);
+            for e in 0..d {
+                for i in 0..k {
+                    let x = v[a + e * k + i];
+                    s[o + i] += x * x;
+                }
+            }
+            for x in &mut s[o..o + k] {
+                *x = x.sqrt();
+            }
+        }
+        Op::VMean => {
+            reduce_sum(v, s, a, o, d, k);
+            for x in &mut s[o..o + k] {
+                *x /= d as f64;
+            }
+        }
+        Op::VStd => population_std_planes(v, s, lane, a, o, d, k),
+        Op::VSum => reduce_sum(v, s, a, o, d, k),
+        Op::TsRank => {
+            // Rank of the newest element (last slot) within the vector,
+            // normalized to [0, 1]; ties count half.
+            s[o..o + k].fill(0.0);
+            let last = a + (d - 1) * k;
+            for e in 0..d - 1 {
+                for i in 0..k {
+                    let x = v[a + e * k + i];
+                    if x < v[last + i] {
+                        s[o + i] += 1.0;
+                    } else if x == v[last + i] {
+                        s[o + i] += 0.5;
+                    }
+                }
+            }
+            for x in &mut s[o..o + k] {
+                *x /= (d - 1) as f64;
+            }
+        }
+        Op::VDot => {
+            s[o..o + k].fill(0.0);
+            for e in 0..d {
+                for i in 0..k {
+                    s[o + i] += v[a + e * k + i] * v[b + e * k + i];
+                }
+            }
+        }
+        Op::VGet => s[o..o + k].copy_from_slice(&v[a + ix0 * k..a + (ix0 + 1) * k]),
+        Op::VOuter => {
+            for r in 0..d {
+                for c in 0..d {
+                    let mo = o + (r * d + c) * k;
+                    let (va, vb) = (a + r * k, b + c * k);
+                    for i in 0..k {
+                        m[mo + i] = v[va + i] * v[vb + i];
+                    }
+                }
+            }
+        }
+        Op::MatVec => {
+            // The vector output may alias the vector input, so accumulate
+            // in scratch (same values as the lockstep scratch row sums).
+            let sv = &mut scratch_v[..dk];
+            sv.fill(0.0);
+            for r in 0..d {
+                for c in 0..d {
+                    let (ma, vb, so) = (a + (r * d + c) * k, b + c * k, r * k);
+                    for i in 0..k {
+                        sv[so + i] += m[ma + i] * v[vb + i];
+                    }
+                }
+            }
+            v[o..o + dk].copy_from_slice(sv);
+        }
+
+        // -- matrix ----------------------------------------------------
+        Op::MConst => m[o..o + d2k].fill(lit0),
+        Op::MUniform => {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                for e in 0..d * d {
+                    m[o + e * k + i] = uniform_in(rng, lit0, lit1);
+                }
+            }
+        }
+        Op::MGauss => {
+            for (i, rng) in rngs.iter_mut().enumerate() {
+                for e in 0..d * d {
+                    m[o + e * k + i] = normal(rng, lit0, lit1.abs());
+                }
+            }
+        }
+        Op::MAdd => ew2(m, d2k, a, b, o, |x, y| x + y),
+        Op::MSub => ew2(m, d2k, a, b, o, |x, y| x - y),
+        Op::MMul => ew2(m, d2k, a, b, o, |x, y| x * y),
+        Op::MDiv => ew2(m, d2k, a, b, o, |x, y| x / y),
+        Op::MMin => ew2(m, d2k, a, b, o, f64::min),
+        Op::MMax => ew2(m, d2k, a, b, o, f64::max),
+        Op::MAbs => ew1(m, d2k, a, o, f64::abs),
+        Op::MHeaviside => ew1(m, d2k, a, o, |x| if x > 0.0 { 1.0 } else { 0.0 }),
+        Op::MTranspose => {
+            let sm = &mut scratch_m[..d2k];
+            for r in 0..d {
+                for c in 0..d {
+                    sm[(c * d + r) * k..(c * d + r + 1) * k]
+                        .copy_from_slice(&m[a + (r * d + c) * k..a + (r * d + c + 1) * k]);
+                }
+            }
+            m[o..o + d2k].copy_from_slice(sm);
+        }
+        Op::MatMul => {
+            let sm = &mut scratch_m[..d2k];
+            sm.fill(0.0);
+            for r in 0..d {
+                for c in 0..d {
+                    let so = (r * d + c) * k;
+                    // Accumulate in kk order: the lockstep kernel's exact
+                    // summation order per stock.
+                    for kk in 0..d {
+                        let (ma, mb) = (a + (r * d + kk) * k, b + (kk * d + c) * k);
+                        for i in 0..k {
+                            sm[so + i] += m[ma + i] * m[mb + i];
+                        }
+                    }
+                }
+            }
+            m[o..o + d2k].copy_from_slice(sm);
+        }
+        Op::SMScale => {
+            for e in 0..d * d {
+                let (mo, mb) = (o + e * k, b + e * k);
+                for i in 0..k {
+                    m[mo + i] = s[a + i] * m[mb + i];
+                }
+            }
+        }
+        Op::MBroadcast => {
+            for r in 0..d {
+                for c in 0..d {
+                    // axis 0: tile v across rows (row r is v);
+                    // axis 1: tile v across columns (col c is v).
+                    let src = a + if ix0 == 0 { c } else { r } * k;
+                    m[o + (r * d + c) * k..o + (r * d + c + 1) * k]
+                        .copy_from_slice(&v[src..src + k]);
+                }
+            }
+        }
+        Op::MNorm => {
+            s[o..o + k].fill(0.0);
+            for e in 0..d * d {
+                for i in 0..k {
+                    let x = m[a + e * k + i];
+                    s[o + i] += x * x;
+                }
+            }
+            for x in &mut s[o..o + k] {
+                *x = x.sqrt();
+            }
+        }
+        Op::MMean => {
+            reduce_sum(m, s, a, o, d * d, k);
+            for x in &mut s[o..o + k] {
+                *x /= (d * d) as f64;
+            }
+        }
+        Op::MStd => population_std_planes(m, s, lane, a, o, d * d, k),
+        Op::MNormAxis | Op::MMeanAxis | Op::MStdAxis => {
+            // axis 0 reduces over rows (output indexed by column), axis 1
+            // over columns (output indexed by row) — NumPy convention.
+            // Per output element, gather in the lockstep order.
+            let stride = |e: usize, j: usize| a + if ix0 == 0 { j * d + e } else { e * d + j } * k;
+            for e in 0..d {
+                let vo = o + e * k;
+                match instr.op {
+                    Op::MNormAxis => {
+                        v[vo..vo + k].fill(0.0);
+                        for j in 0..d {
+                            let src = stride(e, j);
+                            for i in 0..k {
+                                let x = m[src + i];
+                                v[vo + i] += x * x;
+                            }
+                        }
+                        for x in &mut v[vo..vo + k] {
+                            *x = x.sqrt();
+                        }
+                    }
+                    Op::MMeanAxis => {
+                        v[vo..vo + k].fill(0.0);
+                        for j in 0..d {
+                            let src = stride(e, j);
+                            for i in 0..k {
+                                v[vo + i] += m[src + i];
+                            }
+                        }
+                        for x in &mut v[vo..vo + k] {
+                            *x /= d as f64;
+                        }
+                    }
+                    _ => {
+                        // Mean into `lane`, then squared deviations into
+                        // the output plane — population_std's two passes.
+                        lane[..k].fill(0.0);
+                        for j in 0..d {
+                            let src = stride(e, j);
+                            for i in 0..k {
+                                lane[i] += m[src + i];
+                            }
+                        }
+                        for x in &mut lane[..k] {
+                            *x /= d as f64;
+                        }
+                        v[vo..vo + k].fill(0.0);
+                        for j in 0..d {
+                            let src = stride(e, j);
+                            for i in 0..k {
+                                let dev = m[src + i] - lane[i];
+                                v[vo + i] += dev * dev;
+                            }
+                        }
+                        for x in &mut v[vo..vo + k] {
+                            *x = (*x / d as f64).sqrt();
+                        }
+                    }
+                }
+            }
+        }
+        Op::MGet => {
+            let src = a + (ix0 * d + ix1) * k;
+            s[o..o + k].copy_from_slice(&m[src..src + k]);
+        }
+        Op::MGetRow => {
+            for c in 0..d {
+                let src = a + (ix0 * d + c) * k;
+                v[o + c * k..o + (c + 1) * k].copy_from_slice(&m[src..src + k]);
+            }
+        }
+        Op::MGetCol => {
+            for r in 0..d {
+                let src = a + (r * d + ix0) * k;
+                v[o + r * k..o + (r + 1) * k].copy_from_slice(&m[src..src + k]);
+            }
+        }
+
+        // -- relation ops: handled by the interpreter -------------------
+        Op::RelRank
+        | Op::RelRankSector
+        | Op::RelRankIndustry
+        | Op::RelDemean
+        | Op::RelDemeanSector
+        | Op::RelDemeanIndustry => {
+            debug_assert!(false, "relation op reached execute_columnar");
+        }
+    }
+}
+
+/// Plane-wise sum reduction: `dst[o..o+k] = Σ_e src[a + e·k ..][..k]`,
+/// accumulating elements in ascending order (the lockstep fold order).
+#[inline]
+fn reduce_sum(src: &[f64], dst: &mut [f64], a: usize, o: usize, n_elems: usize, k: usize) {
+    dst[o..o + k].fill(0.0);
+    for e in 0..n_elems {
+        for i in 0..k {
+            dst[o + i] += src[a + e * k + i];
+        }
+    }
+}
+
+/// Plane-wise population standard deviation over `n_elems` planes of
+/// `src`, written to `dst[o..o+k]`; `lane` holds the per-stock mean.
+/// Matches `population_std`'s two passes per stock exactly.
+#[inline]
+fn population_std_planes(
+    src: &[f64],
+    dst: &mut [f64],
+    lane: &mut [f64],
+    a: usize,
+    o: usize,
+    n_elems: usize,
+    k: usize,
+) {
+    lane[..k].fill(0.0);
+    for e in 0..n_elems {
+        for i in 0..k {
+            lane[i] += src[a + e * k + i];
+        }
+    }
+    for x in &mut lane[..k] {
+        *x /= n_elems as f64;
+    }
+    dst[o..o + k].fill(0.0);
+    for e in 0..n_elems {
+        for i in 0..k {
+            let dev = src[a + e * k + i] - lane[i];
+            dst[o + i] += dev * dev;
+        }
+    }
+    for x in &mut dst[o..o + k] {
+        *x = (*x / n_elems as f64).sqrt();
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +973,163 @@ mod tests {
         let mut b = vec![0.0; ds.n_stocks()];
         interp.run_setup(&prog);
         interp.predict_day(&prog, day, &mut b);
+        assert_eq!(a, b, "reset + rerun must reproduce the stochastic stream");
+    }
+
+    /// Runs `prog` through both engines over `n_days` training days and
+    /// `n_days` prediction days, asserting bitwise-equal predictions.
+    fn assert_engines_match(prog: &AlphaProgram, seed: u64, n_days: usize) {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let panel = DayMajorPanel::from_panel(ds.panel());
+        let cfg = cfg();
+        let compiled = crate::compile::compile(prog, &cfg, ds.n_stocks());
+        let mut lock = Interpreter::new(&cfg, &ds, &groups, seed);
+        let mut col = ColumnarInterpreter::new(&cfg, &ds, &panel, &groups, seed);
+        lock.run_setup(prog);
+        col.run_setup(&compiled);
+        let k = ds.n_stocks();
+        let (mut a, mut b) = (vec![0.0; k], vec![0.0; k]);
+        for day in ds.train_days().take(n_days) {
+            lock.train_day(prog, day, true);
+            col.train_day(&compiled, day, true);
+        }
+        for day in ds.valid_days().take(n_days) {
+            lock.predict_day(prog, day, &mut a);
+            col.predict_day(&compiled, day, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "engines diverged on day {day}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_matches_lockstep_on_relational_alpha() {
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                instr(Op::MMean, 0, 0, 2),
+                instr(Op::RelRankSector, 2, 0, 3),
+                instr(Op::RelDemeanIndustry, 3, 0, 4),
+                instr(Op::RelRank, 4, 0, 1),
+            ],
+            update: vec![instr(Op::SAdd, 3, 0, 3)],
+        };
+        assert_engines_match(&prog, 5, 6);
+    }
+
+    #[test]
+    fn columnar_matches_lockstep_on_stochastic_alpha() {
+        // Stochastic draws in all three functions, including a *dead*
+        // stochastic op (s9 unused) that must still advance the streams.
+        let prog = AlphaProgram {
+            setup: vec![
+                Instruction::new(Op::MGauss, 0, 0, 1, [0.0, 0.5], [0; 2]),
+                Instruction::new(Op::SUniform, 0, 0, 9, [-1.0, 1.0], [0; 2]),
+            ],
+            predict: vec![
+                Instruction::new(Op::VUniform, 0, 0, 2, [-0.1, 0.1], [0; 2]),
+                instr(Op::MatVec, 1, 2, 3),
+                instr(Op::VMean, 3, 0, 2),
+                instr(Op::MMean, 0, 0, 4),
+                instr(Op::SAdd, 2, 4, 1),
+            ],
+            update: vec![
+                Instruction::new(Op::SGauss, 0, 0, 5, [0.0, 1.0], [0; 2]),
+                instr(Op::SMul, 5, 0, 6),
+                instr(Op::SAdd, 1, 6, 1),
+            ],
+        };
+        assert_engines_match(&prog, 99, 5);
+    }
+
+    #[test]
+    fn columnar_matches_lockstep_on_nonfinite_intermediates() {
+        // s2 = 0/0 = NaN feeds a relation rank and the prediction; the
+        // NaN path (sort-last ranks, NaN demeans) must agree bitwise.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                instr(Op::SDiv, 7, 7, 2), // 0/0 = NaN
+                instr(Op::MMean, 0, 0, 3),
+                instr(Op::SLn, 3, 0, 4), // ln of ±values -> NaN/-inf mix
+                instr(Op::RelRank, 4, 0, 5),
+                instr(Op::SAdd, 2, 5, 1),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        assert_engines_match(&prog, 0, 4);
+    }
+
+    #[test]
+    fn columnar_matrix_kernels_match_lockstep() {
+        // Heavy matrix traffic: matmul, transpose, axis reductions, outer
+        // products, extraction — the kernels with reordered loop nests.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                instr(Op::MTranspose, 0, 0, 1),
+                instr(Op::MatMul, 0, 1, 2),
+                Instruction::new(Op::MStdAxis, 2, 0, 3, [0.0; 2], [1, 0]),
+                Instruction::new(Op::MMeanAxis, 2, 0, 4, [0.0; 2], [0, 0]),
+                instr(Op::VOuter, 3, 4, 1),
+                Instruction::new(Op::MGetRow, 1, 0, 5, [0.0; 2], [2, 0]),
+                instr(Op::TsRank, 5, 0, 2),
+                instr(Op::MStd, 1, 0, 3),
+                instr(Op::SAdd, 2, 3, 1),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        assert_engines_match(&prog, 0, 4);
+    }
+
+    #[test]
+    fn columnar_state_persists_across_days() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let panel = DayMajorPanel::from_panel(ds.panel());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 2, [1.0, 0.0], [0; 2])],
+            predict: vec![instr(Op::SAdd, 1, 2, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let compiled = crate::compile::compile(&prog, &cfg, ds.n_stocks());
+        let mut interp = ColumnarInterpreter::new(&cfg, &ds, &panel, &groups, 0);
+        interp.run_setup(&compiled);
+        let mut out = vec![0.0; ds.n_stocks()];
+        let start = ds.train_days().start;
+        for (n, day) in (start..start + 5).enumerate() {
+            interp.predict_day(&compiled, day, &mut out);
+            assert_eq!(out[0], (n + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn columnar_reset_restores_initial_state() {
+        let ds = tiny_dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let panel = DayMajorPanel::from_panel(ds.panel());
+        let cfg = cfg();
+        let prog = AlphaProgram {
+            setup: vec![Instruction::new(Op::SGauss, 0, 0, 2, [0.0, 1.0], [0; 2])],
+            predict: vec![instr(Op::MMean, 0, 0, 3), instr(Op::SMul, 3, 2, 1)],
+            update: vec![Instruction::nop()],
+        };
+        let compiled = crate::compile::compile(&prog, &cfg, ds.n_stocks());
+        let mut interp = ColumnarInterpreter::new(&cfg, &ds, &panel, &groups, 42);
+        let day = ds.train_days().start;
+        let mut a = vec![0.0; ds.n_stocks()];
+        interp.run_setup(&compiled);
+        interp.predict_day(&compiled, day, &mut a);
+        interp.reset();
+        let mut b = vec![0.0; ds.n_stocks()];
+        interp.run_setup(&compiled);
+        interp.predict_day(&compiled, day, &mut b);
         assert_eq!(a, b, "reset + rerun must reproduce the stochastic stream");
     }
 

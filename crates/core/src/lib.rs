@@ -7,9 +7,11 @@
 //! * a **new class of alphas** — straight-line programs over scalar /
 //!   vector / matrix registers with `Setup()` / `Predict()` / `Update()`
 //!   components ([`program`], [`op`], [`instruction`], [`memory`]);
-//! * a **lockstep cross-sectional interpreter** executing an alpha on all
-//!   stocks simultaneously so RelationOps can rank/demean across tasks
-//!   ([`interp`], [`relation`]);
+//! * two **cross-sectional interpreters** executing an alpha on all stocks
+//!   simultaneously so RelationOps can rank/demean across tasks: the
+//!   columnar stock-major production engine with its compile-then-execute
+//!   pipeline, and the lockstep bitwise reference ([`interp`], [`compile`],
+//!   [`memory`], [`relation`]);
 //! * the paper's **search optimizations**: redundancy pruning, redundant-
 //!   alpha rejection and evaluation-free fingerprinting with a fitness
 //!   cache ([`prune`], [`fingerprint`]);
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod compile;
 pub mod config;
 pub mod eval;
 pub mod evolution;
@@ -55,6 +58,7 @@ pub mod relation;
 pub mod textio;
 
 pub use analysis::{analyze, AlphaAnalysis};
+pub use compile::{compile, compile_into, CompileScratch, CompiledInstr, CompiledProgram};
 pub use config::AlphaConfig;
 pub use eval::{
     labels_cross_sections, BacktestReport, EvalArena, EvalOptions, Evaluation, Evaluator,
@@ -66,8 +70,8 @@ pub use evolution::{
 };
 pub use fingerprint::fingerprint;
 pub use instruction::Instruction;
-pub use interp::Interpreter;
-pub use memory::MemoryBank;
+pub use interp::{ColumnarInterpreter, Interpreter};
+pub use memory::{MemoryBank, RegisterFile};
 pub use mutation::{MutationConfig, Mutator};
 pub use op::{Kind, Op};
 pub use program::{AlphaProgram, FunctionId};

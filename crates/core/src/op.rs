@@ -326,7 +326,9 @@ fn population_std(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
 }
 
-fn uniform_in(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+/// Uniform draw with reordered/degenerate bounds handled; shared by the
+/// lockstep and columnar kernels so both consume identical RNG streams.
+pub(crate) fn uniform_in(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
     let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     if a == b {
         a

@@ -184,6 +184,26 @@ pub fn liveness(prog: &AlphaProgram) -> Liveness {
     }
 }
 
+/// Per-instruction liveness marks for all three functions, written into
+/// caller-owned buffers (cleared and refilled; capacity is reused, so this
+/// is allocation-free once the buffers have grown to the program size).
+/// The marks agree with [`prune`]'s kept set exactly — this is the
+/// per-candidate entry point for the columnar compile pass, which must not
+/// allocate on the evaluation hot path.
+pub(crate) fn mark_live_into(
+    prog: &AlphaProgram,
+    setup_marks: &mut Vec<bool>,
+    predict_marks: &mut Vec<bool>,
+    update_marks: &mut Vec<bool>,
+) {
+    let live_pred_entry = predict_entry_fixpoint(prog);
+    let live_update_entry =
+        backward_pass(&prog.update, live_pred_entry & !M0_BIT, Some(update_marks));
+    let live_pred_exit = (live_update_entry & !S0_BIT) | S1_BIT | (live_pred_entry & !M0_BIT);
+    backward_pass(&prog.predict, live_pred_exit, Some(predict_marks));
+    backward_pass(&prog.setup, live_pred_entry & !M0_BIT, Some(setup_marks));
+}
+
 /// Prunes redundant operations and detects redundant alphas.
 pub fn prune(prog: &AlphaProgram) -> PruneResult {
     // Fixpoint on the predict-entry live set.
@@ -510,6 +530,51 @@ mod tests {
             let light = liveness(prog);
             assert_eq!(light.uses_input, full.uses_input, "{prog:?}");
             assert_eq!(light.stateful, full.stateful, "{prog:?}");
+        }
+    }
+
+    #[test]
+    fn mark_live_into_agrees_with_prune() {
+        let progs = [
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![
+                    get_m0(2),
+                    i(Op::SAbs, 2, 0, 1),
+                    i(Op::SSin, 2, 0, 8),
+                    i(Op::SCos, 2, 0, 1),
+                ],
+                update: vec![Instruction::nop()],
+            },
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![get_m0(2), i(Op::SAdd, 5, 2, 5), i(Op::SSin, 5, 0, 1)],
+                update: vec![Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [0, 0])],
+            },
+        ];
+        let (mut sm, mut pm, mut um) = (Vec::new(), Vec::new(), Vec::new());
+        for prog in &progs {
+            mark_live_into(prog, &mut sm, &mut pm, &mut um);
+            let full = prune(prog);
+            let kept = |instrs: &[Instruction], marks: &[bool]| -> Vec<Instruction> {
+                instrs
+                    .iter()
+                    .zip(marks)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| x.clone())
+                    .collect()
+            };
+            let check = |kept: Vec<Instruction>, pruned: &[Instruction]| {
+                // prune() pads empty functions with one noop; marks don't.
+                if kept.is_empty() {
+                    assert_eq!(pruned, [Instruction::nop()]);
+                } else {
+                    assert_eq!(kept, pruned);
+                }
+            };
+            check(kept(&prog.setup, &sm), &full.program.setup);
+            check(kept(&prog.predict, &pm), &full.program.predict);
+            check(kept(&prog.update, &um), &full.program.update);
         }
     }
 

@@ -11,10 +11,13 @@ use rand::SeedableRng;
 
 use alphaevolve_core::fingerprint::{fingerprint, fingerprint_raw};
 use alphaevolve_core::{
-    canonicalize, init, prune, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, FunctionId,
-    Instruction, MutationConfig, Mutator, Op,
+    canonicalize, compile, init, prune, AlphaConfig, AlphaProgram, ColumnarInterpreter,
+    EvalOptions, Evaluator, FunctionId, GroupIndex, Instruction, Interpreter, MutationConfig,
+    Mutator, Op,
 };
-use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve_market::{
+    features::FeatureSet, generator::MarketConfig, Dataset, DayMajorPanel, SplitSpec,
+};
 
 fn tiny_evaluator() -> Evaluator {
     let market = MarketConfig {
@@ -95,6 +98,112 @@ proptest! {
             }
             None => prop_assert!(eval.val_returns.is_empty()),
         }
+    }
+}
+
+/// Shared fixture for the engine-equivalence properties (built once — the
+/// properties only vary the program, not the market).
+fn equivalence_fixture() -> &'static (Dataset, GroupIndex, DayMajorPanel) {
+    static FIXTURE: std::sync::OnceLock<(Dataset, GroupIndex, DayMajorPanel)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let market = MarketConfig {
+            n_stocks: 9,
+            n_days: 115,
+            seed: 4242,
+            n_sectors: 3,
+            ..Default::default()
+        }
+        .generate();
+        let ds = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let panel = DayMajorPanel::from_panel(ds.panel());
+        (ds, groups, panel)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The columnar interpreter is a bitwise drop-in for the lockstep
+    /// reference: over random programs spanning the full op set (relation
+    /// ops, RNG ops, extraction, and the non-finite values that unguarded
+    /// arithmetic produces), both engines emit identical prediction bits
+    /// on every day of a train + predict schedule.
+    #[test]
+    fn columnar_interpreter_matches_lockstep_bitwise(
+        seed in any::<u64>(),
+        interp_seed in any::<u64>(),
+        ns in 1usize..6,
+        np in 1usize..12,
+        nu in 1usize..8,
+    ) {
+        let cfg = AlphaConfig::default();
+        let (ds, groups, panel) = equivalence_fixture();
+        let prog = random_program(seed, ns, np, nu);
+        let compiled = compile(&prog, &cfg, ds.n_stocks());
+        let mut lock = Interpreter::new(&cfg, ds, groups, interp_seed);
+        let mut col = ColumnarInterpreter::new(&cfg, ds, panel, groups, interp_seed);
+        lock.run_setup(&prog);
+        col.run_setup(&compiled);
+        let k = ds.n_stocks();
+        let (mut a, mut b) = (vec![0.0; k], vec![0.0; k]);
+        for day in ds.train_days().take(4) {
+            lock.train_day(&prog, day, true);
+            col.train_day(&compiled, day, true);
+        }
+        for day in ds.valid_days().take(4) {
+            lock.predict_day(&prog, day, &mut a);
+            col.predict_day(&compiled, day, &mut b);
+            for (s, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "stock {} day {}: lockstep {} vs columnar {}",
+                    s, day, x, y
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Evaluating through the production pipeline (compile + columnar
+    /// execution inside the arena) agrees with driving the lockstep
+    /// reference by hand over the same schedule.
+    #[test]
+    fn evaluator_pipeline_matches_lockstep_reference(
+        seed in any::<u64>(),
+        np in 1usize..10,
+        nu in 1usize..6,
+    ) {
+        let ev = tiny_evaluator();
+        let prog = random_program(seed, 3, np, nu);
+        let eval = ev.evaluate_opt(&prog, false);
+        // Reference: lockstep train + validation sweep.
+        let ds = ev.dataset();
+        let groups = GroupIndex::from_universe(ds.universe());
+        let mut lock = Interpreter::new(ev.config(), ds, &groups, ev.options().seed);
+        lock.run_setup(&prog);
+        for day in ds.train_days() {
+            lock.train_day(&prog, day, true);
+        }
+        let mut row = vec![0.0; ds.n_stocks()];
+        let mut all_finite = true;
+        for day in ds.valid_days() {
+            lock.predict_day(&prog, day, &mut row);
+            if !row.iter().all(|x| x.is_finite()) {
+                all_finite = false;
+                break;
+            }
+        }
+        prop_assert_eq!(
+            eval.fitness.is_some(),
+            all_finite,
+            "validity verdict diverged between engines"
+        );
     }
 }
 

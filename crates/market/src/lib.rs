@@ -52,7 +52,7 @@ pub use dataset::{Dataset, SplitSpec};
 pub use features::{FeatureKind, FeatureSet};
 pub use generator::MarketConfig;
 pub use ohlcv::MarketData;
-pub use panel::FeaturePanel;
+pub use panel::{DayMajorPanel, FeaturePanel};
 pub use universe::{IndustryId, SectorId, StockMeta, Universe};
 
 /// Errors produced while building market substrates.

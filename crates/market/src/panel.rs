@@ -4,6 +4,10 @@
 //! the evaluator's samples. Data is stored in one contiguous buffer indexed
 //! `[stock][feature][day]` so that window extraction (`X ∈ R^{f×w}`) is a
 //! strided copy and feature access is sequential.
+//!
+//! The columnar (stock-major) interpreter consumes the transposed
+//! [`DayMajorPanel`] view instead: `[feature][day][stock]`, so that one
+//! day's cross-section of any feature is a single contiguous slice.
 
 use crate::features::{normalize_series, FeatureSet};
 use crate::ohlcv::MarketData;
@@ -158,6 +162,98 @@ impl FeaturePanel {
     }
 }
 
+/// The transposed twin of [`FeaturePanel`] for stock-major execution:
+/// features are stored `[feature][day][stock]` and labels `[day][stock]`,
+/// so a cross-section (all stocks, one feature, one day) is one contiguous
+/// slice, and a whole input window (`w` consecutive days of one feature,
+/// all stocks) is one contiguous block.
+///
+/// Built once per dataset and shared read-only across evaluation workers;
+/// values are exact copies of the source panel (the transpose moves bits,
+/// it never recomputes), so the two layouts are bitwise interchangeable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayMajorPanel {
+    n_stocks: usize,
+    n_features: usize,
+    n_days: usize,
+    /// `[feature][day][stock]` contiguous.
+    data: Vec<f64>,
+    /// `[day][stock]` simple returns (label source).
+    returns: Vec<f64>,
+}
+
+impl DayMajorPanel {
+    /// Transposes a [`FeaturePanel`] into stock-contiguous layout.
+    pub fn from_panel(p: &FeaturePanel) -> DayMajorPanel {
+        let (k, nf, nd) = (p.n_stocks, p.n_features, p.n_days);
+        let mut data = vec![0.0; nf * nd * k];
+        for f in 0..nf {
+            let plane = &mut data[f * nd * k..(f + 1) * nd * k];
+            for s in 0..k {
+                let series = p.feature(s, f);
+                for (t, &x) in series.iter().enumerate() {
+                    plane[t * k + s] = x;
+                }
+            }
+        }
+        let mut returns = vec![0.0; nd * k];
+        for s in 0..k {
+            for t in 0..nd {
+                returns[t * k + s] = p.ret(s, t);
+            }
+        }
+        DayMajorPanel {
+            n_stocks: k,
+            n_features: nf,
+            n_days: nd,
+            data,
+            returns,
+        }
+    }
+
+    /// Number of stocks.
+    pub fn n_stocks(&self) -> usize {
+        self.n_stocks
+    }
+
+    /// Number of feature rows `f`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of days.
+    pub fn n_days(&self) -> usize {
+        self.n_days
+    }
+
+    /// The cross-section of `feature` on `day`: one value per stock,
+    /// contiguous.
+    pub fn feature_row(&self, feature: usize, day: usize) -> &[f64] {
+        let off = (feature * self.n_days + day) * self.n_stocks;
+        &self.data[off..off + self.n_stocks]
+    }
+
+    /// The contiguous block of `feature` over the window `[day-w, day-1]`
+    /// for all stocks: `w * n_stocks` values, oldest day first, stocks
+    /// contiguous within each day. This is the columnar interpreter's
+    /// whole per-feature input load — one `memcpy` instead of `n_stocks`
+    /// strided gathers.
+    ///
+    /// # Panics
+    /// If `day < w` (the window would start before day 0).
+    pub fn window_block(&self, feature: usize, day: usize, w: usize) -> &[f64] {
+        assert!(day >= w, "window would start before day 0");
+        let start = (feature * self.n_days + day - w) * self.n_stocks;
+        &self.data[start..start + w * self.n_stocks]
+    }
+
+    /// The cross-section of labels (simple returns) on `day`, contiguous.
+    pub fn labels_row(&self, day: usize) -> &[f64] {
+        let off = day * self.n_stocks;
+        &self.returns[off..off + self.n_stocks]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +354,43 @@ mod tests {
         // scaling would reintroduce the look-ahead leak — so it must panic.
         let md = tiny_market();
         let _ = FeaturePanel::build(&md, &FeatureSet::paper());
+    }
+
+    #[test]
+    fn day_major_panel_matches_source_bitwise() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
+        let t = DayMajorPanel::from_panel(&p);
+        assert_eq!(t.n_stocks(), p.n_stocks());
+        assert_eq!(t.n_features(), p.n_features());
+        assert_eq!(t.n_days(), p.n_days());
+        for f in 0..p.n_features() {
+            for day in 0..p.n_days() {
+                let row = t.feature_row(f, day);
+                for (s, x) in row.iter().enumerate() {
+                    assert_eq!(x.to_bits(), p.feature(s, f)[day].to_bits());
+                }
+            }
+        }
+        for day in 0..p.n_days() {
+            for (s, x) in t.labels_row(day).iter().enumerate() {
+                assert_eq!(x.to_bits(), p.ret(s, day).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn window_block_is_the_concatenated_feature_rows() {
+        let md = tiny_market();
+        let p = FeaturePanel::build(&md, &FeatureSet::paper_strict());
+        let t = DayMajorPanel::from_panel(&p);
+        let (w, day, f) = (13, 50, 3);
+        let block = t.window_block(f, day, w);
+        assert_eq!(block.len(), w * t.n_stocks());
+        for c in 0..w {
+            let row = t.feature_row(f, day - w + c);
+            assert_eq!(&block[c * t.n_stocks()..(c + 1) * t.n_stocks()], row);
+        }
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! Proves the zero-allocation evaluation hot path: once a worker's
 //! [`EvalArena`] is warm, `Evaluator::evaluate_in` performs **zero heap
-//! allocations per candidate** — interpreter state is reset in place,
-//! predictions land in the arena's flat `CrossSections` panel, the IC
-//! streams without collecting, and portfolio returns refill reused
-//! buffers.
+//! allocations per candidate** — the per-candidate compile pass (liveness
+//! marks + lowered instructions) refills reused buffers, columnar
+//! interpreter planes are reset in place, predictions land in the arena's
+//! flat `CrossSections` panel, the IC streams without collecting, and
+//! portfolio returns refill reused buffers.
 //!
 //! Measured with a counting global allocator. The counter is process-wide,
-//! so the tests serialize on a mutex — a concurrently-running sibling test
-//! would otherwise bleed its allocations into the measurement window.
+//! so everything runs inside one `#[test]` — a concurrently-running
+//! sibling test (or the harness thread that starts it) would otherwise
+//! bleed its allocations into the measurement window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
-use alphaevolve::core::{init, AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve::core::{init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, Instruction, Op};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
 struct CountingAlloc;
@@ -43,17 +45,44 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-static SERIAL: Mutex<()> = Mutex::new(());
+/// A candidate whose prediction goes NaN on the first validation day (the
+/// sweep aborts by invalidating the day in the panel, no copies).
+fn invalid_candidate() -> AlphaProgram {
+    AlphaProgram {
+        setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [-1.0, 0.0], [0; 2])],
+        predict: vec![
+            Instruction::new(Op::MMean, 0, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAbs, 2, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SMul, 2, 3, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 3, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SLn, 2, 0, 1, [0.0; 2], [0; 2]),
+        ],
+        update: vec![Instruction::nop()],
+    }
+}
 
-/// Serializes the tests in this binary (a panicking holder must not wedge
-/// the other test, hence the poison recovery).
-fn serialize() -> MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+/// A stochastic candidate: RNG draws in all three functions, including a
+/// dead one the compile pass must keep (it advances the streams) — the
+/// per-stock RNG path is part of the pinned hot loop.
+fn stochastic_candidate() -> AlphaProgram {
+    AlphaProgram {
+        setup: vec![
+            Instruction::new(Op::MGauss, 0, 0, 1, [0.0, 0.5], [0; 2]),
+            Instruction::new(Op::SUniform, 0, 0, 9, [-1.0, 1.0], [0; 2]),
+        ],
+        predict: vec![
+            Instruction::new(Op::VUniform, 0, 0, 2, [-0.1, 0.1], [0; 2]),
+            Instruction::new(Op::MatVec, 1, 2, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::VMean, 3, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::MMean, 0, 0, 4, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 4, 1, [0.0; 2], [0; 2]),
+        ],
+        update: vec![Instruction::new(Op::SGauss, 0, 0, 5, [0.0, 1.0], [0; 2])],
+    }
 }
 
 #[test]
-fn evaluate_in_is_allocation_free_once_warm() {
-    let _guard = serialize();
+fn evaluation_hot_path_is_allocation_free_once_warm() {
     let market = MarketConfig {
         n_stocks: 16,
         n_days: 140,
@@ -70,19 +99,24 @@ fn evaluate_in_is_allocation_free_once_warm() {
     );
 
     // A mix of shapes: stateless expert formula, stateful two-layer NN
-    // (full training sweep), and a relational alpha.
+    // (full training sweep), a relational alpha (rank/demean planes), and
+    // an explicitly stochastic alpha (per-stock RNG streams).
     let progs = [
         init::domain_expert(ev.config()),
         init::two_layer_nn(ev.config()),
         init::industry_reversal(ev.config()),
+        stochastic_candidate(),
     ];
+    let bad = invalid_candidate();
 
     let mut arena = ev.arena();
     // Warm-up: buffers grow to their high-water mark.
     for prog in &progs {
         let _ = ev.evaluate_in(&mut arena, prog);
     }
+    let _ = ev.evaluate_in(&mut arena, &bad);
 
+    // Phase 1: valid candidates (compile + train + sweep + IC + returns).
     let before = allocations();
     let mut checksum = 0.0;
     for _ in 0..5 {
@@ -95,46 +129,11 @@ fn evaluate_in_is_allocation_free_once_warm() {
     assert_eq!(
         after - before,
         0,
-        "evaluate_in allocated on the hot path ({} allocations over 15 candidates)",
+        "evaluate_in allocated on the hot path ({} allocations over 20 candidates)",
         after - before
     );
-}
 
-#[test]
-fn invalid_candidates_are_also_allocation_free() {
-    use alphaevolve::core::{AlphaProgram, Instruction, Op};
-
-    let _guard = serialize();
-
-    let market = MarketConfig {
-        n_stocks: 12,
-        n_days: 120,
-        seed: 14,
-        ..Default::default()
-    }
-    .generate();
-    let ds =
-        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
-    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds);
-
-    // s1 = ln(-|m0 mean| - 1) -> NaN on the first validation day: the
-    // sweep aborts by invalidating the day in the panel, no copies.
-    let bad = AlphaProgram {
-        setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [-1.0, 0.0], [0; 2])],
-        predict: vec![
-            Instruction::new(Op::MMean, 0, 0, 2, [0.0; 2], [0; 2]),
-            Instruction::new(Op::SAbs, 2, 0, 2, [0.0; 2], [0; 2]),
-            Instruction::new(Op::SMul, 2, 3, 2, [0.0; 2], [0; 2]),
-            Instruction::new(Op::SAdd, 2, 3, 2, [0.0; 2], [0; 2]),
-            Instruction::new(Op::SLn, 2, 0, 1, [0.0; 2], [0; 2]),
-        ],
-        update: vec![Instruction::nop()],
-    };
-
-    let mut arena = ev.arena();
-    let _ = ev.evaluate_in(&mut arena, &bad);
-    let _ = ev.evaluate_in(&mut arena, &init::domain_expert(ev.config()));
-
+    // Phase 2: killed candidates (aborted sweep) must not allocate either.
     let before = allocations();
     for _ in 0..5 {
         assert!(ev.evaluate_in(&mut arena, &bad).is_none());
