@@ -148,6 +148,12 @@ impl CrossSections {
         &self.data
     }
 
+    /// Mutable flat day-major storage (`n_days × n_stocks`), for writers
+    /// that fill whole panels row-block-wise (e.g. the serving layer).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Copies the panel back out as nested per-day rows (diagnostics).
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         (0..self.n_days).map(|d| self.row(d).to_vec()).collect()

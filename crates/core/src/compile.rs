@@ -6,7 +6,7 @@
 //! the per-(instruction × stock) hot loop:
 //!
 //! * **dead-code stripping** — instructions whose output is never demanded
-//!   (per the same backward-liveness fixpoint as [`crate::prune`]) are
+//!   (per the same backward-liveness fixpoint as [`crate::prune`](mod@crate::prune)) are
 //!   dropped, as are no-ops. Stochastic dead instructions are *kept*: they
 //!   advance the per-stock RNG streams, and dropping them would perturb
 //!   every later stochastic draw — breaking bitwise equivalence with the

@@ -22,7 +22,7 @@
 //!   [`ColumnarInterpreter::reset`] between candidates rather than
 //!   reconstructed;
 //! * each candidate is lowered once per evaluation by
-//!   [`compile_into`](crate::compile::compile_into) (dead code stripped,
+//!   [`compile_into`](crate::compile::compile_into()) (dead code stripped,
 //!   register offsets resolved) and then executed columnar: the `Op`
 //!   dispatch runs once per instruction, not once per instruction × stock;
 //! * [`Evaluator::evaluate_in`] runs one candidate through an arena with

@@ -148,6 +148,39 @@ pub struct EvolutionOutcome {
     pub elapsed: Duration,
 }
 
+/// A complete snapshot of a *single-worker* search at a loop boundary:
+/// everything needed to resume the run — in another process — and
+/// reproduce the uninterrupted run bit for bit.
+///
+/// Produced by [`Evolution::run_with_checkpoints`] every N searched
+/// candidates and consumed by [`Evolution::resume`]. The evaluator (and
+/// its dataset) is *not* part of the snapshot: the resuming process must
+/// reconstruct an identical evaluator (same market, features, splits,
+/// options) for the determinism guarantee to hold. Serialization lives in
+/// the `alphaevolve_store` crate's versioned binary codec.
+#[derive(Debug, Clone)]
+pub struct EvolutionCheckpoint {
+    /// The configuration of the checkpointed run (authoritative on
+    /// resume — [`Evolution::resume`] ignores the driver's own config).
+    pub config: EvolutionConfig,
+    /// Search counters at the snapshot point.
+    pub stats: SearchStats,
+    /// Wall-clock time consumed so far (counts against
+    /// [`Budget::WallTime`] across resumes).
+    pub elapsed: Duration,
+    /// The worker RNG's raw stream state.
+    pub rng: [u64; 4],
+    /// The population, oldest first.
+    pub population: Vec<Individual>,
+    /// Fingerprint-cache contents, sorted by fingerprint (a canonical
+    /// order, so identical runs write identical checkpoints).
+    pub cache: Vec<(u64, Option<f64>)>,
+    /// Best alpha found so far.
+    pub best: Option<BestAlpha>,
+    /// Best-IC trajectory so far.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
 /// One lock-guarded shard: fingerprint → cached fitness (`None` for
 /// candidates that evaluated invalid or were gate-rejected).
 type CacheShard = Mutex<FxHashMap<u64, Option<f64>>>;
@@ -190,6 +223,17 @@ impl ShardedCache {
     fn insert(&self, fp: u64, fitness: Option<f64>) {
         self.shard(fp).lock().insert(fp, fitness);
     }
+
+    /// All cached entries in canonical (fingerprint-sorted) order, for
+    /// checkpointing.
+    fn entries(&self) -> Vec<(u64, Option<f64>)> {
+        let mut out: Vec<(u64, Option<f64>)> = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().iter().map(|(&k, &v)| (k, v)));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
 }
 
 struct Shared<'a> {
@@ -209,6 +253,10 @@ struct Shared<'a> {
     gate_rejected: AtomicUsize,
     stop: AtomicBool,
     start: Instant,
+    /// Wall-clock already consumed before this process took over (zero
+    /// for fresh runs; the checkpoint's `elapsed` on resume), so
+    /// [`Budget::WallTime`] spans resumes.
+    base_elapsed: Duration,
     /// Disables the §4.2 pipeline for the Table-6 `_N` ablation: no
     /// pruning-based rejection, fingerprint = raw program text, and the
     /// *unpruned* program is evaluated.
@@ -222,7 +270,7 @@ impl<'a> Shared<'a> {
         }
         let done = match self.econfig.budget {
             Budget::Searched(n) => self.searched.load(Ordering::Relaxed) >= n,
-            Budget::WallTime(d) => self.start.elapsed() >= d,
+            Budget::WallTime(d) => self.base_elapsed + self.start.elapsed() >= d,
         };
         if done {
             self.stop.store(true, Ordering::Relaxed);
@@ -308,9 +356,36 @@ impl<'a> Shared<'a> {
         let mut rng = SmallRng::seed_from_u64(
             self.econfig.seed ^ worker_id.wrapping_mul(0xA076_1D64_78BD_642F),
         );
+        self.search_loop(&mut rng, None, &mut |_| {});
+    }
+
+    /// The single-worker loop with the same RNG stream as `worker_loop(1)`
+    /// (so checkpointed runs reproduce plain runs bit for bit), plus an
+    /// optional checkpoint sink.
+    fn worker_loop_from_seed(
+        &self,
+        checkpoint_every: Option<usize>,
+        sink: &mut dyn FnMut(EvolutionCheckpoint),
+    ) {
+        let mut rng =
+            SmallRng::seed_from_u64(self.econfig.seed ^ 1u64.wrapping_mul(0xA076_1D64_78BD_642F));
+        self.search_loop(&mut rng, checkpoint_every, sink);
+    }
+
+    /// The steady-state search loop, optionally emitting a checkpoint
+    /// snapshot every `checkpoint_every` completed iterations. Snapshots
+    /// are pure observations (no RNG draws, no extra mutations), so a
+    /// checkpointed single-worker run is bit-identical to a plain one.
+    fn search_loop(
+        &self,
+        rng: &mut SmallRng,
+        checkpoint_every: Option<usize>,
+        sink: &mut dyn FnMut(EvolutionCheckpoint),
+    ) {
         // One arena per worker for the whole run: interpreter state and
         // scratch are reset between candidates, never reallocated.
         let mut arena = self.evaluator.arena();
+        let mut since_checkpoint = 0usize;
         while !self.budget_exhausted() {
             // Tournament selection under the population lock; evaluation
             // outside it.
@@ -329,13 +404,37 @@ impl<'a> Shared<'a> {
                 }
                 pop[best_idx].program.clone()
             };
-            let child = self.mutator.mutate(&mut rng, &parent);
+            let child = self.mutator.mutate(rng, &parent);
             let individual = self.process(&mut arena, child);
-            let mut pop = self.population.lock();
-            pop.push_back(individual);
-            if pop.len() > self.econfig.population_size {
-                pop.pop_front();
+            {
+                let mut pop = self.population.lock();
+                pop.push_back(individual);
+                if pop.len() > self.econfig.population_size {
+                    pop.pop_front();
+                }
             }
+            if let Some(every) = checkpoint_every {
+                since_checkpoint += 1;
+                if since_checkpoint >= every {
+                    since_checkpoint = 0;
+                    sink(self.snapshot(rng));
+                }
+            }
+        }
+    }
+
+    /// A consistent snapshot of the whole search state (single-worker:
+    /// nothing races while this worker observes).
+    fn snapshot(&self, rng: &SmallRng) -> EvolutionCheckpoint {
+        EvolutionCheckpoint {
+            config: self.econfig.clone(),
+            stats: self.snapshot_stats(),
+            elapsed: self.base_elapsed + self.start.elapsed(),
+            rng: rng.state(),
+            population: self.population.lock().iter().cloned().collect(),
+            cache: self.cache.entries(),
+            best: self.best.lock().clone(),
+            trajectory: self.trajectory.lock().clone(),
         }
     }
 
@@ -385,13 +484,79 @@ impl<'a> Evolution<'a> {
 
     /// Runs the search from a seed program.
     pub fn run(&self, seed_program: &AlphaProgram) -> EvolutionOutcome {
+        self.run_internal(Start::Seed(seed_program), None, &mut |_| {})
+    }
+
+    /// Runs the search, handing a complete [`EvolutionCheckpoint`] to
+    /// `sink` every `every` searched candidates of the steady-state loop
+    /// (the initialization phase is not checkpointed). Snapshots are pure
+    /// observations: the outcome is bit-identical to [`Evolution::run`].
+    ///
+    /// # Panics
+    /// If `every` is zero, or the configuration asks for more than one
+    /// worker — a checkpoint is a *total* state capture, which only a
+    /// single-worker (deterministic) run has.
+    pub fn run_with_checkpoints(
+        &self,
+        seed_program: &AlphaProgram,
+        every: usize,
+        sink: &mut dyn FnMut(EvolutionCheckpoint),
+    ) -> EvolutionOutcome {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        assert_eq!(
+            self.econfig.workers.max(1),
+            1,
+            "checkpointing requires a single-worker (deterministic) run"
+        );
+        self.run_internal(Start::Seed(seed_program), Some(every), sink)
+    }
+
+    /// Resumes a search from a checkpoint, continuing until the budget
+    /// embedded in the checkpoint's config is exhausted. The checkpoint's
+    /// config is authoritative (this driver's own config is ignored); the
+    /// evaluator must be reconstructed identically to the original run for
+    /// the bit-for-bit determinism guarantee to hold.
+    pub fn resume(&self, checkpoint: &EvolutionCheckpoint) -> EvolutionOutcome {
+        self.run_internal(Start::Checkpoint(checkpoint), None, &mut |_| {})
+    }
+
+    /// [`Evolution::resume`], itself emitting fresh checkpoints every
+    /// `every` searched candidates (so long runs can chain indefinitely).
+    pub fn resume_with_checkpoints(
+        &self,
+        checkpoint: &EvolutionCheckpoint,
+        every: usize,
+        sink: &mut dyn FnMut(EvolutionCheckpoint),
+    ) -> EvolutionOutcome {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.run_internal(Start::Checkpoint(checkpoint), Some(every), sink)
+    }
+
+    fn run_internal(
+        &self,
+        start: Start<'_>,
+        checkpoint_every: Option<usize>,
+        sink: &mut dyn FnMut(EvolutionCheckpoint),
+    ) -> EvolutionOutcome {
+        // On resume the checkpoint's config governs (budget, seed, sizes);
+        // a resumed run is the same run, continued.
+        let econfig = match start {
+            Start::Seed(_) => self.econfig.clone(),
+            Start::Checkpoint(c) => {
+                assert_eq!(
+                    c.config.workers.max(1),
+                    1,
+                    "checkpoints are only produced by single-worker runs"
+                );
+                c.config.clone()
+            }
+        };
         let shared = Shared {
             evaluator: self.evaluator,
-            mutator: Mutator::new(*self.evaluator.config(), self.econfig.mutation),
+            mutator: Mutator::new(*self.evaluator.config(), econfig.mutation),
             gate: self.gate,
-            econfig: self.econfig.clone(),
-            population: Mutex::new(VecDeque::with_capacity(self.econfig.population_size + 1)),
-            cache: ShardedCache::new(self.econfig.workers),
+            population: Mutex::new(VecDeque::with_capacity(econfig.population_size + 1)),
+            cache: ShardedCache::new(econfig.workers),
             best: Mutex::new(None),
             trajectory: Mutex::new(Vec::new()),
             searched: AtomicUsize::new(0),
@@ -402,38 +567,71 @@ impl<'a> Evolution<'a> {
             gate_rejected: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             start: Instant::now(),
+            base_elapsed: match start {
+                Start::Seed(_) => Duration::ZERO,
+                Start::Checkpoint(c) => c.elapsed,
+            },
             use_pruning: self.use_pruning,
+            econfig,
         };
 
-        // Initial population: the seed itself plus mutants of it (paper
-        // §3 step 1). Processed under the same budget accounting.
-        {
-            let mut rng = SmallRng::seed_from_u64(self.econfig.seed ^ 0x5EED);
-            let mut arena = self.evaluator.arena();
-            let mut initial = Vec::with_capacity(self.econfig.population_size);
-            initial.push(seed_program.clone());
-            for _ in 1..self.econfig.population_size {
-                initial.push(shared.mutator.mutate(&mut rng, seed_program));
-            }
-            for candidate in initial {
-                if shared.budget_exhausted() {
-                    break;
+        match start {
+            Start::Seed(seed_program) => {
+                // Initial population: the seed itself plus mutants of it
+                // (paper §3 step 1). Processed under the same budget
+                // accounting.
+                let mut rng = SmallRng::seed_from_u64(shared.econfig.seed ^ 0x5EED);
+                let mut arena = self.evaluator.arena();
+                let mut initial = Vec::with_capacity(shared.econfig.population_size);
+                initial.push(seed_program.clone());
+                for _ in 1..shared.econfig.population_size {
+                    initial.push(shared.mutator.mutate(&mut rng, seed_program));
                 }
-                let ind = shared.process(&mut arena, candidate);
-                shared.population.lock().push_back(ind);
-            }
-        }
+                for candidate in initial {
+                    if shared.budget_exhausted() {
+                        break;
+                    }
+                    let ind = shared.process(&mut arena, candidate);
+                    shared.population.lock().push_back(ind);
+                }
 
-        let workers = self.econfig.workers.max(1);
-        if workers == 1 {
-            shared.worker_loop(1);
-        } else {
-            std::thread::scope(|scope| {
-                for w in 0..workers {
-                    let shared_ref = &shared;
-                    scope.spawn(move || shared_ref.worker_loop(w as u64 + 1));
+                let workers = shared.econfig.workers.max(1);
+                if workers == 1 {
+                    shared.worker_loop_from_seed(checkpoint_every, sink);
+                } else {
+                    std::thread::scope(|scope| {
+                        for w in 0..workers {
+                            let shared_ref = &shared;
+                            scope.spawn(move || shared_ref.worker_loop(w as u64 + 1));
+                        }
+                    });
                 }
-            });
+            }
+            Start::Checkpoint(c) => {
+                // Restore the complete captured state, then continue the
+                // loop exactly where the snapshot was taken.
+                shared
+                    .population
+                    .lock()
+                    .extend(c.population.iter().cloned());
+                for &(fp, fitness) in &c.cache {
+                    shared.cache.insert(fp, fitness);
+                }
+                *shared.best.lock() = c.best.clone();
+                *shared.trajectory.lock() = c.trajectory.clone();
+                shared.searched.store(c.stats.searched, Ordering::Relaxed);
+                shared.evaluated.store(c.stats.evaluated, Ordering::Relaxed);
+                shared.redundant.store(c.stats.redundant, Ordering::Relaxed);
+                shared
+                    .cache_hits
+                    .store(c.stats.cache_hits, Ordering::Relaxed);
+                shared.invalid.store(c.stats.invalid, Ordering::Relaxed);
+                shared
+                    .gate_rejected
+                    .store(c.stats.gate_rejected, Ordering::Relaxed);
+                let mut rng = SmallRng::from_state(c.rng);
+                shared.search_loop(&mut rng, checkpoint_every, sink);
+            }
         }
 
         let stats = shared.snapshot_stats();
@@ -451,9 +649,15 @@ impl<'a> Evolution<'a> {
             best: shared.best.into_inner(),
             stats,
             trajectory,
-            elapsed: shared.start.elapsed(),
+            elapsed: shared.base_elapsed + shared.start.elapsed(),
         }
     }
+}
+
+/// Where [`Evolution::run_internal`] starts from.
+enum Start<'a> {
+    Seed(&'a AlphaProgram),
+    Checkpoint(&'a EvolutionCheckpoint),
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// Streaming fingerprint accumulator used by
-/// [`fingerprint`](crate::fingerprint).
+/// [`fingerprint`](crate::fingerprint::fingerprint).
 #[derive(Default, Clone)]
 pub struct Fingerprinter {
     inner: FxHasher,

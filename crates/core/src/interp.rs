@@ -10,7 +10,7 @@
 //! * [`ColumnarInterpreter`] — the production engine. Registers live in a
 //!   stock-major [`RegisterFile`] (every register element is one
 //!   contiguous `[f64; n_stocks]` plane), and programs are first lowered
-//!   to a [`CompiledProgram`](crate::compile::CompiledProgram): dead code
+//!   to a [`CompiledProgram`]: dead code
 //!   stripped, register offsets pre-resolved. The `Op` dispatch then runs
 //!   **once per instruction** — each local op is a tight loop over the
 //!   stock axis (auto-vectorizable), and RelationOps rank/demean the
@@ -316,6 +316,35 @@ impl<'a> ColumnarInterpreter<'a> {
         &self.regs
     }
 
+    /// Mutable access to the register planes. This exists for the serving
+    /// layer, which restores a program's post-training plane snapshot into
+    /// a shared interpreter before each batched predict; ordinary
+    /// evaluation never needs it.
+    pub fn registers_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Captures the per-stock RNG stream states (one xoshiro state per
+    /// stock), appending into `out` (cleared first). Pairs with
+    /// [`ColumnarInterpreter::set_rng_states`] for serving-layer
+    /// snapshot/restore of stochastic programs.
+    pub fn rng_states_into(&self, out: &mut Vec<[u64; 4]>) {
+        out.clear();
+        out.extend(self.rngs.iter().map(|r| r.state()));
+    }
+
+    /// Restores per-stock RNG streams captured by
+    /// [`ColumnarInterpreter::rng_states_into`]. Allocation-free.
+    ///
+    /// # Panics
+    /// If `states.len()` differs from the stock count.
+    pub fn set_rng_states(&mut self, states: &[[u64; 4]]) {
+        assert_eq!(states.len(), self.rngs.len(), "rng state count mismatch");
+        for (rng, &s) in self.rngs.iter_mut().zip(states) {
+            *rng = SmallRng::from_state(s);
+        }
+    }
+
     /// Loads the day's input feature panel into the `m0` planes: one
     /// contiguous block copy per feature (the whole window × all stocks),
     /// instead of the lockstep path's per-stock strided window gather.
@@ -405,6 +434,26 @@ impl<'a> ColumnarInterpreter<'a> {
     pub fn predict_day(&mut self, prog: &CompiledProgram, day: usize, out: &mut [f64]) {
         self.load_input(day);
         self.run_function(&prog.predict);
+        out.copy_from_slice(self.regs.s_plane(PREDICTION));
+    }
+
+    /// Loads one day's input feature panel into `m0` without executing
+    /// anything. The serving layer calls this once per day and then runs
+    /// *several* compiled programs' predict bodies against the loaded
+    /// panel ([`ColumnarInterpreter::run_predict`]), amortizing the
+    /// feature-block copies across the batch.
+    pub fn load_day(&mut self, day: usize) {
+        self.load_input(day);
+    }
+
+    /// Runs the compiled predict body against the currently-loaded input
+    /// (see [`ColumnarInterpreter::load_day`]).
+    pub fn run_predict(&mut self, prog: &CompiledProgram) {
+        self.run_function(&prog.predict);
+    }
+
+    /// Copies the prediction plane `s1` into `out` (length `n_stocks`).
+    pub fn read_predictions(&self, out: &mut [f64]) {
         out.copy_from_slice(self.regs.s_plane(PREDICTION));
     }
 }

@@ -10,11 +10,11 @@
 //! * two **cross-sectional interpreters** executing an alpha on all stocks
 //!   simultaneously so RelationOps can rank/demean across tasks: the
 //!   columnar stock-major production engine with its compile-then-execute
-//!   pipeline, and the lockstep bitwise reference ([`interp`], [`compile`],
+//!   pipeline, and the lockstep bitwise reference ([`interp`], [`compile`](mod@compile),
 //!   [`memory`], [`relation`]);
 //! * the paper's **search optimizations**: redundancy pruning, redundant-
 //!   alpha rejection and evaluation-free fingerprinting with a fitness
-//!   cache ([`prune`], [`fingerprint`]);
+//!   cache ([`prune`](mod@prune), [`fingerprint`](mod@fingerprint));
 //! * **regularized evolution** with tournament selection, aging, the two
 //!   paper mutation classes, and a weak-correlation gate for mining alpha
 //!   *sets* ([`evolution`], [`mutation`]);
@@ -65,8 +65,8 @@ pub use eval::{
     SplitMetrics,
 };
 pub use evolution::{
-    BestAlpha, Budget, Evolution, EvolutionConfig, EvolutionOutcome, Individual, SearchStats,
-    TrajectoryPoint,
+    BestAlpha, Budget, Evolution, EvolutionCheckpoint, EvolutionConfig, EvolutionOutcome,
+    Individual, SearchStats, TrajectoryPoint,
 };
 pub use fingerprint::fingerprint;
 pub use instruction::Instruction;

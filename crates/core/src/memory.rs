@@ -181,6 +181,38 @@ impl RegisterFile {
         &self.m[r * n..(r + 1) * n]
     }
 
+    /// The whole scalar buffer (`[reg][stock]` contiguous). Offsets follow
+    /// the layout contract in the struct docs; used by the serving layer to
+    /// snapshot/restore exactly the planes a compiled program touches.
+    pub fn s_raw(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Mutable access to the whole scalar buffer (see [`RegisterFile::s_raw`]).
+    pub fn s_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.s
+    }
+
+    /// The whole vector buffer (`[reg][elem][stock]` contiguous).
+    pub fn v_raw(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Mutable access to the whole vector buffer.
+    pub fn v_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.v
+    }
+
+    /// The whole matrix buffer (`[reg][row][col][stock]` contiguous).
+    pub fn m_raw(&self) -> &[f64] {
+        &self.m
+    }
+
+    /// Mutable access to the whole matrix buffer.
+    pub fn m_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.m
+    }
+
     /// One stock's scalar register `r` (tests / diagnostics).
     pub fn scalar(&self, r: usize, stock: usize) -> f64 {
         self.s[r * self.n_stocks + stock]

@@ -107,7 +107,13 @@ pub fn from_text(text: &str) -> Result<AlphaProgram, ParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("def ") {
-            let name = rest.trim_end_matches(':').trim_end_matches("()");
+            // The header must be complete — `def update` with the `():`
+            // sheared off is how a truncated file looks, and accepting it
+            // would silently turn a torn write into an empty function.
+            let name = rest.trim().strip_suffix("():").ok_or_else(|| ParseError {
+                line: lineno,
+                msg: format!("function header `def {rest}` must end with `():`"),
+            })?;
             let f = match name {
                 "setup" => FunctionId::Setup,
                 "predict" => FunctionId::Predict,

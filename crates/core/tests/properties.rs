@@ -345,6 +345,69 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The text format is a lossless round trip: any valid program prints
+    /// to text that parses back to the identical program and re-prints to
+    /// the identical text (literal f64 bits included).
+    #[test]
+    fn textio_print_parse_reprint_is_identity(
+        seed in any::<u64>(),
+        ns in 1usize..8,
+        np in 1usize..12,
+        nu in 1usize..10,
+    ) {
+        use alphaevolve_core::textio::{from_text, to_text};
+        let prog = random_program(seed, ns, np, nu);
+        prog.validate(&AlphaConfig::default()).expect("generated programs validate");
+        let text = to_text(&prog);
+        let parsed = from_text(&text).expect("printed programs parse");
+        prop_assert_eq!(&parsed, &prog);
+        prop_assert_eq!(to_text(&parsed), text);
+    }
+
+    /// Truncating a program's text at any byte yields a clean `Err` (or,
+    /// at a line boundary past all three `def`s, a valid shorter program)
+    /// — never a panic, and never a silently mis-parsed full program.
+    #[test]
+    fn textio_truncated_input_errors_dont_panic(
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use alphaevolve_core::textio::{from_text, to_text};
+        let prog = random_program(seed, 2, 4, 3);
+        let text = to_text(&prog);
+        let cut = ((text.len() as f64 * cut_frac) as usize).min(text.len() - 1);
+        // Cut on a char boundary (the format is ASCII, but stay robust).
+        let mut cut = cut;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &text[..cut];
+        match from_text(truncated) {
+            // A cut strictly inside the text can only parse if everything
+            // dropped was a complete suffix of instructions (plus at most
+            // a dangling whitespace fragment): the parsed program must
+            // re-print to a prefix of the cut text, with only whitespace
+            // unaccounted for.
+            Ok(p) => {
+                let reprinted = to_text(&p);
+                prop_assert!(
+                    truncated.starts_with(&reprinted),
+                    "parsed program is not a prefix: {reprinted:?} vs {truncated:?}"
+                );
+                prop_assert!(truncated[reprinted.len()..].trim().is_empty());
+            }
+            Err(e) => {
+                // Errors carry a usable position and message.
+                prop_assert!(e.line <= text.lines().count());
+                prop_assert!(!e.msg.is_empty());
+            }
+        }
+    }
+}
+
 fn shuffle_tail(perm: &mut [u8], fixed: usize, rng: &mut SmallRng) {
     use rand::Rng;
     let n = perm.len();

@@ -1,6 +1,6 @@
 //! Dense feature panel: `stocks × features × days` plus return labels.
 //!
-//! The panel is the bridge between raw [`MarketData`](crate::MarketData) and
+//! The panel is the bridge between raw [`MarketData`] and
 //! the evaluator's samples. Data is stored in one contiguous buffer indexed
 //! `[stock][feature][day]` so that window extraction (`X ∈ R^{f×w}`) is a
 //! strided copy and feature access is sequential.

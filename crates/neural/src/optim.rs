@@ -1,4 +1,4 @@
-//! Optimizers over a flat [`ParamStore`](crate::tensor::ParamStore).
+//! Optimizers over a flat [`ParamStore`].
 
 use crate::tensor::ParamStore;
 

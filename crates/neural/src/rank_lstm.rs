@@ -20,8 +20,8 @@ use crate::lstm::{Lstm, LstmCache, LstmDims};
 use crate::optim::Adam;
 use crate::tensor::ParamStore;
 
-/// Hyper-parameters (§5.2 grid: seq_len ∈ [4,8,16,32], hidden ∈
-/// [32,64,128,256], α ∈ [0.01,0.1,1,10], lr = 0.001).
+/// Hyper-parameters (§5.2 grid: seq_len ∈ {4, 8, 16, 32}, hidden ∈
+/// {32, 64, 128, 256}, α ∈ {0.01, 0.1, 1, 10}, lr = 0.001).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankLstmConfig {
     /// LSTM hidden units.

@@ -1,0 +1,499 @@
+//! The hall of fame: a capacity-bounded, correlation-gated pool of mined
+//! alphas that survives the mining process.
+//!
+//! Admission reuses the paper's weak-correlation machinery
+//! ([`CorrelationGate`]): a candidate whose validation portfolio returns
+//! correlate with any incumbent above the cutoff is rejected (strongly
+//! *negative* correlations pass — they diversify, exactly as in mining).
+//! On capacity the weakest incumbent (lowest IC) is evicted, but only for
+//! a stronger candidate. The archive round-trips through the store codec
+//! **bitwise**: `mine → save → load → extend` preserves every program
+//! instruction, fingerprint bit, and fitness bit.
+//!
+//! ## File payload layout (record kind 1, inside the `AEVS` frame)
+//!
+//! ```text
+//! f64  correlation cutoff
+//! u64  capacity
+//! u64  entry count
+//! per entry:
+//!   str              name (u64 length + UTF-8 bytes)
+//!   program          see `progio` (3 × [u64 count + 23-byte instructions])
+//!   u64              fingerprint
+//!   u64              ic (f64 bit pattern)
+//!   u64 + n × u64    validation return series (f64 bit patterns)
+//!   u64 × 2          train-window day range [start, end)
+//!   u64              feature-set id
+//! ```
+
+use std::path::Path;
+
+use alphaevolve_backtest::correlation::CorrelationGate;
+use alphaevolve_core::hashutil::Fingerprinter;
+use alphaevolve_core::AlphaProgram;
+use alphaevolve_market::features::{FeatureSet, Normalization};
+
+use crate::codec::{Reader, Writer};
+use crate::error::Result;
+use crate::frame::{read_file, write_file, KIND_ARCHIVE};
+use crate::progio::{read_program, write_program};
+
+/// A stable 64-bit identity for a feature-set recipe (kinds in order plus
+/// normalization mode), stored with each archived alpha so a serving
+/// process can refuse to run an alpha against features it was not mined
+/// on.
+pub fn feature_set_id(fs: &FeatureSet) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.word(0xFEA7_u64);
+    for kind in fs.kinds() {
+        let name = kind.name();
+        fp.word(name.len() as u64);
+        for b in name.bytes() {
+            fp.word(b as u64);
+        }
+    }
+    match fs.normalization {
+        Normalization::MaxAbsTrain => fp.word(0),
+        Normalization::MaxAbsAllDays => fp.word(1),
+        Normalization::MaxAbsUpTo(cutoff) => {
+            fp.word(2);
+            fp.word(cutoff as u64);
+        }
+        Normalization::None => fp.word(3),
+    }
+    fp.digest()
+}
+
+/// One archived alpha: the effective (pruned) program plus the metadata
+/// needed to gate, rank, and serve it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchivedAlpha {
+    /// Human-readable name (unique within an archive by convention).
+    pub name: String,
+    /// The effective program (what the interpreter executes).
+    pub program: AlphaProgram,
+    /// Canonical structural fingerprint (duplicate detection).
+    pub fingerprint: u64,
+    /// Validation IC (the admission fitness).
+    pub ic: f64,
+    /// Daily validation long-short returns — the correlation-gate signal.
+    pub val_returns: Vec<f64>,
+    /// Training day range `[start, end)` the alpha was fitted on.
+    pub train_days: (u64, u64),
+    /// Identity of the feature recipe it consumes ([`feature_set_id`]).
+    pub feature_set_id: u64,
+}
+
+/// Why [`AlphaArchive::admit`] turned a candidate away, or what admission
+/// displaced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitOutcome {
+    /// Candidate joined the archive; `evicted` names the incumbent that
+    /// made room, if the archive was full.
+    Admitted {
+        /// Name of the evicted weakest incumbent, when capacity forced one out.
+        evicted: Option<String>,
+    },
+    /// An incumbent already carries this structural fingerprint.
+    RejectedDuplicate {
+        /// Name of the incumbent with the same fingerprint.
+        of: String,
+    },
+    /// Validation returns correlate above the cutoff with an incumbent.
+    RejectedCorrelated {
+        /// The most-correlated incumbent.
+        with: String,
+        /// The offending correlation.
+        corr: f64,
+    },
+    /// Archive is full and the candidate is no better than the weakest
+    /// incumbent.
+    RejectedWeaker {
+        /// IC of the current weakest incumbent (the bar to clear).
+        floor: f64,
+    },
+}
+
+impl AdmitOutcome {
+    /// True when the candidate entered the archive.
+    pub fn admitted(&self) -> bool {
+        matches!(self, AdmitOutcome::Admitted { .. })
+    }
+}
+
+/// IC as an admission/eviction key: NaN ranks *below* every real IC (a
+/// fitness that failed to compute must never squat in the hall of fame —
+/// `total_cmp` alone would rank positive NaN above everything).
+fn admission_rank(ic: f64) -> f64 {
+    if ic.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        ic
+    }
+}
+
+/// A correlation-gated, capacity-bounded hall of fame.
+#[derive(Debug, Clone)]
+pub struct AlphaArchive {
+    capacity: usize,
+    gate: CorrelationGate,
+    entries: Vec<ArchivedAlpha>,
+}
+
+impl AlphaArchive {
+    /// Empty archive with the paper's 15% correlation cutoff.
+    pub fn new(capacity: usize) -> AlphaArchive {
+        Self::with_cutoff(capacity, CorrelationGate::paper().cutoff())
+    }
+
+    /// Empty archive with a custom correlation cutoff.
+    pub fn with_cutoff(capacity: usize, cutoff: f64) -> AlphaArchive {
+        assert!(capacity > 0, "archive capacity must be positive");
+        AlphaArchive {
+            capacity,
+            gate: CorrelationGate::new(cutoff),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Maximum number of alphas held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The correlation cutoff in force.
+    pub fn cutoff(&self) -> f64 {
+        self.gate.cutoff()
+    }
+
+    /// Number of archived alphas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The archived alphas, in admission order.
+    pub fn entries(&self) -> &[ArchivedAlpha] {
+        &self.entries
+    }
+
+    /// The live correlation gate over the incumbents' return series —
+    /// hand this to [`Evolution::with_gate`] so the *search itself* only
+    /// surfaces candidates the archive could accept.
+    ///
+    /// [`Evolution::with_gate`]: alphaevolve_core::Evolution::with_gate
+    pub fn gate(&self) -> &CorrelationGate {
+        &self.gate
+    }
+
+    /// Runs a candidate through the admission pipeline: duplicate
+    /// fingerprint → correlation gate → capacity (evict the weakest for a
+    /// stronger candidate).
+    pub fn admit(&mut self, candidate: ArchivedAlpha) -> AdmitOutcome {
+        if let Some(dup) = self
+            .entries
+            .iter()
+            .find(|e| e.fingerprint == candidate.fingerprint)
+        {
+            return AdmitOutcome::RejectedDuplicate {
+                of: dup.name.clone(),
+            };
+        }
+        if !self.gate.passes(&candidate.val_returns) {
+            // Find the worst offender for the report.
+            let (with, corr) = self
+                .entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.name.clone(),
+                        alphaevolve_backtest::return_correlation(
+                            &e.val_returns,
+                            &candidate.val_returns,
+                        ),
+                    )
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("gate can only fail against a non-empty set");
+            return AdmitOutcome::RejectedCorrelated { with, corr };
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let weakest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|a, b| admission_rank(a.1.ic).total_cmp(&admission_rank(b.1.ic)))
+                .map(|(i, _)| i)
+                .expect("full archive is non-empty");
+            if admission_rank(candidate.ic) <= admission_rank(self.entries[weakest].ic) {
+                return AdmitOutcome::RejectedWeaker {
+                    floor: self.entries[weakest].ic,
+                };
+            }
+            Some(self.entries.remove(weakest).name)
+        } else {
+            None
+        };
+        self.entries.push(candidate);
+        self.rebuild_gate();
+        AdmitOutcome::Admitted { evicted }
+    }
+
+    fn rebuild_gate(&mut self) {
+        let mut gate = CorrelationGate::new(self.gate.cutoff());
+        for e in &self.entries {
+            gate.accept(e.val_returns.clone());
+        }
+        self.gate = gate;
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.f64(self.gate.cutoff());
+        w.usize(self.capacity);
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.str(&e.name);
+            write_program(&mut w, &e.program);
+            w.u64(e.fingerprint);
+            w.f64(e.ic);
+            w.f64_slice(&e.val_returns);
+            w.u64(e.train_days.0);
+            w.u64(e.train_days.1);
+            w.u64(e.feature_set_id);
+        }
+        w.into_bytes()
+    }
+
+    /// Serializes the archive into a framed byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::frame::frame(KIND_ARCHIVE, &self.encode_payload())
+    }
+
+    /// Deserializes an archive written by [`AlphaArchive::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<AlphaArchive> {
+        let payload = crate::frame::unframe(KIND_ARCHIVE, bytes)?;
+        Self::decode(payload)
+    }
+
+    /// Writes the archive to `path` (atomically: temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        write_file(path.as_ref(), KIND_ARCHIVE, &self.encode_payload())
+    }
+
+    /// Loads an archive saved by [`AlphaArchive::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<AlphaArchive> {
+        let payload = read_file(path.as_ref(), KIND_ARCHIVE)?;
+        Self::decode(&payload)
+    }
+
+    fn decode(payload: &[u8]) -> Result<AlphaArchive> {
+        let mut r = Reader::new(payload);
+        let cutoff = r.f64()?;
+        let capacity = r.usize()?;
+        if capacity == 0 {
+            return Err(crate::error::StoreError::Malformed {
+                what: "archive capacity is zero".into(),
+            });
+        }
+        let n = r.len_prefix(1)?;
+        if n > capacity {
+            // A file we wrote can never exceed its own capacity; loading
+            // one would leave `admit`'s eviction check unsatisfiable and
+            // the capacity bound broken forever.
+            return Err(crate::error::StoreError::Malformed {
+                what: format!("{n} entries exceed the declared capacity {capacity}"),
+            });
+        }
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = r.str()?;
+            let program = read_program(&mut r)?;
+            let fingerprint = r.u64()?;
+            let ic = r.f64()?;
+            let val_returns = r.f64_vec()?;
+            let train_days = (r.u64()?, r.u64()?);
+            let feature_set_id = r.u64()?;
+            entries.push(ArchivedAlpha {
+                name,
+                program,
+                fingerprint,
+                ic,
+                val_returns,
+                train_days,
+                feature_set_id,
+            });
+        }
+        r.finish()?;
+        let mut archive = AlphaArchive {
+            capacity,
+            gate: CorrelationGate::new(cutoff),
+            entries,
+        };
+        archive.rebuild_gate();
+        Ok(archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_core::{init, AlphaConfig};
+
+    fn alpha(name: &str, fp: u64, ic: f64, returns: Vec<f64>) -> ArchivedAlpha {
+        let cfg = AlphaConfig::default();
+        ArchivedAlpha {
+            name: name.into(),
+            program: init::domain_expert(&cfg),
+            fingerprint: fp,
+            ic,
+            val_returns: returns,
+            train_days: (30, 90),
+            feature_set_id: feature_set_id(&FeatureSet::paper()),
+        }
+    }
+
+    fn noise(seed: u64, n: usize) -> Vec<f64> {
+        // Sinusoids at distinct integer frequencies over whole periods:
+        // pairwise correlations are ~0, well under any sane cutoff.
+        let f = (seed % 29 + 1) as f64;
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / n as f64).sin() * 0.01)
+            .collect()
+    }
+
+    #[test]
+    fn admits_weakly_correlated_rejects_duplicates_and_clones() {
+        let mut ar = AlphaArchive::new(8);
+        assert!(ar.admit(alpha("a0", 1, 0.10, noise(1, 60))).admitted());
+        assert!(ar.admit(alpha("a1", 2, 0.12, noise(2, 60))).admitted());
+
+        // Same fingerprint → duplicate.
+        let dup = ar.admit(alpha("a2", 1, 0.5, noise(3, 60)));
+        assert!(matches!(dup, AdmitOutcome::RejectedDuplicate { ref of } if of == "a0"));
+
+        // A scaled copy of a0's returns → correlated above any cutoff.
+        let copy: Vec<f64> = noise(1, 60).iter().map(|x| x * 2.0).collect();
+        let rej = ar.admit(alpha("a3", 3, 0.5, copy));
+        match rej {
+            AdmitOutcome::RejectedCorrelated { with, corr } => {
+                assert_eq!(with, "a0");
+                assert!(corr > 0.99);
+            }
+            other => panic!("expected RejectedCorrelated, got {other:?}"),
+        }
+
+        // A strongly anti-correlated series passes (one-sided gate).
+        let inverse: Vec<f64> = noise(2, 60).iter().map(|x| -x).collect();
+        assert!(ar.admit(alpha("a4", 4, 0.05, inverse)).admitted());
+        assert_eq!(ar.len(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_weakest_only_for_stronger() {
+        let mut ar = AlphaArchive::new(2);
+        assert!(ar.admit(alpha("weak", 1, 0.05, noise(10, 60))).admitted());
+        assert!(ar.admit(alpha("mid", 2, 0.10, noise(20, 60))).admitted());
+
+        // Weaker than the floor: rejected.
+        let out = ar.admit(alpha("weaker", 3, 0.01, noise(30, 60)));
+        assert!(matches!(out, AdmitOutcome::RejectedWeaker { floor } if floor == 0.05));
+
+        // Stronger: evicts "weak".
+        let out = ar.admit(alpha("strong", 4, 0.20, noise(40, 60)));
+        assert!(matches!(out, AdmitOutcome::Admitted { evicted: Some(ref n) } if n == "weak"));
+        assert_eq!(ar.len(), 2);
+        assert!(ar.entries().iter().all(|e| e.name != "weak"));
+    }
+
+    #[test]
+    fn nan_ic_ranks_below_every_real_alpha() {
+        // A NaN-fitness candidate must not clear the eviction floor of a
+        // full archive, and a NaN incumbent must be first out the door.
+        let mut ar = AlphaArchive::new(2);
+        assert!(ar.admit(alpha("nan", 1, f64::NAN, noise(1, 60))).admitted());
+        assert!(ar.admit(alpha("real", 2, 0.05, noise(2, 60))).admitted());
+        let out = ar.admit(alpha("nan2", 3, f64::NAN, noise(3, 60)));
+        assert!(
+            matches!(out, AdmitOutcome::RejectedWeaker { .. }),
+            "NaN must not evict anything: {out:?}"
+        );
+        let out = ar.admit(alpha("better", 4, 0.01, noise(4, 60)));
+        assert!(
+            matches!(out, AdmitOutcome::Admitted { evicted: Some(ref n) } if n == "nan"),
+            "the NaN incumbent goes first: {out:?}"
+        );
+    }
+
+    #[test]
+    fn over_capacity_file_is_rejected() {
+        // A CRC-valid payload claiming more entries than its capacity
+        // would permanently disable eviction — it must fail typed.
+        let mut ar = AlphaArchive::new(8);
+        ar.admit(alpha("a", 1, 0.1, noise(1, 60)));
+        ar.admit(alpha("b", 2, 0.2, noise(2, 60)));
+        let mut payload = ar.encode_payload();
+        // Patch the capacity field (bytes 8..16, after the f64 cutoff)
+        // down to 1 while two entries follow.
+        payload[8..16].copy_from_slice(&1u64.to_le_bytes());
+        let framed = crate::frame::frame(KIND_ARCHIVE, &payload);
+        match AlphaArchive::from_bytes(&framed) {
+            Err(crate::error::StoreError::Malformed { what }) => {
+                assert!(what.contains("capacity"), "message: {what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_tracks_eviction() {
+        let mut ar = AlphaArchive::new(1);
+        assert!(ar.admit(alpha("first", 1, 0.05, noise(10, 60))).admitted());
+        assert!(ar.admit(alpha("second", 2, 0.50, noise(20, 60))).admitted());
+        // "first" is gone, so a clone of its returns now passes the gate.
+        let clone_of_first = noise(10, 60);
+        assert!(ar.gate().passes(&clone_of_first));
+    }
+
+    #[test]
+    fn bytes_round_trip_preserves_everything() {
+        let mut ar = AlphaArchive::with_cutoff(4, 0.2);
+        let mut weird = alpha("nan_ic", 7, f64::NAN, noise(5, 40));
+        weird.ic = f64::from_bits(0x7FF8_0000_0000_00AB); // NaN with payload
+        ar.admit(alpha("plain", 1, 0.1, noise(1, 40)));
+        // NaN IC: admit would compare NaN; push directly through admit —
+        // total_cmp handles NaN, and the gate sees finite noise.
+        ar.admit(weird.clone());
+        let bytes = ar.to_bytes();
+        let back = AlphaArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(back.capacity(), 4);
+        assert_eq!(back.cutoff(), 0.2);
+        assert_eq!(back.len(), ar.len());
+        for (a, b) in ar.entries().iter().zip(back.entries()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.ic.to_bits(), b.ic.to_bits());
+            assert_eq!(a.val_returns.len(), b.val_returns.len());
+            for (x, y) in a.val_returns.iter().zip(&b.val_returns) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.train_days, b.train_days);
+            assert_eq!(a.feature_set_id, b.feature_set_id);
+        }
+        // And the reloaded gate still gates.
+        assert!(!back.gate().passes(&noise(1, 40)));
+    }
+
+    #[test]
+    fn feature_set_ids_distinguish_recipes() {
+        let paper = feature_set_id(&FeatureSet::paper());
+        let strict = feature_set_id(&FeatureSet::paper_strict());
+        assert_ne!(paper, strict);
+        assert_eq!(paper, feature_set_id(&FeatureSet::paper()));
+    }
+}

@@ -1,0 +1,366 @@
+//! Serialization of [`EvolutionCheckpoint`]s — the durable form of a
+//! paused search.
+//!
+//! A checkpoint captures the *complete* single-worker search state
+//! (population genomes, worker RNG stream, sharded fingerprint-cache
+//! contents, best alpha, trajectory, counters, config), so a search
+//! checkpointed at generation N, reloaded in a fresh process against an
+//! identically-reconstructed evaluator, and resumed produces the same
+//! best alpha — fingerprint and IC bit for bit — as the uninterrupted
+//! run (pinned by `tests/checkpoint_resume.rs`).
+//!
+//! ## File payload layout (record kind 2, inside the `AEVS` frame)
+//!
+//! ```text
+//! config:
+//!   u64 × 2          population size, tournament size
+//!   u64 × 6          mutation prob + five action weights (f64 bits)
+//!   u8 + u64 [+u32]  budget: 0 = Searched(count) | 1 = WallTime(secs, nanos)
+//!   u64 × 2          seed, workers
+//! u64 × 6            counters: searched, evaluated, redundant,
+//!                    cache hits, invalid, gate-rejected
+//! u64 + u32          elapsed wall-clock (secs, subsec nanos)
+//! u64 × 4            worker RNG stream state (xoshiro256++)
+//! u64 + entries      population: count, then per member a program
+//!                    (see `progio`) + Option<f64> fitness (tag + bits)
+//! u64 + entries      fingerprint cache: count, then per entry the u64
+//!                    fingerprint + Option<f64> fitness — sorted by
+//!                    fingerprint (canonical order)
+//! u8 [+best]         best alpha: 0 = none | 1 = genome program + pruned
+//!                    program + f64 IC + f64 return series
+//! u64 + entries      trajectory: count, then (u64 searched, f64 best IC)
+//! ```
+
+use std::path::Path;
+use std::time::Duration;
+
+use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
+use alphaevolve_core::mutation::{MutationConfig, MutationWeights};
+use alphaevolve_core::{BestAlpha, Individual, SearchStats, TrajectoryPoint};
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+use crate::frame::{read_file, write_file, KIND_CHECKPOINT};
+use crate::progio::{read_program, write_program};
+
+/// Serializes a checkpoint into a framed byte buffer.
+pub fn checkpoint_to_bytes(c: &EvolutionCheckpoint) -> Vec<u8> {
+    crate::frame::frame(KIND_CHECKPOINT, &encode_payload(c))
+}
+
+/// Deserializes a checkpoint written by [`checkpoint_to_bytes`].
+pub fn checkpoint_from_bytes(bytes: &[u8]) -> Result<EvolutionCheckpoint> {
+    let payload = crate::frame::unframe(KIND_CHECKPOINT, bytes)?;
+    decode_payload(payload)
+}
+
+/// Writes a checkpoint to `path` (atomically: temp file + rename, so a
+/// crash mid-save cannot leave a torn checkpoint at the final path).
+pub fn save_checkpoint(path: impl AsRef<Path>, c: &EvolutionCheckpoint) -> Result<()> {
+    write_file(path.as_ref(), KIND_CHECKPOINT, &encode_payload(c))
+}
+
+/// Loads a checkpoint saved by [`save_checkpoint`]. Corrupted or
+/// truncated files fail with a typed [`StoreError`], never a panic or a
+/// silent partial state.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<EvolutionCheckpoint> {
+    let payload = read_file(path.as_ref(), KIND_CHECKPOINT)?;
+    decode_payload(&payload)
+}
+
+fn encode_payload(c: &EvolutionCheckpoint) -> Vec<u8> {
+    let mut w = Writer::new();
+    // Config.
+    w.usize(c.config.population_size);
+    w.usize(c.config.tournament_size);
+    w.f64(c.config.mutation.prob);
+    w.f64(c.config.mutation.weights.randomize_instruction);
+    w.f64(c.config.mutation.weights.randomize_slot);
+    w.f64(c.config.mutation.weights.randomize_function);
+    w.f64(c.config.mutation.weights.insert);
+    w.f64(c.config.mutation.weights.remove);
+    match c.config.budget {
+        Budget::Searched(n) => {
+            w.u8(0);
+            w.usize(n);
+        }
+        Budget::WallTime(d) => {
+            w.u8(1);
+            w.u64(d.as_secs());
+            w.u32(d.subsec_nanos());
+        }
+    }
+    w.u64(c.config.seed);
+    w.usize(c.config.workers);
+    // Counters.
+    w.usize(c.stats.searched);
+    w.usize(c.stats.evaluated);
+    w.usize(c.stats.redundant);
+    w.usize(c.stats.cache_hits);
+    w.usize(c.stats.invalid);
+    w.usize(c.stats.gate_rejected);
+    // Elapsed.
+    w.u64(c.elapsed.as_secs());
+    w.u32(c.elapsed.subsec_nanos());
+    // RNG stream.
+    for word in c.rng {
+        w.u64(word);
+    }
+    // Population.
+    w.usize(c.population.len());
+    for ind in &c.population {
+        write_program(&mut w, &ind.program);
+        w.opt_f64(ind.fitness);
+    }
+    // Fingerprint cache.
+    w.usize(c.cache.len());
+    for &(fp, fitness) in &c.cache {
+        w.u64(fp);
+        w.opt_f64(fitness);
+    }
+    // Best alpha.
+    match &c.best {
+        None => w.u8(0),
+        Some(b) => {
+            w.u8(1);
+            write_program(&mut w, &b.program);
+            write_program(&mut w, &b.pruned);
+            w.f64(b.ic);
+            w.f64_slice(&b.val_returns);
+        }
+    }
+    // Trajectory.
+    w.usize(c.trajectory.len());
+    for p in &c.trajectory {
+        w.usize(p.searched);
+        w.f64(p.best_ic);
+    }
+    w.into_bytes()
+}
+
+fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
+    let mut r = Reader::new(payload);
+    let population_size = r.usize()?;
+    let tournament_size = r.usize()?;
+    let mutation = MutationConfig {
+        prob: r.f64()?,
+        weights: MutationWeights {
+            randomize_instruction: r.f64()?,
+            randomize_slot: r.f64()?,
+            randomize_function: r.f64()?,
+            insert: r.f64()?,
+            remove: r.f64()?,
+        },
+    };
+    let budget = match r.u8()? {
+        0 => Budget::Searched(r.usize()?),
+        1 => {
+            let secs = r.u64()?;
+            let nanos = r.u32()?;
+            if nanos >= 1_000_000_000 {
+                return Err(StoreError::Malformed {
+                    what: format!("subsecond nanos {nanos} out of range"),
+                });
+            }
+            Budget::WallTime(Duration::new(secs, nanos))
+        }
+        t => {
+            return Err(StoreError::Malformed {
+                what: format!("budget tag {t} (want 0 or 1)"),
+            })
+        }
+    };
+    let seed = r.u64()?;
+    let workers = r.usize()?;
+    let config = EvolutionConfig {
+        population_size,
+        tournament_size,
+        mutation,
+        budget,
+        seed,
+        workers,
+    };
+    let stats = SearchStats {
+        searched: r.usize()?,
+        evaluated: r.usize()?,
+        redundant: r.usize()?,
+        cache_hits: r.usize()?,
+        invalid: r.usize()?,
+        gate_rejected: r.usize()?,
+    };
+    let elapsed = {
+        let secs = r.u64()?;
+        let nanos = r.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(StoreError::Malformed {
+                what: format!("subsecond nanos {nanos} out of range"),
+            });
+        }
+        Duration::new(secs, nanos)
+    };
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.u64()?;
+    }
+    if rng == [0; 4] {
+        return Err(StoreError::Malformed {
+            what: "all-zero RNG state (unreachable from any seed)".into(),
+        });
+    }
+    let n_pop = r.len_prefix(1)?;
+    let mut population = Vec::with_capacity(n_pop.min(4096));
+    for _ in 0..n_pop {
+        let program = read_program(&mut r)?;
+        let fitness = r.opt_f64()?;
+        population.push(Individual { program, fitness });
+    }
+    let n_cache = r.len_prefix(9)?;
+    let mut cache = Vec::with_capacity(n_cache);
+    for _ in 0..n_cache {
+        let fp = r.u64()?;
+        let fitness = r.opt_f64()?;
+        cache.push((fp, fitness));
+    }
+    let best = match r.u8()? {
+        0 => None,
+        1 => {
+            let program = read_program(&mut r)?;
+            let pruned = read_program(&mut r)?;
+            let ic = r.f64()?;
+            let val_returns = r.f64_vec()?;
+            Some(BestAlpha {
+                program,
+                pruned,
+                ic,
+                val_returns,
+            })
+        }
+        t => {
+            return Err(StoreError::Malformed {
+                what: format!("best-alpha tag {t} (want 0 or 1)"),
+            })
+        }
+    };
+    let n_traj = r.len_prefix(16)?;
+    let mut trajectory = Vec::with_capacity(n_traj);
+    for _ in 0..n_traj {
+        let searched = r.usize()?;
+        let best_ic = r.f64()?;
+        trajectory.push(TrajectoryPoint { searched, best_ic });
+    }
+    r.finish()?;
+    Ok(EvolutionCheckpoint {
+        config,
+        stats,
+        elapsed,
+        rng,
+        population,
+        cache,
+        best,
+        trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_core::{init, AlphaConfig};
+
+    fn sample_checkpoint() -> EvolutionCheckpoint {
+        let cfg = AlphaConfig::default();
+        EvolutionCheckpoint {
+            config: EvolutionConfig {
+                population_size: 20,
+                tournament_size: 5,
+                mutation: MutationConfig::default(),
+                budget: Budget::Searched(300),
+                seed: 7,
+                workers: 1,
+            },
+            stats: SearchStats {
+                searched: 150,
+                evaluated: 40,
+                redundant: 90,
+                cache_hits: 20,
+                invalid: 3,
+                gate_rejected: 1,
+            },
+            elapsed: Duration::new(12, 345_678_901),
+            rng: [1, 2, 3, 4],
+            population: vec![
+                Individual {
+                    program: init::domain_expert(&cfg),
+                    fitness: Some(0.123456789),
+                },
+                Individual {
+                    program: init::two_layer_nn(&cfg),
+                    fitness: None,
+                },
+            ],
+            cache: vec![(5, Some(0.1)), (9, None), (11, Some(-0.0))],
+            best: Some(BestAlpha {
+                program: init::domain_expert(&cfg),
+                pruned: init::domain_expert(&cfg),
+                ic: 0.21213852898918362,
+                val_returns: vec![0.01, -0.02, 0.003],
+            }),
+            trajectory: vec![
+                TrajectoryPoint {
+                    searched: 10,
+                    best_ic: 0.05,
+                },
+                TrajectoryPoint {
+                    searched: 80,
+                    best_ic: 0.2121,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let c = sample_checkpoint();
+        let bytes = checkpoint_to_bytes(&c);
+        let back = checkpoint_from_bytes(&bytes).unwrap();
+        assert_eq!(back.config.population_size, 20);
+        assert_eq!(back.config.budget, Budget::Searched(300));
+        assert_eq!(back.stats, c.stats);
+        assert_eq!(back.elapsed, c.elapsed);
+        assert_eq!(back.rng, c.rng);
+        assert_eq!(back.population.len(), 2);
+        assert_eq!(back.population[0].program, c.population[0].program);
+        assert_eq!(
+            back.population[0].fitness.unwrap().to_bits(),
+            c.population[0].fitness.unwrap().to_bits()
+        );
+        assert_eq!(back.population[1].fitness, None);
+        assert_eq!(back.cache.len(), 3);
+        assert_eq!(back.cache[2].1.unwrap().to_bits(), (-0.0f64).to_bits());
+        let best = back.best.unwrap();
+        assert_eq!(best.ic.to_bits(), 0.21213852898918362f64.to_bits());
+        assert_eq!(best.val_returns, vec![0.01, -0.02, 0.003]);
+        assert_eq!(back.trajectory.len(), 2);
+    }
+
+    #[test]
+    fn walltime_budget_round_trips() {
+        let mut c = sample_checkpoint();
+        c.config.budget = Budget::WallTime(Duration::new(3600, 42));
+        let back = checkpoint_from_bytes(&checkpoint_to_bytes(&c)).unwrap();
+        assert_eq!(
+            back.config.budget,
+            Budget::WallTime(Duration::new(3600, 42))
+        );
+    }
+
+    #[test]
+    fn zero_rng_state_is_rejected() {
+        let mut c = sample_checkpoint();
+        c.rng = [0; 4];
+        let bytes = checkpoint_to_bytes(&c);
+        assert!(matches!(
+            checkpoint_from_bytes(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,324 @@
+//! Primitive binary encoding: a byte writer and a bounds-checked reader.
+//!
+//! Everything is **little-endian**, and floats travel as raw IEEE-754 bit
+//! patterns (`f64::to_bits`), so values — including NaN payloads and
+//! signed zeros — round-trip bit for bit on every platform. The reader
+//! never indexes past its slice: every take is bounds-checked and a short
+//! buffer surfaces as [`StoreError::Truncated`], not a panic.
+
+use crate::error::{Result, StoreError};
+
+/// Append-only byte sink for payload encoding.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Little-endian u16.
+    pub fn u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// A `usize` as u64 (the format is 64-bit regardless of platform).
+    pub fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// An `f64` as its raw bit pattern.
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// `Option<f64>`: presence tag byte, then the bits when present.
+    pub fn opt_f64(&mut self, x: Option<f64>) {
+        match x {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `f64` slice (bit patterns).
+    pub fn f64_slice(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+/// Bounds-checked cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed (a longer-than-declared
+    /// payload is as suspicious as a shorter one).
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Malformed {
+                what: format!(
+                    "{} trailing byte(s) after the last record",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u16.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A u64 narrowed to `usize`, rejecting values that cannot fit.
+    pub fn usize(&mut self) -> Result<usize> {
+        let x = self.u64()?;
+        usize::try_from(x).map_err(|_| StoreError::Malformed {
+            what: format!("count {x} exceeds the address space"),
+        })
+    }
+
+    /// A length prefix for records of `elem_size` bytes each, validated
+    /// against the remaining bytes **before** any allocation — a corrupted
+    /// length can therefore never trigger an absurd `Vec` reservation.
+    pub fn len_prefix(&mut self, elem_size: usize) -> Result<usize> {
+        let n = self.usize()?;
+        let needed = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| StoreError::Malformed {
+                what: format!("count {n} overflows"),
+            })?;
+        if needed > self.remaining() {
+            return Err(StoreError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// An `f64` from its raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// `Option<f64>` written by [`Writer::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            t => Err(StoreError::Malformed {
+                what: format!("option tag {t} (want 0 or 1)"),
+            }),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Malformed {
+            what: "string is not valid UTF-8".into(),
+        })
+    }
+
+    /// Length-prefixed `f64` vector (bit patterns).
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the ubiquitous
+/// zlib/PNG checksum, hand-rolled table-driven since the container is
+/// offline. Catches all single-bit flips and all burst errors up to 32
+/// bits anywhere in header or payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        w.opt_f64(None);
+        w.opt_f64(Some(1.5));
+        w.str("alpha_AE_D_0");
+        w.f64_slice(&[0.1, -0.2, f64::INFINITY]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.str().unwrap(), "alpha_AE_D_0");
+        let v = r.f64_vec().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v[2].is_infinite());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_reads_are_truncated_errors() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        match r.u64() {
+            Err(StoreError::Truncated { needed, available }) => {
+                assert_eq!((needed, available), (8, 5));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX / 2); // a vector "length" of 9 quintillion
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.f64_vec().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The typed failure domain of the store: every way a file can be wrong
+//! maps to a [`StoreError`] variant — corrupted or truncated inputs are
+//! *errors*, never panics or silent partial loads.
+
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `AEVS` magic — not a store file.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The file is a valid store file of the wrong kind (e.g. an archive
+    /// passed to the checkpoint loader).
+    WrongKind {
+        /// Record kind the caller asked for.
+        expected: u16,
+        /// Record kind found in the header.
+        found: u16,
+    },
+    /// The CRC32 over header+payload does not match: bit rot, a torn
+    /// write, or tampering.
+    Corrupt {
+        /// CRC stored in the trailer.
+        expected: u32,
+        /// CRC computed over the bytes read.
+        found: u32,
+    },
+    /// The file ends before the structure it declares (a short read — the
+    /// classic partially-written checkpoint).
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// Framing and CRC pass but the payload decodes to something invalid
+    /// (an unknown op code, a count that contradicts the remaining bytes).
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a store file (magic {found:02x?}, want `AEVS`)")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "wrong record kind {found} (expected {expected})")
+            }
+            StoreError::Corrupt { expected, found } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {found:#010x}"
+            ),
+            StoreError::Truncated { needed, available } => write!(
+                f,
+                "truncated: decoder needed {needed} more byte(s), {available} available"
+            ),
+            StoreError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Shorthand for store results.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::Truncated {
+            needed: 8,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('3'));
+        assert!(StoreError::BadMagic { found: *b"NOPE" }
+            .to_string()
+            .contains("AEVS"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The container framing shared by every store file.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"AEVS"
+//! 4       2     format version (currently 1)
+//! 6       2     record kind (1 = alpha archive, 2 = evolution checkpoint)
+//! 8       8     payload length in bytes
+//! 16      n     payload (kind-specific, see `archive` / `checkpoint`)
+//! 16+n    4     CRC-32 (IEEE) over bytes [0, 16+n) — header AND payload
+//! ```
+//!
+//! Readers verify magic → declared length → CRC before touching the
+//! payload, so a flipped bit anywhere in the file (header included)
+//! surfaces as a typed [`StoreError`] and a partially-written file as
+//! [`StoreError::Truncated`] — never a panic, never a silent partial load.
+
+use std::path::Path;
+
+use crate::codec::crc32;
+use crate::error::{Result, StoreError};
+
+/// File magic: "AlphaEVolve Store".
+pub const MAGIC: [u8; 4] = *b"AEVS";
+
+/// Current (and only) format version.
+pub const VERSION: u16 = 1;
+
+/// Record kind of an alpha archive file.
+pub const KIND_ARCHIVE: u16 = 1;
+
+/// Record kind of an evolution checkpoint file.
+pub const KIND_CHECKPOINT: u16 = 2;
+
+/// Header length in bytes (magic + version + kind + payload length).
+const HEADER_LEN: usize = 16;
+
+/// Wraps `payload` in the magic/version/kind/CRC frame.
+pub fn frame(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates the frame and returns the payload slice.
+pub fn unframe(expected_kind: u16, bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN + 4,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: bytes[..4].try_into().unwrap(),
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len).map_err(|_| StoreError::Malformed {
+        what: format!("payload length {payload_len} exceeds the address space"),
+    })?;
+    let total = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(4))
+        .ok_or_else(|| StoreError::Malformed {
+            what: format!("payload length {payload_len} overflows"),
+        })?;
+    if bytes.len() < total {
+        return Err(StoreError::Truncated {
+            needed: total,
+            available: bytes.len(),
+        });
+    }
+    if bytes.len() > total {
+        return Err(StoreError::Malformed {
+            what: format!("{} trailing byte(s) after the frame", bytes.len() - total),
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[total - 4..total].try_into().unwrap());
+    let computed = crc32(&bytes[..total - 4]);
+    if stored_crc != computed {
+        return Err(StoreError::Corrupt {
+            expected: stored_crc,
+            found: computed,
+        });
+    }
+    // Version/kind only after the CRC: a flipped header bit reports as
+    // corruption, not as a phantom "future version".
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    if kind != expected_kind {
+        return Err(StoreError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    Ok(&bytes[HEADER_LEN..HEADER_LEN + payload_len])
+}
+
+/// Frames `payload` and writes it to `path` (via a unique temporary file
+/// renamed into place, so a crash mid-write leaves no half-frame at the
+/// final path).
+pub fn write_file(path: &Path, kind: u16, payload: &[u8]) -> Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Process id alone is not unique enough: two threads saving the same
+    // path (or `foo.aev` next to `foo.ckpt`, since `with_extension` would
+    // strip the real extension) must not share a temp file.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let framed = frame(kind, payload);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StoreError::Malformed {
+            what: format!("path `{}` has no file name", path.display()),
+        })?
+        .to_os_string();
+    let mut tmp_name = file_name;
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &framed)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e.into())
+        }
+    }
+}
+
+/// Reads `path` and returns its validated payload.
+pub fn read_file(path: &Path, expected_kind: u16) -> Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    let payload = unframe(expected_kind, &bytes)?;
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"hello alpha".to_vec();
+        let framed = frame(KIND_ARCHIVE, &payload);
+        assert_eq!(unframe(KIND_ARCHIVE, &framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn wrong_kind_is_typed() {
+        let framed = frame(KIND_ARCHIVE, b"x");
+        match unframe(KIND_CHECKPOINT, &framed) {
+            Err(StoreError::WrongKind { expected, found }) => {
+                assert_eq!((expected, found), (KIND_CHECKPOINT, KIND_ARCHIVE));
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut framed = frame(KIND_ARCHIVE, b"x");
+        framed[0] = b'X';
+        assert!(matches!(
+            unframe(KIND_ARCHIVE, &framed),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let framed = frame(KIND_ARCHIVE, b"some payload worth protecting");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    unframe(KIND_ARCHIVE, &corrupted).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let framed = frame(KIND_CHECKPOINT, b"payload");
+        for cut in 0..framed.len() {
+            assert!(
+                unframe(KIND_CHECKPOINT, &framed[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut framed = frame(KIND_ARCHIVE, b"x");
+        // Bump the version and fix up the CRC so only the version differs.
+        framed[4] = 2;
+        let total = framed.len();
+        let crc = crc32(&framed[..total - 4]);
+        framed[total - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            unframe(KIND_ARCHIVE, &framed),
+            Err(StoreError::UnsupportedVersion { found: 2 })
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Binary encoding of [`AlphaProgram`]s and instructions.
+//!
+//! Per function (`setup`, `predict`, `update`, in that order):
+//!
+//! ```text
+//! u64  instruction count
+//! per instruction:
+//!   u16      op code  — index into `Op::ALL` (the fixed, documented
+//!            operator order; new ops append, so codes are stable)
+//!   u8 × 3   in1, in2, out register indices
+//!   u8 × 2   ix[0], ix[1] small-integer slots
+//!   u64 × 2  lit[0], lit[1] as raw f64 bit patterns
+//! ```
+//!
+//! Literals travel as bit patterns, so programs round-trip **bitwise** —
+//! a prerequisite for the fingerprint cache and the archive's exactness
+//! guarantee. Decoding validates every op code; junk surfaces as
+//! [`StoreError::Malformed`].
+
+use alphaevolve_core::{AlphaProgram, FunctionId, Instruction, Op};
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+
+/// Encodes a program into `w`.
+pub fn write_program(w: &mut Writer, prog: &AlphaProgram) {
+    for f in FunctionId::ALL {
+        let instrs = prog.function(f);
+        w.usize(instrs.len());
+        for i in instrs {
+            write_instruction(w, i);
+        }
+    }
+}
+
+/// Decodes a program written by [`write_program`].
+pub fn read_program(r: &mut Reader<'_>) -> Result<AlphaProgram> {
+    let mut prog = AlphaProgram::new();
+    for f in FunctionId::ALL {
+        // 23 bytes per encoded instruction.
+        let n = r.len_prefix(23)?;
+        let out = prog.function_mut(f);
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(read_instruction(r)?);
+        }
+    }
+    Ok(prog)
+}
+
+fn write_instruction(w: &mut Writer, i: &Instruction) {
+    let code = Op::ALL
+        .iter()
+        .position(|&o| o == i.op)
+        .expect("every op appears in Op::ALL") as u16;
+    w.u16(code);
+    w.u8(i.in1);
+    w.u8(i.in2);
+    w.u8(i.out);
+    w.u8(i.ix[0]);
+    w.u8(i.ix[1]);
+    w.f64(i.lit[0]);
+    w.f64(i.lit[1]);
+}
+
+fn read_instruction(r: &mut Reader<'_>) -> Result<Instruction> {
+    let code = r.u16()? as usize;
+    let op = *Op::ALL.get(code).ok_or_else(|| StoreError::Malformed {
+        what: format!("op code {code} out of range ({} ops)", Op::ALL.len()),
+    })?;
+    // Fields are restored verbatim (no re-normalization): the writer only
+    // ever sees normalized instructions, and a bitwise round trip is the
+    // contract the fingerprint cache depends on.
+    let mut i = Instruction::nop();
+    i.op = op;
+    i.in1 = r.u8()?;
+    i.in2 = r.u8()?;
+    i.out = r.u8()?;
+    i.ix[0] = r.u8()?;
+    i.ix[1] = r.u8()?;
+    i.lit[0] = r.f64()?;
+    i.lit[1] = r.f64()?;
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_core::{init, AlphaConfig};
+
+    #[test]
+    fn programs_round_trip_bitwise() {
+        let cfg = AlphaConfig::default();
+        for prog in [
+            init::domain_expert(&cfg),
+            init::two_layer_nn(&cfg),
+            init::industry_reversal(&cfg),
+            init::momentum(&cfg),
+            init::noop(&cfg),
+        ] {
+            let mut w = Writer::new();
+            write_program(&mut w, &prog);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = read_program(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, prog);
+        }
+    }
+
+    #[test]
+    fn unknown_op_code_is_malformed() {
+        let cfg = AlphaConfig::default();
+        let mut w = Writer::new();
+        write_program(&mut w, &init::domain_expert(&cfg));
+        let mut bytes = w.into_bytes();
+        // First instruction's op code sits right after the setup count.
+        bytes[8] = 0xFF;
+        bytes[9] = 0xFF;
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            read_program(&mut r),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_program_is_an_error() {
+        let cfg = AlphaConfig::default();
+        let mut w = Writer::new();
+        write_program(&mut w, &init::two_layer_nn(&cfg));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(read_program(&mut r).is_err(), "cut at {cut} parsed");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Hostile-input fixtures: real archive and checkpoint files with every
+//! single bit flipped and every prefix truncation must fail with a typed
+//! [`StoreError`] — never a panic, never a silent partial load. A second
+//! battery re-seals corrupted payloads under a *valid* CRC to exercise
+//! the decoder's own bounds checks past the checksum.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
+use alphaevolve_core::{init, AlphaConfig, Individual, SearchStats};
+use alphaevolve_store::archive::{AlphaArchive, ArchivedAlpha};
+use alphaevolve_store::checkpoint::{
+    checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
+};
+use alphaevolve_store::codec::crc32;
+use alphaevolve_store::StoreError;
+
+fn fixture_archive() -> AlphaArchive {
+    let cfg = AlphaConfig::default();
+    let mut ar = AlphaArchive::new(4);
+    let series: Vec<f64> = (0..40)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin() * 0.01)
+        .collect();
+    ar.admit(ArchivedAlpha {
+        name: "fixture".into(),
+        program: init::two_layer_nn(&cfg),
+        fingerprint: 0xe867_dc16_95a8_ffb5,
+        ic: 0.21213852898918362,
+        val_returns: series,
+        train_days: (30, 90),
+        feature_set_id: 11,
+    });
+    ar
+}
+
+fn fixture_checkpoint() -> EvolutionCheckpoint {
+    let cfg = AlphaConfig::default();
+    EvolutionCheckpoint {
+        config: EvolutionConfig {
+            population_size: 5,
+            tournament_size: 2,
+            budget: Budget::Searched(100),
+            seed: 7,
+            workers: 1,
+            ..Default::default()
+        },
+        stats: SearchStats {
+            searched: 50,
+            evaluated: 20,
+            redundant: 25,
+            cache_hits: 5,
+            invalid: 0,
+            gate_rejected: 0,
+        },
+        elapsed: Duration::from_millis(1234),
+        rng: [9, 8, 7, 6],
+        population: vec![
+            Individual {
+                program: init::domain_expert(&cfg),
+                fitness: Some(0.1),
+            },
+            Individual {
+                program: init::industry_reversal(&cfg),
+                fitness: None,
+            },
+        ],
+        cache: vec![(3, Some(0.1)), (99, None)],
+        best: None,
+        trajectory: vec![],
+    }
+}
+
+#[test]
+fn every_bit_flip_in_a_checkpoint_fails_typed() {
+    let bytes = checkpoint_to_bytes(&fixture_checkpoint());
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 1 << bit;
+            match checkpoint_from_bytes(&corrupted) {
+                Err(_) => {}
+                Ok(_) => panic!("flip of byte {byte} bit {bit} loaded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_a_checkpoint_fails_typed() {
+    let bytes = checkpoint_to_bytes(&fixture_checkpoint());
+    for cut in 0..bytes.len() {
+        match checkpoint_from_bytes(&bytes[..cut]) {
+            Err(StoreError::Truncated { .. }) | Err(StoreError::BadMagic { .. }) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error class {other:?}"),
+            Ok(_) => panic!("truncation to {cut} bytes loaded successfully"),
+        }
+    }
+}
+
+#[test]
+fn every_bit_flip_in_an_archive_fails_typed() {
+    let bytes = fixture_archive().to_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                AlphaArchive::from_bytes(&corrupted).is_err(),
+                "flip of byte {byte} bit {bit} loaded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_an_archive_fails_typed() {
+    let bytes = fixture_archive().to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            AlphaArchive::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes loaded successfully"
+        );
+    }
+}
+
+/// Re-seals a corrupted frame under a fresh, *valid* CRC so the payload
+/// decoder itself (not just the checksum) faces the damage.
+fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn decoder_survives_resealed_payload_corruption() {
+    // Flip each payload byte (with the CRC fixed up): the decoder must
+    // return — Ok with different data or a typed error — never panic,
+    // never attempt a monster allocation.
+    let bytes = checkpoint_to_bytes(&fixture_checkpoint());
+    for byte in 16..bytes.len() - 4 {
+        let mut corrupted = bytes.clone();
+        corrupted[byte] ^= 0xFF;
+        let _ = checkpoint_from_bytes(&reseal(corrupted));
+    }
+    let bytes = fixture_archive().to_bytes();
+    for byte in 16..bytes.len() - 4 {
+        let mut corrupted = bytes.clone();
+        corrupted[byte] ^= 0x55;
+        let _ = AlphaArchive::from_bytes(&reseal(corrupted));
+    }
+}
+
+#[test]
+fn on_disk_corruption_and_short_writes_fail_typed() {
+    let dir = std::env::temp_dir().join(format!("aevs_corruption_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join("search.ckpt");
+    let ckpt = fixture_checkpoint();
+    save_checkpoint(&path, &ckpt).unwrap();
+    assert_eq!(load_checkpoint(&path).unwrap().stats, ckpt.stats);
+
+    // Bit rot on disk.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(StoreError::Corrupt { .. })
+    ));
+
+    // A torn write: only the first half made it to disk.
+    bytes[mid] ^= 0x40; // undo the flip
+    std::fs::write(&path, &bytes[..mid]).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(StoreError::Truncated { .. })
+    ));
+
+    // Missing file is a typed I/O error, not a panic.
+    assert!(matches!(
+        load_checkpoint(dir.join("never_written.ckpt")),
+        Err(StoreError::Io(_))
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_kind_cross_loading_fails_typed() {
+    let dir = std::env::temp_dir().join(format!("aevs_kinds_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("archive.aev");
+    fixture_archive().save(&path).unwrap();
+    // An archive fed to the checkpoint loader: typed kind mismatch.
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(StoreError::WrongKind { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,214 @@
+//! Property tests of the codec's exactness guarantee: random archives and
+//! checkpoints survive save → load **bitwise** — every program
+//! instruction, fingerprint, fitness bit, and RNG state word.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
+use alphaevolve_core::{init, AlphaConfig, AlphaProgram, BestAlpha, Individual, SearchStats};
+use alphaevolve_store::archive::{AlphaArchive, ArchivedAlpha};
+use alphaevolve_store::checkpoint::{checkpoint_from_bytes, checkpoint_to_bytes};
+
+fn random_program(seed: u64) -> AlphaProgram {
+    let cfg = AlphaConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sizes = [
+        1 + (seed % 5) as usize,
+        2 + (seed % 7) as usize,
+        1 + (seed % 4) as usize,
+    ];
+    init::random_alpha(&cfg, &mut rng, sizes[0], sizes[1], sizes[2])
+}
+
+/// Orthogonal sinusoid return series (distinct frequencies), so random
+/// entries actually pass the correlation gate and archives grow.
+fn returns(freq: u64, n: usize, amp: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (std::f64::consts::TAU * (freq % 23 + 1) as f64 * i as f64 / n as f64).sin() * amp)
+        .collect()
+}
+
+/// An f64 from raw bits, steering clear of nothing: NaNs with payloads,
+/// infinities, subnormals — the codec must carry them all.
+fn weird_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn assert_archives_bitwise_equal(a: &AlphaArchive, b: &AlphaArchive) {
+    assert_eq!(a.capacity(), b.capacity());
+    assert_eq!(a.cutoff().to_bits(), b.cutoff().to_bits());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.entries().iter().zip(b.entries()) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.program, y.program, "program of `{}` changed", x.name);
+        assert_eq!(x.fingerprint, y.fingerprint);
+        assert_eq!(x.ic.to_bits(), y.ic.to_bits(), "IC bits of `{}`", x.name);
+        assert_eq!(x.val_returns.len(), y.val_returns.len());
+        for (p, q) in x.val_returns.iter().zip(&y.val_returns) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert_eq!(x.train_days, y.train_days);
+        assert_eq!(x.feature_set_id, y.feature_set_id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random archives — random programs, fingerprints, weird IC bit
+    /// patterns, varying return-series lengths — round-trip bitwise
+    /// through the framed codec.
+    #[test]
+    fn archives_round_trip_bitwise(
+        seed in any::<u64>(),
+        n_candidates in 1usize..8,
+        capacity in 1usize..6,
+        ic_bits in any::<u64>(),
+    ) {
+        let mut archive = AlphaArchive::with_cutoff(capacity, 0.5);
+        for i in 0..n_candidates {
+            let s = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let _ = archive.admit(ArchivedAlpha {
+                name: format!("alpha_{i}"),
+                program: random_program(s),
+                fingerprint: s,
+                ic: if i == 0 { weird_f64(ic_bits) } else { (s % 1000) as f64 / 1e4 },
+                val_returns: returns(s, 40 + (s % 30) as usize, 0.01),
+                train_days: (s % 100, s % 100 + 60),
+                feature_set_id: s.rotate_left(17),
+            });
+        }
+        let reloaded = AlphaArchive::from_bytes(&archive.to_bytes()).unwrap();
+        assert_archives_bitwise_equal(&archive, &reloaded);
+
+        // A second round trip is a fixed point (save → load → save is
+        // byte-identical): the canonical-bytes property.
+        prop_assert_eq!(archive.to_bytes(), reloaded.to_bytes());
+    }
+
+    /// `mine → archive → reload → extend`: admission behaves identically
+    /// on the reloaded archive (the gate is rebuilt from the stored
+    /// return series, not lost).
+    #[test]
+    fn reloaded_archives_extend_like_originals(seed in any::<u64>()) {
+        let mut original = AlphaArchive::new(8);
+        for i in 0..3u64 {
+            let s = seed ^ i;
+            original.admit(ArchivedAlpha {
+                name: format!("round_{i}"),
+                program: random_program(s),
+                fingerprint: s | 1 << 63,
+                ic: 0.1 + i as f64 / 100.0,
+                val_returns: returns(i * 3 + 1, 50, 0.01),
+                train_days: (30, 90),
+                feature_set_id: 7,
+            });
+        }
+        let mut reloaded = AlphaArchive::from_bytes(&original.to_bytes()).unwrap();
+        // The same new candidate must get the same verdict from both.
+        let candidate = || ArchivedAlpha {
+            name: "next".into(),
+            program: random_program(seed ^ 0xABCD),
+            fingerprint: seed ^ 0xABCD,
+            ic: 0.2,
+            val_returns: returns(11, 50, 0.02),
+            train_days: (30, 90),
+            feature_set_id: 7,
+        };
+        let a = original.admit(candidate());
+        let b = reloaded.admit(candidate());
+        prop_assert_eq!(a, b);
+        assert_archives_bitwise_equal(&original, &reloaded);
+    }
+
+    /// Random checkpoints round-trip bitwise through the framed codec.
+    #[test]
+    fn checkpoints_round_trip_bitwise(
+        seed in any::<u64>(),
+        n_pop in 0usize..6,
+        n_cache in 0usize..10,
+        ic_bits in any::<u64>(),
+        rng_word in 1u64..u64::MAX,
+    ) {
+        let ckpt = EvolutionCheckpoint {
+            config: EvolutionConfig {
+                population_size: 1 + (seed % 50) as usize,
+                tournament_size: 1 + (seed % 10) as usize,
+                budget: if seed.is_multiple_of(2) {
+                    Budget::Searched((seed % 10_000) as usize)
+                } else {
+                    Budget::WallTime(std::time::Duration::new(seed % 4000, (seed % 1_000_000) as u32))
+                },
+                seed,
+                workers: 1,
+                ..Default::default()
+            },
+            stats: SearchStats {
+                searched: (seed % 999) as usize,
+                evaluated: (seed % 500) as usize,
+                redundant: (seed % 300) as usize,
+                cache_hits: (seed % 100) as usize,
+                invalid: (seed % 10) as usize,
+                gate_rejected: (seed % 7) as usize,
+            },
+            elapsed: std::time::Duration::new(seed % 100_000, (seed % 999_999_999) as u32),
+            rng: [rng_word, seed | 1, seed.rotate_left(7) | 2, !seed | 4],
+            population: (0..n_pop)
+                .map(|i| Individual {
+                    program: random_program(seed ^ i as u64),
+                    fitness: if i.is_multiple_of(3) { None } else { Some(weird_f64(ic_bits ^ i as u64)) },
+                })
+                .collect(),
+            cache: (0..n_cache)
+                .map(|i| (seed.wrapping_mul(i as u64 + 1), if i.is_multiple_of(2) { Some(i as f64 / 7.0) } else { None }))
+                .collect(),
+            best: (!seed.is_multiple_of(3)).then(|| BestAlpha {
+                program: random_program(seed ^ 0xBE57),
+                pruned: random_program(seed ^ 0xBE58),
+                ic: weird_f64(ic_bits),
+                val_returns: returns(seed, 30, 0.005),
+            }),
+            trajectory: (0..(seed % 5) as usize)
+                .map(|i| alphaevolve_core::TrajectoryPoint {
+                    searched: i * 10,
+                    best_ic: i as f64 / 50.0,
+                })
+                .collect(),
+        };
+        let bytes = checkpoint_to_bytes(&ckpt);
+        let back = checkpoint_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.config.population_size, ckpt.config.population_size);
+        prop_assert_eq!(back.config.budget, ckpt.config.budget);
+        prop_assert_eq!(back.config.seed, ckpt.config.seed);
+        prop_assert_eq!(back.stats, ckpt.stats);
+        prop_assert_eq!(back.elapsed, ckpt.elapsed);
+        prop_assert_eq!(back.rng, ckpt.rng);
+        prop_assert_eq!(back.population.len(), ckpt.population.len());
+        for (x, y) in back.population.iter().zip(&ckpt.population) {
+            prop_assert_eq!(&x.program, &y.program);
+            prop_assert_eq!(x.fitness.map(f64::to_bits), y.fitness.map(f64::to_bits));
+        }
+        prop_assert_eq!(
+            back.cache.iter().map(|&(k, v)| (k, v.map(f64::to_bits))).collect::<Vec<_>>(),
+            ckpt.cache.iter().map(|&(k, v)| (k, v.map(f64::to_bits))).collect::<Vec<_>>()
+        );
+        match (&back.best, &ckpt.best) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(&a.program, &b.program);
+                prop_assert_eq!(&a.pruned, &b.pruned);
+                prop_assert_eq!(a.ic.to_bits(), b.ic.to_bits());
+                prop_assert_eq!(
+                    a.val_returns.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.val_returns.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            other => panic!("best mismatch: {other:?}"),
+        }
+        prop_assert_eq!(back.trajectory.len(), ckpt.trajectory.len());
+        // Canonical bytes: re-encode is byte-identical.
+        prop_assert_eq!(checkpoint_to_bytes(&back), bytes);
+    }
+}

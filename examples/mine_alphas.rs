@@ -6,16 +6,21 @@
 //!
 //! Runs a few thousand candidates of regularized evolution from the
 //! domain-expert seed, prints the winner's effective program, metrics and
-//! search statistics, and writes the program to `mined_alpha.txt` in the
-//! round-tripping text format.
+//! search statistics, and persists it twice: as `mined_alpha.txt` in the
+//! round-tripping text format, and as `results/mined_alphas.aev` — a
+//! binary [`AlphaArchive`] (magic `AEVS`, version, CRC-32 framing; see
+//! the `alphaevolve::store` docs for the record layout) that reloads
+//! bit-for-bit for serving or later mining rounds.
 
 use std::sync::Arc;
 
 use alphaevolve::backtest::portfolio::LongShortConfig;
 use alphaevolve::core::{
-    init, textio, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+    fingerprint, init, textio, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution,
+    EvolutionConfig,
 };
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::{feature_set_id, AlphaArchive, ArchivedAlpha};
 
 fn main() {
     let market = MarketConfig {
@@ -86,4 +91,33 @@ fn main() {
     let path = "mined_alpha.txt";
     std::fs::write(path, textio::to_text(&best.pruned)).expect("write alpha");
     println!("\nsaved to {path} — reload it with alphaevolve::core::textio::from_text");
+
+    // Persist the winner into the binary archive under results/: the
+    // durable, CRC-framed form that serving and later rounds consume.
+    let features = FeatureSet::paper();
+    let mut archive = AlphaArchive::new(16);
+    let outcome = archive.admit(ArchivedAlpha {
+        name: "alpha_AE_D_0".into(),
+        fingerprint: fingerprint(&best.program, evaluator.config()).0,
+        program: best.pruned.clone(),
+        ic: best.ic,
+        val_returns: best.val_returns.clone(),
+        train_days: (
+            evaluator.dataset().train_days().start as u64,
+            evaluator.dataset().train_days().end as u64,
+        ),
+        feature_set_id: feature_set_id(&features),
+    });
+    assert!(outcome.admitted(), "first alpha always admits: {outcome:?}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let archive_path = "results/mined_alphas.aev";
+    archive.save(archive_path).expect("write archive");
+    let reloaded = AlphaArchive::load(archive_path).expect("archive round-trips");
+    assert_eq!(reloaded.entries()[0].program, best.pruned);
+    assert_eq!(reloaded.entries()[0].ic.to_bits(), best.ic.to_bits());
+    println!(
+        "archived to {archive_path} ({} alpha, IC {:.6}) — reload with AlphaArchive::load",
+        reloaded.len(),
+        reloaded.entries()[0].ic
+    );
 }

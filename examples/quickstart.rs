@@ -4,6 +4,14 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Where to next: `examples/mine_alphas.rs` evolves an alpha and persists
+//! it under `results/` as a binary **alpha archive** — an `AEVS`-magic,
+//! versioned, CRC-32-framed file holding programs, fingerprints, and
+//! fitness bit-for-bit (format spec in the `alphaevolve::store` module
+//! docs). `examples/weakly_correlated_set.rs` grows a whole archive
+//! through the correlation gate, and `examples/serve_archive.rs` reloads
+//! one and batch-serves live cross-sections from it.
 
 use std::sync::Arc;
 

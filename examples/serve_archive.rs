@@ -1,0 +1,149 @@
+//! End-to-end archive serving: build a hall of fame, persist it, reload
+//! it as a serving process would, and batch-predict live cross-sections.
+//!
+//! ```sh
+//! cargo run --release --example serve_archive
+//! ```
+//!
+//! The server compiles and trains every archived program **once** at
+//! startup; each request then sweeps one day's feature panel across the
+//! whole batch per panel load, with per-worker arenas and zero heap
+//! allocations once warm. Compare the printed request latency against the
+//! naive compile-and-train-per-request number it also measures.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use alphaevolve::core::{fingerprint, init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::{feature_set_id, AlphaArchive, AlphaServer, ArchivedAlpha};
+
+fn main() {
+    let market = MarketConfig {
+        n_stocks: 120,
+        n_days: 220,
+        seed: 33,
+        ..Default::default()
+    }
+    .generate();
+    let features = FeatureSet::paper();
+    let dataset = Arc::new(
+        Dataset::build(&market, &features, SplitSpec::paper_ratios()).expect("dataset builds"),
+    );
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let evaluator = Evaluator::new(cfg, opts.clone(), Arc::clone(&dataset));
+
+    // A hall of fame of hand-built alphas (a mining run would produce
+    // these — see examples/weakly_correlated_set.rs); each is evaluated
+    // so the archive carries real fitness and gate metadata.
+    let mut archive = AlphaArchive::new(16);
+    let candidates = [
+        ("expert", init::domain_expert(&cfg)),
+        ("momentum", init::momentum(&cfg)),
+        ("reversal", init::industry_reversal(&cfg)),
+        ("nn", init::two_layer_nn(&cfg)),
+    ];
+    // Score everything, then offer candidates strongest-first: the gate
+    // keeps the best of each correlated cluster.
+    let mut scored: Vec<(&str, AlphaProgram, alphaevolve::core::Evaluation)> = candidates
+        .into_iter()
+        .map(|(name, program)| {
+            let eval = evaluator.evaluate(&program);
+            (name, program, eval)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.2.ic.total_cmp(&a.2.ic));
+    for (name, program, eval) in scored {
+        let outcome = archive.admit(ArchivedAlpha {
+            name: name.into(),
+            fingerprint: fingerprint(&program, &cfg).0,
+            program,
+            ic: eval.ic,
+            val_returns: eval.val_returns,
+            train_days: (
+                dataset.train_days().start as u64,
+                dataset.train_days().end as u64,
+            ),
+            feature_set_id: feature_set_id(&features),
+        });
+        println!("admit `{name}` (IC {:+.4}): {outcome:?}", eval.ic);
+    }
+
+    // Persist and reload — the serving process boots from the file.
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/served_archive.aev";
+    archive.save(path).expect("write archive");
+    let archive = AlphaArchive::load(path).expect("reload archive");
+    println!("\nreloaded {} alphas from {path}", archive.len());
+
+    let server = AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&dataset), &features)
+        .expect("feature recipes match");
+
+    // Serve every validation + test day through one warm arena.
+    let mut arena = server.arena();
+    let mut plane = alphaevolve::backtest::CrossSections::new(0, 0);
+    let days: Vec<usize> = dataset.valid_days().chain(dataset.test_days()).collect();
+    server.serve_day_into(&mut arena, days[0], &mut plane); // warm-up
+
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for &day in &days {
+        server.serve_day_into(&mut arena, day, &mut plane);
+        checksum += plane.row(0)[0];
+    }
+    let elapsed = start.elapsed();
+    let alpha_days = server.n_alphas() * days.len();
+    println!(
+        "\nbatched serving: {} requests × {} alphas in {elapsed:.2?} \
+         ({:.0} alpha-days/sec, checksum {checksum:.3})",
+        days.len(),
+        server.n_alphas(),
+        alpha_days as f64 / elapsed.as_secs_f64(),
+    );
+
+    // The naive baseline, answering the *same* one-day request: re-compile
+    // and re-train every program per request, then predict just that day
+    // (what a server without the archive's compiled artifacts and
+    // snapshots would do).
+    use alphaevolve::core::{compile, liveness, ColumnarInterpreter, GroupIndex};
+    use alphaevolve::market::DayMajorPanel;
+    let panel = DayMajorPanel::from_panel(dataset.panel());
+    let groups = GroupIndex::from_universe(dataset.universe());
+    let day = days[days.len() / 2];
+    let start = Instant::now();
+    let mut naive_checksum = 0.0;
+    let mut row = vec![0.0; dataset.n_stocks()];
+    for _ in 0..4 {
+        for e in archive.entries() {
+            let compiled = compile(&e.program, &cfg, dataset.n_stocks());
+            let mut interp = ColumnarInterpreter::new(&cfg, &dataset, &panel, &groups, opts.seed);
+            interp.run_setup(&compiled);
+            if liveness(&e.program).stateful {
+                for _ in 0..opts.train_epochs {
+                    for d in dataset.train_days() {
+                        interp.train_day(&compiled, d, opts.run_update);
+                    }
+                }
+            }
+            interp.predict_day(&compiled, day, &mut row);
+            naive_checksum += row[0];
+        }
+    }
+    let naive = start.elapsed() / 4;
+    println!(
+        "naive compile-train-per-request: ~{naive:.2?} per request \
+         (vs {:.2?} batched; checksum {naive_checksum:.3})",
+        elapsed / days.len() as u32
+    );
+
+    let sample = server.serve_day(days[days.len() / 2]);
+    println!("\nsample cross-section (day {}):", days[days.len() / 2]);
+    for (row, name) in server.names().enumerate() {
+        let xs = sample.row(row);
+        println!(
+            "  {name:>9}: [{:+.4} {:+.4} {:+.4} ...]",
+            xs[0], xs[1], xs[2]
+        );
+    }
+}

@@ -1,24 +1,29 @@
 //! Mine a *set* of weakly correlated alphas — the paper's headline
-//! workflow (§5.4.1).
+//! workflow (§5.4.1) — and persist it as a binary archive.
 //!
 //! ```sh
 //! cargo run --release --example weakly_correlated_set
 //! ```
 //!
-//! Three rounds of evolution; after each round the winner joins the
-//! accepted set and the 15% correlation cutoff constrains the next round.
-//! Prints the final correlation matrix of the set — every off-diagonal
-//! entry is at most the cutoff.
+//! Three rounds of evolution; after each round the winner is admitted
+//! into an [`AlphaArchive`] hall of fame, whose correlation gate (the
+//! paper's 15% cutoff) constrains the next round. The finished set is
+//! saved to `results/weakly_correlated_set.aev` (magic `AEVS`, version,
+//! CRC-32 framing — see the `alphaevolve::store` docs for the record
+//! layout), reloaded, and verified: every program, fingerprint, and
+//! fitness round-trips bit for bit, and the reloaded set's correlation
+//! matrix still respects the cutoff.
 
 use std::sync::Arc;
 
-use alphaevolve::backtest::correlation::{correlation_matrix, CorrelationGate};
+use alphaevolve::backtest::correlation::correlation_matrix;
 use alphaevolve::backtest::metrics::sharpe_ratio;
 use alphaevolve::backtest::portfolio::LongShortConfig;
 use alphaevolve::core::{
-    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+    fingerprint, init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
 };
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::{feature_set_id, AlphaArchive, ArchivedAlpha};
 
 fn main() {
     let market = MarketConfig {
@@ -28,8 +33,9 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
-        .expect("dataset builds");
+    let features = FeatureSet::paper();
+    let dataset =
+        Dataset::build(&market, &features, SplitSpec::paper_ratios()).expect("dataset builds");
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
         EvalOptions {
@@ -38,10 +44,13 @@ fn main() {
         },
         Arc::new(dataset),
     );
+    let train_days = (
+        evaluator.dataset().train_days().start as u64,
+        evaluator.dataset().train_days().end as u64,
+    );
+    let fs_id = feature_set_id(&features);
 
-    let mut gate = CorrelationGate::paper();
-    let mut set_returns: Vec<Vec<f64>> = Vec::new();
-    let mut names = Vec::new();
+    let mut archive = AlphaArchive::new(16);
 
     for round in 0..3 {
         let config = EvolutionConfig {
@@ -52,12 +61,13 @@ fn main() {
                 .unwrap_or(1),
             ..Default::default()
         };
+        // The archive's live gate constrains the search itself.
         let outcome = Evolution::new(&evaluator, config)
-            .with_gate(&gate)
+            .with_gate(archive.gate())
             .run(&init::domain_expert(evaluator.config()));
         match outcome.best {
             Some(best) => {
-                let corr = gate.max_correlation(&best.val_returns);
+                let corr = archive.gate().max_correlation(&best.val_returns);
                 println!(
                     "round {round}: IC {:.6}, val Sharpe {:.4}, max corr with set {}",
                     best.ic,
@@ -68,18 +78,47 @@ fn main() {
                         "n/a".into()
                     },
                 );
-                gate.accept(best.val_returns.clone());
-                set_returns.push(best.val_returns);
-                names.push(format!("alpha_{round}"));
+                let admitted = archive.admit(ArchivedAlpha {
+                    name: format!("alpha_{round}"),
+                    fingerprint: fingerprint(&best.program, evaluator.config()).0,
+                    program: best.pruned,
+                    ic: best.ic,
+                    val_returns: best.val_returns,
+                    train_days,
+                    feature_set_id: fs_id,
+                });
+                println!("  archive admission: {admitted:?}");
             }
             None => println!("round {round}: no alpha survived the cutoff"),
         }
     }
 
+    // Persist, reload, and verify the bitwise round trip.
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/weakly_correlated_set.aev";
+    archive.save(path).expect("write archive");
+    let reloaded = AlphaArchive::load(path).expect("archive reloads");
+    assert_eq!(reloaded.len(), archive.len());
+    for (a, b) in archive.entries().iter().zip(reloaded.entries()) {
+        assert_eq!(a.program, b.program, "program round-trip");
+        assert_eq!(a.fingerprint, b.fingerprint, "fingerprint round-trip");
+        assert_eq!(a.ic.to_bits(), b.ic.to_bits(), "fitness round-trip");
+    }
+    println!(
+        "\nsaved {} alphas to {path} and verified the bitwise reload",
+        reloaded.len()
+    );
+
     println!(
         "\ncorrelation matrix of the mined set (cutoff {}):",
-        gate.cutoff()
+        reloaded.cutoff()
     );
+    let set_returns: Vec<Vec<f64>> = reloaded
+        .entries()
+        .iter()
+        .map(|e| e.val_returns.clone())
+        .collect();
+    let names: Vec<&str> = reloaded.entries().iter().map(|e| e.name.as_str()).collect();
     let m = correlation_matrix(&set_returns);
     print!("{:>10}", "");
     for n in &names {
@@ -97,7 +136,7 @@ fn main() {
         for (j, v) in row.iter().enumerate() {
             if i != j {
                 assert!(
-                    *v <= gate.cutoff() + 1e-9,
+                    *v <= reloaded.cutoff() + 1e-9,
                     "set member pair ({i},{j}) violates the cutoff: {v}"
                 );
             }

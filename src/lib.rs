@@ -8,6 +8,8 @@
 //! * [`core`] — the alpha DSL, interpreter, pruning and evolutionary search.
 //! * [`gp`] — the genetic-algorithm baseline (`alpha_G`).
 //! * [`neural`] — the Rank_LSTM and RSR machine-learning baselines.
+//! * [`store`] — the alpha archive (binary codec, correlation-gated hall
+//!   of fame), evolution checkpoints, and the batched prediction server.
 //!
 //! See `examples/quickstart.rs` for the end-to-end happy path.
 
@@ -16,3 +18,4 @@ pub use alphaevolve_core as core;
 pub use alphaevolve_gp as gp;
 pub use alphaevolve_market as market;
 pub use alphaevolve_neural as neural;
+pub use alphaevolve_store as store;

@@ -1,0 +1,158 @@
+//! Checkpoint/resume determinism: a search run to completion in one
+//! process must produce the same best alpha — fingerprint and IC, bit for
+//! bit — as the same search checkpointed at generation N, serialized to
+//! disk through the store codec, reloaded (as a fresh process would), and
+//! resumed.
+//!
+//! The configuration is exactly the fixed-seed regression of
+//! `tests/determinism.rs`, so the resumed run must also land on the
+//! pinned pre-refactor fingerprint `0xe867dc1695a8ffb5`.
+
+use std::sync::Arc;
+
+use alphaevolve::core::fingerprint;
+use alphaevolve::core::{
+    init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::checkpoint::{load_checkpoint, save_checkpoint};
+
+/// Rebuilds the evaluator from scratch — both runs construct their own,
+/// the way a fresh resuming process would.
+fn fresh_evaluator() -> Evaluator {
+    let market = MarketConfig {
+        n_stocks: 16,
+        n_days: 140,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds)
+}
+
+fn pinned_config() -> EvolutionConfig {
+    EvolutionConfig {
+        population_size: 20,
+        tournament_size: 5,
+        budget: Budget::Searched(300),
+        seed: 7,
+        workers: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn resumed_search_reproduces_the_uninterrupted_run_bit_for_bit() {
+    // Leg 1: the uninterrupted run — which is itself checkpointed along
+    // the way, proving the snapshots perturb nothing.
+    let ev = fresh_evaluator();
+    let seed_prog = init::domain_expert(ev.config());
+    let dir = std::env::temp_dir().join(format!("aevs_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("gen_n.ckpt");
+
+    let mut n_checkpoints = 0usize;
+    let full =
+        Evolution::new(&ev, pinned_config()).run_with_checkpoints(&seed_prog, 60, &mut |ckpt| {
+            n_checkpoints += 1;
+            // Persist the mid-run snapshot (~generation 120 of 300).
+            if ckpt.stats.searched <= 150 {
+                save_checkpoint(&ckpt_path, &ckpt).unwrap();
+            }
+        });
+    assert!(
+        n_checkpoints >= 3,
+        "expected several checkpoints, got {n_checkpoints}"
+    );
+    let full_best = full.best.as_ref().expect("fixed-seed run finds an alpha");
+    let (full_fp, _) = fingerprint(&full_best.program, ev.config());
+
+    // The checkpointed run must equal the plain run (snapshots are free).
+    let plain = Evolution::new(&ev, pinned_config()).run(&seed_prog);
+    let plain_best = plain.best.as_ref().unwrap();
+    assert_eq!(plain.stats, full.stats, "checkpointing perturbed the run");
+    assert_eq!(plain_best.ic.to_bits(), full_best.ic.to_bits());
+
+    // Leg 2: a "fresh process" — new evaluator, checkpoint loaded from
+    // disk through the codec — resumes to the same budget.
+    let ckpt = load_checkpoint(&ckpt_path).unwrap();
+    assert!(ckpt.stats.searched > 0 && ckpt.stats.searched <= 150);
+    let ev2 = fresh_evaluator();
+    let resumed = Evolution::new(&ev2, pinned_config()).resume(&ckpt);
+    let resumed_best = resumed.best.as_ref().expect("resumed run finds an alpha");
+    let (resumed_fp, _) = fingerprint(&resumed_best.program, ev2.config());
+
+    assert_eq!(
+        resumed_fp, full_fp,
+        "resumed best-alpha fingerprint diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        resumed_best.ic.to_bits(),
+        full_best.ic.to_bits(),
+        "resumed best IC diverged: {} vs {}",
+        resumed_best.ic,
+        full_best.ic
+    );
+    assert_eq!(resumed.stats, full.stats, "search counters diverged");
+    assert_eq!(
+        resumed.trajectory.len(),
+        full.trajectory.len(),
+        "trajectory shape diverged"
+    );
+
+    // And the whole family must still hit the pre-refactor pin where the
+    // platform guarantees bitwise libm reproducibility (see
+    // tests/determinism.rs for why this is gated).
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        assert_eq!(
+            full_fp, 0xe867dc1695a8ffb5,
+            "uninterrupted run lost the pin"
+        );
+        assert_eq!(resumed_fp, 0xe867dc1695a8ffb5, "resumed run lost the pin");
+        assert_eq!(resumed_best.ic, 0.21213852898918362);
+        assert_eq!(resumed.stats.evaluated, 92);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chained_resume_from_a_late_checkpoint_also_reproduces() {
+    // Resume-of-a-resume: checkpoint the resumed leg again and finish from
+    // there — three processes, one deterministic search.
+    let ev = fresh_evaluator();
+    let seed_prog = init::domain_expert(ev.config());
+    let full = Evolution::new(&ev, pinned_config()).run(&seed_prog);
+    let full_best = full.best.as_ref().unwrap();
+
+    let mut first_ckpt = None;
+    let _ = Evolution::new(&ev, pinned_config()).run_with_checkpoints(&seed_prog, 80, &mut |c| {
+        if first_ckpt.is_none() {
+            first_ckpt = Some(c);
+        }
+    });
+    let first_ckpt = first_ckpt.expect("a checkpoint fired");
+
+    let mut late_ckpt = None;
+    let mid =
+        Evolution::new(&ev, pinned_config())
+            .resume_with_checkpoints(&first_ckpt, 70, &mut |c| late_ckpt = Some(c));
+    let late_ckpt = late_ckpt.expect("the resumed leg checkpointed too");
+    assert!(late_ckpt.stats.searched > first_ckpt.stats.searched);
+
+    // Round-trip the late checkpoint through bytes (as a file would).
+    let late_ckpt = alphaevolve::store::checkpoint::checkpoint_from_bytes(
+        &alphaevolve::store::checkpoint::checkpoint_to_bytes(&late_ckpt),
+    )
+    .unwrap();
+    let last = Evolution::new(&fresh_evaluator(), pinned_config()).resume(&late_ckpt);
+
+    assert_eq!(mid.stats, full.stats);
+    assert_eq!(last.stats, full.stats);
+    assert_eq!(
+        last.best.as_ref().unwrap().ic.to_bits(),
+        full_best.ic.to_bits()
+    );
+}

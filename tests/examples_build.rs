@@ -1,7 +1,8 @@
-//! Smoke test against example drift: all four examples (`quickstart`,
-//! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`) must keep
-//! compiling against the current API. Examples are not built by a plain
-//! `cargo test`, so without this check they rot silently.
+//! Smoke test against example drift: all five examples (`quickstart`,
+//! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`,
+//! `serve_archive`) must keep compiling against the current API.
+//! Examples are not built by a plain `cargo test`, so without this check
+//! they rot silently.
 
 use std::process::Command;
 
@@ -19,13 +20,14 @@ fn all_examples_build() {
 }
 
 #[test]
-fn all_four_examples_exist() {
+fn all_five_examples_exist() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
     for name in [
         "quickstart",
         "mine_alphas",
         "portfolio_backtest",
         "weakly_correlated_set",
+        "serve_archive",
     ] {
         assert!(
             dir.join(format!("{name}.rs")).is_file(),

@@ -15,8 +15,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use alphaevolve::backtest::CrossSections;
 use alphaevolve::core::{init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, Instruction, Op};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::AlphaServer;
 
 struct CountingAlloc;
 
@@ -140,4 +142,41 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
     }
     let after = allocations();
     assert_eq!(after - before, 0, "killed candidates must not allocate");
+
+    // Phase 3: the serving path. Build an AlphaServer over the same mix
+    // of program shapes (compile + train + snapshot happen here, off the
+    // hot path), warm one arena and one output plane, then require that a
+    // served prediction request — one day × the full archive — performs
+    // zero heap allocations.
+    let server = AlphaServer::new(
+        AlphaConfig::default(),
+        &EvalOptions::default(),
+        Arc::clone(&ds),
+        progs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("alpha_{i}"), p.clone()))
+            .collect(),
+    );
+    let mut serve_arena = server.arena();
+    let mut plane = CrossSections::new(0, 0);
+    let days: Vec<usize> = ds.valid_days().chain(ds.test_days()).take(6).collect();
+    // Warm-up request: the plane grows to its high-water mark.
+    server.serve_day_into(&mut serve_arena, days[0], &mut plane);
+
+    let before = allocations();
+    let mut served_checksum = 0.0;
+    for &day in &days {
+        server.serve_day_into(&mut serve_arena, day, &mut plane);
+        served_checksum += plane.row(0)[0] + plane.row(server.n_alphas() - 1)[1];
+    }
+    let after = allocations();
+    assert!(served_checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "serving allocated on the hot path ({} allocations over {} requests)",
+        after - before,
+        days.len()
+    );
 }

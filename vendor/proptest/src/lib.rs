@@ -7,7 +7,7 @@
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * numeric-range strategies (`0.1f64..10.0`, `1usize..=4`),
 //! * [`arbitrary::any`], [`strategy::Just`] and
-//!   [`collection::vec`](crate::collection::vec),
+//!   [`collection::vec`](crate::collection::vec()),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
 //!
 //! Each test case is seeded from a hash of the test's module path and the

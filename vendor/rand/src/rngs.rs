@@ -63,6 +63,26 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for checkpointing. Restoring it with
+    /// [`SmallRng::from_state`] resumes the stream at exactly this point.
+    ///
+    /// (Real `rand` offers this via serde on the rng core; this shim is
+    /// offline, so the state words are exposed directly.)
+    pub fn state(&self) -> [u64; 4] {
+        self.0.s
+    }
+
+    /// Rebuilds a generator from a captured [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> SmallRng {
+        // The all-zero state is a fixed point of xoshiro; it cannot be
+        // produced by seeding or stepping, so reject it rather than build
+        // a generator that emits zeros forever.
+        assert!(s != [0; 4], "all-zero xoshiro state is invalid");
+        SmallRng(Xoshiro256 { s })
+    }
+}
+
 impl RngCore for SmallRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
