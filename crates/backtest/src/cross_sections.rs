@@ -124,6 +124,41 @@ impl CrossSections {
         self.valid[day] = false;
     }
 
+    /// Sets one day's validity flag explicitly (the wire decoder restores
+    /// masks carried in a predictions frame with this).
+    pub fn set_day_validity(&mut self, day: usize, valid: bool) {
+        self.valid[day] = valid;
+    }
+
+    /// The per-day validity mask, day-major — the export side of the wire
+    /// protocol's predictions frame.
+    pub fn validity(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// Copies every row (and its validity flag) of `src` into `self`
+    /// starting at row `first_row`. This is the serving router's merge
+    /// primitive: per-shard prediction blocks concatenate into one panel
+    /// without intermediate allocations.
+    ///
+    /// # Panics
+    /// If the stock counts differ or `src` does not fit at `first_row`.
+    pub fn copy_rows_from(&mut self, first_row: usize, src: &CrossSections) {
+        assert_eq!(
+            self.n_stocks, src.n_stocks,
+            "row widths must match to merge blocks"
+        );
+        assert!(
+            first_row + src.n_days <= self.n_days,
+            "block of {} rows does not fit at row {first_row} of {}",
+            src.n_days,
+            self.n_days
+        );
+        let k = self.n_stocks;
+        self.data[first_row * k..(first_row + src.n_days) * k].copy_from_slice(&src.data);
+        self.valid[first_row..first_row + src.n_days].copy_from_slice(&src.valid);
+    }
+
     /// Number of valid days.
     pub fn n_valid_days(&self) -> usize {
         self.valid.iter().filter(|&&v| v).count()
@@ -233,6 +268,37 @@ mod tests {
         cs.reset(5, 6);
         assert_eq!(cs.data.capacity(), cap, "regrowing within capacity");
         assert!(cs.row(4).iter().all(|&x| x == 0.0), "stale data cleared");
+    }
+
+    #[test]
+    fn copy_rows_from_merges_blocks_and_masks() {
+        let mut dst = CrossSections::new(5, 3);
+        let mut a = CrossSections::from_fn(2, 3, |d, s| (10 * d + s) as f64);
+        a.invalidate_day(1);
+        let b = CrossSections::from_fn(3, 3, |d, s| (100 * d + s) as f64);
+        dst.copy_rows_from(0, &a);
+        dst.copy_rows_from(2, &b);
+        assert_eq!(dst.row(0), a.row(0));
+        assert_eq!(dst.row(1), a.row(1));
+        assert_eq!(dst.row(4), b.row(2));
+        assert_eq!(dst.validity(), &[true, false, true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn copy_rows_from_rejects_overflow() {
+        let mut dst = CrossSections::new(2, 3);
+        let src = CrossSections::new(2, 3);
+        dst.copy_rows_from(1, &src);
+    }
+
+    #[test]
+    fn set_day_validity_round_trips() {
+        let mut cs = CrossSections::new(3, 1);
+        cs.set_day_validity(1, false);
+        assert_eq!(cs.validity(), &[true, false, true]);
+        cs.set_day_validity(1, true);
+        assert!(cs.all_days_valid());
     }
 
     #[test]

@@ -48,13 +48,25 @@ use alphaevolve_market::{Dataset, DayMajorPanel};
 
 use crate::compile::{CompiledInstr, CompiledProgram};
 use crate::config::AlphaConfig;
+#[cfg(any(test, feature = "reference-oracle"))]
 use crate::instruction::Instruction;
-use crate::memory::{MemoryBank, RegisterFile, INPUT, LABEL, PREDICTION};
-use crate::op::{execute_local, uniform_in, Op};
+#[cfg(any(test, feature = "reference-oracle"))]
+use crate::memory::MemoryBank;
+use crate::memory::{RegisterFile, INPUT, LABEL, PREDICTION};
+#[cfg(any(test, feature = "reference-oracle"))]
+use crate::op::execute_local;
+use crate::op::{uniform_in, Op};
+#[cfg(any(test, feature = "reference-oracle"))]
 use crate::program::AlphaProgram;
 use crate::relation::{demean_dense, demean_within, rank_within, GroupIndex, GroupSlices};
 
 /// Executes alpha programs over every stock of a dataset in lockstep.
+///
+/// Reference/oracle only — gated behind the default-on `reference-oracle`
+/// cargo feature so hot binaries can compile the lockstep engine (and its
+/// per-stock [`MemoryBank`] layout) out entirely with
+/// `--no-default-features`.
+#[cfg(any(test, feature = "reference-oracle"))]
 pub struct Interpreter<'a> {
     dataset: &'a Dataset,
     groups: &'a GroupIndex,
@@ -68,6 +80,7 @@ pub struct Interpreter<'a> {
     base_seed: u64,
 }
 
+#[cfg(any(test, feature = "reference-oracle"))]
 impl<'a> Interpreter<'a> {
     /// Creates an interpreter with zeroed banks.
     ///

@@ -70,8 +70,12 @@ pub use evolution::{
 };
 pub use fingerprint::fingerprint;
 pub use instruction::Instruction;
-pub use interp::{ColumnarInterpreter, Interpreter};
-pub use memory::{MemoryBank, RegisterFile};
+pub use interp::ColumnarInterpreter;
+#[cfg(any(test, feature = "reference-oracle"))]
+pub use interp::Interpreter;
+#[cfg(any(test, feature = "reference-oracle"))]
+pub use memory::MemoryBank;
+pub use memory::RegisterFile;
 pub use mutation::{MutationConfig, Mutator};
 pub use op::{Kind, Op};
 pub use program::{AlphaProgram, FunctionId};

@@ -38,7 +38,12 @@ pub const INPUT: usize = 0;
 
 /// One stock's registers: `s` scalars, `v` vectors (length `dim`,
 /// contiguous), `m` matrices (`dim × dim`, row-major, contiguous).
+///
+/// Lockstep-reference layout only — compiled out (together with the
+/// reference `Interpreter`) when the default `reference-oracle` feature
+/// is disabled.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg(any(test, feature = "reference-oracle"))]
 pub struct MemoryBank {
     /// Scalar registers.
     pub s: Vec<f64>,
@@ -49,6 +54,7 @@ pub struct MemoryBank {
     dim: usize,
 }
 
+#[cfg(any(test, feature = "reference-oracle"))]
 impl MemoryBank {
     /// All-zero bank for the given configuration.
     pub fn new(n_scalars: usize, n_vectors: usize, n_matrices: usize, dim: usize) -> MemoryBank {

@@ -26,8 +26,11 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+#[cfg(any(test, feature = "reference-oracle"))]
 use crate::instruction::Instruction;
+#[cfg(any(test, feature = "reference-oracle"))]
 use crate::memory::MemoryBank;
+#[cfg(any(test, feature = "reference-oracle"))]
 use alphaevolve_market::rngutil::normal;
 
 /// Operand kind: scalar, vector or matrix.
@@ -320,6 +323,7 @@ impl Op {
     }
 }
 
+#[cfg(any(test, feature = "reference-oracle"))]
 fn population_std(xs: &[f64]) -> f64 {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
@@ -342,8 +346,12 @@ pub(crate) fn uniform_in(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
 /// `scratch_v`/`scratch_m` must be at least `dim` / `dim²` long; they are
 /// used whenever the output register could alias an input register.
 ///
+/// Lockstep-reference kernel only — compiled out when the default
+/// `reference-oracle` feature is disabled.
+///
 /// # Panics
 /// Debug-panics on relation ops — those are handled by the interpreter.
+#[cfg(any(test, feature = "reference-oracle"))]
 pub fn execute_local(
     instr: &Instruction,
     mem: &mut MemoryBank,

@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use alphaevolve_core::fingerprint::{fingerprint, fingerprint_raw};
 use alphaevolve_core::{
     canonicalize, compile, init, prune, AlphaConfig, AlphaProgram, ColumnarInterpreter,
-    EvalOptions, Evaluator, FunctionId, GroupIndex, Instruction, Interpreter, MutationConfig,
-    Mutator, Op,
+    EvalOptions, Evaluator, FunctionId, GroupIndex, Instruction, MutationConfig, Mutator, Op,
 };
 use alphaevolve_market::{
     features::FeatureSet, generator::MarketConfig, Dataset, DayMajorPanel, SplitSpec,
@@ -122,52 +121,59 @@ fn equivalence_fixture() -> &'static (Dataset, GroupIndex, DayMajorPanel) {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Properties that drive the lockstep reference engine — compiled only
+/// when the (default-on) `reference-oracle` feature provides it.
+#[cfg(feature = "reference-oracle")]
+mod lockstep_oracle {
+    use super::*;
+    use alphaevolve_core::Interpreter;
 
-    /// The columnar interpreter is a bitwise drop-in for the lockstep
-    /// reference: over random programs spanning the full op set (relation
-    /// ops, RNG ops, extraction, and the non-finite values that unguarded
-    /// arithmetic produces), both engines emit identical prediction bits
-    /// on every day of a train + predict schedule.
-    #[test]
-    fn columnar_interpreter_matches_lockstep_bitwise(
-        seed in any::<u64>(),
-        interp_seed in any::<u64>(),
-        ns in 1usize..6,
-        np in 1usize..12,
-        nu in 1usize..8,
-    ) {
-        let cfg = AlphaConfig::default();
-        let (ds, groups, panel) = equivalence_fixture();
-        let prog = random_program(seed, ns, np, nu);
-        let compiled = compile(&prog, &cfg, ds.n_stocks());
-        let mut lock = Interpreter::new(&cfg, ds, groups, interp_seed);
-        let mut col = ColumnarInterpreter::new(&cfg, ds, panel, groups, interp_seed);
-        lock.run_setup(&prog);
-        col.run_setup(&compiled);
-        let k = ds.n_stocks();
-        let (mut a, mut b) = (vec![0.0; k], vec![0.0; k]);
-        for day in ds.train_days().take(4) {
-            lock.train_day(&prog, day, true);
-            col.train_day(&compiled, day, true);
-        }
-        for day in ds.valid_days().take(4) {
-            lock.predict_day(&prog, day, &mut a);
-            col.predict_day(&compiled, day, &mut b);
-            for (s, (x, y)) in a.iter().zip(&b).enumerate() {
-                prop_assert_eq!(
-                    x.to_bits(),
-                    y.to_bits(),
-                    "stock {} day {}: lockstep {} vs columnar {}",
-                    s, day, x, y
-                );
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The columnar interpreter is a bitwise drop-in for the lockstep
+        /// reference: over random programs spanning the full op set (relation
+        /// ops, RNG ops, extraction, and the non-finite values that unguarded
+        /// arithmetic produces), both engines emit identical prediction bits
+        /// on every day of a train + predict schedule.
+        #[test]
+        fn columnar_interpreter_matches_lockstep_bitwise(
+            seed in any::<u64>(),
+            interp_seed in any::<u64>(),
+            ns in 1usize..6,
+            np in 1usize..12,
+            nu in 1usize..8,
+        ) {
+            let cfg = AlphaConfig::default();
+            let (ds, groups, panel) = equivalence_fixture();
+            let prog = random_program(seed, ns, np, nu);
+            let compiled = compile(&prog, &cfg, ds.n_stocks());
+            let mut lock = Interpreter::new(&cfg, ds, groups, interp_seed);
+            let mut col = ColumnarInterpreter::new(&cfg, ds, panel, groups, interp_seed);
+            lock.run_setup(&prog);
+            col.run_setup(&compiled);
+            let k = ds.n_stocks();
+            let (mut a, mut b) = (vec![0.0; k], vec![0.0; k]);
+            for day in ds.train_days().take(4) {
+                lock.train_day(&prog, day, true);
+                col.train_day(&compiled, day, true);
+            }
+            for day in ds.valid_days().take(4) {
+                lock.predict_day(&prog, day, &mut a);
+                col.predict_day(&compiled, day, &mut b);
+                for (s, (x, y)) in a.iter().zip(&b).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "stock {} day {}: lockstep {} vs columnar {}",
+                        s, day, x, y
+                    );
+                }
             }
         }
     }
-}
 
-proptest! {
+    proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Evaluating through the production pipeline (compile + columnar
@@ -204,6 +210,7 @@ proptest! {
             all_finite,
             "validity verdict diverged between engines"
         );
+    }
     }
 }
 

@@ -4,6 +4,58 @@
 
 use std::fmt;
 
+/// Machine-readable reason carried by a wire `ErrorResponse` frame (and by
+/// [`StoreError::Service`] locally). The u16 value is the on-wire
+/// encoding; unknown codes decode to [`ServiceErrorCode::Internal`] so a
+/// newer server never crashes an older client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ServiceErrorCode {
+    /// The requested day (or day range) is outside the servable window.
+    DayOutOfRange = 1,
+    /// The peer violated the protocol (e.g. a response kind where a
+    /// request was expected, or a request kind in a response slot).
+    Protocol = 2,
+    /// Shard metadata disagrees (stock counts, day counts, or feature-set
+    /// ids differ across a router's replicas).
+    ShardMismatch = 3,
+    /// The service failed internally after accepting the request.
+    Internal = 4,
+    /// The answer would not fit in one wire frame (ask for a smaller day
+    /// range).
+    ResponseTooLarge = 5,
+}
+
+impl ServiceErrorCode {
+    /// The on-wire u16 encoding.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value; unknown codes collapse to `Internal`.
+    pub fn from_u16(x: u16) -> ServiceErrorCode {
+        match x {
+            1 => ServiceErrorCode::DayOutOfRange,
+            2 => ServiceErrorCode::Protocol,
+            3 => ServiceErrorCode::ShardMismatch,
+            5 => ServiceErrorCode::ResponseTooLarge,
+            _ => ServiceErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ServiceErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceErrorCode::DayOutOfRange => write!(f, "day out of range"),
+            ServiceErrorCode::Protocol => write!(f, "protocol violation"),
+            ServiceErrorCode::ShardMismatch => write!(f, "shard mismatch"),
+            ServiceErrorCode::Internal => write!(f, "internal service error"),
+            ServiceErrorCode::ResponseTooLarge => write!(f, "response too large for one frame"),
+        }
+    }
+}
+
 /// Why a store operation failed.
 #[derive(Debug)]
 pub enum StoreError {
@@ -49,6 +101,15 @@ pub enum StoreError {
         /// Human-readable description of the inconsistency.
         what: String,
     },
+    /// A serving request was refused or failed — either raised locally by
+    /// an [`AlphaService`](crate::service::AlphaService) implementation or
+    /// carried back over the wire as a typed `ErrorResponse` frame.
+    Service {
+        /// Machine-readable reason.
+        code: ServiceErrorCode,
+        /// Human-readable context (crosses the wire verbatim).
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -73,6 +134,9 @@ impl fmt::Display for StoreError {
                 "truncated: decoder needed {needed} more byte(s), {available} available"
             ),
             StoreError::Malformed { what } => write!(f, "malformed payload: {what}"),
+            StoreError::Service { code, message } => {
+                write!(f, "service error ({code}): {message}")
+            }
         }
     }
 }
@@ -82,6 +146,16 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Shorthand for a typed service refusal.
+    pub fn service(code: ServiceErrorCode, message: impl Into<String>) -> StoreError {
+        StoreError::Service {
+            code,
+            message: message.into(),
         }
     }
 }
@@ -110,5 +184,26 @@ mod tests {
         assert!(StoreError::BadMagic { found: *b"NOPE" }
             .to_string()
             .contains("AEVS"));
+        let e = StoreError::service(ServiceErrorCode::DayOutOfRange, "day 999 of 120");
+        assert!(e.to_string().contains("day out of range"));
+        assert!(e.to_string().contains("999"));
+    }
+
+    #[test]
+    fn service_codes_round_trip_and_tolerate_unknowns() {
+        for code in [
+            ServiceErrorCode::DayOutOfRange,
+            ServiceErrorCode::Protocol,
+            ServiceErrorCode::ShardMismatch,
+            ServiceErrorCode::Internal,
+            ServiceErrorCode::ResponseTooLarge,
+        ] {
+            assert_eq!(ServiceErrorCode::from_u16(code.as_u16()), code);
+        }
+        // A future server's new code must not crash an old client.
+        assert_eq!(
+            ServiceErrorCode::from_u16(0xBEEF),
+            ServiceErrorCode::Internal
+        );
     }
 }

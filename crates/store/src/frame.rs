@@ -1,4 +1,5 @@
-//! The container framing shared by every store file.
+//! The container framing shared by every store file **and** every wire
+//! message of the AEVS serving protocol.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -6,16 +7,50 @@
 //! offset  size  field
 //! 0       4     magic  = b"AEVS"
 //! 4       2     format version (currently 1)
-//! 6       2     record kind (1 = alpha archive, 2 = evolution checkpoint)
+//! 6       2     record kind (see the table below)
 //! 8       8     payload length in bytes
-//! 16      n     payload (kind-specific, see `archive` / `checkpoint`)
+//! 16      n     payload (kind-specific)
 //! 16+n    4     CRC-32 (IEEE) over bytes [0, 16+n) — header AND payload
 //! ```
 //!
+//! Record kinds:
+//!
+//! | kind | record | direction | payload spec |
+//! |------|--------|-----------|--------------|
+//! | 1 | alpha archive | file | [`archive`](crate::archive) module docs |
+//! | 2 | evolution checkpoint | file | [`checkpoint`](crate::checkpoint) module docs |
+//! | 3 | `ServeDayRequest` | wire, client → server | [`wire`](crate::wire) module docs |
+//! | 4 | `ServeRangeRequest` | wire, client → server | [`wire`](crate::wire) module docs |
+//! | 5 | `MetadataRequest` | wire, client → server | [`wire`](crate::wire) module docs |
+//! | 6 | `PredictionsResponse` | wire, server → client | [`wire`](crate::wire) module docs |
+//! | 7 | `MetadataResponse` | wire, server → client | [`wire`](crate::wire) module docs |
+//! | 8 | `ErrorResponse` | wire, server → client | [`wire`](crate::wire) module docs |
+//!
+//! Kinds 1–2 are whole files (one frame per file, trailing bytes
+//! rejected); kinds 3–8 are messages on a byte stream — the identical
+//! framing, sent back to back. A serving connection is strictly
+//! request/response: the client writes one request frame (kind 3–5), the
+//! server answers with exactly one response frame (kind 6–8).
+//!
+//! ## The wire handshake
+//!
+//! There is no separate hello message: **the handshake is
+//! `MetadataRequest` → `MetadataResponse`**. Every frame already carries
+//! the magic, the protocol version, and a CRC, so the first exchange
+//! proves (a) both ends speak AEVS, (b) the version matches (a newer
+//! peer's frame fails with [`StoreError::UnsupportedVersion`]), and (c)
+//! the link is intact. Clients (and the sharded router, once per shard)
+//! issue it on connect and cache the returned capabilities — alpha count
+//! and names, stock count, day count, feature-set id — before the first
+//! prediction request.
+//!
 //! Readers verify magic → declared length → CRC before touching the
-//! payload, so a flipped bit anywhere in the file (header included)
+//! payload, so a flipped bit anywhere in the frame (header included)
 //! surfaces as a typed [`StoreError`] and a partially-written file as
 //! [`StoreError::Truncated`] — never a panic, never a silent partial load.
+//! The corruption battery in `crates/store/tests/corruption.rs` covers
+//! wire frames with the same every-bit-flip / every-truncation rigor as
+//! the file records.
 
 use std::path::Path;
 
@@ -34,27 +69,84 @@ pub const KIND_ARCHIVE: u16 = 1;
 /// Record kind of an evolution checkpoint file.
 pub const KIND_CHECKPOINT: u16 = 2;
 
+/// Wire kind: request one day's predictions across all served alphas.
+pub const KIND_SERVE_DAY_REQUEST: u16 = 3;
+
+/// Wire kind: request a contiguous day range's predictions.
+pub const KIND_SERVE_RANGE_REQUEST: u16 = 4;
+
+/// Wire kind: request the service's capabilities (the handshake).
+pub const KIND_METADATA_REQUEST: u16 = 5;
+
+/// Wire kind: a block of predictions answering kinds 3–4.
+pub const KIND_PREDICTIONS_RESPONSE: u16 = 6;
+
+/// Wire kind: the service's capabilities, answering kind 5.
+pub const KIND_METADATA_RESPONSE: u16 = 7;
+
+/// Wire kind: a typed refusal/failure answering any request.
+pub const KIND_ERROR_RESPONSE: u16 = 8;
+
 /// Header length in bytes (magic + version + kind + payload length).
-const HEADER_LEN: usize = 16;
+pub const HEADER_LEN: usize = 16;
+
+/// Frame trailer length in bytes (the CRC-32).
+pub const TRAILER_LEN: usize = 4;
 
 /// Wraps `payload` in the magic/version/kind/CRC frame.
 pub fn frame(kind: u16, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    frame_into(kind, payload, &mut out);
+    out
+}
+
+/// [`frame`] into a caller-owned buffer (cleared first) — the wire path
+/// reuses one buffer per connection so warm messages allocate nothing.
+pub fn frame_into(kind: u16, payload: &[u8], out: &mut Vec<u8>) {
+    frame_streaming_into(out, kind, payload.len(), |b| b.extend_from_slice(payload));
+}
+
+/// The one place the frame layout is written: header, then `payload_len`
+/// payload bytes produced by `fill` directly into `out` (no intermediate
+/// payload buffer — large prediction blocks frame without a copy), then
+/// the CRC over header + payload. `out` is cleared first.
+pub(crate) fn frame_streaming_into(
+    out: &mut Vec<u8>,
+    kind: u16,
+    payload_len: usize,
+    fill: impl FnOnce(&mut Vec<u8>),
+) {
+    out.clear();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&kind.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(payload);
-    let crc = crc32(&out);
+    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    let before = out.len();
+    fill(out);
+    debug_assert_eq!(out.len() - before, payload_len, "payload length mismatch");
+    let crc = crc32(out);
     out.extend_from_slice(&crc.to_le_bytes());
-    out
 }
 
 /// Validates the frame and returns the payload slice.
 pub fn unframe(expected_kind: u16, bytes: &[u8]) -> Result<&[u8]> {
-    if bytes.len() < HEADER_LEN + 4 {
+    let (kind, payload) = unframe_any(bytes)?;
+    if kind != expected_kind {
+        return Err(StoreError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    Ok(payload)
+}
+
+/// Validates the frame and returns its kind alongside the payload slice —
+/// for stream readers that dispatch on the kind (a response may be
+/// predictions, metadata, or a typed error).
+pub fn unframe_any(bytes: &[u8]) -> Result<(u16, &[u8])> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(StoreError::Truncated {
-            needed: HEADER_LEN + 4,
+            needed: HEADER_LEN + TRAILER_LEN,
             available: bytes.len(),
         });
     }
@@ -69,7 +161,7 @@ pub fn unframe(expected_kind: u16, bytes: &[u8]) -> Result<&[u8]> {
     })?;
     let total = HEADER_LEN
         .checked_add(payload_len)
-        .and_then(|n| n.checked_add(4))
+        .and_then(|n| n.checked_add(TRAILER_LEN))
         .ok_or_else(|| StoreError::Malformed {
             what: format!("payload length {payload_len} overflows"),
         })?;
@@ -99,13 +191,7 @@ pub fn unframe(expected_kind: u16, bytes: &[u8]) -> Result<&[u8]> {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let kind = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
-    if kind != expected_kind {
-        return Err(StoreError::WrongKind {
-            expected: expected_kind,
-            found: kind,
-        });
-    }
-    Ok(&bytes[HEADER_LEN..HEADER_LEN + payload_len])
+    Ok((kind, &bytes[HEADER_LEN..HEADER_LEN + payload_len]))
 }
 
 /// Frames `payload` and writes it to `path` (via a unique temporary file
@@ -157,6 +243,24 @@ mod tests {
         let payload = b"hello alpha".to_vec();
         let framed = frame(KIND_ARCHIVE, &payload);
         assert_eq!(unframe(KIND_ARCHIVE, &framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn unframe_any_reports_the_kind() {
+        let framed = frame(KIND_SERVE_DAY_REQUEST, b"payload");
+        let (kind, payload) = unframe_any(&framed).unwrap();
+        assert_eq!(kind, KIND_SERVE_DAY_REQUEST);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn frame_into_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        frame_into(KIND_METADATA_REQUEST, b"", &mut buf);
+        assert_eq!(buf, frame(KIND_METADATA_REQUEST, b""));
+        let cap = buf.capacity();
+        frame_into(KIND_METADATA_REQUEST, b"", &mut buf);
+        assert_eq!(buf.capacity(), cap, "re-framing must not reallocate");
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //!   [`DayMajorPanel`](alphaevolve_market::DayMajorPanel) day across the
 //!   whole batch per panel load, multi-threadable over programs with
 //!   per-worker arenas. Warm requests allocate nothing.
+//! * **A transport-agnostic serving API** — the [`service::AlphaService`]
+//!   trait (serve a day, serve a range, report capabilities) implemented
+//!   by the server directly, by [`transport::ServiceClient`] over any
+//!   byte stream (in-process [`transport::Loopback`] pipes or Unix
+//!   domain sockets speaking the [`wire`] protocol: the same AEVS
+//!   magic/version/CRC frames as the files, as stream messages), and by
+//!   the [`router::ShardedRouter`], which fans a day request out to N
+//!   shard replicas and merges the blocks bit-identically to a single
+//!   server — routers are services, so fleets nest and hide behind the
+//!   same trait.
 //!
 //! Evolution checkpoints ([`checkpoint`]) make long searches durable: a
 //! run checkpointed every N generations, reloaded in a fresh process, and
@@ -34,7 +44,8 @@
 //! offset  size  field
 //! 0       4     magic  = b"AEVS"
 //! 4       2     format version, little-endian (currently 1)
-//! 6       2     record kind: 1 = alpha archive, 2 = evolution checkpoint
+//! 6       2     record kind: 1 = alpha archive, 2 = evolution checkpoint,
+//!               3–8 = wire protocol messages (see the frame module docs)
 //! 8       8     payload length n, little-endian
 //! 16      n     payload
 //! 16+n    4     CRC-32 (IEEE) over bytes [0, 16+n) — header and payload
@@ -101,11 +112,18 @@ pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod progio;
+pub mod router;
 pub mod server;
+pub mod service;
+pub mod transport;
+pub mod wire;
 
 pub use archive::{feature_set_id, AdmitOutcome, AlphaArchive, ArchivedAlpha};
 pub use checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
 };
-pub use error::{Result, StoreError};
+pub use error::{Result, ServiceErrorCode, StoreError};
+pub use router::{partition_archive, spawn_thread_shards, ShardedRouter};
 pub use server::{AlphaServer, ServeArena};
+pub use service::{AlphaService, ServerSession, ServiceMetadata};
+pub use transport::{loopback, serve_connection, serve_uds, Loopback, ServiceClient, Transport};

@@ -73,6 +73,9 @@ pub struct AlphaServer {
     groups: GroupIndex,
     seed: u64,
     programs: Vec<ServedProgram>,
+    /// Identity of the feature recipe the alphas were mined on — recorded
+    /// by [`AlphaServer::from_archive`], 0 for bare-program servers.
+    feature_set_id: u64,
 }
 
 /// Per-worker serving state: one columnar interpreter, reused across
@@ -144,6 +147,7 @@ impl AlphaServer {
             groups,
             seed: opts.seed,
             programs: served,
+            feature_set_id: 0,
         }
     }
 
@@ -171,7 +175,9 @@ impl AlphaServer {
             }
             programs.push((e.name.clone(), e.program.clone()));
         }
-        Ok(AlphaServer::new(cfg, opts, dataset, programs))
+        let mut server = AlphaServer::new(cfg, opts, dataset, programs);
+        server.feature_set_id = expected;
+        Ok(server)
     }
 
     /// Number of alphas served.
@@ -194,6 +200,18 @@ impl AlphaServer {
     /// training inputs).
     pub fn n_days(&self) -> usize {
         self.panel.n_days()
+    }
+
+    /// First servable day: earlier days lack a complete feature window.
+    pub fn min_day(&self) -> usize {
+        self.dataset.window()
+    }
+
+    /// Identity of the feature recipe behind the served alphas (see
+    /// [`feature_set_id`]; 0 when the server was built from bare
+    /// programs via [`AlphaServer::new`]).
+    pub fn feature_set_id(&self) -> u64 {
+        self.feature_set_id
     }
 
     /// Builds a per-worker serving arena (the only allocating step of the

@@ -1,0 +1,507 @@
+//! The AEVS wire protocol: serving requests and responses as framed
+//! stream messages.
+//!
+//! Every message reuses the store's file framing verbatim — magic `AEVS`,
+//! u16 version, u16 record kind, u64 payload length, payload, CRC-32 over
+//! header+payload (see [`frame`](crate::frame)) — so a wire peer gets the
+//! same corruption guarantees as a file reader: a flipped bit or a torn
+//! stream surfaces as a typed [`StoreError`], never a panic or a silent
+//! partial decode. A connection is strictly request/response; the
+//! handshake is `MetadataRequest` → `MetadataResponse` (documented in the
+//! [`frame`](crate::frame) module).
+//!
+//! ## Payload layouts (all integers little-endian, floats as raw bits)
+//!
+//! ```text
+//! ServeDayRequest      (kind 3): u64 day
+//! ServeRangeRequest    (kind 4): u64 start, u64 end            — [start, end)
+//! MetadataRequest      (kind 5): empty
+//! PredictionsResponse  (kind 6): u64 n_rows, u64 n_stocks,
+//!                                n_rows × u8 row validity (0|1),
+//!                                n_rows·n_stocks × u64 f64 bits
+//!                                (row-major over a CrossSections slice)
+//! MetadataResponse     (kind 7): u64 n_alphas, u64 n_stocks, u64 n_days,
+//!                                u64 min_day, u64 feature_set_id,
+//!                                u64 name count, names (u64 len + UTF-8)
+//! ErrorResponse        (kind 8): u16 code (see ServiceErrorCode),
+//!                                u64 len + UTF-8 message
+//! ```
+//!
+//! The encode half writes into caller-owned buffers and the decode half
+//! reads into caller-owned panels, so a warm serving connection touches
+//! the allocator zero times per request (pinned by
+//! `tests/hot_path_alloc.rs`).
+
+use std::io::{ErrorKind, Read, Write};
+
+use alphaevolve_backtest::CrossSections;
+
+use crate::codec::Reader;
+use crate::error::{Result, ServiceErrorCode, StoreError};
+use crate::frame::{
+    HEADER_LEN, KIND_METADATA_REQUEST, KIND_SERVE_DAY_REQUEST, KIND_SERVE_RANGE_REQUEST, MAGIC,
+    TRAILER_LEN,
+};
+use crate::service::ServiceMetadata;
+
+/// Upper bound on a single wire frame's payload. A corrupted length field
+/// must never make a reader buffer gigabytes before the CRC check can
+/// reject the frame. 1 GiB comfortably covers any real prediction block
+/// (a 4096-alpha × 4096-stock day is 128 MiB).
+pub const MAX_WIRE_PAYLOAD: u64 = 1 << 30;
+
+/// A decoded client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// One day across all served alphas (kind 3).
+    ServeDay {
+        /// Panel day index.
+        day: u64,
+    },
+    /// A contiguous `[start, end)` day range (kind 4).
+    ServeRange {
+        /// First day (inclusive).
+        start: u64,
+        /// One past the last day.
+        end: u64,
+    },
+    /// Capabilities handshake (kind 5).
+    Metadata,
+}
+
+use crate::frame::frame_streaming_into as frame_stream;
+
+/// Encodes a request frame into `out` (cleared first).
+pub fn encode_request(req: Request, out: &mut Vec<u8>) {
+    match req {
+        Request::ServeDay { day } => frame_stream(out, KIND_SERVE_DAY_REQUEST, 8, |b| {
+            b.extend_from_slice(&day.to_le_bytes());
+        }),
+        Request::ServeRange { start, end } => {
+            frame_stream(out, KIND_SERVE_RANGE_REQUEST, 16, |b| {
+                b.extend_from_slice(&start.to_le_bytes());
+                b.extend_from_slice(&end.to_le_bytes());
+            })
+        }
+        Request::Metadata => frame_stream(out, KIND_METADATA_REQUEST, 0, |_| {}),
+    }
+}
+
+/// Decodes a request payload for `kind` (one of the request kinds 3–5).
+pub fn decode_request(kind: u16, payload: &[u8]) -> Result<Request> {
+    let mut r = Reader::new(payload);
+    let req = match kind {
+        KIND_SERVE_DAY_REQUEST => Request::ServeDay { day: r.u64()? },
+        KIND_SERVE_RANGE_REQUEST => Request::ServeRange {
+            start: r.u64()?,
+            end: r.u64()?,
+        },
+        KIND_METADATA_REQUEST => Request::Metadata,
+        other => {
+            return Err(StoreError::service(
+                ServiceErrorCode::Protocol,
+                format!("kind {other} is not a request"),
+            ))
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Payload size of a predictions frame for a `rows × n_stocks` block —
+/// `None` when it would exceed [`MAX_WIRE_PAYLOAD`] (the server then
+/// answers with a typed [`ServiceErrorCode::ResponseTooLarge`] instead
+/// of emitting a frame its own client must reject).
+pub fn predictions_payload_len(rows: usize, n_stocks: usize) -> Option<u64> {
+    let bytes = (rows as u64)
+        .checked_mul(n_stocks as u64)?
+        .checked_mul(8)?
+        .checked_add(rows as u64)?
+        .checked_add(16)?;
+    (bytes <= MAX_WIRE_PAYLOAD).then_some(bytes)
+}
+
+/// Encodes a predictions response frame from a [`CrossSections`] block
+/// into `out` (cleared first). Allocation-free once `out` has grown to
+/// its high-water mark.
+pub fn encode_predictions(block: &CrossSections, out: &mut Vec<u8>) {
+    let (rows, k) = (block.n_days(), block.n_stocks());
+    let payload_len = 16 + rows + 8 * rows * k;
+    frame_stream(
+        out,
+        crate::frame::KIND_PREDICTIONS_RESPONSE,
+        payload_len,
+        |b| {
+            b.extend_from_slice(&(rows as u64).to_le_bytes());
+            b.extend_from_slice(&(k as u64).to_le_bytes());
+            for &valid in block.validity() {
+                b.push(u8::from(valid));
+            }
+            for &x in block.as_slice() {
+                b.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        },
+    );
+}
+
+/// Decodes a predictions payload into a caller-owned panel (reusing its
+/// buffers — allocation-free once `out` is at its high-water mark).
+/// Prediction bits round-trip exactly; row validity masks are restored.
+pub fn decode_predictions_into(payload: &[u8], out: &mut CrossSections) -> Result<()> {
+    let mut r = Reader::new(payload);
+    let rows = r.usize()?;
+    let k = r.usize()?;
+    let cells = rows.checked_mul(k).ok_or_else(|| StoreError::Malformed {
+        what: format!("{rows} × {k} prediction cells overflow"),
+    })?;
+    let needed = rows
+        .checked_add(cells.checked_mul(8).ok_or_else(|| StoreError::Malformed {
+            what: format!("{cells} prediction cells overflow"),
+        })?)
+        .ok_or_else(|| StoreError::Malformed {
+            what: format!("{rows}-row prediction block overflows"),
+        })?;
+    if needed > r.remaining() {
+        return Err(StoreError::Truncated {
+            needed,
+            available: r.remaining(),
+        });
+    }
+    out.reset(rows, k);
+    for row in 0..rows {
+        match r.u8()? {
+            0 => out.set_day_validity(row, false),
+            1 => {}
+            t => {
+                return Err(StoreError::Malformed {
+                    what: format!("validity flag {t} (want 0 or 1)"),
+                })
+            }
+        }
+    }
+    let flat = out.as_mut_slice();
+    for cell in flat.iter_mut() {
+        *cell = r.f64()?;
+    }
+    r.finish()
+}
+
+/// Encodes a metadata response frame into `out` (cleared first).
+pub fn encode_metadata(meta: &ServiceMetadata, out: &mut Vec<u8>) {
+    let names_len: usize = meta.names.iter().map(|n| 8 + n.len()).sum();
+    let payload_len = 5 * 8 + 8 + names_len;
+    frame_stream(
+        out,
+        crate::frame::KIND_METADATA_RESPONSE,
+        payload_len,
+        |b| {
+            for x in [
+                meta.n_alphas as u64,
+                meta.n_stocks as u64,
+                meta.n_days as u64,
+                meta.min_day as u64,
+                meta.feature_set_id,
+                meta.names.len() as u64,
+            ] {
+                b.extend_from_slice(&x.to_le_bytes());
+            }
+            for name in &meta.names {
+                b.extend_from_slice(&(name.len() as u64).to_le_bytes());
+                b.extend_from_slice(name.as_bytes());
+            }
+        },
+    );
+}
+
+/// Decodes a metadata response payload.
+pub fn decode_metadata(payload: &[u8]) -> Result<ServiceMetadata> {
+    let mut r = Reader::new(payload);
+    let n_alphas = r.usize()?;
+    let n_stocks = r.usize()?;
+    let n_days = r.usize()?;
+    let min_day = r.usize()?;
+    let feature_set_id = r.u64()?;
+    let n_names = r.len_prefix(8)?;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        names.push(r.str()?);
+    }
+    r.finish()?;
+    if names.len() != n_alphas {
+        return Err(StoreError::Malformed {
+            what: format!("{} names for {n_alphas} alphas", names.len()),
+        });
+    }
+    Ok(ServiceMetadata {
+        n_alphas,
+        n_stocks,
+        n_days,
+        min_day,
+        feature_set_id,
+        names,
+    })
+}
+
+/// Encodes a typed error response frame into `out` (cleared first).
+pub fn encode_error(code: ServiceErrorCode, message: &str, out: &mut Vec<u8>) {
+    frame_stream(
+        out,
+        crate::frame::KIND_ERROR_RESPONSE,
+        2 + 8 + message.len(),
+        |b| {
+            b.extend_from_slice(&code.as_u16().to_le_bytes());
+            b.extend_from_slice(&(message.len() as u64).to_le_bytes());
+            b.extend_from_slice(message.as_bytes());
+        },
+    );
+}
+
+/// Encodes any [`StoreError`] as an error response: service errors keep
+/// their code, everything else crosses as [`ServiceErrorCode::Internal`].
+pub fn encode_store_error(err: &StoreError, out: &mut Vec<u8>) {
+    match err {
+        StoreError::Service { code, message } => encode_error(*code, message, out),
+        other => encode_error(ServiceErrorCode::Internal, &other.to_string(), out),
+    }
+}
+
+/// Decodes an error response payload into the [`StoreError::Service`] it
+/// carries (or the malformed-payload error hit while decoding it).
+pub fn decode_error(payload: &[u8]) -> StoreError {
+    let mut r = Reader::new(payload);
+    let parsed = (|| -> Result<StoreError> {
+        let code = ServiceErrorCode::from_u16(r.u16()?);
+        let message = r.str()?;
+        r.finish()?;
+        Ok(StoreError::Service { code, message })
+    })();
+    match parsed {
+        Ok(e) | Err(e) => e,
+    }
+}
+
+/// Writes one encoded frame to a stream and flushes it.
+pub fn write_message(w: &mut impl Write, frame: &[u8]) -> Result<()> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one complete frame from a stream into `buf` (reused across
+/// calls), validates it (magic, bounded length, CRC, version), and
+/// returns its kind — or `None` on a clean end-of-stream *before* the
+/// first header byte. Use [`frame_payload`] to view the payload.
+///
+/// A declared payload length above [`MAX_WIRE_PAYLOAD`] is rejected
+/// before any buffering, so a corrupt length cannot stall the reader on
+/// gigabytes of input the CRC would reject anyway.
+pub fn read_message(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<Option<u16>> {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut buf[filled..HEADER_LEN]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(StoreError::Truncated {
+                    needed: HEADER_LEN,
+                    available: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if buf[..4] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: buf[..4].try_into().unwrap(),
+        });
+    }
+    let payload_len = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    if payload_len > MAX_WIRE_PAYLOAD {
+        return Err(StoreError::Malformed {
+            what: format!("wire payload of {payload_len} bytes exceeds the frame bound"),
+        });
+    }
+    let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+    buf.resize(total, 0);
+    // Manual read loop so a torn frame reports how many bytes actually
+    // arrived (read_exact would discard the count).
+    let mut filled = HEADER_LEN;
+    while filled < total {
+        match r.read(&mut buf[filled..total]) {
+            Ok(0) => {
+                return Err(StoreError::Truncated {
+                    needed: total,
+                    available: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (kind, _) = crate::frame::unframe_any(buf)?;
+    Ok(Some(kind))
+}
+
+/// The payload view of a frame read by [`read_message`].
+pub fn frame_payload(buf: &[u8]) -> &[u8] {
+    &buf[HEADER_LEN..buf.len() - TRAILER_LEN]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn requests_round_trip() {
+        let mut buf = Vec::new();
+        for req in [
+            Request::ServeDay { day: 77 },
+            Request::ServeRange { start: 5, end: 42 },
+            Request::Metadata,
+        ] {
+            encode_request(req, &mut buf);
+            let mut cursor = Cursor::new(buf.clone());
+            let kind = read_message(&mut cursor, &mut Vec::new()).unwrap().unwrap();
+            let (k2, payload) = crate::frame::unframe_any(&buf).unwrap();
+            assert_eq!(kind, k2);
+            assert_eq!(decode_request(kind, payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn predictions_round_trip_bitwise_with_masks() {
+        let mut block = CrossSections::from_fn(3, 4, |d, s| {
+            if (d, s) == (1, 2) {
+                f64::from_bits(0x7FF8_0000_0000_0ABC) // NaN payload survives
+            } else {
+                d as f64 - 0.25 * s as f64
+            }
+        });
+        block.invalidate_day(2);
+        let mut buf = Vec::new();
+        encode_predictions(&block, &mut buf);
+        let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+        assert_eq!(kind, crate::frame::KIND_PREDICTIONS_RESPONSE);
+        let mut back = CrossSections::new(0, 0);
+        decode_predictions_into(payload, &mut back).unwrap();
+        assert_eq!(back.n_days(), 3);
+        assert_eq!(back.n_stocks(), 4);
+        assert_eq!(back.validity(), block.validity());
+        for (a, b) in block.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let meta = ServiceMetadata {
+            n_alphas: 2,
+            n_stocks: 30,
+            n_days: 240,
+            min_day: 13,
+            feature_set_id: 0xFEED_BEEF_CAFE_0001,
+            names: vec!["alpha_AE_D_0".into(), "momentum".into()],
+        };
+        let mut buf = Vec::new();
+        encode_metadata(&meta, &mut buf);
+        let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+        assert_eq!(kind, crate::frame::KIND_METADATA_RESPONSE);
+        assert_eq!(decode_metadata(payload).unwrap(), meta);
+    }
+
+    #[test]
+    fn errors_round_trip_typed() {
+        let mut buf = Vec::new();
+        encode_error(ServiceErrorCode::DayOutOfRange, "day 999", &mut buf);
+        let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+        assert_eq!(kind, crate::frame::KIND_ERROR_RESPONSE);
+        match decode_error(payload) {
+            StoreError::Service { code, message } => {
+                assert_eq!(code, ServiceErrorCode::DayOutOfRange);
+                assert_eq!(message, "day 999");
+            }
+            other => panic!("expected Service, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_reader_handles_back_to_back_frames_and_eof() {
+        let mut stream = Vec::new();
+        let mut buf = Vec::new();
+        encode_request(Request::ServeDay { day: 1 }, &mut buf);
+        stream.extend_from_slice(&buf);
+        encode_request(Request::Metadata, &mut buf);
+        stream.extend_from_slice(&buf);
+        let mut cursor = Cursor::new(stream);
+        let mut read_buf = Vec::new();
+        assert_eq!(
+            read_message(&mut cursor, &mut read_buf).unwrap(),
+            Some(KIND_SERVE_DAY_REQUEST)
+        );
+        assert_eq!(
+            decode_request(KIND_SERVE_DAY_REQUEST, frame_payload(&read_buf)).unwrap(),
+            Request::ServeDay { day: 1 }
+        );
+        assert_eq!(
+            read_message(&mut cursor, &mut read_buf).unwrap(),
+            Some(KIND_METADATA_REQUEST)
+        );
+        assert_eq!(read_message(&mut cursor, &mut read_buf).unwrap(), None);
+    }
+
+    #[test]
+    fn absurd_wire_length_is_rejected_before_buffering() {
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&MAGIC);
+        evil.extend_from_slice(&crate::frame::VERSION.to_le_bytes());
+        evil.extend_from_slice(&KIND_SERVE_DAY_REQUEST.to_le_bytes());
+        evil.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let mut cursor = Cursor::new(evil);
+        match read_message(&mut cursor, &mut Vec::new()) {
+            Err(StoreError::Malformed { what }) => assert!(what.contains("bound")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_blocks_are_detected_before_encoding() {
+        assert_eq!(predictions_payload_len(3, 5), Some(16 + 3 + 8 * 15));
+        // 8 days × 4096 alphas × 4096 stocks crosses the 1 GiB bound.
+        assert!(predictions_payload_len(8 * 4096, 4096).is_none());
+        assert!(
+            predictions_payload_len(usize::MAX, 2).is_none(),
+            "cell-count overflow must read as too large, not wrap"
+        );
+    }
+
+    #[test]
+    fn torn_payload_reports_the_bytes_that_arrived() {
+        let mut buf = Vec::new();
+        encode_request(Request::ServeRange { start: 5, end: 9 }, &mut buf);
+        let cut = buf.len() - 6;
+        let mut cursor = Cursor::new(buf[..cut].to_vec());
+        match read_message(&mut cursor, &mut Vec::new()) {
+            Err(StoreError::Truncated { needed, available }) => {
+                assert_eq!(needed, buf.len());
+                assert_eq!(available, cut, "diagnostic must count arrived bytes");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_header_eof_is_truncated() {
+        let mut buf = Vec::new();
+        encode_request(Request::Metadata, &mut buf);
+        let mut cursor = Cursor::new(buf[..7].to_vec());
+        assert!(matches!(
+            read_message(&mut cursor, &mut Vec::new()),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

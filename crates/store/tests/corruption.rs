@@ -1,12 +1,15 @@
-//! Hostile-input fixtures: real archive and checkpoint files with every
+//! Hostile-input fixtures: real archive and checkpoint files — and every
+//! wire request/response frame of the serving protocol — with every
 //! single bit flipped and every prefix truncation must fail with a typed
 //! [`StoreError`] — never a panic, never a silent partial load. A second
 //! battery re-seals corrupted payloads under a *valid* CRC to exercise
 //! the decoder's own bounds checks past the checksum.
 
+use std::io::Cursor;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use alphaevolve_backtest::CrossSections;
 use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
 use alphaevolve_core::{init, AlphaConfig, Individual, SearchStats};
 use alphaevolve_store::archive::{AlphaArchive, ArchivedAlpha};
@@ -14,7 +17,12 @@ use alphaevolve_store::checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
 };
 use alphaevolve_store::codec::crc32;
-use alphaevolve_store::StoreError;
+use alphaevolve_store::service::ServiceMetadata;
+use alphaevolve_store::wire::{
+    decode_error, decode_metadata, decode_predictions_into, decode_request, encode_error,
+    encode_metadata, encode_predictions, encode_request, frame_payload, read_message, Request,
+};
+use alphaevolve_store::{ServiceErrorCode, StoreError};
 
 fn fixture_archive() -> AlphaArchive {
     let cfg = AlphaConfig::default();
@@ -186,6 +194,208 @@ fn on_disk_corruption_and_short_writes_fail_typed() {
     ));
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every wire message shape the protocol can put on a stream, encoded
+/// from realistic fixtures (NaN payloads, invalid rows, empty and
+/// non-trivial names).
+fn wire_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let mut fixtures = Vec::new();
+    let mut buf = Vec::new();
+    encode_request(Request::ServeDay { day: 37 }, &mut buf);
+    fixtures.push(("ServeDayRequest", buf.clone()));
+    encode_request(Request::ServeRange { start: 30, end: 61 }, &mut buf);
+    fixtures.push(("ServeRangeRequest", buf.clone()));
+    encode_request(Request::Metadata, &mut buf);
+    fixtures.push(("MetadataRequest", buf.clone()));
+    let mut block = CrossSections::from_fn(3, 5, |d, s| {
+        if (d, s) == (0, 1) {
+            f64::from_bits(0x7FF8_0000_0000_0123)
+        } else {
+            (d as f64).mul_add(0.125, s as f64)
+        }
+    });
+    block.invalidate_day(1);
+    encode_predictions(&block, &mut buf);
+    fixtures.push(("PredictionsResponse", buf.clone()));
+    encode_metadata(
+        &ServiceMetadata {
+            n_alphas: 2,
+            n_stocks: 5,
+            n_days: 130,
+            min_day: 13,
+            feature_set_id: 0xFEED_0001,
+            names: vec!["mined_pinned".into(), "nn".into()],
+        },
+        &mut buf,
+    );
+    fixtures.push(("MetadataResponse", buf.clone()));
+    encode_error(ServiceErrorCode::DayOutOfRange, "day 999 of 130", &mut buf);
+    fixtures.push(("ErrorResponse", buf));
+    fixtures
+}
+
+/// Fully decodes whatever arrived: the stream framing, then the
+/// kind-specific payload decoder — mirroring exactly what a serving peer
+/// does with an incoming frame.
+fn decode_wire(bytes: &[u8]) -> Result<(), StoreError> {
+    let mut cursor = Cursor::new(bytes);
+    let mut buf = Vec::new();
+    let kind = match read_message(&mut cursor, &mut buf)? {
+        None => return Ok(()),
+        Some(kind) => kind,
+    };
+    // A frame glued to trailing garbage is a stream-sync bug.
+    if cursor.position() as usize != bytes.len() {
+        return Err(StoreError::Malformed {
+            what: "trailing bytes after the frame".into(),
+        });
+    }
+    let payload = frame_payload(&buf);
+    match kind {
+        alphaevolve_store::frame::KIND_SERVE_DAY_REQUEST
+        | alphaevolve_store::frame::KIND_SERVE_RANGE_REQUEST
+        | alphaevolve_store::frame::KIND_METADATA_REQUEST => {
+            decode_request(kind, payload).map(|_| ())
+        }
+        alphaevolve_store::frame::KIND_PREDICTIONS_RESPONSE => {
+            decode_predictions_into(payload, &mut CrossSections::new(0, 0))
+        }
+        alphaevolve_store::frame::KIND_METADATA_RESPONSE => decode_metadata(payload).map(|_| ()),
+        alphaevolve_store::frame::KIND_ERROR_RESPONSE => {
+            // decode_error is total; receiving an error response is not
+            // itself a decode failure.
+            let _ = decode_error(payload);
+            Ok(())
+        }
+        other => Err(StoreError::service(
+            ServiceErrorCode::Protocol,
+            format!("unknown kind {other}"),
+        )),
+    }
+}
+
+#[test]
+fn every_bit_flip_in_every_wire_frame_fails_typed() {
+    for (name, bytes) in wire_fixtures() {
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    decode_wire(&corrupted).is_err(),
+                    "{name}: flip of byte {byte} bit {bit} decoded successfully"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_every_wire_frame_fails_typed() {
+    for (name, bytes) in wire_fixtures() {
+        // cut = 0 is a clean EOF (Ok(None)), not a torn frame — start at 1.
+        for cut in 1..bytes.len() {
+            match decode_wire(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(()) => panic!("{name}: truncation to {cut} bytes decoded successfully"),
+            }
+        }
+        assert!(
+            decode_wire(&bytes).is_ok(),
+            "{name}: pristine frame decodes"
+        );
+    }
+}
+
+#[test]
+fn resealed_wire_payload_corruption_never_panics() {
+    // Flip each payload byte under a re-sealed valid CRC: the payload
+    // decoders face the damage directly and must return, not panic.
+    for (_, bytes) in wire_fixtures() {
+        for byte in 16..bytes.len().saturating_sub(4) {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 0xA5;
+            let _ = decode_wire(&reseal(corrupted));
+        }
+    }
+}
+
+#[test]
+fn request_frame_where_a_response_is_expected_fails_typed() {
+    // A client that sent `ServeDay` and gets back a *request* frame (a
+    // confused peer echoing, or crossed streams) must surface a typed
+    // protocol error — exercised through a real client over a loopback
+    // transport, not just the decoder.
+    use alphaevolve_store::service::AlphaService;
+    use alphaevolve_store::transport::{loopback, ServiceClient};
+    use alphaevolve_store::wire::write_message;
+
+    let (client_end, mut rogue_end) = loopback();
+    let mut client = ServiceClient::new(client_end);
+    let rogue = std::thread::spawn(move || {
+        // Consume the request, then echo back a request frame.
+        let mut buf = Vec::new();
+        read_message(&mut rogue_end, &mut buf).unwrap().unwrap();
+        let mut reply = Vec::new();
+        encode_request(Request::ServeDay { day: 1 }, &mut reply);
+        write_message(&mut rogue_end, &reply).unwrap();
+        rogue_end
+    });
+    let mut out = CrossSections::new(0, 0);
+    let err = client.serve_day(40, &mut out);
+    match err {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => assert!(message.contains("kind"), "message: {message}"),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    drop(rogue.join().unwrap());
+
+    // And the mirror image: a server handed a *response* frame answers
+    // with a typed ErrorResponse before hanging up.
+    let (mut fake_client, mut server_end) = loopback();
+    let served = std::thread::spawn(move || {
+        struct Never;
+        impl AlphaService for Never {
+            fn metadata(&mut self) -> alphaevolve_store::Result<ServiceMetadata> {
+                unreachable!("no valid request ever arrives")
+            }
+            fn serve_day(
+                &mut self,
+                _: usize,
+                _: &mut CrossSections,
+            ) -> alphaevolve_store::Result<()> {
+                unreachable!()
+            }
+            fn serve_range(
+                &mut self,
+                _: std::ops::Range<usize>,
+                _: &mut CrossSections,
+            ) -> alphaevolve_store::Result<()> {
+                unreachable!()
+            }
+        }
+        alphaevolve_store::serve_connection(&mut Never, &mut server_end)
+    });
+    let mut frame = Vec::new();
+    encode_error(ServiceErrorCode::Internal, "i am a response", &mut frame);
+    write_message(&mut fake_client, &frame).unwrap();
+    let mut buf = Vec::new();
+    let kind = read_message(&mut fake_client, &mut buf).unwrap().unwrap();
+    assert_eq!(kind, alphaevolve_store::frame::KIND_ERROR_RESPONSE);
+    match decode_error(frame_payload(&buf)) {
+        StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        } => {}
+        other => panic!("expected a Protocol error response, got {other:?}"),
+    }
+    assert!(
+        served.join().unwrap().is_err(),
+        "the server closes a connection that broke the protocol"
+    );
 }
 
 #[test]

@@ -1,0 +1,348 @@
+//! The serving-API contract: any [`AlphaService`] implementation — a warm
+//! in-process session, a wire client over loopback pipes or Unix domain
+//! sockets, a sharded router over either, or a router of routers — must
+//! return predictions **bit-identical** to a direct
+//! [`AlphaServer::serve_day`] on the same archive and day, including for
+//! the fixed-seed mined alpha pinned since PR 2
+//! (fingerprint `0xe867dc1695a8ffb5` on x86-64 Linux).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use alphaevolve_backtest::CrossSections;
+use alphaevolve_core::{
+    fingerprint, init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve_store::archive::{feature_set_id, AlphaArchive, ArchivedAlpha};
+use alphaevolve_store::router::{spawn_thread_shards, ShardedRouter};
+use alphaevolve_store::server::AlphaServer;
+use alphaevolve_store::service::AlphaService;
+use alphaevolve_store::transport::{serve_uds, ServiceClient};
+use alphaevolve_store::{ServiceErrorCode, StoreError};
+
+/// Aborts the whole test process if the guarded section outlives the
+/// budget — a hung Unix-socket accept loop must fail the suite fast, not
+/// wedge CI until the job-level timeout.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(budget: Duration, what: &'static str) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let step = Duration::from_millis(200);
+            let mut waited = Duration::ZERO;
+            while waited < budget {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(step);
+                waited += step;
+            }
+            eprintln!("watchdog: `{what}` exceeded {budget:?}; aborting");
+            std::process::abort();
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The pinned-fingerprint fixture: the same fixed-seed evolution run as
+/// `tests/determinism.rs`, whose best alpha has reproduced bit-for-bit
+/// through every engine refactor since PR 2 — archived here alongside the
+/// paper initializations so the serving equivalence covers a genuinely
+/// *mined* program, not just hand-written ones.
+fn mined_archive() -> (Arc<Dataset>, FeatureSet, AlphaArchive) {
+    let market = MarketConfig {
+        n_stocks: 16,
+        n_days: 140,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let features = FeatureSet::paper();
+    let ds = Arc::new(Dataset::build(&market, &features, SplitSpec::paper_ratios()).unwrap());
+    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds.clone());
+    let outcome = Evolution::new(
+        &ev,
+        EvolutionConfig {
+            population_size: 20,
+            tournament_size: 5,
+            budget: Budget::Searched(300),
+            seed: 7,
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .run(&init::domain_expert(ev.config()));
+    let best = outcome.best.expect("fixed-seed run finds an alpha");
+    let (fp, _) = fingerprint(&best.program, ev.config());
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        assert_eq!(
+            fp, 0xe867dc1695a8ffb5,
+            "the pinned mined alpha diverged before serving was even tested"
+        );
+    }
+
+    let cfg = AlphaConfig::default();
+    let fsid = feature_set_id(&features);
+    // Cutoff 1.0: admission order (and thus row order) must be a property
+    // of this fixture, not of how correlated these particular programs
+    // happen to be.
+    let mut archive = AlphaArchive::with_cutoff(16, 1.0);
+    let mut admit = |name: &str, program: alphaevolve_core::AlphaProgram| {
+        let eval = ev.evaluate(&program);
+        let outcome = archive.admit(ArchivedAlpha {
+            name: name.into(),
+            fingerprint: fingerprint(&program, &cfg).0,
+            program,
+            ic: eval.ic,
+            val_returns: eval.val_returns,
+            train_days: (ds.train_days().start as u64, ds.train_days().end as u64),
+            feature_set_id: fsid,
+        });
+        assert!(outcome.admitted(), "fixture alpha `{name}`: {outcome:?}");
+    };
+    admit("mined_pinned", best.program.clone());
+    admit("expert", init::domain_expert(&cfg));
+    admit("momentum", init::momentum(&cfg));
+    admit("reversal", init::industry_reversal(&cfg));
+    admit("nn", init::two_layer_nn(&cfg));
+    (ds, features, archive)
+}
+
+fn assert_blocks_bit_identical(what: &str, a: &CrossSections, b: &CrossSections) {
+    assert_eq!(
+        (a.n_days(), a.n_stocks()),
+        (b.n_days(), b.n_stocks()),
+        "{what}: shape"
+    );
+    assert_eq!(a.validity(), b.validity(), "{what}: validity masks");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: cell {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn routed_predictions_equal_direct_serving_bitwise() {
+    let _watchdog = Watchdog::arm(Duration::from_secs(240), "loopback router equivalence");
+    let (ds, features, archive) = mined_archive();
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let direct =
+        AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&ds), &features).unwrap();
+
+    let days: Vec<usize> = ds.valid_days().chain(ds.test_days()).step_by(7).collect();
+    let mut reference = CrossSections::new(0, 0);
+    let mut session = direct.session();
+    let mut routed = CrossSections::new(0, 0);
+
+    for n_shards in 1..=4 {
+        let mut router =
+            ShardedRouter::over_threads(&archive, n_shards, cfg, &opts, &ds, &features).unwrap();
+        let meta = router.metadata().unwrap();
+        assert_eq!(meta.n_alphas, archive.len());
+        assert_eq!(
+            meta.names,
+            archive
+                .entries()
+                .iter()
+                .map(|e| e.name.clone())
+                .collect::<Vec<_>>(),
+            "merged row order must equal archive order"
+        );
+        assert_eq!(meta.feature_set_id, feature_set_id(&features));
+        for &day in &days {
+            session.serve_day(day, &mut reference).unwrap();
+            router.serve_day(day, &mut routed).unwrap();
+            assert_blocks_bit_identical(
+                &format!("{n_shards}-shard loopback day {day}"),
+                &reference,
+                &routed,
+            );
+        }
+        // Range requests merge day-major across shards.
+        let lo = days[0];
+        session.serve_range(lo..lo + 3, &mut reference).unwrap();
+        router.serve_range(lo..lo + 3, &mut routed).unwrap();
+        assert_blocks_bit_identical(&format!("{n_shards}-shard range"), &reference, &routed);
+    }
+}
+
+#[test]
+fn uds_daemon_round_trip_equals_direct_serving_bitwise() {
+    // Hard cap: a hung accept loop or a lost response must abort fast.
+    let _watchdog = Watchdog::arm(Duration::from_secs(240), "uds daemon round trip");
+    let (ds, features, archive) = mined_archive();
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let direct =
+        AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&ds), &features).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("aevs_uds_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for n_shards in [1usize, 3] {
+        // One daemon (listener + accept thread) per shard partition.
+        let mut clients = Vec::new();
+        for (i, part) in alphaevolve_store::partition_archive(&archive, n_shards)
+            .into_iter()
+            .enumerate()
+        {
+            let path = dir.join(format!("shard_{n_shards}_{i}.sock"));
+            let server =
+                AlphaServer::from_archive(&part, cfg, &opts, Arc::clone(&ds), &features).unwrap();
+            let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+            std::thread::spawn(move || {
+                let _ = serve_uds(listener, Arc::new(server));
+            });
+            clients.push(ServiceClient::connect(&path).unwrap());
+        }
+        let mut router = ShardedRouter::new(clients).unwrap();
+
+        let mut reference = CrossSections::new(0, 0);
+        let mut routed = CrossSections::new(0, 0);
+        let mut session = direct.session();
+        let days: Vec<usize> = ds.valid_days().chain(ds.test_days()).step_by(11).collect();
+        for &day in &days {
+            session.serve_day(day, &mut reference).unwrap();
+            router.serve_day(day, &mut routed).unwrap();
+            assert_blocks_bit_identical(
+                &format!("{n_shards}-daemon UDS day {day}"),
+                &reference,
+                &routed,
+            );
+        }
+
+        // Typed refusal crosses the socket: out-of-window day.
+        let err = router.serve_day(2, &mut routed);
+        assert!(
+            matches!(
+                err,
+                Err(StoreError::Service {
+                    code: ServiceErrorCode::DayOutOfRange,
+                    ..
+                })
+            ),
+            "expected a typed day refusal over UDS, got {err:?}"
+        );
+        // The connection survives a refused request.
+        router.serve_day(days[0], &mut routed).unwrap();
+        assert_blocks_bit_identical(
+            "post-error request",
+            &reference_for(&direct, days[0]),
+            &routed,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn reference_for(server: &AlphaServer, day: usize) -> CrossSections {
+    server.serve_day(day)
+}
+
+#[test]
+fn routers_compose_and_hide_behind_the_trait() {
+    let _watchdog = Watchdog::arm(Duration::from_secs(240), "router composition");
+    let (ds, features, archive) = mined_archive();
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let direct =
+        AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&ds), &features).unwrap();
+
+    // Split the archive in two; serve each half behind its own 2-shard
+    // router; then put a router over the two routers. Callers see one
+    // AlphaService either way.
+    let halves = alphaevolve_store::partition_archive(&archive, 2);
+    let mut sub_routers = Vec::new();
+    for half in &halves {
+        sub_routers.push(ShardedRouter::over_threads(half, 2, cfg, &opts, &ds, &features).unwrap());
+    }
+    let mut root = ShardedRouter::new(sub_routers).unwrap();
+    assert_eq!(root.n_shards(), 2);
+    let meta = root.metadata().unwrap();
+    assert_eq!(meta.n_alphas, archive.len());
+
+    let day = ds.test_days().start;
+    let mut out = CrossSections::new(0, 0);
+    root.serve_day(day, &mut out).unwrap();
+    assert_blocks_bit_identical("router-of-routers", &direct.serve_day(day), &out);
+}
+
+#[test]
+fn mismatched_shards_are_refused_at_handshake() {
+    let _watchdog = Watchdog::arm(Duration::from_secs(240), "shard mismatch handshake");
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let features = FeatureSet::paper();
+    let build = |seed: u64, n_stocks: usize| -> AlphaServer {
+        let md = MarketConfig {
+            n_stocks,
+            n_days: 120,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        let ds = Arc::new(Dataset::build(&md, &features, SplitSpec::paper_ratios()).unwrap());
+        AlphaServer::new(
+            cfg,
+            &opts,
+            ds,
+            vec![("expert".into(), init::domain_expert(&cfg))],
+        )
+    };
+    let a = build(1, 10);
+    let b = build(1, 12); // different universe width
+    let err = ShardedRouter::new(vec![a.session(), b.session()]);
+    assert!(
+        matches!(
+            err,
+            Err(StoreError::Service {
+                code: ServiceErrorCode::ShardMismatch,
+                ..
+            })
+        ),
+        "a 10-stock and a 12-stock shard must not merge"
+    );
+}
+
+#[test]
+fn prefetch_then_serve_is_transparent() {
+    let _watchdog = Watchdog::arm(Duration::from_secs(240), "prefetch transparency");
+    let (ds, features, archive) = mined_archive();
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let clients = spawn_thread_shards(&archive, 2, cfg, &opts, &ds, &features).unwrap();
+    let mut client = clients.into_iter().next().unwrap();
+    let day = ds.test_days().start;
+
+    // Plain request.
+    let mut plain = CrossSections::new(0, 0);
+    client.serve_day(day, &mut plain).unwrap();
+    // Prefetched request: same bits.
+    let mut fetched = CrossSections::new(0, 0);
+    client.prefetch_day(day).unwrap();
+    client.serve_day(day, &mut fetched).unwrap();
+    assert_blocks_bit_identical("prefetch", &plain, &fetched);
+    // Abandoned prefetch followed by a different request: the client
+    // drains the stale response and stays in lockstep.
+    client.prefetch_day(day).unwrap();
+    let meta = client.metadata().unwrap();
+    assert!(meta.n_alphas > 0);
+    client.serve_day(day + 1, &mut fetched).unwrap();
+    client.serve_day(day, &mut fetched).unwrap();
+    assert_blocks_bit_identical("post-abandoned-prefetch", &plain, &fetched);
+}

@@ -12,6 +12,7 @@
 //! the `alphaevolve::store` docs for the record layout) that reloads
 //! bit-for-bit for serving or later mining rounds.
 
+use std::error::Error;
 use std::sync::Arc;
 
 use alphaevolve::backtest::portfolio::LongShortConfig;
@@ -22,7 +23,7 @@ use alphaevolve::core::{
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 use alphaevolve::store::{feature_set_id, AlphaArchive, ArchivedAlpha};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let market = MarketConfig {
         n_stocks: 40,
         n_days: 300,
@@ -30,8 +31,7 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
-        .expect("dataset builds");
+    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())?;
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
         EvalOptions {
@@ -71,7 +71,7 @@ fn main() {
         outcome.elapsed,
     );
 
-    let best = outcome.best.expect("search found a valid alpha");
+    let best = outcome.best.ok_or("search found no valid alpha")?;
     println!(
         "\nbest alpha (effective program after pruning):\n{}",
         best.pruned
@@ -89,7 +89,7 @@ fn main() {
     println!("test Sharpe: {:.6}", report.test.sharpe);
 
     let path = "mined_alpha.txt";
-    std::fs::write(path, textio::to_text(&best.pruned)).expect("write alpha");
+    std::fs::write(path, textio::to_text(&best.pruned))?;
     println!("\nsaved to {path} — reload it with alphaevolve::core::textio::from_text");
 
     // Persist the winner into the binary archive under results/: the
@@ -109,10 +109,10 @@ fn main() {
         feature_set_id: feature_set_id(&features),
     });
     assert!(outcome.admitted(), "first alpha always admits: {outcome:?}");
-    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::create_dir_all("results")?;
     let archive_path = "results/mined_alphas.aev";
-    archive.save(archive_path).expect("write archive");
-    let reloaded = AlphaArchive::load(archive_path).expect("archive round-trips");
+    archive.save(archive_path)?;
+    let reloaded = AlphaArchive::load(archive_path)?;
     assert_eq!(reloaded.entries()[0].program, best.pruned);
     assert_eq!(reloaded.entries()[0].ic.to_bits(), best.ic.to_bits());
     println!(
@@ -120,4 +120,5 @@ fn main() {
         reloaded.len(),
         reloaded.entries()[0].ic
     );
+    Ok(())
 }

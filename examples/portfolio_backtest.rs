@@ -8,14 +8,17 @@
 //! alpha on the same market: NAV curves, Sharpe, drawdowns, and the actual
 //! positions held on the last test day.
 
+use std::error::Error;
 use std::sync::Arc;
 
 use alphaevolve::backtest::equity::{max_drawdown, nav_curve, EquityStats};
 use alphaevolve::backtest::portfolio::{positions, LongShortConfig};
-use alphaevolve::core::{init, AlphaConfig, EvalOptions, Evaluator};
-use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::core::{compile, init, AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve::market::{
+    features::FeatureSet, generator::MarketConfig, Dataset, DayMajorPanel, SplitSpec,
+};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let market = MarketConfig {
         n_stocks: 50,
         n_days: 380,
@@ -23,8 +26,7 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
-        .expect("dataset builds");
+    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())?;
     let ls = LongShortConfig::scaled(50);
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
@@ -53,19 +55,28 @@ fn main() {
         println!("  max drawdown:       {:.3}%", max_drawdown(&nav) * 100.0);
         println!(
             "  final NAV:          {:.4} over {} days",
-            nav.last().unwrap(),
+            nav.last().copied().unwrap_or(1.0),
             stats.days
         );
     }
 
-    // Show one day's books for the expert alpha.
+    // Show one day's books for the expert alpha, through the production
+    // (columnar) engine: compile once, predict the day.
     let alpha = init::domain_expert(evaluator.config());
+    let compiled = compile(&alpha, evaluator.config(), dataset.n_stocks());
     let groups = alphaevolve::core::GroupIndex::from_universe(dataset.universe());
-    let mut interp = alphaevolve::core::Interpreter::new(evaluator.config(), &dataset, &groups, 0);
-    interp.run_setup(&alpha);
+    let panel = DayMajorPanel::from_panel(dataset.panel());
+    let mut interp = alphaevolve::core::ColumnarInterpreter::new(
+        evaluator.config(),
+        &dataset,
+        &panel,
+        &groups,
+        0,
+    );
+    interp.run_setup(&compiled);
     let day = dataset.test_days().end - 1;
     let mut preds = vec![0.0; dataset.n_stocks()];
-    interp.predict_day(&alpha, day, &mut preds);
+    interp.predict_day(&compiled, day, &mut preds);
     let books = positions(&preds, &ls);
     let syms = |ix: &[usize]| {
         ix.iter()
@@ -76,4 +87,5 @@ fn main() {
     println!("\nbooks on the last test day (k={}):", ls.k_long);
     println!("  long:  {}", syms(&books.long));
     println!("  short: {}", syms(&books.short));
+    Ok(())
 }

@@ -13,13 +13,14 @@
 //! through the correlation gate, and `examples/serve_archive.rs` reloads
 //! one and batch-serves live cross-sections from it.
 
+use std::error::Error;
 use std::sync::Arc;
 
 use alphaevolve::backtest::portfolio::LongShortConfig;
 use alphaevolve::core::{init, AlphaConfig, EvalOptions, Evaluator};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // 1. A synthetic market: 50 stocks over ~1.5 trading years, with the
     //    generator's default planted predictability.
     let market = MarketConfig {
@@ -37,8 +38,7 @@ fn main() {
     );
 
     // 2. The paper's 13-feature dataset with 81/9.5/9.5% chronological splits.
-    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
-        .expect("dataset builds");
+    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())?;
     println!(
         "dataset: f={} w={} | train {} days, valid {} days, test {} days",
         dataset.n_features(),
@@ -70,4 +70,5 @@ fn main() {
     println!("test IC:          {:.6}", report.test.ic);
     println!("test Sharpe:      {:.6}", report.test.sharpe);
     println!("test day count:   {}", report.test.returns.len());
+    Ok(())
 }

@@ -1,5 +1,7 @@
-//! End-to-end archive serving: build a hall of fame, persist it, reload
-//! it as a serving process would, and batch-predict live cross-sections.
+//! End-to-end archive serving through the transport-agnostic API: build a
+//! hall of fame, persist it, reload it, and serve it — first from a warm
+//! in-process session, then from a sharded fleet behind a router — all
+//! through the same [`AlphaService`] trait.
 //!
 //! ```sh
 //! cargo run --release --example serve_archive
@@ -8,17 +10,23 @@
 //! The server compiles and trains every archived program **once** at
 //! startup; each request then sweeps one day's feature panel across the
 //! whole batch per panel load, with per-worker arenas and zero heap
-//! allocations once warm. Compare the printed request latency against the
-//! naive compile-and-train-per-request number it also measures.
+//! allocations once warm. The sharded router splits the same archive
+//! across worker threads (each behind an in-process pipe speaking the
+//! AEVS wire protocol) and returns bit-identical predictions — callers
+//! cannot tell the fleet from the single server.
 
+use std::error::Error;
 use std::sync::Arc;
 use std::time::Instant;
 
+use alphaevolve::backtest::CrossSections;
 use alphaevolve::core::{fingerprint, init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator};
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
-use alphaevolve::store::{feature_set_id, AlphaArchive, AlphaServer, ArchivedAlpha};
+use alphaevolve::store::{
+    feature_set_id, AlphaArchive, AlphaServer, AlphaService, ArchivedAlpha, ShardedRouter,
+};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let market = MarketConfig {
         n_stocks: 120,
         n_days: 220,
@@ -27,9 +35,11 @@ fn main() {
     }
     .generate();
     let features = FeatureSet::paper();
-    let dataset = Arc::new(
-        Dataset::build(&market, &features, SplitSpec::paper_ratios()).expect("dataset builds"),
-    );
+    let dataset = Arc::new(Dataset::build(
+        &market,
+        &features,
+        SplitSpec::paper_ratios(),
+    )?);
     let cfg = AlphaConfig::default();
     let opts = EvalOptions::default();
     let evaluator = Evaluator::new(cfg, opts.clone(), Arc::clone(&dataset));
@@ -71,79 +81,86 @@ fn main() {
     }
 
     // Persist and reload — the serving process boots from the file.
-    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::create_dir_all("results")?;
     let path = "results/served_archive.aev";
-    archive.save(path).expect("write archive");
-    let archive = AlphaArchive::load(path).expect("reload archive");
+    archive.save(path)?;
+    let archive = AlphaArchive::load(path)?;
     println!("\nreloaded {} alphas from {path}", archive.len());
 
-    let server = AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&dataset), &features)
-        .expect("feature recipes match");
+    let server = AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&dataset), &features)?;
 
-    // Serve every validation + test day through one warm arena.
-    let mut arena = server.arena();
-    let mut plane = alphaevolve::backtest::CrossSections::new(0, 0);
+    // A warm session is an AlphaService; so is the router below. Requests
+    // from here on go through the one trait.
+    let mut session = server.session();
+    let meta = session.metadata()?;
+    println!(
+        "service: {} alphas × {} stocks, days {}..{}, feature recipe {:#018x}",
+        meta.n_alphas, meta.n_stocks, meta.min_day, meta.n_days, meta.feature_set_id
+    );
+
+    // Serve every validation + test day through the warm session.
+    let mut plane = CrossSections::new(0, 0);
     let days: Vec<usize> = dataset.valid_days().chain(dataset.test_days()).collect();
-    server.serve_day_into(&mut arena, days[0], &mut plane); // warm-up
+    session.serve_day(days[0], &mut plane)?; // warm-up
 
     let start = Instant::now();
     let mut checksum = 0.0;
     for &day in &days {
-        server.serve_day_into(&mut arena, day, &mut plane);
+        session.serve_day(day, &mut plane)?;
         checksum += plane.row(0)[0];
     }
     let elapsed = start.elapsed();
-    let alpha_days = server.n_alphas() * days.len();
+    let alpha_days = meta.n_alphas * days.len();
     println!(
-        "\nbatched serving: {} requests × {} alphas in {elapsed:.2?} \
+        "\nwarm session: {} requests × {} alphas in {elapsed:.2?} \
          ({:.0} alpha-days/sec, checksum {checksum:.3})",
         days.len(),
-        server.n_alphas(),
+        meta.n_alphas,
         alpha_days as f64 / elapsed.as_secs_f64(),
     );
 
-    // The naive baseline, answering the *same* one-day request: re-compile
-    // and re-train every program per request, then predict just that day
-    // (what a server without the archive's compiled artifacts and
-    // snapshots would do).
-    use alphaevolve::core::{compile, liveness, ColumnarInterpreter, GroupIndex};
-    use alphaevolve::market::DayMajorPanel;
-    let panel = DayMajorPanel::from_panel(dataset.panel());
-    let groups = GroupIndex::from_universe(dataset.universe());
-    let day = days[days.len() / 2];
+    // The same archive as a 2-shard fleet: partitions served from worker
+    // threads behind in-process pipes, merged by the router — the same
+    // AlphaService, the same bits.
+    let mut router = ShardedRouter::over_threads(&archive, 2, cfg, &opts, &dataset, &features)?;
+    let mut routed = CrossSections::new(0, 0);
+    router.serve_day(days[0], &mut routed)?; // warm-up + handshake done in ctor
     let start = Instant::now();
-    let mut naive_checksum = 0.0;
-    let mut row = vec![0.0; dataset.n_stocks()];
-    for _ in 0..4 {
-        for e in archive.entries() {
-            let compiled = compile(&e.program, &cfg, dataset.n_stocks());
-            let mut interp = ColumnarInterpreter::new(&cfg, &dataset, &panel, &groups, opts.seed);
-            interp.run_setup(&compiled);
-            if liveness(&e.program).stateful {
-                for _ in 0..opts.train_epochs {
-                    for d in dataset.train_days() {
-                        interp.train_day(&compiled, d, opts.run_update);
-                    }
-                }
-            }
-            interp.predict_day(&compiled, day, &mut row);
-            naive_checksum += row[0];
-        }
+    let mut routed_checksum = 0.0;
+    for &day in &days {
+        router.serve_day(day, &mut routed)?;
+        routed_checksum += routed.row(0)[0];
     }
-    let naive = start.elapsed() / 4;
+    let routed_elapsed = start.elapsed();
     println!(
-        "naive compile-train-per-request: ~{naive:.2?} per request \
-         (vs {:.2?} batched; checksum {naive_checksum:.3})",
-        elapsed / days.len() as u32
+        "2-shard router: {} requests in {routed_elapsed:.2?} (checksum {routed_checksum:.3})",
+        days.len(),
+    );
+    // Bit-identical merge, or the router is broken.
+    session.serve_day(days[days.len() / 2], &mut plane)?;
+    router.serve_day(days[days.len() / 2], &mut routed)?;
+    assert_eq!(
+        plane.as_slice(),
+        routed.as_slice(),
+        "router must merge bit-identically"
     );
 
-    let sample = server.serve_day(days[days.len() / 2]);
-    println!("\nsample cross-section (day {}):", days[days.len() / 2]);
-    for (row, name) in server.names().enumerate() {
-        let xs = sample.row(row);
+    // A typed refusal instead of a panic: ask for a day the feature
+    // window cannot cover.
+    match session.serve_day(1, &mut plane) {
+        Err(e) => println!("\nserving day 1 refused as expected: {e}"),
+        Ok(()) => return Err("day 1 should be outside the servable window".into()),
+    }
+
+    let sample_day = days[days.len() / 2];
+    session.serve_day(sample_day, &mut plane)?;
+    println!("\nsample cross-section (day {sample_day}):");
+    for (row, name) in meta.names.iter().enumerate() {
+        let xs = plane.row(row);
         println!(
             "  {name:>9}: [{:+.4} {:+.4} {:+.4} ...]",
             xs[0], xs[1], xs[2]
         );
     }
+    Ok(())
 }

@@ -1,0 +1,140 @@
+//! A serving daemon over a Unix domain socket, and a client talking the
+//! AEVS wire protocol to it — the inter-process half of the serving API.
+//!
+//! ```sh
+//! cargo run --release --example serve_daemon
+//! ```
+//!
+//! One process plays both roles here (daemon threads + a client), but
+//! the two halves share nothing except the socket path and the dataset
+//! recipe: the daemon boots from the persisted archive file exactly as a
+//! separate process would, and every request/response crosses the socket
+//! as magic/version/CRC-framed bytes. The client performs the metadata
+//! handshake, round-trips predictions, verifies them bit-for-bit against
+//! an in-process server, and shows a typed error crossing the wire.
+
+use std::error::Error;
+use std::os::unix::net::UnixListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+use alphaevolve::backtest::CrossSections;
+use alphaevolve::core::{fingerprint, init, AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::store::{
+    feature_set_id, serve_uds, AlphaArchive, AlphaServer, AlphaService, ArchivedAlpha,
+    ServiceClient,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // -- the archive a mining run would have left on disk ---------------
+    let market = MarketConfig {
+        n_stocks: 60,
+        n_days: 200,
+        seed: 44,
+        ..Default::default()
+    }
+    .generate();
+    let features = FeatureSet::paper();
+    let dataset = Arc::new(Dataset::build(
+        &market,
+        &features,
+        SplitSpec::paper_ratios(),
+    )?);
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let evaluator = Evaluator::new(cfg, opts.clone(), Arc::clone(&dataset));
+
+    let mut archive = AlphaArchive::with_cutoff(8, 1.0);
+    for (name, program) in [
+        ("expert", init::domain_expert(&cfg)),
+        ("momentum", init::momentum(&cfg)),
+        ("nn", init::two_layer_nn(&cfg)),
+    ] {
+        let eval = evaluator.evaluate(&program);
+        archive.admit(ArchivedAlpha {
+            name: name.into(),
+            fingerprint: fingerprint(&program, &cfg).0,
+            program,
+            ic: eval.ic,
+            val_returns: eval.val_returns,
+            train_days: (
+                dataset.train_days().start as u64,
+                dataset.train_days().end as u64,
+            ),
+            feature_set_id: feature_set_id(&features),
+        });
+    }
+    std::fs::create_dir_all("results")?;
+    let archive_path = "results/daemon_archive.aev";
+    archive.save(archive_path)?;
+
+    // -- the daemon: boot from the file, listen on a socket -------------
+    let sock = std::env::temp_dir().join(format!("alphaevolve_daemon_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let listener = UnixListener::bind(&sock)?;
+    let daemon_archive = AlphaArchive::load(archive_path)?;
+    let daemon_server = Arc::new(AlphaServer::from_archive(
+        &daemon_archive,
+        cfg,
+        &opts,
+        Arc::clone(&dataset),
+        &features,
+    )?);
+    std::thread::spawn(move || serve_uds(listener, daemon_server));
+    println!("daemon listening on {}", sock.display());
+
+    // -- the client: handshake, then serve through the socket -----------
+    let mut client = ServiceClient::connect(&sock)?;
+    let meta = client.metadata()?;
+    println!(
+        "handshake: {} alphas ({}) × {} stocks, servable days {}..{}",
+        meta.n_alphas,
+        meta.names.join(", "),
+        meta.n_stocks,
+        meta.min_day,
+        meta.n_days
+    );
+
+    let days: Vec<usize> = dataset.valid_days().chain(dataset.test_days()).collect();
+    let mut remote = CrossSections::new(0, 0);
+    client.serve_day(days[0], &mut remote)?; // warm-up
+    let start = Instant::now();
+    for &day in &days {
+        client.serve_day(day, &mut remote)?;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "served {} one-day requests over the socket in {elapsed:.2?} \
+         ({:.0} alpha-days/sec)",
+        days.len(),
+        (meta.n_alphas * days.len()) as f64 / elapsed.as_secs_f64(),
+    );
+
+    // The socket must be invisible in the bits: compare against a local
+    // in-process server over the same archive.
+    let local = AlphaServer::from_archive(&archive, cfg, &opts, Arc::clone(&dataset), &features)?;
+    let mut session = local.session();
+    let mut reference = CrossSections::new(0, 0);
+    let day = days[days.len() / 2];
+    session.serve_day(day, &mut reference)?;
+    client.serve_day(day, &mut remote)?;
+    assert_eq!(
+        reference.as_slice(),
+        remote.as_slice(),
+        "socket predictions must be bit-identical to in-process serving"
+    );
+    println!("day {day}: socket bits == in-process bits ✓");
+
+    // A bad request comes back as a typed error frame, not a dead socket.
+    match client.serve_day(meta.n_days + 7, &mut remote) {
+        Err(e) => println!("out-of-window request refused over the wire: {e}"),
+        Ok(()) => return Err("an out-of-window day must be refused".into()),
+    }
+    // ... and the connection is still usable afterwards.
+    client.serve_day(day, &mut remote)?;
+    println!("connection survived the refusal and keeps serving ✓");
+
+    let _ = std::fs::remove_file(&sock);
+    Ok(())
+}

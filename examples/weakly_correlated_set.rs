@@ -14,6 +14,7 @@
 //! fitness round-trips bit for bit, and the reloaded set's correlation
 //! matrix still respects the cutoff.
 
+use std::error::Error;
 use std::sync::Arc;
 
 use alphaevolve::backtest::correlation::correlation_matrix;
@@ -25,7 +26,7 @@ use alphaevolve::core::{
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 use alphaevolve::store::{feature_set_id, AlphaArchive, ArchivedAlpha};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let market = MarketConfig {
         n_stocks: 40,
         n_days: 300,
@@ -34,8 +35,7 @@ fn main() {
     }
     .generate();
     let features = FeatureSet::paper();
-    let dataset =
-        Dataset::build(&market, &features, SplitSpec::paper_ratios()).expect("dataset builds");
+    let dataset = Dataset::build(&market, &features, SplitSpec::paper_ratios())?;
     let evaluator = Evaluator::new(
         AlphaConfig::default(),
         EvalOptions {
@@ -94,10 +94,10 @@ fn main() {
     }
 
     // Persist, reload, and verify the bitwise round trip.
-    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::create_dir_all("results")?;
     let path = "results/weakly_correlated_set.aev";
-    archive.save(path).expect("write archive");
-    let reloaded = AlphaArchive::load(path).expect("archive reloads");
+    archive.save(path)?;
+    let reloaded = AlphaArchive::load(path)?;
     assert_eq!(reloaded.len(), archive.len());
     for (a, b) in archive.entries().iter().zip(reloaded.entries()) {
         assert_eq!(a.program, b.program, "program round-trip");
@@ -143,4 +143,5 @@ fn main() {
         }
     }
     println!("\nall pairwise correlations within the cutoff — a weakly correlated set.");
+    Ok(())
 }

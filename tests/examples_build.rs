@@ -1,8 +1,8 @@
-//! Smoke test against example drift: all five examples (`quickstart`,
+//! Smoke test against example drift: all six examples (`quickstart`,
 //! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`,
-//! `serve_archive`) must keep compiling against the current API.
-//! Examples are not built by a plain `cargo test`, so without this check
-//! they rot silently.
+//! `serve_archive`, `serve_daemon`) must keep compiling against the
+//! current API. Examples are not built by a plain `cargo test`, so
+//! without this check they rot silently.
 
 use std::process::Command;
 
@@ -20,7 +20,7 @@ fn all_examples_build() {
 }
 
 #[test]
-fn all_five_examples_exist() {
+fn all_six_examples_exist() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
     for name in [
         "quickstart",
@@ -28,6 +28,7 @@ fn all_five_examples_exist() {
         "portfolio_backtest",
         "weakly_correlated_set",
         "serve_archive",
+        "serve_daemon",
     ] {
         assert!(
             dir.join(format!("{name}.rs")).is_file(),
