@@ -41,6 +41,7 @@
 //! assert!(ic > 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlation;

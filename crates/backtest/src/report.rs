@@ -65,7 +65,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

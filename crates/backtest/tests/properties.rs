@@ -15,7 +15,7 @@ proptest! {
     /// Pearson correlation is bounded, symmetric, and scale-invariant.
     #[test]
     fn pearson_properties(x in vecs(2..40), scale in 0.1f64..10.0) {
-        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        let y: Vec<f64> = x.iter().rev().copied().collect();
         let r = pearson(&x, &y);
         prop_assert!(r.abs() <= 1.0 + 1e-9);
         prop_assert!((r - pearson(&y, &x)).abs() < 1e-12, "symmetry");
@@ -133,7 +133,7 @@ mod nested_reference {
     use alphaevolve_backtest::metrics::{mean, pearson};
     use alphaevolve_backtest::portfolio::{single_day_return, LongShortConfig};
 
-    pub fn daily_ic_series(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> Vec<f64> {
+    pub(crate) fn daily_ic_series(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> Vec<f64> {
         preds
             .iter()
             .zip(rets.iter())
@@ -153,11 +153,11 @@ mod nested_reference {
             .collect()
     }
 
-    pub fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
+    pub(crate) fn information_coefficient(preds: &[Vec<f64>], rets: &[Vec<f64>]) -> f64 {
         mean(&daily_ic_series(preds, rets))
     }
 
-    pub fn long_short_returns(
+    pub(crate) fn long_short_returns(
         preds: &[Vec<f64>],
         rets: &[Vec<f64>],
         cfg: &LongShortConfig,

@@ -26,7 +26,7 @@ fn benches(c: &mut Criterion) {
     let cfg = LongShortConfig::paper();
 
     c.bench_function("backtest/long_short_116d_1026stocks", |b| {
-        b.iter(|| long_short_returns(std::hint::black_box(&preds), &rets, &cfg))
+        b.iter(|| long_short_returns(std::hint::black_box(&preds), &rets, &cfg));
     });
     c.bench_function("backtest/long_short_into_116d_1026stocks", |b| {
         let mut order = Vec::new();
@@ -38,16 +38,16 @@ fn benches(c: &mut Criterion) {
                 &cfg,
                 &mut order,
                 &mut out,
-            )
-        })
+            );
+        });
     });
     c.bench_function("backtest/ic_116d_1026stocks", |b| {
-        b.iter(|| information_coefficient(std::hint::black_box(&preds), &rets))
+        b.iter(|| information_coefficient(std::hint::black_box(&preds), &rets));
     });
 
     let returns = long_short_returns(&preds, &rets, &cfg);
     c.bench_function("backtest/sharpe_116d", |b| {
-        b.iter(|| sharpe_ratio(std::hint::black_box(&returns)))
+        b.iter(|| sharpe_ratio(std::hint::black_box(&returns)));
     });
 
     let mut gate = CorrelationGate::paper();
@@ -55,7 +55,7 @@ fn benches(c: &mut Criterion) {
         gate.accept((0..116).map(|_| rng.gen_range(-0.02..0.02)).collect());
     }
     c.bench_function("backtest/gate_check_vs_10_alphas", |b| {
-        b.iter(|| gate.passes(std::hint::black_box(&returns)))
+        b.iter(|| gate.passes(std::hint::black_box(&returns)));
     });
 }
 

@@ -19,7 +19,7 @@ fn benches(c: &mut Criterion) {
     let parent = init::two_layer_nn(&cfg);
     c.bench_function("evolution/mutate_nn_parent", |b| {
         let mut rng = SmallRng::seed_from_u64(3);
-        b.iter(|| mutator.mutate(&mut rng, std::hint::black_box(&parent)))
+        b.iter(|| mutator.mutate(&mut rng, std::hint::black_box(&parent)));
     });
 
     let evaluator = Evaluator::new(cfg, EvalOptions::default(), tiny_dataset());
@@ -31,14 +31,14 @@ fn benches(c: &mut Criterion) {
         ..Default::default()
     };
     c.bench_function("evolution/150_candidates_with_pruning", |b| {
-        b.iter(|| Evolution::new(&evaluator, econfig.clone()).run(&parent))
+        b.iter(|| Evolution::new(&evaluator, econfig.clone()).run(&parent));
     });
     c.bench_function("evolution/150_candidates_no_pruning", |b| {
         b.iter(|| {
             Evolution::new(&evaluator, econfig.clone())
                 .without_pruning()
                 .run(&parent)
-        })
+        });
     });
 
     // End-to-end search throughput vs worker count: one fixed 600-candidate

@@ -19,7 +19,7 @@ fn benches(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let tree = sampler.tree(&mut rng, 6, false);
     c.bench_function("gp/eval_tree_once", |b| {
-        b.iter(|| tree.eval(&|row, lag| std::hint::black_box((row + lag) as f64 * 0.01)))
+        b.iter(|| tree.eval(&|row, lag| std::hint::black_box((row + lag) as f64 * 0.01)));
     });
 
     let ops = GeneticOps {
@@ -31,7 +31,7 @@ fn benches(c: &mut Criterion) {
     let other = sampler.tree(&mut rng, 6, true);
     c.bench_function("gp/crossover", |b| {
         let mut rng = SmallRng::seed_from_u64(3);
-        b.iter(|| ops.crossover(&mut rng, std::hint::black_box(&tree), &other))
+        b.iter(|| ops.crossover(&mut rng, std::hint::black_box(&tree), &other));
     });
 
     let dataset = tiny_dataset();
@@ -41,7 +41,7 @@ fn benches(c: &mut Criterion) {
         ..Default::default()
     };
     c.bench_function("gp/3_generations_pop30", |b| {
-        b.iter(|| GpEngine::new(&dataset, config.clone()).run())
+        b.iter(|| GpEngine::new(&dataset, config.clone()).run());
     });
 }
 

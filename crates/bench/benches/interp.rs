@@ -23,23 +23,23 @@ fn benches(c: &mut Criterion) {
     let relational = init::industry_reversal(&cfg);
 
     c.bench_function("interp/evaluate_formulaic_alpha", |b| {
-        b.iter(|| evaluator.evaluate(std::hint::black_box(&expert)))
+        b.iter(|| evaluator.evaluate(std::hint::black_box(&expert)));
     });
     c.bench_function("interp/evaluate_formulaic_no_skip", |b| {
-        b.iter(|| evaluator.evaluate_opt(std::hint::black_box(&expert), false))
+        b.iter(|| evaluator.evaluate_opt(std::hint::black_box(&expert), false));
     });
     c.bench_function("interp/evaluate_nn_alpha_with_training", |b| {
-        b.iter(|| evaluator.evaluate(std::hint::black_box(&nn)))
+        b.iter(|| evaluator.evaluate(std::hint::black_box(&nn)));
     });
     c.bench_function("interp/full_backtest_nn", |b| {
-        b.iter(|| evaluator.backtest(std::hint::black_box(&nn)))
+        b.iter(|| evaluator.backtest(std::hint::black_box(&nn)));
     });
 
     c.bench_function("interp/compile_nn_alpha", |b| {
         let k = evaluator.dataset().n_stocks();
         let mut out = CompiledProgram::with_capacity(&cfg);
         let mut scratch = CompileScratch::default();
-        b.iter(|| compile_into(std::hint::black_box(&nn), &cfg, k, &mut scratch, &mut out))
+        b.iter(|| compile_into(std::hint::black_box(&nn), &cfg, k, &mut scratch, &mut out));
     });
 
     // One-day lockstep vs columnar on the small (24-stock) dataset.
@@ -51,14 +51,14 @@ fn benches(c: &mut Criterion) {
         let mut interp = Interpreter::new(&cfg, &dataset, &groups, 0);
         interp.run_setup(&nn);
         let mut out = vec![0.0; dataset.n_stocks()];
-        b.iter(|| interp.predict_day(std::hint::black_box(&nn), day, &mut out))
+        b.iter(|| interp.predict_day(std::hint::black_box(&nn), day, &mut out));
     });
     c.bench_function("interp/predict_one_day_columnar", |b| {
         let compiled = compile(&nn, &cfg, dataset.n_stocks());
         let mut interp = ColumnarInterpreter::new(&cfg, &dataset, &panel, &groups, 0);
         interp.run_setup(&compiled);
         let mut out = vec![0.0; dataset.n_stocks()];
-        b.iter(|| interp.predict_day(std::hint::black_box(&compiled), day, &mut out))
+        b.iter(|| interp.predict_day(std::hint::black_box(&compiled), day, &mut out));
     });
 
     // Paper-scale (1026 stocks): the per-(instruction × stock) dispatch and
@@ -74,7 +74,7 @@ fn benches(c: &mut Criterion) {
                 let mut interp = Interpreter::new(&cfg, &paper, &paper_groups, 0);
                 interp.run_setup(prog);
                 let mut out = vec![0.0; paper.n_stocks()];
-                b.iter(|| interp.predict_day(std::hint::black_box(prog), paper_day, &mut out))
+                b.iter(|| interp.predict_day(std::hint::black_box(prog), paper_day, &mut out));
             },
         );
         c.bench_function(
@@ -85,7 +85,7 @@ fn benches(c: &mut Criterion) {
                     ColumnarInterpreter::new(&cfg, &paper, &paper_panel, &paper_groups, 0);
                 interp.run_setup(&compiled);
                 let mut out = vec![0.0; paper.n_stocks()];
-                b.iter(|| interp.predict_day(std::hint::black_box(&compiled), paper_day, &mut out))
+                b.iter(|| interp.predict_day(std::hint::black_box(&compiled), paper_day, &mut out));
             },
         );
     }

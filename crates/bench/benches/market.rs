@@ -24,7 +24,7 @@ fn benches(c: &mut Criterion) {
     // normalization (the default MaxAbsTrain requires a training cutoff).
     let strict_features = FeatureSet::paper_strict();
     c.bench_function("market/features_13x100x560", |b| {
-        b.iter(|| FeaturePanel::build(std::hint::black_box(&market), &strict_features))
+        b.iter(|| FeaturePanel::build(std::hint::black_box(&market), &strict_features));
     });
     c.bench_function("market/dataset_build", |b| {
         b.iter(|| {
@@ -33,14 +33,14 @@ fn benches(c: &mut Criterion) {
                 &features,
                 SplitSpec::paper_ratios(),
             )
-        })
+        });
     });
 
     let dataset = Dataset::build(&market, &features, SplitSpec::paper_ratios()).unwrap();
     let mut x = vec![0.0; dataset.n_features() * dataset.window()];
     let day = dataset.valid_days().start;
     c.bench_function("market/fill_window_13x13", |b| {
-        b.iter(|| dataset.fill_window(std::hint::black_box(50), day, &mut x))
+        b.iter(|| dataset.fill_window(std::hint::black_box(50), day, &mut x));
     });
 }
 

@@ -27,7 +27,7 @@ fn benches(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..8).map(|t| vec![0.1 * t as f64; 4]).collect();
     c.bench_function("neural/lstm_forward_seq8_h32", |b| {
         let mut cache = LstmCache::default();
-        b.iter(|| lstm.forward(&store, std::hint::black_box(&xs), &mut cache))
+        b.iter(|| lstm.forward(&store, std::hint::black_box(&xs), &mut cache));
     });
     c.bench_function("neural/lstm_bptt_seq8_h32", |b| {
         let mut cache = LstmCache::default();
@@ -36,7 +36,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             store.zero_grads();
             lstm.backward(&mut store, &cache, std::hint::black_box(&dh));
-        })
+        });
     });
 
     let dataset = tiny_dataset();
@@ -50,7 +50,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let mut model = RankLstm::new(rl_cfg.clone());
             model.train(&dataset)
-        })
+        });
     });
     let rsr_cfg = RsrConfig {
         base: rl_cfg.clone(),
@@ -60,7 +60,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let mut model = Rsr::new(rsr_cfg.clone(), &dataset);
             model.train(&dataset)
-        })
+        });
     });
 }
 

@@ -45,8 +45,8 @@ fn bench_op(c: &mut Criterion, name: &str, instr: Instruction) {
                 &mut rng,
                 &mut sv,
                 &mut sm,
-            )
-        })
+            );
+        });
     });
 }
 
@@ -119,11 +119,11 @@ fn bench_cross_section_ops(c: &mut Criterion) {
     for (name, instr) in cases {
         let single = [instr.clone()];
         c.bench_function(&format!("op1026/{name}_lockstep"), |b| {
-            b.iter(|| lockstep.run_function(std::hint::black_box(&single)))
+            b.iter(|| lockstep.run_function(std::hint::black_box(&single)));
         });
         let lowered = [lower_instr(&instr, cfg.dim, k)];
         c.bench_function(&format!("op1026/{name}_columnar"), |b| {
-            b.iter(|| columnar.run_function(std::hint::black_box(&lowered)))
+            b.iter(|| columnar.run_function(std::hint::black_box(&lowered)));
         });
     }
 }

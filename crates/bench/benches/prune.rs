@@ -18,22 +18,22 @@ fn benches(c: &mut Criterion) {
     let big = init::random_alpha(&cfg, &mut rng, 21, 21, 45);
 
     c.bench_function("prune/nn_alpha", |b| {
-        b.iter(|| prune(std::hint::black_box(&nn)))
+        b.iter(|| prune(std::hint::black_box(&nn)));
     });
     c.bench_function("prune/max_size_random", |b| {
-        b.iter(|| prune(std::hint::black_box(&big)))
+        b.iter(|| prune(std::hint::black_box(&big)));
     });
     c.bench_function("prune/canonicalize_nn", |b| {
-        b.iter(|| canonicalize(std::hint::black_box(&nn), &cfg))
+        b.iter(|| canonicalize(std::hint::black_box(&nn), &cfg));
     });
     c.bench_function("fingerprint/full_pipeline_nn", |b| {
-        b.iter(|| fingerprint(std::hint::black_box(&nn), &cfg))
+        b.iter(|| fingerprint(std::hint::black_box(&nn), &cfg));
     });
     c.bench_function("fingerprint/full_pipeline_max_size", |b| {
-        b.iter(|| fingerprint(std::hint::black_box(&big), &cfg))
+        b.iter(|| fingerprint(std::hint::black_box(&big), &cfg));
     });
     c.bench_function("fingerprint/raw_only_max_size", |b| {
-        b.iter(|| fingerprint_raw(std::hint::black_box(&big)))
+        b.iter(|| fingerprint_raw(std::hint::black_box(&big)));
     });
 }
 

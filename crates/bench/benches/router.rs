@@ -82,7 +82,7 @@ fn bench_routing(c: &mut Criterion, label: &str, ds: &Arc<Dataset>) {
         b.iter(|| {
             session.serve_day(day, &mut out).expect("serve");
             out.row(0)[0]
-        })
+        });
     });
 
     for n_shards in [1usize, 2, 4] {
@@ -92,7 +92,7 @@ fn bench_routing(c: &mut Criterion, label: &str, ds: &Arc<Dataset>) {
             b.iter(|| {
                 router.serve_day(day, &mut out).expect("routed serve");
                 out.row(0)[0]
-            })
+            });
         });
     }
 }

@@ -108,7 +108,7 @@ fn benches(c: &mut Criterion) {
             b.iter(|| {
                 server.serve_day_into(&mut arena, std::hint::black_box(day), &mut plane);
                 plane.row(0)[0]
-            })
+            });
         });
 
         // The same request answered by re-compiling and re-training every
@@ -132,7 +132,7 @@ fn benches(c: &mut Criterion) {
                 b.iter(|| {
                     naive.compile_per_request(std::hint::black_box(day), &mut out);
                     out[0]
-                })
+                });
             },
         );
     }

@@ -58,7 +58,7 @@ fn benches(c: &mut Criterion) {
             .with_gate(&gate)
             .run();
             (ae.stats.searched, gp.stats.evaluated)
-        })
+        });
     });
 
     // Tables 2/3 + Figure 6: two accumulating-cutoff rounds (the rounds
@@ -72,7 +72,7 @@ fn benches(c: &mut Criterion) {
             }
             let r1 = mini_evolution(&evaluator, Budget::Searched(80), &gate);
             (r0.trajectory.len(), r1.trajectory.len())
-        })
+        });
     });
 
     // Table 4: parameter-updating-function ablation (same alpha scored
@@ -87,7 +87,7 @@ fn benches(c: &mut Criterion) {
             let with = evaluator.evaluate(std::hint::black_box(&nn));
             let without = ablated.evaluate(std::hint::black_box(&nn));
             (with.ic, without.ic)
-        })
+        });
     });
 
     // Table 5: one Rank_LSTM training + test sweep (the neural row).
@@ -101,7 +101,7 @@ fn benches(c: &mut Criterion) {
             });
             model.train(&dataset);
             model.predictions(&dataset, dataset.test_days())
-        })
+        });
     });
 
     // Table 6: equal-budget searched-candidate counts with and without the
@@ -125,7 +125,7 @@ fn benches(c: &mut Criterion) {
                 .without_pruning()
                 .run(&seed_prog);
             (with.stats.evaluated, without.stats.evaluated)
-        })
+        });
     });
 }
 

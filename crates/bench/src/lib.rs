@@ -5,6 +5,8 @@
 //! evaluation throughput), not paper-scale absolute numbers — those come
 //! from the `experiments` binary.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use alphaevolve_core::{AlphaConfig, EvalOptions, Evaluator};

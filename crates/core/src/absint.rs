@@ -1,0 +1,1281 @@
+//! Abstract interpretation over [`AlphaProgram`]s: a constant / interval /
+//! NaN lattice that proves semantic facts about the prediction register
+//! *without evaluating the program* (paper §4.2, Fig. 5b — extended beyond
+//! the `uses_input` check).
+//!
+//! # The lattice
+//!
+//! Each register (scalar, vector, or matrix) is summarized by one
+//! [`AbsVal`] describing **every element** the register may hold:
+//!
+//! * [`Vals`] — the numeric component. `Const(c)` means every element is
+//!   exactly the bit pattern `c` (never NaN); `Range(lo, hi)` means every
+//!   *non-NaN* element lies in `[lo, hi]` numerically (endpoints may be
+//!   `±inf`; `Range(-inf, +inf)` is the numeric top).
+//! * [`NanState`] — whether elements can be NaN: `Never`, `Maybe`, or
+//!   `Always` (every element of every stock's register is NaN).
+//! * `uniform` — every stock holds the **identical bit pattern** in this
+//!   register. Deterministic ops on bitwise-identical inputs produce
+//!   bitwise-identical outputs, so the flag propagates through every
+//!   non-stochastic op (and through `rel_demean` on the all-stocks group,
+//!   where every stock sees the same group mean).
+//! * `day_inv` — the register holds the same value at this program point
+//!   on every day (execution cycle).
+//!
+//! The join is pointwise: interval hull on `Vals` (two distinct constants
+//! widen to their hull), `Never ⊔ Always = Maybe` on [`NanState`], and
+//! logical AND on the flags. A side that is `Always`-NaN contributes no
+//! non-NaN elements, so its `Vals` component is ignored by the join.
+//!
+//! # The cycle model
+//!
+//! The interpreter's schedule (see `interp::Interpreter::train_day`) is
+//! `Setup → (load input → Predict → [load label → Update])* → Predict`:
+//! setup runs once, then each day loads the feature matrix into `m0`, runs
+//! predict, and — on training days only — loads the label into `s0` and
+//! runs update. Validation days run predict alone. The analysis mirrors
+//! this exactly:
+//!
+//! 1. Run setup's transfer functions over the all-zero initial state.
+//! 2. Iterate to a fixpoint on the *cycle entry* state: each iteration
+//!    clobbers `m0` with the feature-panel summary, runs predict, then
+//!    (with `s0` clobbered by the label summary) runs update, and joins
+//!    both exit states back into the entry. Joining the predict exit
+//!    covers validation days (no update) and the skip-update training
+//!    mode; joining the update exit covers training days.
+//! 3. After convergence, facts are read from `s1` at the predict exit.
+//!
+//! Ranges are widened to `(-inf, +inf)` once an entry register's numeric
+//! component is still changing after `WIDEN_AFTER` iterations, so the
+//! fixpoint terminates: after widening, each register can only step down
+//! the finite flag lattices. `day_inv` needs one extra rule: a recurrence
+//! such as `s2 = s2 + 1` in update is day-*variant* even though `+` on
+//! day-invariant inputs looks day-invariant, so the cycle join drops
+//! `day_inv` on any register whose joined value differs from the previous
+//! entry (the value evolves across cycles). The drop is sticky because
+//! the flag lattice only moves downward.
+//!
+//! Feature and label inputs are modeled as `Range(-f64::MAX, f64::MAX)`,
+//! never NaN, non-uniform, day-varying — the dataset builder produces
+//! finite features and labels (normalized panels / clamped returns).
+//!
+//! # Soundness notes
+//!
+//! * Interval endpoints are computed in `f64`. Rounding is monotone, so
+//!   for monotone ops (`+`, `-` endpointwise, corner products for `*`)
+//!   the computed endpoints bound every representable result.
+//! * `f64::min`/`max` are **not** NaN-strict (`min(NaN, x) = x`): an
+//!   `Always`-NaN operand makes the result exactly the other operand.
+//! * `heaviside` maps NaN to `0.0` and never produces NaN.
+//! * Reductions (`v_sum`, `v_mean`, `mat_*`, …) may overflow to `±inf`
+//!   and then cancel to NaN downstream, so a sum of `n` elements bounded
+//!   by `M` is only `Never`-NaN when the conservative bound `2·n·M` is
+//!   finite (the true partial-sum bound is `n·M·(1+ε)ⁿ < 2·n·M` for any
+//!   program-sized `n`).
+//! * Squared-sum reductions (`v_norm`, `m_norm`) cannot cancel (squares
+//!   are non-negative) and therefore never *create* NaN.
+//! * `ts_rank` compares against NaN with `<` / `==` (both false), so its
+//!   output is `below / (dim-1)`: never NaN for `dim ≥ 2`, and exactly
+//!   `0.0` when the input is all-NaN.
+//! * `rel_rank` outputs the average-rank formula `(i+j)/2/(n-1) ∈ [0,1]`
+//!   and never NaN; a cross-sectionally uniform, never-NaN input makes
+//!   every group a single tie run, which ranks exactly `0.5`.
+//!
+//! The proptest battery in `tests/static_analysis.rs` pins these claims
+//! differentially: statically rejected programs, when actually evaluated,
+//! must exhibit the predicted degeneracy.
+
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::memory::{INPUT, LABEL, PREDICTION};
+use crate::op::{Kind, Op, RelGroup};
+use crate::program::{AlphaProgram, FunctionId};
+
+/// Iterations of the cycle fixpoint before ranges are widened to top.
+const WIDEN_AFTER: usize = 8;
+
+/// Upper bound on the standard-normal magnitude produced by the
+/// Box–Muller kernel in `market::rngutil` (`u1 ∈ [2⁻⁵³, 1]` gives
+/// `|z| ≤ sqrt(2·53·ln 2) ≈ 8.58`); padded for rounding slack.
+const GAUSS_Z_BOUND: f64 = 16.0;
+
+/// Numeric component of an abstract register value.
+#[derive(Debug, Clone, Copy)]
+pub enum Vals {
+    /// Every element holds exactly this bit pattern (never NaN).
+    Const(f64),
+    /// Every non-NaN element lies in `[lo, hi]` (endpoints may be `±inf`).
+    Range(f64, f64),
+}
+
+impl Vals {
+    /// The numeric top: any non-NaN value.
+    pub const TOP: Vals = Vals::Range(f64::NEG_INFINITY, f64::INFINITY);
+
+    fn hull(self) -> (f64, f64) {
+        match self {
+            Vals::Const(c) => (c, c),
+            Vals::Range(lo, hi) => (lo, hi),
+        }
+    }
+
+    fn identical(self, other: Vals) -> bool {
+        match (self, other) {
+            (Vals::Const(a), Vals::Const(b)) => a.to_bits() == b.to_bits(),
+            (Vals::Range(a0, a1), Vals::Range(b0, b1)) => {
+                a0.to_bits() == b0.to_bits() && a1.to_bits() == b1.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Builds a range, normalizing NaN endpoints (possible when endpoint
+/// arithmetic hits `inf - inf`) to the numeric top.
+fn range(lo: f64, hi: f64) -> Vals {
+    if lo.is_nan() || hi.is_nan() {
+        Vals::TOP
+    } else {
+        Vals::Range(lo, hi)
+    }
+}
+
+/// Whether register elements can be NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NanState {
+    /// No element is ever NaN.
+    Never,
+    /// Elements may or may not be NaN.
+    Maybe,
+    /// Every element of every stock's register is NaN.
+    Always,
+}
+
+impl NanState {
+    fn join(self, other: NanState) -> NanState {
+        if self == other {
+            self
+        } else {
+            NanState::Maybe
+        }
+    }
+}
+
+/// Abstract value of one register: every element of every stock's copy of
+/// the register satisfies this summary.
+#[derive(Debug, Clone, Copy)]
+pub struct AbsVal {
+    /// Numeric component (describes the non-NaN elements).
+    pub vals: Vals,
+    /// NaN component.
+    pub nan: NanState,
+    /// Every stock holds the identical bit pattern.
+    pub uniform: bool,
+    /// Same value at this program point on every day.
+    pub day_inv: bool,
+}
+
+impl AbsVal {
+    /// The unconstrained value: anything, on any stock, any day.
+    pub fn top() -> AbsVal {
+        AbsVal {
+            vals: Vals::TOP,
+            nan: NanState::Maybe,
+            uniform: false,
+            day_inv: false,
+        }
+    }
+
+    /// The abstraction of a concrete constant filling the register: every
+    /// element, stock, and day holds exactly `c`. NaN constants become
+    /// `Always`-NaN.
+    pub fn constant(c: f64) -> AbsVal {
+        if c.is_nan() {
+            AbsVal {
+                vals: Vals::TOP,
+                nan: NanState::Always,
+                uniform: true,
+                day_inv: true,
+            }
+        } else {
+            AbsVal {
+                vals: Vals::Const(c),
+                nan: NanState::Never,
+                uniform: true,
+                day_inv: true,
+            }
+        }
+    }
+
+    /// The feature/label input model: finite, per-stock, per-day data.
+    fn input() -> AbsVal {
+        AbsVal {
+            vals: Vals::Range(-f64::MAX, f64::MAX),
+            nan: NanState::Never,
+            uniform: false,
+            day_inv: false,
+        }
+    }
+
+    /// The exact constant if this value is a known non-NaN constant.
+    pub fn as_const(&self) -> Option<f64> {
+        match (self.vals, self.nan) {
+            (Vals::Const(c), NanState::Never) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Numeric hull `(lo, hi)` of the non-NaN elements.
+    pub fn hull(&self) -> (f64, f64) {
+        self.vals.hull()
+    }
+
+    /// Whether both hull endpoints are finite.
+    pub fn bounded(&self) -> bool {
+        let (lo, hi) = self.hull();
+        lo.is_finite() && hi.is_finite()
+    }
+
+    fn may_pos_inf(&self) -> bool {
+        self.hull().1 == f64::INFINITY
+    }
+
+    fn may_neg_inf(&self) -> bool {
+        self.hull().0 == f64::NEG_INFINITY
+    }
+
+    fn may_inf(&self) -> bool {
+        self.may_pos_inf() || self.may_neg_inf()
+    }
+
+    fn may_zero(&self) -> bool {
+        let (lo, hi) = self.hull();
+        lo <= 0.0 && hi >= 0.0
+    }
+
+    fn identical(&self, other: &AbsVal) -> bool {
+        self.vals.identical(other.vals)
+            && self.nan == other.nan
+            && self.uniform == other.uniform
+            && self.day_inv == other.day_inv
+    }
+
+    /// Pointwise lattice join. An `Always`-NaN side contributes no
+    /// non-NaN elements, so its numeric component is ignored.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        let vals = if self.nan == NanState::Always {
+            other.vals
+        } else if other.nan == NanState::Always {
+            self.vals
+        } else {
+            match (self.vals, other.vals) {
+                (Vals::Const(a), Vals::Const(b)) if a.to_bits() == b.to_bits() => Vals::Const(a),
+                (a, b) => {
+                    let (al, ah) = a.hull();
+                    let (bl, bh) = b.hull();
+                    range(al.min(bl), ah.max(bh))
+                }
+            }
+        };
+        AbsVal {
+            vals,
+            nan: self.nan.join(other.nan),
+            uniform: self.uniform && other.uniform,
+            day_inv: self.day_inv && other.day_inv,
+        }
+    }
+}
+
+/// Abstract machine state: one [`AbsVal`] per register of each bank,
+/// sized by the [`AlphaConfig`].
+#[derive(Debug, Clone)]
+pub struct AbsState {
+    s: Vec<AbsVal>,
+    v: Vec<AbsVal>,
+    m: Vec<AbsVal>,
+}
+
+impl AbsState {
+    /// The interpreter's initial state: every register zero-filled.
+    pub fn zeroed(cfg: &AlphaConfig) -> AbsState {
+        AbsState {
+            s: vec![AbsVal::constant(0.0); cfg.n_scalars],
+            v: vec![AbsVal::constant(0.0); cfg.n_vectors],
+            m: vec![AbsVal::constant(0.0); cfg.n_matrices],
+        }
+    }
+
+    fn bank(&self, kind: Kind) -> &[AbsVal] {
+        match kind {
+            Kind::S => &self.s,
+            Kind::V => &self.v,
+            Kind::M => &self.m,
+        }
+    }
+
+    /// Reads a register; out-of-range indices (a structurally invalid
+    /// program) read as top, keeping the analysis total.
+    pub fn get(&self, kind: Kind, reg: u8) -> AbsVal {
+        self.bank(kind)
+            .get(reg as usize)
+            .copied()
+            .unwrap_or_else(AbsVal::top)
+    }
+
+    fn set(&mut self, kind: Kind, reg: u8, val: AbsVal) {
+        let bank = match kind {
+            Kind::S => &mut self.s,
+            Kind::V => &mut self.v,
+            Kind::M => &mut self.m,
+        };
+        if let Some(slot) = bank.get_mut(reg as usize) {
+            *slot = val;
+        }
+    }
+
+    /// Joins `exit` into this cycle-entry state. Returns whether anything
+    /// changed. `widen` promotes still-changing numeric components to
+    /// top. A register whose joined value differs from the previous entry
+    /// evolves across cycles, so its `day_inv` is dropped (see module
+    /// docs — this is what catches `s2 = s2 + 1` recurrences).
+    fn cycle_join(&mut self, exit: &AbsState, widen: bool) -> bool {
+        let mut changed = false;
+        let banks = [Kind::S, Kind::V, Kind::M];
+        for kind in banks {
+            for reg in 0..self.bank(kind).len() {
+                let entry = self.bank(kind)[reg];
+                let other = exit.bank(kind)[reg];
+                let mut j = entry.join(&other);
+                if !j.vals.identical(entry.vals) {
+                    if widen {
+                        j.vals = Vals::TOP;
+                    }
+                    j.day_inv = false;
+                }
+                if j.nan != entry.nan {
+                    j.day_inv = false;
+                }
+                if !j.identical(&entry) {
+                    match kind {
+                        Kind::S => self.s[reg] = j,
+                        Kind::V => self.v[reg] = j,
+                        Kind::M => self.m[reg] = j,
+                    }
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Facts proven about the prediction register `s1` at the predict exit.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramFacts {
+    /// Abstract value of the prediction.
+    pub prediction: AbsVal,
+    /// The prediction is NaN on every stock, every day.
+    pub always_nan: bool,
+    /// The prediction is cross-sectionally uniform (identical bits on
+    /// every stock) — zero variance, so the rank IC is undefined.
+    pub uniform: bool,
+    /// The prediction is additionally a known compile-time constant.
+    pub constant: bool,
+    /// The prediction is the same on every day (report-only: the
+    /// cross-sectional IC can still be legitimate).
+    pub day_invariant: bool,
+}
+
+/// Pre-evaluation verdict derived from [`ProgramFacts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// No proven degeneracy; the program must be evaluated.
+    Accept,
+    /// The prediction is provably NaN every day: evaluation would abort
+    /// every sweep and produce no fitness.
+    RejectAlwaysNan,
+    /// The prediction is provably cross-sectionally uniform: the IC is
+    /// degenerate (zero cross-sectional variance) on every day.
+    RejectConstant,
+}
+
+impl ProgramFacts {
+    /// The pre-evaluation verdict (paper Fig. 5b, extended).
+    pub fn verdict(&self) -> StaticVerdict {
+        if self.always_nan {
+            StaticVerdict::RejectAlwaysNan
+        } else if self.uniform {
+            StaticVerdict::RejectConstant
+        } else {
+            StaticVerdict::Accept
+        }
+    }
+}
+
+/// Result of analyzing a program: converged states at the interesting
+/// program points, plus the prediction facts.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// State after setup (cycle entry before any day ran).
+    pub setup_exit: AbsState,
+    /// Converged state at the top of predict (with `m0` loaded).
+    pub predict_entry: AbsState,
+    /// Converged state at the top of update (with `s0` loaded).
+    pub update_entry: AbsState,
+    /// Facts about the prediction register.
+    pub facts: ProgramFacts,
+}
+
+/// Runs the abstract interpretation over the full execution-cycle model
+/// and returns the converged analysis. Total on any program, including
+/// structurally invalid ones (out-of-range registers read as top).
+pub fn analyze(prog: &AlphaProgram, cfg: &AlphaConfig) -> Analysis {
+    let mut st = AbsState::zeroed(cfg);
+    exec_body(&mut st, &prog.setup, FunctionId::Setup, cfg);
+    let setup_exit = st.clone();
+
+    let mut entry = st;
+    let total_regs = cfg.n_scalars + cfg.n_vectors + cfg.n_matrices;
+    // After widening each register steps down finite lattices only, so
+    // the fixpoint converges well within this bound.
+    let max_iters = WIDEN_AFTER + 4 * total_regs + 8;
+    for iter in 0..max_iters {
+        let (pred_exit, upd_exit) = run_cycle(&entry, prog, cfg);
+        let widen = iter >= WIDEN_AFTER;
+        let c1 = entry.cycle_join(&pred_exit, widen);
+        let c2 = entry.cycle_join(&upd_exit, widen);
+        if !c1 && !c2 {
+            break;
+        }
+        debug_assert!(iter + 1 < max_iters, "absint cycle fixpoint diverged");
+    }
+
+    let mut predict_entry = entry.clone();
+    predict_entry.set(Kind::M, INPUT as u8, AbsVal::input());
+    let mut pred_exit = predict_entry.clone();
+    exec_body(&mut pred_exit, &prog.predict, FunctionId::Predict, cfg);
+    let mut update_entry = pred_exit.clone();
+    update_entry.set(Kind::S, LABEL as u8, AbsVal::input());
+
+    let prediction = pred_exit.get(Kind::S, PREDICTION as u8);
+    let facts = ProgramFacts {
+        prediction,
+        always_nan: prediction.nan == NanState::Always,
+        uniform: prediction.uniform,
+        constant: prediction.uniform && prediction.as_const().is_some(),
+        day_invariant: prediction.day_inv,
+    };
+    Analysis {
+        setup_exit,
+        predict_entry,
+        update_entry,
+        facts,
+    }
+}
+
+fn run_cycle(entry: &AbsState, prog: &AlphaProgram, cfg: &AlphaConfig) -> (AbsState, AbsState) {
+    let mut pred = entry.clone();
+    pred.set(Kind::M, INPUT as u8, AbsVal::input());
+    exec_body(&mut pred, &prog.predict, FunctionId::Predict, cfg);
+    let mut upd = pred.clone();
+    upd.set(Kind::S, LABEL as u8, AbsVal::input());
+    exec_body(&mut upd, &prog.update, FunctionId::Update, cfg);
+    (pred, upd)
+}
+
+/// Applies the transfer functions of a straight-line body in order.
+pub(crate) fn exec_body(st: &mut AbsState, body: &[Instruction], f: FunctionId, cfg: &AlphaConfig) {
+    for instr in body {
+        transfer(st, instr, f, cfg);
+    }
+}
+
+/// Applies one instruction's transfer function to the state.
+pub(crate) fn transfer(st: &mut AbsState, instr: &Instruction, f: FunctionId, cfg: &AlphaConfig) {
+    let op = instr.op;
+    if op == Op::NoOp {
+        return;
+    }
+    let kinds = op.input_kinds();
+    let a = if kinds.is_empty() {
+        AbsVal::top()
+    } else {
+        st.get(kinds[0], instr.in1)
+    };
+    let b = if kinds.len() > 1 {
+        st.get(kinds[1], instr.in2)
+    } else {
+        AbsVal::top()
+    };
+    let out = transfer_val(op, a, b, instr, f, cfg);
+    st.set(op.output_kind(), instr.out, out);
+}
+
+/// Computes the abstract output of one instruction given its abstract
+/// inputs (`b` is ignored for unary/nullary ops).
+fn transfer_val(
+    op: Op,
+    a: AbsVal,
+    b: AbsVal,
+    instr: &Instruction,
+    f: FunctionId,
+    cfg: &AlphaConfig,
+) -> AbsVal {
+    let arity = op.input_kinds().len();
+    // Default flag propagation: deterministic ops on bitwise-identical /
+    // day-invariant inputs produce bitwise-identical / day-invariant
+    // outputs. Stochastic ops draw per-stock streams (never uniform) and
+    // are day-invariant only in setup (which runs once).
+    let mut uniform = (arity < 1 || a.uniform) && (arity < 2 || b.uniform);
+    let mut day_inv = (arity < 1 || a.day_inv) && (arity < 2 || b.day_inv);
+    if op.is_stochastic() {
+        uniform = false;
+        day_inv = f == FunctionId::Setup;
+    }
+
+    // Exact constant folding: when every input element is one known
+    // constant, replicate the kernel arithmetic bit-for-bit.
+    if !op.is_stochastic() && op.relation_group().is_none() {
+        let ca = if arity >= 1 { a.as_const() } else { Some(0.0) };
+        let cb = if arity >= 2 { b.as_const() } else { Some(0.0) };
+        if let (Some(x), Some(y)) = (ca, cb) {
+            if let Some(folded) = fold_op(op, x, y, &instr.lit, cfg.dim) {
+                return AbsVal::constant(folded);
+            }
+        }
+    }
+
+    if let Some(group) = op.relation_group() {
+        return transfer_relation(op, group, a);
+    }
+
+    let (al, ah) = a.hull();
+    let (bl, bh) = b.hull();
+    let a_always = a.nan == NanState::Always;
+    let b_always = b.nan == NanState::Always;
+    let both_never = a.nan == NanState::Never && b.nan == NanState::Never;
+
+    // NaN-strict binary arithmetic: an Always-NaN operand poisons every
+    // element.
+    let strict_binary = matches!(
+        op,
+        Op::SAdd
+            | Op::SSub
+            | Op::SMul
+            | Op::SDiv
+            | Op::VAdd
+            | Op::VSub
+            | Op::VMul
+            | Op::VDiv
+            | Op::MAdd
+            | Op::MSub
+            | Op::MMul
+            | Op::MDiv
+            | Op::SVScale
+            | Op::SMScale
+            | Op::VOuter
+            | Op::VDot
+            | Op::MatVec
+            | Op::MatMul
+    );
+    if strict_binary && (a_always || b_always) {
+        return AbsVal::constant(f64::NAN);
+    }
+
+    match op {
+        Op::NoOp | Op::SConst | Op::VConst | Op::MConst => {
+            // NoOp never reaches here; the const ops always fold above.
+            AbsVal::constant(instr.lit[0])
+        }
+
+        Op::SUniform | Op::VUniform | Op::MUniform => {
+            let [l0, l1] = instr.lit;
+            if !l0.is_finite() || !l1.is_finite() {
+                return AbsVal::top();
+            }
+            // Kernel: bounds are reordered, and equal bounds return the
+            // low bound without consuming a draw.
+            let (lo, hi) = if l0 <= l1 { (l0, l1) } else { (l1, l0) };
+            if lo == hi {
+                AbsVal::constant(lo)
+            } else {
+                AbsVal {
+                    vals: Vals::Range(lo, hi),
+                    nan: NanState::Never,
+                    uniform,
+                    day_inv,
+                }
+            }
+        }
+
+        Op::SGauss | Op::VGauss | Op::MGauss => {
+            let [mean, sd] = instr.lit;
+            if !mean.is_finite() || !sd.is_finite() {
+                return AbsVal::top();
+            }
+            let spread = sd.abs() * GAUSS_Z_BOUND;
+            AbsVal {
+                vals: range(mean - spread, mean + spread),
+                nan: NanState::Never,
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::SAdd | Op::VAdd | Op::MAdd => {
+            let can_nan =
+                (a.may_pos_inf() && b.may_neg_inf()) || (a.may_neg_inf() && b.may_pos_inf());
+            AbsVal {
+                vals: range(al + bl, ah + bh),
+                nan: if both_never && !can_nan {
+                    NanState::Never
+                } else {
+                    NanState::Maybe
+                },
+                uniform,
+                day_inv,
+            }
+        }
+        Op::SSub | Op::VSub | Op::MSub => {
+            let can_nan =
+                (a.may_pos_inf() && b.may_pos_inf()) || (a.may_neg_inf() && b.may_neg_inf());
+            AbsVal {
+                vals: range(al - bh, ah - bl),
+                nan: if both_never && !can_nan {
+                    NanState::Never
+                } else {
+                    NanState::Maybe
+                },
+                uniform,
+                day_inv,
+            }
+        }
+        Op::SMul | Op::VMul | Op::MMul | Op::SVScale | Op::SMScale | Op::VOuter => {
+            let can_nan = (a.may_zero() && b.may_inf()) || (a.may_inf() && b.may_zero());
+            let corners = [al * bl, al * bh, ah * bl, ah * bh];
+            let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let vals = if corners.iter().any(|c| c.is_nan()) {
+                Vals::TOP
+            } else {
+                range(lo, hi)
+            };
+            AbsVal {
+                vals,
+                nan: if both_never && !can_nan {
+                    NanState::Never
+                } else {
+                    NanState::Maybe
+                },
+                uniform,
+                day_inv,
+            }
+        }
+        Op::SDiv | Op::VDiv | Op::MDiv => {
+            let can_nan = (a.may_zero() && b.may_zero()) || (a.may_inf() && b.may_inf());
+            AbsVal {
+                vals: Vals::TOP,
+                nan: if both_never && !can_nan {
+                    NanState::Never
+                } else {
+                    NanState::Maybe
+                },
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::SMin | Op::SMax | Op::VMin | Op::VMax | Op::MMin | Op::MMax => {
+            // f64::min/max return the other operand when one is NaN.
+            if a_always && b_always {
+                return AbsVal::constant(f64::NAN);
+            }
+            // An Always-NaN operand makes the result bitwise the other
+            // operand, so its whole summary (flags included) carries over.
+            if a_always {
+                return b;
+            }
+            if b_always {
+                return a;
+            }
+            let is_min = matches!(op, Op::SMin | Op::VMin | Op::MMin);
+            let (mut lo, mut hi) = if is_min {
+                (al.min(bl), ah.min(bh))
+            } else {
+                (al.max(bl), ah.max(bh))
+            };
+            // A maybe-NaN operand passes the *other* operand through.
+            if a.nan != NanState::Never {
+                lo = lo.min(bl);
+                hi = hi.max(bh);
+            }
+            if b.nan != NanState::Never {
+                lo = lo.min(al);
+                hi = hi.max(ah);
+            }
+            AbsVal {
+                vals: range(lo, hi),
+                nan: if a.nan == NanState::Never || b.nan == NanState::Never {
+                    NanState::Never
+                } else {
+                    NanState::Maybe
+                },
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::SAbs | Op::VAbs | Op::MAbs => {
+            let vals = if al >= 0.0 {
+                range(al, ah)
+            } else if ah <= 0.0 {
+                range(ah.abs(), al.abs())
+            } else {
+                range(0.0, al.abs().max(ah.abs()))
+            };
+            AbsVal {
+                vals,
+                nan: a.nan,
+                uniform,
+                day_inv,
+            }
+        }
+        Op::SInv => AbsVal {
+            // 1/x never creates NaN: 1/0 = ±inf, 1/±inf = ±0.
+            vals: Vals::TOP,
+            nan: a.nan,
+            uniform,
+            day_inv,
+        },
+        Op::SSin | Op::SCos => AbsVal {
+            vals: Vals::Range(-1.0, 1.0),
+            nan: trig_nan(a),
+            uniform,
+            day_inv,
+        },
+        Op::STan => AbsVal {
+            vals: Vals::TOP,
+            nan: trig_nan(a),
+            uniform,
+            day_inv,
+        },
+        Op::SArcSin => AbsVal {
+            vals: Vals::Range(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            nan: domain_nan(a, -1.0, 1.0),
+            uniform,
+            day_inv,
+        },
+        Op::SArcCos => AbsVal {
+            vals: Vals::Range(0.0, std::f64::consts::PI),
+            nan: domain_nan(a, -1.0, 1.0),
+            uniform,
+            day_inv,
+        },
+        Op::SArcTan => AbsVal {
+            // atan is total (atan(±inf) = ±π/2).
+            vals: Vals::Range(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            nan: a.nan,
+            uniform,
+            day_inv,
+        },
+        Op::SExp => AbsVal {
+            // exp is total and non-negative (exp(-inf) = 0).
+            vals: Vals::Range(0.0, f64::INFINITY),
+            nan: a.nan,
+            uniform,
+            day_inv,
+        },
+        Op::SLn => AbsVal {
+            vals: Vals::TOP,
+            // ln(x) is NaN only for x < 0 (ln(-0.0) = -inf is fine).
+            nan: match a.nan {
+                NanState::Always => NanState::Always,
+                NanState::Never if al >= 0.0 => NanState::Never,
+                _ => NanState::Maybe,
+            },
+            uniform,
+            day_inv,
+        },
+
+        Op::SHeaviside | Op::VHeaviside | Op::MHeaviside => {
+            // `if x > 0.0 { 1.0 } else { 0.0 }`: NaN compares false, so
+            // NaN maps to 0.0 like every non-positive value.
+            if a_always || ah <= 0.0 {
+                return AbsVal::constant(0.0);
+            }
+            if a.nan == NanState::Never && al > 0.0 {
+                return AbsVal::constant(1.0);
+            }
+            AbsVal {
+                vals: Vals::Range(0.0, 1.0),
+                nan: NanState::Never,
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::VNorm | Op::MNorm => AbsVal {
+            // Squared sums cannot cancel: overflow saturates at +inf.
+            vals: Vals::Range(0.0, f64::INFINITY),
+            nan: a.nan,
+            uniform,
+            day_inv,
+        },
+        Op::MNormAxis => AbsVal {
+            vals: Vals::Range(0.0, f64::INFINITY),
+            nan: a.nan,
+            uniform,
+            day_inv,
+        },
+
+        Op::VMean | Op::VSum | Op::MMean | Op::MMeanAxis => {
+            let n = if op == Op::MMean {
+                cfg.dim * cfg.dim
+            } else {
+                cfg.dim
+            };
+            let (nan, vals) = sum_summary(&a, n);
+            AbsVal {
+                vals,
+                nan,
+                uniform,
+                day_inv,
+            }
+        }
+        Op::VStd | Op::MStd | Op::MStdAxis => {
+            let n = if op == Op::MStd {
+                cfg.dim * cfg.dim
+            } else {
+                cfg.dim
+            };
+            let (nan, _) = sum_summary(&a, n);
+            AbsVal {
+                vals: Vals::Range(0.0, f64::INFINITY),
+                nan,
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::TsRank => {
+            if cfg.dim < 2 {
+                // below / (dim - 1) is 0/0.
+                return AbsVal::constant(f64::NAN);
+            }
+            if a_always {
+                // NaN compares false everywhere: below stays 0.
+                return AbsVal::constant(0.0);
+            }
+            AbsVal {
+                vals: Vals::Range(0.0, 1.0),
+                nan: NanState::Never,
+                uniform,
+                day_inv,
+            }
+        }
+
+        Op::VDot | Op::MatVec | Op::MatMul => {
+            let bound = if both_never && a.bounded() && b.bounded() {
+                let m = al.abs().max(ah.abs()) * bl.abs().max(bh.abs());
+                let bound = 2.0 * cfg.dim as f64 * m;
+                bound.is_finite().then_some(bound)
+            } else {
+                None
+            };
+            match bound {
+                Some(bnd) => AbsVal {
+                    vals: Vals::Range(-bnd, bnd),
+                    nan: NanState::Never,
+                    uniform,
+                    day_inv,
+                },
+                None => AbsVal {
+                    vals: Vals::TOP,
+                    nan: NanState::Maybe,
+                    uniform,
+                    day_inv,
+                },
+            }
+        }
+
+        // Pure element selection / rearrangement: the summary passes
+        // through unchanged.
+        Op::VGet
+        | Op::MGet
+        | Op::MGetRow
+        | Op::MGetCol
+        | Op::MTranspose
+        | Op::MBroadcast
+        | Op::VBroadcast => a,
+
+        Op::RelRank
+        | Op::RelRankSector
+        | Op::RelRankIndustry
+        | Op::RelDemean
+        | Op::RelDemeanSector
+        | Op::RelDemeanIndustry => unreachable!("relation ops handled above"),
+    }
+}
+
+/// NaN rule for sin/cos/tan: NaN or ±inf inputs produce NaN.
+fn trig_nan(a: AbsVal) -> NanState {
+    match a.nan {
+        NanState::Always => NanState::Always,
+        NanState::Never if a.bounded() => NanState::Never,
+        _ => NanState::Maybe,
+    }
+}
+
+/// NaN rule for asin/acos: NaN inside `[lo, hi]`, NaN outside the domain.
+fn domain_nan(a: AbsVal, lo: f64, hi: f64) -> NanState {
+    let (al, ah) = a.hull();
+    match a.nan {
+        NanState::Always => NanState::Always,
+        NanState::Never if al >= lo && ah <= hi => NanState::Never,
+        _ => NanState::Maybe,
+    }
+}
+
+/// Summary for an `n`-element sum/mean: NaN-strict, and `Never`-NaN only
+/// when the conservative partial-sum bound `2·n·M` stays finite (no
+/// `inf - inf` cancellation possible).
+fn sum_summary(a: &AbsVal, n: usize) -> (NanState, Vals) {
+    match a.nan {
+        NanState::Always => (NanState::Always, Vals::TOP),
+        NanState::Never if a.bounded() => {
+            let (lo, hi) = a.hull();
+            let bound = 2.0 * n as f64 * lo.abs().max(hi.abs());
+            if bound.is_finite() {
+                (NanState::Never, Vals::Range(-bound, bound))
+            } else {
+                (NanState::Maybe, Vals::TOP)
+            }
+        }
+        _ => (NanState::Maybe, Vals::TOP),
+    }
+}
+
+/// Transfer for cross-sectional relation ops (`rel_rank*`, `rel_demean*`).
+fn transfer_relation(op: Op, group: RelGroup, a: AbsVal) -> AbsVal {
+    let is_rank = matches!(op, Op::RelRank | Op::RelRankSector | Op::RelRankIndustry);
+    if is_rank {
+        // Average-rank formula (i+j)/2/(n-1) ∈ [0, 1], never NaN
+        // (singleton groups rank 0.5). A uniform never-NaN input ties the
+        // whole group, and a full tie run ranks exactly (n-1)/2/(n-1) =
+        // 0.5 in every group regardless of its size.
+        if a.uniform && a.nan == NanState::Never {
+            return AbsVal {
+                vals: Vals::Const(0.5),
+                nan: NanState::Never,
+                uniform: true,
+                day_inv: a.day_inv,
+            };
+        }
+        return AbsVal {
+            vals: Vals::Range(0.0, 1.0),
+            nan: NanState::Never,
+            // All-NaN ties break by stock index (NaN == NaN is false), so
+            // uniformity does not survive without a never-NaN proof.
+            uniform: false,
+            // Group assignments are static: same inputs, same ranks.
+            day_inv: a.day_inv,
+        };
+    }
+    // Demean: x - group_mean. The group sum of huge finite values can
+    // overflow to ±inf (group sizes are a runtime property), so NaN can
+    // appear unless the input is Always-NaN (then it always does).
+    AbsVal {
+        vals: Vals::TOP,
+        nan: if a.nan == NanState::Always {
+            NanState::Always
+        } else {
+            NanState::Maybe
+        },
+        // On the all-stocks group every stock sees the same mean, so a
+        // bitwise-uniform input stays uniform; sector/industry groups
+        // have differing means.
+        uniform: a.uniform && group == RelGroup::All,
+        day_inv: a.day_inv,
+    }
+}
+
+/// Exact scalar fold of one deterministic, non-relation op whose input
+/// elements all equal `a` (and `b` for binary ops): replicates the
+/// reference kernel arithmetic bit-for-bit, including sequential
+/// reduction order. Returns `None` for ops that cannot be folded.
+/// The result may be NaN (e.g. `inf - inf`) — callers decide policy.
+pub(crate) fn fold_op(op: Op, a: f64, b: f64, lit: &[f64; 2], dim: usize) -> Option<f64> {
+    let seq_sum = |x: f64, n: usize| -> f64 {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += x;
+        }
+        s
+    };
+    let pop_std = |x: f64, n: usize| -> f64 {
+        let mean = seq_sum(x, n) / n as f64;
+        let d = (x - mean) * (x - mean);
+        (seq_sum(d, n) / n as f64).sqrt()
+    };
+    let n2 = dim * dim;
+    Some(match op {
+        Op::SConst | Op::VConst | Op::MConst => lit[0],
+        Op::SAdd | Op::VAdd | Op::MAdd => a + b,
+        Op::SSub | Op::VSub | Op::MSub => a - b,
+        Op::SMul | Op::VMul | Op::MMul => a * b,
+        Op::SDiv | Op::VDiv | Op::MDiv => a / b,
+        Op::SMin | Op::VMin | Op::MMin => a.min(b),
+        Op::SMax | Op::VMax | Op::MMax => a.max(b),
+        Op::SAbs | Op::VAbs | Op::MAbs => a.abs(),
+        Op::SInv => 1.0 / a,
+        Op::SSin => a.sin(),
+        Op::SCos => a.cos(),
+        Op::STan => a.tan(),
+        Op::SArcSin => a.asin(),
+        Op::SArcCos => a.acos(),
+        Op::SArcTan => a.atan(),
+        Op::SExp => a.exp(),
+        Op::SLn => a.ln(),
+        Op::SHeaviside | Op::VHeaviside | Op::MHeaviside => {
+            if a > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Op::SVScale | Op::SMScale => a * b,
+        Op::VBroadcast
+        | Op::VGet
+        | Op::MGet
+        | Op::MGetRow
+        | Op::MGetCol
+        | Op::MTranspose
+        | Op::MBroadcast => a,
+        Op::VOuter => a * b,
+        Op::VNorm => seq_sum(a * a, dim).sqrt(),
+        Op::MNorm => seq_sum(a * a, n2).sqrt(),
+        Op::MNormAxis => seq_sum(a * a, dim).sqrt(),
+        Op::VMean | Op::MMeanAxis => seq_sum(a, dim) / dim as f64,
+        Op::VSum => seq_sum(a, dim),
+        Op::MMean => seq_sum(a, n2) / n2 as f64,
+        Op::VStd | Op::MStdAxis => pop_std(a, dim),
+        Op::MStd => pop_std(a, n2),
+        Op::VDot | Op::MatVec | Op::MatMul => seq_sum(a * b, dim),
+        Op::TsRank => {
+            // All elements equal: every comparison ties (+0.5 each; a NaN
+            // ties with nothing). Summing k halves is exact, so the closed
+            // form is bit-identical to the kernel's accumulation loop.
+            let below = if a.is_nan() {
+                0.0
+            } else {
+                0.5 * dim.saturating_sub(1) as f64
+            };
+            below / (dim - 1) as f64
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction;
+
+    fn cfg() -> AlphaConfig {
+        AlphaConfig::default()
+    }
+
+    fn prog(setup: Vec<Instruction>, predict: Vec<Instruction>) -> AlphaProgram {
+        AlphaProgram {
+            setup,
+            predict,
+            update: vec![Instruction::nop()],
+        }
+    }
+
+    #[test]
+    fn empty_prediction_is_constant_zero() {
+        let p = prog(vec![Instruction::nop()], vec![Instruction::nop()]);
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.prediction.as_const(), Some(0.0));
+        assert!(an.facts.uniform && an.facts.constant && an.facts.day_invariant);
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectConstant);
+    }
+
+    #[test]
+    fn constant_arithmetic_folds_exactly() {
+        // s1 = (0.1 + 0.2) * 3.0
+        let p = prog(
+            vec![
+                Instruction::new(Op::SConst, 0, 0, 2, [0.1, 0.0], [0; 2]),
+                Instruction::new(Op::SConst, 0, 0, 3, [0.2, 0.0], [0; 2]),
+            ],
+            vec![
+                Instruction::new(Op::SAdd, 2, 3, 4, [0.0; 2], [0; 2]),
+                Instruction::new(Op::SConst, 0, 0, 5, [3.0, 0.0], [0; 2]),
+                Instruction::new(Op::SMul, 4, 5, 1, [0.0; 2], [0; 2]),
+            ],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.prediction.as_const(), Some((0.1 + 0.2) * 3.0));
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectConstant);
+    }
+
+    #[test]
+    fn always_nan_prediction_is_rejected() {
+        // s1 = ln(-1.0)
+        let p = prog(
+            vec![Instruction::new(Op::SConst, 0, 0, 2, [-1.0, 0.0], [0; 2])],
+            vec![Instruction::new(Op::SLn, 2, 0, 1, [0.0; 2], [0; 2])],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectAlwaysNan);
+    }
+
+    #[test]
+    fn input_reading_prediction_is_accepted() {
+        // s1 = m0[2,3] — plain feature extraction.
+        let p = prog(
+            vec![Instruction::nop()],
+            vec![Instruction::new(Op::MGet, 0, 0, 1, [0.0; 2], [2, 3])],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.verdict(), StaticVerdict::Accept);
+        assert!(!an.facts.day_invariant);
+        assert_eq!(an.facts.prediction.nan, NanState::Never);
+    }
+
+    #[test]
+    fn rank_of_uniform_input_is_half() {
+        // s2 = 7.0 (uniform across stocks); s1 = rel_rank(s2).
+        let p = prog(
+            vec![Instruction::new(Op::SConst, 0, 0, 2, [7.0, 0.0], [0; 2])],
+            vec![Instruction::new(Op::RelRank, 2, 0, 1, [0.0; 2], [0; 2])],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.prediction.as_const(), Some(0.5));
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectConstant);
+    }
+
+    #[test]
+    fn rank_of_input_is_bounded_not_uniform() {
+        let p = prog(
+            vec![Instruction::nop()],
+            vec![
+                Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [1, 1]),
+                Instruction::new(Op::RelRank, 2, 0, 1, [0.0; 2], [0; 2]),
+            ],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.verdict(), StaticVerdict::Accept);
+        let (lo, hi) = an.facts.prediction.vals.hull();
+        assert_eq!((lo, hi), (0.0, 1.0));
+        assert_eq!(an.facts.prediction.nan, NanState::Never);
+    }
+
+    #[test]
+    fn update_counter_drops_day_invariance() {
+        // update: s2 = s2 + s3 with s3 = 1.0 — a day counter. The
+        // prediction s1 = s2 must not be day-invariant (or uniform-safe
+        // to accept: it *is* uniform, hence rejected, but the day_inv
+        // fact specifically must be dropped by the cycle join).
+        let p = AlphaProgram {
+            setup: vec![Instruction::new(Op::SConst, 0, 0, 3, [1.0, 0.0], [0; 2])],
+            predict: vec![Instruction::new(Op::SAdd, 2, 3, 1, [0.0; 2], [0; 2])],
+            update: vec![Instruction::new(Op::SAdd, 2, 3, 2, [0.0; 2], [0; 2])],
+        };
+        let an = analyze(&p, &cfg());
+        assert!(!an.facts.day_invariant, "counter must be day-variant");
+        assert!(
+            an.facts.uniform,
+            "counter is still cross-sectionally uniform"
+        );
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectConstant);
+    }
+
+    #[test]
+    fn setup_stochastic_draw_is_day_invariant_but_not_uniform() {
+        let p = prog(
+            vec![Instruction::new(Op::SGauss, 0, 0, 2, [0.0, 1.0], [0; 2])],
+            vec![Instruction::new(Op::SMax, 2, 2, 1, [0.0; 2], [0; 2])],
+        );
+        let an = analyze(&p, &cfg());
+        assert!(an.facts.day_invariant);
+        assert!(!an.facts.uniform);
+        // Day-invariance alone is report-only: the cross-section still
+        // varies (per-stock draws), so the program must be evaluated.
+        assert_eq!(an.facts.verdict(), StaticVerdict::Accept);
+    }
+
+    #[test]
+    fn min_with_always_nan_passes_other_operand() {
+        // s2 = ln(-1) (always NaN); s3 = m0[0,0]; s1 = min(s2, s3).
+        let p = prog(
+            vec![
+                Instruction::new(Op::SConst, 0, 0, 4, [-1.0, 0.0], [0; 2]),
+                Instruction::new(Op::SLn, 4, 0, 2, [0.0; 2], [0; 2]),
+            ],
+            vec![
+                Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [0, 0]),
+                Instruction::new(Op::SMin, 2, 3, 1, [0.0; 2], [0; 2]),
+            ],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.prediction.nan, NanState::Never);
+        assert_eq!(an.facts.verdict(), StaticVerdict::Accept);
+    }
+
+    #[test]
+    fn heaviside_erases_nan() {
+        // s1 = heaviside(ln(-1)) = 0.0.
+        let p = prog(
+            vec![
+                Instruction::new(Op::SConst, 0, 0, 2, [-1.0, 0.0], [0; 2]),
+                Instruction::new(Op::SLn, 2, 0, 3, [0.0; 2], [0; 2]),
+            ],
+            vec![Instruction::new(Op::SHeaviside, 3, 0, 1, [0.0; 2], [0; 2])],
+        );
+        let an = analyze(&p, &cfg());
+        assert_eq!(an.facts.prediction.as_const(), Some(0.0));
+        assert_eq!(an.facts.verdict(), StaticVerdict::RejectConstant);
+    }
+
+    #[test]
+    fn paper_seed_programs_are_accepted() {
+        let cfg = cfg();
+        for p in [
+            crate::init::domain_expert(&cfg),
+            crate::init::two_layer_nn(&cfg),
+            crate::init::industry_reversal(&cfg),
+        ] {
+            let an = analyze(&p, &cfg);
+            assert_eq!(
+                an.facts.verdict(),
+                StaticVerdict::Accept,
+                "seed program wrongly rejected: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_registers_do_not_panic() {
+        let mut i = Instruction::new(Op::SAdd, 2, 3, 1, [0.0; 2], [0; 2]);
+        i.in1 = 200;
+        let p = prog(vec![Instruction::nop()], vec![i]);
+        let an = analyze(&p, &cfg());
+        // Unknown input: no degeneracy proof, so accept.
+        assert_eq!(an.facts.verdict(), StaticVerdict::Accept);
+    }
+
+    #[test]
+    fn fold_matches_kernel_reduction_order() {
+        // 0.1 summed 10 times (0.9999999999999999) differs from 10 * 0.1
+        // (1.0); the fold must take the kernel's sequential path.
+        let mut s = 0.0;
+        for _ in 0..10 {
+            s += 0.1;
+        }
+        assert_eq!(fold_op(Op::VSum, 0.1, 0.0, &[0.0; 2], 10), Some(s));
+        assert_ne!(s, 10.0 * 0.1);
+    }
+}

@@ -71,7 +71,7 @@ impl AlphaAnalysis {
                 "none".to_string()
             } else {
                 regs.iter()
-                    .map(|r| r.to_string())
+                    .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(", ")
             }

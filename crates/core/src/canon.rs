@@ -1,0 +1,619 @@
+//! Algebraic canonicalization: rewrites a (pruned) program into a normal
+//! form so mutation-produced near-duplicates hash to the same fingerprint
+//! (paper §4.2 — evaluation-free rejection via the fitness cache).
+//!
+//! Extends `prune::canonicalize` (register renaming) with:
+//!
+//! * **Constant folding** seeded by [`crate::absint`]: an op whose inputs
+//!   are proven compile-time constants is replaced by a `*_const` of the
+//!   exact kernel result (sequential reduction order and all). Only
+//!   finite results fold — NaN-producing ops are left for the analyzer's
+//!   always-NaN verdict.
+//! * **Identity rewrites**: `x + (-0.0)`, `x - 0.0`, `x * 1.0`,
+//!   `x / 1.0`, `min(x, x)`, `max(x, x)` become copies; `x - x` becomes
+//!   `0.0` when the analysis proves `x` finite. Only *bitwise* identities
+//!   are used: `x + 0.0` is **not** rewritten (it flips `-0.0` to
+//!   `+0.0`), which is why the additive identity is `-0.0`.
+//! * **Copy propagation and common-subexpression elimination**, per
+//!   function body: a recomputation of an already-available pure
+//!   expression is rewritten to the canonical copy form `max(src, src)`
+//!   (bitwise identity for every input, NaN and `-0.0` included) and
+//!   later reads are redirected to the original register. Availability
+//!   is tracked per body execution, so cross-cycle state never leaks in.
+//! * **Commutative operand ordering** for elementwise `add`/`mul`
+//!   (`f64` `+`/`*` are bitwise commutative; `min`/`max` are *not* —
+//!   they are order-sensitive for `±0.0` and NaN — and `mat_mul` is a
+//!   true matrix product, so none of those reorder).
+//!
+//! The passes iterate with re-pruning and register renaming to a
+//! fixpoint. Every rewrite preserves the evaluated bit pattern of every
+//! live register, and stochastic ops are never folded, aliased, or
+//! reordered (dead draws still advance the per-stock RNG streams, and
+//! instruction positions never change within a pass), so two programs
+//! with equal canonical forms evaluate bitwise-identically. NaN payloads
+//! are the one nuance: all kernel-produced NaNs share the platform's
+//! quiet-NaN pattern, and no op converts payload differences into
+//! non-NaN differences, so copy rewrites remain observationally exact.
+//!
+//! The canonical program itself is only ever *hashed* (see
+//! `fingerprint`), never executed, so its copy-form encoding does not
+//! need to be cheap to run.
+
+use crate::absint::{self, AbsState, NanState};
+use crate::config::AlphaConfig;
+use crate::instruction::Instruction;
+use crate::op::{Kind, Op};
+use crate::program::{AlphaProgram, FunctionId};
+use crate::prune;
+
+/// Fixpoint cap: each pass strictly shrinks or reorders, so real
+/// programs converge in 2–3 passes.
+const MAX_PASSES: usize = 8;
+
+/// Result of canonicalizing a program.
+#[derive(Debug, Clone)]
+pub struct CanonOutcome {
+    /// The canonical form (hash this, don't run it).
+    pub program: AlphaProgram,
+    /// Number of algebraic simplifications applied (const folds,
+    /// identity eliminations, subexpression collapses).
+    pub folds: usize,
+    /// Facts proven about the *input* program's prediction.
+    pub facts: absint::ProgramFacts,
+}
+
+/// Canonicalizes a structurally valid, pruned program. Callers at trust
+/// boundaries must run the verifier first — `prune::canonicalize`
+/// assumes in-range registers.
+pub fn canonical_program(pruned: &AlphaProgram, cfg: &AlphaConfig) -> CanonOutcome {
+    let mut analysis = absint::analyze(pruned, cfg);
+    let facts = analysis.facts;
+    let mut prog = pruned.clone();
+    let mut folds = 0;
+    for _ in 0..MAX_PASSES {
+        let before = prog.clone();
+        let zero = AbsState::zeroed(cfg);
+        rewrite_body(&mut prog.setup, &zero, FunctionId::Setup, cfg, &mut folds);
+        rewrite_body(
+            &mut prog.predict,
+            &analysis.predict_entry,
+            FunctionId::Predict,
+            cfg,
+            &mut folds,
+        );
+        rewrite_body(
+            &mut prog.update,
+            &analysis.update_entry,
+            FunctionId::Update,
+            cfg,
+            &mut folds,
+        );
+        let repruned = prune::prune(&prog);
+        prog = prune::canonicalize(&repruned.program, cfg);
+        // Sort AFTER renaming: canonical names are a property of the
+        // program's structure (assignment order of first appearance), so
+        // they are the same for alpha-equivalent programs — raw genome
+        // register numbers are not, and sorting by them would freeze an
+        // arbitrary operand order into the canonical form.
+        sort_commutative(&mut prog);
+        if prog == before {
+            break;
+        }
+        analysis = absint::analyze(&prog, cfg);
+    }
+    CanonOutcome {
+        program: prog,
+        folds,
+        facts,
+    }
+}
+
+/// Expression key for CSE: one pure instruction minus its output.
+#[derive(PartialEq)]
+struct ExprKey {
+    op: Op,
+    in1: u8,
+    in2: u8,
+    lit: [u64; 2],
+    ix: [u8; 2],
+}
+
+impl ExprKey {
+    fn of(instr: &Instruction) -> ExprKey {
+        ExprKey {
+            op: instr.op,
+            in1: instr.in1,
+            in2: instr.in2,
+            lit: [instr.lit[0].to_bits(), instr.lit[1].to_bits()],
+            ix: instr.ix,
+        }
+    }
+
+    fn reads(&self, kind: Kind, reg: u8) -> bool {
+        let kinds = self.op.input_kinds();
+        (!kinds.is_empty() && kinds[0] == kind && self.in1 == reg)
+            || (kinds.len() > 1 && kinds[1] == kind && self.in2 == reg)
+    }
+}
+
+fn const_op(kind: Kind) -> Op {
+    match kind {
+        Kind::S => Op::SConst,
+        Kind::V => Op::VConst,
+        Kind::M => Op::MConst,
+    }
+}
+
+fn copy_op(kind: Kind) -> Op {
+    // max(x, x) is a bitwise identity for every x (NaN and -0.0 too).
+    match kind {
+        Kind::S => Op::SMax,
+        Kind::V => Op::VMax,
+        Kind::M => Op::MMax,
+    }
+}
+
+/// One forward pass over a body: alias-resolve reads, fold constants,
+/// apply identity rewrites, collapse repeated pure subexpressions.
+/// Returns whether anything changed.
+fn rewrite_body(
+    body: &mut [Instruction],
+    entry: &AbsState,
+    f: FunctionId,
+    cfg: &AlphaConfig,
+    folds: &mut usize,
+) -> bool {
+    let mut st = entry.clone();
+    // (kind, written reg) -> (kind-equal source reg) copy aliases.
+    let mut aliases: Vec<(Kind, u8, u8)> = Vec::new();
+    // Available pure expressions and the register holding each.
+    let mut exprs: Vec<(ExprKey, u8)> = Vec::new();
+    let mut changed = false;
+
+    for instr in body.iter_mut() {
+        let op = instr.op;
+        if op == Op::NoOp {
+            continue;
+        }
+        let out_kind = op.output_kind();
+        let kinds = op.input_kinds();
+
+        // Resolve reads through copy aliases.
+        let resolve = |kind: Kind, reg: u8, aliases: &[(Kind, u8, u8)]| -> u8 {
+            aliases
+                .iter()
+                .find(|&&(k, o, _)| k == kind && o == reg)
+                .map_or(reg, |&(_, _, s)| s)
+        };
+        if !kinds.is_empty() {
+            let r = resolve(kinds[0], instr.in1, &aliases);
+            if r != instr.in1 {
+                instr.in1 = r;
+                changed = true;
+            }
+        }
+        if kinds.len() > 1 {
+            let r = resolve(kinds[1], instr.in2, &aliases);
+            if r != instr.in2 {
+                instr.in2 = r;
+                changed = true;
+            }
+        }
+
+        let mut new_alias: Option<u8> = None;
+        if !op.is_stochastic() {
+            // Constant folding (deterministic non-relation ops whose
+            // inputs the analysis pins to exact constants).
+            let mut rewritten = false;
+            if op.relation_group().is_none() {
+                let ca = if kinds.is_empty() {
+                    Some(0.0)
+                } else {
+                    st.get(kinds[0], instr.in1).as_const()
+                };
+                let cb = if kinds.len() > 1 {
+                    st.get(kinds[1], instr.in2).as_const()
+                } else {
+                    Some(0.0)
+                };
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    if let Some(v) = absint::fold_op(op, x, y, &instr.lit, cfg.dim) {
+                        if v.is_finite() {
+                            let already = st
+                                .get(out_kind, instr.out)
+                                .as_const()
+                                .is_some_and(|cur| cur.to_bits() == v.to_bits());
+                            if already {
+                                // Redundant store: the output register
+                                // provably already holds exactly these bits
+                                // (never NaN), so the write changes nothing
+                                // — drop the instruction. This is what makes
+                                // `s1 = s1 * 1.0` vanish even when `s1` is
+                                // still at its zero-initialized value.
+                                *instr = Instruction::nop();
+                                *folds += 1;
+                                changed = true;
+                            } else {
+                                let folded = Instruction::new(
+                                    const_op(out_kind),
+                                    0,
+                                    0,
+                                    instr.out,
+                                    [v, 0.0],
+                                    [0; 2],
+                                );
+                                if *instr != folded {
+                                    *instr = folded;
+                                    *folds += 1;
+                                    changed = true;
+                                }
+                            }
+                            rewritten = true;
+                        }
+                    }
+                }
+            }
+
+            // Identity rewrites to a copy of `src`.
+            if !rewritten {
+                if let Some(src) = identity_source(instr, &st) {
+                    apply_copy(instr, src, folds);
+                    new_alias = Some(src);
+                    rewritten = true;
+                    changed = true;
+                } else if let Some(zero_kind) = sub_self_zero(instr, &st) {
+                    let folded =
+                        Instruction::new(const_op(zero_kind), 0, 0, instr.out, [0.0, 0.0], [0; 2]);
+                    if *instr != folded {
+                        *instr = folded;
+                        *folds += 1;
+                        changed = true;
+                    }
+                    rewritten = true;
+                }
+            }
+
+            // CSE: a pure recomputation of an available expression.
+            if !rewritten {
+                let key = ExprKey::of(instr);
+                if let Some(&(_, src)) = exprs.iter().find(|(k, _)| *k == key) {
+                    apply_copy(instr, src, folds);
+                    new_alias = Some(src);
+                    changed = true;
+                }
+            }
+        }
+
+        // A copy onto the source register itself rewrites to a no-op:
+        // the register already holds the value, so nothing is killed,
+        // recorded, or transferred.
+        if instr.op == Op::NoOp {
+            continue;
+        }
+
+        // The write to `out` invalidates aliases and expressions that
+        // mention it.
+        let out = instr.out;
+        aliases.retain(|&(k, o, s)| !(k == out_kind && (o == out || s == out)));
+        exprs.retain(|(k, r)| {
+            (k.op.output_kind() != out_kind || *r != out) && !k.reads(out_kind, out)
+        });
+
+        // Record what the write makes available.
+        if let Some(src) = new_alias {
+            if src != out {
+                aliases.push((out_kind, out, src));
+            }
+        } else if !op.is_stochastic() && op != Op::NoOp {
+            let key = ExprKey::of(instr);
+            // An expression reading its own output is not available
+            // after the write (e.g. s2 = s2 + s3).
+            if !key.reads(out_kind, out) {
+                exprs.push((key, out));
+            }
+        }
+
+        absint::transfer(&mut st, instr, f, cfg);
+    }
+    changed
+}
+
+/// A copy identity: returns the source register the instruction is a
+/// bitwise copy of, if any.
+fn identity_source(instr: &Instruction, st: &AbsState) -> Option<u8> {
+    let op = instr.op;
+    let kinds = op.input_kinds();
+    let const_of = |slot: usize| -> Option<f64> {
+        let (kind, reg) = if slot == 0 {
+            (kinds[0], instr.in1)
+        } else {
+            (kinds[1], instr.in2)
+        };
+        st.get(kind, reg).as_const()
+    };
+    let is_neg_zero = |c: Option<f64>| c.is_some_and(|v| v.to_bits() == (-0.0f64).to_bits());
+    let is_pos_zero = |c: Option<f64>| c.is_some_and(|v| v.to_bits() == 0.0f64.to_bits());
+    let is_one = |c: Option<f64>| c == Some(1.0);
+    match op {
+        // x + (-0.0) = x for every x; +0.0 is NOT an identity (-0 + 0 = +0).
+        Op::SAdd | Op::VAdd | Op::MAdd => {
+            if is_neg_zero(const_of(1)) {
+                Some(instr.in1)
+            } else if is_neg_zero(const_of(0)) {
+                Some(instr.in2)
+            } else {
+                None
+            }
+        }
+        // x - 0.0 = x for every x (-0 - 0 = -0).
+        Op::SSub | Op::VSub | Op::MSub => is_pos_zero(const_of(1)).then_some(instr.in1),
+        Op::SMul | Op::VMul | Op::MMul => {
+            if is_one(const_of(1)) {
+                Some(instr.in1)
+            } else if is_one(const_of(0)) {
+                Some(instr.in2)
+            } else {
+                None
+            }
+        }
+        // 1.0 * v and 1.0 * m scale to the operand itself.
+        Op::SVScale | Op::SMScale => is_one(const_of(0)).then_some(instr.in2),
+        Op::SDiv | Op::VDiv | Op::MDiv => is_one(const_of(1)).then_some(instr.in1),
+        Op::SMin | Op::SMax | Op::VMin | Op::VMax | Op::MMin | Op::MMax => {
+            (instr.in1 == instr.in2).then_some(instr.in1)
+        }
+        _ => None,
+    }
+}
+
+/// `x - x` folds to `0.0` only when the analysis proves `x` is never NaN
+/// and finite (`inf - inf` is NaN; `NaN - NaN` is NaN). Returns the
+/// output kind to fold into.
+fn sub_self_zero(instr: &Instruction, st: &AbsState) -> Option<Kind> {
+    if !matches!(instr.op, Op::SSub | Op::VSub | Op::MSub) || instr.in1 != instr.in2 {
+        return None;
+    }
+    let kind = instr.op.input_kinds()[0];
+    let a = st.get(kind, instr.in1);
+    (a.nan == NanState::Never && a.bounded()).then(|| instr.op.output_kind())
+}
+
+/// Rewrites `instr` into the canonical copy form `max(src, src)` (or a
+/// no-op when it would copy a register onto itself).
+fn apply_copy(instr: &mut Instruction, src: u8, folds: &mut usize) {
+    let kind = instr.op.output_kind();
+    let replacement = if src == instr.out {
+        Instruction::nop()
+    } else {
+        Instruction::new(copy_op(kind), src, src, instr.out, [0.0; 2], [0; 2])
+    };
+    if *instr != replacement {
+        *instr = replacement;
+        *folds += 1;
+    }
+}
+
+fn sort_commutative(prog: &mut AlphaProgram) -> bool {
+    let mut changed = false;
+    for f in FunctionId::ALL {
+        for instr in prog.function_mut(f) {
+            // Elementwise add/mul only: f64 + and * are bitwise
+            // commutative; min/max are order-sensitive for ±0.0 and NaN,
+            // and mat_mul is a true (non-commutative) matrix product.
+            let commutative = matches!(
+                instr.op,
+                Op::SAdd | Op::SMul | Op::VAdd | Op::VMul | Op::MAdd | Op::MMul
+            );
+            if commutative && instr.in1 > instr.in2 {
+                std::mem::swap(&mut instr.in1, &mut instr.in2);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    fn cfg() -> AlphaConfig {
+        AlphaConfig::default()
+    }
+
+    fn input_plus(extra: Vec<Instruction>) -> AlphaProgram {
+        let mut predict = vec![Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [1, 2])];
+        predict.extend(extra);
+        AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict,
+            update: vec![Instruction::nop()],
+        }
+    }
+
+    #[test]
+    fn mul_by_one_collapses_to_operand() {
+        // s1 = s2 * 1.0 fingerprints the same as s1 = copy(s2).
+        let cfg = cfg();
+        let with_mul = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [1.0, 0.0], [0; 2]),
+            Instruction::new(Op::SMul, 2, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        let plain = input_plus(vec![Instruction::new(Op::SMax, 2, 2, 1, [0.0; 2], [0; 2])]);
+        assert_eq!(fingerprint(&with_mul, &cfg).0, fingerprint(&plain, &cfg).0);
+    }
+
+    #[test]
+    fn add_negative_zero_collapses_to_operand() {
+        let cfg = cfg();
+        let with_add = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [-0.0, 0.0], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        let plain = input_plus(vec![Instruction::new(Op::SMax, 2, 2, 1, [0.0; 2], [0; 2])]);
+        assert_eq!(fingerprint(&with_add, &cfg).0, fingerprint(&plain, &cfg).0);
+    }
+
+    #[test]
+    fn add_positive_zero_is_not_an_identity() {
+        // x + 0.0 flips -0.0 to +0.0, so it must NOT collapse.
+        let cfg = cfg();
+        let with_add = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [0.0, 0.0], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        let plain = input_plus(vec![Instruction::new(Op::SMax, 2, 2, 1, [0.0; 2], [0; 2])]);
+        assert_ne!(fingerprint(&with_add, &cfg).0, fingerprint(&plain, &cfg).0);
+    }
+
+    #[test]
+    fn commutative_operands_collapse() {
+        let cfg = cfg();
+        let mk = |swapped: bool| {
+            let (a, b) = if swapped { (3, 2) } else { (2, 3) };
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![
+                    Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [1, 2]),
+                    Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [4, 5]),
+                    Instruction::new(Op::SAdd, a, b, 1, [0.0; 2], [0; 2]),
+                ],
+                update: vec![Instruction::nop()],
+            }
+        };
+        assert_eq!(
+            fingerprint(&mk(false), &cfg).0,
+            fingerprint(&mk(true), &cfg).0
+        );
+    }
+
+    #[test]
+    fn min_operands_do_not_commute() {
+        // f64::min is order-sensitive (±0.0, NaN), so min(a, b) and
+        // min(b, a) stay distinct.
+        let cfg = cfg();
+        let mk = |swapped: bool| {
+            let (a, b) = if swapped { (3, 2) } else { (2, 3) };
+            AlphaProgram {
+                setup: vec![Instruction::nop()],
+                predict: vec![
+                    Instruction::new(Op::MGet, 0, 0, 2, [0.0; 2], [1, 2]),
+                    Instruction::new(Op::MGet, 0, 0, 3, [0.0; 2], [4, 5]),
+                    Instruction::new(Op::SMin, a, b, 1, [0.0; 2], [0; 2]),
+                ],
+                update: vec![Instruction::nop()],
+            }
+        };
+        assert_ne!(
+            fingerprint(&mk(false), &cfg).0,
+            fingerprint(&mk(true), &cfg).0
+        );
+    }
+
+    #[test]
+    fn common_subexpression_collapses() {
+        // Computing |m0[1,2]| twice into two registers and summing them
+        // equals computing it once and doubling by self-add.
+        let cfg = cfg();
+        let twice = input_plus(vec![
+            Instruction::new(Op::SAbs, 2, 0, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAbs, 2, 0, 4, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 3, 4, 1, [0.0; 2], [0; 2]),
+        ]);
+        let once = input_plus(vec![
+            Instruction::new(Op::SAbs, 2, 0, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 3, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        assert_eq!(fingerprint(&twice, &cfg).0, fingerprint(&once, &cfg).0);
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_const() {
+        // s1 uses (0.5 + 0.25) * m0[1,2]; folding the constant side makes
+        // it hash like s_const(0.75) scaled.
+        let cfg = cfg();
+        let unfolded = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [0.5, 0.0], [0; 2]),
+            Instruction::new(Op::SConst, 0, 0, 4, [0.25, 0.0], [0; 2]),
+            Instruction::new(Op::SAdd, 3, 4, 5, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SMul, 2, 5, 1, [0.0; 2], [0; 2]),
+        ]);
+        let folded = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [0.75, 0.0], [0; 2]),
+            Instruction::new(Op::SMul, 2, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        assert_eq!(fingerprint(&unfolded, &cfg).0, fingerprint(&folded, &cfg).0);
+        let out = canonical_program(&prune::prune(&unfolded).program, &cfg);
+        assert!(
+            out.folds >= 1,
+            "expected at least one fold, got {}",
+            out.folds
+        );
+    }
+
+    #[test]
+    fn stochastic_ops_are_never_folded() {
+        // Two uniform draws with identical parameters are DIFFERENT
+        // draws: they must not CSE-collapse.
+        let cfg = cfg();
+        let two_draws = input_plus(vec![
+            Instruction::new(Op::SUniform, 0, 0, 3, [-1.0, 1.0], [0; 2]),
+            Instruction::new(Op::SUniform, 0, 0, 4, [-1.0, 1.0], [0; 2]),
+            Instruction::new(Op::SSub, 3, 4, 5, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SMul, 2, 5, 1, [0.0; 2], [0; 2]),
+        ]);
+        let one_draw = input_plus(vec![
+            Instruction::new(Op::SUniform, 0, 0, 3, [-1.0, 1.0], [0; 2]),
+            Instruction::new(Op::SConst, 0, 0, 5, [0.0, 0.0], [0; 2]),
+            Instruction::new(Op::SMul, 2, 5, 1, [0.0; 2], [0; 2]),
+        ]);
+        assert_ne!(
+            fingerprint(&two_draws, &cfg).0,
+            fingerprint(&one_draw, &cfg).0
+        );
+        // And x - x over a stochastic register must not fold to zero
+        // via the sub-self rule either (each read sees the same reg, so
+        // it IS zero — but only because it's the same register, which
+        // the bounded+never-NaN proof covers).
+        let sub_self = input_plus(vec![
+            Instruction::new(Op::SUniform, 0, 0, 3, [-1.0, 1.0], [0; 2]),
+            Instruction::new(Op::SSub, 3, 3, 5, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 5, 1, [0.0; 2], [0; 2]),
+        ]);
+        let zeroed = input_plus(vec![
+            Instruction::new(Op::SUniform, 0, 0, 3, [-1.0, 1.0], [0; 2]),
+            Instruction::new(Op::SConst, 0, 0, 5, [0.0, 0.0], [0; 2]),
+            Instruction::new(Op::SAdd, 2, 5, 1, [0.0; 2], [0; 2]),
+        ]);
+        // s3 is uniform in [-1, 1): never NaN, bounded, so s3 - s3 is
+        // exactly +0.0 and the fold applies. The dead draw is kept by
+        // the pruner for RNG-stream parity, so both forms carry it.
+        assert_eq!(fingerprint(&sub_self, &cfg).0, fingerprint(&zeroed, &cfg).0);
+    }
+
+    #[test]
+    fn copy_chains_collapse_through_aliasing() {
+        // s3 = copy(s2); s1 = s3 + s3  ==  s1 = s2 + s2.
+        let cfg = cfg();
+        let chained = input_plus(vec![
+            Instruction::new(Op::SMax, 2, 2, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 3, 3, 1, [0.0; 2], [0; 2]),
+        ]);
+        let direct = input_plus(vec![Instruction::new(Op::SAdd, 2, 2, 1, [0.0; 2], [0; 2])]);
+        assert_eq!(fingerprint(&chained, &cfg).0, fingerprint(&direct, &cfg).0);
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        let cfg = cfg();
+        let p = input_plus(vec![
+            Instruction::new(Op::SConst, 0, 0, 3, [1.0, 0.0], [0; 2]),
+            Instruction::new(Op::SMul, 2, 3, 4, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAbs, 4, 0, 1, [0.0; 2], [0; 2]),
+        ]);
+        let once = canonical_program(&prune::prune(&p).program, &cfg);
+        let twice = canonical_program(&once.program, &cfg);
+        assert_eq!(once.program, twice.program);
+    }
+}

@@ -8,7 +8,10 @@
 //!
 //! Every candidate flows through the paper's §4.2 pipeline before any
 //! evaluation: **prune → redundant-alpha rejection → canonical fingerprint
-//! → cache lookup**. Only cache misses touch the interpreter. Candidates
+//! → cache lookup → static rejection** (the [`crate::absint`] interpreter
+//! discards candidates whose prediction is provably cross-sectionally
+//! constant or always NaN). Only accepted cache misses touch the
+//! interpreter. Candidates
 //! whose validation portfolio returns correlate above the cutoff with an
 //! accepted alpha set ([`CorrelationGate`]) are discarded (fitness −∞),
 //! which is how weakly correlated alpha *sets* are mined round by round.
@@ -32,8 +35,9 @@ use rand::{Rng, SeedableRng};
 
 use alphaevolve_backtest::correlation::CorrelationGate;
 
+use crate::absint::StaticVerdict;
 use crate::eval::{EvalArena, Evaluator};
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::fingerprint_analyzed;
 use crate::hashutil::FxHashMap;
 use crate::mutation::{MutationConfig, Mutator};
 use crate::program::AlphaProgram;
@@ -112,7 +116,8 @@ pub struct BestAlpha {
 /// Counters over one evolution run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Candidates searched (pruned + cache hits + evaluated).
+    /// Candidates searched (pruned + cache hits + statically rejected
+    /// + evaluated).
     pub searched: usize,
     /// Candidates fully evaluated on the task set.
     pub evaluated: usize,
@@ -124,6 +129,14 @@ pub struct SearchStats {
     pub invalid: usize,
     /// Evaluated candidates rejected by the correlation gate.
     pub gate_rejected: usize,
+    /// Candidates rejected before evaluation by static analysis (the
+    /// abstract interpreter proved the prediction cross-sectionally
+    /// constant or always NaN — see [`crate::absint`]).
+    pub static_rejected: usize,
+    /// Algebraic simplifications applied while canonicalizing candidates
+    /// for fingerprinting (const folds, identity eliminations, CSE
+    /// collapses — see [`crate::canon`]).
+    pub folded: usize,
 }
 
 /// One point of the Figure-6 style search trajectory.
@@ -228,7 +241,7 @@ impl ShardedCache {
     /// checkpointing.
     fn entries(&self) -> Vec<(u64, Option<f64>)> {
         let mut out: Vec<(u64, Option<f64>)> = Vec::new();
-        for shard in self.shards.iter() {
+        for shard in &self.shards {
             out.extend(shard.lock().iter().map(|(&k, &v)| (k, v)));
         }
         out.sort_unstable_by_key(|&(k, _)| k);
@@ -251,6 +264,8 @@ struct Shared<'a> {
     cache_hits: AtomicUsize,
     invalid: AtomicUsize,
     gate_rejected: AtomicUsize,
+    static_rejected: AtomicUsize,
+    folded: AtomicUsize,
     stop: AtomicBool,
     start: Instant,
     /// Wall-clock already consumed before this process took over (zero
@@ -285,9 +300,12 @@ impl<'a> Shared<'a> {
     fn process(&self, arena: &mut EvalArena<'_>, program: AlphaProgram) -> Individual {
         let searched_now = self.searched.fetch_add(1, Ordering::Relaxed) + 1;
 
-        let (fp, to_evaluate, skip_training) = if self.use_pruning {
-            let (fp, pruned) = fingerprint(&program, self.evaluator.config());
-            if !pruned.uses_input {
+        let (fp, verdict, to_evaluate, skip_training) = if self.use_pruning {
+            let analyzed = fingerprint_analyzed(&program, self.evaluator.config());
+            if analyzed.folds > 0 {
+                self.folded.fetch_add(analyzed.folds, Ordering::Relaxed);
+            }
+            if !analyzed.pruned.uses_input {
                 self.redundant.fetch_add(1, Ordering::Relaxed);
                 return Individual {
                     program,
@@ -296,10 +314,17 @@ impl<'a> Shared<'a> {
             }
             // The pruning pass already computed statefulness; reuse it for
             // the stateless-skip decision instead of re-analyzing.
-            (fp, pruned.program, !pruned.stateful)
+            let skip = !analyzed.pruned.stateful;
+            (
+                analyzed.fingerprint,
+                analyzed.facts.verdict(),
+                analyzed.pruned.program,
+                skip,
+            )
         } else {
             (
                 crate::fingerprint::fingerprint_raw(&program),
+                StaticVerdict::Accept,
                 program.clone(),
                 false,
             )
@@ -308,6 +333,20 @@ impl<'a> Shared<'a> {
         if let Some(fitness) = self.cache.lookup(fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Individual { program, fitness };
+        }
+
+        // Static rejection (§4.2 extended): the abstract interpreter proved
+        // the prediction can never carry cross-sectional signal — constant
+        // across stocks (rank information zero) or always NaN (no valid
+        // fitness). Skip the evaluator entirely and cache the rejection so
+        // re-derived duplicates become plain cache hits.
+        if verdict != StaticVerdict::Accept {
+            self.static_rejected.fetch_add(1, Ordering::Relaxed);
+            self.cache.insert(fp, None);
+            return Individual {
+                program,
+                fitness: None,
+            };
         }
 
         let score = self
@@ -446,6 +485,8 @@ impl<'a> Shared<'a> {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             invalid: self.invalid.load(Ordering::Relaxed),
             gate_rejected: self.gate_rejected.load(Ordering::Relaxed),
+            static_rejected: self.static_rejected.load(Ordering::Relaxed),
+            folded: self.folded.load(Ordering::Relaxed),
         }
     }
 }
@@ -565,6 +606,8 @@ impl<'a> Evolution<'a> {
             cache_hits: AtomicUsize::new(0),
             invalid: AtomicUsize::new(0),
             gate_rejected: AtomicUsize::new(0),
+            static_rejected: AtomicUsize::new(0),
+            folded: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             start: Instant::now(),
             base_elapsed: match start {
@@ -629,6 +672,10 @@ impl<'a> Evolution<'a> {
                 shared
                     .gate_rejected
                     .store(c.stats.gate_rejected, Ordering::Relaxed);
+                shared
+                    .static_rejected
+                    .store(c.stats.static_rejected, Ordering::Relaxed);
+                shared.folded.store(c.stats.folded, Ordering::Relaxed);
                 let mut rng = SmallRng::from_state(c.rng);
                 shared.search_loop(&mut rng, checkpoint_every, sink);
             }
@@ -723,8 +770,8 @@ mod tests {
         let s = outcome.stats;
         assert_eq!(
             s.searched,
-            s.evaluated + s.redundant + s.cache_hits,
-            "every searched candidate is pruned, cached, or evaluated: {s:?}"
+            s.evaluated + s.redundant + s.cache_hits + s.static_rejected,
+            "every searched candidate is pruned, cached, statically rejected, or evaluated: {s:?}"
         );
         assert!(
             s.redundant > 0,

@@ -7,14 +7,19 @@
 //! Two candidates with the same effective computation hit the same cache
 //! slot and reuse the stored fitness.
 //!
-//! On top of the paper we canonicalize register names first
-//! ([`crate::prune::canonicalize`]), so alpha-renamed duplicates — which
-//! mutation produces constantly — also collapse to one fingerprint.
+//! On top of the paper we canonicalize the program first: register
+//! renaming ([`crate::prune::canonicalize`]) plus the algebraic passes of
+//! [`crate::canon`] (constant folding, identity elimination, commutative
+//! operand ordering, common-subexpression collapse), so alpha-renamed and
+//! algebraically-equivalent duplicates — which mutation produces
+//! constantly — collapse to one fingerprint.
 
+use crate::absint::ProgramFacts;
+use crate::canon;
 use crate::config::AlphaConfig;
 use crate::hashutil::Fingerprinter;
 use crate::program::{AlphaProgram, FunctionId};
-use crate::prune::{canonicalize, prune, PruneResult};
+use crate::prune::{prune, PruneResult};
 
 /// 64-bit structural fingerprint of a program, as-is (no pruning or
 /// canonicalization). Bit-exact on literals.
@@ -40,9 +45,36 @@ pub fn fingerprint_raw(prog: &AlphaProgram) -> u64 {
 /// prune result so the caller can evaluate the effective program (and
 /// reject redundant alphas) without re-analyzing.
 pub fn fingerprint(prog: &AlphaProgram, cfg: &AlphaConfig) -> (u64, PruneResult) {
+    let analyzed = fingerprint_analyzed(prog, cfg);
+    (analyzed.fingerprint, analyzed.pruned)
+}
+
+/// Everything the full fingerprint pipeline learns about a candidate.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// Cache key of the canonical form.
+    pub fingerprint: u64,
+    /// Liveness-pruned effective program (evaluate this).
+    pub pruned: PruneResult,
+    /// Static facts about the prediction, from [`crate::absint`].
+    pub facts: ProgramFacts,
+    /// Algebraic simplifications applied while canonicalizing.
+    pub folds: usize,
+}
+
+/// The full static pipeline: prune, abstract-interpret, algebraically
+/// canonicalize, hash. One call per candidate in the search loop — the
+/// facts drive pre-evaluation rejection and the fold count feeds
+/// [`crate::evolution::SearchStats`].
+pub fn fingerprint_analyzed(prog: &AlphaProgram, cfg: &AlphaConfig) -> Analyzed {
     let pruned = prune(prog);
-    let canonical = canonicalize(&pruned.program, cfg);
-    (fingerprint_raw(&canonical), pruned)
+    let outcome = canon::canonical_program(&pruned.program, cfg);
+    Analyzed {
+        fingerprint: fingerprint_raw(&outcome.program),
+        pruned,
+        facts: outcome.facts,
+        folds: outcome.folds,
+    }
 }
 
 #[cfg(test)]

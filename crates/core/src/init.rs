@@ -240,7 +240,7 @@ mod tests {
     fn industry_reversal_keeps_its_relation_op() {
         let cfg = AlphaConfig::default();
         let r = prune(&industry_reversal(&cfg));
-        assert_eq!(r.program.count_ops(|o| o.is_relation()), 1);
+        assert_eq!(r.program.count_ops(super::super::op::Op::is_relation), 1);
     }
 
     #[test]

@@ -343,7 +343,7 @@ impl<'a> ColumnarInterpreter<'a> {
     /// snapshot/restore of stochastic programs.
     pub fn rng_states_into(&self, out: &mut Vec<[u64; 4]>) {
         out.clear();
-        out.extend(self.rngs.iter().map(|r| r.state()));
+        out.extend(self.rngs.iter().map(SmallRng::state));
     }
 
     /// Restores per-stock RNG streams captured by

@@ -36,9 +36,12 @@
 //! assert!(outcome.best.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod analysis;
+pub mod canon;
 pub mod compile;
 pub mod config;
 pub mod eval;
@@ -56,8 +59,11 @@ pub mod program;
 pub mod prune;
 pub mod relation;
 pub mod textio;
+pub mod verify;
 
+pub use absint::{ProgramFacts, StaticVerdict};
 pub use analysis::{analyze, AlphaAnalysis};
+pub use canon::{canonical_program, CanonOutcome};
 pub use compile::{compile, compile_into, CompileScratch, CompiledInstr, CompiledProgram};
 pub use config::AlphaConfig;
 pub use eval::{
@@ -68,7 +74,7 @@ pub use evolution::{
     BestAlpha, Budget, Evolution, EvolutionCheckpoint, EvolutionConfig, EvolutionOutcome,
     Individual, SearchStats, TrajectoryPoint,
 };
-pub use fingerprint::fingerprint;
+pub use fingerprint::{fingerprint, fingerprint_analyzed, Analyzed};
 pub use instruction::Instruction;
 pub use interp::ColumnarInterpreter;
 #[cfg(any(test, feature = "reference-oracle"))]
@@ -81,3 +87,4 @@ pub use op::{Kind, Op};
 pub use program::{AlphaProgram, FunctionId};
 pub use prune::{canonicalize, liveness, prune, Liveness, PruneResult};
 pub use relation::GroupIndex;
+pub use verify::{check_envelope, Diagnostic, DiagnosticCode, ProgramVerifier, Severity};

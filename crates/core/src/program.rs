@@ -189,8 +189,8 @@ mod tests {
         let mut p = tiny_program();
         p.predict
             .push(Instruction::new(Op::RelRank, 2, 0, 3, [0.0; 2], [0; 2]));
-        assert_eq!(p.count_ops(|o| o.is_relation()), 1);
-        assert_eq!(p.count_ops(|o| o.is_extraction()), 1);
+        assert_eq!(p.count_ops(super::super::op::Op::is_relation), 1);
+        assert_eq!(p.count_ops(super::super::op::Op::is_extraction), 1);
         assert_eq!(p.n_ops(), 4);
     }
 }

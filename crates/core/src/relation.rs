@@ -247,13 +247,13 @@ mod tests {
         let total: usize = g
             .groups(crate::op::RelGroup::Sector)
             .iter()
-            .map(|m| m.len())
+            .map(<[u32]>::len)
             .sum();
         assert_eq!(total, 30);
         let total_ind: usize = g
             .groups(crate::op::RelGroup::Industry)
             .iter()
-            .map(|m| m.len())
+            .map(<[u32]>::len)
             .sum();
         assert_eq!(total_ind, 30);
         match g.groups(crate::op::RelGroup::All) {

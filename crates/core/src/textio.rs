@@ -150,7 +150,65 @@ pub fn from_text(text: &str) -> Result<AlphaProgram, ParseError> {
             msg: "missing one of setup/predict/update".into(),
         });
     }
+    // Text is a trust boundary like any other deserialization path: a
+    // document can be perfectly well-formed *as text* while its registers
+    // or indices would corrupt an interpreter. The cfg-free envelope
+    // rejects what no config could accept; [`from_text_checked`] layers
+    // the config-aware verifier on top.
+    if let Err(d) = crate::verify::check_envelope(&prog) {
+        return Err(ParseError {
+            line: 0,
+            msg: d.to_string(),
+        });
+    }
     Ok(prog)
+}
+
+/// Parses a program and verifies it against a concrete config: register
+/// indices within the configured bank sizes and extraction indices within
+/// the feature matrix (an `m_get(m0, 200, 0)` row index beyond
+/// `cfg.dim` used to parse silently and only blow up — or worse, read
+/// garbage — once interpreted). Structural diagnostics come back as
+/// [`ParseError`]s with the offending source line.
+pub fn from_text_checked(
+    text: &str,
+    cfg: &crate::config::AlphaConfig,
+) -> Result<AlphaProgram, ParseError> {
+    let prog = from_text(text)?;
+    if let Err(d) = crate::verify::ProgramVerifier::new(cfg).ensure_valid(&prog) {
+        return Err(ParseError {
+            line: diagnostic_line(text, &d),
+            msg: d.to_string(),
+        });
+    }
+    Ok(prog)
+}
+
+/// Best-effort mapping of a verifier diagnostic (function + instruction
+/// index) back to a 1-based source line; 0 when the diagnostic carries no
+/// position.
+fn diagnostic_line(text: &str, d: &crate::verify::Diagnostic) -> usize {
+    let (Some(f), Some(instr)) = (d.function, d.instr) else {
+        return 0;
+    };
+    let header = format!("def {}():", f.name());
+    let mut in_function = false;
+    let mut index = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("def ") {
+            in_function = line == header;
+            continue;
+        }
+        if !in_function || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if index == instr {
+            return lineno + 1;
+        }
+        index += 1;
+    }
+    0
 }
 
 fn parse_register(token: &str, expect: Kind) -> Result<u8, String> {
@@ -349,6 +407,66 @@ mod tests {
     #[test]
     fn empty_set_is_empty() {
         assert!(set_from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn envelope_rejects_out_of_range_register_text() {
+        // Well-formed text, poison register: no config has an s200.
+        let text =
+            "def setup():\n  s1 = s_abs(s200)\ndef predict():\n  noop\ndef update():\n  noop\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("register"), "msg: {}", err.msg);
+    }
+
+    #[test]
+    fn envelope_rejects_non_finite_literal_text() {
+        let text =
+            "def setup():\n  s2 = s_const(NaN)\ndef predict():\n  noop\ndef update():\n  noop\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.msg.contains("literal"), "msg: {}", err.msg);
+    }
+
+    #[test]
+    fn checked_parse_rejects_out_of_range_feature_row() {
+        // `m_get(m0, 200, 0)` parses (200 fits a u8) but row 200 is far
+        // outside the 13×13 feature matrix — the checked parse pins this
+        // to the offending line.
+        let cfg = AlphaConfig::default();
+        let text =
+            "def setup():\n  noop\ndef predict():\n  s1 = m_get(m0, 200, 0)\ndef update():\n  noop\n";
+        assert!(
+            from_text(text).is_ok(),
+            "the cfg-free parse cannot know dim"
+        );
+        let err = from_text_checked(text, &cfg).unwrap_err();
+        assert_eq!(err.line, 4, "err: {err}");
+        assert!(err.msg.contains("index"), "msg: {}", err.msg);
+    }
+
+    #[test]
+    fn checked_parse_rejects_register_beyond_config_bank() {
+        // s12 clears the envelope (< 16) but not the default config's
+        // scalar bank.
+        let cfg = AlphaConfig::default();
+        assert!(cfg.n_scalars <= 12);
+        let text =
+            "def setup():\n  s1 = s_abs(s12)\ndef predict():\n  noop\ndef update():\n  noop\n";
+        assert!(from_text(text).is_ok());
+        let err = from_text_checked(text, &cfg).unwrap_err();
+        assert_eq!(err.line, 2, "err: {err}");
+    }
+
+    #[test]
+    fn checked_parse_accepts_the_paper_seeds() {
+        let cfg = AlphaConfig::default();
+        for prog in [
+            crate::init::domain_expert(&cfg),
+            crate::init::two_layer_nn(&cfg),
+            crate::init::industry_reversal(&cfg),
+        ] {
+            let text = to_text(&prog);
+            assert_eq!(from_text_checked(&text, &cfg).unwrap(), prog);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use alphaevolve_market::MarketConfig;
 
 /// Scale preset and output location for one harness invocation.
 #[derive(Debug, Clone)]
-pub struct XpConfig {
+pub(crate) struct XpConfig {
     /// Synthetic-market shape.
     pub market: MarketConfig,
     /// Mining rounds (paper: 5).
@@ -40,7 +40,7 @@ pub struct XpConfig {
 
 impl XpConfig {
     /// Minutes-scale preset.
-    pub fn quick() -> XpConfig {
+    pub(crate) fn quick() -> XpConfig {
         XpConfig {
             market: MarketConfig {
                 n_stocks: 60,
@@ -61,7 +61,7 @@ impl XpConfig {
     }
 
     /// Closer-to-paper preset (tens of minutes).
-    pub fn full() -> XpConfig {
+    pub(crate) fn full() -> XpConfig {
         XpConfig {
             market: MarketConfig {
                 n_stocks: 100,
@@ -82,12 +82,12 @@ impl XpConfig {
     }
 
     /// Long-short books scaled to the universe (paper: 50/50 of 1026).
-    pub fn long_short(&self) -> LongShortConfig {
+    pub(crate) fn long_short(&self) -> LongShortConfig {
         LongShortConfig::scaled(self.market.n_stocks)
     }
 
     /// Evolution configuration for one AE round.
-    pub fn evolution(&self, seed: u64) -> EvolutionConfig {
+    pub(crate) fn evolution(&self, seed: u64) -> EvolutionConfig {
         EvolutionConfig {
             population_size: 100,
             tournament_size: 10,
@@ -100,7 +100,5 @@ impl XpConfig {
 }
 
 fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }

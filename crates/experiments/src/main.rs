@@ -19,6 +19,8 @@
 //! in `results/` by default, one CSV per table plus the rendered tables on
 //! stdout.
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod runners;
 mod tables;
@@ -115,11 +117,11 @@ mod tests {
         assert!(!rounds.gp_runs.is_empty());
         assert_eq!(rounds.best_names.len(), rounds.best_programs.len());
         // Round 0 has the four initializations.
-        let round0: Vec<_> = rounds
+        let round0 = rounds
             .ae_runs
             .iter()
             .filter(|r| r.name.ends_with("_0"))
-            .collect();
-        assert_eq!(round0.len(), 4);
+            .count();
+        assert_eq!(round0, 4);
     }
 }

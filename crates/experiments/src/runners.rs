@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use crate::config::XpConfig;
 
 /// Builds the shared dataset for a config.
-pub fn build_dataset(cfg: &XpConfig) -> Arc<Dataset> {
+pub(crate) fn build_dataset(cfg: &XpConfig) -> Arc<Dataset> {
     let market = cfg.market.generate();
     Arc::new(
         Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())
@@ -27,7 +27,7 @@ pub fn build_dataset(cfg: &XpConfig) -> Arc<Dataset> {
 }
 
 /// Builds the evaluator shared by all AE rounds.
-pub fn build_evaluator(cfg: &XpConfig, dataset: Arc<Dataset>) -> Evaluator {
+pub(crate) fn build_evaluator(cfg: &XpConfig, dataset: Arc<Dataset>) -> Evaluator {
     Evaluator::new(
         AlphaConfig::default(),
         EvalOptions {
@@ -41,7 +41,7 @@ pub fn build_evaluator(cfg: &XpConfig, dataset: Arc<Dataset>) -> Evaluator {
 
 /// The four §5.2 initializations plus round-4 "B" seeds.
 #[derive(Debug, Clone)]
-pub enum Init {
+pub(crate) enum Init {
     /// Domain-expert alpha (`alpha_AE_D`).
     Domain,
     /// No initialization (`alpha_AE_NOOP`).
@@ -56,7 +56,7 @@ pub enum Init {
 
 impl Init {
     /// Paper tag (`D`, `NOOP`, `R`, `NN`, `B<r>`).
-    pub fn tag(&self) -> String {
+    pub(crate) fn tag(&self) -> String {
         match self {
             Init::Domain => "D".into(),
             Init::Noop => "NOOP".into(),
@@ -67,7 +67,7 @@ impl Init {
     }
 
     /// Materializes the seed program.
-    pub fn program(&self, cfg: &AlphaConfig, seed: u64) -> AlphaProgram {
+    pub(crate) fn program(&self, cfg: &AlphaConfig, seed: u64) -> AlphaProgram {
         match self {
             Init::Domain => init::domain_expert(cfg),
             Init::Noop => init::noop(cfg),
@@ -82,7 +82,7 @@ impl Init {
 }
 
 /// One finished AE round.
-pub struct AeRun {
+pub(crate) struct AeRun {
     /// Paper-style row name, e.g. `alpha_AE_D_0`.
     pub name: String,
     /// Winning program (None when every candidate died, like the paper's
@@ -102,7 +102,7 @@ pub struct AeRun {
 }
 
 /// Runs one AE evolution round.
-pub fn run_ae_round(
+pub(crate) fn run_ae_round(
     cfg: &XpConfig,
     evaluator: &Evaluator,
     name: String,
@@ -134,7 +134,7 @@ pub fn run_ae_round(
 }
 
 /// One finished GP round.
-pub struct GpRun {
+pub(crate) struct GpRun {
     /// Paper-style row name, e.g. `alpha_G_0`.
     pub name: String,
     /// Winning formula as text.
@@ -153,7 +153,7 @@ pub struct GpRun {
 }
 
 /// Runs one GP round.
-pub fn run_gp_round(
+pub(crate) fn run_gp_round(
     cfg: &XpConfig,
     dataset: &Dataset,
     name: String,
@@ -194,7 +194,7 @@ pub fn run_gp_round(
 
 /// Signed correlation of largest magnitude against the gate's accepted
 /// set (None when the set is empty).
-pub fn max_signed_correlation(gate: &CorrelationGate, returns: &[f64]) -> Option<f64> {
+pub(crate) fn max_signed_correlation(gate: &CorrelationGate, returns: &[f64]) -> Option<f64> {
     if gate.is_empty() || returns.is_empty() {
         return None;
     }
@@ -205,7 +205,7 @@ pub fn max_signed_correlation(gate: &CorrelationGate, returns: &[f64]) -> Option
 }
 
 /// Everything the multi-round driver produces.
-pub struct RoundsOutput {
+pub(crate) struct RoundsOutput {
     /// Every AE run, in execution order.
     pub ae_runs: Vec<AeRun>,
     /// Every GP run (its own accepted set, as in the paper).
@@ -226,7 +226,7 @@ pub struct RoundsOutput {
 /// 15% cutoff gate applies to all later rounds. The last round seeds AE
 /// with the members of `A` (the `B<r>` rows). GP maintains its own
 /// accepted set, and — as in the paper — is not run in the final round.
-pub fn run_rounds(
+pub(crate) fn run_rounds(
     cfg: &XpConfig,
     evaluator: &Evaluator,
     dataset: &Dataset,

@@ -51,7 +51,7 @@ fn ae_row(run: &AeRun) -> Vec<Cell> {
 
 /// Table 1: mining a weakly correlated alpha against an existing
 /// domain-expert-designed alpha.
-pub fn table1(cfg: &XpConfig) {
+pub(crate) fn table1(cfg: &XpConfig) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset.clone());
 
@@ -61,7 +61,7 @@ pub fn table1(cfg: &XpConfig) {
     let expert_report = evaluator.backtest(&expert);
 
     let mut gate = CorrelationGate::paper();
-    gate.accept(expert_eval.val_returns.clone());
+    gate.accept(expert_eval.val_returns);
 
     eprintln!("[table1] mining alpha_AE_D_0 (cutoff vs alpha_D_0) ...");
     let ae = run_ae_round(
@@ -116,7 +116,7 @@ pub fn table1(cfg: &XpConfig) {
 
 /// Table 2: five rounds of weakly correlated mining, AE vs the genetic
 /// algorithm.
-pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
+pub(crate) fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
     let mut t = Table::new(
         "Table 2: performance of weakly correlated alpha mining (AE_D vs GP)",
         &[
@@ -180,7 +180,7 @@ pub fn table2(cfg: &XpConfig, rounds: &RoundsOutput) {
 }
 
 /// Table 3: five rounds across the four initializations.
-pub fn table3(cfg: &XpConfig, rounds: &RoundsOutput) {
+pub(crate) fn table3(cfg: &XpConfig, rounds: &RoundsOutput) {
     let mut t = Table::new(
         "Table 3: weakly correlated alpha mining for different initializations",
         &[
@@ -202,7 +202,7 @@ pub fn table3(cfg: &XpConfig, rounds: &RoundsOutput) {
 
 /// Table 4: ablation of the parameter-updating function — each accepted
 /// alpha re-evaluated with `Update()` disabled (`_P` rows).
-pub fn table4(cfg: &XpConfig, evaluator: &Evaluator, rounds: &RoundsOutput) {
+pub(crate) fn table4(cfg: &XpConfig, evaluator: &Evaluator, rounds: &RoundsOutput) {
     let ablated = evaluator.with_options(EvalOptions {
         run_update: false,
         long_short: evaluator.options().long_short,
@@ -241,7 +241,7 @@ pub fn table4(cfg: &XpConfig, evaluator: &Evaluator, rounds: &RoundsOutput) {
 
 /// Table 5: comparison with the complex machine-learning alphas
 /// (Rank_LSTM and RSR), mean ± std over `neural_seeds` runs.
-pub fn table5(cfg: &XpConfig) {
+pub(crate) fn table5(cfg: &XpConfig) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset.clone());
     let ls = cfg.long_short();
@@ -366,7 +366,7 @@ pub fn table5(cfg: &XpConfig) {
 /// Table 6: efficiency of the pruning technique — same wall-clock budget
 /// with the §4.2 pipeline vs the AutoML-Zero-style prediction fingerprint
 /// (`_N` rows); the metric is the number of searched alphas.
-pub fn table6(cfg: &XpConfig) {
+pub(crate) fn table6(cfg: &XpConfig) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset);
     let gate = CorrelationGate::paper();
@@ -434,7 +434,7 @@ pub fn table6(cfg: &XpConfig) {
 
 /// Figure 6: evolutionary trajectories (best validation IC vs searched
 /// candidates) of every round winner. Emits one CSV per winner.
-pub fn fig6(cfg: &XpConfig, rounds: &RoundsOutput) {
+pub(crate) fn fig6(cfg: &XpConfig, rounds: &RoundsOutput) {
     println!("== Figure 6: evolutionary trajectories of the best alphas in all rounds ==");
     for (name, traj) in &rounds.best_trajectories {
         let mut csv = String::from("searched,best_ic\n");
@@ -442,12 +442,12 @@ pub fn fig6(cfg: &XpConfig, rounds: &RoundsOutput) {
             csv.push_str(&format!("{},{}\n", p.searched, p.best_ic));
         }
         save(cfg, &format!("fig6_{name}.csv"), &csv);
-        let first = traj.first().map(|p| p.best_ic).unwrap_or(f64::NAN);
-        let last = traj.last().map(|p| p.best_ic).unwrap_or(f64::NAN);
+        let first = traj.first().map_or(f64::NAN, |p| p.best_ic);
+        let last = traj.last().map_or(f64::NAN, |p| p.best_ic);
         println!(
             "{name}: {} improvements, IC {first:.6} -> {last:.6} over {} searched",
             traj.len(),
-            traj.last().map(|p| p.searched).unwrap_or(0),
+            traj.last().map_or(0, |p| p.searched),
         );
     }
     println!();
@@ -455,7 +455,7 @@ pub fn fig6(cfg: &XpConfig, rounds: &RoundsOutput) {
 
 /// Runs the shared 5-round driver and every table/figure that depends on
 /// it, then the standalone tables.
-pub fn all(cfg: &XpConfig) {
+pub(crate) fn all(cfg: &XpConfig) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset.clone());
     eprintln!("[all] running the 5-round mining driver ...");
@@ -470,7 +470,7 @@ pub fn all(cfg: &XpConfig) {
 }
 
 /// Standalone drivers for the rounds-dependent tables.
-pub fn rounds_tables(cfg: &XpConfig, which: &str) {
+pub(crate) fn rounds_tables(cfg: &XpConfig, which: &str) {
     let dataset = build_dataset(cfg);
     let evaluator = build_evaluator(cfg, dataset.clone());
     let with_gp = which == "table2";
@@ -486,7 +486,7 @@ pub fn rounds_tables(cfg: &XpConfig, which: &str) {
 
 /// Ensures the output directory exists up front (so failures surface
 /// early, not after minutes of mining).
-pub fn prepare_out_dir(dir: &Path) {
+pub(crate) fn prepare_out_dir(dir: &Path) {
     if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("warning: cannot create output dir {}: {e}", dir.display());
     }

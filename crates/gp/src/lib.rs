@@ -24,6 +24,7 @@
 //! Functions are protected in gplearn style (safe division/log/sqrt/inverse)
 //! so every formula evaluates to a finite value.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -45,7 +45,7 @@ pub fn apply(market: &MarketData, cfg: FilterConfig) -> FilterOutcome {
     let mut dropped_penny = Vec::new();
     let mut dropped_thin = Vec::new();
     for (i, s) in market.series.iter().enumerate() {
-        let min_close = s.close.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_close = s.close.iter().copied().fold(f64::INFINITY, f64::min);
         if min_close < cfg.min_price {
             dropped_penny.push(i);
             continue;

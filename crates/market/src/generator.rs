@@ -418,7 +418,11 @@ mod tests {
                 ..Default::default()
             }
             .generate();
-            let rets: Vec<Vec<f64>> = md.series.iter().map(|s| s.simple_returns()).collect();
+            let rets: Vec<Vec<f64>> = md
+                .series
+                .iter()
+                .map(super::super::ohlcv::OhlcvSeries::simple_returns)
+                .collect();
             let closes: Vec<&Vec<f64>> = md.series.iter().map(|s| &s.close).collect();
             let mut daily = Vec::new();
             for t in 30..md.n_days() {
@@ -453,7 +457,11 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let rets: Vec<Vec<f64>> = md.series.iter().map(|s| s.simple_returns()).collect();
+        let rets: Vec<Vec<f64>> = md
+            .series
+            .iter()
+            .map(super::super::ohlcv::OhlcvSeries::simple_returns)
+            .collect();
         let closes: Vec<&Vec<f64>> = md.series.iter().map(|s| &s.close).collect();
         let u = &md.universe;
         let mut raw_ics = Vec::new();

@@ -36,6 +36,7 @@
 //! assert!(dataset.train_days().len() > dataset.valid_days().len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csvio;

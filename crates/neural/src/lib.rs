@@ -19,6 +19,7 @@
 //! ([`loss`]), and Adam ([`optim`]). Gradients are verified against finite
 //! differences in the test suite.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dense;

@@ -198,7 +198,7 @@ impl Rsr {
     /// panel scored by the same backtest code path as every other method.
     pub fn predictions(&self, dataset: &Dataset, days: std::ops::Range<usize>) -> CrossSections {
         crate::prediction_panel(days, dataset.n_stocks(), |day, out| {
-            out.copy_from_slice(&self.forward_day(dataset, day).0)
+            out.copy_from_slice(&self.forward_day(dataset, day).0);
         })
     }
 }

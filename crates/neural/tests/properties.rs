@@ -114,7 +114,7 @@ proptest! {
     /// Loss is non-negative and zero exactly at perfect predictions.
     #[test]
     fn loss_nonnegative(preds in prop::collection::vec(-0.5f64..0.5, 2..10), alpha in 0.0f64..5.0) {
-        let labels: Vec<f64> = preds.iter().rev().cloned().collect();
+        let labels: Vec<f64> = preds.iter().rev().copied().collect();
         prop_assert!(rank_mse_loss(&preds, &labels, alpha).loss >= 0.0);
         prop_assert!(rank_mse_loss(&preds, &preds, alpha).loss < 1e-18);
     }

@@ -36,7 +36,7 @@ use alphaevolve_market::features::{FeatureSet, Normalization};
 use crate::codec::{Reader, Writer};
 use crate::error::Result;
 use crate::frame::{read_file, write_file, KIND_ARCHIVE};
-use crate::progio::{read_program, write_program};
+use crate::progio::{read_verified_program, write_program};
 
 /// A stable 64-bit identity for a feature-set recipe (kinds in order plus
 /// normalization mode), stored with each archived alpha so a serving
@@ -312,7 +312,7 @@ impl AlphaArchive {
         let mut entries = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             let name = r.str()?;
-            let program = read_program(&mut r)?;
+            let program = read_verified_program(&mut r)?;
             let fingerprint = r.u64()?;
             let ic = r.f64()?;
             let val_returns = r.f64_vec()?;
@@ -467,7 +467,7 @@ mod tests {
         ar.admit(alpha("plain", 1, 0.1, noise(1, 40)));
         // NaN IC: admit would compare NaN; push directly through admit —
         // total_cmp handles NaN, and the gate sees finite noise.
-        ar.admit(weird.clone());
+        ar.admit(weird);
         let bytes = ar.to_bytes();
         let back = AlphaArchive::from_bytes(&bytes).unwrap();
         assert_eq!(back.capacity(), 4);

@@ -17,8 +17,9 @@
 //!   u64 × 6          mutation prob + five action weights (f64 bits)
 //!   u8 + u64 [+u32]  budget: 0 = Searched(count) | 1 = WallTime(secs, nanos)
 //!   u64 × 2          seed, workers
-//! u64 × 6            counters: searched, evaluated, redundant,
-//!                    cache hits, invalid, gate-rejected
+//! u64 × 8            counters: searched, evaluated, redundant,
+//!                    cache hits, invalid, gate-rejected,
+//!                    static-rejected, folded
 //! u64 + u32          elapsed wall-clock (secs, subsec nanos)
 //! u64 × 4            worker RNG stream state (xoshiro256++)
 //! u64 + entries      population: count, then per member a program
@@ -41,7 +42,7 @@ use alphaevolve_core::{BestAlpha, Individual, SearchStats, TrajectoryPoint};
 use crate::codec::{Reader, Writer};
 use crate::error::{Result, StoreError};
 use crate::frame::{read_file, write_file, KIND_CHECKPOINT};
-use crate::progio::{read_program, write_program};
+use crate::progio::{read_verified_program, write_program};
 
 /// Serializes a checkpoint into a framed byte buffer.
 pub fn checkpoint_to_bytes(c: &EvolutionCheckpoint) -> Vec<u8> {
@@ -99,6 +100,8 @@ fn encode_payload(c: &EvolutionCheckpoint) -> Vec<u8> {
     w.usize(c.stats.cache_hits);
     w.usize(c.stats.invalid);
     w.usize(c.stats.gate_rejected);
+    w.usize(c.stats.static_rejected);
+    w.usize(c.stats.folded);
     // Elapsed.
     w.u64(c.elapsed.as_secs());
     w.u32(c.elapsed.subsec_nanos());
@@ -187,6 +190,8 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
         cache_hits: r.usize()?,
         invalid: r.usize()?,
         gate_rejected: r.usize()?,
+        static_rejected: r.usize()?,
+        folded: r.usize()?,
     };
     let elapsed = {
         let secs = r.u64()?;
@@ -210,7 +215,7 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
     let n_pop = r.len_prefix(1)?;
     let mut population = Vec::with_capacity(n_pop.min(4096));
     for _ in 0..n_pop {
-        let program = read_program(&mut r)?;
+        let program = read_verified_program(&mut r)?;
         let fitness = r.opt_f64()?;
         population.push(Individual { program, fitness });
     }
@@ -224,8 +229,8 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
     let best = match r.u8()? {
         0 => None,
         1 => {
-            let program = read_program(&mut r)?;
-            let pruned = read_program(&mut r)?;
+            let program = read_verified_program(&mut r)?;
+            let pruned = read_verified_program(&mut r)?;
             let ic = r.f64()?;
             let val_returns = r.f64_vec()?;
             Some(BestAlpha {
@@ -278,12 +283,14 @@ mod tests {
                 workers: 1,
             },
             stats: SearchStats {
-                searched: 150,
+                searched: 156,
                 evaluated: 40,
                 redundant: 90,
                 cache_hits: 20,
                 invalid: 3,
                 gate_rejected: 1,
+                static_rejected: 6,
+                folded: 17,
             },
             elapsed: Duration::new(12, 345_678_901),
             rng: [1, 2, 3, 4],

@@ -101,6 +101,15 @@ pub enum StoreError {
         /// Human-readable description of the inconsistency.
         what: String,
     },
+    /// Framing, CRC, and byte-level decoding all passed, but a decoded
+    /// program fails static verification (a register out of range, a
+    /// non-finite literal, a relation op in `Setup()`, …) — hostile or
+    /// stale bytes that must never reach the compiler or interpreter.
+    InvalidProgram {
+        /// The rejecting diagnostic, rendered (see
+        /// `alphaevolve_core::verify`).
+        diagnostic: String,
+    },
     /// A serving request was refused or failed — either raised locally by
     /// an [`AlphaService`](crate::service::AlphaService) implementation or
     /// carried back over the wire as a typed `ErrorResponse` frame.
@@ -134,6 +143,9 @@ impl fmt::Display for StoreError {
                 "truncated: decoder needed {needed} more byte(s), {available} available"
             ),
             StoreError::Malformed { what } => write!(f, "malformed payload: {what}"),
+            StoreError::InvalidProgram { diagnostic } => {
+                write!(f, "invalid program: {diagnostic}")
+            }
             StoreError::Service { code, message } => {
                 write!(f, "service error ({code}): {message}")
             }

@@ -104,6 +104,7 @@
 //! assert_eq!((plane.n_days(), plane.n_stocks()), (1, 12));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;

@@ -16,8 +16,16 @@
 //! a prerequisite for the fingerprint cache and the archive's exactness
 //! guarantee. Decoding validates every op code; junk surfaces as
 //! [`StoreError::Malformed`].
+//!
+//! Byte-level validity is *not* semantic validity: a frame can check out
+//! (magic, CRC, op codes) while its registers, indices, or literals would
+//! still crash or corrupt an interpreter. Every trust boundary therefore
+//! decodes through [`read_verified_program`], which runs the cfg-free
+//! [`check_envelope`] pass of `alphaevolve_core::verify` and rejects with
+//! a typed [`StoreError::InvalidProgram`]; serving additionally runs the
+//! full config-aware verifier before compiling (see `archive`).
 
-use alphaevolve_core::{AlphaProgram, FunctionId, Instruction, Op};
+use alphaevolve_core::{check_envelope, AlphaProgram, FunctionId, Instruction, Op};
 
 use crate::codec::{Reader, Writer};
 use crate::error::{Result, StoreError};
@@ -45,6 +53,19 @@ pub fn read_program(r: &mut Reader<'_>) -> Result<AlphaProgram> {
             out.push(read_instruction(r)?);
         }
     }
+    Ok(prog)
+}
+
+/// Decodes a program and rejects anything outside the static envelope
+/// (register indices ≥ 16, bodies longer than any config allows,
+/// non-finite literals, relation ops in `Setup()`). This is the decoder
+/// trust boundaries use: untrusted bytes whose frame checks out must
+/// still never reach `compile` or an interpreter.
+pub fn read_verified_program(r: &mut Reader<'_>) -> Result<AlphaProgram> {
+    let prog = read_program(r)?;
+    check_envelope(&prog).map_err(|d| StoreError::InvalidProgram {
+        diagnostic: d.to_string(),
+    })?;
     Ok(prog)
 }
 

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use alphaevolve_backtest::CrossSections;
 use alphaevolve_core::{
     compile, liveness, AlphaConfig, AlphaProgram, ColumnarInterpreter, CompiledProgram,
-    EvalOptions, GroupIndex, Kind,
+    EvalOptions, GroupIndex, Kind, ProgramVerifier,
 };
 use alphaevolve_market::features::FeatureSet;
 use alphaevolve_market::{Dataset, DayMajorPanel};
@@ -163,6 +163,12 @@ impl AlphaServer {
         features: &FeatureSet,
     ) -> Result<AlphaServer> {
         let expected = feature_set_id(features);
+        // The archive load already enforced the cfg-free envelope; here the
+        // serving config is known, so run the full structural verifier
+        // before anything is compiled — `compile` trusts register and
+        // feature indices, and serving must never execute bytes that only
+        // *framed* correctly.
+        let verifier = ProgramVerifier::new(&cfg);
         let mut programs = Vec::with_capacity(archive.len());
         for e in archive.entries() {
             if e.feature_set_id != expected {
@@ -171,6 +177,11 @@ impl AlphaServer {
                         "alpha `{}` was mined on feature set {:#018x}, dataset uses {expected:#018x}",
                         e.name, e.feature_set_id
                     ),
+                });
+            }
+            if let Err(d) = verifier.ensure_valid(&e.program) {
+                return Err(StoreError::InvalidProgram {
+                    diagnostic: format!("alpha `{}`: {d}", e.name),
                 });
             }
             programs.push((e.name.clone(), e.program.clone()));

@@ -339,7 +339,7 @@ where
                                 block.n_stocks()
                             ),
                             &mut send_buf,
-                        )
+                        );
                     }
                     Ok(()) => encode_predictions(&block, &mut send_buf),
                     Err(e) => encode_store_error(&e, &mut send_buf),

@@ -81,7 +81,7 @@ pub fn encode_request(req: Request, out: &mut Vec<u8>) {
             frame_stream(out, KIND_SERVE_RANGE_REQUEST, 16, |b| {
                 b.extend_from_slice(&start.to_le_bytes());
                 b.extend_from_slice(&end.to_le_bytes());
-            })
+            });
         }
         Request::Metadata => frame_stream(out, KIND_METADATA_REQUEST, 0, |_| {}),
     }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use alphaevolve_backtest::CrossSections;
 use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
-use alphaevolve_core::{init, AlphaConfig, Individual, SearchStats};
+use alphaevolve_core::{init, AlphaConfig, AlphaProgram, Individual, SearchStats};
 use alphaevolve_store::archive::{AlphaArchive, ArchivedAlpha};
 use alphaevolve_store::checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
@@ -33,7 +33,7 @@ fn fixture_archive() -> AlphaArchive {
     ar.admit(ArchivedAlpha {
         name: "fixture".into(),
         program: init::two_layer_nn(&cfg),
-        fingerprint: 0xe867_dc16_95a8_ffb5,
+        fingerprint: 0x60f0_a96b_0af1_1c64,
         ic: 0.21213852898918362,
         val_returns: series,
         train_days: (30, 90),
@@ -56,10 +56,12 @@ fn fixture_checkpoint() -> EvolutionCheckpoint {
         stats: SearchStats {
             searched: 50,
             evaluated: 20,
-            redundant: 25,
+            redundant: 23,
             cache_hits: 5,
             invalid: 0,
             gate_rejected: 0,
+            static_rejected: 2,
+            folded: 4,
         },
         elapsed: Duration::from_millis(1234),
         rng: [9, 8, 7, 6],
@@ -99,7 +101,7 @@ fn every_truncation_of_a_checkpoint_fails_typed() {
     let bytes = checkpoint_to_bytes(&fixture_checkpoint());
     for cut in 0..bytes.len() {
         match checkpoint_from_bytes(&bytes[..cut]) {
-            Err(StoreError::Truncated { .. }) | Err(StoreError::BadMagic { .. }) => {}
+            Err(StoreError::Truncated { .. } | StoreError::BadMagic { .. }) => {}
             Err(other) => panic!("cut at {cut}: unexpected error class {other:?}"),
             Ok(_) => panic!("truncation to {cut} bytes loaded successfully"),
         }
@@ -241,9 +243,8 @@ fn wire_fixtures() -> Vec<(&'static str, Vec<u8>)> {
 fn decode_wire(bytes: &[u8]) -> Result<(), StoreError> {
     let mut cursor = Cursor::new(bytes);
     let mut buf = Vec::new();
-    let kind = match read_message(&mut cursor, &mut buf)? {
-        None => return Ok(()),
-        Some(kind) => kind,
+    let Some(kind) = read_message(&mut cursor, &mut buf)? else {
+        return Ok(());
     };
     // A frame glued to trailing garbage is a stream-sync bug.
     if cursor.position() as usize != bytes.len() {
@@ -395,6 +396,129 @@ fn request_frame_where_a_response_is_expected_fails_typed() {
     assert!(
         served.join().unwrap().is_err(),
         "the server closes a connection that broke the protocol"
+    );
+}
+
+/// A structurally hostile instruction: byte-level decoding accepts it (the
+/// op code is real), but its registers/indices/literals are poison for an
+/// interpreter. Built field-by-field so no constructor can sanitize it.
+fn poison_instruction(patch: impl FnOnce(&mut alphaevolve_core::Instruction)) -> AlphaProgram {
+    let cfg = AlphaConfig::default();
+    let mut prog = init::domain_expert(&cfg);
+    patch(&mut prog.predict[0]);
+    prog
+}
+
+/// Valid frame, invalid program: the envelope verifier — not the CRC, not
+/// the byte decoder — must be what rejects these, with the typed
+/// [`StoreError::InvalidProgram`].
+#[test]
+fn valid_frames_carrying_invalid_programs_fail_typed() {
+    use alphaevolve_core::Op;
+
+    let hostile: Vec<(&str, AlphaProgram)> = vec![
+        (
+            "out-of-range input register",
+            poison_instruction(|i| {
+                i.op = Op::SAbs;
+                i.in1 = 200;
+            }),
+        ),
+        (
+            "out-of-range output register",
+            poison_instruction(|i| {
+                i.op = Op::SAbs;
+                i.out = 0xFF;
+            }),
+        ),
+        (
+            "non-finite literal",
+            poison_instruction(|i| {
+                i.op = Op::SConst;
+                i.lit[0] = f64::NAN;
+            }),
+        ),
+        ("relation op in setup", {
+            let cfg = AlphaConfig::default();
+            let mut prog = init::domain_expert(&cfg);
+            let mut i = alphaevolve_core::Instruction::nop();
+            i.op = Op::RelRank;
+            prog.setup.push(i);
+            prog
+        }),
+        ("function body beyond any config's cap", {
+            let cfg = AlphaConfig::default();
+            let mut prog = init::domain_expert(&cfg);
+            let mut i = alphaevolve_core::Instruction::nop();
+            i.op = Op::SAbs;
+            i.in1 = 1;
+            i.out = 1;
+            prog.update = vec![i; 300];
+            prog
+        }),
+    ];
+
+    for (what, prog) in hostile {
+        // Checkpoint path: hostile genome inside the population.
+        let mut ckpt = fixture_checkpoint();
+        ckpt.population[0].program = prog.clone();
+        let bytes = checkpoint_to_bytes(&ckpt);
+        match checkpoint_from_bytes(&bytes) {
+            Err(StoreError::InvalidProgram { .. }) => {}
+            other => panic!("checkpoint with {what}: expected InvalidProgram, got {other:?}"),
+        }
+
+        // Checkpoint path: hostile program as the best alpha.
+        let mut ckpt = fixture_checkpoint();
+        ckpt.best = Some(alphaevolve_core::BestAlpha {
+            program: init::domain_expert(&AlphaConfig::default()),
+            pruned: prog.clone(),
+            ic: 0.1,
+            val_returns: vec![0.01, 0.02],
+        });
+        match checkpoint_from_bytes(&checkpoint_to_bytes(&ckpt)) {
+            Err(StoreError::InvalidProgram { .. }) => {}
+            other => panic!("best alpha with {what}: expected InvalidProgram, got {other:?}"),
+        }
+
+        // Archive path: hostile program behind a perfectly sealed frame.
+        let mut ar = fixture_archive();
+        ar.admit(ArchivedAlpha {
+            name: "hostile".into(),
+            program: prog,
+            fingerprint: 0xDEAD_BEEF,
+            ic: 0.5,
+            val_returns: (0..40).map(|i| (i as f64).cos() * 0.01).collect(),
+            train_days: (30, 90),
+            feature_set_id: 11,
+        });
+        match AlphaArchive::from_bytes(&ar.to_bytes()) {
+            Err(StoreError::InvalidProgram { .. }) => {}
+            other => panic!("archive with {what}: expected InvalidProgram, got {other:?}"),
+        }
+    }
+}
+
+/// The same boundary exercised the hostile way: flip a register byte
+/// *inside* an already-sealed frame and re-seal the CRC, so the only
+/// remaining defense is the program verifier.
+#[test]
+fn resealed_register_patch_fails_as_invalid_program() {
+    let ckpt = fixture_checkpoint();
+    let pristine = checkpoint_to_bytes(&ckpt);
+    let mut hit = false;
+    for byte in 16..pristine.len() - 4 {
+        let mut patched = pristine.clone();
+        patched[byte] = 0xC8; // register 200 — outside any bank
+                              // Other bytes land in counts, literals, CRCs, fitnesses — any
+                              // typed error or a benign decode is fine; a panic is not.
+        if let Err(StoreError::InvalidProgram { .. }) = checkpoint_from_bytes(&reseal(patched)) {
+            hit = true;
+        }
+    }
+    assert!(
+        hit,
+        "no single-byte register patch ever reached the program verifier"
     );
 }
 

@@ -152,6 +152,8 @@ proptest! {
                 cache_hits: (seed % 100) as usize,
                 invalid: (seed % 10) as usize,
                 gate_rejected: (seed % 7) as usize,
+                static_rejected: (seed % 13) as usize,
+                folded: (seed % 41) as usize,
             },
             elapsed: std::time::Duration::new(seed % 100_000, (seed % 999_999_999) as u32),
             rng: [rng_word, seed | 1, seed.rotate_left(7) | 2, !seed | 4],

@@ -4,7 +4,7 @@
 //! return predictions **bit-identical** to a direct
 //! [`AlphaServer::serve_day`] on the same archive and day, including for
 //! the fixed-seed mined alpha pinned since PR 2
-//! (fingerprint `0xe867dc1695a8ffb5` on x86-64 Linux).
+//! (fingerprint `0x60f0a96b0af11c64` on x86-64 Linux).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -88,7 +88,7 @@ fn mined_archive() -> (Arc<Dataset>, FeatureSet, AlphaArchive) {
     let (fp, _) = fingerprint(&best.program, ev.config());
     if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
         assert_eq!(
-            fp, 0xe867dc1695a8ffb5,
+            fp, 0x60f0a96b0af11c64,
             "the pinned mined alpha diverged before serving was even tested"
         );
     }
@@ -112,7 +112,7 @@ fn mined_archive() -> (Arc<Dataset>, FeatureSet, AlphaArchive) {
         });
         assert!(outcome.admitted(), "fixture alpha `{name}`: {outcome:?}");
     };
-    admit("mined_pinned", best.program.clone());
+    admit("mined_pinned", best.program);
     admit("expert", init::domain_expert(&cfg));
     admit("momentum", init::momentum(&cfg));
     admit("reversal", init::industry_reversal(&cfg));

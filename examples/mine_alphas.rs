@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         tournament_size: 10,
         budget: Budget::Searched(5_000),
         seed: 3,
-        workers: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         ..Default::default()
     };
     println!(

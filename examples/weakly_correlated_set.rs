@@ -56,9 +56,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let config = EvolutionConfig {
             budget: Budget::Searched(3_000),
             seed: 100 + round as u64,
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             ..Default::default()
         };
         // The archive's live gate constrains the search itself.

@@ -13,6 +13,8 @@
 //!
 //! See `examples/quickstart.rs` for the end-to-end happy path.
 
+#![forbid(unsafe_code)]
+
 pub use alphaevolve_backtest as backtest;
 pub use alphaevolve_core as core;
 pub use alphaevolve_gp as gp;

@@ -16,6 +16,12 @@
 //! exists) and leaves it out of the count. Every thread the test itself
 //! causes to exist — including the shard-server threads behind the routed
 //! serving path of phase 4 — is counted.
+//!
+//! This file is the one deliberate `unsafe` exception in the workspace:
+//! implementing [`GlobalAlloc`] is an `unsafe` trait contract, full stop.
+//! Every crate root carries `#![forbid(unsafe_code)]`; integration tests
+//! compile as their own crates, so this exception lives here without
+//! weakening that guarantee anywhere shipping code runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,7 +76,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
