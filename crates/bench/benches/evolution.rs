@@ -56,6 +56,22 @@ fn benches(c: &mut Criterion) {
             |b| b.iter(|| Evolution::new(&evaluator, wconfig.clone()).run(&parent)),
         );
     }
+
+    // Batched multi-candidate evaluation: the same 600-candidate budget on
+    // one worker, tile width B. Each day's feature block is staged into
+    // the shared input plane once per *tile* instead of once per
+    // candidate; single-worker results are bit-identical across B
+    // (tests/determinism.rs), so the sweep isolates pure throughput.
+    for batch in [1usize, 4, 8, 16] {
+        let bconfig = EvolutionConfig {
+            batch,
+            budget: Budget::Searched(600),
+            ..econfig.clone()
+        };
+        c.bench_function(&format!("evolution/600_candidates_batch_{batch}"), |b| {
+            b.iter(|| Evolution::new(&evaluator, bconfig.clone()).run(&parent));
+        });
+    }
 }
 
 criterion_group! {

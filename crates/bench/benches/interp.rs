@@ -8,10 +8,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use alphaevolve_bench::{bench_dataset, bench_evaluator, paper_scale_dataset};
+use alphaevolve_bench::{
+    bench_dataset, bench_evaluator, paper_scale_dataset, paper_scale_evaluator,
+};
 use alphaevolve_core::{
-    compile, compile_into, init, ColumnarInterpreter, CompileScratch, CompiledProgram, GroupIndex,
-    Interpreter,
+    compile, compile_into, init, AlphaProgram, ColumnarInterpreter, CompileScratch,
+    CompiledProgram, GroupIndex, Interpreter,
 };
 use alphaevolve_market::DayMajorPanel;
 
@@ -40,6 +42,80 @@ fn benches(c: &mut Criterion) {
         let mut out = CompiledProgram::with_capacity(&cfg);
         let mut scratch = CompileScratch::default();
         b.iter(|| compile_into(std::hint::black_box(&nn), &cfg, k, &mut scratch, &mut out));
+    });
+
+    // Batched tile vs sequential: eight candidates through one
+    // program-major × stock-major tile (each day's feature block staged
+    // once into the shared plane for all eight register files) versus
+    // eight one-at-a-time evaluations over the same warm arena. Both
+    // paths run the full training sweep (skip_training = false).
+    let eight: Vec<AlphaProgram> = (0..8)
+        .map(|i| match i % 3 {
+            0 => init::two_layer_nn(&cfg),
+            1 => init::domain_expert(&cfg),
+            _ => init::industry_reversal(&cfg),
+        })
+        .collect();
+    c.bench_function("interp/evaluate_8_candidates_sequential", |b| {
+        let mut arena = evaluator.arena();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &eight {
+                acc += evaluator
+                    .evaluate_prepared_in(&mut arena, std::hint::black_box(p), false)
+                    .unwrap_or(0.0);
+            }
+            acc
+        });
+    });
+    c.bench_function("interp/evaluate_8_candidates_batched", |b| {
+        let mut tile = evaluator.batch_arena(8);
+        b.iter(|| {
+            tile.clear();
+            for p in &eight {
+                tile.push(std::hint::black_box(p), false);
+            }
+            evaluator.evaluate_batch_in(&mut tile);
+            (0..tile.len())
+                .map(|s| tile.fitness(s).unwrap_or(0.0))
+                .sum::<f64>()
+        });
+    });
+
+    // The same comparison at paper scale (1026 stocks), where the per-day
+    // feature block is ~1 MB and staging it once per tile instead of once
+    // per candidate is the dominant saving. Four candidates, tile width 4.
+    let paper_ev = paper_scale_evaluator();
+    let four: Vec<AlphaProgram> = vec![
+        init::two_layer_nn(&cfg),
+        init::domain_expert(&cfg),
+        init::industry_reversal(&cfg),
+        init::domain_expert(&cfg),
+    ];
+    c.bench_function("interp/evaluate_4_candidates_sequential_1026", |b| {
+        let mut arena = paper_ev.arena();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &four {
+                acc += paper_ev
+                    .evaluate_prepared_in(&mut arena, std::hint::black_box(p), false)
+                    .unwrap_or(0.0);
+            }
+            acc
+        });
+    });
+    c.bench_function("interp/evaluate_4_candidates_batched_1026", |b| {
+        let mut tile = paper_ev.batch_arena(4);
+        b.iter(|| {
+            tile.clear();
+            for p in &four {
+                tile.push(std::hint::black_box(p), false);
+            }
+            paper_ev.evaluate_batch_in(&mut tile);
+            (0..tile.len())
+                .map(|s| tile.fitness(s).unwrap_or(0.0))
+                .sum::<f64>()
+        });
     });
 
     // One-day lockstep vs columnar on the small (24-stock) dataset.

@@ -192,6 +192,65 @@ pub fn compile_into(
     );
 }
 
+/// Whether the lowered program ever writes the input matrix register `m0`.
+///
+/// The batched tile executor ([`crate::interp::BatchInterpreter`]) keeps
+/// one *shared* `m0` plane per tile — loaded once per day and read by every
+/// slot — so a slot may alias it only if nothing in the slot writes it.
+/// The test must run on the **lowered** program: a dead stochastic
+/// instruction targeting `m0` survives dead-code stripping (it advances
+/// the RNG streams) and still clobbers the plane.
+pub fn writes_m0(prog: &CompiledProgram) -> bool {
+    prog.setup
+        .iter()
+        .chain(&prog.predict)
+        .chain(&prog.update)
+        .any(|i| i.op != Op::NoOp && i.op.output_kind() == Kind::M && i.o == 0)
+}
+
+/// Rebases a compiled program's operand offsets onto tile slot `slot` of a
+/// batched register file (see [`crate::interp::BatchInterpreter`] for the
+/// tile layout). Scalar and vector offsets shift into the slot's private
+/// region; matrix offsets shift into the slot's private matrix region
+/// *except* `m0`, which stays on the tile's shared plane when `share_m0`
+/// (the program never writes it — see [`writes_m0`]). In-place and
+/// allocation-free; `slot 0` with `share_m0 = false` still relocates (the
+/// tile's matrix buffer reserves plane 0 for the shared `m0`).
+pub fn relocate_for_slot(
+    prog: &mut CompiledProgram,
+    cfg: &AlphaConfig,
+    n_stocks: usize,
+    slot: usize,
+    share_m0: bool,
+) {
+    let k = n_stocks;
+    let d = cfg.dim;
+    let s_base = slot * cfg.n_scalars * k;
+    let v_base = slot * cfg.n_vectors * d * k;
+    let m_base = (1 + slot * cfg.n_matrices) * d * d * k;
+    let reloc = |kind: Kind, off: usize| match kind {
+        Kind::S => s_base + off,
+        Kind::V => v_base + off,
+        Kind::M if off == 0 && share_m0 => 0,
+        Kind::M => m_base + off,
+    };
+    for instr in prog
+        .setup
+        .iter_mut()
+        .chain(prog.predict.iter_mut())
+        .chain(prog.update.iter_mut())
+    {
+        let kinds = instr.op.input_kinds();
+        if !kinds.is_empty() {
+            instr.a = reloc(kinds[0], instr.a);
+        }
+        if kinds.len() >= 2 {
+            instr.b = reloc(kinds[1], instr.b);
+        }
+        instr.o = reloc(instr.op.output_kind(), instr.o);
+    }
+}
+
 /// Convenience wrapper allocating fresh buffers (tests / one-off use).
 pub fn compile(prog: &AlphaProgram, cfg: &AlphaConfig, n_stocks: usize) -> CompiledProgram {
     let mut out = CompiledProgram::with_capacity(cfg);
@@ -273,6 +332,97 @@ mod tests {
         assert_eq!(mean.o, 2 * k, "s2 plane");
         let add = c.predict[1];
         assert_eq!((add.a, add.b, add.o), (2 * k, 3 * k, k));
+    }
+
+    #[test]
+    fn writes_m0_detects_dead_stochastic_clobber() {
+        let cfg = AlphaConfig::default();
+        // MGauss -> m0 is dead (nothing reads it afterwards) but stochastic,
+        // so it survives lowering — and it clobbers the shared input plane.
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                Instruction::new(Op::MGauss, 0, 0, INPUT as u8, [0.0, 1.0], [0; 2]),
+                i(Op::MMean, INPUT as u8, 0, 2),
+                i(Op::SAbs, 2, 0, PREDICTION as u8),
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let c = compile(&prog, &cfg, 7);
+        assert!(writes_m0(&c));
+
+        // Reading m0 is fine; writing another matrix register is fine.
+        let reader = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                i(Op::MMean, INPUT as u8, 0, 2),
+                i(Op::SAbs, 2, 0, PREDICTION as u8),
+            ],
+            update: vec![i(Op::MTranspose, INPUT as u8, 0, 1)],
+        };
+        let c = compile(&reader, &cfg, 7);
+        assert!(!writes_m0(&c));
+    }
+
+    #[test]
+    fn relocation_rebases_offsets_per_slot() {
+        let cfg = AlphaConfig::default();
+        let (k, d) = (11, cfg.dim);
+        // Every instruction feeds the next so nothing gets dead-stripped:
+        // m0 -> m1 -> s2 -> v4 -> s3 -> s1(PREDICTION).
+        let prog = AlphaProgram {
+            setup: vec![Instruction::nop()],
+            predict: vec![
+                i(Op::MTranspose, INPUT as u8, 0, 1), // M in, M out
+                i(Op::MMean, 1, 0, 2),                // M in, S out
+                i(Op::SVScale, 2, 3, 4),              // S,V in, V out
+                i(Op::VMean, 4, 0, 3),                // V in, S out
+                i(Op::SAdd, 2, 3, PREDICTION as u8),  // S,S in, S out
+            ],
+            update: vec![Instruction::nop()],
+        };
+        let c0 = compile(&prog, &cfg, k);
+        assert_eq!(c0.predict.len(), 5, "test chain must survive stripping");
+
+        let mut c = c0.clone();
+        let slot = 2;
+        relocate_for_slot(&mut c, &cfg, k, slot, true);
+        let s_base = slot * cfg.n_scalars * k;
+        let v_base = slot * cfg.n_vectors * d * k;
+        let m_base = (1 + slot * cfg.n_matrices) * d * d * k;
+
+        let tr = c.predict[0];
+        assert_eq!(tr.a, 0, "shared m0 stays at the tile-shared plane");
+        assert_eq!(
+            tr.o,
+            m_base + d * d * k,
+            "m1 lands in the slot's private region"
+        );
+        let mean = c.predict[1];
+        assert_eq!(mean.a, m_base + d * d * k);
+        assert_eq!(mean.o, s_base + 2 * k);
+        let scale = c.predict[2];
+        assert_eq!(scale.a, s_base + 2 * k);
+        assert_eq!(scale.b, v_base + 3 * d * k);
+        assert_eq!(scale.o, v_base + 4 * d * k);
+        let vmean = c.predict[3];
+        assert_eq!((vmean.a, vmean.o), (v_base + 4 * d * k, s_base + 3 * k));
+        let add = c.predict[4];
+        assert_eq!(
+            (add.a, add.b, add.o),
+            (s_base + 2 * k, s_base + 3 * k, s_base + k)
+        );
+
+        // Without sharing, m0 relocates to the slot's private m0 plane.
+        let mut c2 = c0.clone();
+        relocate_for_slot(&mut c2, &cfg, k, slot, false);
+        assert_eq!(c2.predict[0].a, m_base);
+
+        // Slot 0 without sharing still shifts past the shared plane.
+        let mut c3 = c0;
+        relocate_for_slot(&mut c3, &cfg, k, 0, false);
+        assert_eq!(c3.predict[0].a, d * d * k);
+        assert_eq!(c3.predict[0].o, d * d * k + d * d * k);
     }
 
     #[test]

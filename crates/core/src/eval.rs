@@ -33,6 +33,20 @@
 //!
 //! [`Evaluator::evaluate`] remains as a convenience wrapper that builds a
 //! throwaway arena.
+//!
+//! # Batched evaluation
+//!
+//! [`Evaluator::evaluate_batch_in`] scores a *tile* of up to `B`
+//! candidates per training sweep through a [`BatchArena`]: each day's
+//! feature block is loaded into the tile's shared `m0` plane once and
+//! every slot's function bodies run against it before the sweep advances,
+//! amortizing the panel copies across the batch (the same shape the
+//! serving layer proved with `AlphaServer`). The contract is strict
+//! bit-identity with the sequential path: per-slot register planes, RNG
+//! streams, and `rel_lane` state are fully private (see
+//! [`BatchInterpreter`] for the tile layout), so every candidate's
+//! fitness, validation returns, and RNG streams are bitwise equal to what
+//! [`Evaluator::evaluate_prepared_in`] produces for it alone.
 
 use std::sync::Arc;
 
@@ -43,9 +57,9 @@ use alphaevolve_backtest::portfolio::{
 use alphaevolve_backtest::CrossSections;
 use alphaevolve_market::{Dataset, DayMajorPanel};
 
-use crate::compile::{compile_into, CompileScratch, CompiledProgram};
+use crate::compile::{compile_into, relocate_for_slot, writes_m0, CompileScratch, CompiledProgram};
 use crate::config::AlphaConfig;
-use crate::interp::ColumnarInterpreter;
+use crate::interp::{BatchInterpreter, ColumnarInterpreter};
 use crate::program::AlphaProgram;
 use crate::relation::GroupIndex;
 
@@ -147,6 +161,117 @@ impl EvalArena<'_> {
     /// replaced by an empty one — only do this off the hot path).
     pub fn take_val_returns(&mut self) -> Vec<f64> {
         std::mem::take(&mut self.returns)
+    }
+
+    /// Captures the interpreter's per-stock RNG stream states (test hook
+    /// for the batched-evaluation RNG-stream contract).
+    pub fn rng_states_into(&self, out: &mut Vec<[u64; 4]>) {
+        self.interp.rng_states_into(out);
+    }
+}
+
+/// One candidate's slot in a [`BatchArena`]: its relocated compiled
+/// program plus private prediction/return buffers and per-tile results.
+struct BatchSlot {
+    compiled: CompiledProgram,
+    preds: CrossSections,
+    returns: Vec<f64>,
+    fitness: Option<f64>,
+    skip_training: bool,
+    /// Whether the slot reads the tile's shared `m0` plane directly
+    /// (its program never writes `m0`) or owns a staged private copy.
+    share_m0: bool,
+    live: bool,
+}
+
+/// Per-worker *batched* evaluation state: one [`BatchInterpreter`] tile of
+/// `B` slots plus per-slot compile/prediction/return buffers. Create once
+/// per worker with [`Evaluator::batch_arena`], fill with
+/// [`BatchArena::push`], score the whole tile with
+/// [`Evaluator::evaluate_batch_in`], read results per slot, then
+/// [`BatchArena::clear`] and refill — allocation-free once every buffer
+/// has hit its high-water mark (partially-filled tiles included, pinned
+/// by `tests/hot_path_alloc.rs`).
+pub struct BatchArena<'a> {
+    interp: BatchInterpreter<'a>,
+    slots: Vec<BatchSlot>,
+    compile_scratch: CompileScratch,
+    rank_scratch: Vec<usize>,
+    filled: usize,
+    cfg: AlphaConfig,
+    n_stocks: usize,
+}
+
+impl BatchArena<'_> {
+    /// Compiles `prog` into the next free slot (lower + m0-clobber
+    /// analysis + per-slot offset relocation) and returns its slot index.
+    /// `skip_training` must only be `true` for stateless programs, exactly
+    /// as for [`Evaluator::evaluate_prepared_in`].
+    ///
+    /// # Panics
+    /// If the tile is already full ([`BatchArena::is_full`]).
+    pub fn push(&mut self, prog: &AlphaProgram, skip_training: bool) -> usize {
+        assert!(self.filled < self.slots.len(), "tile is full");
+        let slot = self.filled;
+        let s = &mut self.slots[slot];
+        compile_into(
+            prog,
+            &self.cfg,
+            self.n_stocks,
+            &mut self.compile_scratch,
+            &mut s.compiled,
+        );
+        s.share_m0 = !writes_m0(&s.compiled);
+        relocate_for_slot(&mut s.compiled, &self.cfg, self.n_stocks, slot, s.share_m0);
+        s.skip_training = skip_training;
+        s.fitness = None;
+        s.live = false;
+        self.filled += 1;
+        slot
+    }
+
+    /// Empties the tile (slot buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.filled = 0;
+    }
+
+    /// Number of filled slots.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether no slot is filled.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Tile capacity `B`.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether every slot is filled.
+    pub fn is_full(&self) -> bool {
+        self.filled == self.slots.len()
+    }
+
+    /// Slot `slot`'s fitness from the last [`Evaluator::evaluate_batch_in`]:
+    /// `Some(validation IC)`, or `None` when its predictions went
+    /// non-finite.
+    pub fn fitness(&self, slot: usize) -> Option<f64> {
+        self.slots[slot].fitness
+    }
+
+    /// Slot `slot`'s validation long-short returns from the last
+    /// evaluation (empty when the candidate was invalid).
+    pub fn val_returns(&self, slot: usize) -> &[f64] {
+        &self.slots[slot].returns
+    }
+
+    /// Captures slot `slot`'s per-stock RNG stream states (test hook for
+    /// the RNG-stream contract).
+    pub fn rng_states_into(&self, slot: usize, out: &mut Vec<[u64; 4]>) {
+        self.interp.rng_states_into_slot(slot, out);
     }
 }
 
@@ -367,6 +492,140 @@ impl Evaluator {
             returns,
         );
         Some(ic)
+    }
+
+    /// Builds a reusable batched evaluation arena with `batch` tile slots
+    /// (clamped to at least 1). See [`BatchArena`].
+    pub fn batch_arena(&self, batch: usize) -> BatchArena<'_> {
+        let batch = batch.max(1);
+        let k = self.dataset.n_stocks();
+        let n_days = self.dataset.valid_days().len();
+        BatchArena {
+            interp: BatchInterpreter::new(
+                &self.cfg,
+                &self.dataset,
+                &self.day_major,
+                &self.groups,
+                self.opts.seed,
+                batch,
+            ),
+            slots: (0..batch)
+                .map(|_| BatchSlot {
+                    compiled: CompiledProgram::with_capacity(&self.cfg),
+                    preds: CrossSections::new(n_days, k),
+                    returns: Vec::with_capacity(n_days),
+                    fitness: None,
+                    skip_training: false,
+                    share_m0: true,
+                    live: false,
+                })
+                .collect(),
+            compile_scratch: CompileScratch::default(),
+            rank_scratch: Vec::with_capacity(k),
+            filled: 0,
+            cfg: self.cfg,
+            n_stocks: k,
+        }
+    }
+
+    /// Scores every filled slot of the tile in **one** day-major sweep:
+    /// each training/validation day's feature panel is loaded once and
+    /// dispatched across all slots before the sweep advances. Results land
+    /// per slot ([`BatchArena::fitness`], [`BatchArena::val_returns`]) and
+    /// are bit-identical to running each candidate alone through
+    /// [`Evaluator::evaluate_prepared_in`] — including RNG streams,
+    /// invalid-day aborts (a dead slot stops executing at its first
+    /// non-finite day, exactly like the sequential abort), and the
+    /// stateless `skip_training` shortcut per slot. Allocation-free once
+    /// the arena is warm. A no-op on an empty tile.
+    pub fn evaluate_batch_in(&self, arena: &mut BatchArena<'_>) {
+        let BatchArena {
+            interp,
+            slots,
+            rank_scratch,
+            filled,
+            ..
+        } = arena;
+        let filled = *filled;
+        let k = self.dataset.n_stocks();
+
+        // Sequential evaluation starts from a zeroed register file, so a
+        // Setup() body reading m0 must see zeros, not a stale panel.
+        interp.reset_shared_input();
+        for (b, s) in slots[..filled].iter_mut().enumerate() {
+            interp.reset_slot(b);
+            interp.debug_assert_slot_clean(b);
+            interp.run_function_slot(b, &s.compiled.setup);
+            s.live = true;
+        }
+
+        // Training sweep: one shared panel load per day, program-major
+        // inner walk across the training slots.
+        if slots[..filled].iter().any(|s| !s.skip_training) {
+            for _ in 0..self.opts.train_epochs {
+                for day in self.dataset.train_days() {
+                    interp.load_day(day);
+                    for (b, s) in slots[..filled].iter().enumerate() {
+                        if s.skip_training {
+                            continue;
+                        }
+                        if !s.share_m0 {
+                            interp.stage_private_m0(b);
+                        }
+                        interp.run_function_slot(b, &s.compiled.predict);
+                        if self.opts.run_update {
+                            interp.load_labels_slot(b, day);
+                            interp.run_function_slot(b, &s.compiled.update);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Validation sweep, aborting dead slots at their first bad day.
+        let days = self.dataset.valid_days();
+        let n_days = days.len();
+        for s in &mut slots[..filled] {
+            s.preds.reset(n_days, k);
+        }
+        for (i, day) in days.enumerate() {
+            if slots[..filled].iter().all(|s| !s.live) {
+                break;
+            }
+            interp.load_day(day);
+            for (b, s) in slots[..filled].iter_mut().enumerate() {
+                if !s.live {
+                    continue;
+                }
+                if !s.share_m0 {
+                    interp.stage_private_m0(b);
+                }
+                interp.run_function_slot(b, &s.compiled.predict);
+                let row = s.preds.row_mut(i);
+                interp.read_predictions_slot(b, row);
+                if !row.iter().all(|x| x.is_finite()) {
+                    s.preds.invalidate_day(i);
+                    s.live = false;
+                }
+            }
+        }
+
+        for s in &mut slots[..filled] {
+            if s.live {
+                let ic = information_coefficient(&s.preds, &self.val_labels);
+                long_short_returns_into(
+                    &s.preds,
+                    &self.val_labels,
+                    &self.opts.long_short,
+                    rank_scratch,
+                    &mut s.returns,
+                );
+                s.fitness = Some(ic);
+            } else {
+                s.returns.clear();
+                s.fitness = None;
+            }
+        }
     }
 
     /// Full backtest of a finished alpha: train, then predict-only through

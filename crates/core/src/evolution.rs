@@ -20,10 +20,38 @@
 //! shared population/cache (AutoML-Zero's parallelism model). Multi-worker
 //! runs are not bit-reproducible; single-worker runs are.
 //!
-//! Scaling: each worker owns one [`EvalArena`] (interpreter + scratch,
-//! allocated once, reset per candidate), and the fingerprint cache is
-//! split into hash-sharded locks so workers don't serialize on a single
-//! mutex — candidates/sec scales with cores (see the `evolution` bench).
+//! Scaling: each worker owns one [`BatchArena`] *tile* of
+//! [`EvolutionConfig::batch`] slots (interpreter + scratch, allocated
+//! once, reset per candidate), and the fingerprint cache is split into
+//! hash-sharded locks so workers don't serialize on a single mutex —
+//! candidates/sec scales with cores (see the `evolution` bench).
+//!
+//! # Batched candidate evaluation
+//!
+//! The worker loop accumulates accepted cache misses into its tile and
+//! scores the whole tile in **one** day-major sweep
+//! ([`Evaluator::evaluate_batch_in`]): each day's feature panel is loaded
+//! once and dispatched across all pending candidates, amortizing the
+//! panel copies that dominate short programs. Rejections and cache hits
+//! resolve immediately and never occupy a slot. Bit-identity with
+//! sequential (`batch = 1`) evaluation is preserved by construction:
+//!
+//! * every admitted candidate joins the population immediately (a
+//!   placeholder patched at flush), so population length, eviction
+//!   timing, and tournament index draws are unchanged;
+//! * a tournament draws all its indices *before* comparing (comparisons
+//!   consume no randomness), and if a drawn member's fitness is still
+//!   pending the tile is flushed first, so selection always compares the
+//!   scores sequential evaluation would have seen;
+//! * the tile is flushed before every checkpoint snapshot and at every
+//!   loop exit, so all observable state (counters, cache, best,
+//!   trajectory, population) is settled at observation points;
+//! * an in-tile fingerprint duplicate — which sequentially would be a
+//!   cache hit on the earlier candidate's just-inserted entry — is
+//!   counted as a cache hit and patched from its source slot at flush.
+//!
+//! With `workers > 1` (already non-bit-reproducible), another worker's
+//! pending placeholder scores −∞ in tournaments until its tile flushes.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -36,7 +64,7 @@ use rand::{Rng, SeedableRng};
 use alphaevolve_backtest::correlation::CorrelationGate;
 
 use crate::absint::StaticVerdict;
-use crate::eval::{EvalArena, Evaluator};
+use crate::eval::{BatchArena, Evaluator};
 use crate::fingerprint::fingerprint_analyzed;
 use crate::hashutil::FxHashMap;
 use crate::mutation::{MutationConfig, Mutator};
@@ -68,6 +96,12 @@ pub struct EvolutionConfig {
     pub seed: u64,
     /// Worker threads sharing the population.
     pub workers: usize,
+    /// Candidates evaluated per batched training sweep (per worker).
+    /// `1` reproduces the classic one-candidate-at-a-time sweep; any
+    /// value yields bit-identical single-worker results — larger tiles
+    /// only amortize the per-day feature-panel loads across more
+    /// candidates.
+    pub batch: usize,
 }
 
 impl Default for EvolutionConfig {
@@ -79,6 +113,7 @@ impl Default for EvolutionConfig {
             budget: Budget::Searched(5_000),
             seed: 0,
             workers: 1,
+            batch: 1,
         }
     }
 }
@@ -249,12 +284,121 @@ impl ShardedCache {
     }
 }
 
+/// The population plus a monotone push counter, so tile bookkeeping can
+/// name members by *push index* (stable across front evictions) instead of
+/// by position.
+struct Population {
+    /// Members, oldest first.
+    members: VecDeque<Individual>,
+    /// Total members ever pushed; `pushed - members.len()` is the push
+    /// index of the current front member.
+    pushed: u64,
+}
+
+impl Population {
+    fn with_capacity(cap: usize) -> Population {
+        Population {
+            members: VecDeque::with_capacity(cap),
+            pushed: 0,
+        }
+    }
+
+    /// Push index of the current front member.
+    fn base(&self) -> u64 {
+        self.pushed - self.members.len() as u64
+    }
+
+    /// Appends a member, returning its push index.
+    fn push(&mut self, ind: Individual) -> u64 {
+        self.members.push_back(ind);
+        self.pushed += 1;
+        self.pushed - 1
+    }
+
+    /// The member with push index `push_index`, unless it has been
+    /// evicted.
+    fn get_mut(&mut self, push_index: u64) -> Option<&mut Individual> {
+        let pos = push_index.checked_sub(self.base())?;
+        self.members.get_mut(pos as usize)
+    }
+}
+
+/// One tile-buffered candidate awaiting its flush.
+enum Pending {
+    /// An accepted cache miss occupying arena slot `slot`: evaluated (and
+    /// its population placeholder patched) when the tile flushes. Owns
+    /// the genome/pruned program because the placeholder may be evicted
+    /// before the flush.
+    Eval {
+        slot: usize,
+        fp: u64,
+        program: AlphaProgram,
+        pruned: AlphaProgram,
+        /// The searched counter when this candidate was admitted (for its
+        /// trajectory point, exactly as sequential evaluation records it).
+        searched: usize,
+        push_index: u64,
+    },
+    /// An in-tile fingerprint duplicate of the `Eval` pending in
+    /// `source_slot` — sequentially a cache hit on that candidate's
+    /// freshly-inserted entry, so its fitness copies from the source slot
+    /// at flush.
+    Dup { source_slot: usize, push_index: u64 },
+}
+
+/// A worker's batch-evaluation tile: the [`BatchArena`] plus the pending
+/// candidates and patch scratch that resolve when it flushes.
+struct Tile<'e> {
+    arena: BatchArena<'e>,
+    pending: Vec<Pending>,
+    /// Flushed fitness per arena slot (source for `Dup` patches).
+    slot_fitness: Vec<Option<f64>>,
+    /// Reused `(push_index, fitness)` patch list.
+    patches: Vec<(u64, Option<f64>)>,
+}
+
+impl<'e> Tile<'e> {
+    fn new(evaluator: &'e Evaluator, batch: usize) -> Tile<'e> {
+        let arena = evaluator.batch_arena(batch);
+        let cap = arena.capacity();
+        Tile {
+            arena,
+            pending: Vec::with_capacity(2 * cap),
+            slot_fitness: vec![None; cap],
+            patches: Vec::with_capacity(2 * cap),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.arena.is_full()
+    }
+
+    /// The arena slot of the pending evaluation with fingerprint `fp`, if
+    /// any.
+    fn find_pending_fp(&self, fp: u64) -> Option<usize> {
+        self.pending.iter().find_map(|p| match p {
+            Pending::Eval { fp: pfp, slot, .. } if *pfp == fp => Some(*slot),
+            _ => None,
+        })
+    }
+
+    /// Whether the member with push index `push_index` still awaits its
+    /// flushed fitness.
+    fn is_pending_push(&self, push_index: u64) -> bool {
+        self.pending.iter().any(|p| match p {
+            Pending::Eval { push_index: pi, .. } | Pending::Dup { push_index: pi, .. } => {
+                *pi == push_index
+            }
+        })
+    }
+}
+
 struct Shared<'a> {
     evaluator: &'a Evaluator,
     mutator: Mutator,
     gate: Option<&'a CorrelationGate>,
     econfig: EvolutionConfig,
-    population: Mutex<VecDeque<Individual>>,
+    population: Mutex<Population>,
     cache: ShardedCache,
     best: Mutex<Option<BestAlpha>>,
     trajectory: Mutex<Vec<TrajectoryPoint>>,
@@ -293,11 +437,14 @@ impl<'a> Shared<'a> {
         done
     }
 
-    /// The §4.2 candidate pipeline. Returns the individual to insert.
-    /// Evaluation runs in the caller's arena — the only allocations on a
-    /// cache miss are the genome bookkeeping (pruned program, fingerprint)
-    /// and, on a new best, one clone of the returns series.
-    fn process(&self, arena: &mut EvalArena<'_>, program: AlphaProgram) -> Individual {
+    /// The §4.2 candidate pipeline, tile-buffered. Rejections and cache
+    /// hits resolve — and join the population — immediately, exactly as
+    /// the sequential pipeline did; an accepted cache miss is compiled
+    /// into the next tile slot with a fitness-`None` placeholder in the
+    /// population, patched when the tile flushes. The caller must flush
+    /// a full tile before admitting again.
+    fn admit(&self, tile: &mut Tile<'_>, program: AlphaProgram, evict: bool) {
+        debug_assert!(!tile.is_full(), "admit requires a free tile slot");
         let searched_now = self.searched.fetch_add(1, Ordering::Relaxed) + 1;
 
         let (fp, verdict, to_evaluate, skip_training) = if self.use_pruning {
@@ -307,10 +454,14 @@ impl<'a> Shared<'a> {
             }
             if !analyzed.pruned.uses_input {
                 self.redundant.fetch_add(1, Ordering::Relaxed);
-                return Individual {
-                    program,
-                    fitness: None,
-                };
+                self.push_member(
+                    Individual {
+                        program,
+                        fitness: None,
+                    },
+                    evict,
+                );
+                return;
             }
             // The pruning pass already computed statefulness; reuse it for
             // the stateless-skip decision instead of re-analyzing.
@@ -332,7 +483,8 @@ impl<'a> Shared<'a> {
 
         if let Some(fitness) = self.cache.lookup(fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Individual { program, fitness };
+            self.push_member(Individual { program, fitness }, evict);
+            return;
         }
 
         // Static rejection (§4.2 extended): the abstract interpreter proved
@@ -343,52 +495,148 @@ impl<'a> Shared<'a> {
         if verdict != StaticVerdict::Accept {
             self.static_rejected.fetch_add(1, Ordering::Relaxed);
             self.cache.insert(fp, None);
-            return Individual {
-                program,
-                fitness: None,
-            };
+            self.push_member(
+                Individual {
+                    program,
+                    fitness: None,
+                },
+                evict,
+            );
+            return;
         }
 
-        let score = self
-            .evaluator
-            .evaluate_prepared_in(arena, &to_evaluate, skip_training);
-        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        // An earlier candidate in this very tile already owns this
+        // fingerprint. Sequentially, that candidate's cache entry would
+        // exist by now and this one would be a plain hit — count it as
+        // one and copy its fitness from the source slot at flush.
+        if let Some(source_slot) = tile.find_pending_fp(fp) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let push_index = self.push_member(
+                Individual {
+                    program,
+                    fitness: None,
+                },
+                evict,
+            );
+            tile.pending.push(Pending::Dup {
+                source_slot,
+                push_index,
+            });
+            return;
+        }
 
-        let fitness = match score {
-            None => {
-                self.invalid.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            Some(ic) => {
-                let passes = self.gate.is_none_or(|g| g.passes(arena.val_returns()));
-                if !passes {
-                    self.gate_rejected.fetch_add(1, Ordering::Relaxed);
-                    None
-                } else {
-                    Some(ic)
+        let slot = tile.arena.push(&to_evaluate, skip_training);
+        let push_index = self.push_member(
+            Individual {
+                program: program.clone(),
+                fitness: None,
+            },
+            evict,
+        );
+        tile.pending.push(Pending::Eval {
+            slot,
+            fp,
+            program,
+            pruned: to_evaluate,
+            searched: searched_now,
+            push_index,
+        });
+    }
+
+    /// Appends to the population (evicting the oldest member when `evict`
+    /// and over capacity — the steady-state aging rule; the init phase
+    /// never evicts), returning the member's push index.
+    fn push_member(&self, ind: Individual, evict: bool) -> u64 {
+        let mut pop = self.population.lock();
+        let push_index = pop.push(ind);
+        if evict && pop.members.len() > self.econfig.population_size {
+            pop.members.pop_front();
+        }
+        push_index
+    }
+
+    /// Scores the tile in one batched day-major sweep and resolves every
+    /// pending candidate in admission order: counters, cache inserts,
+    /// best/trajectory updates, and population fitness patches land
+    /// exactly as sequential per-candidate evaluation would have produced
+    /// them. A no-op on an empty tile.
+    fn flush(&self, tile: &mut Tile<'_>) {
+        if tile.pending.is_empty() {
+            debug_assert!(tile.arena.is_empty());
+            return;
+        }
+        let Tile {
+            arena,
+            pending,
+            slot_fitness,
+            patches,
+        } = tile;
+        self.evaluator.evaluate_batch_in(arena);
+        patches.clear();
+        for p in pending.drain(..) {
+            match p {
+                Pending::Eval {
+                    slot,
+                    fp,
+                    program,
+                    pruned,
+                    searched,
+                    push_index,
+                } => {
+                    self.evaluated.fetch_add(1, Ordering::Relaxed);
+                    let fitness = match arena.fitness(slot) {
+                        None => {
+                            self.invalid.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        Some(ic) => {
+                            let passes =
+                                self.gate.is_none_or(|g| g.passes(arena.val_returns(slot)));
+                            if !passes {
+                                self.gate_rejected.fetch_add(1, Ordering::Relaxed);
+                                None
+                            } else {
+                                Some(ic)
+                            }
+                        }
+                    };
+                    self.cache.insert(fp, fitness);
+                    if let Some(ic) = fitness {
+                        let mut best = self.best.lock();
+                        if best.as_ref().is_none_or(|b| ic > b.ic) {
+                            *best = Some(BestAlpha {
+                                program,
+                                pruned,
+                                ic,
+                                val_returns: arena.val_returns(slot).to_vec(),
+                            });
+                            self.trajectory.lock().push(TrajectoryPoint {
+                                searched,
+                                best_ic: ic,
+                            });
+                        }
+                    }
+                    slot_fitness[slot] = fitness;
+                    patches.push((push_index, fitness));
+                }
+                Pending::Dup {
+                    source_slot,
+                    push_index,
+                } => {
+                    patches.push((push_index, slot_fitness[source_slot]));
                 }
             }
-        };
-
-        self.cache.insert(fp, fitness);
-
-        if let Some(ic) = fitness {
-            let mut best = self.best.lock();
-            if best.as_ref().is_none_or(|b| ic > b.ic) {
-                *best = Some(BestAlpha {
-                    program: program.clone(),
-                    pruned: to_evaluate,
-                    ic,
-                    val_returns: arena.val_returns().to_vec(),
-                });
-                self.trajectory.lock().push(TrajectoryPoint {
-                    searched: searched_now,
-                    best_ic: ic,
-                });
+        }
+        {
+            let mut pop = self.population.lock();
+            for &(push_index, fitness) in patches.iter() {
+                // Placeholders evicted before the flush are simply gone.
+                if let Some(ind) = pop.get_mut(push_index) {
+                    ind.fitness = fitness;
+                }
             }
         }
-
-        Individual { program, fitness }
+        arena.clear();
     }
 
     fn worker_loop(&self, worker_id: u64) {
@@ -421,45 +669,64 @@ impl<'a> Shared<'a> {
         checkpoint_every: Option<usize>,
         sink: &mut dyn FnMut(EvolutionCheckpoint),
     ) {
-        // One arena per worker for the whole run: interpreter state and
+        // One tile per worker for the whole run: interpreter state and
         // scratch are reset between candidates, never reallocated.
-        let mut arena = self.evaluator.arena();
+        let mut tile = Tile::new(self.evaluator, self.econfig.batch.max(1));
+        let mut draws: Vec<usize> = Vec::with_capacity(self.econfig.tournament_size.max(1));
         let mut since_checkpoint = 0usize;
         while !self.budget_exhausted() {
             // Tournament selection under the population lock; evaluation
-            // outside it.
+            // outside it. All indices are drawn before any comparison
+            // (comparisons consume no randomness, so the RNG stream is
+            // identical to the draw-compare interleaving), which lets a
+            // draw that lands on a still-pending member force a flush
+            // before its score is read.
             let parent = {
-                let pop = self.population.lock();
-                if pop.is_empty() {
+                let mut pop = self.population.lock();
+                if pop.members.is_empty() {
+                    drop(pop);
+                    self.flush(&mut tile);
                     return;
                 }
-                let t = self.econfig.tournament_size.min(pop.len()).max(1);
-                let mut best_idx = rng.gen_range(0..pop.len());
-                for _ in 1..t {
-                    let idx = rng.gen_range(0..pop.len());
-                    if pop[idx].score() > pop[best_idx].score() {
+                let t = self.econfig.tournament_size.min(pop.members.len()).max(1);
+                draws.clear();
+                for _ in 0..t {
+                    draws.push(rng.gen_range(0..pop.members.len()));
+                }
+                let base = pop.base();
+                if draws.iter().any(|&i| tile.is_pending_push(base + i as u64)) {
+                    // A drawn member's fitness is still in the tile; it
+                    // would score −∞ here but its real fitness under
+                    // sequential evaluation. Flush, then compare.
+                    drop(pop);
+                    self.flush(&mut tile);
+                    pop = self.population.lock();
+                }
+                let mut best_idx = draws[0];
+                for &idx in &draws[1..] {
+                    if pop.members[idx].score() > pop.members[best_idx].score() {
                         best_idx = idx;
                     }
                 }
-                pop[best_idx].program.clone()
+                pop.members[best_idx].program.clone()
             };
             let child = self.mutator.mutate(rng, &parent);
-            let individual = self.process(&mut arena, child);
-            {
-                let mut pop = self.population.lock();
-                pop.push_back(individual);
-                if pop.len() > self.econfig.population_size {
-                    pop.pop_front();
-                }
+            self.admit(&mut tile, child, true);
+            if tile.is_full() {
+                self.flush(&mut tile);
             }
             if let Some(every) = checkpoint_every {
                 since_checkpoint += 1;
                 if since_checkpoint >= every {
                     since_checkpoint = 0;
+                    // Settle all pending state first: a checkpoint is a
+                    // total observation.
+                    self.flush(&mut tile);
                     sink(self.snapshot(rng));
                 }
             }
         }
+        self.flush(&mut tile);
     }
 
     /// A consistent snapshot of the whole search state (single-worker:
@@ -470,7 +737,7 @@ impl<'a> Shared<'a> {
             stats: self.snapshot_stats(),
             elapsed: self.base_elapsed + self.start.elapsed(),
             rng: rng.state(),
-            population: self.population.lock().iter().cloned().collect(),
+            population: self.population.lock().members.iter().cloned().collect(),
             cache: self.cache.entries(),
             best: self.best.lock().clone(),
             trajectory: self.trajectory.lock().clone(),
@@ -596,7 +863,7 @@ impl<'a> Evolution<'a> {
             evaluator: self.evaluator,
             mutator: Mutator::new(*self.evaluator.config(), econfig.mutation),
             gate: self.gate,
-            population: Mutex::new(VecDeque::with_capacity(econfig.population_size + 1)),
+            population: Mutex::new(Population::with_capacity(econfig.population_size + 1)),
             cache: ShardedCache::new(econfig.workers),
             best: Mutex::new(None),
             trajectory: Mutex::new(Vec::new()),
@@ -622,9 +889,10 @@ impl<'a> Evolution<'a> {
             Start::Seed(seed_program) => {
                 // Initial population: the seed itself plus mutants of it
                 // (paper §3 step 1). Processed under the same budget
-                // accounting.
+                // accounting, through the same tile pipeline (the init
+                // phase never evicts, so `evict = false`).
                 let mut rng = SmallRng::seed_from_u64(shared.econfig.seed ^ 0x5EED);
-                let mut arena = self.evaluator.arena();
+                let mut tile = Tile::new(self.evaluator, shared.econfig.batch.max(1));
                 let mut initial = Vec::with_capacity(shared.econfig.population_size);
                 initial.push(seed_program.clone());
                 for _ in 1..shared.econfig.population_size {
@@ -634,9 +902,14 @@ impl<'a> Evolution<'a> {
                     if shared.budget_exhausted() {
                         break;
                     }
-                    let ind = shared.process(&mut arena, candidate);
-                    shared.population.lock().push_back(ind);
+                    shared.admit(&mut tile, candidate, false);
+                    if tile.is_full() {
+                        shared.flush(&mut tile);
+                    }
                 }
+                // Settle the init tile before any worker starts drawing
+                // tournaments from the population.
+                shared.flush(&mut tile);
 
                 let workers = shared.econfig.workers.max(1);
                 if workers == 1 {
@@ -652,11 +925,14 @@ impl<'a> Evolution<'a> {
             }
             Start::Checkpoint(c) => {
                 // Restore the complete captured state, then continue the
-                // loop exactly where the snapshot was taken.
-                shared
-                    .population
-                    .lock()
-                    .extend(c.population.iter().cloned());
+                // loop exactly where the snapshot was taken. Members go
+                // through `push` so the push counter stays consistent.
+                {
+                    let mut pop = shared.population.lock();
+                    for ind in c.population.iter().cloned() {
+                        pop.push(ind);
+                    }
+                }
                 for &(fp, fitness) in &c.cache {
                     shared.cache.insert(fp, fitness);
                 }

@@ -383,46 +383,17 @@ impl<'a> ColumnarInterpreter<'a> {
     /// Runs one compiled function body across all stocks, dispatching each
     /// instruction exactly once.
     pub fn run_function(&mut self, instrs: &[CompiledInstr]) {
-        let k = self.regs.n_stocks();
-        for instr in instrs {
-            if let Some(rel) = instr.op.relation_group() {
-                // The scalar plane *is* the cross-section: rank/demean it
-                // in place of the lockstep gather/scatter round trip.
-                let is_rank = instr.op.is_rank();
-                {
-                    let values = &self.regs.s[instr.a..instr.a + k];
-                    match self.groups.groups(rel) {
-                        GroupSlices::Single(_) if !is_rank => {
-                            demean_dense(values, &mut self.rel_lane);
-                        }
-                        groups => {
-                            for members in groups.iter() {
-                                if is_rank {
-                                    rank_within(
-                                        members,
-                                        values,
-                                        &mut self.rel_lane,
-                                        &mut self.rank_scratch,
-                                    );
-                                } else {
-                                    demean_within(members, values, &mut self.rel_lane);
-                                }
-                            }
-                        }
-                    }
-                }
-                self.regs.s[instr.o..instr.o + k].copy_from_slice(&self.rel_lane);
-            } else {
-                execute_columnar(
-                    instr,
-                    &mut self.regs,
-                    &mut self.rngs,
-                    &mut self.scratch_v,
-                    &mut self.scratch_m,
-                    &mut self.lane,
-                );
-            }
-        }
+        run_instrs(
+            instrs,
+            &mut self.regs,
+            self.groups,
+            &mut self.rngs,
+            &mut self.scratch_v,
+            &mut self.scratch_m,
+            &mut self.lane,
+            &mut self.rel_lane,
+            &mut self.rank_scratch,
+        );
     }
 
     /// Runs `Setup()` once for every stock.
@@ -468,6 +439,365 @@ impl<'a> ColumnarInterpreter<'a> {
     /// Copies the prediction plane `s1` into `out` (length `n_stocks`).
     pub fn read_predictions(&self, out: &mut [f64]) {
         out.copy_from_slice(self.regs.s_plane(PREDICTION));
+    }
+}
+
+/// Runs one compiled function body: the shared instruction walk behind
+/// both [`ColumnarInterpreter::run_function`] and
+/// [`BatchInterpreter::run_function_slot`]. `rngs` and `rel_lane` must be
+/// exactly `n_stocks` long (the batched engine passes one slot's
+/// sub-slices); the scratch buffers may be shared across slots because
+/// every kernel fully overwrites what it reads within one instruction.
+#[allow(clippy::too_many_arguments)]
+fn run_instrs(
+    instrs: &[CompiledInstr],
+    regs: &mut RegisterFile,
+    groups: &GroupIndex,
+    rngs: &mut [SmallRng],
+    scratch_v: &mut [f64],
+    scratch_m: &mut [f64],
+    lane: &mut [f64],
+    rel_lane: &mut [f64],
+    rank_scratch: &mut Vec<u32>,
+) {
+    let k = regs.n_stocks();
+    debug_assert_eq!(rngs.len(), k);
+    debug_assert_eq!(rel_lane.len(), k);
+    for instr in instrs {
+        if let Some(rel) = instr.op.relation_group() {
+            // The scalar plane *is* the cross-section: rank/demean it
+            // in place of the lockstep gather/scatter round trip.
+            let is_rank = instr.op.is_rank();
+            {
+                let values = &regs.s[instr.a..instr.a + k];
+                match groups.groups(rel) {
+                    GroupSlices::Single(_) if !is_rank => {
+                        demean_dense(values, rel_lane);
+                    }
+                    groups => {
+                        for members in groups.iter() {
+                            if is_rank {
+                                rank_within(members, values, rel_lane, rank_scratch);
+                            } else {
+                                demean_within(members, values, rel_lane);
+                            }
+                        }
+                    }
+                }
+            }
+            regs.s[instr.o..instr.o + k].copy_from_slice(rel_lane);
+        } else {
+            execute_columnar(instr, regs, rngs, scratch_v, scratch_m, lane);
+        }
+    }
+}
+
+/// Executes a *tile* of up to `B` compiled candidates over one shared
+/// day-major sweep: each day's feature block is loaded once, then every
+/// slot's function bodies run against it before the sweep advances
+/// (program-major inner walk over a stock-major plane).
+///
+/// # Tile memory layout
+///
+/// All `B` slots live in **one** [`RegisterFile`] whose planes keep the
+/// production stock-major shape (`n_stocks = K`, `dim = d`), so the
+/// columnar kernels run unchanged — slots are addressed purely through
+/// compile-time offset relocation
+/// ([`crate::compile::relocate_for_slot`]):
+///
+/// ```text
+/// s buffer  [ slot0: n_scalars planes ][ slot1: … ] …      B·n_scalars·K
+/// v buffer  [ slot0: n_vectors planes ][ slot1: … ] …      B·n_vectors·d·K
+/// m buffer  [ SHARED m0 plane         ]                    d²·K
+///           [ slot0: n_matrices planes (private m0 first) ]
+///           [ slot1: … ] …                       (1 + B·n_matrices)·d²·K
+/// ```
+///
+/// The shared `m0` plane at offset 0 is written only by
+/// [`BatchInterpreter::load_day`] — one set of contiguous feature-block
+/// copies amortized across the whole tile, which is the point of the
+/// batch. A slot whose lowered program never writes `m0`
+/// ([`crate::compile::writes_m0`]) reads the shared plane directly; a
+/// clobbering slot is relocated onto its own private `m0` plane and the
+/// caller stages a copy of the shared plane into it before each of that
+/// slot's executions ([`BatchInterpreter::stage_private_m0`]). In debug
+/// builds a shadow copy verifies no slot ever mutates the shared plane.
+///
+/// # RNG-stream contract
+///
+/// Slot `b` owns `K` private RNG streams seeded exactly like a dedicated
+/// sequential interpreter's (`stock_rng(seed, stock)`) — slot index does
+/// **not** enter the seed. Resetting a slot reseeds only that slot's
+/// streams. This is what makes batched evaluation bit-identical to
+/// sequential [`ColumnarInterpreter`] runs for stochastic programs: each
+/// candidate sees the same per-stock draw sequence it would have seen
+/// alone. The per-slot `rel_lane` planes are likewise private because the
+/// lockstep scatter buffer they mirror persists *across* instructions.
+///
+/// Scratch buffers (`scratch_v`, `scratch_m`, `lane`, `rank_scratch`) are
+/// shared across slots: every kernel overwrites them before reading
+/// within a single instruction, so no state crosses a slot boundary.
+pub struct BatchInterpreter<'a> {
+    dataset: &'a Dataset,
+    panel: &'a DayMajorPanel,
+    groups: &'a GroupIndex,
+    regs: RegisterFile,
+    /// `batch · n_stocks` streams, slot-major: slot b's stock-i stream at
+    /// `b·K + i`, seeded `stock_rng(seed, i)`.
+    rngs: Vec<SmallRng>,
+    scratch_v: Vec<f64>,
+    scratch_m: Vec<f64>,
+    lane: Vec<f64>,
+    /// `batch · n_stocks` slot-major RelationOp output planes (persistent
+    /// per slot across instructions, like the sequential `rel_lane`).
+    rel_lanes: Vec<f64>,
+    rank_scratch: Vec<u32>,
+    base_seed: u64,
+    batch: usize,
+    n_scalars: usize,
+    n_vectors: usize,
+    n_matrices: usize,
+    /// Debug shadow of the shared `m0` plane, asserted bitwise unchanged
+    /// after every slot execution. Allocated once here so the release hot
+    /// path stays allocation-free *and* debug runs stay allocation-free
+    /// after warm-up (pinned by `tests/hot_path_alloc.rs`).
+    #[cfg(debug_assertions)]
+    m0_shadow: Vec<f64>,
+}
+
+impl<'a> BatchInterpreter<'a> {
+    /// Creates a batched interpreter with `batch` zeroed register slots.
+    ///
+    /// # Panics
+    /// Same shape checks as [`ColumnarInterpreter::new`], plus
+    /// `batch >= 1`.
+    pub fn new(
+        cfg: &AlphaConfig,
+        dataset: &'a Dataset,
+        panel: &'a DayMajorPanel,
+        groups: &'a GroupIndex,
+        seed: u64,
+        batch: usize,
+    ) -> BatchInterpreter<'a> {
+        assert!(batch >= 1, "batch must be at least 1");
+        assert_eq!(
+            dataset.n_features(),
+            cfg.dim,
+            "dataset features must equal cfg.dim"
+        );
+        assert_eq!(
+            dataset.window(),
+            cfg.dim,
+            "dataset window must equal cfg.dim"
+        );
+        assert_eq!(
+            groups.n_stocks(),
+            dataset.n_stocks(),
+            "group index / dataset mismatch"
+        );
+        assert!(
+            panel.n_stocks() == dataset.n_stocks()
+                && panel.n_features() == dataset.n_features()
+                && panel.n_days() == dataset.panel().n_days(),
+            "day-major panel / dataset mismatch"
+        );
+        let k = dataset.n_stocks();
+        let d = cfg.dim;
+        BatchInterpreter {
+            dataset,
+            panel,
+            groups,
+            regs: RegisterFile::new(
+                batch * cfg.n_scalars,
+                batch * cfg.n_vectors,
+                1 + batch * cfg.n_matrices,
+                d,
+                k,
+            ),
+            rngs: (0..batch * k).map(|i| stock_rng(seed, i % k)).collect(),
+            scratch_v: vec![0.0; d * k],
+            scratch_m: vec![0.0; d * d * k],
+            lane: vec![0.0; k],
+            rel_lanes: vec![0.0; batch * k],
+            rank_scratch: Vec::with_capacity(k),
+            base_seed: seed,
+            batch,
+            n_scalars: cfg.n_scalars,
+            n_vectors: cfg.n_vectors,
+            n_matrices: cfg.n_matrices,
+            #[cfg(debug_assertions)]
+            m0_shadow: vec![0.0; d * d * k],
+        }
+    }
+
+    /// Number of stocks executed per plane.
+    pub fn n_stocks(&self) -> usize {
+        self.regs.n_stocks()
+    }
+
+    /// Number of tile slots.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    #[inline]
+    fn d2k(&self) -> usize {
+        let d = self.regs.dim();
+        d * d * self.regs.n_stocks()
+    }
+
+    /// Zeroes the shared `m0` input plane. Sequential evaluation starts
+    /// from a fully-zeroed register file, so a `Setup()` body that *reads*
+    /// `m0` must see zeros — without this, the previous tile's last-loaded
+    /// day would leak into setup and break bit-identity.
+    pub fn reset_shared_input(&mut self) {
+        let d2k = self.d2k();
+        self.regs.m[..d2k].fill(0.0);
+        #[cfg(debug_assertions)]
+        self.m0_shadow.copy_from_slice(&self.regs.m[..d2k]);
+    }
+
+    /// Returns slot `b` to its freshly-constructed state: zeroes the
+    /// slot's scalar/vector/matrix regions and `rel_lane`, reseeds the
+    /// slot's per-stock RNG streams. Other slots and the shared `m0`
+    /// plane are untouched.
+    pub fn reset_slot(&mut self, b: usize) {
+        assert!(b < self.batch, "slot out of range");
+        let k = self.regs.n_stocks();
+        let d = self.regs.dim();
+        let d2k = d * d * k;
+        self.regs.s[b * self.n_scalars * k..(b + 1) * self.n_scalars * k].fill(0.0);
+        self.regs.v[b * self.n_vectors * d * k..(b + 1) * self.n_vectors * d * k].fill(0.0);
+        self.regs.m[(1 + b * self.n_matrices) * d2k..(1 + (b + 1) * self.n_matrices) * d2k]
+            .fill(0.0);
+        self.rel_lanes[b * k..(b + 1) * k].fill(0.0);
+        for i in 0..k {
+            self.rngs[b * k + i] = stock_rng(self.base_seed, i);
+        }
+    }
+
+    /// Debug-only sweep guard: asserts slot `b`'s entire register region,
+    /// `rel_lane`, and RNG streams match a freshly-reset slot. A stale
+    /// `Update()`-written register leaking across tile slots is the most
+    /// likely silent-corruption bug in batched evaluation, so the
+    /// evaluator calls this after every [`BatchInterpreter::reset_slot`]
+    /// in debug builds. Compiles to nothing in release builds.
+    pub fn debug_assert_slot_clean(&self, b: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let k = self.regs.n_stocks();
+            let d = self.regs.dim();
+            let d2k = d * d * k;
+            let clean = |buf: &[f64]| buf.iter().all(|x| x.to_bits() == 0);
+            assert!(
+                clean(&self.regs.s[b * self.n_scalars * k..(b + 1) * self.n_scalars * k]),
+                "stale scalar state in tile slot {b}"
+            );
+            assert!(
+                clean(&self.regs.v[b * self.n_vectors * d * k..(b + 1) * self.n_vectors * d * k]),
+                "stale vector state in tile slot {b}"
+            );
+            assert!(
+                clean(
+                    &self.regs.m
+                        [(1 + b * self.n_matrices) * d2k..(1 + (b + 1) * self.n_matrices) * d2k]
+                ),
+                "stale matrix state in tile slot {b}"
+            );
+            assert!(
+                clean(&self.rel_lanes[b * k..(b + 1) * k]),
+                "stale rel_lane state in tile slot {b}"
+            );
+            for i in 0..k {
+                assert_eq!(
+                    self.rngs[b * k + i].state(),
+                    stock_rng(self.base_seed, i).state(),
+                    "stale RNG stream for stock {i} in tile slot {b}"
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = b;
+    }
+
+    /// Loads one day's input feature panel into the **shared** `m0` plane
+    /// — once per day for the whole tile.
+    pub fn load_day(&mut self, day: usize) {
+        let k = self.regs.n_stocks();
+        let w = self.dataset.window();
+        let m0 = &mut self.regs.m[..self.dataset.n_features() * w * k];
+        for f in 0..self.dataset.n_features() {
+            m0[f * w * k..(f + 1) * w * k].copy_from_slice(self.panel.window_block(f, day, w));
+        }
+        debug_assert_eq!(INPUT, 0, "m0 load assumes the input matrix is m0");
+        #[cfg(debug_assertions)]
+        {
+            let d2k = self.d2k();
+            self.m0_shadow.copy_from_slice(&self.regs.m[..d2k]);
+        }
+    }
+
+    /// Copies the shared `m0` plane into slot `b`'s private `m0` plane.
+    /// Required before each execution of a slot whose program writes `m0`
+    /// (relocated with `share_m0 = false`); the feature plane fills the
+    /// whole d²·K region, so this is one contiguous copy.
+    pub fn stage_private_m0(&mut self, b: usize) {
+        let d2k = self.d2k();
+        let base = (1 + b * self.n_matrices) * d2k;
+        let (shared, rest) = self.regs.m.split_at_mut(d2k);
+        rest[base - d2k..base].copy_from_slice(shared);
+    }
+
+    /// Loads the day's label cross-section into slot `b`'s `s0` plane.
+    pub fn load_labels_slot(&mut self, b: usize, day: usize) {
+        let k = self.regs.n_stocks();
+        let off = (b * self.n_scalars + LABEL) * k;
+        self.regs.s[off..off + k].copy_from_slice(self.panel.labels_row(day));
+    }
+
+    /// Runs one compiled function body for tile slot `b`. The program
+    /// must have been relocated onto slot `b`
+    /// ([`crate::compile::relocate_for_slot`]).
+    pub fn run_function_slot(&mut self, b: usize, instrs: &[CompiledInstr]) {
+        let k = self.regs.n_stocks();
+        run_instrs(
+            instrs,
+            &mut self.regs,
+            self.groups,
+            &mut self.rngs[b * k..(b + 1) * k],
+            &mut self.scratch_v,
+            &mut self.scratch_m,
+            &mut self.lane,
+            &mut self.rel_lanes[b * k..(b + 1) * k],
+            &mut self.rank_scratch,
+        );
+        #[cfg(debug_assertions)]
+        {
+            let d2k = self.d2k();
+            assert!(
+                self.regs.m[..d2k]
+                    .iter()
+                    .zip(&self.m0_shadow)
+                    .all(|(a, s)| a.to_bits() == s.to_bits()),
+                "tile slot {b} clobbered the shared m0 plane"
+            );
+        }
+    }
+
+    /// Copies slot `b`'s prediction plane `s1` into `out` (length
+    /// `n_stocks`).
+    pub fn read_predictions_slot(&self, b: usize, out: &mut [f64]) {
+        let k = self.regs.n_stocks();
+        let off = (b * self.n_scalars + PREDICTION) * k;
+        out.copy_from_slice(&self.regs.s[off..off + k]);
+    }
+
+    /// Captures slot `b`'s per-stock RNG stream states, appending into
+    /// `out` (cleared first). Test hook for the RNG-stream contract.
+    pub fn rng_states_into_slot(&self, b: usize, out: &mut Vec<[u64; 4]>) {
+        let k = self.regs.n_stocks();
+        out.clear();
+        out.extend(self.rngs[b * k..(b + 1) * k].iter().map(SmallRng::state));
     }
 }
 

@@ -64,11 +64,14 @@ pub mod verify;
 pub use absint::{ProgramFacts, StaticVerdict};
 pub use analysis::{analyze, AlphaAnalysis};
 pub use canon::{canonical_program, CanonOutcome};
-pub use compile::{compile, compile_into, CompileScratch, CompiledInstr, CompiledProgram};
+pub use compile::{
+    compile, compile_into, relocate_for_slot, writes_m0, CompileScratch, CompiledInstr,
+    CompiledProgram,
+};
 pub use config::AlphaConfig;
 pub use eval::{
-    labels_cross_sections, BacktestReport, EvalArena, EvalOptions, Evaluation, Evaluator,
-    SplitMetrics,
+    labels_cross_sections, BacktestReport, BatchArena, EvalArena, EvalOptions, Evaluation,
+    Evaluator, SplitMetrics,
 };
 pub use evolution::{
     BestAlpha, Budget, Evolution, EvolutionCheckpoint, EvolutionConfig, EvolutionOutcome,
@@ -76,9 +79,9 @@ pub use evolution::{
 };
 pub use fingerprint::{fingerprint, fingerprint_analyzed, Analyzed};
 pub use instruction::Instruction;
-pub use interp::ColumnarInterpreter;
 #[cfg(any(test, feature = "reference-oracle"))]
 pub use interp::Interpreter;
+pub use interp::{BatchInterpreter, ColumnarInterpreter};
 #[cfg(any(test, feature = "reference-oracle"))]
 pub use memory::MemoryBank;
 pub use memory::RegisterFile;

@@ -28,6 +28,15 @@
 //! The two layouts are bitwise interchangeable: per stock, every kernel
 //! performs the same f64 operations in the same order (property-tested in
 //! `crates/core/tests/properties.rs`).
+//!
+//! A `RegisterFile` also serves as a **batched tile**: constructed with
+//! `B×` the per-candidate register counts, it holds B candidates'
+//! register planes side by side (slot-major, with one extra matrix slot
+//! for the tile-shared `m0` feature plane) so a single day-major sweep
+//! can score B programs per feature-block load. The tile layout, offset
+//! relocation, and per-slot RNG contract are documented on
+//! [`BatchInterpreter`](crate::interp::BatchInterpreter) and
+//! [`relocate_for_slot`](crate::compile::relocate_for_slot).
 
 /// Scalar register holding the training label.
 pub const LABEL: usize = 0;

@@ -16,7 +16,7 @@
 //!   u64 × 2          population size, tournament size
 //!   u64 × 6          mutation prob + five action weights (f64 bits)
 //!   u8 + u64 [+u32]  budget: 0 = Searched(count) | 1 = WallTime(secs, nanos)
-//!   u64 × 2          seed, workers
+//!   u64 × 3          seed, workers, batch
 //! u64 × 8            counters: searched, evaluated, redundant,
 //!                    cache hits, invalid, gate-rejected,
 //!                    static-rejected, folded
@@ -93,6 +93,7 @@ fn encode_payload(c: &EvolutionCheckpoint) -> Vec<u8> {
     }
     w.u64(c.config.seed);
     w.usize(c.config.workers);
+    w.usize(c.config.batch);
     // Counters.
     w.usize(c.stats.searched);
     w.usize(c.stats.evaluated);
@@ -175,6 +176,7 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
     };
     let seed = r.u64()?;
     let workers = r.usize()?;
+    let batch = r.usize()?;
     let config = EvolutionConfig {
         population_size,
         tournament_size,
@@ -182,6 +184,7 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
         budget,
         seed,
         workers,
+        batch,
     };
     let stats = SearchStats {
         searched: r.usize()?,
@@ -281,6 +284,7 @@ mod tests {
                 budget: Budget::Searched(300),
                 seed: 7,
                 workers: 1,
+                batch: 4,
             },
             stats: SearchStats {
                 searched: 156,

@@ -119,6 +119,53 @@ fn resumed_search_reproduces_the_uninterrupted_run_bit_for_bit() {
 }
 
 #[test]
+fn batched_checkpoint_resume_matches_the_sequential_run() {
+    // The tile pipeline flushes pending candidates before every snapshot,
+    // so a checkpoint taken mid-run under batching captures exactly the
+    // state a sequential run would have — and a resume (with the batch
+    // width round-tripped through the codec) must land on the same
+    // outcome as the plain one-candidate-at-a-time run.
+    let ev = fresh_evaluator();
+    let seed_prog = init::domain_expert(ev.config());
+    let sequential = Evolution::new(&ev, pinned_config()).run(&seed_prog);
+    let seq_best = sequential.best.as_ref().unwrap();
+    let (seq_fp, _) = fingerprint(&seq_best.program, ev.config());
+
+    let batched_config = EvolutionConfig {
+        batch: 6,
+        ..pinned_config()
+    };
+    let mut ckpt = None;
+    let batched = Evolution::new(&ev, batched_config.clone()).run_with_checkpoints(
+        &seed_prog,
+        75,
+        &mut |c| {
+            if ckpt.is_none() {
+                ckpt = Some(c);
+            }
+        },
+    );
+    assert_eq!(batched.stats, sequential.stats, "batching changed the run");
+
+    // Round-trip through bytes: the batch width must survive the codec.
+    let ckpt = alphaevolve::store::checkpoint::checkpoint_from_bytes(
+        &alphaevolve::store::checkpoint::checkpoint_to_bytes(&ckpt.expect("a checkpoint fired")),
+    )
+    .unwrap();
+    assert_eq!(ckpt.config.batch, 6, "batch width lost in the codec");
+
+    let resumed = Evolution::new(&fresh_evaluator(), batched_config).resume(&ckpt);
+    let resumed_best = resumed.best.as_ref().expect("resumed run finds an alpha");
+    let (resumed_fp, _) = fingerprint(&resumed_best.program, ev.config());
+    assert_eq!(
+        resumed_fp, seq_fp,
+        "batched checkpoint→resume diverged from the sequential run"
+    );
+    assert_eq!(resumed_best.ic.to_bits(), seq_best.ic.to_bits());
+    assert_eq!(resumed.stats, sequential.stats, "search counters diverged");
+}
+
+#[test]
 fn chained_resume_from_a_late_checkpoint_also_reproduces() {
     // Resume-of-a-resume: checkpoint the resumed leg again and finish from
     // there — three processes, one deterministic search.

@@ -129,3 +129,91 @@ fn fixed_seed_run_reproduces_prerefactor_best_alpha() {
         assert_eq!(outcome.stats.static_rejected, 1);
     }
 }
+
+/// The batched-tile determinism contract: the fixed-seed run must land on
+/// the identical outcome — best-alpha fingerprint, IC bits, counters, and
+/// trajectory — for every batch size, because batching only re-tiles the
+/// day sweep (per-candidate register/RNG state stays private). Run with
+/// batching *disabled* (B = 1, the fingerprint pin above) and *enabled*
+/// (B > 1, here), so the contract gates merges from both sides.
+#[test]
+fn fixed_seed_run_is_batch_size_invariant() {
+    use alphaevolve::core::fingerprint;
+
+    let market = MarketConfig {
+        n_stocks: 16,
+        n_days: 140,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    let ev = Evaluator::new(AlphaConfig::default(), EvalOptions::default(), ds);
+    let run = |batch: usize| {
+        Evolution::new(
+            &ev,
+            EvolutionConfig {
+                population_size: 20,
+                tournament_size: 5,
+                budget: Budget::Searched(300),
+                seed: 7,
+                workers: 1,
+                batch,
+                ..Default::default()
+            },
+        )
+        .run(&init::domain_expert(ev.config()))
+    };
+
+    let sequential = run(1);
+    let seq_best = sequential.best.as_ref().expect("run finds an alpha");
+    for batch in [5usize, 16] {
+        let batched = run(batch);
+        let best = batched.best.as_ref().expect("batched run finds an alpha");
+        assert_eq!(
+            fingerprint(&best.program, ev.config()).0,
+            fingerprint(&seq_best.program, ev.config()).0,
+            "batch {batch}: best-alpha fingerprint diverged from sequential"
+        );
+        assert_eq!(
+            best.ic.to_bits(),
+            seq_best.ic.to_bits(),
+            "batch {batch}: best IC bits diverged"
+        );
+        assert_eq!(
+            best.val_returns
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            seq_best
+                .val_returns
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            "batch {batch}: best val-returns diverged"
+        );
+        assert_eq!(
+            batched.stats, sequential.stats,
+            "batch {batch}: search counters diverged"
+        );
+        assert_eq!(
+            batched.trajectory, sequential.trajectory,
+            "batch {batch}: trajectory diverged"
+        );
+    }
+
+    // And the absolute pin, where the platform guarantees bitwise libm
+    // reproducibility (see fixed_seed_run_reproduces_prerefactor_best_alpha).
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        let batched = run(8);
+        let best = batched.best.expect("batched run finds an alpha");
+        assert_eq!(
+            fingerprint(&best.program, ev.config()).0,
+            0x60f0a96b0af11c64,
+            "batched run lost the pinned fingerprint"
+        );
+        assert_eq!(best.ic, 0.21213852898918362);
+        assert_eq!(batched.stats.evaluated, 70);
+    }
+}

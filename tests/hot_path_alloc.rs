@@ -293,4 +293,52 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
         routed.as_slice(),
         "router diverged from direct serving"
     );
+
+    // Phase 5: the batched tile path. A warm BatchArena cycles through
+    // full tiles, a partial final tile, and a tile containing a killed
+    // candidate — zero heap allocations after warm-up. Per-slot compile
+    // passes refill each slot's lowered buffers, slot register planes
+    // reset in place, and each day's feature block is staged once into
+    // the shared plane for all slots.
+    let mut tile = ev.batch_arena(4);
+    // Warm-up: a full tile then a partial tile with the killed candidate
+    // grow every slot's buffers to their high-water marks.
+    for prog in &progs {
+        tile.push(prog, false);
+    }
+    ev.evaluate_batch_in(&mut tile);
+    tile.clear();
+    tile.push(&progs[0], false);
+    tile.push(&bad, false);
+    ev.evaluate_batch_in(&mut tile);
+    tile.clear();
+
+    let before = allocations();
+    let mut batched_checksum = 0.0;
+    for _ in 0..5 {
+        // A full tile...
+        for prog in &progs {
+            tile.push(prog, false);
+        }
+        ev.evaluate_batch_in(&mut tile);
+        for slot in 0..tile.len() {
+            batched_checksum += tile.fitness(slot).unwrap_or(0.0);
+        }
+        tile.clear();
+        // ...then a partial final tile whose first slot aborts mid-sweep.
+        tile.push(&bad, false);
+        tile.push(&progs[3], false);
+        ev.evaluate_batch_in(&mut tile);
+        assert!(tile.fitness(0).is_none(), "killed slot must score None");
+        batched_checksum += tile.fitness(1).unwrap_or(0.0);
+        tile.clear();
+    }
+    let after = allocations();
+    assert!(batched_checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "batched evaluation allocated on the hot path ({} allocations over 10 tiles)",
+        after - before
+    );
 }
