@@ -11,11 +11,143 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use alphaevolve_bench::{
     bench_dataset, bench_evaluator, paper_scale_dataset, paper_scale_evaluator,
 };
+use alphaevolve_core::kernels::{self, RankCache};
+use alphaevolve_core::relation::rank_within;
 use alphaevolve_core::{
     compile, compile_into, init, AlphaProgram, ColumnarInterpreter, CompileScratch,
     CompiledProgram, GroupIndex, Interpreter,
 };
 use alphaevolve_market::DayMajorPanel;
+
+/// Per-kernel plane benches at `k` stocks: each polynomial kernel next to
+/// the host-libm loop it replaced, the blocked `mat_mul` next to the naive
+/// triple loop, and the cached rank next to the full re-sort, on
+/// near-identical consecutive cross-sections. Run with
+/// `BENCH_JSON=results/BENCH_interp.json` to record the numbers.
+fn kernel_benches(c: &mut Criterion, k: usize) {
+    // Deterministic non-trivial plane: mixed signs and magnitudes.
+    let base: Vec<f64> = (0..k)
+        .map(|i| ((i * 2_654_435_761) % 10_007) as f64 / 1_000.0 - 5.0)
+        .collect();
+    let positive: Vec<f64> = base.iter().map(|x| x.abs() + 1e-3).collect();
+    let mut dst = vec![0.0; k];
+
+    c.bench_function(&format!("kern{k}/s_sin_plane"), |b| {
+        b.iter(|| kernels::sin_plane(std::hint::black_box(&base), &mut dst));
+    });
+    c.bench_function(&format!("kern{k}/s_sin_libm"), |b| {
+        b.iter(|| {
+            for (d, x) in dst.iter_mut().zip(std::hint::black_box(&base)) {
+                *d = x.sin();
+            }
+        });
+    });
+    c.bench_function(&format!("kern{k}/s_exp_plane"), |b| {
+        b.iter(|| kernels::exp_plane(std::hint::black_box(&base), &mut dst));
+    });
+    c.bench_function(&format!("kern{k}/s_exp_libm"), |b| {
+        b.iter(|| {
+            for (d, x) in dst.iter_mut().zip(std::hint::black_box(&base)) {
+                *d = x.exp();
+            }
+        });
+    });
+    c.bench_function(&format!("kern{k}/s_ln_plane"), |b| {
+        b.iter(|| kernels::ln_plane(std::hint::black_box(&positive), &mut dst));
+    });
+    c.bench_function(&format!("kern{k}/s_ln_libm"), |b| {
+        b.iter(|| {
+            for (d, x) in dst.iter_mut().zip(std::hint::black_box(&positive)) {
+                *d = x.ln();
+            }
+        });
+    });
+
+    // mat_mul over d×d matrix planes: blocked micro-kernel vs the naive
+    // read-modify-write triple loop it replaced.
+    let d = 13;
+    let d2k = d * d * k;
+    let mut m = vec![0.0; 3 * d2k];
+    for (i, x) in m.iter_mut().take(2 * d2k).enumerate() {
+        *x = ((i * 37) % 101) as f64 / 17.0 - 3.0;
+    }
+    let mut scratch = vec![0.0; d2k];
+    c.bench_function(&format!("kern{k}/mat_mul_blocked"), |b| {
+        b.iter(|| {
+            kernels::mat_mul_planes(
+                std::hint::black_box(&mut m),
+                &mut scratch,
+                0,
+                d2k,
+                2 * d2k,
+                d,
+                k,
+            );
+        });
+    });
+    c.bench_function(&format!("kern{k}/mat_mul_naive"), |b| {
+        b.iter(|| {
+            let m = std::hint::black_box(&mut m);
+            scratch.fill(0.0);
+            for r in 0..d {
+                for cc in 0..d {
+                    let so = (r * d + cc) * k;
+                    for kk in 0..d {
+                        let (ma, mb) = ((r * d + kk) * k, d2k + (kk * d + cc) * k);
+                        for i in 0..k {
+                            scratch[so + i] += m[ma + i] * m[mb + i];
+                        }
+                    }
+                }
+            }
+            m[2 * d2k..].copy_from_slice(&scratch);
+        });
+    });
+
+    // rel_rank on near-identical consecutive cross-sections: each
+    // iteration re-writes the plane with an order-preserving perturbation
+    // (a new day whose cross-section barely moved), then ranks it. The
+    // cached kernel verifies sortedness in O(K); the full sort re-argsorts.
+    let group: Vec<u32> = (0..k as u32).collect();
+    let mut day = base.clone();
+    let mut out = vec![0.0; k];
+    c.bench_function(&format!("kern{k}/rel_rank_cached_nearident"), |b| {
+        let mut cache = RankCache::new(1, k);
+        let mut scale = 1.0;
+        b.iter(|| {
+            scale *= 1.000_000_000_1;
+            for (dd, x) in day.iter_mut().zip(std::hint::black_box(&base)) {
+                *dd = x * scale;
+            }
+            cache.rank_groups(
+                0,
+                0,
+                &alphaevolve_core::relation::GroupSlices::Single(&group),
+                &day,
+                &mut out,
+            );
+        });
+    });
+    c.bench_function(&format!("kern{k}/rel_rank_fullsort_nearident"), |b| {
+        let mut rank_scratch = Vec::with_capacity(k);
+        let mut scale = 1.0;
+        b.iter(|| {
+            scale *= 1.000_000_000_1;
+            for (dd, x) in day.iter_mut().zip(std::hint::black_box(&base)) {
+                *dd = x * scale;
+            }
+            rank_within(&group, &day, &mut out, &mut rank_scratch);
+        });
+    });
+}
+
+fn kernel_benches_24(c: &mut Criterion) {
+    kernel_benches(c, 24);
+}
+
+fn kernel_benches_1026(c: &mut Criterion) {
+    kernel_benches(c, 1026);
+}
 
 fn benches(c: &mut Criterion) {
     let evaluator = bench_evaluator();
@@ -173,6 +305,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1500));
-    targets = benches
+    targets = benches, kernel_benches_24, kernel_benches_1026
 }
 criterion_main!(interp);

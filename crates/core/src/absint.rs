@@ -1028,14 +1028,16 @@ pub(crate) fn fold_op(op: Op, a: f64, b: f64, lit: &[f64; 2], dim: usize) -> Opt
         Op::SMax | Op::VMax | Op::MMax => a.max(b),
         Op::SAbs | Op::VAbs | Op::MAbs => a.abs(),
         Op::SInv => 1.0 / a,
-        Op::SSin => a.sin(),
-        Op::SCos => a.cos(),
-        Op::STan => a.tan(),
-        Op::SArcSin => a.asin(),
-        Op::SArcCos => a.acos(),
-        Op::SArcTan => a.atan(),
-        Op::SExp => a.exp(),
-        Op::SLn => a.ln(),
+        // Fold through the shared polynomial kernels so canonicalization
+        // arithmetic equals run-time arithmetic bit-for-bit.
+        Op::SSin => crate::kernels::sin(a),
+        Op::SCos => crate::kernels::cos(a),
+        Op::STan => crate::kernels::tan(a),
+        Op::SArcSin => crate::kernels::asin(a),
+        Op::SArcCos => crate::kernels::acos(a),
+        Op::SArcTan => crate::kernels::atan(a),
+        Op::SExp => crate::kernels::exp(a),
+        Op::SLn => crate::kernels::ln(a),
         Op::SHeaviside | Op::VHeaviside | Op::MHeaviside => {
             if a > 0.0 {
                 1.0

@@ -46,6 +46,11 @@ pub struct CompiledInstr {
     pub lit: [f64; 2],
     /// Small-integer slots (element indices or axis selector).
     pub ix: [u8; 2],
+    /// Rank-cache row for `rel_rank*` ops, assigned sequentially at lower
+    /// time across setup/predict/update; `u16::MAX` for every other op
+    /// (and for rank instructions beyond the cache capacity, where the
+    /// runtime falls back to the uncached sort).
+    pub slot: u16,
 }
 
 /// A program lowered for columnar execution. Reusable: [`compile_into`]
@@ -101,10 +106,13 @@ fn reg_offset(kind: Kind, reg: usize, dim: usize, n_stocks: usize) -> usize {
 /// for callers (benches, tests) that execute hand-picked instructions
 /// outside a full program.
 pub fn lower_instr(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
-    lower(instr, dim, n_stocks)
+    // Standalone lowering assigns rank-cache row 0 so single-instruction
+    // callers (benches) exercise the cached rank path.
+    let mut slot = 0;
+    lower(instr, dim, n_stocks, &mut slot)
 }
 
-fn lower(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
+fn lower(instr: &Instruction, dim: usize, n_stocks: usize, next_slot: &mut u16) -> CompiledInstr {
     let kinds = instr.op.input_kinds();
     let a = if kinds.is_empty() {
         0
@@ -121,6 +129,13 @@ fn lower(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
     } else {
         reg_offset(instr.op.output_kind(), instr.out as usize, dim, n_stocks)
     };
+    let slot = if instr.op.is_rank() && *next_slot != u16::MAX {
+        let s = *next_slot;
+        *next_slot += 1;
+        s
+    } else {
+        u16::MAX
+    };
     CompiledInstr {
         op: instr.op,
         a,
@@ -128,6 +143,7 @@ fn lower(instr: &Instruction, dim: usize, n_stocks: usize) -> CompiledInstr {
         o,
         lit: instr.lit,
         ix: instr.ix,
+        slot,
     }
 }
 
@@ -136,6 +152,7 @@ fn lower_function(
     marks: &[bool],
     dim: usize,
     n_stocks: usize,
+    next_slot: &mut u16,
     out: &mut Vec<CompiledInstr>,
 ) {
     out.clear();
@@ -149,7 +166,7 @@ fn lower_function(
         if !live && !instr.op.is_stochastic() {
             continue;
         }
-        out.push(lower(instr, dim, n_stocks));
+        out.push(lower(instr, dim, n_stocks, next_slot));
     }
 }
 
@@ -169,11 +186,15 @@ pub fn compile_into(
         &mut scratch.update_marks,
     );
     let d = cfg.dim;
+    // Rank-cache rows are numbered across the whole program so every
+    // rank instruction keeps a stable row for the interpreter's lifetime.
+    let mut next_slot: u16 = 0;
     lower_function(
         &prog.setup,
         &scratch.setup_marks,
         d,
         n_stocks,
+        &mut next_slot,
         &mut out.setup,
     );
     lower_function(
@@ -181,6 +202,7 @@ pub fn compile_into(
         &scratch.predict_marks,
         d,
         n_stocks,
+        &mut next_slot,
         &mut out.predict,
     );
     lower_function(
@@ -188,6 +210,7 @@ pub fn compile_into(
         &scratch.update_marks,
         d,
         n_stocks,
+        &mut next_slot,
         &mut out.update,
     );
 }

@@ -50,6 +50,7 @@ use crate::compile::{CompiledInstr, CompiledProgram};
 use crate::config::AlphaConfig;
 #[cfg(any(test, feature = "reference-oracle"))]
 use crate::instruction::Instruction;
+use crate::kernels::RankCache;
 #[cfg(any(test, feature = "reference-oracle"))]
 use crate::memory::MemoryBank;
 use crate::memory::{RegisterFile, INPUT, LABEL, PREDICTION};
@@ -252,6 +253,11 @@ pub struct ColumnarInterpreter<'a> {
     /// indices that do not cover every stock.
     rel_lane: Vec<f64>,
     rank_scratch: Vec<u32>,
+    /// One permutation row per possible rank instruction
+    /// (`max_setup_ops + max_predict_ops + max_update_ops`), addressed by
+    /// [`CompiledInstr::slot`]. Preallocated so the hot path stays
+    /// allocation-free.
+    rank_cache: RankCache,
     base_seed: u64,
 }
 
@@ -305,6 +311,10 @@ impl<'a> ColumnarInterpreter<'a> {
             lane: vec![0.0; k],
             rel_lane: vec![0.0; k],
             rank_scratch: Vec::with_capacity(k),
+            rank_cache: RankCache::new(
+                cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops,
+                k,
+            ),
             base_seed: seed,
         }
     }
@@ -393,6 +403,8 @@ impl<'a> ColumnarInterpreter<'a> {
             &mut self.lane,
             &mut self.rel_lane,
             &mut self.rank_scratch,
+            &mut self.rank_cache,
+            0,
         );
     }
 
@@ -459,6 +471,8 @@ fn run_instrs(
     lane: &mut [f64],
     rel_lane: &mut [f64],
     rank_scratch: &mut Vec<u32>,
+    rank_cache: &mut RankCache,
+    slot_base: usize,
 ) {
     let k = regs.n_stocks();
     debug_assert_eq!(rngs.len(), k);
@@ -470,16 +484,26 @@ fn run_instrs(
             let is_rank = instr.op.is_rank();
             {
                 let values = &regs.s[instr.a..instr.a + k];
-                match groups.groups(rel) {
-                    GroupSlices::Single(_) if !is_rank => {
-                        demean_dense(values, rel_lane);
-                    }
-                    groups => {
-                        for members in groups.iter() {
-                            if is_rank {
-                                rank_within(members, values, rel_lane, rank_scratch);
-                            } else {
-                                demean_within(members, values, rel_lane);
+                let row = slot_base + instr.slot as usize;
+                if is_rank && row < rank_cache.rows() {
+                    // Cached argsort: reuses this instruction's previous
+                    // permutation when today's cross-section is still
+                    // sorted under it; output-bit-identical to the
+                    // uncached path below (the sort order is a strict
+                    // total order, so the permutation is unique).
+                    rank_cache.rank_groups(row, rel as u8, &groups.groups(rel), values, rel_lane);
+                } else {
+                    match groups.groups(rel) {
+                        GroupSlices::Single(_) if !is_rank => {
+                            demean_dense(values, rel_lane);
+                        }
+                        groups => {
+                            for members in groups.iter() {
+                                if is_rank {
+                                    rank_within(members, values, rel_lane, rank_scratch);
+                                } else {
+                                    demean_within(members, values, rel_lane);
+                                }
                             }
                         }
                     }
@@ -552,6 +576,13 @@ pub struct BatchInterpreter<'a> {
     /// per slot across instructions, like the sequential `rel_lane`).
     rel_lanes: Vec<f64>,
     rank_scratch: Vec<u32>,
+    /// `batch · max_slots` permutation rows: each tile slot owns a private
+    /// row range (cross-sections differ per slot, so permutations must
+    /// not be shared).
+    rank_cache: RankCache,
+    /// Rank-cache rows per tile slot
+    /// (`max_setup_ops + max_predict_ops + max_update_ops`).
+    max_slots: usize,
     base_seed: u64,
     batch: usize,
     n_scalars: usize,
@@ -620,6 +651,11 @@ impl<'a> BatchInterpreter<'a> {
             lane: vec![0.0; k],
             rel_lanes: vec![0.0; batch * k],
             rank_scratch: Vec::with_capacity(k),
+            rank_cache: RankCache::new(
+                batch * (cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops),
+                k,
+            ),
+            max_slots: cfg.max_setup_ops + cfg.max_predict_ops + cfg.max_update_ops,
             base_seed: seed,
             batch,
             n_scalars: cfg.n_scalars,
@@ -770,6 +806,8 @@ impl<'a> BatchInterpreter<'a> {
             &mut self.lane,
             &mut self.rel_lanes[b * k..(b + 1) * k],
             &mut self.rank_scratch,
+            &mut self.rank_cache,
+            b * self.max_slots,
         );
         #[cfg(debug_assertions)]
         {
@@ -876,14 +914,28 @@ fn execute_columnar(
         Op::SMax => ew2(s, k, a, b, o, f64::max),
         Op::SAbs => ew1(s, k, a, o, f64::abs),
         Op::SInv => ew1(s, k, a, o, |x| 1.0 / x),
-        Op::SSin => ew1(s, k, a, o, f64::sin),
-        Op::SCos => ew1(s, k, a, o, f64::cos),
-        Op::STan => ew1(s, k, a, o, f64::tan),
-        Op::SArcSin => ew1(s, k, a, o, f64::asin),
-        Op::SArcCos => ew1(s, k, a, o, f64::acos),
-        Op::SArcTan => ew1(s, k, a, o, f64::atan),
-        Op::SExp => ew1(s, k, a, o, f64::exp),
-        Op::SLn => ew1(s, k, a, o, f64::ln),
+        // Transcendentals run the shared polynomial kernels
+        // ([`crate::kernels`]) over the whole plane. sin/cos/ln are
+        // two-pass (branch-free core + rare-input patch pass), which needs
+        // the original inputs after the first pass — and `o` may alias `a`
+        // — so the source plane is staged through the `lane` scratch.
+        Op::SSin => {
+            lane[..k].copy_from_slice(&s[a..a + k]);
+            crate::kernels::sin_plane(&lane[..k], &mut s[o..o + k]);
+        }
+        Op::SCos => {
+            lane[..k].copy_from_slice(&s[a..a + k]);
+            crate::kernels::cos_plane(&lane[..k], &mut s[o..o + k]);
+        }
+        Op::STan => ew1(s, k, a, o, crate::kernels::tan),
+        Op::SArcSin => ew1(s, k, a, o, crate::kernels::asin),
+        Op::SArcCos => ew1(s, k, a, o, crate::kernels::acos),
+        Op::SArcTan => ew1(s, k, a, o, crate::kernels::atan),
+        Op::SExp => ew1(s, k, a, o, crate::kernels::exp),
+        Op::SLn => {
+            lane[..k].copy_from_slice(&s[a..a + k]);
+            crate::kernels::ln_plane(&lane[..k], &mut s[o..o + k]);
+        }
         Op::SHeaviside => ew1(s, k, a, o, |x| if x > 0.0 { 1.0 } else { 0.0 }),
 
         // -- vector ----------------------------------------------------
@@ -1034,24 +1086,9 @@ fn execute_columnar(
             }
             m[o..o + d2k].copy_from_slice(sm);
         }
-        Op::MatMul => {
-            let sm = &mut scratch_m[..d2k];
-            sm.fill(0.0);
-            for r in 0..d {
-                for c in 0..d {
-                    let so = (r * d + c) * k;
-                    // Accumulate in kk order: the lockstep kernel's exact
-                    // summation order per stock.
-                    for kk in 0..d {
-                        let (ma, mb) = (a + (r * d + kk) * k, b + (kk * d + c) * k);
-                        for i in 0..k {
-                            sm[so + i] += m[ma + i] * m[mb + i];
-                        }
-                    }
-                }
-            }
-            m[o..o + d2k].copy_from_slice(sm);
-        }
+        // Register-blocked micro-kernel; accumulates in kk order per
+        // (row, col, stock) — the lockstep kernel's exact summation order.
+        Op::MatMul => crate::kernels::mat_mul_planes(m, scratch_m, a, b, o, d, k),
         Op::SMScale => {
             for e in 0..d * d {
                 let (mo, mb) = (o + e * k, b + e * k);
@@ -1288,7 +1325,7 @@ mod tests {
         interp.predict_day(&prog, ds.valid_days().start, &mut out);
         assert!(out.iter().all(|&x| (0.0..=1.0).contains(&x)));
         let mut sorted = out.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         // Without ties ranks are the full ladder 0, 1/(K-1), ..., 1.
         let k = ds.n_stocks();
         for (i, &r) in sorted.iter().enumerate() {

@@ -51,6 +51,7 @@ pub mod hashutil;
 pub mod init;
 pub mod instruction;
 pub mod interp;
+pub mod kernels;
 pub mod memory;
 pub mod mutation;
 pub mod op;

@@ -387,14 +387,16 @@ pub fn execute_local(
         Op::SMax => mem.s[o] = mem.s[a].max(mem.s[b]),
         Op::SAbs => mem.s[o] = mem.s[a].abs(),
         Op::SInv => mem.s[o] = 1.0 / mem.s[a],
-        Op::SSin => mem.s[o] = mem.s[a].sin(),
-        Op::SCos => mem.s[o] = mem.s[a].cos(),
-        Op::STan => mem.s[o] = mem.s[a].tan(),
-        Op::SArcSin => mem.s[o] = mem.s[a].asin(),
-        Op::SArcCos => mem.s[o] = mem.s[a].acos(),
-        Op::SArcTan => mem.s[o] = mem.s[a].atan(),
-        Op::SExp => mem.s[o] = mem.s[a].exp(),
-        Op::SLn => mem.s[o] = mem.s[a].ln(),
+        // Transcendentals go through the shared polynomial kernels so the
+        // lockstep oracle stays bit-identical to the columnar engine.
+        Op::SSin => mem.s[o] = crate::kernels::sin(mem.s[a]),
+        Op::SCos => mem.s[o] = crate::kernels::cos(mem.s[a]),
+        Op::STan => mem.s[o] = crate::kernels::tan(mem.s[a]),
+        Op::SArcSin => mem.s[o] = crate::kernels::asin(mem.s[a]),
+        Op::SArcCos => mem.s[o] = crate::kernels::acos(mem.s[a]),
+        Op::SArcTan => mem.s[o] = crate::kernels::atan(mem.s[a]),
+        Op::SExp => mem.s[o] = crate::kernels::exp(mem.s[a]),
+        Op::SLn => mem.s[o] = crate::kernels::ln(mem.s[a]),
         Op::SHeaviside => mem.s[o] = if mem.s[a] > 0.0 { 1.0 } else { 0.0 },
 
         // -- vector ----------------------------------------------------

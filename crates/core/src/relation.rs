@@ -128,14 +128,19 @@ pub fn rank_within(group: &[u32], values: &[f64], out: &mut [f64], scratch: &mut
     }
     scratch.clear();
     scratch.extend_from_slice(group);
-    // Non-finite values sort last, ties broken by index for determinism
-    // (a total order, so the unstable sort is deterministic and, unlike
-    // the stable sort, never allocates).
+    // NaNs sort last, ties broken by index for determinism. The keyed
+    // comparator is a strict total order (no `partial_cmp(..).unwrap()`
+    // panic hazard) and orders values identically to the old
+    // partial_cmp-based comparator except inside equal-value tie groups
+    // (-0.0 vs +0.0), which rank averaging erases — output bits are
+    // unchanged. Same order as the cached rank kernel in
+    // `crate::kernels`.
     scratch.sort_unstable_by(|&a, &b| {
-        let (xa, xb) = (values[a as usize], values[b as usize]);
-        xa.partial_cmp(&xb)
-            .unwrap_or_else(|| xa.is_nan().cmp(&xb.is_nan()))
-            .then(a.cmp(&b))
+        let (ka, kb) = (
+            crate::kernels::rank_key(values[a as usize]),
+            crate::kernels::rank_key(values[b as usize]),
+        );
+        ka.cmp(&kb).then(a.cmp(&b))
     });
     let denom = (n - 1) as f64;
     let mut i = 0;
@@ -215,6 +220,60 @@ mod tests {
         assert_eq!(out[0], 1.0, "NaN ranks last");
         assert_eq!(out[1], 0.0);
         assert_eq!(out[2], 0.5);
+    }
+
+    /// The keyed comparator is a total order: a plane saturated with NaNs
+    /// (mixed payloads and signs) must not panic — the old
+    /// `partial_cmp(..).unwrap()` comparator's failure mode — and NaNs
+    /// keep the sort-last, tie-averaged rank semantics. Exercises both the
+    /// plain sort and the cached-permutation kernel.
+    #[test]
+    fn nan_laden_plane_ranks_without_panic() {
+        let k = 12;
+        let group: Vec<u32> = (0..k as u32).collect();
+        // All-NaN plane with distinct payloads/signs.
+        let all_nan: Vec<f64> = (0..k)
+            .map(|i| {
+                let quiet = f64::NAN.to_bits();
+                f64::from_bits(quiet | i as u64 | ((i as u64 & 1) << 63))
+            })
+            .collect();
+        let mut out = vec![0.0; k];
+        rank_within(&group, &all_nan, &mut out, &mut Vec::new());
+        // NaN != NaN, so each NaN is its own tie group: the ranks are the
+        // full ladder, in stock-index order (deterministic sort-last).
+        let denom = (k - 1) as f64;
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, i as f64 / denom, "all-NaN plane: {out:?}");
+        }
+
+        // Half-NaN plane: finite values rank first, NaNs share the tail.
+        let mut half: Vec<f64> = (0..k).map(|i| -(i as f64)).collect();
+        for x in half.iter_mut().skip(k / 2) {
+            *x = f64::NAN;
+        }
+        rank_within(&group, &half, &mut out, &mut Vec::new());
+        for (i, &r) in out.iter().enumerate() {
+            if i < k / 2 {
+                // values are descending, so stock i has rank (k/2 - 1 - i).
+                assert_eq!(r, (k / 2 - 1 - i) as f64 / denom, "stock {i}");
+            } else {
+                // NaN stocks fill the tail ranks individually, in index
+                // order.
+                assert_eq!(r, i as f64 / denom, "NaN stock {i} ranks last");
+            }
+        }
+
+        // The cached kernel agrees bitwise on both planes.
+        let mut cache = crate::kernels::RankCache::new(1, k);
+        let mut cached = vec![0.0; k];
+        for vals in [&all_nan, &half] {
+            cache.rank_groups(0, 0, &GroupSlices::Single(&group), vals, &mut cached);
+            rank_within(&group, vals, &mut out, &mut Vec::new());
+            for (a, b) in cached.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,29 @@ fn invalid_candidate() -> AlphaProgram {
     }
 }
 
+/// A kernel-heavy candidate: transcendental plane ops (polynomial
+/// kernels), `mat_mul` (blocked micro-kernel with its scratch plane), and
+/// two rank instructions (two `RankCache` rows, exercising both the
+/// seeded-reuse and the reseed-on-kind-switch paths across consecutive
+/// days). All of it must stay allocation-free once the arena is warm.
+fn transcendental_candidate() -> AlphaProgram {
+    AlphaProgram {
+        setup: vec![Instruction::new(Op::MGauss, 0, 0, 1, [0.0, 0.5], [0; 2])],
+        predict: vec![
+            Instruction::new(Op::MatMul, 1, 1, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::MMean, 2, 0, 2, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SSin, 2, 0, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SExp, 3, 0, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SLn, 3, 0, 3, [0.0; 2], [0; 2]),
+            Instruction::new(Op::STan, 3, 0, 4, [0.0; 2], [0; 2]),
+            Instruction::new(Op::RelRank, 4, 0, 4, [0.0; 2], [0; 2]),
+            Instruction::new(Op::RelRankSector, 4, 0, 5, [0.0; 2], [0; 2]),
+            Instruction::new(Op::SAdd, 4, 5, 1, [0.0; 2], [0; 2]),
+        ],
+        update: vec![Instruction::nop()],
+    }
+}
+
 /// A stochastic candidate: RNG draws in all three functions, including a
 /// dead one the compile pass must keep (it advances the streams) — the
 /// per-stock RNG path is part of the pinned hot loop.
@@ -146,13 +169,16 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
     );
 
     // A mix of shapes: stateless expert formula, stateful two-layer NN
-    // (full training sweep), a relational alpha (rank/demean planes), and
-    // an explicitly stochastic alpha (per-stock RNG streams).
+    // (full training sweep), a relational alpha (rank/demean planes), an
+    // explicitly stochastic alpha (per-stock RNG streams), and a
+    // kernel-heavy alpha (transcendental planes, blocked mat_mul, cached
+    // ranks).
     let progs = [
         init::domain_expert(ev.config()),
         init::two_layer_nn(ev.config()),
         init::industry_reversal(ev.config()),
         stochastic_candidate(),
+        transcendental_candidate(),
     ];
     let bad = invalid_candidate();
 
@@ -176,7 +202,7 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
     assert_eq!(
         after - before,
         0,
-        "evaluate_in allocated on the hot path ({} allocations over 20 candidates)",
+        "evaluate_in allocated on the hot path ({} allocations over 25 candidates)",
         after - before
     );
     // Phase 2: killed candidates (aborted sweep) must not allocate either.
@@ -300,7 +326,7 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
     // passes refill each slot's lowered buffers, slot register planes
     // reset in place, and each day's feature block is staged once into
     // the shared plane for all slots.
-    let mut tile = ev.batch_arena(4);
+    let mut tile = ev.batch_arena(progs.len());
     // Warm-up: a full tile then a partial tile with the killed candidate
     // grow every slot's buffers to their high-water marks.
     for prog in &progs {

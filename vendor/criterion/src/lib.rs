@@ -7,6 +7,12 @@
 //! harness: per benchmark it warms up, then times `sample_size` samples
 //! within the configured measurement window and prints the mean, min and
 //! max per-iteration latency. No plots, no statistics engine.
+//!
+//! Machine-readable mode: when the `BENCH_JSON` environment variable
+//! names a file, every finished benchmark upserts its mean/min/max
+//! nanoseconds into that file as a JSON object keyed by benchmark id
+//! (`{"<id>": {"mean_ns": …, "min_ns": …, "max_ns": …}, …}`), so repeated
+//! `cargo bench` invocations accumulate one trackable result set.
 
 #![warn(missing_docs)]
 
@@ -95,12 +101,57 @@ impl Criterion {
                 fmt_ns(mean),
                 fmt_ns(max)
             );
+            if let Ok(path) = std::env::var("BENCH_JSON") {
+                if !path.is_empty() {
+                    json_upsert(&path, id, mean, min, max);
+                }
+            }
         }
         self
     }
 
     /// Runs the registered group functions (used by `criterion_main!`).
     pub fn final_summary(&self) {}
+}
+
+/// Inserts or replaces one benchmark's entry in the `BENCH_JSON` file.
+///
+/// The file is a flat string-keyed JSON object; entries are parsed out
+/// line-agnostically by scanning for `"<id>":` at object depth 1, so the
+/// shim needs no JSON dependency. Failures are silent — benchmarking must
+/// never fail because a results file is unwritable.
+fn json_upsert(path: &str, id: &str, mean: f64, min: f64, max: f64) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    // Parse `"key": {…}` pairs from the (trusted, shim-written) object.
+    let mut rest = existing.trim();
+    rest = rest.strip_prefix('{').unwrap_or(rest);
+    while let Some(q0) = rest.find('"') {
+        let Some(q1) = rest[q0 + 1..].find('"').map(|i| q0 + 1 + i) else {
+            break;
+        };
+        let key = rest[q0 + 1..q1].to_string();
+        let Some(b0) = rest[q1..].find('{').map(|i| q1 + i) else {
+            break;
+        };
+        let Some(b1) = rest[b0..].find('}').map(|i| b0 + i) else {
+            break;
+        };
+        entries.push((key, rest[b0..=b1].to_string()));
+        rest = &rest[b1 + 1..];
+    }
+    let value = format!("{{ \"mean_ns\": {mean:.2}, \"min_ns\": {min:.2}, \"max_ns\": {max:.2} }}");
+    match entries.iter_mut().find(|(k, _)| k == id) {
+        Some((_, v)) => *v = value,
+        None => entries.push((id.to_string(), value)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    out.push_str("}\n");
+    let _ = std::fs::write(path, out);
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -228,5 +279,20 @@ mod tests {
     fn group_macros_expand_and_run() {
         simple_group();
         configured_group();
+    }
+
+    #[test]
+    fn json_upsert_accumulates_and_replaces() {
+        let path = std::env::temp_dir().join("criterion_shim_json_upsert_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        json_upsert(path, "a/one", 1.5, 1.0, 2.0);
+        json_upsert(path, "b/two", 10.0, 9.0, 11.0);
+        json_upsert(path, "a/one", 3.5, 3.0, 4.0); // replace, not append
+        let got = std::fs::read_to_string(path).unwrap();
+        assert!(got.contains("\"a/one\": { \"mean_ns\": 3.50"), "{got}");
+        assert!(got.contains("\"b/two\": { \"mean_ns\": 10.00"), "{got}");
+        assert_eq!(got.matches("a/one").count(), 1, "{got}");
+        let _ = std::fs::remove_file(path);
     }
 }
