@@ -1,0 +1,158 @@
+//! Observability overhead: the record-path primitives that ride inside
+//! every instrumented hot loop (relaxed counter adds, log-bucketed
+//! histogram records, the full `observe` wrapper with its two clock
+//! reads), and the scrape path that runs on scrape cadence only (snapshot
+//! render, exposition parse, and a complete wire scrape of a live
+//! loopback fleet). The record-path numbers bound what the `obs` feature
+//! costs per event; the scrape-path numbers are the per-scrape price a
+//! monitoring cadence pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alphaevolve_backtest::CrossSections;
+use alphaevolve_bench::bench_dataset;
+use alphaevolve_core::{fingerprint, init, AlphaConfig, EvalOptions};
+use alphaevolve_market::features::FeatureSet;
+use alphaevolve_obs::{Counter, Histogram, MetricsSnapshot, Shards};
+use alphaevolve_store::metrics::{RequestKind, ServeMetrics};
+use alphaevolve_store::{feature_set_id, AlphaArchive, AlphaService, ArchivedAlpha, ShardedRouter};
+
+fn record_path(c: &mut Criterion) {
+    let counter = Counter::new();
+    c.bench_function("obs/counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            counter.get()
+        });
+    });
+
+    let hist = Histogram::new();
+    let mut ns = 17u64;
+    c.bench_function("obs/histogram_record", |b| {
+        b.iter(|| {
+            ns = ns.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7);
+            hist.record(ns & 0xFFFF_FFFF);
+            ns
+        });
+    });
+
+    let shards: Shards<Counter> = Shards::new_with(8, Counter::new);
+    c.bench_function("obs/sharded_claim_inc", |b| {
+        b.iter(|| {
+            let shard = shards.claim();
+            shard.inc();
+            shard.get()
+        });
+    });
+
+    // The full request wrapper: one kind counter, two clock reads, one
+    // histogram record — what every observed serving request pays.
+    let metrics = ServeMetrics::new();
+    c.bench_function("obs/serve_metrics_observe", |b| {
+        b.iter(|| {
+            metrics
+                .observe(RequestKind::Day, || Ok(0u64))
+                .expect("observed closure")
+        });
+    });
+}
+
+/// A realistic merged fleet snapshot: three layers × four request kinds ×
+/// five error codes across two labeled shards, plus latency histograms.
+fn fleet_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    let mut ns = 1u64;
+    for shard in 0..2 {
+        let m = ServeMetrics::new();
+        for _ in 0..500 {
+            m.record_request(RequestKind::Day);
+            ns = ns.wrapping_mul(6_364_136_223_846_793_005).rotate_left(11);
+            m.record_latency_ns(ns & 0x3F_FFFF);
+        }
+        m.record_request(RequestKind::Range);
+        m.record_request(RequestKind::Metrics);
+        let mut per_shard = MetricsSnapshot::new();
+        for prefix in ["serve", "wire"] {
+            m.snapshot_into(prefix, &mut per_shard);
+        }
+        snap.merge_from(&per_shard);
+        per_shard.add_label("shard", &shard.to_string());
+        snap.merge_from(&per_shard);
+    }
+    snap
+}
+
+fn scrape_path(c: &mut Criterion) {
+    let snap = fleet_snapshot();
+    let text = snap.render();
+    c.bench_function("obs/snapshot_render", |b| {
+        b.iter(|| snap.render().len());
+    });
+    c.bench_function("obs/exposition_parse", |b| {
+        b.iter(|| {
+            MetricsSnapshot::parse(&text)
+                .expect("canonical text parses")
+                .entries()
+                .len()
+        });
+    });
+
+    let mut merged = MetricsSnapshot::new();
+    c.bench_function("obs/snapshot_merge", |b| {
+        b.iter(|| {
+            merged.clear();
+            merged.merge_from(&snap);
+            merged.entries().len()
+        });
+    });
+
+    // A complete scrape of a live two-shard loopback fleet: request
+    // frames out, per-shard snapshot + render + response frames back,
+    // parse and double merge in the router.
+    let ds = bench_dataset();
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let features = FeatureSet::paper();
+    let fsid = feature_set_id(&features);
+    let mut archive = AlphaArchive::with_cutoff(8, 1.0);
+    for (name, program) in [
+        ("expert", init::domain_expert(&cfg)),
+        ("momentum", init::momentum(&cfg)),
+        ("nn", init::two_layer_nn(&cfg)),
+    ] {
+        let fp = fingerprint(&program, &cfg).0;
+        let outcome = archive.admit(ArchivedAlpha {
+            name: name.into(),
+            fingerprint: fp,
+            program,
+            ic: 0.1,
+            val_returns: (0..40).map(|t| (t as f64).sin() * 0.01).collect(),
+            train_days: (0, 1),
+            feature_set_id: fsid,
+        });
+        assert!(outcome.admitted());
+    }
+    let mut router =
+        ShardedRouter::over_threads(&archive, 2, cfg, &opts, &ds, &features).expect("fleet boots");
+    let mut block = CrossSections::new(0, 0);
+    let day = ds.test_days().start;
+    for _ in 0..16 {
+        router.serve_day(day, &mut block).expect("traffic");
+    }
+    let mut out = MetricsSnapshot::new();
+    c.bench_function("obs/wire_scrape_2_shards", |b| {
+        b.iter(|| {
+            out.clear();
+            router.metrics(&mut out).expect("scrape");
+            out.entries().len()
+        });
+    });
+}
+
+fn obs_benches(c: &mut Criterion) {
+    record_path(c);
+    scrape_path(c);
+}
+
+criterion_group!(benches, obs_benches);
+criterion_main!(benches);

@@ -147,6 +147,7 @@ pub struct EvalArena<'a> {
     preds: CrossSections,
     returns: Vec<f64>,
     rank_scratch: Vec<usize>,
+    spans: crate::telemetry::EvalSpans,
 }
 
 impl EvalArena<'_> {
@@ -167,6 +168,13 @@ impl EvalArena<'_> {
     /// for the batched-evaluation RNG-stream contract).
     pub fn rng_states_into(&self, out: &mut Vec<[u64; 4]>) {
         self.interp.rng_states_into(out);
+    }
+
+    /// Takes the span timers and rank-cache counts accumulated since the
+    /// last call (all zeros without the `obs` feature). Alloc-free.
+    pub fn drain_telemetry(&mut self) -> crate::telemetry::EvalSpans {
+        self.spans.absorb_rank_stats(self.interp.take_rank_stats());
+        self.spans.drain()
     }
 }
 
@@ -200,6 +208,7 @@ pub struct BatchArena<'a> {
     filled: usize,
     cfg: AlphaConfig,
     n_stocks: usize,
+    spans: crate::telemetry::EvalSpans,
 }
 
 impl BatchArena<'_> {
@@ -212,6 +221,7 @@ impl BatchArena<'_> {
     /// If the tile is already full ([`BatchArena::is_full`]).
     pub fn push(&mut self, prog: &AlphaProgram, skip_training: bool) -> usize {
         assert!(self.filled < self.slots.len(), "tile is full");
+        let t = crate::telemetry::mark();
         let slot = self.filled;
         let s = &mut self.slots[slot];
         compile_into(
@@ -227,6 +237,8 @@ impl BatchArena<'_> {
         s.fitness = None;
         s.live = false;
         self.filled += 1;
+        self.spans.compile_ns.add(t.elapsed_ns());
+        self.spans.candidates.inc();
         slot
     }
 
@@ -272,6 +284,13 @@ impl BatchArena<'_> {
     /// the RNG-stream contract).
     pub fn rng_states_into(&self, slot: usize, out: &mut Vec<[u64; 4]>) {
         self.interp.rng_states_into_slot(slot, out);
+    }
+
+    /// Takes the span timers and rank-cache counts accumulated since the
+    /// last call (all zeros without the `obs` feature). Alloc-free.
+    pub fn drain_telemetry(&mut self) -> crate::telemetry::EvalSpans {
+        self.spans.absorb_rank_stats(self.interp.take_rank_stats());
+        self.spans.drain()
     }
 }
 
@@ -363,6 +382,7 @@ impl Evaluator {
             preds: CrossSections::new(days, k),
             returns: Vec::with_capacity(days),
             rank_scratch: Vec::with_capacity(k),
+            spans: crate::telemetry::EvalSpans::default(),
         }
     }
 
@@ -468,7 +488,9 @@ impl Evaluator {
             preds,
             returns,
             rank_scratch,
+            spans,
         } = arena;
+        let t = crate::telemetry::mark();
         compile_into(
             prog,
             &self.cfg,
@@ -476,10 +498,17 @@ impl Evaluator {
             compile_scratch,
             compiled,
         );
+        spans.compile_ns.add(t.elapsed_ns());
+        spans.candidates.inc();
         let prog = &*compiled;
         interp.reset();
+        let t = crate::telemetry::mark();
         self.train(interp, prog, skip_training);
-        if !self.sweep(interp, prog, self.dataset.valid_days(), true, preds) {
+        spans.train_ns.add(t.elapsed_ns());
+        let t = crate::telemetry::mark();
+        let ok = self.sweep(interp, prog, self.dataset.valid_days(), true, preds);
+        spans.predict_ns.add(t.elapsed_ns());
+        if !ok {
             returns.clear();
             return None;
         }
@@ -525,6 +554,7 @@ impl Evaluator {
             filled: 0,
             cfg: self.cfg,
             n_stocks: k,
+            spans: crate::telemetry::EvalSpans::default(),
         }
     }
 
@@ -544,6 +574,7 @@ impl Evaluator {
             slots,
             rank_scratch,
             filled,
+            spans,
             ..
         } = arena;
         let filled = *filled;
@@ -552,19 +583,23 @@ impl Evaluator {
         // Sequential evaluation starts from a zeroed register file, so a
         // Setup() body reading m0 must see zeros, not a stale panel.
         interp.reset_shared_input();
+        let t = crate::telemetry::mark();
         for (b, s) in slots[..filled].iter_mut().enumerate() {
             interp.reset_slot(b);
             interp.debug_assert_slot_clean(b);
             interp.run_function_slot(b, &s.compiled.setup);
             s.live = true;
         }
+        spans.train_ns.add(t.elapsed_ns());
 
         // Training sweep: one shared panel load per day, program-major
         // inner walk across the training slots.
         if slots[..filled].iter().any(|s| !s.skip_training) {
             for _ in 0..self.opts.train_epochs {
                 for day in self.dataset.train_days() {
+                    let t = crate::telemetry::mark();
                     interp.load_day(day);
+                    spans.load_day_ns.add(t.elapsed_ns());
                     for (b, s) in slots[..filled].iter().enumerate() {
                         if s.skip_training {
                             continue;
@@ -572,10 +607,14 @@ impl Evaluator {
                         if !s.share_m0 {
                             interp.stage_private_m0(b);
                         }
+                        let t = crate::telemetry::mark();
                         interp.run_function_slot(b, &s.compiled.predict);
+                        spans.predict_ns.add(t.elapsed_ns());
                         if self.opts.run_update {
+                            let t = crate::telemetry::mark();
                             interp.load_labels_slot(b, day);
                             interp.run_function_slot(b, &s.compiled.update);
+                            spans.update_ns.add(t.elapsed_ns());
                         }
                     }
                 }
@@ -592,7 +631,9 @@ impl Evaluator {
             if slots[..filled].iter().all(|s| !s.live) {
                 break;
             }
+            let t = crate::telemetry::mark();
             interp.load_day(day);
+            spans.load_day_ns.add(t.elapsed_ns());
             for (b, s) in slots[..filled].iter_mut().enumerate() {
                 if !s.live {
                     continue;
@@ -600,9 +641,11 @@ impl Evaluator {
                 if !s.share_m0 {
                     interp.stage_private_m0(b);
                 }
+                let t = crate::telemetry::mark();
                 interp.run_function_slot(b, &s.compiled.predict);
                 let row = s.preds.row_mut(i);
                 interp.read_predictions_slot(b, row);
+                spans.predict_ns.add(t.elapsed_ns());
                 if !row.iter().all(|x| x.is_finite()) {
                     s.preds.invalidate_day(i);
                     s.live = false;

@@ -55,6 +55,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -411,6 +412,10 @@ struct Shared<'a> {
     static_rejected: AtomicUsize,
     folded: AtomicUsize,
     stop: AtomicBool,
+    /// Live telemetry instruments (no-op ZST without the `obs` feature).
+    /// Observation-only: recording draws no randomness and never feeds
+    /// back into selection, so fingerprints are bit-identical either way.
+    telemetry: Arc<crate::telemetry::SearchTelemetry>,
     start: Instant,
     /// Wall-clock already consumed before this process took over (zero
     /// for fresh runs; the checkpoint's `elapsed` on resume), so
@@ -560,11 +565,13 @@ impl<'a> Shared<'a> {
     /// best/trajectory updates, and population fitness patches land
     /// exactly as sequential per-candidate evaluation would have produced
     /// them. A no-op on an empty tile.
-    fn flush(&self, tile: &mut Tile<'_>) {
+    fn flush(&self, tile: &mut Tile<'_>, cause: crate::telemetry::FlushCause) {
         if tile.pending.is_empty() {
             debug_assert!(tile.arena.is_empty());
             return;
         }
+        let t = crate::telemetry::mark();
+        let (tile_filled, tile_capacity) = (tile.arena.len(), tile.arena.capacity());
         let Tile {
             arena,
             pending,
@@ -610,6 +617,13 @@ impl<'a> Shared<'a> {
                                 ic,
                                 val_returns: arena.val_returns(slot).to_vec(),
                             });
+                            // Wall-clock lands only in the telemetry gauge;
+                            // the checkpointed trajectory stays on searched
+                            // counts so resumes remain bit-deterministic.
+                            self.telemetry.record_best(
+                                ic,
+                                (self.base_elapsed + self.start.elapsed()).as_secs_f64(),
+                            );
                             self.trajectory.lock().push(TrajectoryPoint {
                                 searched,
                                 best_ic: ic,
@@ -636,7 +650,15 @@ impl<'a> Shared<'a> {
                 }
             }
         }
+        let spans = arena.drain_telemetry();
         arena.clear();
+        self.telemetry.absorb_eval(&spans);
+        self.telemetry
+            .record_flush(cause, tile_filled, tile_capacity, t.elapsed_ns());
+        self.telemetry.sample(
+            &self.snapshot_stats(),
+            (self.base_elapsed + self.start.elapsed()).as_secs_f64(),
+        );
     }
 
     fn worker_loop(&self, worker_id: u64) {
@@ -685,7 +707,7 @@ impl<'a> Shared<'a> {
                 let mut pop = self.population.lock();
                 if pop.members.is_empty() {
                     drop(pop);
-                    self.flush(&mut tile);
+                    self.flush(&mut tile, crate::telemetry::FlushCause::Final);
                     return;
                 }
                 let t = self.econfig.tournament_size.min(pop.members.len()).max(1);
@@ -699,7 +721,7 @@ impl<'a> Shared<'a> {
                     // would score −∞ here but its real fitness under
                     // sequential evaluation. Flush, then compare.
                     drop(pop);
-                    self.flush(&mut tile);
+                    self.flush(&mut tile, crate::telemetry::FlushCause::PendingDraw);
                     pop = self.population.lock();
                 }
                 let mut best_idx = draws[0];
@@ -713,7 +735,7 @@ impl<'a> Shared<'a> {
             let child = self.mutator.mutate(rng, &parent);
             self.admit(&mut tile, child, true);
             if tile.is_full() {
-                self.flush(&mut tile);
+                self.flush(&mut tile, crate::telemetry::FlushCause::TileFull);
             }
             if let Some(every) = checkpoint_every {
                 since_checkpoint += 1;
@@ -721,12 +743,12 @@ impl<'a> Shared<'a> {
                     since_checkpoint = 0;
                     // Settle all pending state first: a checkpoint is a
                     // total observation.
-                    self.flush(&mut tile);
+                    self.flush(&mut tile, crate::telemetry::FlushCause::Checkpoint);
                     sink(self.snapshot(rng));
                 }
             }
         }
-        self.flush(&mut tile);
+        self.flush(&mut tile, crate::telemetry::FlushCause::Final);
     }
 
     /// A consistent snapshot of the whole search state (single-worker:
@@ -764,6 +786,7 @@ pub struct Evolution<'a> {
     econfig: EvolutionConfig,
     gate: Option<&'a CorrelationGate>,
     use_pruning: bool,
+    telemetry: Arc<crate::telemetry::SearchTelemetry>,
 }
 
 impl<'a> Evolution<'a> {
@@ -774,7 +797,16 @@ impl<'a> Evolution<'a> {
             econfig,
             gate: None,
             use_pruning: true,
+            telemetry: Arc::new(crate::telemetry::SearchTelemetry::new()),
         }
+    }
+
+    /// The driver's live telemetry: clone the `Arc` before `run` and read
+    /// (or snapshot) it from another thread while the search executes.
+    /// Instruments accumulate across `run`/`resume` calls on the same
+    /// driver. A zero-sized no-op without the `obs` feature.
+    pub fn telemetry(&self) -> &Arc<crate::telemetry::SearchTelemetry> {
+        &self.telemetry
     }
 
     /// Attach a weak-correlation gate (candidates failing it die).
@@ -876,6 +908,7 @@ impl<'a> Evolution<'a> {
             static_rejected: AtomicUsize::new(0),
             folded: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            telemetry: Arc::clone(&self.telemetry),
             start: Instant::now(),
             base_elapsed: match start {
                 Start::Seed(_) => Duration::ZERO,
@@ -904,12 +937,12 @@ impl<'a> Evolution<'a> {
                     }
                     shared.admit(&mut tile, candidate, false);
                     if tile.is_full() {
-                        shared.flush(&mut tile);
+                        shared.flush(&mut tile, crate::telemetry::FlushCause::Init);
                     }
                 }
                 // Settle the init tile before any worker starts drawing
                 // tournaments from the population.
-                shared.flush(&mut tile);
+                shared.flush(&mut tile, crate::telemetry::FlushCause::Init);
 
                 let workers = shared.econfig.workers.max(1);
                 if workers == 1 {

@@ -413,6 +413,12 @@ impl<'a> ColumnarInterpreter<'a> {
         self.run_function(&prog.setup);
     }
 
+    /// Takes the rank cache's `(reused, resorted)` segment counts since
+    /// the last call (telemetry; `(0, 0)` without the `obs` feature).
+    pub fn take_rank_stats(&mut self) -> (u64, u64) {
+        self.rank_cache.take_rank_stats()
+    }
+
     /// One training step: load inputs, predict, load labels, update.
     /// `run_update = false` skips the parameter update (the paper's `_P`
     /// ablation of Table 4).
@@ -820,6 +826,12 @@ impl<'a> BatchInterpreter<'a> {
                 "tile slot {b} clobbered the shared m0 plane"
             );
         }
+    }
+
+    /// Takes the rank cache's `(reused, resorted)` segment counts since
+    /// the last call (telemetry; `(0, 0)` without the `obs` feature).
+    pub fn take_rank_stats(&mut self) -> (u64, u64) {
+        self.rank_cache.take_rank_stats()
     }
 
     /// Copies slot `b`'s prediction plane `s1` into `out` (length

@@ -692,7 +692,7 @@ const MM_STRIP: usize = 8;
 /// `out = A · B` over `d×d` matrix planes of `k` stocks, accumulated into
 /// `scratch` (so the output register may alias an input) and copied to
 /// `m[o..]`. Register-blocked: each output plane is produced in strips of
-/// [`MM_STRIP`] stocks whose running sums stay in a stack array for the
+/// `MM_STRIP` (8) stocks whose running sums stay in a stack array for the
 /// entire `kk` loop, eliminating the per-term scratch read-modify-write of
 /// the naive triple loop. Per (row, column, stock) the products are still
 /// added in ascending `kk` order — bit-identical to the naive loop and to
@@ -784,6 +784,11 @@ pub struct RankCache {
     kinds: Vec<u8>,
     /// `k` scratch plane of sort keys for the current instruction.
     keys: Vec<u64>,
+    /// Group segments served from a still-sorted cached permutation
+    /// (telemetry; no-op without the `obs` feature).
+    reused: crate::telemetry::Count,
+    /// Group segments that fell back to the full argsort.
+    resorted: crate::telemetry::Count,
 }
 
 impl RankCache {
@@ -795,12 +800,23 @@ impl RankCache {
             perms: vec![0; rows * k],
             kinds: vec![u8::MAX; rows],
             keys: vec![0; k],
+            reused: crate::telemetry::Count::default(),
+            resorted: crate::telemetry::Count::default(),
         }
     }
 
     /// Number of permutation rows.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Takes the `(reused, resorted)` group-segment counts accumulated
+    /// since the last call (always `(0, 0)` without the `obs` feature).
+    pub fn take_rank_stats(&mut self) -> (u64, u64) {
+        let stats = (self.reused.get(), self.resorted.get());
+        self.reused = crate::telemetry::Count::default();
+        self.resorted = crate::telemetry::Count::default();
+        stats
     }
 
     /// Writes normalized average ranks of `values[member]` into
@@ -846,10 +862,13 @@ impl RankCache {
                 let (p, q) = (w[0], w[1]);
                 (keys[p as usize], p) <= (keys[q as usize], q)
             });
-            if !sorted {
+            if sorted {
+                self.reused.inc();
+            } else {
                 // Correctness fallback: the full argsort. The comparator
                 // is the same strict total order, so it lands on the same
                 // unique permutation a fresh sort would.
+                self.resorted.inc();
                 seg.sort_unstable_by(|&p, &q| {
                     keys[p as usize].cmp(&keys[q as usize]).then(p.cmp(&q))
                 });

@@ -59,6 +59,7 @@ pub mod paper_alphas;
 pub mod program;
 pub mod prune;
 pub mod relation;
+pub mod telemetry;
 pub mod textio;
 pub mod verify;
 
@@ -91,4 +92,5 @@ pub use op::{Kind, Op};
 pub use program::{AlphaProgram, FunctionId};
 pub use prune::{canonicalize, liveness, prune, Liveness, PruneResult};
 pub use relation::GroupIndex;
+pub use telemetry::{EvalSpans, FlushCause, SearchTelemetry};
 pub use verify::{check_envelope, Diagnostic, DiagnosticCode, ProgramVerifier, Severity};

@@ -1,0 +1,329 @@
+//! Log-bucketed latency histogram (HdrHistogram-style layout).
+//!
+//! Values (nanoseconds as `u64`) land in buckets laid out as a
+//! power-of-two exponent plus [`SUBBUCKETS`] linear subdivisions per
+//! octave: relative bucket width is bounded by `1/SUBBUCKETS` (12.5%),
+//! which is plenty for latency work, while the whole `u64` range fits in
+//! [`N_BUCKETS`] = 496 fixed slots — no resizing, no allocation after
+//! construction, one relaxed atomic add per sample.
+//!
+//! The mapping is exactly invertible at bucket granularity:
+//! [`bucket_index`] sends a value to its bucket and [`bucket_bounds`]
+//! returns that bucket's inclusive `[lower, upper]` value range, with
+//! `bucket_index(upper) == index`. The text exposition uses `upper` as
+//! the Prometheus `le` bound, which is how bucket counts survive a
+//! render → parse round trip bit-for-bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear subdivisions per power-of-two octave.
+const SUB_BITS: u32 = 3;
+
+/// Linear subdivisions per octave (8 → ≤12.5% relative bucket width).
+pub const SUBBUCKETS: usize = 1 << SUB_BITS;
+
+/// Total number of buckets covering the full `u64` range.
+///
+/// Indices `0..SUBBUCKETS` hold the exact values `0..SUBBUCKETS`; each
+/// subsequent octave (`2^e ..= 2^(e+1)-1` for `e` in `SUB_BITS..=63`)
+/// contributes `SUBBUCKETS` more: `8 + 61 * 8 = 496`.
+pub const N_BUCKETS: usize = SUBBUCKETS + (64 - SUB_BITS as usize) * SUBBUCKETS;
+
+/// The bucket index for a recorded value. Total over all of `u64`.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (msb - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+        (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `index`.
+///
+/// # Panics
+/// If `index >= N_BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < N_BUCKETS, "bucket index {index} out of range");
+    if index < SUBBUCKETS {
+        return (index as u64, index as u64);
+    }
+    let msb = (index >> SUB_BITS) as u32 + SUB_BITS - 1;
+    let sub = (index & (SUBBUCKETS - 1)) as u64;
+    let lower = (1u64 << msb) | (sub << (msb - SUB_BITS));
+    let width = 1u64 << (msb - SUB_BITS);
+    (lower, lower + (width - 1))
+}
+
+/// A fixed-capacity concurrent latency histogram.
+///
+/// Construction allocates the bucket array once; recording afterwards is
+/// three relaxed atomic adds (bucket, count, sum) and zero allocations.
+/// `sum` accumulates raw nanoseconds in `u64` — wraparound would need
+/// ~585 years of accumulated latency, and `u64` addition keeps shard
+/// merges associative where `f64` would not be.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (allocates the fixed bucket array).
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one value (nanoseconds). Never allocates.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`std::time::Duration`] as nanoseconds
+    /// (saturating at `u64::MAX`). Never allocates.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, in nanoseconds.
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy: sparse non-empty buckets, sorted by index.
+    ///
+    /// Allocates (scrape path, not hot path). Concurrent recording makes
+    /// the copy causally consistent rather than atomic — `count` may
+    /// trail the bucket total by in-flight samples, never the reverse
+    /// order that would underflow a cumulative rendering, because
+    /// buckets are bumped before `count`.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut total = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u16, n));
+                total += n;
+            }
+        }
+        // Under concurrent recording `count`/`sum` can trail the bucket
+        // scan; publish the bucket total so cumulative `le` counts and
+        // `_count` agree within one snapshot.
+        let count = self.count.load(Ordering::Relaxed).max(total);
+        HistogramSnapshot {
+            count,
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable point-in-time histogram reading.
+///
+/// `buckets` holds `(bucket_index, sample_count)` pairs, sorted by index
+/// with zero-count entries omitted. Merging adds counts in `u64`, which
+/// is associative and commutative, so any merge order over any shard
+/// grouping produces bit-identical results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (u64 adds; order-independent).
+    ///
+    /// `count`/`sum_ns` use saturating addition — still associative and
+    /// commutative (`min(a+b+c, MAX)` regardless of grouping), and a
+    /// pathological `u64::MAX` sample can't panic a scrape.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, na)), Some(&&(ib, nb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, na));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, nb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, na.saturating_add(nb)));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+    }
+
+    /// Mean recorded value in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ns as f64 / self.count as f64)
+    }
+
+    /// Upper bound (ns, inclusive) of the smallest bucket whose
+    /// cumulative count reaches quantile `q` of all samples. `None` when
+    /// empty. `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_bounds(i as usize).1);
+            }
+        }
+        self.buckets
+            .last()
+            .map(|&(i, _)| bucket_bounds(i as usize).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_total_contiguous_and_invertible() {
+        assert_eq!(N_BUCKETS, 496);
+        // The linear region is exact.
+        for v in 0..SUBBUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+        // Every bucket's bounds map back to that bucket, bounds tile the
+        // u64 range contiguously, and widths stay within 12.5% relative.
+        let mut expect_lower = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lower, "bucket {i} not contiguous");
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            if i >= SUBBUCKETS {
+                let width = hi - lo + 1;
+                assert!(width <= lo / SUBBUCKETS as u64 + 1, "bucket {i} too wide");
+            }
+            expect_lower = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lower, 0, "buckets must cover all of u64");
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record(7);
+        h.record(1_000_000);
+        h.record_duration(std::time::Duration::from_micros(1));
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 7 + 7 + 1_000_000 + 1_000);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 5);
+        assert_eq!(
+            s.buckets
+                .iter()
+                .find(|&&(i, _)| i as usize == bucket_index(7))
+                .unwrap()
+                .1,
+            2
+        );
+        assert_eq!(s.mean_ns(), Some(1_001_014_f64 / 5.0));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 1_000]);
+        let b = mk(&[5, 70_000]);
+        let c = mk(&[u64::MAX, 0]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge_from(&b);
+        ab_c.merge_from(&c);
+
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge_from(&bc);
+
+        let mut c_ba = c.clone();
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        c_ba.merge_from(&ba);
+
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, c_ba);
+        assert_eq!(ab_c.count, 7);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 300, 400, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_upper_ns(0.5).unwrap();
+        assert!((200..=400).contains(&bucket_bounds(bucket_index(p50)).0.max(1)) || p50 >= 200);
+        let p100 = s.quantile_upper_ns(1.0).unwrap();
+        assert!(p100 >= 1_000_000);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_ns(0.5), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! Zero-allocation metrics & tracing primitives for the AlphaEvolve stack.
+//!
+//! The serving tier answers requests in microseconds and the batched
+//! search core is pinned to **zero heap allocations per candidate**
+//! (`tests/hot_path_alloc.rs` in the workspace root), so a conventional
+//! metrics library — string-keyed registries, lazy label interning,
+//! mutex-guarded maps — is off the table. This crate provides the
+//! narrow alternative the codebase actually needs:
+//!
+//! * **Pre-registered, fixed-capacity instruments.** [`Counter`],
+//!   [`Gauge`], and the log-bucketed [`Histogram`] are plain structs of
+//!   atomics owned by the subsystem that records into them. There is no
+//!   global registry and no name lookup on the hot path: recording is
+//!   one relaxed atomic RMW (three for a histogram sample) and **never
+//!   allocates**.
+//! * **Sharding.** [`Shards`] hands out instrument sets round-robin to
+//!   workers/connections so concurrent recorders don't contend on one
+//!   cache line. Capacity is fixed at construction; when connections
+//!   outnumber shards they share (atomics keep that correct).
+//! * **Deterministic aggregation.** [`MetricsSnapshot`] collects
+//!   instrument readings into a canonically-ordered list, merges
+//!   shard/replica snapshots **associatively, commutatively, and
+//!   bit-deterministically** (counters and histogram buckets add in
+//!   `u64`; gauges combine by [`f64::total_cmp`] max, because `f64`
+//!   addition is not associative), and renders a Prometheus-style text
+//!   exposition into a caller-owned buffer. The exposition parses back
+//!   losslessly ([`MetricsSnapshot::parse`]), which is how snapshots
+//!   travel over the AEVS wire protocol.
+//!
+//! Timestamps and rates live only in gauges: they never participate in
+//! search fingerprints, evolution checkpoints, or wire prediction
+//! payloads, so instrumentation cannot perturb the workspace's
+//! fixed-seed determinism pins.
+//!
+//! # Recording vs. observing
+//!
+//! ```
+//! use alphaevolve_obs::{Counter, Histogram, MetricsSnapshot};
+//!
+//! // Pre-register at startup (allocates once, off the hot path).
+//! let requests = Counter::new();
+//! let latency = Histogram::new();
+//!
+//! // Hot path: relaxed atomic adds, zero allocations.
+//! requests.inc();
+//! latency.record(1_250); // nanoseconds
+//!
+//! // Observation path (allocates freely; runs on scrape cadence).
+//! let mut snap = MetricsSnapshot::new();
+//! snap.push_counter("serve_requests", &[], requests.get());
+//! snap.push_histogram("serve_latency_ns", &[], latency.snapshot());
+//! let mut text = String::new();
+//! snap.render_into(&mut text);
+//! assert_eq!(MetricsSnapshot::parse(&text).unwrap(), snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod snapshot;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, N_BUCKETS};
+pub use snapshot::{ExpositionError, LabelPairs, MetricEntry, MetricValue, MetricsSnapshot};
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing event count.
+///
+/// Recording is a single `Relaxed` atomic add; reads (`get`) are also
+/// relaxed — per-counter totals are exact, but a snapshot taken while
+/// recorders run is only causally consistent across counters, which is
+/// all a scrape needs.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value instrument for sampled quantities (rates,
+/// occupancies, the IC of the current best alpha).
+///
+/// Stored as raw `f64` bits in an `AtomicU64`; `set` is one relaxed
+/// store. When gauges from several shards meet in a snapshot they
+/// combine by [`f64::total_cmp`] **max** — unlike `f64` addition, max
+/// is associative and commutative, so merged snapshots are
+/// bit-deterministic regardless of merge order.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at `0.0`.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores `v` if it exceeds the current value under
+    /// [`f64::total_cmp`] (a lock-free running maximum).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v.total_cmp(&f64::from_bits(cur)) == std::cmp::Ordering::Greater {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// A fixed-capacity pool of instrument sets, handed out round-robin.
+///
+/// Workers and connections each `claim` a shard at setup time and record
+/// into it without further coordination; a scrape walks `iter()` and
+/// merges every shard into one snapshot. Capacity is fixed when the pool
+/// is built — long-lived daemons never grow their metrics footprint, and
+/// when live connections outnumber shards they simply share one (the
+/// instruments are atomic, so sharing is merely a little extra cache-line
+/// traffic, never a data race).
+#[derive(Debug)]
+pub struct Shards<T> {
+    shards: Box<[T]>,
+    next: AtomicUsize,
+}
+
+impl<T> Shards<T> {
+    /// Builds `capacity.max(1)` shards with `make`.
+    pub fn new_with(capacity: usize, mut make: impl FnMut() -> T) -> Self {
+        let n = capacity.max(1);
+        Shards {
+            shards: (0..n).map(|_| make()).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: the pool holds at least one shard.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Claims the next shard round-robin (wraps at capacity).
+    pub fn claim(&self) -> &T {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// The shard at `i % len` (stable addressing for tests/drains).
+    #[must_use]
+    pub fn get(&self, i: usize) -> &T {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// All shards, in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.shards.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Shards<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.shards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set_max(1.0); // below current: no change
+        assert_eq!(g.get(), 1.5);
+        g.set_max(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(f64::NEG_INFINITY);
+        g.set_max(-0.0);
+        assert_eq!(g.get(), -0.0);
+        // total_cmp: -0.0 < 0.0, so 0.0 still wins.
+        g.set_max(0.0);
+        assert!(g.get() == 0.0 && g.get().is_sign_positive());
+    }
+
+    #[test]
+    fn shards_round_robin_and_share() {
+        let pool: Shards<Counter> = Shards::new_with(2, Counter::new);
+        assert_eq!(pool.len(), 2);
+        pool.claim().inc(); // shard 0
+        pool.claim().inc(); // shard 1
+        pool.claim().inc(); // wraps to shard 0
+        let totals: Vec<u64> = pool.iter().map(Counter::get).collect();
+        assert_eq!(totals, vec![2, 1]);
+        assert_eq!(pool.get(5).get(), pool.get(1).get());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let pool: Shards<Counter> = Shards::new_with(0, Counter::new);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        pool.claim().inc();
+        assert_eq!(pool.get(0).get(), 1);
+    }
+}

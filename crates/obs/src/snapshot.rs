@@ -1,0 +1,778 @@
+//! Snapshot aggregation and the Prometheus-style text exposition.
+//!
+//! A [`MetricsSnapshot`] is the observation-side counterpart of the
+//! atomic instruments: an owned, canonically-ordered list of
+//! `(name, labels, value)` entries. Pushing an entry that already exists
+//! **merges** it (counters and histogram buckets add in `u64`, gauges
+//! combine by [`f64::total_cmp`] max), so folding any number of shard or
+//! replica snapshots together — in any order, with any grouping —
+//! produces bit-identical results. That determinism is load-bearing: the
+//! sharded router scrapes replicas concurrently and must report one
+//! stable fleet view.
+//!
+//! [`MetricsSnapshot::render_into`] writes the standard Prometheus text
+//! format (`# TYPE` headers; histograms as cumulative `le` buckets plus
+//! `_sum`/`_count`, with `le` bounds in integer nanoseconds) into a
+//! caller-owned buffer, and [`MetricsSnapshot::parse`] inverts it
+//! exactly: `parse(render(s)) == s` for every snapshot, which is how
+//! snapshots travel over the AEVS wire as a single string payload.
+//! Gauges render via Rust's shortest-round-trip `f64` formatting, so
+//! finite values survive bit-for-bit (any NaN parses back as NaN).
+
+use crate::hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// Owned `(key, value)` label pairs, sorted by key.
+pub type LabelPairs = Vec<(String, String)>;
+
+/// One metric reading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count. Merges by `u64` addition.
+    Counter(u64),
+    /// Sampled value. Merges by [`f64::total_cmp`] max.
+    Gauge(f64),
+    /// Latency distribution. Merges bucket-wise by `u64` addition.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named, labeled metric reading inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by key. `le` is reserved for the renderer.
+    pub labels: LabelPairs,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// An owned, mergeable, canonically-ordered set of metric readings.
+///
+/// Entries stay sorted by `(name, labels)` at all times; two snapshots
+/// over the same readings compare equal regardless of push or merge
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All entries, sorted by `(name, labels)`.
+    #[must_use]
+    pub fn entries(&self) -> &[MetricEntry] {
+        &self.entries
+    }
+
+    /// True when no entries have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Pushes (or merges) a counter reading.
+    pub fn push_counter(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.upsert(name, labels, MetricValue::Counter(v));
+    }
+
+    /// Pushes (or max-merges) a gauge reading.
+    pub fn push_gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.upsert(name, labels, MetricValue::Gauge(v));
+    }
+
+    /// Pushes (or merges) a histogram reading.
+    pub fn push_histogram(&mut self, name: &str, labels: &[(&str, &str)], h: HistogramSnapshot) {
+        self.upsert(name, labels, MetricValue::Histogram(h));
+    }
+
+    /// Reads a live [`Histogram`] and pushes its snapshot.
+    pub fn observe_histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.push_histogram(name, labels, h.snapshot());
+    }
+
+    /// Looks up one entry's value.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let labels = sorted_labels(labels);
+        self.entries
+            .binary_search_by(|e| cmp_key(&e.name, &e.labels, name, &labels))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// Convenience: the value of a counter entry (0 when absent).
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(&MetricValue::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Folds every entry of `other` into `self`.
+    ///
+    /// Associative and commutative: counters and histograms add in
+    /// `u64`, gauges take the [`f64::total_cmp`] max, and entries keep
+    /// canonical order — so any merge tree over any snapshot order
+    /// yields bit-identical results.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for e in &other.entries {
+            self.upsert_owned(e.name.clone(), e.labels.clone(), e.value.clone());
+        }
+    }
+
+    /// Adds a label pair to **every** entry (e.g. `shard="3"` before
+    /// folding a replica's snapshot into a fleet view). Entries that
+    /// collide after relabeling merge under the usual rules.
+    pub fn add_label(&mut self, key: &str, value: &str) {
+        let entries = std::mem::take(&mut self.entries);
+        for mut e in entries {
+            e.labels.retain(|(k, _)| k != key);
+            e.labels.push((key.to_string(), value.to_string()));
+            e.labels.sort();
+            self.upsert_owned(e.name, e.labels, e.value);
+        }
+    }
+
+    fn upsert(&mut self, name: &str, labels: &[(&str, &str)], value: MetricValue) {
+        let labels: Vec<(String, String)> = sorted_labels(labels);
+        self.upsert_owned(name.to_string(), labels, value);
+    }
+
+    fn upsert_owned(&mut self, name: String, labels: Vec<(String, String)>, value: MetricValue) {
+        debug_assert!(labels.windows(2).all(|w| w[0] <= w[1]));
+        match self
+            .entries
+            .binary_search_by(|e| cmp_key(&e.name, &e.labels, &name, &labels))
+        {
+            Ok(i) => merge_value(&mut self.entries[i].value, &value),
+            Err(i) => self.entries.insert(
+                i,
+                MetricEntry {
+                    name,
+                    labels,
+                    value,
+                },
+            ),
+        }
+    }
+
+    /// Renders the Prometheus text exposition into `out`.
+    ///
+    /// `# TYPE` headers precede each metric name; histogram entries
+    /// expand to cumulative `le`-bucket lines (inclusive upper bounds in
+    /// integer nanoseconds, then `+Inf`) plus `_sum` and `_count`.
+    pub fn render_into(&self, out: &mut String) {
+        let mut prev_name: Option<&str> = None;
+        for e in &self.entries {
+            if prev_name != Some(e.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.value.type_name());
+                prev_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    render_name_labels(out, &e.name, &e.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    render_name_labels(out, &e.name, &e.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for &(i, n) in &h.buckets {
+                        cum += n;
+                        let (_, upper) = bucket_bounds(i as usize);
+                        render_name_labels(
+                            out,
+                            &format!("{}_bucket", e.name),
+                            &e.labels,
+                            Some(&upper.to_string()),
+                        );
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    render_name_labels(out, &format!("{}_bucket", e.name), &e.labels, Some("+Inf"));
+                    let _ = writeln!(out, " {}", h.count);
+                    render_name_labels(out, &format!("{}_sum", e.name), &e.labels, None);
+                    let _ = writeln!(out, " {}", h.sum_ns);
+                    render_name_labels(out, &format!("{}_count", e.name), &e.labels, None);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+
+    /// Renders into a fresh `String` (convenience for scrape paths).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    /// Parses a text exposition produced by [`render_into`].
+    ///
+    /// Exact inverse of the renderer: counters and histogram bucket
+    /// counts round-trip bit-for-bit, gauges round-trip via shortest
+    /// `f64` formatting. Unknown or malformed lines produce a typed
+    /// [`ExpositionError`] — never a panic — because expositions arrive
+    /// over the wire from remote processes.
+    ///
+    /// [`render_into`]: MetricsSnapshot::render_into
+    ///
+    /// # Errors
+    /// Any line that is not a `# TYPE` header or a sample of a declared
+    /// metric, any malformed number/label syntax, any histogram with
+    /// non-monotonic cumulative buckets or a missing `_sum`/`_count`.
+    pub fn parse(text: &str) -> Result<MetricsSnapshot, ExpositionError> {
+        Parser::default().parse(text)
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn cmp_key(
+    a_name: &str,
+    a_labels: &[(String, String)],
+    b_name: &str,
+    b_labels: &[(String, String)],
+) -> std::cmp::Ordering {
+    a_name.cmp(b_name).then_with(|| a_labels.cmp(b_labels))
+}
+
+fn merge_value(into: &mut MetricValue, from: &MetricValue) {
+    match (into, from) {
+        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
+        (MetricValue::Gauge(a), MetricValue::Gauge(b))
+            if b.total_cmp(a) == std::cmp::Ordering::Greater =>
+        {
+            *a = *b;
+        }
+        (MetricValue::Gauge(_), MetricValue::Gauge(_)) => {}
+        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge_from(b),
+        // Mixed kinds under one name never happen in this workspace
+        // (names are static and typed at the call site); keep the
+        // existing reading rather than guessing.
+        _ => {}
+    }
+}
+
+fn render_name_labels(out: &mut String, name: &str, labels: &[(String, String)], le: Option<&str>) {
+    out.push_str(name);
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"");
+        escape_into(out, v);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+fn escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A typed parse failure from [`MetricsSnapshot::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based line number of the offending line (0 for end-of-input
+    /// structural errors such as a histogram missing its `_count`).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exposition parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// Pending cumulative-histogram state while its lines stream in.
+#[derive(Default)]
+struct PendingHist {
+    /// `(bucket upper bound, cumulative count)` in line order.
+    cum: Vec<(u64, u64)>,
+    inf: Option<u64>,
+    sum: Option<u64>,
+    count: Option<u64>,
+}
+
+#[derive(Default)]
+struct Parser {
+    /// Declared metric types, in declaration order.
+    types: Vec<(String, &'static str)>,
+    out: MetricsSnapshot,
+    /// In-flight histograms keyed by (name, labels-without-le).
+    pending: Vec<((String, LabelPairs), PendingHist)>,
+}
+
+impl Parser {
+    fn parse(mut self, text: &str) -> Result<MetricsSnapshot, ExpositionError> {
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                self.type_header(rest.trim(), lineno)?;
+                continue;
+            }
+            self.sample(line, lineno)?;
+        }
+        self.finish_pending()?;
+        Ok(self.out)
+    }
+
+    fn type_header(&mut self, rest: &str, lineno: usize) -> Result<(), ExpositionError> {
+        let Some(rest) = rest.strip_prefix("TYPE ") else {
+            // Other comments (e.g. HELP) are legal in the format; skip.
+            return Ok(());
+        };
+        let mut it = rest.split_whitespace();
+        let (Some(name), Some(kind), None) = (it.next(), it.next(), it.next()) else {
+            return Err(err(lineno, "malformed TYPE header"));
+        };
+        let kind = match kind {
+            "counter" => "counter",
+            "gauge" => "gauge",
+            "histogram" => "histogram",
+            other => return Err(err(lineno, &format!("unknown metric type `{other}`"))),
+        };
+        if !self.types.iter().any(|(n, _)| n == name) {
+            self.types.push((name.to_string(), kind));
+        }
+        Ok(())
+    }
+
+    fn declared(&self, name: &str) -> Option<&'static str> {
+        self.types.iter().find(|(n, _)| n == name).map(|&(_, k)| k)
+    }
+
+    fn sample(&mut self, line: &str, lineno: usize) -> Result<(), ExpositionError> {
+        let (name, labels, value) = split_sample(line, lineno)?;
+        // Histogram component lines: `<base>_bucket` / `_sum` / `_count`
+        // where `<base>` is a declared histogram.
+        for (suffix, which) in [("_bucket", 0u8), ("_sum", 1), ("_count", 2)] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if self.declared(base) == Some("histogram") {
+                    return self.hist_component(base, which, labels, &value, lineno);
+                }
+            }
+        }
+        match self.declared(&name) {
+            Some("counter") => {
+                let v = value
+                    .parse::<u64>()
+                    .map_err(|_| err(lineno, "counter value is not a u64"))?;
+                self.out.upsert_owned(name, labels, MetricValue::Counter(v));
+                Ok(())
+            }
+            Some("gauge") => {
+                let v = value
+                    .parse::<f64>()
+                    .map_err(|_| err(lineno, "gauge value is not an f64"))?;
+                self.out.upsert_owned(name, labels, MetricValue::Gauge(v));
+                Ok(())
+            }
+            Some("histogram") => Err(err(
+                lineno,
+                "bare sample for a histogram metric (expected _bucket/_sum/_count)",
+            )),
+            _ => Err(err(
+                lineno,
+                &format!("sample for undeclared metric `{name}`"),
+            )),
+        }
+    }
+
+    fn hist_component(
+        &mut self,
+        base: &str,
+        which: u8,
+        mut labels: Vec<(String, String)>,
+        value: &str,
+        lineno: usize,
+    ) -> Result<(), ExpositionError> {
+        let v = value
+            .parse::<u64>()
+            .map_err(|_| err(lineno, "histogram component value is not a u64"))?;
+        let le = if which == 0 {
+            let pos = labels
+                .iter()
+                .position(|(k, _)| k == "le")
+                .ok_or_else(|| err(lineno, "_bucket line without an le label"))?;
+            Some(labels.remove(pos).1)
+        } else {
+            if labels.iter().any(|(k, _)| k == "le") {
+                return Err(err(lineno, "unexpected le label on _sum/_count"));
+            }
+            None
+        };
+        let key = (base.to_string(), labels);
+        let idx = match self.pending.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.pending.push((key, PendingHist::default()));
+                self.pending.len() - 1
+            }
+        };
+        let slot = &mut self.pending[idx].1;
+        match which {
+            0 => {
+                let le = le.expect("checked above");
+                if le == "+Inf" {
+                    slot.inf = Some(v);
+                } else {
+                    let upper = le
+                        .parse::<u64>()
+                        .map_err(|_| err(lineno, "le bound is not a u64 or +Inf"))?;
+                    slot.cum.push((upper, v));
+                }
+            }
+            1 => slot.sum = Some(v),
+            _ => slot.count = Some(v),
+        }
+        Ok(())
+    }
+
+    fn finish_pending(&mut self) -> Result<(), ExpositionError> {
+        let pending = std::mem::take(&mut self.pending);
+        for ((name, labels), p) in pending {
+            let count = p
+                .count
+                .ok_or_else(|| err(0, &format!("histogram `{name}` missing _count")))?;
+            let sum_ns = p
+                .sum
+                .ok_or_else(|| err(0, &format!("histogram `{name}` missing _sum")))?;
+            let mut cum = p.cum;
+            cum.sort_by_key(|&(upper, _)| upper);
+            let mut buckets = Vec::with_capacity(cum.len());
+            let mut prev = 0u64;
+            for (upper, c) in cum {
+                let n = c.checked_sub(prev).ok_or_else(|| {
+                    err(0, &format!("histogram `{name}` cumulative counts decrease"))
+                })?;
+                prev = c;
+                if n > 0 {
+                    let idx = bucket_index(upper);
+                    if bucket_bounds(idx).1 != upper {
+                        return Err(err(
+                            0,
+                            &format!("histogram `{name}` le bound {upper} is not a bucket edge"),
+                        ));
+                    }
+                    buckets.push((idx as u16, n));
+                }
+            }
+            if let Some(inf) = p.inf {
+                if inf < prev {
+                    return Err(err(
+                        0,
+                        &format!("histogram `{name}` +Inf below last bucket"),
+                    ));
+                }
+            }
+            if count < prev {
+                return Err(err(0, &format!("histogram `{name}` _count below buckets")));
+            }
+            self.out.upsert_owned(
+                name,
+                labels,
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum_ns,
+                    buckets,
+                }),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn err(line: usize, message: &str) -> ExpositionError {
+    ExpositionError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Splits one sample line into `(name, sorted labels, value text)`.
+fn split_sample(
+    line: &str,
+    lineno: usize,
+) -> Result<(String, LabelPairs, String), ExpositionError> {
+    let bad = |m: &str| err(lineno, m);
+    if let Some(brace) = line.find('{') {
+        let name = line[..brace].trim();
+        if name.is_empty() {
+            return Err(bad("empty metric name"));
+        }
+        let rest = &line[brace + 1..];
+        let (labels, after) = parse_labels(rest, lineno)?;
+        let value = after.trim();
+        if value.is_empty() {
+            return Err(bad("missing sample value"));
+        }
+        let mut labels = labels;
+        labels.sort();
+        Ok((name.to_string(), labels, value.to_string()))
+    } else {
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(value), None) = (it.next(), it.next(), it.next()) else {
+            return Err(bad("expected `name value`"));
+        };
+        Ok((name.to_string(), Vec::new(), value.to_string()))
+    }
+}
+
+/// Parses `k="v",k2="v2"}` (cursor starts just past `{`); returns the
+/// labels and the text after the closing brace.
+fn parse_labels(mut rest: &str, lineno: usize) -> Result<(LabelPairs, &str), ExpositionError> {
+    let bad = |m: &str| err(lineno, m);
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest.find('=').ok_or_else(|| bad("label without `=`"))?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err(bad("empty label name"));
+        }
+        rest = rest[eq + 1..]
+            .trim_start()
+            .strip_prefix('"')
+            .ok_or_else(|| bad("label value must be quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(bad("bad escape in label value")),
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| bad("unterminated label value"))?;
+        labels.push((key, value));
+        rest = rest[end..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(vals: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in vals {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("serve_requests", &[("shard", "0")], 10);
+        s.push_counter("serve_requests", &[("shard", "1")], 32);
+        s.push_counter("serve_requests", &[], 42);
+        s.push_gauge("best_ic", &[], 0.212_138_528_989_183_62);
+        s.push_histogram("serve_latency_ns", &[], hist(&[500, 1_000, 90_000, 90_001]));
+        s
+    }
+
+    #[test]
+    fn push_merges_on_conflict() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("c", &[("a", "1")], 2);
+        s.push_counter("c", &[("a", "1")], 3);
+        assert_eq!(s.counter_value("c", &[("a", "1")]), 5);
+        s.push_gauge("g", &[], 1.0);
+        s.push_gauge("g", &[], -2.0);
+        assert_eq!(s.get("g", &[]), Some(&MetricValue::Gauge(1.0)));
+        s.push_histogram("h", &[], hist(&[5]));
+        s.push_histogram("h", &[], hist(&[5, 9]));
+        let Some(MetricValue::Histogram(h)) = s.get("h", &[]) else {
+            panic!("missing histogram");
+        };
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("c", &[("z", "1"), ("a", "2")], 7);
+        let mut b = MetricsSnapshot::new();
+        b.push_counter("c", &[("a", "2"), ("z", "1")], 7);
+        assert_eq!(a, b);
+        assert_eq!(a.counter_value("c", &[("a", "2"), ("z", "1")]), 7);
+    }
+
+    #[test]
+    fn merge_from_is_order_independent() {
+        let mut ab = sample();
+        let mut extra = MetricsSnapshot::new();
+        extra.push_counter("serve_requests", &[], 8);
+        extra.push_gauge("best_ic", &[], 0.3);
+        extra.push_histogram("serve_latency_ns", &[], hist(&[1, 2]));
+        ab.merge_from(&extra);
+
+        let mut ba = extra.clone();
+        ba.merge_from(&sample());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter_value("serve_requests", &[],), 50);
+    }
+
+    #[test]
+    fn add_label_relabels_and_remerges() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("reqs", &[], 3);
+        s.push_counter("reqs", &[("shard", "9")], 4);
+        s.add_label("shard", "0");
+        // Existing shard label is overwritten, so both collapse to shard=0.
+        assert_eq!(s.counter_value("reqs", &[("shard", "0")]), 7);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let s = sample();
+        let text = s.render();
+        assert!(text.contains("# TYPE serve_latency_ns histogram"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 4"), "{text}");
+        let back = MetricsSnapshot::parse(&text).expect("parse back");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn gauge_formats_round_trip_bits() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.1 + 0.2,
+        ] {
+            let mut s = MetricsSnapshot::new();
+            s.push_gauge("g", &[], v);
+            let back = MetricsSnapshot::parse(&s.render()).unwrap();
+            let Some(&MetricValue::Gauge(got)) = back.get("g", &[]) else {
+                panic!("gauge lost");
+            };
+            assert_eq!(got.to_bits(), v.to_bits(), "value {v}");
+        }
+        // NaN round-trips as NaN (payload bits not preserved by text).
+        let mut s = MetricsSnapshot::new();
+        s.push_gauge("g", &[], f64::NAN);
+        let back = MetricsSnapshot::parse(&s.render()).unwrap();
+        let Some(&MetricValue::Gauge(got)) = back.get("g", &[]) else {
+            panic!("gauge lost");
+        };
+        assert!(got.is_nan());
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("c", &[("path", "a\"b\\c\nd")], 1);
+        let back = MetricsSnapshot::parse(&s.render()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_typed_errors() {
+        for bad in [
+            "nonsense",
+            "# TYPE x mystery\nx 1",
+            "# TYPE c counter\nc notanumber",
+            "# TYPE g gauge\ng{a=\"unterminated} 1",
+            "# TYPE h histogram\nh 5",
+            "# TYPE h histogram\nh_bucket{le=\"8\"} 5\nh_sum 1",
+            "# TYPE h histogram\nh_bucket{le=\"8\"} 5\nh_bucket{le=\"9\"} 3\nh_sum 1\nh_count 5",
+            "# TYPE h histogram\nh_bucket{le=\"16\"} 1\nh_sum 1\nh_count 1",
+        ] {
+            let r = MetricsSnapshot::parse(bad);
+            assert!(r.is_err(), "should reject: {bad}");
+            let e = r.unwrap_err();
+            assert!(!e.message.is_empty());
+            let _ = e.to_string();
+        }
+    }
+
+    #[test]
+    fn parse_accepts_help_comments_and_blank_lines() {
+        let text = "# HELP c something\n# TYPE c counter\n\nc 3\n";
+        let s = MetricsSnapshot::parse(text).unwrap();
+        assert_eq!(s.counter_value("c", &[]), 3);
+    }
+}

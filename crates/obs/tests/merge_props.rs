@@ -1,0 +1,161 @@
+//! Property tests for the snapshot algebra: merging per-shard snapshots
+//! is associative, commutative, and bit-deterministic — any merge tree
+//! over any shard order yields the same snapshot — and every snapshot
+//! (histogram bucket counts included) survives a round trip through the
+//! text exposition renderer.
+//!
+//! The vendored proptest shim has no combinator strategies, so pushes are
+//! decoded from plain `u64` words: each word selects an instrument type,
+//! a name, a label set, and a value from small closed vocabularies —
+//! collisions between shards are the whole point (they must merge).
+
+use alphaevolve_obs::{Histogram, MetricValue, MetricsSnapshot};
+use proptest::prelude::*;
+
+// One instrument type per metric name — the workspace invariant the
+// snapshot algebra assumes (names are static and typed at the call site;
+// `merge_value` keeps the first reading on a mixed-kind collision rather
+// than guessing, which is only order-independent when it never happens).
+const COUNTERS: [&str; 2] = ["requests_total", "errors_total"];
+const GAUGES: [&str; 2] = ["queue_depth", "best_ic"];
+const HISTOGRAMS: [&str; 2] = ["io_latency_ns", "flush_ns"];
+const LABELS: [&[(&str, &str)]; 3] = [
+    &[],
+    &[("kind", "day")],
+    &[("kind", "range"), ("shard", "3")],
+];
+
+/// Decodes a word stream into a snapshot. One word per push, except
+/// histograms, which consume up to three following words as recorded
+/// values (extreme magnitudes included — bucket edges are the interesting
+/// cases).
+fn build(words: &[u64]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        i += 1;
+        let pick = (w >> 2) as usize % 2;
+        let labels = LABELS[(w >> 4) as usize % LABELS.len()];
+        match w % 3 {
+            0 => snap.push_counter(COUNTERS[pick], labels, w.rotate_left(17)),
+            1 => {
+                // Finite gauges only: NaN survives rendering (as a NaN)
+                // but breaks the `PartialEq` this suite leans on.
+                let v = ((w >> 8) as f64 - (u64::MAX >> 9) as f64) * 1.0e-3;
+                snap.push_gauge(GAUGES[pick], labels, v);
+            }
+            _ => {
+                let h = Histogram::new();
+                let n = (w >> 6) as usize % 4;
+                for _ in 0..n.min(words.len() - i) {
+                    h.record(words[i].rotate_right((w % 64) as u32));
+                    i += 1;
+                }
+                snap.observe_histogram(HISTOGRAMS[pick], labels, &h);
+            }
+        }
+    }
+    snap
+}
+
+/// Splits a word stream into 1–5 shard snapshots.
+fn shards_from(words: &[u64]) -> Vec<MetricsSnapshot> {
+    let n_shards = 1 + words.first().copied().unwrap_or(0) as usize % 5;
+    let chunk = words.len().div_ceil(n_shards).max(1);
+    let mut shards: Vec<MetricsSnapshot> = words.chunks(chunk).map(build).collect();
+    while shards.len() < n_shards {
+        shards.push(MetricsSnapshot::new());
+    }
+    shards
+}
+
+fn merge_left_fold(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::new();
+    for s in shards {
+        out.merge_from(s);
+    }
+    out
+}
+
+/// Merge as a balanced binary tree — a router of routers.
+fn merge_tree(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    match shards {
+        [] => MetricsSnapshot::new(),
+        [one] => one.clone(),
+        _ => {
+            let (a, b) = shards.split_at(shards.len() / 2);
+            let mut left = merge_tree(a);
+            left.merge_from(&merge_tree(b));
+            left
+        }
+    }
+}
+
+proptest! {
+    /// Any merge order and any merge tree over the same shard snapshots
+    /// produce bit-identical results (canonical entry order makes the
+    /// comparison total).
+    #[test]
+    fn shard_merge_is_order_and_tree_independent(
+        words in prop::collection::vec(any::<u64>(), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let shards = shards_from(&words);
+        let reference = merge_left_fold(&shards);
+
+        // Commutativity: a deterministic xorshift shuffle of shard order.
+        let mut shuffled = shards.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        prop_assert_eq!(&merge_left_fold(&shuffled), &reference);
+
+        // Associativity: balanced tree == left fold.
+        prop_assert_eq!(&merge_tree(&shards), &reference);
+
+        // Determinism: the same fold twice is bit-identical in rendered
+        // form too (the wire representation of a scrape).
+        prop_assert_eq!(merge_left_fold(&shards).render(), reference.render());
+    }
+
+    /// Render → parse is the identity on snapshots: counter values, gauge
+    /// bits, and every histogram bucket count survive the text exposition.
+    #[test]
+    fn exposition_round_trip_is_identity(
+        words in prop::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let snap = build(&words);
+        let text = snap.render();
+        let parsed = MetricsSnapshot::parse(&text).expect("rendered text parses back");
+        prop_assert_eq!(&parsed, &snap);
+        // And the round trip is idempotent at the text level.
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Histogram bucket counts specifically: whatever was recorded, the
+    /// parsed-back histogram reports the same total and per-bucket counts.
+    #[test]
+    fn histogram_bucket_counts_round_trip(
+        vals in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let h = Histogram::new();
+        for v in &vals {
+            h.record(*v);
+        }
+        let mut snap = MetricsSnapshot::new();
+        snap.observe_histogram("latency_ns", &[], &h);
+        let parsed = MetricsSnapshot::parse(&snap.render()).expect("rendered text parses");
+        match (snap.get("latency_ns", &[]), parsed.get("latency_ns", &[])) {
+            (Some(MetricValue::Histogram(a)), Some(MetricValue::Histogram(b))) => {
+                prop_assert_eq!(a.count, vals.len() as u64);
+                prop_assert_eq!(a, b);
+            }
+            other => prop_assert!(false, "histogram entry lost in round trip: {:?}", other),
+        }
+    }
+}

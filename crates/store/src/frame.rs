@@ -25,12 +25,14 @@
 //! | 6 | `PredictionsResponse` | wire, server → client | [`wire`](crate::wire) module docs |
 //! | 7 | `MetadataResponse` | wire, server → client | [`wire`](crate::wire) module docs |
 //! | 8 | `ErrorResponse` | wire, server → client | [`wire`](crate::wire) module docs |
+//! | 9 | `MetricsRequest` | wire, client → server | [`wire`](crate::wire) module docs |
+//! | 10 | `MetricsResponse` | wire, server → client | [`wire`](crate::wire) module docs |
 //!
 //! Kinds 1–2 are whole files (one frame per file, trailing bytes
-//! rejected); kinds 3–8 are messages on a byte stream — the identical
+//! rejected); kinds 3–10 are messages on a byte stream — the identical
 //! framing, sent back to back. A serving connection is strictly
-//! request/response: the client writes one request frame (kind 3–5), the
-//! server answers with exactly one response frame (kind 6–8).
+//! request/response: the client writes one request frame (kind 3–5, 9),
+//! the server answers with exactly one response frame (kind 6–8, 10).
 //!
 //! ## The wire handshake
 //!
@@ -86,6 +88,12 @@ pub const KIND_METADATA_RESPONSE: u16 = 7;
 
 /// Wire kind: a typed refusal/failure answering any request.
 pub const KIND_ERROR_RESPONSE: u16 = 8;
+
+/// Wire kind: request a metrics snapshot scrape.
+pub const KIND_METRICS_REQUEST: u16 = 9;
+
+/// Wire kind: a text-exposition metrics snapshot, answering kind 9.
+pub const KIND_METRICS_RESPONSE: u16 = 10;
 
 /// Header length in bytes (magic + version + kind + payload length).
 pub const HEADER_LEN: usize = 16;

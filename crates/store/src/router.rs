@@ -32,6 +32,7 @@ use alphaevolve_backtest::CrossSections;
 use alphaevolve_core::{AlphaConfig, EvalOptions};
 use alphaevolve_market::features::FeatureSet;
 use alphaevolve_market::Dataset;
+use alphaevolve_obs::MetricsSnapshot;
 
 use crate::archive::AlphaArchive;
 use crate::error::{Result, ServiceErrorCode, StoreError};
@@ -173,6 +174,21 @@ impl<S: AlphaService> AlphaService for ShardedRouter<S> {
                 }
             }
             offset += sb;
+        }
+        Ok(())
+    }
+
+    /// Scrapes every shard and merges the snapshots twice: once unlabeled
+    /// (fleet-wide totals: a merged `wire_requests_total{kind="day"}`
+    /// equals the sum over shards) and once with a `shard` label appended,
+    /// so the per-shard breakdown survives the merge.
+    fn metrics(&mut self, out: &mut MetricsSnapshot) -> Result<()> {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let mut snap = MetricsSnapshot::new();
+            shard.metrics(&mut snap)?;
+            out.merge_from(&snap);
+            snap.add_label("shard", &i.to_string());
+            out.merge_from(&snap);
         }
         Ok(())
     }

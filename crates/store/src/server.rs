@@ -35,9 +35,11 @@ use alphaevolve_core::{
 };
 use alphaevolve_market::features::FeatureSet;
 use alphaevolve_market::{Dataset, DayMajorPanel};
+use alphaevolve_obs::{MetricsSnapshot, Shards};
 
 use crate::archive::{feature_set_id, AlphaArchive};
 use crate::error::{Result, StoreError};
+use crate::metrics::ServeMetrics;
 
 /// One contiguous register-plane range inside a [`RegisterFile`] buffer.
 ///
@@ -76,6 +78,11 @@ pub struct AlphaServer {
     /// Identity of the feature recipe the alphas were mined on — recorded
     /// by [`AlphaServer::from_archive`], 0 for bare-program servers.
     feature_set_id: u64,
+    /// Serving metrics hub: every [`AlphaServer::session`] claims one
+    /// shard round-robin, so concurrent connections record without
+    /// contending on shared cache lines. Scraped (merged) by
+    /// [`AlphaServer::metrics_snapshot_into`].
+    metrics: Shards<ServeMetrics>,
 }
 
 /// Per-worker serving state: one columnar interpreter, reused across
@@ -148,6 +155,9 @@ impl AlphaServer {
             seed: opts.seed,
             programs: served,
             feature_set_id: 0,
+            // Enough shards that a typical connection fleet spreads out;
+            // excess connections share (the instruments are atomic).
+            metrics: Shards::new_with(8, ServeMetrics::new),
         }
     }
 
@@ -223,6 +233,20 @@ impl AlphaServer {
     /// programs via [`AlphaServer::new`]).
     pub fn feature_set_id(&self) -> u64 {
         self.feature_set_id
+    }
+
+    /// Claims one metrics shard for a session/connection (round-robin;
+    /// instruments are atomic, so oversubscribed shards merely share).
+    pub(crate) fn claim_metrics(&self) -> &ServeMetrics {
+        self.metrics.claim()
+    }
+
+    /// Merges every session's serving metrics into `out` under the
+    /// `serve_*` metric names (see [`crate::metrics`]).
+    pub fn metrics_snapshot_into(&self, out: &mut MetricsSnapshot) {
+        for shard in &self.metrics {
+            shard.snapshot_into("serve", out);
+        }
     }
 
     /// Builds a per-worker serving arena (the only allocating step of the

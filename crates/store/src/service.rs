@@ -62,8 +62,10 @@
 use std::ops::Range;
 
 use alphaevolve_backtest::CrossSections;
+use alphaevolve_obs::MetricsSnapshot;
 
 use crate::error::{Result, ServiceErrorCode, StoreError};
+use crate::metrics::{RequestKind, ServeMetrics};
 use crate::server::{AlphaServer, ServeArena};
 
 /// A service's capabilities, exchanged during the wire handshake (see
@@ -118,6 +120,17 @@ pub trait AlphaService {
     fn prefetch_day(&mut self, _day: usize) -> Result<()> {
         Ok(())
     }
+
+    /// Merges the service's metrics snapshot into `out` (see
+    /// [`crate::metrics`] for the metric names). Local implementations
+    /// read their server's instrument hub; remote clients scrape the
+    /// peer over the wire (kinds 9/10); the router fans out to every
+    /// shard and retains a per-shard breakdown alongside the merged
+    /// totals. The default is a no-op for services with nothing to
+    /// report.
+    fn metrics(&mut self, _out: &mut MetricsSnapshot) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Validates one requested day against the servable window.
@@ -153,6 +166,8 @@ pub(crate) fn check_window(days: Range<usize>, meta_min: usize, n_days: usize) -
 pub struct ServerSession<'a> {
     server: &'a AlphaServer,
     arena: ServeArena<'a>,
+    /// This session's claimed shard of the server's metrics hub.
+    metrics: &'a ServeMetrics,
 }
 
 impl AlphaServer {
@@ -160,6 +175,7 @@ impl AlphaServer {
     pub fn session(&self) -> ServerSession<'_> {
         ServerSession {
             arena: self.arena(),
+            metrics: self.claim_metrics(),
             server: self,
         }
     }
@@ -178,31 +194,49 @@ impl AlphaServer {
 
 impl AlphaService for ServerSession<'_> {
     fn metadata(&mut self) -> Result<ServiceMetadata> {
-        Ok(self.server.metadata_snapshot())
+        self.metrics.observe(RequestKind::Metadata, || {
+            Ok(self.server.metadata_snapshot())
+        })
     }
 
     fn serve_day(&mut self, day: usize, out: &mut CrossSections) -> Result<()> {
-        // Not `check_window(day..day + 1, ..)`: `day + 1` would overflow
-        // (a debug panic) on a hostile wire day of usize::MAX.
-        check_day(day, self.server.min_day(), self.server.n_days())?;
-        self.server.serve_day_into(&mut self.arena, day, out);
-        Ok(())
+        let ServerSession {
+            server,
+            arena,
+            metrics,
+        } = self;
+        metrics.observe(RequestKind::Day, || {
+            // Not `check_window(day..day + 1, ..)`: `day + 1` would
+            // overflow (a debug panic) on a hostile wire day of
+            // usize::MAX.
+            check_day(day, server.min_day(), server.n_days())?;
+            server.serve_day_into(arena, day, out);
+            Ok(())
+        })
     }
 
     fn serve_range(&mut self, days: Range<usize>, out: &mut CrossSections) -> Result<()> {
-        check_window(days.clone(), self.server.min_day(), self.server.n_days())?;
-        let b = self.server.n_alphas();
-        let k = self.server.n_stocks();
-        out.reset(days.len() * b, k);
-        let flat = out.as_mut_slice();
-        for (i, day) in days.enumerate() {
-            self.server.serve_range_into(
-                &mut self.arena,
-                day,
-                0..b,
-                &mut flat[i * b * k..(i + 1) * b * k],
-            );
-        }
+        let ServerSession {
+            server,
+            arena,
+            metrics,
+        } = self;
+        metrics.observe(RequestKind::Range, || {
+            check_window(days.clone(), server.min_day(), server.n_days())?;
+            let b = server.n_alphas();
+            let k = server.n_stocks();
+            out.reset(days.len() * b, k);
+            let flat = out.as_mut_slice();
+            for (i, day) in days.enumerate() {
+                server.serve_range_into(arena, day, 0..b, &mut flat[i * b * k..(i + 1) * b * k]);
+            }
+            Ok(())
+        })
+    }
+
+    fn metrics(&mut self, out: &mut MetricsSnapshot) -> Result<()> {
+        self.metrics.record_request(RequestKind::Metrics);
+        self.server.metrics_snapshot_into(out);
         Ok(())
     }
 }
@@ -221,6 +255,10 @@ impl AlphaService for AlphaServer {
 
     fn serve_range(&mut self, days: Range<usize>, out: &mut CrossSections) -> Result<()> {
         self.session().serve_range(days, out)
+    }
+
+    fn metrics(&mut self, out: &mut MetricsSnapshot) -> Result<()> {
+        self.session().metrics(out)
     }
 }
 

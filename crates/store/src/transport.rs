@@ -33,19 +33,22 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::{Arc, Condvar, Mutex};
 
 use alphaevolve_backtest::CrossSections;
+use alphaevolve_obs::MetricsSnapshot;
 
 use crate::error::{Result, ServiceErrorCode, StoreError};
 use crate::frame::{
     HEADER_LEN, KIND_ERROR_RESPONSE, KIND_METADATA_REQUEST, KIND_METADATA_RESPONSE,
-    KIND_PREDICTIONS_RESPONSE, KIND_SERVE_DAY_REQUEST, KIND_SERVE_RANGE_REQUEST,
+    KIND_METRICS_REQUEST, KIND_METRICS_RESPONSE, KIND_PREDICTIONS_RESPONSE, KIND_SERVE_DAY_REQUEST,
+    KIND_SERVE_RANGE_REQUEST,
 };
+use crate::metrics::{error_code_of, RequestKind, ServeMetrics};
 use crate::server::AlphaServer;
 use crate::service::{AlphaService, ServiceMetadata};
 use crate::wire;
 use crate::wire::{
-    decode_error, decode_metadata, decode_predictions_into, decode_request, encode_error,
-    encode_metadata, encode_predictions, encode_request, encode_store_error, frame_payload,
-    read_message, write_message, Request,
+    decode_error, decode_metadata, decode_metrics_response, decode_predictions_into,
+    decode_request, encode_error, encode_metadata, encode_metrics_response, encode_predictions,
+    encode_request, encode_store_error, frame_payload, read_message, write_message, Request,
 };
 
 /// A blocking duplex byte stream the wire protocol can ride on.
@@ -175,6 +178,9 @@ pub struct ServiceClient<T: Transport> {
     send_buf: Vec<u8>,
     recv_buf: Vec<u8>,
     pending: Option<Pending>,
+    /// Client-side request/error/latency instruments (recording is
+    /// atomic adds — the warm round trip stays allocation-free).
+    metrics: ServeMetrics,
 }
 
 impl<T: Transport> ServiceClient<T> {
@@ -185,7 +191,15 @@ impl<T: Transport> ServiceClient<T> {
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
             pending: None,
+            metrics: ServeMetrics::new(),
         }
+    }
+
+    /// Merges this client's *own* request/error/latency instruments into
+    /// `out` under the `client_*` metric names. The remote peer's metrics
+    /// come from [`AlphaService::metrics`] (a wire scrape) instead.
+    pub fn local_metrics_into(&self, out: &mut MetricsSnapshot) {
+        self.metrics.snapshot_into("client", out);
     }
 
     fn send(&mut self, req: Request) -> Result<()> {
@@ -225,6 +239,25 @@ impl<T: Transport> ServiceClient<T> {
             )),
         }
     }
+
+    /// Counts, times, and error-classifies one client request under this
+    /// client's `client_*` instruments (prefetches are not counted — the
+    /// matching `serve_day` that consumes the response is).
+    fn observed<R>(
+        &mut self,
+        kind: RequestKind,
+        f: impl FnOnce(&mut Self) -> Result<R>,
+    ) -> Result<R> {
+        self.metrics.record_request(kind);
+        let t = std::time::Instant::now();
+        let out = f(self);
+        self.metrics
+            .record_latency_ns(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let Err(e) = &out {
+            self.metrics.record_error(error_code_of(e));
+        }
+        out
+    }
 }
 
 impl ServiceClient<UnixStream> {
@@ -236,16 +269,18 @@ impl ServiceClient<UnixStream> {
 
 impl<T: Transport> AlphaService for ServiceClient<T> {
     fn metadata(&mut self) -> Result<ServiceMetadata> {
-        self.drain_pending()?;
-        self.send(Request::Metadata)?;
-        match self.recv()? {
-            KIND_METADATA_RESPONSE => decode_metadata(frame_payload(&self.recv_buf)),
-            KIND_ERROR_RESPONSE => Err(decode_error(frame_payload(&self.recv_buf))),
-            other => Err(StoreError::service(
-                ServiceErrorCode::Protocol,
-                format!("expected a metadata response, got kind {other}"),
-            )),
-        }
+        self.observed(RequestKind::Metadata, |c| {
+            c.drain_pending()?;
+            c.send(Request::Metadata)?;
+            match c.recv()? {
+                KIND_METADATA_RESPONSE => decode_metadata(frame_payload(&c.recv_buf)),
+                KIND_ERROR_RESPONSE => Err(decode_error(frame_payload(&c.recv_buf))),
+                other => Err(StoreError::service(
+                    ServiceErrorCode::Protocol,
+                    format!("expected a metadata response, got kind {other}"),
+                )),
+            }
+        })
     }
 
     fn prefetch_day(&mut self, day: usize) -> Result<()> {
@@ -259,23 +294,55 @@ impl<T: Transport> AlphaService for ServiceClient<T> {
     }
 
     fn serve_day(&mut self, day: usize, out: &mut CrossSections) -> Result<()> {
-        match self.pending {
-            Some(Pending::Day(d)) if d == day as u64 => self.pending = None,
-            _ => {
-                self.drain_pending()?;
-                self.send(Request::ServeDay { day: day as u64 })?;
+        self.observed(RequestKind::Day, |c| {
+            match c.pending {
+                Some(Pending::Day(d)) if d == day as u64 => c.pending = None,
+                _ => {
+                    c.drain_pending()?;
+                    c.send(Request::ServeDay { day: day as u64 })?;
+                }
             }
-        }
-        self.read_predictions(out)
+            c.read_predictions(out)
+        })
     }
 
     fn serve_range(&mut self, days: std::ops::Range<usize>, out: &mut CrossSections) -> Result<()> {
-        self.drain_pending()?;
-        self.send(Request::ServeRange {
-            start: days.start as u64,
-            end: days.end as u64,
-        })?;
-        self.read_predictions(out)
+        self.observed(RequestKind::Range, |c| {
+            c.drain_pending()?;
+            c.send(Request::ServeRange {
+                start: days.start as u64,
+                end: days.end as u64,
+            })?;
+            c.read_predictions(out)
+        })
+    }
+
+    /// Scrapes the *remote* service's metrics over the wire (kinds 9/10)
+    /// and merges the parsed snapshot into `out`. This client's own
+    /// instruments are separate ([`ServiceClient::local_metrics_into`]).
+    fn metrics(&mut self, out: &mut MetricsSnapshot) -> Result<()> {
+        self.observed(RequestKind::Metrics, |c| {
+            c.drain_pending()?;
+            c.send(Request::Metrics)?;
+            match c.recv()? {
+                KIND_METRICS_RESPONSE => {
+                    let text = decode_metrics_response(frame_payload(&c.recv_buf))?;
+                    let parsed = MetricsSnapshot::parse(&text).map_err(|e| {
+                        StoreError::service(
+                            ServiceErrorCode::Protocol,
+                            format!("unparseable metrics exposition: {e}"),
+                        )
+                    })?;
+                    out.merge_from(&parsed);
+                    Ok(())
+                }
+                KIND_ERROR_RESPONSE => Err(decode_error(frame_payload(&c.recv_buf))),
+                other => Err(StoreError::service(
+                    ServiceErrorCode::Protocol,
+                    format!("expected a metrics response, got kind {other}"),
+                )),
+            }
+        })
     }
 }
 
@@ -299,6 +366,11 @@ where
     let mut recv_buf = Vec::new();
     let mut send_buf = Vec::new();
     let mut block = CrossSections::new(0, 0);
+    // Wire-layer instruments for this connection. They are merged into
+    // metrics scrapes under the `wire_` prefix, so a scrape sees how many
+    // requests travelled over this connection, at what latency, and how
+    // many failed — independent of the service's own `serve_` counters.
+    let metrics = ServeMetrics::new();
     loop {
         let kind = match read_message(conn, &mut recv_buf) {
             Ok(Some(kind)) => kind,
@@ -314,14 +386,22 @@ where
         };
         match kind {
             KIND_SERVE_DAY_REQUEST | KIND_SERVE_RANGE_REQUEST => {
-                let served =
+                let rk = if kind == KIND_SERVE_DAY_REQUEST {
+                    RequestKind::Day
+                } else {
+                    RequestKind::Range
+                };
+                let served = metrics.observe(rk, || {
                     decode_request(kind, frame_payload(&recv_buf)).and_then(|req| match req {
                         Request::ServeDay { day } => service.serve_day(day_index(day)?, &mut block),
                         Request::ServeRange { start, end } => {
                             service.serve_range(day_index(start)?..day_index(end)?, &mut block)
                         }
-                        Request::Metadata => unreachable!("kind checked above"),
-                    });
+                        Request::Metadata | Request::Metrics => {
+                            unreachable!("kind checked above")
+                        }
+                    })
+                });
                 match served {
                     // A block too large for one frame is refused typed
                     // here: emitting it would only make the client
@@ -330,6 +410,7 @@ where
                         if wire::predictions_payload_len(block.n_days(), block.n_stocks())
                             .is_none() =>
                     {
+                        metrics.record_error(ServiceErrorCode::ResponseTooLarge);
                         encode_error(
                             ServiceErrorCode::ResponseTooLarge,
                             &format!(
@@ -346,10 +427,26 @@ where
                 }
             }
             KIND_METADATA_REQUEST => {
-                match decode_request(kind, frame_payload(&recv_buf))
-                    .and_then(|_| service.metadata())
-                {
+                match metrics.observe(RequestKind::Metadata, || {
+                    decode_request(kind, frame_payload(&recv_buf)).and_then(|_| service.metadata())
+                }) {
                     Ok(meta) => encode_metadata(&meta, &mut send_buf),
+                    Err(e) => encode_store_error(&e, &mut send_buf),
+                }
+            }
+            KIND_METRICS_REQUEST => {
+                // The scrape request is counted before the snapshot is
+                // taken (`observe` records first), so a scrape observes
+                // itself in the wire-layer counters it returns.
+                let rendered = metrics.observe(RequestKind::Metrics, || {
+                    decode_request(kind, frame_payload(&recv_buf))?;
+                    let mut snap = MetricsSnapshot::new();
+                    service.metrics(&mut snap)?;
+                    metrics.snapshot_into("wire", &mut snap);
+                    Ok(snap.render())
+                });
+                match rendered {
+                    Ok(text) => encode_metrics_response(&text, &mut send_buf),
                     Err(e) => encode_store_error(&e, &mut send_buf),
                 }
             }

@@ -25,6 +25,10 @@
 //!                                u64 name count, names (u64 len + UTF-8)
 //! ErrorResponse        (kind 8): u16 code (see ServiceErrorCode),
 //!                                u64 len + UTF-8 message
+//! MetricsRequest       (kind 9): u64 flags — must be 0 (reserved; any
+//!                                other value is refused typed)
+//! MetricsResponse      (kind 10): u64 len + UTF-8 text exposition
+//!                                (parse with MetricsSnapshot::parse)
 //! ```
 //!
 //! The encode half writes into caller-owned buffers and the decode half
@@ -39,8 +43,8 @@ use alphaevolve_backtest::CrossSections;
 use crate::codec::Reader;
 use crate::error::{Result, ServiceErrorCode, StoreError};
 use crate::frame::{
-    HEADER_LEN, KIND_METADATA_REQUEST, KIND_SERVE_DAY_REQUEST, KIND_SERVE_RANGE_REQUEST, MAGIC,
-    TRAILER_LEN,
+    HEADER_LEN, KIND_METADATA_REQUEST, KIND_METRICS_REQUEST, KIND_METRICS_RESPONSE,
+    KIND_SERVE_DAY_REQUEST, KIND_SERVE_RANGE_REQUEST, MAGIC, TRAILER_LEN,
 };
 use crate::service::ServiceMetadata;
 
@@ -67,6 +71,8 @@ pub enum Request {
     },
     /// Capabilities handshake (kind 5).
     Metadata,
+    /// Metrics snapshot scrape (kind 9).
+    Metrics,
 }
 
 use crate::frame::frame_streaming_into as frame_stream;
@@ -84,6 +90,12 @@ pub fn encode_request(req: Request, out: &mut Vec<u8>) {
             });
         }
         Request::Metadata => frame_stream(out, KIND_METADATA_REQUEST, 0, |_| {}),
+        // The flags word is reserved (always 0 today): it gives decoders
+        // a validated field, and future scrape options a place to live
+        // without a new kind.
+        Request::Metrics => frame_stream(out, KIND_METRICS_REQUEST, 8, |b| {
+            b.extend_from_slice(&0u64.to_le_bytes());
+        }),
     }
 }
 
@@ -97,6 +109,16 @@ pub fn decode_request(kind: u16, payload: &[u8]) -> Result<Request> {
             end: r.u64()?,
         },
         KIND_METADATA_REQUEST => Request::Metadata,
+        KIND_METRICS_REQUEST => {
+            let flags = r.u64()?;
+            if flags != 0 {
+                return Err(StoreError::service(
+                    ServiceErrorCode::Protocol,
+                    format!("metrics request flags {flags:#x} are not supported (want 0)"),
+                ));
+            }
+            Request::Metrics
+        }
         other => {
             return Err(StoreError::service(
                 ServiceErrorCode::Protocol,
@@ -240,6 +262,25 @@ pub fn decode_metadata(payload: &[u8]) -> Result<ServiceMetadata> {
         feature_set_id,
         names,
     })
+}
+
+/// Encodes a metrics response frame — the text exposition of a
+/// [`MetricsSnapshot`](alphaevolve_obs::MetricsSnapshot) — into `out`
+/// (cleared first).
+pub fn encode_metrics_response(text: &str, out: &mut Vec<u8>) {
+    frame_stream(out, KIND_METRICS_RESPONSE, 8 + text.len(), |b| {
+        b.extend_from_slice(&(text.len() as u64).to_le_bytes());
+        b.extend_from_slice(text.as_bytes());
+    });
+}
+
+/// Decodes a metrics response payload back into the exposition text.
+/// Parse it with [`MetricsSnapshot::parse`](alphaevolve_obs::MetricsSnapshot::parse).
+pub fn decode_metrics_response(payload: &[u8]) -> Result<String> {
+    let mut r = Reader::new(payload);
+    let text = r.str()?;
+    r.finish()?;
+    Ok(text)
 }
 
 /// Encodes a typed error response frame into `out` (cleared first).

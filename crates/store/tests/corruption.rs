@@ -19,8 +19,9 @@ use alphaevolve_store::checkpoint::{
 use alphaevolve_store::codec::crc32;
 use alphaevolve_store::service::ServiceMetadata;
 use alphaevolve_store::wire::{
-    decode_error, decode_metadata, decode_predictions_into, decode_request, encode_error,
-    encode_metadata, encode_predictions, encode_request, frame_payload, read_message, Request,
+    decode_error, decode_metadata, decode_metrics_response, decode_predictions_into,
+    decode_request, encode_error, encode_metadata, encode_metrics_response, encode_predictions,
+    encode_request, frame_payload, read_message, Request,
 };
 use alphaevolve_store::{ServiceErrorCode, StoreError};
 
@@ -233,7 +234,21 @@ fn wire_fixtures() -> Vec<(&'static str, Vec<u8>)> {
     );
     fixtures.push(("MetadataResponse", buf.clone()));
     encode_error(ServiceErrorCode::DayOutOfRange, "day 999 of 130", &mut buf);
-    fixtures.push(("ErrorResponse", buf));
+    fixtures.push(("ErrorResponse", buf.clone()));
+    encode_request(Request::Metrics, &mut buf);
+    fixtures.push(("MetricsRequest", buf.clone()));
+    // A realistic multi-line exposition body, label quoting included.
+    encode_metrics_response(
+        "# TYPE wire_requests_total counter\n\
+         wire_requests_total{kind=\"day\"} 12\n\
+         wire_requests_total{kind=\"metrics\"} 1\n\
+         # TYPE serve_latency_ns histogram\n\
+         serve_latency_ns_bucket{le=\"+Inf\"} 13\n\
+         serve_latency_ns_sum 41984\n\
+         serve_latency_ns_count 13\n",
+        &mut buf,
+    );
+    fixtures.push(("MetricsResponse", buf));
     fixtures
 }
 
@@ -256,8 +271,12 @@ fn decode_wire(bytes: &[u8]) -> Result<(), StoreError> {
     match kind {
         alphaevolve_store::frame::KIND_SERVE_DAY_REQUEST
         | alphaevolve_store::frame::KIND_SERVE_RANGE_REQUEST
-        | alphaevolve_store::frame::KIND_METADATA_REQUEST => {
+        | alphaevolve_store::frame::KIND_METADATA_REQUEST
+        | alphaevolve_store::frame::KIND_METRICS_REQUEST => {
             decode_request(kind, payload).map(|_| ())
+        }
+        alphaevolve_store::frame::KIND_METRICS_RESPONSE => {
+            decode_metrics_response(payload).map(|_| ())
         }
         alphaevolve_store::frame::KIND_PREDICTIONS_RESPONSE => {
             decode_predictions_into(payload, &mut CrossSections::new(0, 0))
@@ -397,6 +416,92 @@ fn request_frame_where_a_response_is_expected_fails_typed() {
         served.join().unwrap().is_err(),
         "the server closes a connection that broke the protocol"
     );
+}
+
+#[test]
+fn metrics_frames_in_the_wrong_slot_fail_typed() {
+    // A metrics response where a predictions response belongs (a confused
+    // or malicious peer answering the wrong request) must surface a typed
+    // protocol error, not be misread as prediction data.
+    use alphaevolve_store::service::AlphaService;
+    use alphaevolve_store::transport::{loopback, ServiceClient};
+    use alphaevolve_store::wire::write_message;
+
+    let (client_end, mut rogue_end) = loopback();
+    let mut client = ServiceClient::new(client_end);
+    let rogue = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        read_message(&mut rogue_end, &mut buf).unwrap().unwrap();
+        let mut reply = Vec::new();
+        encode_metrics_response("up 1\n", &mut reply);
+        write_message(&mut rogue_end, &reply).unwrap();
+        rogue_end
+    });
+    let mut out = CrossSections::new(0, 0);
+    match client.serve_day(40, &mut out) {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => assert!(message.contains("kind"), "message: {message}"),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    let mut rogue_end = rogue.join().unwrap();
+
+    // The mirror image: a predictions frame where a metrics response
+    // belongs fails the scrape the same way.
+    let rogue = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        read_message(&mut rogue_end, &mut buf).unwrap().unwrap();
+        let mut reply = Vec::new();
+        encode_predictions(&CrossSections::from_fn(1, 2, |_, _| 0.0), &mut reply);
+        write_message(&mut rogue_end, &reply).unwrap();
+    });
+    let mut snap = alphaevolve_obs::MetricsSnapshot::new();
+    match client.metrics(&mut snap) {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => assert!(message.contains("kind"), "message: {message}"),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    rogue.join().unwrap();
+
+    // An unparseable-but-well-framed exposition body is also a typed
+    // refusal: the frame decoded, the *content* did not.
+    let (client_end, mut rogue_end) = loopback();
+    let mut client = ServiceClient::new(client_end);
+    let rogue = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        read_message(&mut rogue_end, &mut buf).unwrap().unwrap();
+        let mut reply = Vec::new();
+        encode_metrics_response("this is not an exposition line\n", &mut reply);
+        write_message(&mut rogue_end, &reply).unwrap();
+    });
+    match client.metrics(&mut snap) {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => assert!(
+            message.contains("exposition"),
+            "message names the layer that failed: {message}"
+        ),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    rogue.join().unwrap();
+
+    // A nonzero flags word in a metrics *request* is refused by the
+    // decoder (reserved for future options).
+    let err = decode_request(
+        alphaevolve_store::frame::KIND_METRICS_REQUEST,
+        &0xFFu64.to_le_bytes(),
+    );
+    match err {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => assert!(message.contains("flags"), "message: {message}"),
+        other => panic!("expected a typed flags refusal, got {other:?}"),
+    }
 }
 
 /// A structurally hostile instruction: byte-level decoding accepts it (the

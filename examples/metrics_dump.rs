@@ -1,0 +1,121 @@
+//! Scraping a shard fleet's metrics over the AEVS wire.
+//!
+//! ```sh
+//! cargo run --release --example metrics_dump
+//! ```
+//!
+//! A two-shard loopback fleet (worker threads behind in-process pipes,
+//! each serving half of an archive) handles a burst of day and range
+//! requests, then a single `MetricsRequest` frame (wire kind 9) per shard
+//! scrapes every layer's instruments: the servers' `serve_*` counters,
+//! each connection's `wire_*` counters, and the per-request latency
+//! histograms. The router merges the per-shard snapshots twice — once
+//! into fleet-wide totals, once with a `shard` label — and the merged
+//! exposition text is printed as a Prometheus-style scrape.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use alphaevolve::backtest::CrossSections;
+use alphaevolve::core::{fingerprint, init, AlphaConfig, EvalOptions, Evaluator};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::obs::{MetricValue, MetricsSnapshot};
+use alphaevolve::store::{
+    feature_set_id, AlphaArchive, AlphaService, ArchivedAlpha, ShardedRouter,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // -- an archive worth serving ---------------------------------------
+    let market = MarketConfig {
+        n_stocks: 40,
+        n_days: 180,
+        seed: 77,
+        ..Default::default()
+    }
+    .generate();
+    let features = FeatureSet::paper();
+    let dataset = Arc::new(Dataset::build(
+        &market,
+        &features,
+        SplitSpec::paper_ratios(),
+    )?);
+    let cfg = AlphaConfig::default();
+    let opts = EvalOptions::default();
+    let evaluator = Evaluator::new(cfg, opts.clone(), Arc::clone(&dataset));
+
+    let mut archive = AlphaArchive::with_cutoff(8, 1.0);
+    for (name, program) in [
+        ("expert", init::domain_expert(&cfg)),
+        ("momentum", init::momentum(&cfg)),
+        ("reversal", init::industry_reversal(&cfg)),
+        ("nn", init::two_layer_nn(&cfg)),
+    ] {
+        let eval = evaluator.evaluate(&program);
+        archive.admit(ArchivedAlpha {
+            name: name.into(),
+            fingerprint: fingerprint(&program, &cfg).0,
+            program,
+            ic: eval.ic,
+            val_returns: eval.val_returns,
+            train_days: (
+                dataset.train_days().start as u64,
+                dataset.train_days().end as u64,
+            ),
+            feature_set_id: feature_set_id(&features),
+        });
+    }
+    println!("archive: {} alphas", archive.len());
+
+    // -- a two-shard loopback fleet -------------------------------------
+    let n_shards = 2;
+    let mut router =
+        ShardedRouter::over_threads(&archive, n_shards, cfg, &opts, &dataset, &features)?;
+    println!("fleet:   {n_shards} loopback shards behind one router\n");
+
+    // -- traffic --------------------------------------------------------
+    let mut block = CrossSections::new(0, 0);
+    let days: Vec<usize> = dataset.valid_days().chain(dataset.test_days()).collect();
+    for &day in &days {
+        router.serve_day(day, &mut block)?;
+    }
+    router.serve_range(days[0]..days[0] + 5, &mut block)?;
+    // One refused request, so the error counters have something to show.
+    let refused = router.serve_day(1, &mut block);
+    println!(
+        "served {} day requests, 1 range request, 1 refused ({})\n",
+        days.len(),
+        refused.expect_err("day 1 is before the valid window")
+    );
+
+    // -- the scrape, over the wire --------------------------------------
+    // One MetricsRequest frame (kind 9) per shard; each shard's connection
+    // loop snapshots the service's counters plus its own wire-layer
+    // instruments, renders, and answers with a MetricsResponse (kind 10).
+    // The router merges the parsed snapshots deterministically.
+    let mut snap = MetricsSnapshot::new();
+    router.metrics(&mut snap)?;
+
+    let day_total = snap.counter_value("wire_requests_total", &[("kind", "day")]);
+    let per_shard: Vec<u64> = (0..n_shards)
+        .map(|i| {
+            snap.counter_value(
+                "wire_requests_total",
+                &[("kind", "day"), ("shard", &i.to_string())],
+            )
+        })
+        .collect();
+    println!("wire day requests: fleet total {day_total} = per shard {per_shard:?}");
+    assert_eq!(day_total, per_shard.iter().sum::<u64>());
+    if let Some(MetricValue::Histogram(h)) = snap.get("wire_latency_ns", &[]) {
+        println!(
+            "wire latency:      {} requests, mean {:.1} µs, p99 ≤ {} µs",
+            h.count,
+            h.mean_ns().unwrap_or(0.0) / 1_000.0,
+            h.quantile_upper_ns(0.99).unwrap_or(0) / 1_000,
+        );
+    }
+
+    println!("\n-- merged exposition ------------------------------------");
+    print!("{}", snap.render());
+    Ok(())
+}

@@ -10,6 +10,8 @@
 //! * [`neural`] — the Rank_LSTM and RSR machine-learning baselines.
 //! * [`store`] — the alpha archive (binary codec, correlation-gated hall
 //!   of fame), evolution checkpoints, and the batched prediction server.
+//! * [`obs`] — zero-allocation metrics primitives and the snapshot /
+//!   exposition format scraped over the AEVS wire (kinds 9/10).
 //!
 //! See `examples/quickstart.rs` for the end-to-end happy path.
 
@@ -20,4 +22,5 @@ pub use alphaevolve_core as core;
 pub use alphaevolve_gp as gp;
 pub use alphaevolve_market as market;
 pub use alphaevolve_neural as neural;
+pub use alphaevolve_obs as obs;
 pub use alphaevolve_store as store;

@@ -1,8 +1,8 @@
-//! Smoke test against example drift: all six examples (`quickstart`,
+//! Smoke test against example drift: all seven examples (`quickstart`,
 //! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`,
-//! `serve_archive`, `serve_daemon`) must keep compiling against the
-//! current API. Examples are not built by a plain `cargo test`, so
-//! without this check they rot silently.
+//! `serve_archive`, `serve_daemon`, `metrics_dump`) must keep compiling
+//! against the current API. Examples are not built by a plain
+//! `cargo test`, so without this check they rot silently.
 
 use std::process::Command;
 
@@ -20,7 +20,7 @@ fn all_examples_build() {
 }
 
 #[test]
-fn all_six_examples_exist() {
+fn all_seven_examples_exist() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
     for name in [
         "quickstart",
@@ -29,6 +29,7 @@ fn all_six_examples_exist() {
         "weakly_correlated_set",
         "serve_archive",
         "serve_daemon",
+        "metrics_dump",
     ] {
         assert!(
             dir.join(format!("{name}.rs")).is_file(),

@@ -29,7 +29,8 @@ use std::sync::Arc;
 
 use alphaevolve::backtest::CrossSections;
 use alphaevolve::core::{
-    fingerprint, init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, Instruction, Op,
+    fingerprint, init, AlphaConfig, AlphaProgram, EvalOptions, Evaluator, FlushCause, Instruction,
+    Op, SearchTelemetry,
 };
 use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
 use alphaevolve::store::{
@@ -339,6 +340,12 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
     ev.evaluate_batch_in(&mut tile);
     tile.clear();
 
+    // The telemetry facade rides along in the measured window: draining a
+    // tile's eval spans and absorbing them into the shared search
+    // telemetry is part of every instrumented flush cycle, so it must be
+    // allocation-free too (plain u64 cells drained into relaxed atomics).
+    let telemetry = SearchTelemetry::new();
+
     let before = allocations();
     let mut batched_checksum = 0.0;
     for _ in 0..5 {
@@ -350,6 +357,8 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
         for slot in 0..tile.len() {
             batched_checksum += tile.fitness(slot).unwrap_or(0.0);
         }
+        telemetry.absorb_eval(&tile.drain_telemetry());
+        telemetry.record_flush(FlushCause::TileFull, tile.len(), progs.len(), 1);
         tile.clear();
         // ...then a partial final tile whose first slot aborts mid-sweep.
         tile.push(&bad, false);
@@ -357,6 +366,8 @@ fn evaluation_hot_path_is_allocation_free_once_warm() {
         ev.evaluate_batch_in(&mut tile);
         assert!(tile.fitness(0).is_none(), "killed slot must score None");
         batched_checksum += tile.fitness(1).unwrap_or(0.0);
+        telemetry.absorb_eval(&tile.drain_telemetry());
+        telemetry.record_flush(FlushCause::Final, tile.len(), progs.len(), 1);
         tile.clear();
     }
     let after = allocations();
