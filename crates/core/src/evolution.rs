@@ -175,6 +175,37 @@ pub struct SearchStats {
     pub folded: usize,
 }
 
+/// Archive feedback attached to a search: the migrant pool pulled from a
+/// fleet coordinator's shared [`AlphaArchive`], plus the fraction of
+/// steady-state mutants that derive from a migrant instead of a
+/// tournament winner (the island-model migration operator).
+///
+/// With `fraction == 0.0` (or an empty pool) the steady-state loop draws
+/// **no** extra randomness, so a solo run with migration attached stays
+/// bit-identical to a plain [`Evolution::run`] — that is the contract
+/// that lets a 1-island fleet reproduce the classic pinned run.
+///
+/// The state is captured in every [`EvolutionCheckpoint`] (a *migration
+/// epoch*), so an interrupted fleet run resumes with exactly the pool its
+/// islands were mutating from and reproduces the uninterrupted run bit
+/// for bit.
+///
+/// [`AlphaArchive`]: https://docs.rs/alphaevolve_store
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationState {
+    /// This island's id within its fleet (0 for solo runs).
+    pub island: u64,
+    /// The migration round the pool below was fetched at.
+    pub round: u64,
+    /// Probability that a steady-state mutant derives from a migrant
+    /// parent instead of a tournament winner. Clamped to `[0, 1]` when
+    /// drawn.
+    pub fraction: f64,
+    /// The migrant pool: elite programs pulled from the shared archive,
+    /// in archive order.
+    pub migrants: Vec<AlphaProgram>,
+}
+
 /// One point of the Figure-6 style search trajectory.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajectoryPoint {
@@ -228,6 +259,10 @@ pub struct EvolutionCheckpoint {
     pub best: Option<BestAlpha>,
     /// Best-IC trajectory so far.
     pub trajectory: Vec<TrajectoryPoint>,
+    /// The migration epoch in force at the snapshot (island id, round,
+    /// migrant pool, migrant-parent fraction) — `None` for solo runs.
+    /// Authoritative on resume, like the config.
+    pub migration: Option<MigrationState>,
 }
 
 /// One lock-guarded shard: fingerprint → cached fitness (`None` for
@@ -425,6 +460,9 @@ struct Shared<'a> {
     /// pruning-based rejection, fingerprint = raw program text, and the
     /// *unpruned* program is evaluated.
     use_pruning: bool,
+    /// Archive feedback (island-model migration). When the fraction is
+    /// zero or the pool empty the steady loop draws no extra randomness.
+    migration: Option<MigrationState>,
 }
 
 impl<'a> Shared<'a> {
@@ -697,13 +735,21 @@ impl<'a> Shared<'a> {
         let mut draws: Vec<usize> = Vec::with_capacity(self.econfig.tournament_size.max(1));
         let mut since_checkpoint = 0usize;
         while !self.budget_exhausted() {
+            // Archive-seeded mutation: a configurable fraction of mutants
+            // derives from a migrant instead of a tournament winner. The
+            // draw happens only when migration is active (non-empty pool,
+            // positive fraction), so plain runs consume an identical RNG
+            // stream.
+            let migrant = self.draw_migrant(rng);
             // Tournament selection under the population lock; evaluation
             // outside it. All indices are drawn before any comparison
             // (comparisons consume no randomness, so the RNG stream is
             // identical to the draw-compare interleaving), which lets a
             // draw that lands on a still-pending member force a flush
             // before its score is read.
-            let parent = {
+            let parent = if let Some(migrant) = migrant {
+                migrant
+            } else {
                 let mut pop = self.population.lock();
                 if pop.members.is_empty() {
                     drop(pop);
@@ -751,6 +797,21 @@ impl<'a> Shared<'a> {
         self.flush(&mut tile, crate::telemetry::FlushCause::Final);
     }
 
+    /// Draws a migrant parent with the configured probability. Inactive
+    /// migration (no state, empty pool, or a non-positive fraction)
+    /// returns `None` **without touching the RNG**, preserving bitwise
+    /// compatibility with plain runs.
+    fn draw_migrant(&self, rng: &mut SmallRng) -> Option<AlphaProgram> {
+        let m = self.migration.as_ref()?;
+        if m.migrants.is_empty() || m.fraction <= 0.0 {
+            return None;
+        }
+        if !rng.gen_bool(m.fraction.min(1.0)) {
+            return None;
+        }
+        Some(m.migrants[rng.gen_range(0..m.migrants.len())].clone())
+    }
+
     /// A consistent snapshot of the whole search state (single-worker:
     /// nothing races while this worker observes).
     fn snapshot(&self, rng: &SmallRng) -> EvolutionCheckpoint {
@@ -763,6 +824,7 @@ impl<'a> Shared<'a> {
             cache: self.cache.entries(),
             best: self.best.lock().clone(),
             trajectory: self.trajectory.lock().clone(),
+            migration: self.migration.clone(),
         }
     }
 
@@ -787,6 +849,8 @@ pub struct Evolution<'a> {
     gate: Option<&'a CorrelationGate>,
     use_pruning: bool,
     telemetry: Arc<crate::telemetry::SearchTelemetry>,
+    warm_start: Vec<AlphaProgram>,
+    migration: Option<MigrationState>,
 }
 
 impl<'a> Evolution<'a> {
@@ -798,6 +862,8 @@ impl<'a> Evolution<'a> {
             gate: None,
             use_pruning: true,
             telemetry: Arc::new(crate::telemetry::SearchTelemetry::new()),
+            warm_start: Vec::new(),
+            migration: None,
         }
     }
 
@@ -819,6 +885,27 @@ impl<'a> Evolution<'a> {
     /// ablation): candidates are fingerprinted raw and evaluated unpruned.
     pub fn without_pruning(mut self) -> Evolution<'a> {
         self.use_pruning = false;
+        self
+    }
+
+    /// Archive warm-start: seed the initial population from archived
+    /// elites. The elites join the population right after the seed
+    /// program (through the same §4.2 admission pipeline — pruning,
+    /// fingerprinting, static rejection, gating all apply); the remaining
+    /// slots are filled with seed mutants as usual. At most
+    /// `population_size - 1` elites are used. An empty list leaves the
+    /// run bit-identical to a plain [`Evolution::run`].
+    pub fn with_warm_start(mut self, elites: Vec<AlphaProgram>) -> Evolution<'a> {
+        self.warm_start = elites;
+        self
+    }
+
+    /// Attach island-model migration (see [`MigrationState`]) to a run
+    /// started from a seed program. Resumed runs take the state from
+    /// their checkpoint instead — the checkpoint's migration epoch is as
+    /// authoritative as its config.
+    pub fn with_migration(mut self, migration: MigrationState) -> Evolution<'a> {
+        self.migration = Some(migration);
         self
     }
 
@@ -915,6 +1002,13 @@ impl<'a> Evolution<'a> {
                 Start::Checkpoint(c) => c.elapsed,
             },
             use_pruning: self.use_pruning,
+            // Like the config, a checkpoint's migration epoch governs its
+            // resume: the pool the interrupted run was mutating from is
+            // part of the captured state.
+            migration: match start {
+                Start::Seed(_) => self.migration.clone(),
+                Start::Checkpoint(c) => c.migration.clone(),
+            },
             econfig,
         };
 
@@ -928,7 +1022,18 @@ impl<'a> Evolution<'a> {
                 let mut tile = Tile::new(self.evaluator, shared.econfig.batch.max(1));
                 let mut initial = Vec::with_capacity(shared.econfig.population_size);
                 initial.push(seed_program.clone());
-                for _ in 1..shared.econfig.population_size {
+                // Archive warm-start: admitted elites come right after
+                // the seed, before any mutant, so they neither consume
+                // nor shift the mutation RNG stream — an empty list
+                // reproduces the plain run bit for bit.
+                for elite in self
+                    .warm_start
+                    .iter()
+                    .take(shared.econfig.population_size.saturating_sub(1))
+                {
+                    initial.push(elite.clone());
+                }
+                for _ in initial.len()..shared.econfig.population_size {
                     initial.push(shared.mutator.mutate(&mut rng, seed_program));
                 }
                 for candidate in initial {
@@ -1108,6 +1213,101 @@ mod tests {
         let b = Evolution::new(&ev, small_config(200)).run(&seed_prog);
         assert_eq!(a.best.as_ref().map(|x| x.ic), b.best.as_ref().map(|x| x.ic));
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn inactive_archive_hooks_stay_bitwise_plain() {
+        // Empty warm-start and a zero-fraction migration state must not
+        // consume a single extra RNG draw: the fleet's 1-island contract.
+        let ev = small_evaluator(29);
+        let seed_prog = init::domain_expert(ev.config());
+        let plain = Evolution::new(&ev, small_config(200)).run(&seed_prog);
+        let hooked = Evolution::new(&ev, small_config(200))
+            .with_warm_start(Vec::new())
+            .with_migration(MigrationState {
+                island: 3,
+                round: 9,
+                fraction: 0.0,
+                migrants: vec![init::noop(ev.config())],
+            })
+            .run(&seed_prog);
+        assert_eq!(
+            plain.best.as_ref().map(|b| b.ic.to_bits()),
+            hooked.best.as_ref().map(|b| b.ic.to_bits())
+        );
+        assert_eq!(plain.stats, hooked.stats);
+    }
+
+    #[test]
+    fn warm_start_elites_join_the_initial_population() {
+        let ev = small_evaluator(30);
+        let elite = init::domain_expert(ev.config());
+        let elite_ic = ev.evaluate(&crate::prune::prune(&elite).program).ic;
+        // Seeded from noop, the only strong genetic material is the
+        // warm-started elite — the run must do at least as well as it.
+        let outcome = Evolution::new(&ev, small_config(80))
+            .with_warm_start(vec![elite])
+            .run(&init::noop(ev.config()));
+        let best = outcome
+            .best
+            .expect("warm-started search must keep the elite");
+        assert!(
+            best.ic >= elite_ic - 1e-12,
+            "best {} < warm-started elite {}",
+            best.ic,
+            elite_ic
+        );
+    }
+
+    #[test]
+    fn migrant_fraction_draws_parents_from_the_pool() {
+        // fraction 1.0: every steady-state mutant derives from the pool,
+        // which must visibly alter the search versus a plain run.
+        let ev = small_evaluator(31);
+        let seed_prog = init::noop(ev.config());
+        let with = Evolution::new(&ev, small_config(150))
+            .with_migration(MigrationState {
+                island: 0,
+                round: 0,
+                fraction: 1.0,
+                migrants: vec![init::domain_expert(ev.config())],
+            })
+            .run(&seed_prog);
+        let without = Evolution::new(&ev, small_config(150)).run(&seed_prog);
+        assert_ne!(
+            with.stats, without.stats,
+            "migrant parenting must alter the search trajectory"
+        );
+        assert!(with.best.is_some(), "the strong pool must surface an alpha");
+    }
+
+    #[test]
+    fn migration_epoch_rides_checkpoints_bit_for_bit() {
+        let ev = small_evaluator(32);
+        let seed_prog = init::domain_expert(ev.config());
+        let state = MigrationState {
+            island: 2,
+            round: 1,
+            fraction: 0.5,
+            migrants: vec![init::domain_expert(ev.config()), init::noop(ev.config())],
+        };
+        let driver = Evolution::new(&ev, small_config(220)).with_migration(state.clone());
+        let uninterrupted = driver.run(&seed_prog);
+        let mut cps = Vec::new();
+        let checkpointed = driver.run_with_checkpoints(&seed_prog, 60, &mut |c| cps.push(c));
+        assert_eq!(
+            uninterrupted.best.as_ref().map(|b| b.ic.to_bits()),
+            checkpointed.best.as_ref().map(|b| b.ic.to_bits())
+        );
+        let mid = &cps[1];
+        assert_eq!(mid.migration.as_ref(), Some(&state), "epoch captured");
+        let resumed = Evolution::new(&ev, small_config(220)).resume(mid);
+        assert_eq!(
+            uninterrupted.best.as_ref().map(|b| b.ic.to_bits()),
+            resumed.best.as_ref().map(|b| b.ic.to_bits()),
+            "resume mid-migration must reproduce the uninterrupted run"
+        );
+        assert_eq!(uninterrupted.stats, resumed.stats);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use eval::{
 };
 pub use evolution::{
     BestAlpha, Budget, Evolution, EvolutionCheckpoint, EvolutionConfig, EvolutionOutcome,
-    Individual, SearchStats, TrajectoryPoint,
+    Individual, MigrationState, SearchStats, TrajectoryPoint,
 };
 pub use fingerprint::{fingerprint, fingerprint_analyzed, Analyzed};
 pub use instruction::Instruction;

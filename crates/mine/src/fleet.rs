@@ -1,0 +1,252 @@
+//! The fleet driver: N islands, one coordinator, one determinism
+//! contract.
+//!
+//! A fleet is parameterized by **one seed**: each island derives its own
+//! evolution seed via [`island_seed`], so a fixed fleet seed and island
+//! count reproduce every island's trajectory — and, because the
+//! coordinator admits in island-id order at a round barrier, the final
+//! archive — byte-identically across runs and across transports. Island
+//! 0's seed *is* the fleet seed, which is what makes a 1-island fleet
+//! with migration disabled reproduce the classic single-process run
+//! bitwise.
+//!
+//! Checkpointing: with a checkpoint directory configured, every island
+//! saves its ready-to-resume checkpoint (budget and migration epoch
+//! already advanced) after every round, and the coordinator saves the
+//! archive at each round boundary — so [`Fleet::resume`] continues an
+//! interrupted run through the identical code path an uninterrupted run
+//! takes, bit for bit.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use alphaevolve_core::{AlphaProgram, Evaluator, EvolutionConfig, EvolutionOutcome};
+use alphaevolve_obs::MetricsSnapshot;
+use alphaevolve_store::archive::AlphaArchive;
+use alphaevolve_store::{load_checkpoint, Result, ServiceErrorCode, StoreError};
+
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::island::{mine_island, resume_island, IslandConfig, LocalLink, MigrationLink};
+
+/// Derives island `island`'s evolution seed from the fleet seed. Island
+/// 0 maps to the fleet seed itself (the 1-island bitwise contract); the
+/// others decorrelate through a golden-ratio multiply.
+pub fn island_seed(fleet_seed: u64, island: u64) -> u64 {
+    fleet_seed ^ island.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Everything that shapes a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of islands.
+    pub islands: usize,
+    /// The one seed every island seed derives from.
+    pub fleet_seed: u64,
+    /// Migration rounds to run.
+    pub rounds: u64,
+    /// Candidates searched per island per round.
+    pub round_searches: usize,
+    /// Per-island probability that a mutant derives from a migrant.
+    pub migrant_fraction: f64,
+    /// Elites each island publishes per round.
+    pub elites_per_round: usize,
+    /// The per-island evolution template; `seed` and `budget` are
+    /// overwritten per island/round, `workers` must be 1.
+    pub econfig: EvolutionConfig,
+    /// Shared archive capacity (the paper's hall-of-fame bound).
+    pub archive_capacity: usize,
+    /// Feature-set id stamped on admitted entries.
+    pub feature_set_id: u64,
+    /// Barrier deadline per migration round.
+    pub round_deadline: Duration,
+    /// Stop every island after this many rounds of this invocation
+    /// (checkpoint first) — for interruption tests and staged runs.
+    pub stop_after: Option<u64>,
+    /// Directory for fleet checkpoints (`island_<i>.ckpt` +
+    /// `archive.aev`); `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl FleetConfig {
+    fn island_config(&self, island: u64) -> IslandConfig {
+        let mut econfig = self.econfig.clone();
+        econfig.seed = island_seed(self.fleet_seed, island);
+        IslandConfig {
+            id: island,
+            econfig,
+            rounds: self.rounds,
+            round_searches: self.round_searches,
+            migrant_fraction: self.migrant_fraction,
+            elites_per_round: self.elites_per_round,
+            stop_after: self.stop_after,
+            checkpoint_path: self
+                .checkpoint_dir
+                .as_deref()
+                .map(|d| island_checkpoint_path(d, island)),
+        }
+    }
+
+    fn coordinator_config(&self, start_round: u64) -> CoordinatorConfig {
+        CoordinatorConfig {
+            islands: self.islands,
+            feature_set_id: self.feature_set_id,
+            round_deadline: self.round_deadline,
+            start_round,
+            archive_path: self.checkpoint_dir.as_ref().map(|d| d.join("archive.aev")),
+        }
+    }
+}
+
+/// What a fleet run leaves behind.
+pub struct FleetOutcome {
+    /// Per-island outcomes of the last round run, in island order.
+    pub outcomes: Vec<EvolutionOutcome>,
+    /// The shared archive at the end of the run.
+    pub archive: AlphaArchive,
+    /// The coordinator's fleet metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The fleet driver: owns the configuration, builds coordinators, runs
+/// islands on scoped threads.
+pub struct Fleet {
+    evaluator: Arc<Evaluator>,
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// A fleet mining with `evaluator` (shared by every in-process
+    /// island and by the coordinator's re-evaluation).
+    pub fn new(evaluator: Arc<Evaluator>, config: FleetConfig) -> Fleet {
+        assert!(config.islands > 0, "a fleet needs at least one island");
+        Fleet { evaluator, config }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// A fresh coordinator for this fleet (empty archive, round 0).
+    /// Serve it over a socket for wire islands, or hand it to
+    /// [`Fleet::run_with_links`] directly.
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::new(Coordinator::new(
+            Arc::clone(&self.evaluator),
+            AlphaArchive::new(self.config.archive_capacity),
+            self.config.coordinator_config(0),
+        ))
+    }
+
+    /// Runs the whole fleet in-process: every island is a thread with a
+    /// [`LocalLink`] onto a fresh coordinator.
+    pub fn run(&self, seed_program: &AlphaProgram) -> Result<FleetOutcome> {
+        let coordinator = self.coordinator();
+        let links: Vec<Box<dyn MigrationLink + Send>> = (0..self.config.islands)
+            .map(|_| Box::new(LocalLink::new(Arc::clone(&coordinator))) as _)
+            .collect();
+        self.run_with_links(seed_program, &coordinator, links)
+    }
+
+    /// Runs the fleet with caller-supplied links — one per island, any
+    /// mix of [`LocalLink`] and [`FleetClient`](crate::island::FleetClient)
+    /// transports, all pointing at (a serving of) `coordinator`.
+    pub fn run_with_links(
+        &self,
+        seed_program: &AlphaProgram,
+        coordinator: &Arc<Coordinator>,
+        links: Vec<Box<dyn MigrationLink + Send>>,
+    ) -> Result<FleetOutcome> {
+        assert_eq!(
+            links.len(),
+            self.config.islands,
+            "one migration link per island"
+        );
+        let outcomes = std::thread::scope(|scope| {
+            // Spawn every island before joining any: the coordinator's
+            // round barrier needs all of them in flight at once.
+            let mut handles = Vec::with_capacity(self.config.islands);
+            for (i, mut link) in links.into_iter().enumerate() {
+                let cfg = self.config.island_config(i as u64);
+                let evaluator = Arc::clone(&self.evaluator);
+                handles.push(scope.spawn(move || {
+                    mine_island(
+                        &evaluator,
+                        &cfg,
+                        seed_program,
+                        Vec::new(),
+                        Vec::new(),
+                        &mut *link,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("island thread must not panic"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+        self.outcome(coordinator, outcomes)
+    }
+
+    /// Resumes an interrupted fleet from its checkpoint directory:
+    /// reloads the shared archive and every island's ready-to-resume
+    /// checkpoint, then continues rounds in-process until `rounds` (or
+    /// `stop_after`) — the same code path an uninterrupted run takes.
+    pub fn resume(&self) -> Result<FleetOutcome> {
+        let dir = self.config.checkpoint_dir.as_deref().ok_or_else(|| {
+            StoreError::service(
+                ServiceErrorCode::Internal,
+                "fleet resume requires a checkpoint directory".to_string(),
+            )
+        })?;
+        let checkpoints = (0..self.config.islands)
+            .map(|i| load_checkpoint(island_checkpoint_path(dir, i as u64)))
+            .collect::<Result<Vec<_>>>()?;
+        let start_round = checkpoints[0].migration.as_ref().map_or(0, |m| m.round);
+        let archive = AlphaArchive::load(dir.join("archive.aev"))?;
+        let coordinator = Arc::new(Coordinator::new(
+            Arc::clone(&self.evaluator),
+            archive,
+            self.config.coordinator_config(start_round),
+        ));
+        let outcomes = std::thread::scope(|scope| {
+            // Same spawn-all-then-join shape as `run_with_links` — the
+            // barrier requires every island in flight.
+            let mut handles = Vec::with_capacity(self.config.islands);
+            for (i, checkpoint) in checkpoints.into_iter().enumerate() {
+                let cfg = self.config.island_config(i as u64);
+                let evaluator = Arc::clone(&self.evaluator);
+                let mut link = LocalLink::new(Arc::clone(&coordinator));
+                handles.push(
+                    scope.spawn(move || resume_island(&evaluator, &cfg, checkpoint, &mut link)),
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("island thread must not panic"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+        self.outcome(&coordinator, outcomes)
+    }
+
+    fn outcome(
+        &self,
+        coordinator: &Arc<Coordinator>,
+        outcomes: Vec<EvolutionOutcome>,
+    ) -> Result<FleetOutcome> {
+        let archive = AlphaArchive::from_bytes(&coordinator.archive_bytes())?;
+        let mut metrics = MetricsSnapshot::new();
+        coordinator.metrics().snapshot_into(&mut metrics);
+        Ok(FleetOutcome {
+            outcomes,
+            archive,
+            metrics,
+        })
+    }
+}
+
+/// Where island `island`'s fleet checkpoint lives under `dir`.
+pub fn island_checkpoint_path(dir: &Path, island: u64) -> PathBuf {
+    dir.join(format!("island_{island}.ckpt"))
+}

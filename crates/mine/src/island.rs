@@ -1,0 +1,384 @@
+//! The island side of a fleet: the migration link abstraction and the
+//! budget-chunked round loop that drives one `Evolution` between
+//! barriers.
+//!
+//! An island never talks to a coordinator directly — it talks through a
+//! [`MigrationLink`], which is either a [`LocalLink`] (a method call on
+//! an in-process coordinator) or a [`FleetClient`] speaking the AEVS
+//! fleet wire kinds over any [`Transport`] (loopback pipes, Unix domain
+//! sockets). Because the coordinator's round barrier serializes
+//! admissions in island-id order, the two link flavors produce
+//! byte-identical archives.
+//!
+//! ## The round loop, and why it is bitwise-exact
+//!
+//! A migration round is a budget chunk: round `r` runs the island's
+//! `Evolution` to budget `population + (r + 1) × round_searches` with a
+//! checkpoint cadence of `round_searches`, so the sink's last checkpoint
+//! *is* the round-boundary state — population, RNG, cache, counters,
+//! everything. The next round resumes from that checkpoint with only the
+//! budget and the migration epoch advanced. Checkpoint/resume is proven
+//! bit-for-bit (`tests/checkpoint_resume.rs`), migration epochs with an
+//! empty pool or zero fraction draw no RNG (see
+//! [`MigrationState`]), and warm-start
+//! with no elites inserts nothing — so a 1-island fleet with migration
+//! disabled reproduces the classic single-process run bitwise, and an
+//! interrupted fleet resumed from its checkpoints reproduces the
+//! uninterrupted one.
+
+use std::sync::Arc;
+
+use alphaevolve_core::{
+    prune, AlphaProgram, Budget, Evaluator, Evolution, EvolutionCheckpoint, EvolutionConfig,
+    EvolutionOutcome, MigrationState,
+};
+use alphaevolve_obs::MetricsSnapshot;
+use alphaevolve_store::archive::AlphaArchive;
+use alphaevolve_store::fleetwire::{
+    decode_archive_snapshot, decode_elite_ack, decode_migrant_set, encode_fleet_request, EliteAck,
+    EliteSubmit, FleetRequest, MigrantSet,
+};
+use alphaevolve_store::frame::{
+    KIND_ARCHIVE_SNAPSHOT_RESPONSE, KIND_ELITE_ACK_RESPONSE, KIND_ERROR_RESPONSE,
+    KIND_METRICS_RESPONSE, KIND_MIGRANT_SET_RESPONSE,
+};
+use alphaevolve_store::wire::{
+    decode_error, decode_metrics_response, encode_request, frame_payload, read_message,
+    write_message, Request,
+};
+use alphaevolve_store::{Result, ServiceErrorCode, StoreError, Transport};
+
+use crate::coordinator::Coordinator;
+
+/// An island's channel to its coordinator, transport-agnostic.
+pub trait MigrationLink {
+    /// Publish a round's elites; blocks until the fleet barrier releases.
+    fn submit(&mut self, submit: &EliteSubmit) -> Result<EliteAck>;
+    /// The current migrant pool without submitting.
+    fn fetch(&mut self, island: u64, round: u64) -> Result<MigrantSet>;
+    /// A full snapshot of the shared archive.
+    fn sync_archive(&mut self, island: u64) -> Result<AlphaArchive>;
+}
+
+/// The in-process link: method calls on a shared coordinator. Thread
+/// islands in the same process use this; it is semantically identical
+/// to the wire links because the coordinator's barrier, not the
+/// transport, defines round processing order.
+pub struct LocalLink {
+    coordinator: Arc<Coordinator>,
+}
+
+impl LocalLink {
+    /// A link onto an in-process coordinator.
+    pub fn new(coordinator: Arc<Coordinator>) -> LocalLink {
+        LocalLink { coordinator }
+    }
+}
+
+impl MigrationLink for LocalLink {
+    fn submit(&mut self, submit: &EliteSubmit) -> Result<EliteAck> {
+        self.coordinator.handle_submit(submit.clone())
+    }
+
+    fn fetch(&mut self, island: u64, round: u64) -> Result<MigrantSet> {
+        self.coordinator.handle_fetch(island, round)
+    }
+
+    fn sync_archive(&mut self, island: u64) -> Result<AlphaArchive> {
+        AlphaArchive::from_bytes(&self.coordinator.handle_sync(island)?)
+    }
+}
+
+/// A wire link: the fleet protocol over any [`Transport`]. Typed error
+/// responses surface as [`StoreError::Service`]; an unexpected response
+/// kind is a typed `Protocol` error (the wrong-kind-where-X-expected
+/// contract, both sides of which the corruption battery exercises).
+pub struct FleetClient<T: Transport> {
+    conn: T,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+}
+
+impl<T: Transport> FleetClient<T> {
+    /// Wraps a connected transport.
+    pub fn new(conn: T) -> FleetClient<T> {
+        FleetClient {
+            conn,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
+        }
+    }
+
+    fn round_trip(&mut self, req: &FleetRequest) -> Result<u16> {
+        encode_fleet_request(req, &mut self.send_buf);
+        write_message(&mut self.conn, &self.send_buf)?;
+        match read_message(&mut self.conn, &mut self.recv_buf)? {
+            Some(kind) => Ok(kind),
+            None => Err(StoreError::service(
+                ServiceErrorCode::Protocol,
+                "coordinator hung up before answering".to_string(),
+            )),
+        }
+    }
+
+    fn expect(&mut self, kind: u16, got: u16, what: &str) -> Result<()> {
+        if got == kind {
+            return Ok(());
+        }
+        if got == KIND_ERROR_RESPONSE {
+            return Err(decode_error(frame_payload(&self.recv_buf)));
+        }
+        Err(StoreError::service(
+            ServiceErrorCode::Protocol,
+            format!("expected {what}, got kind {got}"),
+        ))
+    }
+
+    /// Scrapes the coordinator's fleet metrics over the kind-9/10 wire
+    /// pair and merges the parsed snapshot into `out`.
+    pub fn scrape_metrics(&mut self, out: &mut MetricsSnapshot) -> Result<()> {
+        encode_request(Request::Metrics, &mut self.send_buf);
+        write_message(&mut self.conn, &self.send_buf)?;
+        let Some(got) = read_message(&mut self.conn, &mut self.recv_buf)? else {
+            return Err(StoreError::service(
+                ServiceErrorCode::Protocol,
+                "coordinator hung up before answering".to_string(),
+            ));
+        };
+        self.expect(KIND_METRICS_RESPONSE, got, "a metrics response")?;
+        let text = decode_metrics_response(frame_payload(&self.recv_buf))?;
+        let parsed = MetricsSnapshot::parse(&text).map_err(|e| {
+            StoreError::service(
+                ServiceErrorCode::Protocol,
+                format!("unparseable metrics exposition: {e}"),
+            )
+        })?;
+        out.merge_from(&parsed);
+        Ok(())
+    }
+}
+
+impl FleetClient<std::os::unix::net::UnixStream> {
+    /// Connects to a Unix-domain-socket coordinator (see
+    /// [`serve_fleet_uds`](crate::coordinator::serve_fleet_uds)).
+    pub fn connect(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<FleetClient<std::os::unix::net::UnixStream>> {
+        Ok(FleetClient::new(std::os::unix::net::UnixStream::connect(
+            path,
+        )?))
+    }
+}
+
+impl<T: Transport> MigrationLink for FleetClient<T> {
+    fn submit(&mut self, submit: &EliteSubmit) -> Result<EliteAck> {
+        let got = self.round_trip(&FleetRequest::EliteSubmit(submit.clone()))?;
+        self.expect(KIND_ELITE_ACK_RESPONSE, got, "an elite ack")?;
+        decode_elite_ack(frame_payload(&self.recv_buf))
+    }
+
+    fn fetch(&mut self, island: u64, round: u64) -> Result<MigrantSet> {
+        let got = self.round_trip(&FleetRequest::MigrantFetch { island, round })?;
+        self.expect(KIND_MIGRANT_SET_RESPONSE, got, "a migrant set")?;
+        decode_migrant_set(frame_payload(&self.recv_buf))
+    }
+
+    fn sync_archive(&mut self, island: u64) -> Result<AlphaArchive> {
+        let got = self.round_trip(&FleetRequest::ArchiveSync { island })?;
+        self.expect(KIND_ARCHIVE_SNAPSHOT_RESPONSE, got, "an archive snapshot")?;
+        AlphaArchive::from_bytes(&decode_archive_snapshot(frame_payload(&self.recv_buf))?)
+    }
+}
+
+/// How one island behaves inside its fleet.
+#[derive(Debug, Clone)]
+pub struct IslandConfig {
+    /// This island's dense id (`0..islands`).
+    pub id: u64,
+    /// The evolution configuration — seed already derived per island
+    /// ([`island_seed`](crate::fleet::island_seed)), workers must be 1
+    /// (rounds are checkpoint captures), budget is overwritten per round.
+    pub econfig: EvolutionConfig,
+    /// Total migration rounds the fleet runs.
+    pub rounds: u64,
+    /// Candidates searched per round (steady-state; the initial
+    /// population additionally counts toward round 0's budget).
+    pub round_searches: usize,
+    /// Probability that a mutant derives from a migrant instead of a
+    /// tournament parent. `0.0` disables migration influence entirely
+    /// (no RNG draws — the bitwise 1-island contract relies on this).
+    pub migrant_fraction: f64,
+    /// Elites published per round: the best alpha plus the top of the
+    /// population, pruned and fingerprint-deduplicated.
+    pub elites_per_round: usize,
+    /// Stop after this many rounds *of this invocation* (checkpointing
+    /// the ready-to-resume state first) — the interruption half of the
+    /// fleet checkpoint/resume contract. `None` runs to `rounds`.
+    pub stop_after: Option<u64>,
+    /// When set, the ready-to-resume checkpoint is saved here after
+    /// every round.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+}
+
+/// The pruned, deduplicated elite set of a round-boundary checkpoint:
+/// the best alpha first, then the population by fitness (descending,
+/// stable — insertion order breaks ties so the set is deterministic).
+fn elites_of(cp: &EvolutionCheckpoint, evaluator: &Evaluator, take: usize) -> Vec<AlphaProgram> {
+    let mut candidates: Vec<AlphaProgram> = Vec::new();
+    if let Some(best) = &cp.best {
+        candidates.push(best.pruned.clone());
+    }
+    let mut ranked: Vec<&alphaevolve_core::Individual> = cp
+        .population
+        .iter()
+        .filter(|i| i.fitness.is_some())
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.fitness
+            .unwrap_or(f64::NEG_INFINITY)
+            .total_cmp(&a.fitness.unwrap_or(f64::NEG_INFINITY))
+    });
+    for individual in ranked {
+        candidates.push(prune(&individual.program).program);
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut elites = Vec::new();
+    for program in candidates {
+        let fp = alphaevolve_core::fingerprint(&program, evaluator.config()).0;
+        if seen.insert(fp) {
+            elites.push(program);
+            if elites.len() == take {
+                break;
+            }
+        }
+    }
+    elites
+}
+
+/// Budget of round `round` (0-based): the initial population plus
+/// `round + 1` chunks of steady-state search.
+fn round_budget(population: usize, round: u64, round_searches: usize) -> Budget {
+    Budget::Searched(population + (round as usize + 1) * round_searches)
+}
+
+/// The shared round tail: submit the round's elites, and if more rounds
+/// remain, advance the checkpoint's budget and migration epoch (and
+/// persist it when configured). Returns `None` when the island is done
+/// (all rounds run, or `stop_after` reached).
+fn after_round(
+    cfg: &IslandConfig,
+    evaluator: &Evaluator,
+    link: &mut dyn MigrationLink,
+    mut cp: EvolutionCheckpoint,
+    round: u64,
+    ran_including_this: u64,
+) -> Result<Option<EvolutionCheckpoint>> {
+    let ack = link.submit(&EliteSubmit {
+        island: cfg.id,
+        round,
+        searched: cp.stats.searched as u64,
+        elapsed_ns: u64::try_from(cp.elapsed.as_nanos()).unwrap_or(u64::MAX),
+        programs: elites_of(&cp, evaluator, cfg.elites_per_round),
+    })?;
+    if round + 1 >= cfg.rounds {
+        return Ok(None);
+    }
+    cp.config.budget = round_budget(cp.config.population_size, round + 1, cfg.round_searches);
+    cp.migration = Some(MigrationState {
+        island: cfg.id,
+        round: round + 1,
+        fraction: cfg.migrant_fraction,
+        migrants: ack.migrants,
+    });
+    if let Some(path) = &cfg.checkpoint_path {
+        alphaevolve_store::save_checkpoint(path, &cp)?;
+    }
+    if cfg.stop_after == Some(ran_including_this) {
+        return Ok(None);
+    }
+    Ok(Some(cp))
+}
+
+/// Runs one island from a fresh seed program for `cfg.rounds` rounds
+/// (or until `cfg.stop_after`), returning the outcome of the last round
+/// run. `warm_start` seeds the initial population (archive elites);
+/// `initial_migrants` seeds round 0's migrant pool — both empty for a
+/// fresh fleet, both RNG-neutral when empty.
+pub fn mine_island(
+    evaluator: &Evaluator,
+    cfg: &IslandConfig,
+    seed_program: &AlphaProgram,
+    warm_start: Vec<AlphaProgram>,
+    initial_migrants: Vec<AlphaProgram>,
+    link: &mut dyn MigrationLink,
+) -> Result<EvolutionOutcome> {
+    assert!(cfg.rounds > 0, "a fleet needs at least one round");
+    assert_eq!(
+        cfg.econfig.workers.max(1),
+        1,
+        "island rounds are checkpoint captures, which require workers = 1"
+    );
+    let mut econfig = cfg.econfig.clone();
+    econfig.budget = round_budget(econfig.population_size, 0, cfg.round_searches);
+    let mut slot: Option<EvolutionCheckpoint> = None;
+    let outcome = Evolution::new(evaluator, econfig)
+        .with_warm_start(warm_start)
+        .with_migration(MigrationState {
+            island: cfg.id,
+            round: 0,
+            fraction: cfg.migrant_fraction,
+            migrants: initial_migrants,
+        })
+        .run_with_checkpoints(seed_program, cfg.round_searches, &mut |c| slot = Some(c));
+    let cp = slot
+        .take()
+        .expect("round budget fires the checkpoint cadence");
+    match after_round(cfg, evaluator, link, cp, 0, 1)? {
+        None => Ok(outcome),
+        Some(cp) => resume_rounds(evaluator, cfg, cp, 1, 1, link),
+    }
+}
+
+/// Resumes one island from a ready-to-resume checkpoint (as saved by
+/// [`mine_island`] via `checkpoint_path`): the checkpoint's embedded
+/// migration epoch names the round it is about to run.
+pub fn resume_island(
+    evaluator: &Evaluator,
+    cfg: &IslandConfig,
+    checkpoint: EvolutionCheckpoint,
+    link: &mut dyn MigrationLink,
+) -> Result<EvolutionOutcome> {
+    let round = checkpoint.migration.as_ref().map_or(0, |m| m.round);
+    resume_rounds(evaluator, cfg, checkpoint, round, 0, link)
+}
+
+fn resume_rounds(
+    evaluator: &Evaluator,
+    cfg: &IslandConfig,
+    mut cp: EvolutionCheckpoint,
+    first_round: u64,
+    already_ran: u64,
+    link: &mut dyn MigrationLink,
+) -> Result<EvolutionOutcome> {
+    let mut ran = already_ran;
+    let mut round = first_round;
+    loop {
+        let mut slot: Option<EvolutionCheckpoint> = None;
+        let outcome = Evolution::new(evaluator, cp.config.clone()).resume_with_checkpoints(
+            &cp,
+            cfg.round_searches,
+            &mut |c| slot = Some(c),
+        );
+        let boundary = slot
+            .take()
+            .expect("round budget fires the checkpoint cadence");
+        ran += 1;
+        match after_round(cfg, evaluator, link, boundary, round, ran)? {
+            None => return Ok(outcome),
+            Some(next) => {
+                cp = next;
+                round += 1;
+            }
+        }
+    }
+}

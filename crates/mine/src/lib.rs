@@ -1,0 +1,52 @@
+//! Island-model distributed mining for the AlphaEvolve reproduction.
+//!
+//! The paper's search is one evolutionary loop; this crate scales it
+//! out without giving up reproducibility. N **islands** run independent
+//! [`Evolution`](alphaevolve_core::Evolution) loops with per-island
+//! seeds derived from one fleet seed; at the end of every **migration
+//! round** each island publishes its elite programs to a
+//! **coordinator**, which verifies, re-evaluates, and admits them
+//! through the existing correlation gate into one shared
+//! [`AlphaArchive`](alphaevolve_store::archive::AlphaArchive), then
+//! releases the round barrier with the updated migrant pool. Islands
+//! feed that pool back into their search two ways: **warm-start** (the
+//! initial population seeds from archived elites) and **archive-seeded
+//! mutation** (a configurable fraction of mutants derive from migrants
+//! instead of tournament parents).
+//!
+//! Islands talk to the coordinator through a [`MigrationLink`]: either
+//! in-process method calls ([`LocalLink`]) or the AEVS fleet wire kinds
+//! 11–16 over any [`Transport`](alphaevolve_store::Transport)
+//! ([`FleetClient`] over loopback pipes or Unix domain sockets) — a
+//! fleet is transport-agnostic exactly like serving is.
+//!
+//! # The determinism contract
+//!
+//! * A **1-island fleet** with migration disabled reproduces the classic
+//!   single-process fixed-seed run **bitwise** — rounds are checkpoint
+//!   chunks of the same run.
+//! * A **fixed fleet seed and island count** reproduce the final archive
+//!   **byte-identically** across runs and across thread-vs-UDS
+//!   transports — the coordinator's barrier admits in island-id order,
+//!   so scheduling and transport cannot reorder archive mutations.
+//! * An **interrupted fleet** resumed from its checkpoint directory
+//!   reproduces the uninterrupted run bit for bit — migration epochs
+//!   ride inside evolution checkpoints.
+//!
+//! Changing the island *count* legitimately changes the trajectory (the
+//! work is partitioned differently); the contract pins each
+//! configuration's reproducibility, not equivalence across
+//! configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod fleet;
+pub mod island;
+pub mod metrics;
+
+pub use coordinator::{serve_fleet_connection, serve_fleet_uds, Coordinator, CoordinatorConfig};
+pub use fleet::{island_checkpoint_path, island_seed, Fleet, FleetConfig, FleetOutcome};
+pub use island::{mine_island, resume_island, FleetClient, IslandConfig, LocalLink, MigrationLink};
+pub use metrics::{FleetMetrics, IslandMetrics};

@@ -1,0 +1,156 @@
+//! Fleet observability: `mine_*` counters, histograms, and gauges.
+//!
+//! One [`IslandMetrics`] block per island plus fleet-wide instruments,
+//! all lock-free atomics from `alphaevolve_obs`. Snapshots follow the
+//! `ShardedRouter::metrics` convention: every per-island value is pushed
+//! twice — once unlabeled (so same-named entries sum into fleet totals
+//! when snapshots merge) and once with an `island` label (so a scrape
+//! can still attribute work to the island that did it). The snapshot is
+//! scraped over the ordinary kind-9/10 metrics wire pair by
+//! [`serve_fleet_connection`](crate::coordinator::serve_fleet_connection).
+
+use alphaevolve_obs::{Counter, Gauge, Histogram, MetricsSnapshot};
+
+/// Per-island migration instruments, recorded by the coordinator as it
+/// processes that island's submissions.
+#[derive(Debug, Default)]
+pub struct IslandMetrics {
+    /// Elite programs this island has submitted.
+    pub submitted: Counter,
+    /// Submissions admitted into the shared archive.
+    pub admitted: Counter,
+    /// Submissions rejected by the correlation gate (duplicates, too
+    /// correlated, or weaker than the eviction floor).
+    pub rejected_gate: Counter,
+    /// Submissions rejected by the trust-boundary verifier or failing
+    /// re-evaluation — nonzero means a hostile or corrupt island.
+    pub rejected_invalid: Counter,
+    /// Migration rounds this island has completed.
+    pub rounds: Counter,
+    /// The island's self-reported mining throughput, candidates/second.
+    pub candidates_per_sec: Gauge,
+}
+
+/// The coordinator's instrument panel: per-island blocks plus fleet-wide
+/// round counters and latency.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    islands: Vec<IslandMetrics>,
+    /// Migration rounds completed fleet-wide.
+    pub rounds_total: Counter,
+    /// Wall-clock nanoseconds from a round's first submission to its
+    /// barrier release.
+    pub round_latency: Histogram,
+}
+
+impl FleetMetrics {
+    /// A fresh panel for `islands` islands.
+    pub fn new(islands: usize) -> FleetMetrics {
+        FleetMetrics {
+            islands: (0..islands).map(|_| IslandMetrics::default()).collect(),
+            rounds_total: Counter::new(),
+            round_latency: Histogram::new(),
+        }
+    }
+
+    /// The instrument block of island `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range — callers validate island ids first.
+    pub fn island(&self, i: usize) -> &IslandMetrics {
+        &self.islands[i]
+    }
+
+    /// Number of islands this panel instruments.
+    pub fn islands(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Renders the panel into `out`: fleet totals unlabeled, per-island
+    /// values under an `island` label (mirroring how the sharded router
+    /// merges per-shard serving metrics).
+    pub fn snapshot_into(&self, out: &mut MetricsSnapshot) {
+        let mut throughput = 0.0;
+        for (sum, name) in [
+            (
+                sum_of(&self.islands, |m| &m.submitted),
+                "mine_migrants_submitted_total",
+            ),
+            (
+                sum_of(&self.islands, |m| &m.admitted),
+                "mine_migrants_admitted_total",
+            ),
+            (
+                sum_of(&self.islands, |m| &m.rejected_gate),
+                "mine_migrants_rejected_gate_total",
+            ),
+            (
+                sum_of(&self.islands, |m| &m.rejected_invalid),
+                "mine_migrants_rejected_invalid_total",
+            ),
+        ] {
+            out.push_counter(name, &[], sum);
+        }
+        for (i, m) in self.islands.iter().enumerate() {
+            let island = i.to_string();
+            let labels = [("island", island.as_str())];
+            out.push_counter("mine_migrants_submitted_total", &labels, m.submitted.get());
+            out.push_counter("mine_migrants_admitted_total", &labels, m.admitted.get());
+            out.push_counter(
+                "mine_migrants_rejected_gate_total",
+                &labels,
+                m.rejected_gate.get(),
+            );
+            out.push_counter(
+                "mine_migrants_rejected_invalid_total",
+                &labels,
+                m.rejected_invalid.get(),
+            );
+            out.push_counter("mine_rounds_total", &labels, m.rounds.get());
+            out.push_gauge(
+                "mine_island_candidates_per_sec",
+                &labels,
+                m.candidates_per_sec.get(),
+            );
+            throughput += m.candidates_per_sec.get();
+        }
+        out.push_counter("mine_rounds_total", &[], self.rounds_total.get());
+        out.push_gauge("mine_island_candidates_per_sec", &[], throughput);
+        out.observe_histogram("mine_round_latency_ns", &[], &self.round_latency);
+    }
+}
+
+fn sum_of(islands: &[IslandMetrics], pick: impl Fn(&IslandMetrics) -> &Counter) -> u64 {
+    islands.iter().map(|m| pick(m).get()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_and_islands_stay_attributable() {
+        let m = FleetMetrics::new(2);
+        m.island(0).submitted.add(3);
+        m.island(1).submitted.add(4);
+        m.island(1).admitted.inc();
+        m.island(0).candidates_per_sec.set(10.0);
+        m.island(1).candidates_per_sec.set(5.0);
+        m.rounds_total.inc();
+        let mut snap = MetricsSnapshot::new();
+        m.snapshot_into(&mut snap);
+        assert_eq!(snap.counter_value("mine_migrants_submitted_total", &[]), 7);
+        assert_eq!(
+            snap.counter_value("mine_migrants_submitted_total", &[("island", "1")]),
+            4
+        );
+        assert_eq!(snap.counter_value("mine_migrants_admitted_total", &[]), 1);
+        assert_eq!(snap.counter_value("mine_rounds_total", &[]), 1);
+        // The exposition round-trips through parse (the wire scrape path).
+        let parsed = MetricsSnapshot::parse(&snap.render()).unwrap();
+        assert_eq!(
+            parsed.counter_value("mine_migrants_submitted_total", &[]),
+            7
+        );
+    }
+}

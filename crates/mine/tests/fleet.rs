@@ -1,0 +1,544 @@
+//! The fleet determinism contract, end to end:
+//!
+//! 1. a **1-island fleet** with migration disabled reproduces the classic
+//!    single-process fixed-seed run bitwise (same pins as
+//!    `tests/determinism.rs`);
+//! 2. a **fixed fleet seed and island count** reproduce the final shared
+//!    archive byte-identically across runs — and across thread, loopback,
+//!    and Unix-domain-socket transports;
+//! 3. an **interrupted fleet** resumed from its checkpoint directory
+//!    reproduces the uninterrupted run bit for bit;
+//!
+//! plus the fleet's trust boundary (hostile elites die at the verifier,
+//! counted) and wire discipline (typed protocol errors on both sides,
+//! metrics scrapeable through the standard kind-9/10 pair).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use alphaevolve_core::{
+    fingerprint, init, AlphaConfig, Budget, EvalOptions, Evaluator, Evolution, EvolutionConfig,
+};
+use alphaevolve_market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve_mine::{island_seed, Coordinator, Fleet, FleetClient, FleetConfig, MigrationLink};
+use alphaevolve_store::fleetwire::EliteSubmit;
+use alphaevolve_store::transport::loopback;
+use alphaevolve_store::{ServiceErrorCode, StoreError};
+
+/// The pinned-run dataset: identical to `tests/determinism.rs`'s
+/// `fixed_seed_run_reproduces_prerefactor_best_alpha`.
+fn pinned_evaluator() -> Arc<Evaluator> {
+    let market = MarketConfig {
+        n_stocks: 16,
+        n_days: 140,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let ds =
+        Arc::new(Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios()).unwrap());
+    Arc::new(Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        ds,
+    ))
+}
+
+fn fleet_config(islands: usize, rounds: u64, round_searches: usize) -> FleetConfig {
+    FleetConfig {
+        islands,
+        fleet_seed: 7,
+        rounds,
+        round_searches,
+        migrant_fraction: 0.25,
+        elites_per_round: 3,
+        econfig: EvolutionConfig {
+            population_size: 20,
+            tournament_size: 5,
+            budget: Budget::Searched(0), // overwritten per round
+            seed: 0,                     // overwritten per island
+            workers: 1,
+            ..Default::default()
+        },
+        archive_capacity: 8,
+        feature_set_id: 11,
+        round_deadline: Duration::from_secs(60),
+        stop_after: None,
+        checkpoint_dir: None,
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aevs_fleet_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Contract 1: a 1-island fleet with `migrant_fraction = 0` is the
+/// classic single-process run chopped into budget chunks — same best
+/// alpha, same counters, bit for bit. Rounds 4 × 70 searches on top of
+/// the 20-candidate initial population = the pinned 300-search budget.
+#[test]
+fn one_island_fleet_reproduces_the_classic_pinned_run() {
+    let ev = pinned_evaluator();
+
+    let classic = Evolution::new(
+        &ev,
+        EvolutionConfig {
+            population_size: 20,
+            tournament_size: 5,
+            budget: Budget::Searched(300),
+            seed: 7,
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .run(&init::domain_expert(ev.config()));
+    let classic_best = classic.best.expect("the pinned run finds an alpha");
+
+    let mut config = fleet_config(1, 4, 70);
+    config.migrant_fraction = 0.0;
+    assert_eq!(
+        island_seed(config.fleet_seed, 0),
+        7,
+        "island 0 is the fleet seed"
+    );
+    let fleet = Fleet::new(Arc::clone(&ev), config);
+    let outcome = fleet.run(&init::domain_expert(ev.config())).unwrap();
+    let best = outcome.outcomes[0]
+        .best
+        .as_ref()
+        .expect("fleet finds the same alpha");
+
+    assert_eq!(
+        outcome.outcomes[0].stats, classic.stats,
+        "search counters diverged"
+    );
+    assert_eq!(best.program, classic_best.program);
+    assert_eq!(best.ic.to_bits(), classic_best.ic.to_bits());
+    let (fp, _) = fingerprint(&best.program, ev.config());
+    let (classic_fp, _) = fingerprint(&classic_best.program, ev.config());
+    assert_eq!(fp, classic_fp);
+
+    // The absolute pins, where the platform reproduces libm bit patterns
+    // (the same gate `tests/determinism.rs` uses).
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        assert_eq!(
+            fp, 0x60f0a96b0af11c64,
+            "fingerprint diverged from the pinned run"
+        );
+        assert_eq!(
+            best.ic, 0.21213852898918362,
+            "best IC diverged from the pinned run"
+        );
+        assert_eq!(outcome.outcomes[0].stats.evaluated, 70);
+        assert_eq!(outcome.outcomes[0].stats.static_rejected, 1);
+    }
+
+    // And the round structure did run: one island, four rounds.
+    assert_eq!(outcome.metrics.counter_value("mine_rounds_total", &[]), 4);
+}
+
+/// Contract 2a: a fixed fleet seed and island count reproduce the final
+/// archive — and every island's outcome — byte-identically across runs.
+#[test]
+fn fixed_fleet_seed_and_island_count_reproduce_the_archive() {
+    let ev = pinned_evaluator();
+    let seed = init::domain_expert(ev.config());
+    let run = || {
+        Fleet::new(Arc::clone(&ev), fleet_config(3, 2, 30))
+            .run(&seed)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.archive.entries().is_empty(), "the fleet mined something");
+    assert_eq!(
+        a.archive.to_bytes(),
+        b.archive.to_bytes(),
+        "archive bytes diverged"
+    );
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.stats, y.stats);
+        assert_eq!(
+            x.best.as_ref().map(|b| (b.program.clone(), b.ic.to_bits())),
+            y.best.as_ref().map(|b| (b.program.clone(), b.ic.to_bits()))
+        );
+    }
+}
+
+/// Contract 2b: the archive is transport-independent — thread islands
+/// (`LocalLink`), wire islands over loopback pipes, and wire islands
+/// over a Unix domain socket land on byte-identical archives, because
+/// the coordinator's barrier (not the transport) orders admissions.
+#[test]
+fn thread_loopback_and_uds_links_produce_identical_archives() {
+    let ev = pinned_evaluator();
+    let seed = init::domain_expert(ev.config());
+    let config = fleet_config(2, 2, 30);
+
+    // Thread islands.
+    let fleet = Fleet::new(Arc::clone(&ev), config.clone());
+    let threads = fleet.run(&seed).unwrap();
+
+    // Loopback-pipe islands: one served connection per island.
+    let fleet = Fleet::new(Arc::clone(&ev), config.clone());
+    let coordinator = fleet.coordinator();
+    let links: Vec<Box<dyn MigrationLink + Send>> = (0..2)
+        .map(|_| {
+            let (client_end, mut server_end) = loopback();
+            let served = Arc::clone(&coordinator);
+            std::thread::spawn(move || {
+                let _ = alphaevolve_mine::serve_fleet_connection(&served, &mut server_end);
+            });
+            Box::new(FleetClient::new(client_end)) as _
+        })
+        .collect();
+    let pipes = fleet.run_with_links(&seed, &coordinator, links).unwrap();
+
+    // Unix-domain-socket islands: a served listener, one connection each.
+    let dir = temp_dir("uds");
+    let sock = dir.join("fleet.sock");
+    let fleet = Fleet::new(Arc::clone(&ev), config);
+    let coordinator = fleet.coordinator();
+    let listener = std::os::unix::net::UnixListener::bind(&sock).unwrap();
+    let served = Arc::clone(&coordinator);
+    std::thread::spawn(move || {
+        let _ = alphaevolve_mine::serve_fleet_uds(listener, served);
+    });
+    let links: Vec<Box<dyn MigrationLink + Send>> = (0..2)
+        .map(|_| Box::new(FleetClient::connect(&sock).unwrap()) as _)
+        .collect();
+    let uds = fleet.run_with_links(&seed, &coordinator, links).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(!threads.archive.entries().is_empty());
+    assert_eq!(
+        threads.archive.to_bytes(),
+        pipes.archive.to_bytes(),
+        "loopback diverged"
+    );
+    assert_eq!(
+        threads.archive.to_bytes(),
+        uds.archive.to_bytes(),
+        "UDS diverged"
+    );
+}
+
+/// Contract 3: interrupt a fleet after its first round (`stop_after`),
+/// resume it from the checkpoint directory, and land on the same archive
+/// and outcomes as the run that never stopped — bit for bit.
+#[test]
+fn interrupted_fleet_resumes_bit_for_bit() {
+    let ev = pinned_evaluator();
+    let seed = init::domain_expert(ev.config());
+
+    let mut reference = fleet_config(2, 3, 30);
+    reference.checkpoint_dir = Some(temp_dir("ref"));
+    let uninterrupted = Fleet::new(Arc::clone(&ev), reference.clone())
+        .run(&seed)
+        .unwrap();
+
+    let mut interrupted = fleet_config(2, 3, 30);
+    interrupted.checkpoint_dir = Some(temp_dir("resume"));
+    interrupted.stop_after = Some(1);
+    let partial = Fleet::new(Arc::clone(&ev), interrupted.clone())
+        .run(&seed)
+        .unwrap();
+    assert_eq!(
+        partial.metrics.counter_value("mine_rounds_total", &[]),
+        1,
+        "the interrupted fleet stopped after one round"
+    );
+
+    interrupted.stop_after = None;
+    let resumed = Fleet::new(Arc::clone(&ev), interrupted.clone())
+        .resume()
+        .unwrap();
+
+    assert_eq!(
+        uninterrupted.archive.to_bytes(),
+        resumed.archive.to_bytes(),
+        "resumed archive diverged from the uninterrupted run"
+    );
+    for (x, y) in uninterrupted.outcomes.iter().zip(&resumed.outcomes) {
+        assert_eq!(x.stats, y.stats, "resumed search counters diverged");
+        assert_eq!(
+            x.best.as_ref().map(|b| (b.program.clone(), b.ic.to_bits())),
+            y.best.as_ref().map(|b| (b.program.clone(), b.ic.to_bits())),
+            "resumed best alpha diverged"
+        );
+    }
+
+    for cfg in [&reference, &interrupted] {
+        let _ = std::fs::remove_dir_all(cfg.checkpoint_dir.as_ref().unwrap());
+    }
+}
+
+/// A coordinator alone, for protocol-discipline tests: 1 island, so a
+/// single submission completes a round synchronously.
+fn lone_coordinator(ev: &Arc<Evaluator>) -> Arc<Coordinator> {
+    Fleet::new(Arc::clone(ev), fleet_config(1, 1, 10)).coordinator()
+}
+
+fn submit(round: u64, programs: Vec<alphaevolve_core::AlphaProgram>) -> EliteSubmit {
+    EliteSubmit {
+        island: 0,
+        round,
+        searched: 10,
+        elapsed_ns: 1_000_000,
+        programs,
+    }
+}
+
+/// Refused requests are typed `Protocol` errors: wrong round, unknown
+/// island, double submission.
+#[test]
+fn wrong_round_and_unknown_island_are_typed_protocol_errors() {
+    let ev = pinned_evaluator();
+    let coordinator = lone_coordinator(&ev);
+
+    let err = coordinator.handle_submit(submit(5, vec![]));
+    assert!(matches!(
+        err,
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+
+    let mut wrong_island = submit(0, vec![]);
+    wrong_island.island = 9;
+    assert!(matches!(
+        coordinator.handle_submit(wrong_island),
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+    assert!(matches!(
+        coordinator.handle_fetch(9, 0),
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+    assert!(matches!(
+        coordinator.handle_sync(9),
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+
+    // A completed round cannot be submitted again.
+    coordinator
+        .handle_submit(submit(0, vec![init::domain_expert(ev.config())]))
+        .unwrap();
+    assert!(matches!(
+        coordinator.handle_submit(submit(0, vec![])),
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+}
+
+/// The trust boundary (the five hostile shapes of
+/// `crates/store/tests/corruption.rs`, arriving through the front door):
+/// every submitted elite runs the `ProgramVerifier` before it can touch
+/// the gate, rejections are counted, and the archive stays clean.
+#[test]
+fn hostile_elites_die_at_the_verifier_and_are_counted() {
+    use alphaevolve_core::{Instruction, Op};
+
+    let cfg = AlphaConfig::default();
+    let poison = |patch: &dyn Fn(&mut Instruction)| {
+        let mut prog = init::domain_expert(&cfg);
+        patch(&mut prog.predict[0]);
+        prog
+    };
+    let hostile = vec![
+        poison(&|i| {
+            i.op = Op::SAbs;
+            i.in1 = 200; // out-of-range input register
+        }),
+        poison(&|i| {
+            i.op = Op::SAbs;
+            i.out = 0xFF; // out-of-range output register
+        }),
+        poison(&|i| {
+            i.op = Op::SConst;
+            i.lit[0] = f64::NAN; // non-finite literal
+        }),
+        {
+            let mut prog = init::domain_expert(&cfg);
+            let mut i = Instruction::nop();
+            i.op = Op::RelRank;
+            prog.setup.push(i); // relation op in setup
+            prog
+        },
+        {
+            let mut prog = init::domain_expert(&cfg);
+            let mut i = Instruction::nop();
+            i.op = Op::SAbs;
+            i.in1 = 1;
+            i.out = 1;
+            prog.update = vec![i; 300]; // body beyond any config's cap
+            prog
+        },
+    ];
+    let n_hostile = hostile.len() as u64;
+
+    let ev = pinned_evaluator();
+    let coordinator = lone_coordinator(&ev);
+    let mut programs = hostile;
+    programs.push(init::domain_expert(ev.config())); // one honest elite
+    let ack = coordinator.handle_submit(submit(0, programs)).unwrap();
+
+    assert_eq!(
+        ack.rejected_invalid, n_hostile,
+        "every hostile shape was rejected"
+    );
+    assert_eq!(
+        ack.admitted + ack.rejected_gate,
+        1,
+        "the honest elite reached the gate"
+    );
+    let metrics = coordinator.metrics().island(0);
+    assert_eq!(metrics.rejected_invalid.get(), n_hostile);
+    assert_eq!(metrics.submitted.get(), n_hostile + 1);
+
+    // Nothing hostile reached the archive.
+    let archive =
+        alphaevolve_store::archive::AlphaArchive::from_bytes(&coordinator.archive_bytes()).unwrap();
+    assert!(archive.len() <= 1);
+    for entry in archive.entries() {
+        assert_eq!(&entry.program, &init::domain_expert(ev.config()));
+    }
+}
+
+/// Wrong-kind-where-X-expected over a live connection, both directions:
+/// a client answered with the wrong response kind surfaces a typed
+/// `Protocol` error; a server handed a response frame answers typed and
+/// closes; a refused-but-well-framed request leaves the connection open.
+#[test]
+fn wire_wrong_kind_is_a_typed_protocol_error_on_both_sides() {
+    use alphaevolve_store::fleetwire::{encode_migrant_set, MigrantSet};
+    use alphaevolve_store::wire::{decode_error, frame_payload, read_message, write_message};
+
+    // Client side: rogue server answers a submit with a MigrantSet.
+    let (client_end, mut rogue_end) = loopback();
+    let mut client = FleetClient::new(client_end);
+    let rogue = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        read_message(&mut rogue_end, &mut buf).unwrap().unwrap();
+        let mut reply = Vec::new();
+        encode_migrant_set(
+            &MigrantSet {
+                round: 0,
+                migrants: vec![],
+            },
+            &mut reply,
+        );
+        write_message(&mut rogue_end, &reply).unwrap();
+    });
+    match client.submit(&submit(0, vec![])) {
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            message,
+        }) => {
+            assert!(message.contains("kind"), "message: {message}");
+        }
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    rogue.join().unwrap();
+
+    // Server side: a response frame where a request belongs gets a typed
+    // error back, then the connection closes.
+    let ev = pinned_evaluator();
+    let coordinator = lone_coordinator(&ev);
+    let (mut fake_client, mut server_end) = loopback();
+    let served = Arc::clone(&coordinator);
+    let server = std::thread::spawn(move || {
+        alphaevolve_mine::serve_fleet_connection(&served, &mut server_end)
+    });
+    let mut frame = Vec::new();
+    encode_migrant_set(
+        &MigrantSet {
+            round: 0,
+            migrants: vec![],
+        },
+        &mut frame,
+    );
+    write_message(&mut fake_client, &frame).unwrap();
+    let mut buf = Vec::new();
+    let kind = read_message(&mut fake_client, &mut buf).unwrap().unwrap();
+    assert_eq!(kind, alphaevolve_store::frame::KIND_ERROR_RESPONSE);
+    assert!(matches!(
+        decode_error(frame_payload(&buf)),
+        StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        }
+    ));
+    assert!(
+        server.join().unwrap().is_err(),
+        "the coordinator closes a connection that broke the protocol"
+    );
+
+    // A refused-but-well-framed request (unknown island) answers typed
+    // and keeps the connection serving.
+    let (client_end, mut server_end) = loopback();
+    let served = Arc::clone(&coordinator);
+    std::thread::spawn(move || {
+        let _ = alphaevolve_mine::serve_fleet_connection(&served, &mut server_end);
+    });
+    let mut client = FleetClient::new(client_end);
+    assert!(matches!(
+        client.fetch(9, 0),
+        Err(StoreError::Service {
+            code: ServiceErrorCode::Protocol,
+            ..
+        })
+    ));
+    let set = client.fetch(0, 0).expect("the connection is still serving");
+    assert_eq!(set.round, 0);
+}
+
+/// Fleet metrics ride the standard kind-9/10 scrape pair: a wire island
+/// can pull `mine_*` counters off the very connection it mines through.
+#[test]
+fn fleet_metrics_are_scrapeable_over_the_wire() {
+    let ev = pinned_evaluator();
+    let coordinator = lone_coordinator(&ev);
+    let (client_end, mut server_end) = loopback();
+    let served = Arc::clone(&coordinator);
+    std::thread::spawn(move || {
+        let _ = alphaevolve_mine::serve_fleet_connection(&served, &mut server_end);
+    });
+    let mut client = FleetClient::new(client_end);
+    let ack = client
+        .submit(&submit(0, vec![init::domain_expert(ev.config())]))
+        .unwrap();
+    assert_eq!(ack.round, 0);
+
+    let mut snap = alphaevolve_obs::MetricsSnapshot::new();
+    client.scrape_metrics(&mut snap).unwrap();
+    assert_eq!(snap.counter_value("mine_rounds_total", &[]), 1);
+    assert_eq!(snap.counter_value("mine_migrants_submitted_total", &[]), 1);
+    assert_eq!(
+        snap.counter_value("mine_migrants_submitted_total", &[("island", "0")]),
+        1
+    );
+    assert_eq!(
+        snap.counter_value("mine_migrants_admitted_total", &[])
+            + snap.counter_value("mine_migrants_rejected_gate_total", &[]),
+        1
+    );
+
+    // The archive syncs over the same connection.
+    let archive = client.sync_archive(0).unwrap();
+    assert_eq!(archive.len() as u64, ack.admitted);
+}

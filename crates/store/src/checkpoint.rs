@@ -30,12 +30,15 @@
 //! u8 [+best]         best alpha: 0 = none | 1 = genome program + pruned
 //!                    program + f64 IC + f64 return series
 //! u64 + entries      trajectory: count, then (u64 searched, f64 best IC)
+//! u8 [+epoch]        migration epoch: 0 = solo run | 1 = u64 island id,
+//!                    u64 round, f64 migrant fraction (finite, in [0,1]),
+//!                    then u64 migrant count + migrant programs
 //! ```
 
 use std::path::Path;
 use std::time::Duration;
 
-use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig};
+use alphaevolve_core::evolution::{Budget, EvolutionCheckpoint, EvolutionConfig, MigrationState};
 use alphaevolve_core::mutation::{MutationConfig, MutationWeights};
 use alphaevolve_core::{BestAlpha, Individual, SearchStats, TrajectoryPoint};
 
@@ -138,6 +141,20 @@ fn encode_payload(c: &EvolutionCheckpoint) -> Vec<u8> {
     for p in &c.trajectory {
         w.usize(p.searched);
         w.f64(p.best_ic);
+    }
+    // Migration epoch.
+    match &c.migration {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            w.u64(m.island);
+            w.u64(m.round);
+            w.f64(m.fraction);
+            w.usize(m.migrants.len());
+            for p in &m.migrants {
+                write_program(&mut w, p);
+            }
+        }
     }
     w.into_bytes()
 }
@@ -256,6 +273,37 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
         let best_ic = r.f64()?;
         trajectory.push(TrajectoryPoint { searched, best_ic });
     }
+    let migration = match r.u8()? {
+        0 => None,
+        1 => {
+            let island = r.u64()?;
+            let round = r.u64()?;
+            let fraction = r.f64()?;
+            // A hostile fraction (NaN, negative, above 1) could bias or
+            // stall a resumed search; reject it at the trust boundary.
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(StoreError::Malformed {
+                    what: format!("migrant fraction {fraction} outside [0, 1]"),
+                });
+            }
+            let n_migrants = r.len_prefix(24)?;
+            let mut migrants = Vec::with_capacity(n_migrants.min(4096));
+            for _ in 0..n_migrants {
+                migrants.push(read_verified_program(&mut r)?);
+            }
+            Some(MigrationState {
+                island,
+                round,
+                fraction,
+                migrants,
+            })
+        }
+        t => {
+            return Err(StoreError::Malformed {
+                what: format!("migration tag {t} (want 0 or 1)"),
+            })
+        }
+    };
     r.finish()?;
     Ok(EvolutionCheckpoint {
         config,
@@ -266,6 +314,7 @@ fn decode_payload(payload: &[u8]) -> Result<EvolutionCheckpoint> {
         cache,
         best,
         trajectory,
+        migration,
     })
 }
 
@@ -325,6 +374,7 @@ mod tests {
                     best_ic: 0.2121,
                 },
             ],
+            migration: None,
         }
     }
 
@@ -369,6 +419,68 @@ mod tests {
         let mut c = sample_checkpoint();
         c.rng = [0; 4];
         let bytes = checkpoint_to_bytes(&c);
+        assert!(matches!(
+            checkpoint_from_bytes(&bytes),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn migration_epoch_round_trips_bitwise() {
+        let cfg = AlphaConfig::default();
+        let mut c = sample_checkpoint();
+        c.migration = Some(MigrationState {
+            island: 2,
+            round: 3,
+            fraction: 0.25,
+            migrants: vec![init::domain_expert(&cfg), init::two_layer_nn(&cfg)],
+        });
+        let bytes = checkpoint_to_bytes(&c);
+        let back = checkpoint_from_bytes(&bytes).unwrap();
+        // The encoding is stable: re-encoding the decoded checkpoint
+        // reproduces the original bytes.
+        assert_eq!(checkpoint_to_bytes(&back), bytes);
+        let m = back.migration.expect("migration epoch survives");
+        let orig = c.migration.as_ref().unwrap();
+        assert_eq!(m.island, 2);
+        assert_eq!(m.round, 3);
+        assert_eq!(m.fraction.to_bits(), 0.25f64.to_bits());
+        assert_eq!(m.migrants, orig.migrants);
+    }
+
+    #[test]
+    fn hostile_migrant_fraction_is_rejected() {
+        let cfg = AlphaConfig::default();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let mut c = sample_checkpoint();
+            c.migration = Some(MigrationState {
+                island: 0,
+                round: 0,
+                fraction: bad,
+                migrants: vec![init::domain_expert(&cfg)],
+            });
+            let bytes = checkpoint_to_bytes(&c);
+            assert!(
+                matches!(
+                    checkpoint_from_bytes(&bytes),
+                    Err(StoreError::Malformed { .. })
+                ),
+                "fraction {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_migration_tag_is_rejected() {
+        let c = sample_checkpoint();
+        let mut bytes = checkpoint_to_bytes(&c);
+        // The migration tag is the last payload byte before the CRC trailer.
+        let at = bytes.len() - 5;
+        assert_eq!(bytes[at], 0, "expected solo-run migration tag");
+        bytes[at] = 2;
+        let total = bytes.len();
+        let crc = crate::codec::crc32(&bytes[..total - 4]);
+        bytes[total - 4..].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(
             checkpoint_from_bytes(&bytes),
             Err(StoreError::Malformed { .. })

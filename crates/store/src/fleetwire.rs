@@ -1,0 +1,375 @@
+//! The AEVS fleet wire protocol: island-model mining messages as framed
+//! stream messages.
+//!
+//! A mining fleet reuses the serving transport seam verbatim — the same
+//! magic/version/kind/CRC framing ([`frame`](crate::frame)), the same
+//! [`read_message`](crate::wire::read_message)/[`write_message`](crate::wire::write_message)
+//! stream discipline, the same typed kind-8 error responses — so an
+//! island talks to its coordinator over a loopback pipe or a Unix socket
+//! exactly like a serving client talks to an alpha server. A connection
+//! is strictly request/response: kinds 11/13/15 (and the kind-9 metrics
+//! scrape) are each answered by exactly one of 12/14/16/10, or a typed
+//! kind-8 error.
+//!
+//! ## Payload layouts (all integers little-endian, floats as raw bits)
+//!
+//! ```text
+//! EliteSubmitRequest      (kind 11): u64 island, u64 round, u64 searched,
+//!                                    u64 elapsed ns, u64 program count,
+//!                                    programs (progio encoding)
+//! EliteAckResponse        (kind 12): u64 round, u64 admitted,
+//!                                    u64 rejected by gate,
+//!                                    u64 rejected as invalid,
+//!                                    u64 migrant count, migrant programs
+//! MigrantFetchRequest     (kind 13): u64 island, u64 round
+//! MigrantSetResponse      (kind 14): u64 round, u64 migrant count,
+//!                                    migrant programs
+//! ArchiveSyncRequest      (kind 15): u64 island
+//! ArchiveSnapshotResponse (kind 16): u64 len + serialized archive file
+//!                                    bytes (a complete kind-1 frame;
+//!                                    validate with AlphaArchive::from_bytes)
+//! ```
+//!
+//! Programs cross the wire through [`progio`](crate::progio), and every
+//! decode path runs [`read_verified_program`] — the envelope checks (caps
+//! on instruction counts, operand indices, window lengths) are the first
+//! trust layer against a hostile or corrupt island. The coordinator then
+//! re-verifies each submission with the config-aware
+//! [`ProgramVerifier`](alphaevolve_core::ProgramVerifier) and re-evaluates
+//! it before gate admission; mining is a control plane, so these paths
+//! favor validation rigor over the serving loop's zero-allocation budget.
+
+use alphaevolve_core::AlphaProgram;
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, ServiceErrorCode, StoreError};
+use crate::frame::{
+    frame_streaming_into as frame_stream, KIND_ARCHIVE_SNAPSHOT_RESPONSE,
+    KIND_ARCHIVE_SYNC_REQUEST, KIND_ELITE_ACK_RESPONSE, KIND_ELITE_SUBMIT_REQUEST,
+    KIND_MIGRANT_FETCH_REQUEST, KIND_MIGRANT_SET_RESPONSE,
+};
+use crate::progio::{read_verified_program, write_program};
+
+/// An island's end-of-round publication: its elite programs plus the
+/// round telemetry the coordinator turns into per-island gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliteSubmit {
+    /// The submitting island's id (dense, `0..islands`).
+    pub island: u64,
+    /// The migration round this submission closes.
+    pub round: u64,
+    /// Candidates searched by this island so far (cumulative).
+    pub searched: u64,
+    /// Wall-clock nanoseconds this island has spent mining so far.
+    pub elapsed_ns: u64,
+    /// The island's current elites, pruned, best first.
+    pub programs: Vec<AlphaProgram>,
+}
+
+/// A decoded fleet request (kinds 11, 13, 15).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetRequest {
+    /// An island publishing its round's elites (kind 11).
+    EliteSubmit(EliteSubmit),
+    /// An island asking for the current migrant pool without submitting
+    /// (kind 13) — used by late joiners and the archive-sync fallback.
+    MigrantFetch {
+        /// The requesting island's id.
+        island: u64,
+        /// The round whose migrant set is wanted.
+        round: u64,
+    },
+    /// An island asking for a full archive snapshot (kind 15).
+    ArchiveSync {
+        /// The requesting island's id.
+        island: u64,
+    },
+}
+
+/// The coordinator's admission verdict answering an [`EliteSubmit`],
+/// returned once the migration-round barrier releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliteAck {
+    /// The round this acknowledgement closes.
+    pub round: u64,
+    /// Programs admitted into the shared archive this round (fleet-wide).
+    pub admitted: u64,
+    /// Programs rejected by the correlation gate / duplicate / weaker
+    /// checks this round (fleet-wide).
+    pub rejected_gate: u64,
+    /// Programs rejected by the trust-boundary verifier this round
+    /// (fleet-wide) — nonzero means a hostile or corrupt island.
+    pub rejected_invalid: u64,
+    /// The post-round migrant pool, in archive entry order.
+    pub migrants: Vec<AlphaProgram>,
+}
+
+/// The coordinator's current migrant pool, answering a migrant fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrantSet {
+    /// The latest completed round.
+    pub round: u64,
+    /// The migrant pool, in archive entry order.
+    pub migrants: Vec<AlphaProgram>,
+}
+
+fn programs_payload_len(programs: &[AlphaProgram]) -> usize {
+    let mut w = Writer::new();
+    for p in programs {
+        write_program(&mut w, p);
+    }
+    w.len()
+}
+
+fn write_programs(b: &mut Vec<u8>, programs: &[AlphaProgram]) {
+    b.extend_from_slice(&(programs.len() as u64).to_le_bytes());
+    let mut w = Writer::new();
+    for p in programs {
+        write_program(&mut w, p);
+    }
+    b.extend_from_slice(&w.into_bytes());
+}
+
+fn read_programs(r: &mut Reader<'_>) -> Result<Vec<AlphaProgram>> {
+    // A program encodes as at least three u64 section counts, so a count
+    // claiming more than remaining/24 entries is rejected up front.
+    let n = r.len_prefix(24)?;
+    let mut programs = Vec::with_capacity(n);
+    for _ in 0..n {
+        programs.push(read_verified_program(r)?);
+    }
+    Ok(programs)
+}
+
+/// Encodes a fleet request frame into `out` (cleared first).
+pub fn encode_fleet_request(req: &FleetRequest, out: &mut Vec<u8>) {
+    match req {
+        FleetRequest::EliteSubmit(s) => {
+            let payload_len = 5 * 8 + programs_payload_len(&s.programs);
+            frame_stream(out, KIND_ELITE_SUBMIT_REQUEST, payload_len, |b| {
+                for x in [s.island, s.round, s.searched, s.elapsed_ns] {
+                    b.extend_from_slice(&x.to_le_bytes());
+                }
+                write_programs(b, &s.programs);
+            });
+        }
+        FleetRequest::MigrantFetch { island, round } => {
+            frame_stream(out, KIND_MIGRANT_FETCH_REQUEST, 16, |b| {
+                b.extend_from_slice(&island.to_le_bytes());
+                b.extend_from_slice(&round.to_le_bytes());
+            });
+        }
+        FleetRequest::ArchiveSync { island } => {
+            frame_stream(out, KIND_ARCHIVE_SYNC_REQUEST, 8, |b| {
+                b.extend_from_slice(&island.to_le_bytes());
+            });
+        }
+    }
+}
+
+/// Decodes a fleet request payload for `kind` (one of 11, 13, 15).
+/// Any other kind is a typed [`ServiceErrorCode::Protocol`] refusal.
+pub fn decode_fleet_request(kind: u16, payload: &[u8]) -> Result<FleetRequest> {
+    let mut r = Reader::new(payload);
+    let req = match kind {
+        KIND_ELITE_SUBMIT_REQUEST => FleetRequest::EliteSubmit(EliteSubmit {
+            island: r.u64()?,
+            round: r.u64()?,
+            searched: r.u64()?,
+            elapsed_ns: r.u64()?,
+            programs: read_programs(&mut r)?,
+        }),
+        KIND_MIGRANT_FETCH_REQUEST => FleetRequest::MigrantFetch {
+            island: r.u64()?,
+            round: r.u64()?,
+        },
+        KIND_ARCHIVE_SYNC_REQUEST => FleetRequest::ArchiveSync { island: r.u64()? },
+        other => {
+            return Err(StoreError::service(
+                ServiceErrorCode::Protocol,
+                format!("kind {other} is not a fleet request"),
+            ))
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes an elite acknowledgement frame into `out` (cleared first).
+pub fn encode_elite_ack(ack: &EliteAck, out: &mut Vec<u8>) {
+    let payload_len = 5 * 8 + programs_payload_len(&ack.migrants);
+    frame_stream(out, KIND_ELITE_ACK_RESPONSE, payload_len, |b| {
+        for x in [
+            ack.round,
+            ack.admitted,
+            ack.rejected_gate,
+            ack.rejected_invalid,
+        ] {
+            b.extend_from_slice(&x.to_le_bytes());
+        }
+        write_programs(b, &ack.migrants);
+    });
+}
+
+/// Decodes an elite acknowledgement payload.
+pub fn decode_elite_ack(payload: &[u8]) -> Result<EliteAck> {
+    let mut r = Reader::new(payload);
+    let ack = EliteAck {
+        round: r.u64()?,
+        admitted: r.u64()?,
+        rejected_gate: r.u64()?,
+        rejected_invalid: r.u64()?,
+        migrants: read_programs(&mut r)?,
+    };
+    r.finish()?;
+    Ok(ack)
+}
+
+/// Encodes a migrant set frame into `out` (cleared first).
+pub fn encode_migrant_set(set: &MigrantSet, out: &mut Vec<u8>) {
+    let payload_len = 2 * 8 + programs_payload_len(&set.migrants);
+    frame_stream(out, KIND_MIGRANT_SET_RESPONSE, payload_len, |b| {
+        b.extend_from_slice(&set.round.to_le_bytes());
+        write_programs(b, &set.migrants);
+    });
+}
+
+/// Decodes a migrant set payload.
+pub fn decode_migrant_set(payload: &[u8]) -> Result<MigrantSet> {
+    let mut r = Reader::new(payload);
+    let set = MigrantSet {
+        round: r.u64()?,
+        migrants: read_programs(&mut r)?,
+    };
+    r.finish()?;
+    Ok(set)
+}
+
+/// Encodes an archive snapshot frame into `out` (cleared first).
+/// `archive_bytes` is a complete serialized archive file — the kind-1
+/// frame produced by `AlphaArchive::to_bytes` — nested whole inside this
+/// kind-16 wire frame so the receiver validates it with the ordinary
+/// file decoder (its own magic, CRC, and per-program envelope checks).
+pub fn encode_archive_snapshot(archive_bytes: &[u8], out: &mut Vec<u8>) {
+    frame_stream(
+        out,
+        KIND_ARCHIVE_SNAPSHOT_RESPONSE,
+        8 + archive_bytes.len(),
+        |b| {
+            b.extend_from_slice(&(archive_bytes.len() as u64).to_le_bytes());
+            b.extend_from_slice(archive_bytes);
+        },
+    );
+}
+
+/// Decodes an archive snapshot payload back into the serialized archive
+/// file bytes. Validate them with `AlphaArchive::from_bytes`, which runs
+/// the full file-format checks including per-program verification.
+pub fn decode_archive_snapshot(payload: &[u8]) -> Result<Vec<u8>> {
+    let mut r = Reader::new(payload);
+    let n = r.len_prefix(1)?;
+    let mut bytes = vec![0u8; n];
+    for byte in &mut bytes {
+        *byte = r.u8()?;
+    }
+    r.finish()?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphaevolve_core::{init, AlphaConfig};
+
+    fn sample_programs() -> Vec<AlphaProgram> {
+        let cfg = AlphaConfig::default();
+        vec![init::domain_expert(&cfg), init::two_layer_nn(&cfg)]
+    }
+
+    #[test]
+    fn fleet_requests_round_trip() {
+        let mut buf = Vec::new();
+        for req in [
+            FleetRequest::EliteSubmit(EliteSubmit {
+                island: 3,
+                round: 7,
+                searched: 420,
+                elapsed_ns: 1_234_567,
+                programs: sample_programs(),
+            }),
+            FleetRequest::MigrantFetch {
+                island: 1,
+                round: 2,
+            },
+            FleetRequest::ArchiveSync { island: 0 },
+        ] {
+            encode_fleet_request(&req, &mut buf);
+            let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+            assert_eq!(decode_fleet_request(kind, payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn elite_ack_round_trips() {
+        let ack = EliteAck {
+            round: 5,
+            admitted: 2,
+            rejected_gate: 1,
+            rejected_invalid: 0,
+            migrants: sample_programs(),
+        };
+        let mut buf = Vec::new();
+        encode_elite_ack(&ack, &mut buf);
+        let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+        assert_eq!(kind, KIND_ELITE_ACK_RESPONSE);
+        assert_eq!(decode_elite_ack(payload).unwrap(), ack);
+    }
+
+    #[test]
+    fn migrant_set_round_trips_empty_and_full() {
+        let mut buf = Vec::new();
+        for migrants in [Vec::new(), sample_programs()] {
+            let set = MigrantSet { round: 9, migrants };
+            encode_migrant_set(&set, &mut buf);
+            let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+            assert_eq!(kind, KIND_MIGRANT_SET_RESPONSE);
+            assert_eq!(decode_migrant_set(payload).unwrap(), set);
+        }
+    }
+
+    #[test]
+    fn archive_snapshot_round_trips() {
+        let inner = crate::frame::frame(crate::frame::KIND_ARCHIVE, b"archive body");
+        let mut buf = Vec::new();
+        encode_archive_snapshot(&inner, &mut buf);
+        let (kind, payload) = crate::frame::unframe_any(&buf).unwrap();
+        assert_eq!(kind, KIND_ARCHIVE_SNAPSHOT_RESPONSE);
+        assert_eq!(decode_archive_snapshot(payload).unwrap(), inner);
+    }
+
+    #[test]
+    fn serving_kinds_are_not_fleet_requests() {
+        for kind in [3u16, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 0, 999] {
+            match decode_fleet_request(kind, &[]) {
+                Err(StoreError::Service { code, .. }) => {
+                    assert_eq!(code, ServiceErrorCode::Protocol, "kind {kind}");
+                }
+                other => panic!("kind {kind}: expected Protocol refusal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_program_count_is_rejected_up_front() {
+        // A migrant-fetch-sized payload claiming 2^60 programs must fail
+        // on the length prefix, not attempt to allocate.
+        let mut w = Writer::new();
+        w.u64(1); // round
+        w.u64(1u64 << 60); // claimed migrant count
+        let payload = w.into_bytes();
+        assert!(matches!(
+            decode_migrant_set(&payload),
+            Err(StoreError::Malformed { .. } | StoreError::Truncated { .. })
+        ));
+    }
+}

@@ -27,12 +27,21 @@
 //! | 8 | `ErrorResponse` | wire, server → client | [`wire`](crate::wire) module docs |
 //! | 9 | `MetricsRequest` | wire, client → server | [`wire`](crate::wire) module docs |
 //! | 10 | `MetricsResponse` | wire, server → client | [`wire`](crate::wire) module docs |
+//! | 11 | `EliteSubmitRequest` | wire, island → coordinator | [`fleetwire`](crate::fleetwire) module docs |
+//! | 12 | `EliteAckResponse` | wire, coordinator → island | [`fleetwire`](crate::fleetwire) module docs |
+//! | 13 | `MigrantFetchRequest` | wire, island → coordinator | [`fleetwire`](crate::fleetwire) module docs |
+//! | 14 | `MigrantSetResponse` | wire, coordinator → island | [`fleetwire`](crate::fleetwire) module docs |
+//! | 15 | `ArchiveSyncRequest` | wire, island → coordinator | [`fleetwire`](crate::fleetwire) module docs |
+//! | 16 | `ArchiveSnapshotResponse` | wire, coordinator → island | [`fleetwire`](crate::fleetwire) module docs |
 //!
 //! Kinds 1–2 are whole files (one frame per file, trailing bytes
-//! rejected); kinds 3–10 are messages on a byte stream — the identical
+//! rejected); kinds 3–16 are messages on a byte stream — the identical
 //! framing, sent back to back. A serving connection is strictly
 //! request/response: the client writes one request frame (kind 3–5, 9),
 //! the server answers with exactly one response frame (kind 6–8, 10).
+//! A mining-fleet connection follows the same discipline with the fleet
+//! kinds: requests 11/13/15 (and the metrics scrape, kind 9) are each
+//! answered by exactly one of 12/14/16/10 — or a kind-8 typed error.
 //!
 //! ## The wire handshake
 //!
@@ -94,6 +103,25 @@ pub const KIND_METRICS_REQUEST: u16 = 9;
 
 /// Wire kind: a text-exposition metrics snapshot, answering kind 9.
 pub const KIND_METRICS_RESPONSE: u16 = 10;
+
+/// Wire kind: an island publishing its round's elite programs.
+pub const KIND_ELITE_SUBMIT_REQUEST: u16 = 11;
+
+/// Wire kind: the coordinator's admission verdict + migrant set,
+/// answering kind 11 once the migration-round barrier releases.
+pub const KIND_ELITE_ACK_RESPONSE: u16 = 12;
+
+/// Wire kind: request the current migrant pool without submitting.
+pub const KIND_MIGRANT_FETCH_REQUEST: u16 = 13;
+
+/// Wire kind: the coordinator's current migrant pool, answering kind 13.
+pub const KIND_MIGRANT_SET_RESPONSE: u16 = 14;
+
+/// Wire kind: request a full snapshot of the shared alpha archive.
+pub const KIND_ARCHIVE_SYNC_REQUEST: u16 = 15;
+
+/// Wire kind: the serialized archive file bytes, answering kind 15.
+pub const KIND_ARCHIVE_SNAPSHOT_RESPONSE: u16 = 16;
 
 /// Header length in bytes (magic + version + kind + payload length).
 pub const HEADER_LEN: usize = 16;

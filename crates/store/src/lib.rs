@@ -45,7 +45,7 @@
 //! 0       4     magic  = b"AEVS"
 //! 4       2     format version, little-endian (currently 1)
 //! 6       2     record kind: 1 = alpha archive, 2 = evolution checkpoint,
-//!               3–10 = wire protocol messages (see the frame module docs)
+//!               3–16 = wire protocol messages (see the frame module docs)
 //! 8       8     payload length n, little-endian
 //! 16      n     payload
 //! 16+n    4     CRC-32 (IEEE) over bytes [0, 16+n) — header and payload
@@ -111,6 +111,7 @@ pub mod archive;
 pub mod checkpoint;
 pub mod codec;
 pub mod error;
+pub mod fleetwire;
 pub mod frame;
 pub mod metrics;
 pub mod progio;
@@ -125,6 +126,7 @@ pub use checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
 };
 pub use error::{Result, ServiceErrorCode, StoreError};
+pub use fleetwire::{EliteAck, EliteSubmit, FleetRequest, MigrantSet};
 pub use metrics::{error_code_label, error_code_of, RequestKind, ServeMetrics};
 pub use router::{partition_archive, spawn_thread_shards, ShardedRouter};
 pub use server::{AlphaServer, ServeArena};

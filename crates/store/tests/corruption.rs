@@ -17,6 +17,11 @@ use alphaevolve_store::checkpoint::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
 };
 use alphaevolve_store::codec::crc32;
+use alphaevolve_store::fleetwire::{
+    decode_archive_snapshot, decode_elite_ack, decode_fleet_request, decode_migrant_set,
+    encode_archive_snapshot, encode_elite_ack, encode_fleet_request, encode_migrant_set, EliteAck,
+    EliteSubmit, FleetRequest, MigrantSet,
+};
 use alphaevolve_store::service::ServiceMetadata;
 use alphaevolve_store::wire::{
     decode_error, decode_metadata, decode_metrics_response, decode_predictions_into,
@@ -79,6 +84,12 @@ fn fixture_checkpoint() -> EvolutionCheckpoint {
         cache: vec![(3, Some(0.1)), (99, None)],
         best: None,
         trajectory: vec![],
+        migration: Some(alphaevolve_core::MigrationState {
+            island: 2,
+            round: 5,
+            fraction: 0.25,
+            migrants: vec![init::two_layer_nn(&cfg)],
+        }),
     }
 }
 
@@ -248,7 +259,53 @@ fn wire_fixtures() -> Vec<(&'static str, Vec<u8>)> {
          serve_latency_ns_count 13\n",
         &mut buf,
     );
-    fixtures.push(("MetricsResponse", buf));
+    fixtures.push(("MetricsResponse", buf.clone()));
+
+    // The fleet wire (kinds 11–16): every message of a mining fleet's
+    // migration protocol joins the same battery as the serving kinds.
+    let cfg = AlphaConfig::default();
+    encode_fleet_request(
+        &FleetRequest::EliteSubmit(EliteSubmit {
+            island: 2,
+            round: 5,
+            searched: 340,
+            elapsed_ns: 1_234_567,
+            programs: vec![init::domain_expert(&cfg), init::industry_reversal(&cfg)],
+        }),
+        &mut buf,
+    );
+    fixtures.push(("EliteSubmitRequest", buf.clone()));
+    encode_fleet_request(
+        &FleetRequest::MigrantFetch {
+            island: 1,
+            round: 3,
+        },
+        &mut buf,
+    );
+    fixtures.push(("MigrantFetchRequest", buf.clone()));
+    encode_fleet_request(&FleetRequest::ArchiveSync { island: 0 }, &mut buf);
+    fixtures.push(("ArchiveSyncRequest", buf.clone()));
+    encode_elite_ack(
+        &EliteAck {
+            round: 5,
+            admitted: 1,
+            rejected_gate: 2,
+            rejected_invalid: 0,
+            migrants: vec![init::two_layer_nn(&cfg)],
+        },
+        &mut buf,
+    );
+    fixtures.push(("EliteAckResponse", buf.clone()));
+    encode_migrant_set(
+        &MigrantSet {
+            round: 4,
+            migrants: vec![init::domain_expert(&cfg)],
+        },
+        &mut buf,
+    );
+    fixtures.push(("MigrantSetResponse", buf.clone()));
+    encode_archive_snapshot(&fixture_archive().to_bytes(), &mut buf);
+    fixtures.push(("ArchiveSnapshotResponse", buf));
     fixtures
 }
 
@@ -282,6 +339,20 @@ fn decode_wire(bytes: &[u8]) -> Result<(), StoreError> {
             decode_predictions_into(payload, &mut CrossSections::new(0, 0))
         }
         alphaevolve_store::frame::KIND_METADATA_RESPONSE => decode_metadata(payload).map(|_| ()),
+        alphaevolve_store::frame::KIND_ELITE_SUBMIT_REQUEST
+        | alphaevolve_store::frame::KIND_MIGRANT_FETCH_REQUEST
+        | alphaevolve_store::frame::KIND_ARCHIVE_SYNC_REQUEST => {
+            decode_fleet_request(kind, payload).map(|_| ())
+        }
+        alphaevolve_store::frame::KIND_ELITE_ACK_RESPONSE => decode_elite_ack(payload).map(|_| ()),
+        alphaevolve_store::frame::KIND_MIGRANT_SET_RESPONSE => {
+            decode_migrant_set(payload).map(|_| ())
+        }
+        alphaevolve_store::frame::KIND_ARCHIVE_SNAPSHOT_RESPONSE => {
+            // Fully validate the nested archive file frame, exactly as a
+            // syncing island does.
+            AlphaArchive::from_bytes(&decode_archive_snapshot(payload)?).map(|_| ())
+        }
         alphaevolve_store::frame::KIND_ERROR_RESPONSE => {
             // decode_error is total; receiving an error response is not
             // itself a decode failure.
@@ -584,6 +655,43 @@ fn valid_frames_carrying_invalid_programs_fail_typed() {
         match checkpoint_from_bytes(&checkpoint_to_bytes(&ckpt)) {
             Err(StoreError::InvalidProgram { .. }) => {}
             other => panic!("best alpha with {what}: expected InvalidProgram, got {other:?}"),
+        }
+
+        // Fleet wire path: a hostile elite inside a perfectly sealed
+        // EliteSubmit frame — the envelope verifier inside the payload
+        // decoder, not the CRC, is what must reject it.
+        let mut frame = Vec::new();
+        encode_fleet_request(
+            &FleetRequest::EliteSubmit(EliteSubmit {
+                island: 0,
+                round: 0,
+                searched: 1,
+                elapsed_ns: 1,
+                programs: vec![prog.clone()],
+            }),
+            &mut frame,
+        );
+        let mut cursor = Cursor::new(frame.as_slice());
+        let mut buf = Vec::new();
+        let kind = read_message(&mut cursor, &mut buf).unwrap().unwrap();
+        match decode_fleet_request(kind, frame_payload(&buf)) {
+            Err(StoreError::InvalidProgram { .. }) => {}
+            other => panic!("elite submit with {what}: expected InvalidProgram, got {other:?}"),
+        }
+
+        // And the response direction: a hostile migrant in a MigrantSet.
+        encode_migrant_set(
+            &MigrantSet {
+                round: 0,
+                migrants: vec![prog.clone()],
+            },
+            &mut frame,
+        );
+        let mut cursor = Cursor::new(frame.as_slice());
+        read_message(&mut cursor, &mut buf).unwrap().unwrap();
+        match decode_migrant_set(frame_payload(&buf)) {
+            Err(StoreError::InvalidProgram { .. }) => {}
+            other => panic!("migrant set with {what}: expected InvalidProgram, got {other:?}"),
         }
 
         // Archive path: hostile program behind a perfectly sealed frame.

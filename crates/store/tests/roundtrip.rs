@@ -178,6 +178,12 @@ proptest! {
                     best_ic: i as f64 / 50.0,
                 })
                 .collect(),
+            migration: (!seed.is_multiple_of(4)).then(|| alphaevolve_core::MigrationState {
+                island: seed % 16,
+                round: seed % 100,
+                fraction: (seed % 101) as f64 / 100.0,
+                migrants: (0..(seed % 3) as u64).map(|i| random_program(seed ^ (0xA110 + i))).collect(),
+            }),
         };
         let bytes = checkpoint_to_bytes(&ckpt);
         let back = checkpoint_from_bytes(&bytes).unwrap();
@@ -210,6 +216,16 @@ proptest! {
             other => panic!("best mismatch: {other:?}"),
         }
         prop_assert_eq!(back.trajectory.len(), ckpt.trajectory.len());
+        match (&back.migration, &ckpt.migration) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.island, b.island);
+                prop_assert_eq!(a.round, b.round);
+                prop_assert_eq!(a.fraction.to_bits(), b.fraction.to_bits());
+                prop_assert_eq!(&a.migrants, &b.migrants);
+            }
+            other => panic!("migration mismatch: {other:?}"),
+        }
         // Canonical bytes: re-encode is byte-identical.
         prop_assert_eq!(checkpoint_to_bytes(&back), bytes);
     }

@@ -45,6 +45,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     let seed_ic = evaluator.evaluate(&seed_alpha).ic;
     println!("seed alpha validation IC: {seed_ic:.6}");
 
+    // Warm-start across sessions: when a previous run left an archive
+    // under results/, its elites join this run's initial population and
+    // the new winner is admitted into the *same* correlation-gated hall
+    // of fame instead of starting one over.
+    let archive_path = "results/mined_alphas.aev";
+    let mut archive = match AlphaArchive::load(archive_path) {
+        Ok(prev) => {
+            println!(
+                "warm-starting from {archive_path} ({} archived alpha(s))",
+                prev.len()
+            );
+            prev
+        }
+        Err(_) => AlphaArchive::new(16),
+    };
+    let warm_start: Vec<_> = archive
+        .entries()
+        .iter()
+        .map(|e| e.program.clone())
+        .collect();
+
     let config = EvolutionConfig {
         population_size: 100,
         tournament_size: 10,
@@ -57,7 +78,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         "mining with {} workers, budget {:?} ...",
         config.workers, config.budget
     );
-    let outcome = Evolution::new(&evaluator, config).run(&seed_alpha);
+    let outcome = Evolution::new(&evaluator, config)
+        .with_warm_start(warm_start)
+        .run(&seed_alpha);
 
     println!(
         "searched {} candidates: {} evaluated, {} cache hits, {} redundant, {} invalid ({:.1?})",
@@ -92,31 +115,36 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Persist the winner into the binary archive under results/: the
     // durable, CRC-framed form that serving and later rounds consume.
+    // On a warm-started run the gate may refuse a winner too correlated
+    // with an already-archived ancestor — that is the gate working.
     let features = FeatureSet::paper();
-    let mut archive = AlphaArchive::new(16);
-    let outcome = archive.admit(ArchivedAlpha {
-        name: "alpha_AE_D_0".into(),
-        fingerprint: fingerprint(&best.program, evaluator.config()).0,
+    let fp = fingerprint(&best.program, evaluator.config()).0;
+    let admit_outcome = archive.admit(ArchivedAlpha {
+        name: format!("alpha_AE_D_{fp:016x}"),
+        fingerprint: fp,
         program: best.pruned.clone(),
         ic: best.ic,
-        val_returns: best.val_returns.clone(),
+        val_returns: best.val_returns,
         train_days: (
             evaluator.dataset().train_days().start as u64,
             evaluator.dataset().train_days().end as u64,
         ),
         feature_set_id: feature_set_id(&features),
     });
-    assert!(outcome.admitted(), "first alpha always admits: {outcome:?}");
+    if !admit_outcome.admitted() {
+        println!("gate refused the winner ({admit_outcome:?}) — archive unchanged");
+    }
     std::fs::create_dir_all("results")?;
-    let archive_path = "results/mined_alphas.aev";
     archive.save(archive_path)?;
     let reloaded = AlphaArchive::load(archive_path)?;
-    assert_eq!(reloaded.entries()[0].program, best.pruned);
-    assert_eq!(reloaded.entries()[0].ic.to_bits(), best.ic.to_bits());
+    assert_eq!(
+        reloaded.to_bytes(),
+        archive.to_bytes(),
+        "archive reloads bitwise"
+    );
     println!(
-        "archived to {archive_path} ({} alpha, IC {:.6}) — reload with AlphaArchive::load",
+        "archived to {archive_path} ({} alpha(s)) — reload with AlphaArchive::load",
         reloaded.len(),
-        reloaded.entries()[0].ic
     );
     Ok(())
 }

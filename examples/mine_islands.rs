@@ -1,0 +1,135 @@
+//! Mine with an island fleet: four evolution islands, one coordinator,
+//! one correlation-gated archive — over the AEVS fleet wire.
+//!
+//! ```sh
+//! cargo run --release --example mine_islands
+//! ```
+//!
+//! Three islands speak the fleet protocol (kinds 11–16) over in-process
+//! loopback pipes and a fourth over a Unix domain socket — the same
+//! frames either way, which is the point: a fleet is transport-agnostic
+//! exactly like serving is. Each island runs its own fixed-seed
+//! `Evolution` loop (seeds derived from one fleet seed), publishes its
+//! elites at every migration round, and mutates from the returned
+//! migrant pool. The run prints the shared archive and the `mine_*`
+//! fleet metrics scraped back over the standard kind-9/10 wire pair.
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Duration;
+
+use alphaevolve::core::{init, AlphaConfig, Budget, EvalOptions, Evaluator, EvolutionConfig};
+use alphaevolve::market::{features::FeatureSet, generator::MarketConfig, Dataset, SplitSpec};
+use alphaevolve::mine::{
+    serve_fleet_connection, serve_fleet_uds, Fleet, FleetClient, FleetConfig, MigrationLink,
+};
+use alphaevolve::obs::MetricsSnapshot;
+use alphaevolve::store::{feature_set_id, transport::loopback};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let market = MarketConfig {
+        n_stocks: 20,
+        n_days: 200,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
+    let dataset = Dataset::build(&market, &FeatureSet::paper(), SplitSpec::paper_ratios())?;
+    let evaluator = Arc::new(Evaluator::new(
+        AlphaConfig::default(),
+        EvalOptions::default(),
+        Arc::new(dataset),
+    ));
+
+    let islands = 4;
+    let fleet = Fleet::new(
+        Arc::clone(&evaluator),
+        FleetConfig {
+            islands,
+            fleet_seed: 7,
+            rounds: 3,
+            round_searches: 150,
+            migrant_fraction: 0.25,
+            elites_per_round: 3,
+            econfig: EvolutionConfig {
+                population_size: 30,
+                tournament_size: 5,
+                budget: Budget::Searched(0), // set per round by the fleet
+                seed: 0,                     // derived per island
+                workers: 1,
+                ..Default::default()
+            },
+            archive_capacity: 10,
+            feature_set_id: feature_set_id(&FeatureSet::paper()),
+            round_deadline: Duration::from_secs(120),
+            stop_after: None,
+            checkpoint_dir: None,
+        },
+    );
+    let coordinator = fleet.coordinator();
+
+    // Three loopback islands: each gets its own served pipe pair.
+    let mut links: Vec<Box<dyn MigrationLink + Send>> = (0..islands - 1)
+        .map(|_| {
+            let (client_end, mut server_end) = loopback();
+            let served = Arc::clone(&coordinator);
+            std::thread::spawn(move || {
+                let _ = serve_fleet_connection(&served, &mut server_end);
+            });
+            Box::new(FleetClient::new(client_end)) as _
+        })
+        .collect();
+
+    // And one island across a real process boundary in miniature: a Unix
+    // domain socket — swap the path for another host's forwarded socket
+    // and nothing else changes.
+    let sock = std::env::temp_dir().join(format!("mine_islands_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let listener = std::os::unix::net::UnixListener::bind(&sock)?;
+    let served = Arc::clone(&coordinator);
+    std::thread::spawn(move || {
+        let _ = serve_fleet_uds(listener, served);
+    });
+    links.push(Box::new(FleetClient::connect(&sock)?) as _);
+
+    println!(
+        "mining: {islands} islands ({} loopback + 1 UDS), {} rounds x {} searches ...",
+        islands - 1,
+        fleet.config().rounds,
+        fleet.config().round_searches,
+    );
+    let seed_alpha = init::domain_expert(evaluator.config());
+    let outcome = fleet.run_with_links(&seed_alpha, &coordinator, links)?;
+    let _ = std::fs::remove_file(&sock);
+
+    println!("\nshared archive ({} alphas):", outcome.archive.len());
+    for entry in outcome.archive.entries() {
+        println!("  {}  IC {:+.6}", entry.name, entry.ic);
+    }
+    for (i, island) in outcome.outcomes.iter().enumerate() {
+        println!(
+            "island {i}: searched {}, evaluated {}, best IC {}",
+            island.stats.searched,
+            island.stats.evaluated,
+            island
+                .best
+                .as_ref()
+                .map_or("-".into(), |b| format!("{:+.6}", b.ic)),
+        );
+    }
+
+    // Fleet metrics, scraped over the wire like any AEVS endpoint.
+    let (client_end, mut server_end) = loopback();
+    let served = Arc::clone(&coordinator);
+    std::thread::spawn(move || {
+        let _ = serve_fleet_connection(&served, &mut server_end);
+    });
+    let mut client = FleetClient::new(client_end);
+    let mut snap = MetricsSnapshot::new();
+    client.scrape_metrics(&mut snap)?;
+    println!("\nfleet metrics (kind-9/10 scrape):");
+    for line in snap.render().lines().filter(|l| l.starts_with("mine_")) {
+        println!("  {line}");
+    }
+    Ok(())
+}

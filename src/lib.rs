@@ -12,6 +12,9 @@
 //!   of fame), evolution checkpoints, and the batched prediction server.
 //! * [`obs`] — zero-allocation metrics primitives and the snapshot /
 //!   exposition format scraped over the AEVS wire (kinds 9/10).
+//! * [`mine`] — island-model distributed mining: N evolution islands
+//!   feeding one correlation-gated archive over the AEVS fleet wire
+//!   (kinds 11–16).
 //!
 //! See `examples/quickstart.rs` for the end-to-end happy path.
 
@@ -21,6 +24,7 @@ pub use alphaevolve_backtest as backtest;
 pub use alphaevolve_core as core;
 pub use alphaevolve_gp as gp;
 pub use alphaevolve_market as market;
+pub use alphaevolve_mine as mine;
 pub use alphaevolve_neural as neural;
 pub use alphaevolve_obs as obs;
 pub use alphaevolve_store as store;

@@ -1,8 +1,9 @@
-//! Smoke test against example drift: all seven examples (`quickstart`,
-//! `mine_alphas`, `portfolio_backtest`, `weakly_correlated_set`,
-//! `serve_archive`, `serve_daemon`, `metrics_dump`) must keep compiling
-//! against the current API. Examples are not built by a plain
-//! `cargo test`, so without this check they rot silently.
+//! Smoke test against example drift: all eight examples (`quickstart`,
+//! `mine_alphas`, `mine_islands`, `portfolio_backtest`,
+//! `weakly_correlated_set`, `serve_archive`, `serve_daemon`,
+//! `metrics_dump`) must keep compiling against the current API. Examples
+//! are not built by a plain `cargo test`, so without this check they rot
+//! silently.
 
 use std::process::Command;
 
@@ -20,11 +21,12 @@ fn all_examples_build() {
 }
 
 #[test]
-fn all_seven_examples_exist() {
+fn all_eight_examples_exist() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
     for name in [
         "quickstart",
         "mine_alphas",
+        "mine_islands",
         "portfolio_backtest",
         "weakly_correlated_set",
         "serve_archive",
